@@ -1,0 +1,110 @@
+//! Micro-benchmarks for classification and destination analysis, including
+//! the design-choice ablations called out in DESIGN.md: trie vs naive
+//! block-list matching, and single-model vs ensemble classification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use diffaudit_blocklist::matcher::NaiveMatcher;
+use diffaudit_blocklist::{ats, DomainMatcher};
+use diffaudit_classifier::llm::{LlmClassifier, LlmOptions};
+use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+use diffaudit_domains::{extract, DomainName};
+use std::hint::black_box;
+
+const KEYS: [&str; 12] = [
+    "device_id",
+    "advertisingIdentifier",
+    "X-Forwarded-Lang",
+    "os_ver",
+    "rtt",
+    "usr_bday",
+    "zq7_blk",
+    "session_token",
+    "geo_country",
+    "utm_campaign",
+    "IsOptOutEmailShown",
+    "pers_ad_show_third_part_measurement",
+];
+
+fn bench_llm(c: &mut Criterion) {
+    let model = LlmClassifier::new(LlmOptions::default());
+    let ensemble = MajorityEnsemble::new(1, ConfidenceAggregation::Average);
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(KEYS.len() as u64));
+    group.bench_function("llm_batch_12", |b| {
+        b.iter(|| model.classify_batch(black_box(&KEYS)))
+    });
+    group.bench_function("ensemble_batch_12", |b| {
+        b.iter(|| ensemble.classify_batch(black_box(&KEYS)))
+    });
+    group.finish();
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let hosts = [
+        "stats.g.doubleclick.net",
+        "browser.events.data.microsoft.com",
+        "www.roblox.com",
+        "shop.example.co.uk",
+        "a.b.c.d.e.tracker.io",
+    ];
+    let names: Vec<DomainName> = hosts.iter().map(|h| DomainName::parse(h).unwrap()).collect();
+    let mut group = c.benchmark_group("domains");
+    group.throughput(Throughput::Elements(hosts.len() as u64));
+    group.bench_function("parse_5", |b| {
+        b.iter(|| {
+            for h in &hosts {
+                black_box(DomainName::parse(h).unwrap());
+            }
+        })
+    });
+    group.bench_function("esld_extract_5", |b| {
+        b.iter(|| {
+            for n in &names {
+                black_box(extract(n).esld());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_blocklist(c: &mut Criterion) {
+    // Ablation: trie matcher vs the naive linear-scan reference.
+    let lists = ats::embedded_lists();
+    let mut trie = DomainMatcher::new();
+    let mut naive = NaiveMatcher::new();
+    for list in &lists {
+        trie.add_list(&list.name, &list.domains);
+        naive.add_list(&list.name, &list.domains);
+    }
+    let probes: Vec<DomainName> = [
+        "stats.g.doubleclick.net",
+        "api.roblox.com",
+        "t.appsflyer.com",
+        "cdn.shopify.com",
+        "deep.sub.domain.clean-site.org",
+        "metrics.roblox.com",
+    ]
+    .iter()
+    .map(|h| DomainName::parse(h).unwrap())
+    .collect();
+    let mut group = c.benchmark_group("blocklist");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("trie_6_lookups", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(trie.is_blocked(p));
+            }
+        })
+    });
+    group.bench_function("naive_6_lookups", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(naive.is_blocked(p));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_llm, bench_domains, bench_blocklist);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end pipeline benchmarks: dataset generation and the full
+//! decode → extract → classify → flow pipeline at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diffaudit::pipeline::{ClassificationMode, Pipeline};
+use diffaudit_services::{generate_dataset, DatasetOptions};
+use std::hint::black_box;
+
+fn tiny_options() -> DatasetOptions {
+    DatasetOptions {
+        seed: 11,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.1,
+        services: vec!["tiktok".into()],
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("generate_tiktok_2pct", |b| {
+        b.iter(|| generate_dataset(black_box(&tiny_options())))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = generate_dataset(&tiny_options());
+    let oracle = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()));
+    let ensemble = Pipeline::paper_default(11);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("run_oracle_tiktok_2pct", |b| {
+        b.iter(|| oracle.run(black_box(&dataset)))
+    });
+    group.bench_function("run_ensemble_tiktok_2pct", |b| {
+        b.iter(|| ensemble.run(black_box(&dataset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! **Extension (paper §3.2.2)**: distillation of the LLM ensemble into a
+//! small local model.
+//!
+//! The ensemble labels the training split (90% of unique raw keys); a
+//! nearest-centroid TF-IDF student trains on the confident labels and is
+//! evaluated on the held-out 10% validation sample against ground truth —
+//! alongside the teacher itself — with wall-clock timings showing the
+//! speedup a local model buys.
+
+use diffaudit_bench::{labeled_examples, standard_dataset, BenchArgs};
+use diffaudit_classifier::validate::sample_fraction;
+use diffaudit_classifier::{
+    Classifier, ConfidenceAggregation, DistillOptions, DistilledModel, LabeledExample,
+    MajorityEnsemble,
+};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn accuracy(clf: &mut dyn Classifier, sample: &[LabeledExample]) -> f64 {
+    let correct = sample
+        .iter()
+        .filter(|e| clf.classify(&e.raw).map(|(c, _)| c) == Some(e.truth))
+        .count();
+    correct as f64 / sample.len() as f64
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[distill] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let dataset = standard_dataset(&args);
+    let examples = labeled_examples(&dataset.key_truth);
+    let holdout = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
+    let holdout_keys: HashSet<&str> = holdout.iter().map(|e| e.raw.as_str()).collect();
+    let train_keys: Vec<&str> = examples
+        .iter()
+        .map(|e| e.raw.as_str())
+        .filter(|k| !holdout_keys.contains(k))
+        .collect();
+    eprintln!(
+        "[distill] {} training keys, {} held-out validation keys",
+        train_keys.len(),
+        holdout.len()
+    );
+
+    // Teacher labels the training corpus once.
+    let teacher = MajorityEnsemble::new(args.seed, ConfidenceAggregation::Average);
+    let t0 = Instant::now();
+    let teacher_labels = teacher.classify_batch(&train_keys);
+    let teacher_label_time = t0.elapsed();
+
+    // Student trains on confident labels.
+    let t0 = Instant::now();
+    let mut student = DistilledModel::train(&teacher_labels, &DistillOptions::default());
+    let train_time = t0.elapsed();
+    eprintln!(
+        "[distill] student trained on {} confident labels across {} categories in {train_time:?}",
+        student.training_examples,
+        student.category_count()
+    );
+
+    // Evaluate both on the held-out sample.
+    let mut teacher_eval = MajorityEnsemble::new(args.seed, ConfidenceAggregation::Average);
+    let t0 = Instant::now();
+    let teacher_acc = accuracy(&mut teacher_eval, &holdout);
+    let teacher_time = t0.elapsed();
+    let t0 = Instant::now();
+    let student_acc = accuracy(&mut student, &holdout);
+    let student_time = t0.elapsed();
+
+    println!("Distillation (held-out n={}):", holdout.len());
+    println!(
+        "  teacher (majority-avg ensemble)  accuracy {:>5.1}%   eval {:?} (labeling the training set took {:?})",
+        teacher_acc * 100.0,
+        teacher_time,
+        teacher_label_time
+    );
+    println!(
+        "  student (TF-IDF nearest-centroid) accuracy {:>5.1}%   eval {:?}",
+        student_acc * 100.0,
+        student_time
+    );
+    let speedup = teacher_time.as_secs_f64() / student_time.as_secs_f64().max(1e-9);
+    println!("  student speedup: {speedup:.0}x; accuracy retained: {:.0}%",
+        student_acc / teacher_acc.max(1e-9) * 100.0);
+}

@@ -1,0 +1,13 @@
+//! Regenerates **Figure 3**: counts of third parties (ATS and non-ATS) sent
+//! linkable data types, per service and trace category.
+
+use diffaudit::report::render_fig3;
+use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[fig3] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let dataset = standard_dataset(&args);
+    let outcome = oracle_outcome(&dataset);
+    print!("{}", render_fig3(&outcome));
+}

@@ -1,0 +1,14 @@
+//! Regenerates **Figure 4**: sizes of the largest sets of linkable data
+//! types per service and trace category, plus the most common linkable set
+//! across the dataset.
+
+use diffaudit::report::render_fig4;
+use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[fig4] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let dataset = standard_dataset(&args);
+    let outcome = oracle_outcome(&dataset);
+    print!("{}", render_fig4(&outcome));
+}

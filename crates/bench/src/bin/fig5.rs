@@ -1,0 +1,14 @@
+//! Regenerates **Figure 5**: the top-10 most-contacted third-party ATS
+//! organizations that were sent linkable data, per service and trace
+//! category (the alluvial diagram's source data).
+
+use diffaudit::report::render_fig5;
+use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[fig5] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let dataset = standard_dataset(&args);
+    let outcome = oracle_outcome(&dataset);
+    print!("{}", render_fig5(&outcome, 10));
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table 1**: the network traffic dataset summary (unique
+//! domains, eSLDs, packets, TCP flows per service) plus the paper's headline
+//! statistics (§1: >440K outgoing packets, 964 domains, 326 eSLDs, 3,968
+//! unique data types, 5,508 unique data flows).
+//!
+//! Services are generated and processed one at a time so paper-scale runs
+//! stay within memory.
+
+use diffaudit::pipeline::{ClassificationMode, Pipeline};
+use diffaudit::stats::{summarize, DatasetSummary};
+use diffaudit_bench::BenchArgs;
+use diffaudit_services::{generate_dataset, DatasetOptions};
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[table1] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let options = DatasetOptions {
+        seed: args.seed,
+        volume_scale: args.scale,
+        mobile_pinned_fraction: 0.12,
+        services: Vec::new(),
+    };
+    let dataset = generate_dataset(&options);
+    eprintln!("[table1] running pipeline...");
+    let outcome = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
+    let summary: DatasetSummary = summarize(&outcome);
+    print!("{}", diffaudit::report::render_table1(&summary));
+}

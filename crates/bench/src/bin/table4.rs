@@ -1,0 +1,41 @@
+//! Regenerates **Table 4**: the per-service data-flow grid by age category
+//! and platform, and verifies it against the encoded ground truth (the
+//! spec's grid), printing any deviation. Also prints the audit findings for
+//! each service (the paper's §4.1.2 narrative, mechanized).
+
+use diffaudit::audit::audit_service;
+use diffaudit::diff::{ObservedGrid, PlatformDiff};
+use diffaudit::report::{render_findings, render_table4};
+use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
+use diffaudit_services::service_by_slug;
+
+fn main() {
+    let args = BenchArgs::parse();
+    eprintln!("[table4] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    let dataset = standard_dataset(&args);
+    let outcome = oracle_outcome(&dataset);
+    for service in &outcome.services {
+        let spec = service_by_slug(&service.slug).expect("known service");
+        let grid = ObservedGrid::build(service);
+        println!("{}", render_table4(service, &grid));
+        let (missing, spurious) = grid.compare_activity(&spec);
+        if missing.is_empty() && spurious.is_empty() {
+            println!("  [ground truth] grid activity matches the encoded spec exactly");
+        } else {
+            println!("  [ground truth] missing: {missing:?}");
+            println!("  [ground truth] spurious: {spurious:?}");
+        }
+        let diff = PlatformDiff::build(&grid);
+        println!(
+            "  platform differences: {} mobile-only cells (all third-party: {}), {} web-only cells",
+            diff.mobile_only.len(),
+            diff.mobile_only_all_third_party(),
+            diff.web_only.len()
+        );
+        println!("\n  Audit findings:");
+        for line in render_findings(&audit_service(service, &spec)).lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

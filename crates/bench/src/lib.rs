@@ -1,0 +1,102 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-bench
+//!
+//! The benchmark harness: one binary per paper table/figure (see
+//! `src/bin/`) plus Criterion micro-benchmarks (see `benches/`).
+//!
+//! Every binary accepts `--scale <f64>` (default 1.0 = paper-scale traffic)
+//! and `--seed <u64>` (default 2023). Regeneration commands are indexed in
+//! `DESIGN.md` and results are recorded in `EXPERIMENTS.md`.
+
+use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
+use diffaudit_classifier::LabeledExample;
+use diffaudit_ontology::DataTypeCategory;
+use diffaudit_services::{generate_dataset, DatasetOptions, GeneratedDataset};
+use std::collections::HashMap;
+
+/// Standard CLI options shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Traffic volume multiplier.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parse `--scale`/`--seed` from `std::env::args`; anything else prints
+    /// usage and exits.
+    pub fn parse() -> BenchArgs {
+        let mut args = BenchArgs {
+            scale: 1.0,
+            seed: 2023,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale requires a float"));
+                }
+                "--seed" => {
+                    args.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed requires an integer"));
+                }
+                other => usage(&format!("unknown flag {other:?}")),
+            }
+        }
+        args
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: <bin> [--scale <f64>] [--seed <u64>]");
+    std::process::exit(2);
+}
+
+/// Generate the standard dataset for these args.
+pub fn standard_dataset(args: &BenchArgs) -> GeneratedDataset {
+    generate_dataset(&DatasetOptions {
+        seed: args.seed,
+        volume_scale: args.scale,
+        mobile_pinned_fraction: 0.12,
+        services: Vec::new(),
+    })
+}
+
+/// Run the pipeline in oracle mode (ground-truth labels), which isolates
+/// flow-level results from classifier noise — the configuration used for
+/// the flow tables/figures, where the paper relied on its validated labels.
+pub fn oracle_outcome(dataset: &GeneratedDataset) -> AuditOutcome {
+    Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(dataset)
+}
+
+/// Run the pipeline in the paper's ensemble configuration.
+pub fn ensemble_outcome(dataset: &GeneratedDataset, seed: u64) -> AuditOutcome {
+    Pipeline::paper_default(seed).run(dataset)
+}
+
+/// Turn the dataset's key ground truth into labeled validation examples,
+/// sorted for determinism.
+pub fn labeled_examples(truth: &HashMap<String, DataTypeCategory>) -> Vec<LabeledExample> {
+    let mut examples: Vec<LabeledExample> = truth
+        .iter()
+        .map(|(raw, &t)| LabeledExample {
+            raw: raw.clone(),
+            truth: t,
+        })
+        .collect();
+    examples.sort_by(|a, b| a.raw.cmp(&b.raw));
+    examples
+}
+
+/// Format a fraction as the paper does (two decimals).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}

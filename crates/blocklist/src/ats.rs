@@ -1,0 +1,340 @@
+//! Embedded ATS block-list compilation.
+//!
+//! Stands in for the Firebog "Big Blocklist Collection" the paper used. Four
+//! lists in three formats mirror the real collection's shape: a large
+//! advertising hosts file, a tracking/telemetry domain list, an
+//! adblock-style mobile-SDK list, and a small measurement/metrics list that
+//! (deliberately) contains first-party analytics endpoints such as
+//! `metrics.roblox.com` — the mechanism by which the paper's "first party
+//! ATS" category arises.
+//!
+//! Every domain below is a genuine, widely block-listed ATS eSLD or
+//! endpoint; the compilation is a curated subset, not an exhaustive mirror.
+
+use crate::list::{BlockList, ListFormat};
+use crate::matcher::DomainMatcher;
+
+/// The advertising hosts list (hosts-file format).
+pub const ADS_HOSTS: &str = "\
+# Synthetic compilation: advertising (hosts format)
+0.0.0.0 doubleclick.net
+0.0.0.0 googlesyndication.com
+0.0.0.0 googleadservices.com
+0.0.0.0 googletagservices.com
+0.0.0.0 adservice.google.com
+0.0.0.0 amazon-adsystem.com
+0.0.0.0 pubmatic.com
+0.0.0.0 rubiconproject.com
+0.0.0.0 openx.net
+0.0.0.0 criteo.com
+0.0.0.0 criteo.net
+0.0.0.0 taboola.com
+0.0.0.0 outbrain.com
+0.0.0.0 adsrvr.org
+0.0.0.0 casalemedia.com
+0.0.0.0 indexww.com
+0.0.0.0 adnxs.com
+0.0.0.0 advertising.com
+0.0.0.0 adtechus.com
+0.0.0.0 yieldmo.com
+0.0.0.0 sharethrough.com
+0.0.0.0 triplelift.com
+0.0.0.0 lijit.com
+0.0.0.0 sovrn.com
+0.0.0.0 33across.com
+0.0.0.0 gumgum.com
+0.0.0.0 media.net
+0.0.0.0 smartadserver.com
+0.0.0.0 improvedigital.com
+0.0.0.0 teads.tv
+0.0.0.0 smaato.net
+0.0.0.0 inmobi.com
+0.0.0.0 applovin.com
+0.0.0.0 applvn.com
+0.0.0.0 unityads.unity3d.com
+0.0.0.0 ironsrc.mobi
+0.0.0.0 supersonicads.com
+0.0.0.0 vungle.com
+0.0.0.0 chartboost.com
+0.0.0.0 adcolony.com
+0.0.0.0 tapjoy.com
+0.0.0.0 fyber.com
+0.0.0.0 liftoff.io
+0.0.0.0 moloco.com
+0.0.0.0 bidmachine.io
+0.0.0.0 pangle.io
+0.0.0.0 pangleglobal.com
+0.0.0.0 mintegral.com
+0.0.0.0 mopub.com
+0.0.0.0 bttrack.com
+0.0.0.0 bidswitch.net
+0.0.0.0 contextweb.com
+0.0.0.0 sonobi.com
+0.0.0.0 spotxchange.com
+0.0.0.0 spotx.tv
+0.0.0.0 freewheel.tv
+0.0.0.0 stickyadstv.com
+0.0.0.0 tremorhub.com
+0.0.0.0 undertone.com
+0.0.0.0 verve.com
+0.0.0.0 zemanta.com
+0.0.0.0 yieldlab.net
+0.0.0.0 adform.net
+0.0.0.0 adition.com
+0.0.0.0 bidr.io
+0.0.0.0 emxdgt.com
+0.0.0.0 gammaplatform.com
+0.0.0.0 loopme.me
+0.0.0.0 mgid.com
+0.0.0.0 nativo.com
+0.0.0.0 revcontent.com
+0.0.0.0 seedtag.com
+0.0.0.0 stroeer.de
+0.0.0.0 yahoo-mbga.jp
+";
+
+/// The tracking / telemetry list (plain domain-list format).
+pub const TRACKERS_DOMAINS: &str = "\
+# Synthetic compilation: tracking & telemetry (domain list)
+google-analytics.com
+googletagmanager.com
+app-measurement.com
+crashlytics.com
+firebaseinstallations.googleapis.com
+scorecardresearch.com
+comscore.com
+quantserve.com
+quantcount.com
+chartbeat.com
+chartbeat.net
+hotjar.com
+mixpanel.com
+amplitude.com
+segment.io
+segment.com
+branch.io
+adjust.com
+adjust.io
+appsflyer.com
+kochava.com
+singular.net
+airbridge.io
+newrelic.com
+nr-data.net
+datadoghq.com
+sentry.io
+bugsnag.com
+loggly.com
+fullstory.com
+logrocket.com
+mouseflow.com
+clicktale.net
+crazyegg.com
+heapanalytics.com
+kissmetrics.com
+matomo.cloud
+snowplow.io
+braze.com
+appboy.com
+onesignal.com
+urbanairship.com
+leanplum.com
+clevertap.com
+moengage.com
+iterable.com
+optimizely.com
+launchdarkly.com
+split.io
+demdex.net
+omtrdc.net
+everesttech.net
+adobedtm.com
+bluekai.com
+addthis.com
+moatads.com
+krxd.net
+exelator.com
+eyeota.net
+crwdcntrl.net
+agkn.com
+id5-sync.com
+rlcdn.com
+liveramp.com
+imrworldwide.com
+flurry.com
+bat.bing.com
+clarity.ms
+mon.byteoversea.com
+analytics.tiktok.com
+business-api.tiktok.com
+graph.facebook.com
+connect.facebook.net
+pixel.facebook.com
+ads.pinterest.com
+ct.pinterest.com
+analytics.twitter.com
+static.ads-twitter.com
+sc-static.net
+tr.snapchat.com
+";
+
+/// The mobile-SDK / in-app list (adblock format).
+pub const MOBILE_ADBLOCK: &str = "\
+! Synthetic compilation: mobile SDK endpoints (adblock format)
+||ads.mopub.com^
+||ads.api.vungle.com^
+||api.tapjoy.com^
+||live.chartboost.com^
+||sdk.iad-03.braze.com^
+||api2.branch.io^
+||t.appsflyer.com^
+||events.appsflyer.com^
+||sdk-api.singular.net^
+||control.kochava.com^
+||app.adjust.com^
+||init.supersonicads.com^
+||outcome-ssp.supersonicads.com^
+||config.unityads.unity3d.com^
+||auction.unityads.unity3d.com^
+||ms.applvn.com^
+||rt.applovin.com^
+||api.moloco.com^
+||ads.bidmachine.io^
+||sdk.pangleglobal.com^
+||configure.rayjump.com^
+||analytics.mobile.yandex.net^
+||startup.mobile.yandex.net^
+||device-provisioning.googleapis.com^
+||firebaselogging-pa.googleapis.com^
+||pagead2.googlesyndication.com^
+||securepubads.g.doubleclick.net^
+||googleads.g.doubleclick.net^
+||stats.g.doubleclick.net^
+||ade.googlesyndication.com^
+||csi.gstatic.com^
+||infoevent.startappservice.com^
+||req.startappservice.com^
+||adc3-launch.adcolony.com^
+||events3alt.adcolony.com^
+||wd.adcolony.com^
+";
+
+/// The measurement/metrics list (domain list) — includes first-party
+/// analytics endpoints, which is how first-party domains can carry an ATS
+/// label (paper §4.2: 33 first-party ATS such as `metrics.roblox.com`,
+/// `browser.events.data.microsoft.com`, `clarity.ms`).
+pub const METRICS_DOMAINS: &str = "\
+# Synthetic compilation: measurement endpoints incl. first-party analytics
+metrics.roblox.com
+ephemeralcounters.api.roblox.com
+browser.events.data.microsoft.com
+mobile.events.data.microsoft.com
+self.events.data.microsoft.com
+vortex.data.microsoft.com
+watson.telemetry.microsoft.com
+events.gfe.nvidia.com
+telemetry.sdk.inmobi.com
+log.byteoversea.com
+mcs.tiktokv.us
+log-upload.duolingo.cn
+excess.duolingo.com
+events.redditmedia.com
+telemetry.dropbox.com
+metrics.api.drift.com
+stats.wp.com
+pixel.wp.com
+o.quizlet.com
+events.quizlet.com
+play.google.com/log
+";
+
+/// Build the embedded compilation (parsed lists).
+pub fn embedded_lists() -> Vec<BlockList> {
+    vec![
+        BlockList::parse("ads-hosts", ListFormat::Hosts, ADS_HOSTS),
+        BlockList::parse("trackers", ListFormat::DomainList, TRACKERS_DOMAINS),
+        BlockList::parse("mobile-sdk", ListFormat::Adblock, MOBILE_ADBLOCK),
+        BlockList::parse("metrics", ListFormat::DomainList, METRICS_DOMAINS),
+    ]
+}
+
+/// Build the compiled matcher over the embedded compilation.
+pub fn embedded_matcher() -> DomainMatcher {
+    let mut m = DomainMatcher::new();
+    for list in embedded_lists() {
+        m.add_list(&list.name, &list.domains);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffaudit_domains::DomainName;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn lists_parse_cleanly() {
+        for list in embedded_lists() {
+            assert!(
+                list.rejected.len() <= 1,
+                "list {} rejected {} lines: {:?}",
+                list.name,
+                list.rejected.len(),
+                list.rejected
+            );
+            assert!(!list.is_empty(), "list {} empty", list.name);
+        }
+    }
+
+    #[test]
+    fn compilation_size() {
+        let total: usize = embedded_lists().iter().map(|l| l.len()).sum();
+        assert!(total >= 200, "expected ≥200 entries, got {total}");
+    }
+
+    #[test]
+    fn canonical_ats_blocked() {
+        let m = embedded_matcher();
+        for dom in [
+            "doubleclick.net",
+            "stats.g.doubleclick.net",
+            "google-analytics.com",
+            "amazon-adsystem.com",
+            "pubmatic.com",
+            "t.appsflyer.com",
+            "analytics.tiktok.com",
+        ] {
+            assert!(m.is_blocked(&d(dom)), "{dom} should be ATS");
+        }
+    }
+
+    #[test]
+    fn first_party_analytics_blocked_but_parents_clean() {
+        let m = embedded_matcher();
+        assert!(m.is_blocked(&d("metrics.roblox.com")));
+        assert!(!m.is_blocked(&d("roblox.com")));
+        assert!(!m.is_blocked(&d("www.roblox.com")));
+        assert!(m.is_blocked(&d("browser.events.data.microsoft.com")));
+        assert!(!m.is_blocked(&d("minecraft.net")));
+    }
+
+    #[test]
+    fn benign_domains_clean() {
+        let m = embedded_matcher();
+        for dom in [
+            "duolingo.com",
+            "quizlet.com",
+            "youtube.com",
+            "tiktok.com",
+            "cloudfront.net",
+            "googleapis.com",
+            "vimeocdn.com",
+        ] {
+            assert!(!m.is_blocked(&d(dom)), "{dom} should not be ATS");
+        }
+    }
+}

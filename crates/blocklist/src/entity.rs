@@ -1,0 +1,292 @@
+//! Domain-ownership resolution (Tracker Radar + whois simulation).
+//!
+//! The paper determines the parent organization of each contacted eSLD
+//! "using whois and the DuckDuckGo Tracker Radar dataset if possible"
+//! (§3.2.3). This module embeds an equivalent dataset: each organization
+//! carries its owned eSLDs, a coarse category tag, and a Tracker-Radar-style
+//! fingerprinting score (0–3). eSLDs known only through the whois fallback
+//! are tagged with [`OwnershipSource::Whois`]; everything else resolves as
+//! [`OwnershipSource::TrackerRadar`] or [`OwnershipSource::Unknown`] — the
+//! paper likewise could not determine owners for some domains.
+
+use std::collections::HashMap;
+
+/// Where an ownership fact came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OwnershipSource {
+    /// The Tracker-Radar-style embedded dataset.
+    TrackerRadar,
+    /// The whois fallback table.
+    Whois,
+}
+
+/// An organization that owns one or more eSLDs.
+#[derive(Debug, Clone)]
+pub struct Organization {
+    /// Display name, e.g. `"Google LLC"`.
+    pub name: &'static str,
+    /// Coarse category, e.g. `"advertising"`, `"cdn"`, `"first-party"`.
+    pub category: &'static str,
+    /// Tracker-Radar-style fingerprinting likelihood, 0 (none) – 3 (high).
+    pub fingerprinting: u8,
+}
+
+/// The compiled ownership database.
+#[derive(Debug)]
+pub struct EntityDb {
+    orgs: Vec<Organization>,
+    /// eSLD → (org index, source).
+    by_esld: HashMap<&'static str, (usize, OwnershipSource)>,
+}
+
+/// `(org, category, fingerprinting, tracker-radar eSLDs, whois-only eSLDs)`
+type OrgSpec = (
+    &'static str,
+    &'static str,
+    u8,
+    &'static [&'static str],
+    &'static [&'static str],
+);
+
+/// The embedded organization table. Sources: the organizations named in the
+/// paper (Fig. 5 shows Google, Pubmatic, Amazon, Adobe, Microsoft among 32)
+/// plus the long tail any real capture of these six services contacts.
+const ORGS: &[OrgSpec] = &[
+    ("Google LLC", "advertising", 3,
+     &["google.com", "googleapis.com", "gstatic.com", "doubleclick.net", "google-analytics.com",
+       "googletagmanager.com", "googlesyndication.com", "googleadservices.com",
+       "googletagservices.com", "googlevideo.com", "youtube.com", "ytimg.com", "ggpht.com",
+       "googleusercontent.com", "app-measurement.com", "crashlytics.com", "firebaseio.com",
+       "recaptcha.net", "gvt1.com", "gvt2.com", "withgoogle.com", "youtubekids.com"],
+     &["google.ad", "googlesource.com"]),
+    ("Microsoft Corporation", "first-party", 2,
+     &["microsoft.com", "minecraft.net", "mojang.com", "xboxlive.com", "bing.com", "clarity.ms",
+       "live.com", "office.com", "azurewebsites.net", "azure.com", "msecnd.net", "azureedge.net",
+       "microsoftonline.com", "skype.com", "msn.com"],
+     &["minecraftservices.com", "xbox.com"]),
+    ("Amazon.com, Inc.", "cdn", 1,
+     &["amazon.com", "amazon-adsystem.com", "amazonaws.com", "cloudfront.net", "awsstatic.com",
+       "media-amazon.com", "ssl-images-amazon.com", "a2z.com", "amazontrust.com"],
+     &["amazon.dev"]),
+    ("Adobe Inc.", "analytics", 2,
+     &["adobe.com", "omtrdc.net", "demdex.net", "everesttech.net", "adobedtm.com", "typekit.net",
+       "adobelogin.com", "2o7.net"],
+     &[]),
+    ("PubMatic, Inc.", "advertising", 2, &["pubmatic.com"], &[]),
+    ("Roblox Corporation", "first-party", 0,
+     &["roblox.com", "rbxcdn.com", "rbx.com", "robloxlabs.com"], &["rbxtrk.com"]),
+    ("ByteDance Ltd.", "first-party", 2,
+     &["tiktok.com", "tiktokcdn.com", "tiktokv.com", "tiktokv.us", "byteoversea.com",
+       "ibytedtos.com", "ibyteimg.com", "musical.ly", "pangle.io", "pangleglobal.com",
+       "tiktokcdn-us.com", "ttwstatic.com"],
+     &["bytedance.com"]),
+    ("Duolingo, Inc.", "first-party", 0,
+     &["duolingo.com", "duolingo.cn"], &["duolingo.dev"]),
+    ("Quizlet, Inc.", "first-party", 0, &["quizlet.com"], &["quizlet.dev"]),
+    ("Meta Platforms, Inc.", "advertising", 3,
+     &["facebook.com", "facebook.net", "fbcdn.net", "instagram.com", "whatsapp.com"], &[]),
+    ("Criteo SA", "advertising", 3, &["criteo.com", "criteo.net"], &[]),
+    ("The Trade Desk", "advertising", 2, &["adsrvr.org"], &[]),
+    ("Magnite, Inc.", "advertising", 2, &["rubiconproject.com", "magnite.com"], &[]),
+    ("Index Exchange", "advertising", 2, &["casalemedia.com", "indexww.com"], &[]),
+    ("OpenX Technologies", "advertising", 2, &["openx.net"], &[]),
+    ("Xandr (AT&T)", "advertising", 2, &["adnxs.com"], &[]),
+    ("Yahoo (Verizon Media)", "advertising", 2,
+     &["yahoo.com", "advertising.com", "flurry.com", "adtechus.com"], &[]),
+    ("Taboola", "advertising", 2, &["taboola.com"], &[]),
+    ("Outbrain", "advertising", 2, &["outbrain.com", "zemanta.com"], &[]),
+    ("Comscore, Inc.", "analytics", 2, &["scorecardresearch.com", "comscore.com"], &[]),
+    ("Quantcast", "analytics", 2, &["quantserve.com", "quantcount.com"], &[]),
+    ("Oracle (BlueKai/Moat)", "analytics", 2,
+     &["bluekai.com", "addthis.com", "moatads.com", "krxd.net", "exelator.com"], &[]),
+    ("Nielsen", "analytics", 2, &["imrworldwide.com"], &[]),
+    ("LiveRamp", "identity", 3, &["rlcdn.com", "liveramp.com"], &[]),
+    ("Lotame", "identity", 2, &["crwdcntrl.net"], &[]),
+    ("Neustar", "identity", 2, &["agkn.com"], &[]),
+    ("ID5", "identity", 3, &["id5-sync.com"], &[]),
+    ("Hotjar", "analytics", 2, &["hotjar.com"], &[]),
+    ("Mixpanel", "analytics", 1, &["mixpanel.com"], &[]),
+    ("Amplitude", "analytics", 1, &["amplitude.com"], &[]),
+    ("Twilio (Segment)", "analytics", 1, &["segment.io", "segment.com"], &[]),
+    ("Branch Metrics", "attribution", 2, &["branch.io"], &[]),
+    ("Adjust GmbH", "attribution", 2, &["adjust.com", "adjust.io"], &[]),
+    ("AppsFlyer", "attribution", 2, &["appsflyer.com"], &[]),
+    ("Kochava", "attribution", 2, &["kochava.com"], &[]),
+    ("Singular", "attribution", 2, &["singular.net"], &[]),
+    ("New Relic", "monitoring", 1, &["newrelic.com", "nr-data.net"], &[]),
+    ("Datadog", "monitoring", 1, &["datadoghq.com"], &[]),
+    ("Sentry", "monitoring", 0, &["sentry.io"], &[]),
+    ("Bugsnag", "monitoring", 0, &["bugsnag.com"], &[]),
+    ("FullStory", "analytics", 2, &["fullstory.com"], &[]),
+    ("LogRocket", "analytics", 1, &["logrocket.com"], &[]),
+    ("Braze", "engagement", 1, &["braze.com", "appboy.com"], &[]),
+    ("OneSignal", "engagement", 1, &["onesignal.com"], &[]),
+    ("Airship", "engagement", 1, &["urbanairship.com"], &[]),
+    ("Leanplum", "engagement", 1, &["leanplum.com"], &[]),
+    ("CleverTap", "engagement", 1, &["clevertap.com"], &[]),
+    ("Optimizely", "experimentation", 1, &["optimizely.com"], &[]),
+    ("LaunchDarkly", "experimentation", 0, &["launchdarkly.com"], &[]),
+    ("AppLovin", "advertising", 2, &["applovin.com", "applvn.com"], &[]),
+    ("Unity Technologies", "advertising", 2, &["unity3d.com", "unityads.unity3d.com"], &[]),
+    ("ironSource", "advertising", 2, &["ironsrc.mobi", "supersonicads.com"], &[]),
+    ("Digital Turbine (AdColony)", "advertising", 2, &["adcolony.com"], &[]),
+    ("Vungle", "advertising", 2, &["vungle.com"], &[]),
+    ("Chartboost", "advertising", 2, &["chartboost.com"], &[]),
+    ("Tapjoy", "advertising", 2, &["tapjoy.com"], &[]),
+    ("Fyber", "advertising", 2, &["fyber.com"], &[]),
+    ("Liftoff", "advertising", 2, &["liftoff.io"], &[]),
+    ("Moloco", "advertising", 2, &["moloco.com"], &[]),
+    ("BidMachine", "advertising", 2, &["bidmachine.io"], &[]),
+    ("Mintegral", "advertising", 2, &["mintegral.com", "rayjump.com"], &[]),
+    ("InMobi", "advertising", 2, &["inmobi.com"], &[]),
+    ("Smaato", "advertising", 2, &["smaato.net"], &[]),
+    ("MoPub (Twitter)", "advertising", 2, &["mopub.com"], &[]),
+    ("Teads", "advertising", 2, &["teads.tv"], &[]),
+    ("Media.net", "advertising", 2, &["media.net"], &[]),
+    ("GumGum", "advertising", 2, &["gumgum.com"], &[]),
+    ("Sovrn Holdings", "advertising", 2, &["lijit.com", "sovrn.com"], &[]),
+    ("33Across", "advertising", 2, &["33across.com"], &[]),
+    ("Sharethrough", "advertising", 2, &["sharethrough.com"], &[]),
+    ("TripleLift", "advertising", 2, &["triplelift.com"], &[]),
+    ("Smart AdServer", "advertising", 2, &["smartadserver.com"], &[]),
+    ("Improve Digital", "advertising", 2, &["improvedigital.com"], &[]),
+    ("Adform", "advertising", 2, &["adform.net"], &[]),
+    ("BidSwitch (IPONWEB)", "advertising", 2, &["bidswitch.net"], &[]),
+    ("PulsePoint", "advertising", 2, &["contextweb.com"], &[]),
+    ("Sonobi", "advertising", 2, &["sonobi.com"], &[]),
+    ("FreeWheel (Comcast)", "advertising", 2,
+     &["freewheel.tv", "stickyadstv.com", "spotxchange.com", "spotx.tv"], &[]),
+    ("Cloudflare, Inc.", "cdn", 0, &["cloudflare.com", "cdnjs.com"], &[]),
+    ("Akamai Technologies", "cdn", 0,
+     &["akamai.net", "akamaized.net", "akamaihd.net", "akstat.io"], &[]),
+    ("Fastly, Inc.", "cdn", 0, &["fastly.net", "fastlylb.net"], &[]),
+    ("Vimeo, Inc.", "media", 0, &["vimeo.com", "vimeocdn.com"], &[]),
+    ("Snap Inc.", "advertising", 2, &["snapchat.com", "sc-static.net"], &[]),
+    ("Twitter, Inc.", "advertising", 2, &["twitter.com", "twimg.com", "ads-twitter.com"], &[]),
+    ("Pinterest", "advertising", 2, &["pinterest.com", "pinimg.com"], &[]),
+    ("Chartbeat", "analytics", 1, &["chartbeat.com", "chartbeat.net"], &[]),
+    ("Yandex", "advertising", 2, &["yandex.net", "yandex.ru"], &[]),
+    ("StartApp", "advertising", 2, &["startappservice.com"], &[]),
+    ("Automattic (WordPress)", "cdn", 0, &["wp.com", "wordpress.com"], &[]),
+    ("MGID", "advertising", 2, &["mgid.com"], &[]),
+    ("Nativo", "advertising", 2, &["nativo.com"], &[]),
+    ("RevContent", "advertising", 2, &["revcontent.com"], &[]),
+    ("Seedtag", "advertising", 2, &["seedtag.com"], &[]),
+    ("LoopMe", "advertising", 2, &["loopme.me"], &[]),
+    ("EMX Digital", "advertising", 2, &["emxdgt.com"], &[]),
+];
+
+impl EntityDb {
+    /// Build the embedded database.
+    pub fn embedded() -> &'static EntityDb {
+        use std::sync::OnceLock;
+        static DB: OnceLock<EntityDb> = OnceLock::new();
+        DB.get_or_init(|| {
+            let mut orgs = Vec::with_capacity(ORGS.len());
+            let mut by_esld = HashMap::new();
+            for (i, (name, category, fp, radar, whois)) in ORGS.iter().enumerate() {
+                orgs.push(Organization {
+                    name,
+                    category,
+                    fingerprinting: *fp,
+                });
+                for d in *radar {
+                    by_esld.insert(*d, (i, OwnershipSource::TrackerRadar));
+                }
+                for d in *whois {
+                    by_esld.insert(*d, (i, OwnershipSource::Whois));
+                }
+            }
+            EntityDb { orgs, by_esld }
+        })
+    }
+
+    /// Resolve the owner of an eSLD.
+    pub fn owner_of(&self, esld: &str) -> Option<(&Organization, OwnershipSource)> {
+        self.by_esld
+            .get(esld)
+            .map(|&(idx, src)| (&self.orgs[idx], src))
+    }
+
+    /// Organization name for an eSLD, if known.
+    pub fn owner_name(&self, esld: &str) -> Option<&'static str> {
+        self.owner_of(esld).map(|(org, _)| org.name)
+    }
+
+    /// `true` when both eSLDs resolve to the same organization.
+    pub fn same_owner(&self, a: &str, b: &str) -> bool {
+        match (self.by_esld.get(a), self.by_esld.get(b)) {
+            (Some((ia, _)), Some((ib, _))) => ia == ib,
+            _ => false,
+        }
+    }
+
+    /// All organizations.
+    pub fn organizations(&self) -> &[Organization] {
+        &self.orgs
+    }
+
+    /// Number of mapped eSLDs.
+    pub fn domain_count(&self) -> usize {
+        self.by_esld.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_owners() {
+        let db = EntityDb::embedded();
+        assert_eq!(db.owner_name("doubleclick.net"), Some("Google LLC"));
+        assert_eq!(db.owner_name("youtube.com"), Some("Google LLC"));
+        assert_eq!(db.owner_name("minecraft.net"), Some("Microsoft Corporation"));
+        assert_eq!(db.owner_name("cloudfront.net"), Some("Amazon.com, Inc."));
+        assert_eq!(db.owner_name("tiktokcdn.com"), Some("ByteDance Ltd."));
+        assert_eq!(db.owner_name("unknown-domain.xyz"), None);
+    }
+
+    #[test]
+    fn ownership_sources() {
+        let db = EntityDb::embedded();
+        let (_, src) = db.owner_of("doubleclick.net").unwrap();
+        assert_eq!(src, OwnershipSource::TrackerRadar);
+        let (_, src) = db.owner_of("xbox.com").unwrap();
+        assert_eq!(src, OwnershipSource::Whois);
+    }
+
+    #[test]
+    fn same_owner_logic() {
+        let db = EntityDb::embedded();
+        assert!(db.same_owner("youtube.com", "doubleclick.net"));
+        assert!(db.same_owner("minecraft.net", "clarity.ms"));
+        assert!(!db.same_owner("roblox.com", "tiktok.com"));
+        assert!(!db.same_owner("roblox.com", "nonexistent.example"));
+    }
+
+    #[test]
+    fn database_scale() {
+        let db = EntityDb::embedded();
+        assert!(db.organizations().len() >= 80, "orgs={}", db.organizations().len());
+        assert!(db.domain_count() >= 200, "domains={}", db.domain_count());
+    }
+
+    #[test]
+    fn no_esld_owned_twice() {
+        // HashMap insertion would silently overwrite; verify the source data
+        // has no duplicates by recounting.
+        let mut count = 0;
+        for (_, _, _, radar, whois) in ORGS {
+            count += radar.len() + whois.len();
+        }
+        assert_eq!(count, EntityDb::embedded().domain_count(), "duplicate eSLD in ORGS");
+    }
+
+    #[test]
+    fn fingerprinting_scores_in_range() {
+        for org in EntityDb::embedded().organizations() {
+            assert!(org.fingerprinting <= 3, "{} score {}", org.name, org.fingerprinting);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-blocklist
+//!
+//! Advertising & tracking service (ATS) identification and destination
+//! entity resolution — the substrate behind DiffAudit's destination analysis
+//! (§3.2.3).
+//!
+//! The paper identifies ATS destinations with the Firebog block-list
+//! collection ("if any of the block lists results in a block decision for a
+//! particular domain, we label that domain as an ATS") and resolves domain
+//! ownership with `whois` and the DuckDuckGo Tracker Radar dataset. This
+//! crate provides the same capabilities offline:
+//!
+//! - [`list`] — parsers for the three common list formats (hosts files,
+//!   plain domain lists, adblock-style `||domain^` rules);
+//! - [`matcher`] — a reversed-label suffix trie for fast FQDN matching, plus
+//!   a naive reference matcher used in differential tests;
+//! - [`ats`] — an embedded compilation of real-world ATS domains standing in
+//!   for the Firebog collection;
+//! - [`entity`] — an embedded domain→organization dataset standing in for
+//!   Tracker Radar, with a whois-style fallback table;
+//! - [`party`] — the four-way destination classification the paper uses:
+//!   first/third party × ATS/non-ATS.
+
+pub mod ats;
+pub mod entity;
+pub mod list;
+pub mod matcher;
+pub mod party;
+
+pub use entity::{EntityDb, Organization, OwnershipSource};
+pub use list::{BlockList, ListFormat};
+pub use matcher::DomainMatcher;
+pub use party::{DestinationClass, PartyClassifier};

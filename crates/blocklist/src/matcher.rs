@@ -1,0 +1,239 @@
+//! Fast domain matching via a reversed-label suffix trie.
+//!
+//! An entry `doubleclick.net` must match `doubleclick.net` itself and every
+//! subdomain (`stats.g.doubleclick.net`), the Pi-hole exact+subdomain
+//! semantics used for DNS-level blocking. The trie is keyed on labels in
+//! reverse order (`net` → `doubleclick`), so a lookup walks at most
+//! `label_count` nodes regardless of list size.
+//!
+//! [`NaiveMatcher`] implements the same semantics by linear scan and exists
+//! solely as a differential-testing oracle (and as the baseline for the
+//! blocklist benchmark).
+
+use diffaudit_domains::DomainName;
+use std::collections::HashMap;
+
+#[derive(Debug, Default)]
+struct Node {
+    children: HashMap<String, Node>,
+    /// Indices (into the matcher's provenance table) of lists whose entry
+    /// terminates at this node.
+    terminal_lists: Vec<usize>,
+}
+
+/// A compiled multi-list matcher with provenance: a match reports *which*
+/// lists blocked the domain, mirroring the paper's "if any of the block
+/// lists results in a block decision … we label that domain as an ATS".
+#[derive(Debug)]
+pub struct DomainMatcher {
+    root: Node,
+    list_names: Vec<String>,
+    entry_count: usize,
+}
+
+impl DomainMatcher {
+    /// Build an empty matcher.
+    pub fn new() -> Self {
+        Self {
+            root: Node::default(),
+            list_names: Vec::new(),
+            entry_count: 0,
+        }
+    }
+
+    /// Add a named list of domains. Returns the list's provenance index.
+    pub fn add_list(&mut self, name: &str, domains: &[DomainName]) -> usize {
+        let idx = self.list_names.len();
+        self.list_names.push(name.to_string());
+        for d in domains {
+            let mut node = &mut self.root;
+            for label in d.labels().rev() {
+                node = node.children.entry(label.to_string()).or_default();
+            }
+            if !node.terminal_lists.contains(&idx) {
+                node.terminal_lists.push(idx);
+                self.entry_count += 1;
+            }
+        }
+        idx
+    }
+
+    /// `true` if any list blocks `name` (exact or parent-domain entry).
+    pub fn is_blocked(&self, name: &DomainName) -> bool {
+        self.first_match(name).is_some()
+    }
+
+    /// The first (lowest provenance index) list that blocks `name`, if any.
+    pub fn first_match(&self, name: &DomainName) -> Option<&str> {
+        let mut best: Option<usize> = None;
+        let mut node = &self.root;
+        for label in name.labels().rev() {
+            match node.children.get(label) {
+                Some(child) => {
+                    node = child;
+                    if let Some(&idx) = node.terminal_lists.first() {
+                        best = Some(best.map_or(idx, |b: usize| b.min(idx)));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|i| self.list_names[i].as_str())
+    }
+
+    /// All lists that block `name` (deduplicated, in provenance order).
+    pub fn all_matches(&self, name: &DomainName) -> Vec<&str> {
+        let mut hits: Vec<usize> = Vec::new();
+        let mut node = &self.root;
+        for label in name.labels().rev() {
+            match node.children.get(label) {
+                Some(child) => {
+                    node = child;
+                    for &idx in &node.terminal_lists {
+                        if !hits.contains(&idx) {
+                            hits.push(idx);
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+        hits.sort_unstable();
+        hits.into_iter().map(|i| self.list_names[i].as_str()).collect()
+    }
+
+    /// Total distinct (entry, list) pairs compiled.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Names of the compiled lists.
+    pub fn list_names(&self) -> &[String] {
+        &self.list_names
+    }
+}
+
+impl Default for DomainMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reference implementation: linear scan with string suffix checks. Used by
+/// differential tests and the `blocklist_matching` benchmark baseline.
+#[derive(Debug, Default)]
+pub struct NaiveMatcher {
+    entries: Vec<(DomainName, String)>,
+}
+
+impl NaiveMatcher {
+    /// Build an empty matcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named list of domains.
+    pub fn add_list(&mut self, name: &str, domains: &[DomainName]) {
+        for d in domains {
+            self.entries.push((d.clone(), name.to_string()));
+        }
+    }
+
+    /// `true` if any entry equals `name` or is a parent domain of it.
+    pub fn is_blocked(&self, name: &DomainName) -> bool {
+        self.entries.iter().any(|(d, _)| name.is_within(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    fn sample_matcher() -> DomainMatcher {
+        let mut m = DomainMatcher::new();
+        m.add_list("list-a", &[d("doubleclick.net"), d("ads.example.com")]);
+        m.add_list("list-b", &[d("doubleclick.net"), d("tracker.io")]);
+        m
+    }
+
+    #[test]
+    fn exact_and_subdomain_match() {
+        let m = sample_matcher();
+        assert!(m.is_blocked(&d("doubleclick.net")));
+        assert!(m.is_blocked(&d("stats.g.doubleclick.net")));
+        assert!(m.is_blocked(&d("ads.example.com")));
+        assert!(m.is_blocked(&d("x.ads.example.com")));
+    }
+
+    #[test]
+    fn non_matches() {
+        let m = sample_matcher();
+        assert!(!m.is_blocked(&d("example.com")), "parent of an entry is not blocked");
+        assert!(!m.is_blocked(&d("notdoubleclick.net")));
+        assert!(!m.is_blocked(&d("safe.org")));
+    }
+
+    #[test]
+    fn provenance() {
+        let m = sample_matcher();
+        assert_eq!(m.first_match(&d("doubleclick.net")), Some("list-a"));
+        assert_eq!(
+            m.all_matches(&d("g.doubleclick.net")),
+            vec!["list-a", "list-b"]
+        );
+        assert_eq!(m.all_matches(&d("tracker.io")), vec!["list-b"]);
+        assert!(m.all_matches(&d("safe.org")).is_empty());
+    }
+
+    #[test]
+    fn nested_entries_both_match() {
+        let mut m = DomainMatcher::new();
+        m.add_list("outer", &[d("example.com")]);
+        m.add_list("inner", &[d("ads.example.com")]);
+        assert_eq!(
+            m.all_matches(&d("x.ads.example.com")),
+            vec!["outer", "inner"]
+        );
+    }
+
+    #[test]
+    fn entry_count_deduplicates_within_list() {
+        let mut m = DomainMatcher::new();
+        m.add_list("dup", &[d("a.com"), d("a.com"), d("b.com")]);
+        assert_eq!(m.entry_count(), 2);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let entries_a = [d("doubleclick.net"), d("ads.example.com"), d("metrics.roblox.com")];
+        let entries_b = [d("tracker.io"), d("example.com")];
+        let mut fast = DomainMatcher::new();
+        let mut naive = NaiveMatcher::new();
+        fast.add_list("a", &entries_a);
+        fast.add_list("b", &entries_b);
+        naive.add_list("a", &entries_a);
+        naive.add_list("b", &entries_b);
+        for probe in [
+            "doubleclick.net",
+            "x.doubleclick.net",
+            "roblox.com",
+            "metrics.roblox.com",
+            "a.metrics.roblox.com",
+            "example.com",
+            "deep.sub.example.com",
+            "unrelated.org",
+            "net",
+        ] {
+            let name = d(probe);
+            assert_eq!(
+                fast.is_blocked(&name),
+                naive.is_blocked(&name),
+                "divergence on {probe}"
+            );
+        }
+    }
+}

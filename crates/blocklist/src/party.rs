@@ -1,0 +1,229 @@
+//! First/third-party × ATS destination classification.
+//!
+//! The paper's destination analysis (§3.2.3) labels every contacted FQDN as
+//! one of four classes: first party, first party ATS, third party, or third
+//! party ATS. A domain is first-party when it matches the audited service's
+//! own domains *or* when entity resolution shows the same parent
+//! organization (e.g. `clarity.ms` is first-party for Minecraft because
+//! Microsoft owns both). The ATS bit comes from the block lists and is
+//! orthogonal to the party bit.
+
+use crate::ats;
+use crate::entity::EntityDb;
+use crate::matcher::DomainMatcher;
+use diffaudit_domains::{extract, DomainName};
+
+/// The four destination classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DestinationClass {
+    /// Same organization as the service, not on ATS lists.
+    FirstParty,
+    /// Same organization as the service, on ATS lists (e.g. first-party
+    /// analytics endpoints).
+    FirstPartyAts,
+    /// Different organization, not on ATS lists (e.g. CDNs).
+    ThirdParty,
+    /// Different organization, on ATS lists.
+    ThirdPartyAts,
+}
+
+impl DestinationClass {
+    /// All classes in display order.
+    pub const ALL: [DestinationClass; 4] = [
+        DestinationClass::FirstParty,
+        DestinationClass::FirstPartyAts,
+        DestinationClass::ThirdParty,
+        DestinationClass::ThirdPartyAts,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DestinationClass::FirstParty => "1st Party",
+            DestinationClass::FirstPartyAts => "1st Party ATS",
+            DestinationClass::ThirdParty => "3rd Party",
+            DestinationClass::ThirdPartyAts => "3rd Party ATS",
+        }
+    }
+
+    /// `true` for the two third-party classes.
+    pub fn is_third_party(&self) -> bool {
+        matches!(
+            self,
+            DestinationClass::ThirdParty | DestinationClass::ThirdPartyAts
+        )
+    }
+
+    /// `true` for the two ATS classes.
+    pub fn is_ats(&self) -> bool {
+        matches!(
+            self,
+            DestinationClass::FirstPartyAts | DestinationClass::ThirdPartyAts
+        )
+    }
+}
+
+impl std::fmt::Display for DestinationClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies destinations for one audited service.
+pub struct PartyClassifier {
+    /// The service's own domains (exact or parent matches are first-party).
+    service_domains: Vec<DomainName>,
+    /// The service's organization name in the entity DB, if known.
+    service_org: Option<&'static str>,
+    matcher: DomainMatcher,
+    entities: &'static EntityDb,
+}
+
+impl PartyClassifier {
+    /// Build a classifier for a service identified by its own domains, using
+    /// the embedded ATS compilation and entity database.
+    pub fn new(service_domains: &[&str]) -> Self {
+        Self::with_matcher(service_domains, ats::embedded_matcher())
+    }
+
+    /// Build with a custom ATS matcher (e.g. freshly parsed lists).
+    pub fn with_matcher(service_domains: &[&str], matcher: DomainMatcher) -> Self {
+        let entities = EntityDb::embedded();
+        let domains: Vec<DomainName> = service_domains
+            .iter()
+            .map(|d| DomainName::parse(d).expect("invalid service domain"))
+            .collect();
+        // Service org: resolve from the first domain whose eSLD is known.
+        let service_org = domains.iter().find_map(|d| {
+            let esld = extract(d).esld()?;
+            entities.owner_name(&esld)
+        });
+        Self {
+            service_domains: domains,
+            service_org,
+            matcher,
+            entities,
+        }
+    }
+
+    /// The service's resolved organization, if any.
+    pub fn service_org(&self) -> Option<&'static str> {
+        self.service_org
+    }
+
+    /// `true` when `fqdn` belongs to the audited service (domain match or
+    /// same parent organization).
+    pub fn is_first_party(&self, fqdn: &DomainName) -> bool {
+        if self.service_domains.iter().any(|sd| fqdn.is_within(sd)) {
+            return true;
+        }
+        match (self.service_org, extract(fqdn).esld()) {
+            (Some(org), Some(esld)) => self.entities.owner_name(&esld) == Some(org),
+            _ => false,
+        }
+    }
+
+    /// `true` when `fqdn` hits any ATS block list.
+    pub fn is_ats(&self, fqdn: &DomainName) -> bool {
+        self.matcher.is_blocked(fqdn)
+    }
+
+    /// Full four-way classification.
+    pub fn classify(&self, fqdn: &DomainName) -> DestinationClass {
+        match (self.is_first_party(fqdn), self.is_ats(fqdn)) {
+            (true, false) => DestinationClass::FirstParty,
+            (true, true) => DestinationClass::FirstPartyAts,
+            (false, false) => DestinationClass::ThirdParty,
+            (false, true) => DestinationClass::ThirdPartyAts,
+        }
+    }
+
+    /// The owning organization of `fqdn`, if resolvable.
+    pub fn owner_of(&self, fqdn: &DomainName) -> Option<&'static str> {
+        let esld = extract(fqdn).esld()?;
+        self.entities.owner_name(&esld)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn roblox_destinations() {
+        let c = PartyClassifier::new(&["roblox.com", "rbxcdn.com"]);
+        assert_eq!(c.classify(&d("www.roblox.com")), DestinationClass::FirstParty);
+        assert_eq!(c.classify(&d("metrics.roblox.com")), DestinationClass::FirstPartyAts);
+        assert_eq!(c.classify(&d("c0.rbxcdn.com")), DestinationClass::FirstParty);
+        assert_eq!(c.classify(&d("d1.cloudfront.net")), DestinationClass::ThirdParty);
+        assert_eq!(c.classify(&d("stats.g.doubleclick.net")), DestinationClass::ThirdPartyAts);
+    }
+
+    #[test]
+    fn org_level_first_party() {
+        // clarity.ms is Microsoft-owned: first-party (ATS) for Minecraft.
+        let c = PartyClassifier::new(&["minecraft.net"]);
+        assert_eq!(c.service_org(), Some("Microsoft Corporation"));
+        assert_eq!(c.classify(&d("www.clarity.ms")), DestinationClass::FirstPartyAts);
+        assert_eq!(
+            c.classify(&d("browser.events.data.microsoft.com")),
+            DestinationClass::FirstPartyAts
+        );
+        assert_eq!(c.classify(&d("login.live.com")), DestinationClass::FirstParty);
+    }
+
+    #[test]
+    fn youtube_google_ownership() {
+        // For YouTube, Google ATS domains are *first-party* ATS — the
+        // paper's explanation for YouTube contacting no third parties.
+        let c = PartyClassifier::new(&["youtube.com", "youtubekids.com"]);
+        assert_eq!(c.service_org(), Some("Google LLC"));
+        assert_eq!(
+            c.classify(&d("www.google-analytics.com")),
+            DestinationClass::FirstPartyAts
+        );
+        assert_eq!(
+            c.classify(&d("googleads.g.doubleclick.net")),
+            DestinationClass::FirstPartyAts
+        );
+        assert_eq!(c.classify(&d("i.ytimg.com")), DestinationClass::FirstParty);
+    }
+
+    #[test]
+    fn unknown_service_org_falls_back_to_domain_matching() {
+        let c = PartyClassifier::with_matcher(
+            &["tiny-indie-service.example"],
+            ats::embedded_matcher(),
+        );
+        assert_eq!(c.service_org(), None);
+        assert_eq!(
+            c.classify(&d("api.tiny-indie-service.example")),
+            DestinationClass::FirstParty
+        );
+        assert_eq!(
+            c.classify(&d("google-analytics.com")),
+            DestinationClass::ThirdPartyAts
+        );
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let c = PartyClassifier::new(&["duolingo.com"]);
+        assert_eq!(c.owner_of(&d("stats.g.doubleclick.net")), Some("Google LLC"));
+        assert_eq!(c.owner_of(&d("excess.duolingo.com")), Some("Duolingo, Inc."));
+        assert_eq!(c.owner_of(&d("mystery.example")), None);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(DestinationClass::ThirdPartyAts.is_third_party());
+        assert!(DestinationClass::ThirdPartyAts.is_ats());
+        assert!(!DestinationClass::FirstParty.is_ats());
+        assert!(DestinationClass::FirstPartyAts.is_ats());
+        assert!(!DestinationClass::FirstPartyAts.is_third_party());
+    }
+}

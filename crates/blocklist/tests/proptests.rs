@@ -1,0 +1,77 @@
+//! Property-based tests: the trie matcher must agree with the naive
+//! reference on arbitrary list/probe combinations, and destination
+//! classification must be total and consistent.
+
+use diffaudit_blocklist::matcher::NaiveMatcher;
+use diffaudit_blocklist::{DestinationClass, DomainMatcher, PartyClassifier};
+use diffaudit_domains::DomainName;
+use proptest::prelude::*;
+
+fn arb_domain() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,6}", 2..5).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #[test]
+    fn trie_equals_naive(
+        entries in prop::collection::vec(arb_domain(), 0..30),
+        probes in prop::collection::vec(arb_domain(), 0..30),
+    ) {
+        let parsed: Vec<DomainName> = entries
+            .iter()
+            .map(|d| DomainName::parse(d).unwrap())
+            .collect();
+        let mut trie = DomainMatcher::new();
+        let mut naive = NaiveMatcher::new();
+        trie.add_list("l", &parsed);
+        naive.add_list("l", &parsed);
+        for probe in &probes {
+            let name = DomainName::parse(probe).unwrap();
+            prop_assert_eq!(
+                trie.is_blocked(&name),
+                naive.is_blocked(&name),
+                "divergence on {}", probe
+            );
+        }
+    }
+
+    #[test]
+    fn entries_block_themselves_and_subdomains(
+        entries in prop::collection::vec(arb_domain(), 1..20),
+        sub in "[a-z]{1,6}",
+    ) {
+        let parsed: Vec<DomainName> = entries
+            .iter()
+            .map(|d| DomainName::parse(d).unwrap())
+            .collect();
+        let mut trie = DomainMatcher::new();
+        trie.add_list("l", &parsed);
+        for entry in &entries {
+            prop_assert!(trie.is_blocked(&DomainName::parse(entry).unwrap()));
+            let deeper = format!("{sub}.{entry}");
+            prop_assert!(trie.is_blocked(&DomainName::parse(&deeper).unwrap()));
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(domain in arb_domain()) {
+        let classifier = PartyClassifier::new(&["roblox.com"]);
+        let name = DomainName::parse(&domain).unwrap();
+        let class = classifier.classify(&name);
+        // Class predicates must agree with the classifier's components.
+        prop_assert_eq!(class.is_ats(), classifier.is_ats(&name));
+        prop_assert_eq!(!class.is_third_party(), classifier.is_first_party(&name));
+        // Classification is deterministic.
+        prop_assert_eq!(classifier.classify(&name), class);
+    }
+
+    #[test]
+    fn service_subdomains_are_always_first_party(sub in "[a-z]{1,8}") {
+        let classifier = PartyClassifier::new(&["roblox.com"]);
+        let name = DomainName::parse(&format!("{sub}.roblox.com")).unwrap();
+        let class = classifier.classify(&name);
+        prop_assert!(
+            matches!(class, DestinationClass::FirstParty | DestinationClass::FirstPartyAts)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! A deliberately coarse dense embedder ("toy BERT").
+//!
+//! The paper's PolyFuzz-BERT baseline used frozen BERT token embeddings and
+//! scored 18% — *worse* than character TF-IDF, because averaged contextual
+//! embeddings of terse payload keys wash out the discriminative signal. This
+//! embedder reproduces that failure mode honestly: each word token hashes to
+//! a pseudo-random unit vector (the hashing trick), and a phrase is the mean
+//! of its token vectors. Related words share no structure (no training), so
+//! only exact token overlap creates similarity — and mean pooling dilutes
+//! even that.
+
+const DIM: usize = 128;
+
+/// A dense phrase embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense(pub Vec<f64>);
+
+impl Dense {
+    /// Cosine similarity.
+    pub fn cosine(&self, other: &Dense) -> f64 {
+        let dot: f64 = self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum();
+        let na: f64 = self.0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = other.0.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// `true` when every component is zero (no tokens).
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0.0)
+    }
+}
+
+/// Embed one subword piece into a deterministic pseudo-random unit vector.
+fn piece_vector(piece: &str) -> Vec<f64> {
+    let seed = diffaudit_util::fnv1a64(piece.as_bytes());
+    let mut rng = diffaudit_util::Rng::new(seed);
+    let mut v: Vec<f64> = (0..DIM).map(|_| rng.gaussian(0.0, 1.0)).collect();
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+/// Embed one token as the mean of its character-trigram subword pieces —
+/// the WordPiece-ish behavior that makes frozen-BERT mean pooling mushy on
+/// terse keys (and the reason the paper's BERT baseline loses to TF-IDF:
+/// no IDF weighting, so common subwords dominate).
+fn token_vector(token: &str) -> Vec<f64> {
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    let mut acc = vec![0.0; DIM];
+    let mut pieces = 0usize;
+    if padded.len() < 3 {
+        return piece_vector(token);
+    }
+    for window in padded.windows(3) {
+        let piece: String = window.iter().collect();
+        for (a, b) in acc.iter_mut().zip(piece_vector(&piece)) {
+            *a += b;
+        }
+        pieces += 1;
+    }
+    for a in &mut acc {
+        *a /= pieces as f64;
+    }
+    acc
+}
+
+/// Embed a phrase: mean of token vectors (this pooling is the point — it is
+/// what makes the baseline weak).
+pub fn embed_phrase(phrase: &str) -> Dense {
+    let tokens: Vec<&str> = phrase.split_whitespace().collect();
+    let mut acc = vec![0.0; DIM];
+    if tokens.is_empty() {
+        return Dense(acc);
+    }
+    for token in &tokens {
+        for (a, b) in acc.iter_mut().zip(token_vector(token)) {
+            *a += b;
+        }
+    }
+    for a in &mut acc {
+        *a /= tokens.len() as f64;
+    }
+    Dense(acc)
+}
+
+/// Mean of several phrase embeddings (the few-shot centroid).
+pub fn centroid(embeddings: &[Dense]) -> Dense {
+    let mut acc = vec![0.0; DIM];
+    if embeddings.is_empty() {
+        return Dense(acc);
+    }
+    for e in embeddings {
+        for (a, b) in acc.iter_mut().zip(&e.0) {
+            *a += b;
+        }
+    }
+    for a in &mut acc {
+        *a /= embeddings.len() as f64;
+    }
+    Dense(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(embed_phrase("device id"), embed_phrase("device id"));
+    }
+
+    #[test]
+    fn identical_phrases_similarity_one() {
+        let a = embed_phrase("email address");
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn token_overlap_creates_similarity() {
+        let a = embed_phrase("device id");
+        let b = embed_phrase("device serial");
+        let c = embed_phrase("marital status");
+        assert!(a.cosine(&b) > a.cosine(&c));
+    }
+
+    #[test]
+    fn unrelated_tokens_near_orthogonal() {
+        let a = embed_phrase("latitude");
+        let b = embed_phrase("password");
+        assert!(a.cosine(&b).abs() < 0.35, "cos={}", a.cosine(&b));
+    }
+
+    #[test]
+    fn empty_phrase_is_zero() {
+        let z = embed_phrase("");
+        assert!(z.is_zero());
+        assert_eq!(z.cosine(&embed_phrase("anything")), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_one_is_identity() {
+        let a = embed_phrase("session token");
+        let c = centroid(&[a.clone()]);
+        assert!((a.cosine(&c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centroid_between_members() {
+        let a = embed_phrase("alpha");
+        let b = embed_phrase("beta");
+        let c = centroid(&[a.clone(), b.clone()]);
+        assert!(c.cosine(&a) > 0.3);
+        assert!(c.cosine(&b) > 0.3);
+    }
+}

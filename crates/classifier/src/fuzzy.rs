@@ -1,0 +1,182 @@
+//! Fuzzy string matching against the ontology's example terms (the
+//! PolyFuzz baselines).
+//!
+//! Each input key is matched against every level-4 vocabulary term; the best
+//! match's category wins and the similarity is the confidence. Two backends:
+//! TF-IDF character n-grams ([`FuzzyTfIdf`]) and the toy dense embedder
+//! ([`FuzzyBert`]). Neither sees the acronym lexicon — matching is purely
+//! lexical, which is why these baselines score 31% / 18% in the paper.
+
+use crate::embed::{embed_phrase, Dense};
+use crate::text::tokenize;
+use crate::tfidf::{cosine, SparseVec, TfIdf};
+use crate::Classifier;
+use diffaudit_ontology::DataTypeCategory;
+
+/// Tokenized-but-unexpanded phrase (baselines lack the lexicon).
+fn lexical_phrase(raw: &str) -> String {
+    tokenize(raw).join(" ")
+}
+
+fn vocabulary_entries() -> Vec<(DataTypeCategory, &'static str)> {
+    DataTypeCategory::ALL
+        .iter()
+        .flat_map(|c| c.vocabulary().iter().map(move |t| (*c, *t)))
+        .collect()
+}
+
+/// PolyFuzz-style matcher over TF-IDF character trigrams.
+pub struct FuzzyTfIdf {
+    tfidf: TfIdf,
+    terms: Vec<(DataTypeCategory, SparseVec)>,
+    /// Minimum similarity to emit a label (below ⇒ abstain).
+    pub min_similarity: f64,
+}
+
+impl FuzzyTfIdf {
+    /// Build, fitting the vectorizer on the ontology vocabulary.
+    pub fn new() -> Self {
+        let entries = vocabulary_entries();
+        let corpus: Vec<String> = entries.iter().map(|(_, t)| t.to_string()).collect();
+        let tfidf = TfIdf::fit(&corpus, 3);
+        let terms = entries
+            .iter()
+            .map(|(c, t)| (*c, tfidf.transform(t)))
+            .collect();
+        Self {
+            tfidf,
+            terms,
+            min_similarity: 0.05,
+        }
+    }
+}
+
+impl Default for FuzzyTfIdf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for FuzzyTfIdf {
+    fn name(&self) -> &str {
+        "fuzzy-tfidf"
+    }
+
+    fn classify(&mut self, raw: &str) -> Option<(DataTypeCategory, f64)> {
+        let probe = self.tfidf.transform(&lexical_phrase(raw));
+        let mut best: Option<(DataTypeCategory, f64)> = None;
+        for (category, term_vec) in &self.terms {
+            let sim = cosine(&probe, term_vec);
+            if best.is_none_or(|(_, b)| sim > b) {
+                best = Some((*category, sim));
+            }
+        }
+        best.filter(|&(_, sim)| sim >= self.min_similarity)
+    }
+}
+
+/// PolyFuzz-style matcher over the toy dense embedder.
+pub struct FuzzyBert {
+    terms: Vec<(DataTypeCategory, Dense)>,
+    /// Minimum similarity to emit a label.
+    pub min_similarity: f64,
+}
+
+impl FuzzyBert {
+    /// Build, embedding every vocabulary term.
+    pub fn new() -> Self {
+        let terms = vocabulary_entries()
+            .iter()
+            .map(|(c, t)| (*c, embed_phrase(t)))
+            .collect();
+        Self {
+            terms,
+            min_similarity: 0.05,
+        }
+    }
+}
+
+impl Default for FuzzyBert {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for FuzzyBert {
+    fn name(&self) -> &str {
+        "fuzzy-bert"
+    }
+
+    fn classify(&mut self, raw: &str) -> Option<(DataTypeCategory, f64)> {
+        let probe = embed_phrase(&lexical_phrase(raw));
+        if probe.is_zero() {
+            return None;
+        }
+        let mut best: Option<(DataTypeCategory, f64)> = None;
+        for (category, term_vec) in &self.terms {
+            let sim = probe.cosine(term_vec);
+            if best.is_none_or(|(_, b)| sim > b) {
+                best = Some((*category, sim));
+            }
+        }
+        best.filter(|&(_, sim)| sim >= self.min_similarity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tfidf_matches_near_verbatim_keys() {
+        let mut clf = FuzzyTfIdf::new();
+        let (cat, sim) = clf.classify("email_address").unwrap();
+        assert_eq!(cat, DataTypeCategory::ContactInfo);
+        assert!(sim > 0.5);
+        let (cat, _) = clf.classify("latitude").unwrap();
+        assert_eq!(cat, DataTypeCategory::PreciseGeolocation);
+    }
+
+    #[test]
+    fn tfidf_fails_on_acronyms_outside_vocabulary() {
+        // No lexicon: "tz" shares almost no trigrams with "timezone", so the
+        // baseline cannot land on LocationTime with any strength.
+        let mut clf = FuzzyTfIdf::new();
+        match clf.classify("tz") {
+            None => {}
+            Some((cat, sim)) => {
+                assert!(
+                    cat != DataTypeCategory::LocationTime || sim < 0.3,
+                    "baseline should not understand tz: {cat:?} @ {sim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bert_matches_exact_tokens_only() {
+        let mut clf = FuzzyBert::new();
+        let (cat, sim) = clf.classify("password").unwrap();
+        assert_eq!(cat, DataTypeCategory::LoginInfo);
+        assert!(sim > 0.9, "exact token should be near 1, got {sim}");
+    }
+
+    #[test]
+    fn bert_dilutes_multi_token_keys() {
+        // Mean pooling: extra tokens drag similarity down.
+        let mut clf = FuzzyBert::new();
+        let exact = clf.classify("password").unwrap().1;
+        let noisy = clf
+            .classify("x_password_checksum_v2_blob")
+            .map(|(_, s)| s)
+            .unwrap_or(0.0);
+        assert!(noisy < exact * 0.8, "noisy={noisy}, exact={exact}");
+    }
+
+    #[test]
+    fn abstains_on_garbage() {
+        let mut tf = FuzzyTfIdf::new();
+        tf.min_similarity = 0.3;
+        assert!(tf.classify("zzqx9").is_none());
+    }
+}

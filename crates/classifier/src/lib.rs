@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-classifier
+//!
+//! Data-type classification: raw payload keys → ontology categories
+//! (paper §3.2.2 and Appendix C).
+//!
+//! The paper's primary classifier is GPT-4 driven through the Chat
+//! Completions API with the ontology's level-3 labels and level-4 examples
+//! in the prompt, a 0–1 temperature sweep, per-answer confidence scores, and
+//! a majority-vote ensemble. It is validated against a manually labeled 10%
+//! sample and compared with four weaker baselines (fuzzy TF-IDF, fuzzy BERT,
+//! zero-shot, few-shot).
+//!
+//! This crate reimplements the entire stack offline:
+//!
+//! - [`text`] — key normalization: case/punctuation splitting plus the
+//!   acronym/abbreviation lexicon GPT-4's world knowledge supplies in the
+//!   paper ("for text with acronyms … use the meaning of the acronyms");
+//! - [`tfidf`] — a character-n-gram TF-IDF vectorizer with cosine
+//!   similarity (the PolyFuzz-TFIDF baseline);
+//! - [`embed`] — a deliberately coarse hashing-trick embedder standing in
+//!   for the frozen BERT embeddings baseline;
+//! - [`fuzzy`] — fuzzy string matching over the ontology's example terms
+//!   using either vectorizer;
+//! - [`zeroshot`] — label-name-only classification (the bart-large-mnli
+//!   baseline's structure: no examples, just labels);
+//! - [`fewshot`] — nearest-centroid one-vs-rest over example embeddings
+//!   (the SetFit baseline's structure);
+//! - [`llm`] — the GPT-4 simulator: Chat-Completions-shaped API, semantic
+//!   scoring with the lexicon, temperature-driven nondeterminism, confidence
+//!   output, and the paper's `<input> // <category> // <score> //
+//!   <explanation>` response format;
+//! - [`majority`] — the temperature-ensemble majority vote with Max/Avg
+//!   confidence aggregation (paper Table 3's "Majority-Max"/"Majority-Avg");
+//! - [`validate`] — sample accuracy / coverage at confidence thresholds,
+//!   reproducing Table 3's harness.
+
+pub mod distill;
+pub mod embed;
+pub mod fewshot;
+pub mod fuzzy;
+pub mod llm;
+pub mod majority;
+pub mod text;
+pub mod tfidf;
+pub mod validate;
+pub mod zeroshot;
+
+pub use distill::{DistillOptions, DistilledModel};
+pub use llm::{ChatMessage, Classification, LlmClassifier, LlmOptions};
+pub use majority::{ConfidenceAggregation, MajorityEnsemble};
+pub use validate::{LabeledExample, ThresholdReport, ValidationReport};
+
+use diffaudit_ontology::DataTypeCategory;
+
+/// Common interface all classifier implementations expose so the validation
+/// harness can sweep them uniformly.
+pub trait Classifier {
+    /// Short display name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Classify one raw data type; `None` when the classifier abstains.
+    /// The `f64` is the classifier's confidence in `[0, 1]`.
+    fn classify(&mut self, raw: &str) -> Option<(DataTypeCategory, f64)>;
+}

@@ -1,0 +1,216 @@
+//! The temperature-ensemble majority vote (paper §3.2.2, Table 3).
+//!
+//! "Considering the inherent nondeterminism of GPT-4, we build a
+//! majority-vote model where we take the majority label assigned across all
+//! the different temperature models … For the majority-vote model confidence
+//! score threshold, we either compute … the maximum confidence score amongst
+//! the models that assigned the majority label or we can use the average."
+
+use crate::llm::{Classification, LlmClassifier, LlmOptions};
+use diffaudit_ontology::DataTypeCategory;
+use std::collections::HashMap;
+
+/// How the ensemble aggregates member confidences (the paper's
+/// Majority-Max vs Majority-Avg rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfidenceAggregation {
+    /// Maximum confidence among members that voted for the majority label.
+    Max,
+    /// Average confidence among members that voted for the majority label.
+    Average,
+}
+
+/// The standard temperature grid the paper sweeps.
+pub const TEMPERATURE_GRID: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// An ensemble of simulated GPT-4 models at different temperatures.
+pub struct MajorityEnsemble {
+    members: Vec<LlmClassifier>,
+    aggregation: ConfidenceAggregation,
+}
+
+impl MajorityEnsemble {
+    /// Build the paper's five-temperature ensemble.
+    pub fn new(seed: u64, aggregation: ConfidenceAggregation) -> Self {
+        let members = TEMPERATURE_GRID
+            .iter()
+            .map(|&temperature| LlmClassifier::new(LlmOptions { temperature, seed }))
+            .collect();
+        Self {
+            members,
+            aggregation,
+        }
+    }
+
+    /// Build with an explicit temperature list.
+    pub fn with_temperatures(
+        seed: u64,
+        temperatures: &[f64],
+        aggregation: ConfidenceAggregation,
+    ) -> Self {
+        let members = temperatures
+            .iter()
+            .map(|&temperature| LlmClassifier::new(LlmOptions { temperature, seed }))
+            .collect();
+        Self {
+            members,
+            aggregation,
+        }
+    }
+
+    /// The aggregation strategy.
+    pub fn aggregation(&self) -> ConfidenceAggregation {
+        self.aggregation
+    }
+
+    /// Classify a batch: each member votes; the majority label wins (ties
+    /// broken toward the label with the highest aggregated confidence, then
+    /// deterministically by category order).
+    pub fn classify_batch(&self, inputs: &[&str]) -> Vec<Classification> {
+        let member_outputs: Vec<Vec<Classification>> = self
+            .members
+            .iter()
+            .map(|m| m.classify_batch(inputs))
+            .collect();
+        (0..inputs.len())
+            .map(|i| {
+                let votes: Vec<&Classification> =
+                    member_outputs.iter().map(|out| &out[i]).collect();
+                self.combine(inputs[i], &votes)
+            })
+            .collect()
+    }
+
+    fn combine(&self, input: &str, votes: &[&Classification]) -> Classification {
+        let mut tally: HashMap<DataTypeCategory, Vec<f64>> = HashMap::new();
+        for vote in votes {
+            if let Some(category) = vote.category {
+                tally.entry(category).or_default().push(vote.confidence);
+            }
+        }
+        if tally.is_empty() {
+            return Classification {
+                input: input.to_string(),
+                category: None,
+                confidence: 0.0,
+                explanation: "no member produced a valid label".to_string(),
+            };
+        }
+        let mut entries: Vec<(DataTypeCategory, usize, f64)> = tally
+            .into_iter()
+            .map(|(category, confidences)| {
+                let aggregated = match self.aggregation {
+                    ConfidenceAggregation::Max => confidences
+                        .iter()
+                        .copied()
+                        .fold(f64::MIN, f64::max),
+                    ConfidenceAggregation::Average => {
+                        confidences.iter().sum::<f64>() / confidences.len() as f64
+                    }
+                };
+                (category, confidences.len(), aggregated)
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(b.2.partial_cmp(&a.2).expect("no NaN"))
+                .then(a.0.cmp(&b.0))
+        });
+        let (category, vote_count, confidence) = entries[0];
+        Classification {
+            input: input.to_string(),
+            category: Some(category),
+            confidence,
+            explanation: format!(
+                "majority vote: {vote_count}/{} members",
+                votes.len()
+            ),
+        }
+    }
+}
+
+impl crate::Classifier for MajorityEnsemble {
+    fn name(&self) -> &str {
+        match self.aggregation {
+            ConfidenceAggregation::Max => "majority-max",
+            ConfidenceAggregation::Average => "majority-avg",
+        }
+    }
+
+    fn classify(&mut self, raw: &str) -> Option<(DataTypeCategory, f64)> {
+        let result = self.classify_batch(&[raw]).into_iter().next()?;
+        result.category.map(|c| (c, result.confidence))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Classifier;
+
+    #[test]
+    fn majority_agrees_on_clear_inputs() {
+        let mut ensemble = MajorityEnsemble::new(11, ConfidenceAggregation::Average);
+        let (cat, conf) = ensemble.classify("email_address").unwrap();
+        assert_eq!(cat, DataTypeCategory::ContactInfo);
+        assert!(conf > 0.5);
+    }
+
+    #[test]
+    fn max_vs_average_confidence() {
+        let max_e = MajorityEnsemble::new(3, ConfidenceAggregation::Max);
+        let avg_e = MajorityEnsemble::new(3, ConfidenceAggregation::Average);
+        let inputs = ["device_id", "lang", "evt_blob", "geo_x", "usr_7"];
+        let maxes = max_e.classify_batch(&inputs);
+        let avgs = avg_e.classify_batch(&inputs);
+        for (mx, av) in maxes.iter().zip(&avgs) {
+            if mx.category == av.category {
+                assert!(
+                    mx.confidence >= av.confidence - 1e-9,
+                    "max ({}) < avg ({}) for {:?}",
+                    mx.confidence,
+                    av.confidence,
+                    mx.input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let e = MajorityEnsemble::new(9, ConfidenceAggregation::Average);
+        let a = e.classify_batch(&["session_token", "qq_zz"]);
+        let b = e.classify_batch(&["session_token", "qq_zz"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ensemble_never_abstains_on_valid_grid() {
+        // With temps ≤ 1 every member produces a valid label, so the
+        // ensemble always answers.
+        let e = MajorityEnsemble::new(5, ConfidenceAggregation::Max);
+        for r in e.classify_batch(&["a", "zz_blob", "device_id"]) {
+            assert!(r.category.is_some());
+        }
+    }
+
+    #[test]
+    fn hallucinating_members_are_outvoted() {
+        // Include temps > 1: hallucinated (unparseable) answers do not count
+        // as votes, but valid members still carry the majority.
+        let e = MajorityEnsemble::with_temperatures(
+            13,
+            &[0.0, 0.25, 1.8, 2.0],
+            ConfidenceAggregation::Average,
+        );
+        let r = &e.classify_batch(&["email_address"])[0];
+        assert_eq!(r.category, Some(DataTypeCategory::ContactInfo));
+    }
+
+    #[test]
+    fn vote_counts_in_explanation() {
+        let e = MajorityEnsemble::new(1, ConfidenceAggregation::Average);
+        let r = &e.classify_batch(&["password"])[0];
+        assert!(r.explanation.contains("/5 members"), "{}", r.explanation);
+    }
+}

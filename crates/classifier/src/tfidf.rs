@@ -1,0 +1,184 @@
+//! Character-n-gram TF-IDF vectorization with cosine similarity.
+//!
+//! This is the vector space behind the paper's strongest baseline (PolyFuzz
+//! with TF-IDF embeddings, 31% sample accuracy). Character trigrams over the
+//! normalized phrase are robust to small spelling variations but blind to
+//! semantics — which is precisely why the baseline loses to the LLM.
+
+use std::collections::HashMap;
+
+/// A sparse vector keyed by feature id.
+pub type SparseVec = HashMap<u64, f64>;
+
+/// Extract character n-grams (as feature hashes) from a phrase, with word
+/// boundary markers so `"id"` inside `"video"` differs from the token `"id"`.
+fn char_ngrams(phrase: &str, n: usize) -> Vec<u64> {
+    let mut grams = Vec::new();
+    for word in phrase.split_whitespace() {
+        let padded: Vec<char> = std::iter::once('^')
+            .chain(word.chars())
+            .chain(std::iter::once('$'))
+            .collect();
+        if padded.len() < n {
+            let s: String = padded.iter().collect();
+            grams.push(diffaudit_util::fnv1a64(s.as_bytes()));
+            continue;
+        }
+        for window in padded.windows(n) {
+            let s: String = window.iter().collect();
+            grams.push(diffaudit_util::fnv1a64(s.as_bytes()));
+        }
+    }
+    grams
+}
+
+/// A fitted TF-IDF vectorizer.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    n: usize,
+    /// feature → inverse document frequency.
+    idf: HashMap<u64, f64>,
+    documents: usize,
+}
+
+impl TfIdf {
+    /// Fit on a corpus of phrases with character n-gram size `n` (3 is the
+    /// classic choice).
+    pub fn fit(corpus: &[String], n: usize) -> TfIdf {
+        assert!(n >= 2, "n-gram size must be at least 2");
+        let mut doc_freq: HashMap<u64, usize> = HashMap::new();
+        for phrase in corpus {
+            let mut grams = char_ngrams(phrase, n);
+            grams.sort_unstable();
+            grams.dedup();
+            for g in grams {
+                *doc_freq.entry(g).or_insert(0) += 1;
+            }
+        }
+        let documents = corpus.len().max(1);
+        let idf = doc_freq
+            .into_iter()
+            .map(|(g, df)| {
+                // Smoothed IDF, never negative.
+                let idf = ((1.0 + documents as f64) / (1.0 + df as f64)).ln() + 1.0;
+                (g, idf)
+            })
+            .collect();
+        TfIdf { n, idf, documents }
+    }
+
+    /// Transform a phrase into an L2-normalized sparse vector. Features
+    /// unseen at fit time get the maximum IDF (they are maximally
+    /// surprising).
+    pub fn transform(&self, phrase: &str) -> SparseVec {
+        let default_idf = ((1.0 + self.documents as f64) / 1.0).ln() + 1.0;
+        let mut tf: HashMap<u64, f64> = HashMap::new();
+        for g in char_ngrams(phrase, self.n) {
+            *tf.entry(g).or_insert(0.0) += 1.0;
+        }
+        let mut vec: SparseVec = tf
+            .into_iter()
+            .map(|(g, count)| {
+                let idf = self.idf.get(&g).copied().unwrap_or(default_idf);
+                (g, count * idf)
+            })
+            .collect();
+        let norm: f64 = vec.values().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for v in vec.values_mut() {
+                *v /= norm;
+            }
+        }
+        vec
+    }
+
+    /// Number of fitted features.
+    pub fn feature_count(&self) -> usize {
+        self.idf.len()
+    }
+}
+
+/// Cosine similarity between two sparse vectors (assumed normalized, so this
+/// is just the dot product — but computed defensively for raw vectors too).
+pub fn cosine(a: &SparseVec, b: &SparseVec) -> f64 {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, va)| large.get(k).map(|vb| va * vb))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        ["email address", "device id", "advertising identifier", "latitude", "session token"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        let v = tfidf.transform("email address");
+        assert!((cosine(&v, &v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_match_beats_far_match() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        let probe = tfidf.transform("email addr");
+        let near = tfidf.transform("email address");
+        let far = tfidf.transform("latitude");
+        assert!(cosine(&probe, &near) > cosine(&probe, &far));
+        assert!(cosine(&probe, &near) > 0.5);
+    }
+
+    #[test]
+    fn disjoint_strings_near_zero() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        let a = tfidf.transform("xyzzy");
+        let b = tfidf.transform("qqfrob");
+        assert!(cosine(&a, &b) < 0.10);
+    }
+
+    #[test]
+    fn word_boundaries_matter() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        // "id" as a token vs "id" inside "video": boundary markers separate them.
+        let id = tfidf.transform("id");
+        let video = tfidf.transform("video");
+        assert!(cosine(&id, &video) < 0.3);
+    }
+
+    #[test]
+    fn short_words_handled() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        let v = tfidf.transform("a");
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn empty_phrase_zero_vector() {
+        let tfidf = TfIdf::fit(&corpus(), 3);
+        let v = tfidf.transform("");
+        assert!(v.is_empty());
+        assert_eq!(cosine(&v, &tfidf.transform("email")), 0.0);
+    }
+
+    #[test]
+    fn feature_count_grows_with_corpus() {
+        let small = TfIdf::fit(&corpus()[..2].to_vec(), 3);
+        let large = TfIdf::fit(&corpus(), 3);
+        assert!(large.feature_count() > small.feature_count());
+    }
+}

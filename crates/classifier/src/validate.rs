@@ -1,0 +1,273 @@
+//! Validation harness: sample accuracy and coverage at confidence
+//! thresholds (reproduces paper Table 3 and the §3.2.2 baseline numbers).
+//!
+//! The paper manually labels a random 10% sample (n=397) of the unique raw
+//! data types and reports, per model: overall sample accuracy, and — at
+//! confidence thresholds 0.7/0.8/0.9 — the accuracy *among answers meeting
+//! the threshold* plus how many inputs were labeled at that threshold
+//! ("coverage").
+
+use crate::llm::Classification;
+use diffaudit_ontology::DataTypeCategory;
+use diffaudit_util::Rng;
+use std::collections::HashMap;
+
+/// A ground-truth-labeled raw data type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    /// The raw key as extracted from traffic.
+    pub raw: String,
+    /// The manual (ground-truth) label.
+    pub truth: DataTypeCategory,
+}
+
+/// Draw the paper's validation sample: a seeded random `fraction` of the
+/// examples (10% in the paper).
+pub fn sample_fraction(
+    examples: &[LabeledExample],
+    fraction: f64,
+    seed: u64,
+) -> Vec<LabeledExample> {
+    let k = ((examples.len() as f64) * fraction).round() as usize;
+    let mut rng = Rng::new(seed);
+    rng.sample_indices(examples.len(), k)
+        .into_iter()
+        .map(|i| examples[i].clone())
+        .collect()
+}
+
+/// Accuracy/coverage at one confidence threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdReport {
+    /// The confidence cut-off.
+    pub threshold: f64,
+    /// Accuracy among answers with confidence ≥ threshold.
+    pub accuracy: f64,
+    /// Number of inputs labeled at ≥ threshold (the paper's "Labeled").
+    pub labeled: usize,
+}
+
+/// Full validation result for one model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Model display name (Table 3 row label).
+    pub model: String,
+    /// Overall sample accuracy (abstentions/hallucinations count as wrong).
+    pub accuracy: f64,
+    /// Sample size.
+    pub sample_size: usize,
+    /// Per-threshold breakdowns.
+    pub thresholds: Vec<ThresholdReport>,
+}
+
+/// Score a model's classifications against ground truth at the paper's
+/// thresholds (0.7 / 0.8 / 0.9).
+pub fn validate(
+    model: &str,
+    classifications: &[Classification],
+    truth: &[LabeledExample],
+) -> ValidationReport {
+    validate_at(model, classifications, truth, &[0.7, 0.8, 0.9])
+}
+
+/// Score with explicit thresholds (the ablation sweeps a denser grid).
+pub fn validate_at(
+    model: &str,
+    classifications: &[Classification],
+    truth: &[LabeledExample],
+    thresholds: &[f64],
+) -> ValidationReport {
+    assert_eq!(
+        classifications.len(),
+        truth.len(),
+        "classifications and truth must align"
+    );
+    let total = truth.len().max(1);
+    let correct = classifications
+        .iter()
+        .zip(truth)
+        .filter(|(c, t)| c.category == Some(t.truth))
+        .count();
+    let thresholds = thresholds
+        .iter()
+        .map(|&threshold| {
+            let (mut labeled, mut right) = (0usize, 0usize);
+            for (c, t) in classifications.iter().zip(truth) {
+                if c.category.is_some() && c.confidence >= threshold {
+                    labeled += 1;
+                    if c.category == Some(t.truth) {
+                        right += 1;
+                    }
+                }
+            }
+            ThresholdReport {
+                threshold,
+                accuracy: if labeled == 0 {
+                    0.0
+                } else {
+                    right as f64 / labeled as f64
+                },
+                labeled,
+            }
+        })
+        .collect();
+    ValidationReport {
+        model: model.to_string(),
+        accuracy: correct as f64 / total as f64,
+        sample_size: truth.len(),
+        thresholds,
+    }
+}
+
+/// A confusion matrix over the 35 categories (rows = truth, cols =
+/// prediction; the extra final column counts abstentions).
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    counts: HashMap<(DataTypeCategory, Option<DataTypeCategory>), usize>,
+}
+
+impl ConfusionMatrix {
+    /// Build from aligned classifications and truth.
+    pub fn build(classifications: &[Classification], truth: &[LabeledExample]) -> Self {
+        let mut counts = HashMap::new();
+        for (c, t) in classifications.iter().zip(truth) {
+            *counts.entry((t.truth, c.category)).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Count at a cell.
+    pub fn get(&self, truth: DataTypeCategory, predicted: Option<DataTypeCategory>) -> usize {
+        self.counts.get(&(truth, predicted)).copied().unwrap_or(0)
+    }
+
+    /// The most-confused (truth, predicted) pairs, excluding the diagonal,
+    /// best-first.
+    pub fn top_confusions(&self, n: usize) -> Vec<(DataTypeCategory, DataTypeCategory, usize)> {
+        let mut pairs: Vec<(DataTypeCategory, DataTypeCategory, usize)> = self
+            .counts
+            .iter()
+            .filter_map(|(&(t, p), &count)| match p {
+                Some(p) if p != t => Some((t, p, count)),
+                _ => None,
+            })
+            .collect();
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        pairs.truncate(n);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example(raw: &str, truth: DataTypeCategory) -> LabeledExample {
+        LabeledExample {
+            raw: raw.to_string(),
+            truth,
+        }
+    }
+
+    fn classification(
+        input: &str,
+        category: Option<DataTypeCategory>,
+        confidence: f64,
+    ) -> Classification {
+        Classification {
+            input: input.to_string(),
+            category,
+            confidence,
+            explanation: String::new(),
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_abstentions_as_wrong() {
+        let truth = vec![
+            example("a", DataTypeCategory::Age),
+            example("b", DataTypeCategory::Age),
+        ];
+        let cls = vec![
+            classification("a", Some(DataTypeCategory::Age), 0.9),
+            classification("b", None, 0.0),
+        ];
+        let report = validate("m", &cls, &truth);
+        assert!((report.accuracy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_gating() {
+        let truth = vec![
+            example("a", DataTypeCategory::Age),
+            example("b", DataTypeCategory::Age),
+            example("c", DataTypeCategory::Age),
+        ];
+        let cls = vec![
+            classification("a", Some(DataTypeCategory::Age), 0.95), // right, high conf
+            classification("b", Some(DataTypeCategory::Name), 0.75), // wrong, mid conf
+            classification("c", Some(DataTypeCategory::Age), 0.5),  // right, low conf
+        ];
+        let report = validate("m", &cls, &truth);
+        // Overall: 2/3.
+        assert!((report.accuracy - 2.0 / 3.0).abs() < 1e-9);
+        // ≥0.7: a (right) and b (wrong) qualify → 1/2, labeled 2.
+        let t07 = &report.thresholds[0];
+        assert_eq!(t07.labeled, 2);
+        assert!((t07.accuracy - 0.5).abs() < 1e-9);
+        // ≥0.9: only a → 1/1, labeled 1.
+        let t09 = &report.thresholds[2];
+        assert_eq!(t09.labeled, 1);
+        assert!((t09.accuracy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_threshold_bucket_reports_zero() {
+        let truth = vec![example("a", DataTypeCategory::Age)];
+        let cls = vec![classification("a", Some(DataTypeCategory::Age), 0.1)];
+        let report = validate("m", &cls, &truth);
+        assert_eq!(report.thresholds[2].labeled, 0);
+        assert_eq!(report.thresholds[2].accuracy, 0.0);
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_sized() {
+        let examples: Vec<LabeledExample> = (0..1000)
+            .map(|i| example(&format!("k{i}"), DataTypeCategory::Age))
+            .collect();
+        let a = sample_fraction(&examples, 0.1, 42);
+        let b = sample_fraction(&examples, 0.1, 42);
+        let c = sample_fraction(&examples, 0.1, 43);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn confusion_matrix() {
+        let truth = vec![
+            example("a", DataTypeCategory::Age),
+            example("b", DataTypeCategory::Age),
+            example("c", DataTypeCategory::Name),
+        ];
+        let cls = vec![
+            classification("a", Some(DataTypeCategory::Age), 0.9),
+            classification("b", Some(DataTypeCategory::Name), 0.9),
+            classification("c", None, 0.0),
+        ];
+        let m = ConfusionMatrix::build(&cls, &truth);
+        assert_eq!(m.get(DataTypeCategory::Age, Some(DataTypeCategory::Age)), 1);
+        assert_eq!(m.get(DataTypeCategory::Age, Some(DataTypeCategory::Name)), 1);
+        assert_eq!(m.get(DataTypeCategory::Name, None), 1);
+        let top = m.top_confusions(5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0], (DataTypeCategory::Age, DataTypeCategory::Name, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_inputs_panic() {
+        let truth = vec![example("a", DataTypeCategory::Age)];
+        validate("m", &[], &truth);
+    }
+}

@@ -1,0 +1,281 @@
+//! The `diffaudit` command-line tool.
+//!
+//! ```text
+//! diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]
+//!     Generate the synthetic capture campaign to disk (HAR/pcap/key-log
+//!     artifacts plus per-service manifest.json).
+//!
+//! diffaudit audit DIR... [--ensemble SEED] [--threshold F]
+//!                        [--format text|markdown|json] [--out FILE]
+//!     Audit capture directories (each containing manifest.json). Works on
+//!     generated captures AND on externally collected traces: drop your own
+//!     .har / .pcap+.keys files next to a manifest and point the tool at it.
+//!
+//! diffaudit classify KEY...
+//!     Classify raw payload keys with the majority-vote ensemble.
+//!
+//! diffaudit ontology
+//!     Print the COPPA/CCPA data-type ontology as JSON.
+//! ```
+
+use diffaudit::audit::{audit_service, AuditFinding};
+use diffaudit::diff::ObservedGrid;
+use diffaudit::export;
+use diffaudit::loader::{load_capture_dir, write_dataset};
+use diffaudit::pipeline::{ClassificationMode, Pipeline};
+use diffaudit::report;
+use diffaudit_json::Json;
+use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
+         diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE]\n  \
+         diffaudit classify KEY...\n  diffaudit ontology"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("ontology") => cmd_ontology(),
+        _ => usage(),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut options = DatasetOptions {
+        volume_scale: 0.1,
+        ..Default::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--out" => out = iter.next().map(PathBuf::from),
+            "--scale" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.volume_scale = v,
+                None => return usage(),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.seed = v,
+                None => return usage(),
+            },
+            "--services" => match iter.next() {
+                Some(list) => {
+                    options.services = list.split(',').map(str::to_string).collect();
+                }
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(out) = out else {
+        return usage();
+    };
+    eprintln!(
+        "generating dataset (scale {}, seed {})...",
+        options.volume_scale, options.seed
+    );
+    let dataset = generate_dataset(&options);
+    match write_dataset(&dataset, &out) {
+        Ok(dirs) => {
+            // Ground truth alongside, for oracle-mode audits and classifier
+            // validation.
+            let truth = Json::Obj(
+                dataset
+                    .key_truth
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::str(v.label())))
+                    .collect(),
+            );
+            let truth_path = out.join("key_truth.json");
+            if let Err(e) = std::fs::write(&truth_path, truth.to_string()) {
+                eprintln!("error writing {}: {e}", truth_path.display());
+                return ExitCode::FAILURE;
+            }
+            for dir in &dirs {
+                println!("{}", dir.display());
+            }
+            println!("{}", truth_path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_audit(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut seed = 2023u64;
+    let mut threshold = 0.8f64;
+    let mut format = "text".to_string();
+    let mut out_file: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ensemble" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--threshold" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold = v,
+                None => return usage(),
+            },
+            "--format" => match iter.next() {
+                Some(v) if ["text", "markdown", "json"].contains(&v.as_str()) => {
+                    format = v.clone();
+                }
+                _ => return usage(),
+            },
+            "--out" => out_file = iter.next().map(PathBuf::from),
+            other if !other.starts_with('-') => dirs.push(PathBuf::from(other)),
+            _ => return usage(),
+        }
+    }
+    if dirs.is_empty() {
+        return usage();
+    }
+
+    let mut inputs = Vec::new();
+    for dir in &dirs {
+        match load_capture_dir(dir) {
+            Ok(input) => {
+                eprintln!(
+                    "loaded {} ({} units) from {}",
+                    input.name,
+                    input.units.len(),
+                    dir.display()
+                );
+                inputs.push(input);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let pipeline = Pipeline::new(ClassificationMode::Ensemble { seed, threshold });
+    let outcome = pipeline.run_inputs(inputs);
+
+    // Findings need a policy; catalog services get their real one, unknown
+    // services get the flow/linkability analyses without policy rules.
+    let mut findings: Vec<AuditFinding> = Vec::new();
+    for service in &outcome.services {
+        if let Some(spec) = service_by_slug(&service.slug) {
+            findings.extend(audit_service(service, &spec));
+        } else {
+            eprintln!(
+                "note: {} is not in the catalog; policy-consistency rules skipped",
+                service.name
+            );
+        }
+    }
+
+    let rendered = match format.as_str() {
+        "json" => export::outcome_to_json(&outcome, &findings).to_pretty_string(),
+        "markdown" => outcome
+            .services
+            .iter()
+            .map(|s| {
+                let service_findings: Vec<AuditFinding> = findings
+                    .iter()
+                    .filter(|f| f.service == s.name)
+                    .cloned()
+                    .collect();
+                export::service_to_markdown(s, &service_findings)
+            })
+            .collect::<Vec<_>>()
+            .join("\n---\n\n"),
+        _ => {
+            let mut text = String::new();
+            for service in &outcome.services {
+                let grid = ObservedGrid::build(service);
+                text.push_str(&report::render_table4(service, &grid));
+                text.push('\n');
+            }
+            text.push_str(&report::render_fig3(&outcome));
+            text.push('\n');
+            text.push_str("Findings:\n");
+            text.push_str(&report::render_findings(&findings));
+            text
+        }
+    };
+    match out_file {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("error writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+    let ensemble = MajorityEnsemble::new(2023, ConfidenceAggregation::Average);
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    for result in ensemble.classify_batch(&refs) {
+        match result.category {
+            Some(category) => println!(
+                "{} // {} // {:.2} // {}",
+                result.input,
+                category.label(),
+                result.confidence,
+                result.explanation
+            ),
+            None => println!("{} // (unlabeled) // 0.00 // {}", result.input, result.explanation),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_ontology() -> ExitCode {
+    use diffaudit_ontology::{DataTypeCategory, Level1, Level2};
+    let mut roots = Json::obj();
+    for l1 in Level1::ALL {
+        let mut groups = Json::obj();
+        for l2 in Level2::ALL {
+            if l2.level1() != l1 {
+                continue;
+            }
+            let mut categories = Json::obj();
+            for category in l2.categories() {
+                categories.set(
+                    category.label(),
+                    Json::obj()
+                        .with(
+                            "examples",
+                            Json::Arr(
+                                category.vocabulary().iter().map(|t| Json::str(*t)).collect(),
+                            ),
+                        )
+                        .with("legalBasis", Json::str(category.legal_basis().label()))
+                        .with(
+                            "observedInPaper",
+                            Json::Bool(DataTypeCategory::OBSERVED_IN_PAPER.contains(&category)),
+                        ),
+                );
+            }
+            groups.set(l2.label(), categories);
+        }
+        roots.set(l1.label(), groups);
+    }
+    println!("{}", roots.to_pretty_string());
+    ExitCode::SUCCESS
+}

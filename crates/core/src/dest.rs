@@ -1,0 +1,99 @@
+//! Destination analysis (paper §3.2.3).
+//!
+//! For each contacted FQDN: extract the eSLD (`tldextract` equivalent),
+//! resolve the owning organization (Tracker Radar / whois simulation), and
+//! classify into the four-way first/third-party × ATS scheme. Results are
+//! memoized per pipeline run — the same FQDN appears in thousands of
+//! packets.
+
+use diffaudit_blocklist::{DestinationClass, PartyClassifier};
+use diffaudit_domains::{extract, DomainName};
+use std::collections::HashMap;
+
+/// Everything known about one destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestinationInfo {
+    /// The FQDN as contacted.
+    pub fqdn: String,
+    /// The effective second-level domain (`None` for bare public suffixes,
+    /// which do not occur in practice).
+    pub esld: Option<String>,
+    /// Four-way classification relative to the audited service.
+    pub class: DestinationClass,
+    /// Owning organization, when resolvable.
+    pub owner: Option<&'static str>,
+}
+
+/// Memoizing destination analyzer for one audited service.
+pub struct DestinationAnalyzer {
+    classifier: PartyClassifier,
+    cache: HashMap<String, DestinationInfo>,
+}
+
+impl DestinationAnalyzer {
+    /// Build for a service identified by its first-party domains.
+    pub fn new(service_domains: &[&str]) -> Self {
+        Self {
+            classifier: PartyClassifier::new(service_domains),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Analyze one FQDN (cached).
+    pub fn analyze(&mut self, fqdn: &str) -> Option<DestinationInfo> {
+        if let Some(info) = self.cache.get(fqdn) {
+            return Some(info.clone());
+        }
+        let name = DomainName::parse(fqdn).ok()?;
+        let esld = extract(&name).esld();
+        let info = DestinationInfo {
+            fqdn: fqdn.to_string(),
+            esld,
+            class: self.classifier.classify(&name),
+            owner: self.classifier.owner_of(&name),
+        };
+        self.cache.insert(fqdn.to_string(), info.clone());
+        Some(info)
+    }
+
+    /// Number of distinct FQDNs analyzed.
+    pub fn cache_size(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzes_and_caches() {
+        let mut analyzer = DestinationAnalyzer::new(&["roblox.com", "rbxcdn.com"]);
+        let info = analyzer.analyze("stats.g.doubleclick.net").unwrap();
+        assert_eq!(info.esld.as_deref(), Some("doubleclick.net"));
+        assert_eq!(info.class, DestinationClass::ThirdPartyAts);
+        assert_eq!(info.owner, Some("Google LLC"));
+        let again = analyzer.analyze("stats.g.doubleclick.net").unwrap();
+        assert_eq!(info, again);
+        assert_eq!(analyzer.cache_size(), 1);
+    }
+
+    #[test]
+    fn first_party_variants() {
+        let mut analyzer = DestinationAnalyzer::new(&["roblox.com", "rbxcdn.com"]);
+        assert_eq!(
+            analyzer.analyze("www.roblox.com").unwrap().class,
+            DestinationClass::FirstParty
+        );
+        assert_eq!(
+            analyzer.analyze("metrics.roblox.com").unwrap().class,
+            DestinationClass::FirstPartyAts
+        );
+    }
+
+    #[test]
+    fn invalid_fqdn_is_none() {
+        let mut analyzer = DestinationAnalyzer::new(&["x.com"]);
+        assert!(analyzer.analyze("not a domain!").is_none());
+    }
+}

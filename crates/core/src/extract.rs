@@ -1,0 +1,203 @@
+//! Raw data-type extraction from outgoing requests (paper §3.2.2).
+//!
+//! "We extract key-value pairs from the JSON-structured data, and the keys
+//! serve as the raw data types." Beyond JSON bodies, real payloads also
+//! carry data in URL query strings, `application/x-www-form-urlencoded`
+//! bodies, and cookies — all of which the paper's HAR/PCAP post-processing
+//! surfaces — so the extractor covers all four carriers and records which
+//! one each pair came from.
+
+use diffaudit_json::{flatten, parse};
+use diffaudit_nettrace::HttpRequest;
+
+/// Where a key/value pair was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RawSource {
+    /// JSON request body (including nested/stringified layers).
+    JsonBody,
+    /// Form-encoded request body.
+    FormBody,
+    /// URL query string.
+    Query,
+    /// `Cookie` header.
+    Cookie,
+}
+
+impl RawSource {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RawSource::JsonBody => "json-body",
+            RawSource::FormBody => "form-body",
+            RawSource::Query => "query",
+            RawSource::Cookie => "cookie",
+        }
+    }
+}
+
+/// One extracted raw data type instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEntry {
+    /// The raw key (the data type to classify).
+    pub key: String,
+    /// The stringified value.
+    pub value: String,
+    /// Which carrier it came from.
+    pub source: RawSource,
+}
+
+/// Extract every key/value pair from one outgoing request.
+///
+/// Unparseable bodies are skipped silently: a binary or truncated body
+/// yields no JSON entries but query/cookie extraction still proceeds (the
+/// paper likewise analyzes whatever is recoverable).
+pub fn extract_request(request: &HttpRequest) -> Vec<RawEntry> {
+    let mut entries = Vec::new();
+
+    // Query string.
+    for (key, value) in request.url.query_pairs() {
+        if !key.is_empty() {
+            entries.push(RawEntry {
+                key,
+                value,
+                source: RawSource::Query,
+            });
+        }
+    }
+
+    // Cookies.
+    for (key, value) in request.cookies() {
+        entries.push(RawEntry {
+            key,
+            value,
+            source: RawSource::Cookie,
+        });
+    }
+
+    // Body.
+    let content_type = request.content_type().unwrap_or("").to_ascii_lowercase();
+    if content_type.contains("json") {
+        if let Ok(body) = std::str::from_utf8(&request.body) {
+            if let Ok(doc) = parse(body) {
+                for entry in flatten(&doc) {
+                    entries.push(RawEntry {
+                        key: entry.key,
+                        value: entry.value,
+                        source: RawSource::JsonBody,
+                    });
+                }
+            }
+        }
+    } else if content_type.contains("x-www-form-urlencoded") {
+        if let Ok(body) = std::str::from_utf8(&request.body) {
+            for (key, value) in diffaudit_domains::url::parse_query(body) {
+                if !key.is_empty() {
+                    entries.push(RawEntry {
+                        key,
+                        value,
+                        source: RawSource::FormBody,
+                    });
+                }
+            }
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffaudit_domains::Url;
+    use diffaudit_nettrace::HttpRequest;
+
+    fn url(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn json_body_extraction() {
+        let req = HttpRequest::post(
+            url("https://t.example.com/c"),
+            "application/json",
+            br#"{"device_id":"abc","nested":{"lat":33.6}}"#.to_vec(),
+        );
+        let entries = extract_request(&req);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, "device_id");
+        assert_eq!(entries[0].source, RawSource::JsonBody);
+        assert_eq!(entries[1].key, "lat");
+        assert_eq!(entries[1].value, "33.6");
+    }
+
+    #[test]
+    fn query_and_cookie_extraction() {
+        let mut req = HttpRequest::get(url("https://t.example.com/p?uid=7&lang=en"));
+        req.headers.push("Cookie", "sid=xyz; ads_opt=1");
+        let entries = extract_request(&req);
+        let keys: Vec<(&str, RawSource)> = entries
+            .iter()
+            .map(|e| (e.key.as_str(), e.source))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("uid", RawSource::Query),
+                ("lang", RawSource::Query),
+                ("sid", RawSource::Cookie),
+                ("ads_opt", RawSource::Cookie),
+            ]
+        );
+    }
+
+    #[test]
+    fn form_body_extraction() {
+        let req = HttpRequest::post(
+            url("https://t.example.com/f"),
+            "application/x-www-form-urlencoded",
+            b"email=a%40b.com&age=12".to_vec(),
+        );
+        let entries = extract_request(&req);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].source, RawSource::FormBody);
+        assert_eq!(entries[0].value, "a@b.com");
+    }
+
+    #[test]
+    fn stringified_json_inside_body() {
+        let req = HttpRequest::post(
+            url("https://t.example.com/c"),
+            "application/json",
+            br#"{"payload":"{\"idfa\":\"x-1\"}"}"#.to_vec(),
+        );
+        let entries = extract_request(&req);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "idfa");
+    }
+
+    #[test]
+    fn garbage_bodies_do_not_panic() {
+        let req = HttpRequest::post(
+            url("https://t.example.com/c?ok=1"),
+            "application/json",
+            vec![0xFF, 0xFE, 0x00],
+        );
+        let entries = extract_request(&req);
+        assert_eq!(entries.len(), 1, "query still extracted");
+        let req2 = HttpRequest::post(
+            url("https://t.example.com/c"),
+            "application/json",
+            b"{truncated".to_vec(),
+        );
+        assert!(extract_request(&req2).is_empty());
+    }
+
+    #[test]
+    fn non_form_non_json_bodies_ignored() {
+        let req = HttpRequest::post(
+            url("https://t.example.com/u"),
+            "application/octet-stream",
+            vec![1, 2, 3],
+        );
+        assert!(extract_request(&req).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Data flows: `<data type category, destination>` pairs (paper §3.2.1).
+
+use diffaudit_blocklist::DestinationClass;
+use diffaudit_ontology::{DataTypeCategory, Level2};
+use std::collections::BTreeSet;
+
+/// One data flow: a level-3 category observed traveling to a destination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataFlow {
+    /// The data type category.
+    pub category: DataTypeCategory,
+    /// Destination FQDN.
+    pub fqdn: String,
+    /// Destination eSLD.
+    pub esld: String,
+    /// Destination class.
+    pub class: DestinationClass,
+}
+
+impl DataFlow {
+    /// The level-2 group (Table 4's row granularity).
+    pub fn group(&self) -> Level2 {
+        self.category.level2()
+    }
+}
+
+/// A deduplicated set of flows with convenience queries.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable4 {
+    flows: BTreeSet<DataFlow>,
+}
+
+impl FlowTable4 {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one flow (idempotent).
+    pub fn insert(&mut self, flow: DataFlow) {
+        self.flows.insert(flow);
+    }
+
+    /// All flows in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataFlow> {
+        self.flows.iter()
+    }
+
+    /// Number of unique flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// `true` when any flow matches `(group, class)`.
+    pub fn has_group_class(&self, group: Level2, class: DestinationClass) -> bool {
+        self.flows
+            .iter()
+            .any(|f| f.group() == group && f.class == class)
+    }
+
+    /// The set of `(group, class)` pairs present — the Table 4 cells.
+    pub fn group_class_set(&self) -> BTreeSet<(Level2, DestinationClass)> {
+        self.flows.iter().map(|f| (f.group(), f.class)).collect()
+    }
+
+    /// Distinct level-3 categories sent to a given eSLD.
+    pub fn categories_to_esld(&self, esld: &str) -> BTreeSet<DataTypeCategory> {
+        self.flows
+            .iter()
+            .filter(|f| f.esld == esld)
+            .map(|f| f.category)
+            .collect()
+    }
+
+    /// Distinct third-party eSLDs present.
+    pub fn third_party_eslds(&self) -> BTreeSet<&str> {
+        self.flows
+            .iter()
+            .filter(|f| f.class.is_third_party())
+            .map(|f| f.esld.as_str())
+            .collect()
+    }
+}
+
+impl FromIterator<DataFlow> for FlowTable4 {
+    fn from_iter<T: IntoIterator<Item = DataFlow>>(iter: T) -> Self {
+        Self {
+            flows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(cat: DataTypeCategory, esld: &str, class: DestinationClass) -> DataFlow {
+        DataFlow {
+            category: cat,
+            fqdn: format!("x.{esld}"),
+            esld: esld.to_string(),
+            class,
+        }
+    }
+
+    #[test]
+    fn dedup_and_queries() {
+        let mut t = FlowTable4::new();
+        t.insert(flow(DataTypeCategory::DeviceInfo, "doubleclick.net", DestinationClass::ThirdPartyAts));
+        t.insert(flow(DataTypeCategory::DeviceInfo, "doubleclick.net", DestinationClass::ThirdPartyAts));
+        t.insert(flow(DataTypeCategory::Age, "roblox.com", DestinationClass::FirstParty));
+        assert_eq!(t.len(), 2);
+        assert!(t.has_group_class(Level2::DeviceIdentifiers, DestinationClass::ThirdPartyAts));
+        assert!(!t.has_group_class(Level2::DeviceIdentifiers, DestinationClass::FirstParty));
+        assert_eq!(t.third_party_eslds().len(), 1);
+        assert_eq!(
+            t.categories_to_esld("doubleclick.net").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn group_class_set_is_cells() {
+        let mut t = FlowTable4::new();
+        t.insert(flow(DataTypeCategory::Name, "a.com", DestinationClass::ThirdParty));
+        t.insert(flow(DataTypeCategory::ContactInfo, "b.com", DestinationClass::ThirdParty));
+        let cells = t.group_class_set();
+        assert_eq!(cells.len(), 1, "two PI flows collapse to one cell");
+    }
+}

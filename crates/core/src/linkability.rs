@@ -1,0 +1,201 @@
+//! Data linkability analysis (paper §4.2, Figures 3–5).
+//!
+//! "Data linkability could occur if data flows containing at least one data
+//! type from both the identifiers and personal information categories are
+//! sent to the same third party."
+
+use crate::pipeline::{AuditOutcome, ObservedService};
+use diffaudit_ontology::DataTypeCategory;
+use diffaudit_services::TraceCategory;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-third-party linkable data summary.
+#[derive(Debug, Clone)]
+pub struct LinkableParty {
+    /// The third-party eSLD.
+    pub esld: String,
+    /// Whether the destination is on ATS lists.
+    pub is_ats: bool,
+    /// Owning organization, when known.
+    pub owner: Option<&'static str>,
+    /// The distinct level-3 categories this party received.
+    pub categories: BTreeSet<DataTypeCategory>,
+    /// Number of exchanges that carried data there.
+    pub exchange_count: usize,
+}
+
+impl LinkableParty {
+    /// `true` when both an identifier and a personal-information category
+    /// were received (the linkability condition).
+    pub fn is_linkable(&self) -> bool {
+        let has_identifier = self.categories.iter().any(|c| c.is_identifier());
+        let has_personal = self.categories.iter().any(|c| !c.is_identifier());
+        has_identifier && has_personal
+    }
+}
+
+/// Third parties receiving data in one (service, trace) pair, keyed by eSLD.
+pub fn third_parties(
+    service: &ObservedService,
+    category: TraceCategory,
+) -> Vec<LinkableParty> {
+    let mut map: BTreeMap<String, LinkableParty> = BTreeMap::new();
+    for unit in service.units.iter().filter(|u| u.category == category) {
+        for ex in &unit.exchanges {
+            if !ex.class.is_third_party() || ex.esld.is_empty() {
+                continue;
+            }
+            let entry = map.entry(ex.esld.clone()).or_insert_with(|| LinkableParty {
+                esld: ex.esld.clone(),
+                is_ats: ex.class.is_ats(),
+                owner: ex.owner,
+                categories: BTreeSet::new(),
+                exchange_count: 0,
+            });
+            entry.is_ats |= ex.class.is_ats();
+            entry.exchange_count += 1;
+            entry.categories.extend(ex.categories.iter().copied());
+        }
+    }
+    map.into_values().collect()
+}
+
+/// Figure 3: the number of third parties (ATS and non-ATS) sent linkable
+/// data in one (service, trace) pair.
+pub fn linkable_third_party_count(
+    service: &ObservedService,
+    category: TraceCategory,
+) -> usize {
+    third_parties(service, category)
+        .iter()
+        .filter(|p| p.is_linkable())
+        .count()
+}
+
+/// Figure 4: the size of the largest set of linkable data types shared by
+/// one (service, trace) pair, together with the set itself.
+pub fn largest_linkable_set(
+    service: &ObservedService,
+    category: TraceCategory,
+) -> (usize, BTreeSet<DataTypeCategory>) {
+    third_parties(service, category)
+        .into_iter()
+        .filter(|p| p.is_linkable())
+        .map(|p| (p.categories.len(), p.categories))
+        .max_by_key(|(n, _)| *n)
+        .unwrap_or((0, BTreeSet::new()))
+}
+
+/// The most common linkable set across the whole dataset (the paper reports
+/// a 5-type set as most common).
+pub fn most_common_linkable_set(
+    outcome: &AuditOutcome,
+) -> Option<(BTreeSet<DataTypeCategory>, usize)> {
+    let mut counts: BTreeMap<BTreeSet<DataTypeCategory>, usize> = BTreeMap::new();
+    for service in &outcome.services {
+        for category in TraceCategory::ALL {
+            for party in third_parties(service, category) {
+                if party.is_linkable() {
+                    *counts.entry(party.categories).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    counts.into_iter().max_by_key(|(_, n)| *n)
+}
+
+/// Figure 5: the top-`n` third-party ATS organizations (by exchange count)
+/// that received linkable data in one (service, trace) pair. Unattributable
+/// domains group under their eSLD.
+pub fn top_linkable_ats_orgs(
+    service: &ObservedService,
+    category: TraceCategory,
+    n: usize,
+) -> Vec<(String, usize)> {
+    let mut by_org: BTreeMap<String, usize> = BTreeMap::new();
+    for party in third_parties(service, category) {
+        if !party.is_ats || !party.is_linkable() {
+            continue;
+        }
+        let org = party
+            .owner
+            .map(str::to_string)
+            .unwrap_or_else(|| party.esld.clone());
+        *by_org.entry(org).or_insert(0) += party.exchange_count;
+    }
+    let mut ranked: Vec<(String, usize)> = by_org.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ClassificationMode, Pipeline};
+    use diffaudit_services::{generate_dataset, DatasetOptions};
+
+    fn outcome(slugs: &[&str], seed: u64) -> AuditOutcome {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed,
+            volume_scale: 0.05,
+            mobile_pinned_fraction: 0.1,
+            services: slugs.iter().map(|s| s.to_string()).collect(),
+        });
+        Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset)
+    }
+
+    #[test]
+    fn youtube_has_zero_linkable_third_parties() {
+        let outcome = outcome(&["youtube"], 21);
+        let yt = &outcome.services[0];
+        for category in TraceCategory::ALL {
+            assert_eq!(linkable_third_party_count(yt, category), 0);
+            assert_eq!(largest_linkable_set(yt, category).0, 0);
+            assert!(top_linkable_ats_orgs(yt, category, 10).is_empty());
+        }
+    }
+
+    #[test]
+    fn tiktok_child_has_linkable_parties() {
+        let outcome = outcome(&["tiktok"], 21);
+        let tiktok = &outcome.services[0];
+        // TikTok child shares device identifiers (identifiers) and network
+        // connection info (personal information) with the same third-party
+        // pool: linkability must emerge.
+        let count = linkable_third_party_count(tiktok, TraceCategory::Child);
+        assert!(count > 0, "expected linkable third parties");
+        let (size, set) = largest_linkable_set(tiktok, TraceCategory::Child);
+        assert!(size >= 2, "linkable set must span ≥2 categories");
+        assert!(set.iter().any(|c| c.is_identifier()));
+        assert!(set.iter().any(|c| !c.is_identifier()));
+    }
+
+    #[test]
+    fn child_counts_do_not_exceed_adult() {
+        let outcome = outcome(&["tiktok"], 33);
+        let service = &outcome.services[0];
+        let child = linkable_third_party_count(service, TraceCategory::Child);
+        let adult = linkable_third_party_count(service, TraceCategory::Adult);
+        assert!(child <= adult, "child {child} > adult {adult}");
+    }
+
+    #[test]
+    fn top_orgs_ranked_by_frequency() {
+        let outcome = outcome(&["tiktok"], 13);
+        let service = &outcome.services[0];
+        let ranked = top_linkable_ats_orgs(service, TraceCategory::Adult, 10);
+        assert!(!ranked.is_empty());
+        for window in ranked.windows(2) {
+            assert!(window[0].1 >= window[1].1, "ranking must be descending");
+        }
+    }
+
+    #[test]
+    fn most_common_set_exists() {
+        let outcome = outcome(&["tiktok"], 5);
+        let (set, count) = most_common_linkable_set(&outcome).unwrap();
+        assert!(!set.is_empty());
+        assert!(count >= 1);
+    }
+}

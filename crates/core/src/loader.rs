@@ -1,0 +1,346 @@
+//! Loading externally captured traces from disk.
+//!
+//! This is the adoption path the paper envisions ("we plan to make
+//! DiffAudit's implementation and datasets available"): an auditor collects
+//! traces with standard tooling — HAR exports from Chrome DevTools or
+//! Proxyman, pcap + `SSLKEYLOGFILE` from PCAPdroid — drops them in a
+//! directory with a small manifest, and runs the pipeline.
+//!
+//! The manifest is a JSON document:
+//!
+//! ```json
+//! {
+//!   "service": {
+//!     "name": "Roblox",
+//!     "slug": "roblox",
+//!     "firstPartyDomains": ["roblox.com", "rbxcdn.com"]
+//!   },
+//!   "units": [
+//!     {"file": "web-child-login.har", "platform": "web",
+//!      "kind": "logged-in", "category": "child"},
+//!     {"file": "mobile-child-acct.pcap", "keylog": "mobile-child-acct.keys",
+//!      "platform": "mobile", "kind": "account-creation", "category": "child"}
+//!   ]
+//! }
+//! ```
+//!
+//! `.har` files are parsed as HAR 1.2; `.pcap` files are decoded through
+//! the TCP/TLS pipeline using the sibling key-log file (flows without a
+//! logged key are reported as opaque, exactly like pinned apps).
+
+use crate::pipeline::{LoadedUnit, ServiceInput};
+use diffaudit_json::{parse, Json};
+use diffaudit_nettrace::{decode_auto, har_to_exchanges, KeyLog};
+use diffaudit_services::{Platform, TraceCategory, TraceKind};
+use std::path::{Path, PathBuf};
+
+/// Loader errors.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Filesystem error.
+    Io(PathBuf, std::io::Error),
+    /// The manifest was not valid JSON.
+    ManifestJson(String),
+    /// The manifest was missing or had a malformed field.
+    ManifestShape(String),
+    /// An artifact failed to decode.
+    Artifact(PathBuf, String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(path, e) => write!(f, "io error on {}: {e}", path.display()),
+            LoadError::ManifestJson(e) => write!(f, "manifest is not valid JSON: {e}"),
+            LoadError::ManifestShape(e) => write!(f, "manifest shape error: {e}"),
+            LoadError::Artifact(path, e) => {
+                write!(f, "failed to decode {}: {e}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn parse_platform(s: &str) -> Result<Platform, LoadError> {
+    match s.to_ascii_lowercase().as_str() {
+        "web" => Ok(Platform::Web),
+        "mobile" => Ok(Platform::Mobile),
+        "desktop" => Ok(Platform::Desktop),
+        other => Err(LoadError::ManifestShape(format!(
+            "unknown platform {other:?} (expected web|mobile|desktop)"
+        ))),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<TraceKind, LoadError> {
+    match s.to_ascii_lowercase().as_str() {
+        "account-creation" | "account_creation" => Ok(TraceKind::AccountCreation),
+        "logged-in" | "logged_in" => Ok(TraceKind::LoggedIn),
+        "logged-out" | "logged_out" => Ok(TraceKind::LoggedOut),
+        other => Err(LoadError::ManifestShape(format!(
+            "unknown kind {other:?} (expected account-creation|logged-in|logged-out)"
+        ))),
+    }
+}
+
+fn parse_category(s: &str) -> Result<TraceCategory, LoadError> {
+    match s.to_ascii_lowercase().as_str() {
+        "child" => Ok(TraceCategory::Child),
+        "adolescent" => Ok(TraceCategory::Adolescent),
+        "adult" => Ok(TraceCategory::Adult),
+        "logged-out" | "logged_out" => Ok(TraceCategory::LoggedOut),
+        other => Err(LoadError::ManifestShape(format!(
+            "unknown category {other:?} (expected child|adolescent|adult|logged-out)"
+        ))),
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, LoadError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| LoadError::ManifestShape(format!("{ctx}: missing string field {key:?}")))
+}
+
+/// Load a capture directory (containing `manifest.json`) into a
+/// [`ServiceInput`] ready for [`crate::pipeline::Pipeline::run_inputs`].
+pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
+    let manifest_path = dir.join("manifest.json");
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| LoadError::Io(manifest_path.clone(), e))?;
+    let manifest =
+        parse(&manifest_text).map_err(|e| LoadError::ManifestJson(e.to_string()))?;
+
+    let service = manifest
+        .get("service")
+        .ok_or_else(|| LoadError::ManifestShape("missing \"service\" object".into()))?;
+    let name = str_field(service, "name", "service")?.to_string();
+    let slug = str_field(service, "slug", "service")?.to_string();
+    let first_party_domains: Vec<String> = service
+        .get("firstPartyDomains")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            LoadError::ManifestShape("service.firstPartyDomains must be an array".into())
+        })?
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect();
+    if first_party_domains.is_empty() {
+        return Err(LoadError::ManifestShape(
+            "service.firstPartyDomains must not be empty".into(),
+        ));
+    }
+
+    let unit_entries = manifest
+        .get("units")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| LoadError::ManifestShape("missing \"units\" array".into()))?;
+    let mut units = Vec::with_capacity(unit_entries.len());
+    for (i, entry) in unit_entries.iter().enumerate() {
+        let ctx = format!("units[{i}]");
+        let file = str_field(entry, "file", &ctx)?;
+        let platform = parse_platform(str_field(entry, "platform", &ctx)?)?;
+        let kind = parse_kind(str_field(entry, "kind", &ctx)?)?;
+        let category = parse_category(str_field(entry, "category", &ctx)?)?;
+        let path = dir.join(file);
+        let unit = if file.ends_with(".har") {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
+            let exchanges = har_to_exchanges(&text)
+                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+            let n = exchanges.len();
+            LoadedUnit {
+                platform,
+                kind,
+                category,
+                exchanges,
+                opaque_snis: Vec::new(),
+                packet_count: n,
+                flow_count: n,
+            }
+        } else if file.ends_with(".pcap") || file.ends_with(".pcapng") {
+            let bytes = std::fs::read(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
+            let keylog = match entry.get("keylog").and_then(Json::as_str) {
+                Some(keylog_file) => {
+                    let keylog_path = dir.join(keylog_file);
+                    let text = std::fs::read_to_string(&keylog_path)
+                        .map_err(|e| LoadError::Io(keylog_path.clone(), e))?;
+                    KeyLog::parse(&text)
+                }
+                None => KeyLog::new(),
+            };
+            let decoded = decode_auto(&bytes, &keylog)
+                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+            LoadedUnit {
+                platform,
+                kind,
+                category,
+                exchanges: decoded.exchanges,
+                opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
+                packet_count: decoded.packet_count,
+                flow_count: decoded.flow_count,
+            }
+        } else {
+            return Err(LoadError::ManifestShape(format!(
+                "{ctx}: file {file:?} must end in .har, .pcap, or .pcapng"
+            )));
+        };
+        units.push(unit);
+    }
+    Ok(ServiceInput {
+        name,
+        slug,
+        first_party_domains,
+        units,
+    })
+}
+
+/// Write a generated dataset to disk in the loader's directory layout —
+/// one directory per service with `manifest.json` plus artifact files.
+/// Returns the per-service directories created.
+pub fn write_dataset(
+    dataset: &diffaudit_services::GeneratedDataset,
+    out: &Path,
+) -> Result<Vec<PathBuf>, LoadError> {
+    let mut dirs = Vec::new();
+    for capture in &dataset.services {
+        let dir = out.join(capture.spec.slug);
+        std::fs::create_dir_all(&dir).map_err(|e| LoadError::Io(dir.clone(), e))?;
+        let mut units_json = Vec::new();
+        for artifact in &capture.artifacts {
+            let platform = artifact.platform.label().to_lowercase();
+            let kind = match artifact.kind {
+                TraceKind::AccountCreation => "account-creation",
+                TraceKind::LoggedIn => "logged-in",
+                TraceKind::LoggedOut => "logged-out",
+            };
+            let category = artifact.category.label().to_lowercase().replace(' ', "-");
+            let stem = format!("{platform}-{category}-{kind}");
+            let mut unit = Json::obj()
+                .with("platform", Json::str(platform))
+                .with("kind", Json::str(kind))
+                .with("category", Json::str(category));
+            if let Some(har) = &artifact.har {
+                let file = format!("{stem}.har");
+                let path = dir.join(&file);
+                std::fs::write(&path, har).map_err(|e| LoadError::Io(path.clone(), e))?;
+                unit.set("file", Json::str(file));
+            }
+            if let Some(pcap) = &artifact.pcap {
+                let file = format!("{stem}.pcap");
+                let path = dir.join(&file);
+                std::fs::write(&path, pcap).map_err(|e| LoadError::Io(path.clone(), e))?;
+                unit.set("file", Json::str(file));
+                if let Some(keylog) = &artifact.keylog {
+                    let keys_file = format!("{stem}.keys");
+                    let keys_path = dir.join(&keys_file);
+                    std::fs::write(&keys_path, keylog)
+                        .map_err(|e| LoadError::Io(keys_path.clone(), e))?;
+                    unit.set("keylog", Json::str(keys_file));
+                }
+            }
+            units_json.push(unit);
+        }
+        let manifest = Json::obj()
+            .with(
+                "service",
+                Json::obj()
+                    .with("name", Json::str(capture.spec.name))
+                    .with("slug", Json::str(capture.spec.slug))
+                    .with(
+                        "firstPartyDomains",
+                        Json::Arr(
+                            capture
+                                .spec
+                                .first_party_domains
+                                .iter()
+                                .map(|d| Json::str(*d))
+                                .collect(),
+                        ),
+                    ),
+            )
+            .with("units", Json::Arr(units_json));
+        let manifest_path = dir.join("manifest.json");
+        std::fs::write(&manifest_path, manifest.to_pretty_string())
+            .map_err(|e| LoadError::Io(manifest_path.clone(), e))?;
+        dirs.push(dir);
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::ObservedGrid;
+    use crate::pipeline::{ClassificationMode, Pipeline};
+    use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("diffaudit-loader-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_round_trips_the_audit() {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 21,
+            volume_scale: 0.03,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into()],
+        });
+        let dir = temp_dir("roundtrip");
+        let service_dirs = write_dataset(&dataset, &dir).unwrap();
+        assert_eq!(service_dirs.len(), 1);
+
+        // Load back from disk and audit.
+        let input = load_capture_dir(&service_dirs[0]).unwrap();
+        assert_eq!(input.slug, "tiktok");
+        assert_eq!(input.units.len(), 14);
+        let outcome = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()))
+            .run_inputs(vec![input]);
+
+        // The from-disk audit must agree with the in-memory audit.
+        let reference = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()))
+            .run(&dataset);
+        let from_disk = ObservedGrid::build(&outcome.services[0]);
+        let in_memory = ObservedGrid::build(&reference.services[0]);
+        assert_eq!(from_disk.cells(), in_memory.cells());
+
+        // And it recovers the encoded spec.
+        let spec = service_by_slug("tiktok").unwrap();
+        let (missing, spurious) = from_disk.compare_activity(&spec);
+        assert!(missing.is_empty() && spurious.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_errors_are_described() {
+        let dir = temp_dir("errors");
+        // No manifest at all.
+        assert!(matches!(load_capture_dir(&dir), Err(LoadError::Io(..))));
+        // Bad JSON.
+        std::fs::write(dir.join("manifest.json"), "{oops").unwrap();
+        assert!(matches!(
+            load_capture_dir(&dir),
+            Err(LoadError::ManifestJson(_))
+        ));
+        // Missing fields.
+        std::fs::write(dir.join("manifest.json"), "{}").unwrap();
+        assert!(matches!(
+            load_capture_dir(&dir),
+            Err(LoadError::ManifestShape(_))
+        ));
+        // Bad platform.
+        std::fs::write(
+            dir.join("manifest.json"),
+            r#"{"service":{"name":"X","slug":"x","firstPartyDomains":["x.com"]},
+                "units":[{"file":"a.har","platform":"fridge","kind":"logged-in","category":"child"}]}"#,
+        )
+        .unwrap();
+        let err = load_capture_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("fridge"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,528 @@
+//! The end-to-end pipeline: capture artifacts → observed dataset.
+//!
+//! Mirrors the paper's post-processing: decode each unit's artifact (HAR or
+//! pcap + key log), extract raw data types from every outgoing request,
+//! classify the *unique* raw types once (the paper classified its 3,968
+//! unique types in batch), analyze destinations, and assemble per-unit
+//! observations ready for the differential audit.
+
+use crate::dest::DestinationAnalyzer;
+use crate::extract::extract_request;
+use crate::flow::{DataFlow, FlowTable4};
+use diffaudit_blocklist::DestinationClass;
+use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+use diffaudit_nettrace::{decode_pcap, har_to_exchanges, Exchange, KeyLog};
+use diffaudit_ontology::DataTypeCategory;
+use diffaudit_services::{
+    GeneratedDataset, Platform, ServiceCapture, TraceCategory, TraceKind,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// How raw data types are mapped to ontology categories.
+pub enum ClassificationMode {
+    /// Use a ground-truth label map (closed-loop verification; plays the
+    /// role of the paper's manual labeling).
+    Oracle(HashMap<String, DataTypeCategory>),
+    /// The paper's production configuration: the temperature-ensemble
+    /// majority vote with average confidence aggregation, keeping labels at
+    /// or above `threshold` (0.8 in the paper).
+    Ensemble {
+        /// Simulator seed.
+        seed: u64,
+        /// Confidence threshold below which keys stay unlabeled.
+        threshold: f64,
+    },
+}
+
+/// One analyzed outgoing exchange.
+#[derive(Debug, Clone)]
+pub struct ObservedExchange {
+    /// Destination FQDN.
+    pub fqdn: String,
+    /// Destination eSLD.
+    pub esld: String,
+    /// Destination class.
+    pub class: DestinationClass,
+    /// Owning organization, when known.
+    pub owner: Option<&'static str>,
+    /// Classified categories present in the payload (deduplicated).
+    pub categories: Vec<DataTypeCategory>,
+    /// Raw keys observed (deduplicated).
+    pub raw_keys: Vec<String>,
+    /// Capture timestamp.
+    pub timestamp_ms: u64,
+}
+
+/// One analyzed capture unit.
+#[derive(Debug)]
+pub struct ObservedUnit {
+    /// Platform.
+    pub platform: Platform,
+    /// Trace kind.
+    pub kind: TraceKind,
+    /// Trace category.
+    pub category: TraceCategory,
+    /// Analyzed exchanges.
+    pub exchanges: Vec<ObservedExchange>,
+    /// SNIs of flows that could not be decrypted (mobile pinning).
+    pub opaque_snis: Vec<String>,
+    /// Packets in the unit (pcap packets, or HAR entry count for web).
+    pub packet_count: usize,
+    /// TCP flows in the unit (pcap flows, or HAR entry count for web).
+    pub flow_count: usize,
+}
+
+/// One service's full observation.
+#[derive(Debug)]
+pub struct ObservedService {
+    /// Display name.
+    pub name: String,
+    /// Slug.
+    pub slug: String,
+    /// All units.
+    pub units: Vec<ObservedUnit>,
+}
+
+impl ObservedService {
+    /// Flows for one trace category, merged across kinds and platforms
+    /// (account-creation and logged-in merge per the paper's Table 4).
+    pub fn flows(&self, category: TraceCategory) -> FlowTable4 {
+        self.units
+            .iter()
+            .filter(|u| u.category == category)
+            .flat_map(|u| u.exchanges.iter())
+            .flat_map(|ex| {
+                ex.categories.iter().map(move |&c| DataFlow {
+                    category: c,
+                    fqdn: ex.fqdn.clone(),
+                    esld: ex.esld.clone(),
+                    class: ex.class,
+                })
+            })
+            .collect()
+    }
+
+    /// Flows for one trace category restricted to a platform.
+    pub fn flows_on(&self, category: TraceCategory, platform: Platform) -> FlowTable4 {
+        self.units
+            .iter()
+            .filter(|u| u.category == category && u.platform == platform)
+            .flat_map(|u| u.exchanges.iter())
+            .flat_map(|ex| {
+                ex.categories.iter().map(move |&c| DataFlow {
+                    category: c,
+                    fqdn: ex.fqdn.clone(),
+                    esld: ex.esld.clone(),
+                    class: ex.class,
+                })
+            })
+            .collect()
+    }
+
+    /// All distinct FQDNs contacted (including opaque flows' SNIs).
+    pub fn all_fqdns(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self
+            .units
+            .iter()
+            .flat_map(|u| u.exchanges.iter().map(|e| e.fqdn.clone()))
+            .collect();
+        for unit in &self.units {
+            out.extend(unit.opaque_snis.iter().cloned());
+        }
+        out
+    }
+}
+
+/// The full pipeline output.
+pub struct AuditOutcome {
+    /// Per-service observations (paper order).
+    pub services: Vec<ObservedService>,
+    /// The label assigned to each unique raw key (`None` = below threshold
+    /// or unparseable).
+    pub key_labels: HashMap<String, Option<DataTypeCategory>>,
+    /// Total unique raw data types extracted.
+    pub unique_raw_keys: usize,
+}
+
+/// The DiffAudit pipeline.
+pub struct Pipeline {
+    mode: ClassificationMode,
+}
+
+impl Pipeline {
+    /// Build with a classification mode.
+    pub fn new(mode: ClassificationMode) -> Self {
+        Self { mode }
+    }
+
+    /// The paper's configuration: majority-average ensemble at 0.8.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(ClassificationMode::Ensemble {
+            seed,
+            threshold: 0.8,
+        })
+    }
+
+    /// Run over a generated dataset.
+    pub fn run(&self, dataset: &GeneratedDataset) -> AuditOutcome {
+        // Phase 1: decode every unit and gather raw entries.
+        let mut decoded: Vec<(&ServiceCapture, Vec<DecodedUnit>)> = Vec::new();
+        let mut unique_keys: BTreeSet<String> = BTreeSet::new();
+        for capture in &dataset.services {
+            let units = decode_capture(capture);
+            for unit in &units {
+                for (_, keys) in &unit.requests {
+                    unique_keys.extend(keys.iter().cloned());
+                }
+            }
+            decoded.push((capture, units));
+        }
+
+        // Phase 2: classify unique keys once.
+        let key_labels = self.classify_keys(&unique_keys);
+
+        // Phase 3: destination analysis + assembly.
+        let services = decoded
+            .into_iter()
+            .map(|(capture, units)| {
+                assemble_service(
+                    capture.spec.name,
+                    capture.spec.slug,
+                    &capture.spec.first_party_domains,
+                    units,
+                    &key_labels,
+                )
+            })
+            .collect();
+        AuditOutcome {
+            services,
+            key_labels,
+            unique_raw_keys: unique_keys.len(),
+        }
+    }
+
+    /// Run over externally supplied inputs (decoded traces loaded from
+    /// disk — see [`crate::loader`]).
+    pub fn run_inputs(&self, inputs: Vec<ServiceInput>) -> AuditOutcome {
+        let mut decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = Vec::new();
+        let mut unique_keys: BTreeSet<String> = BTreeSet::new();
+        for input in inputs {
+            let units: Vec<DecodedUnit> =
+                input.units.into_iter().map(extract_unit).collect();
+            for unit in &units {
+                for (_, keys) in &unit.requests {
+                    unique_keys.extend(keys.iter().cloned());
+                }
+            }
+            decoded.push((input.name, input.slug, input.first_party_domains, units));
+        }
+        let key_labels = self.classify_keys(&unique_keys);
+        let services = decoded
+            .into_iter()
+            .map(|(name, slug, domains, units)| {
+                let domain_refs: Vec<&str> = domains.iter().map(String::as_str).collect();
+                assemble_service(&name, &slug, &domain_refs, units, &key_labels)
+            })
+            .collect();
+        AuditOutcome {
+            services,
+            key_labels,
+            unique_raw_keys: unique_keys.len(),
+        }
+    }
+
+    /// Classify a set of unique raw keys according to the mode.
+    pub fn classify_keys(
+        &self,
+        keys: &BTreeSet<String>,
+    ) -> HashMap<String, Option<DataTypeCategory>> {
+        match &self.mode {
+            ClassificationMode::Oracle(truth) => keys
+                .iter()
+                .map(|k| (k.clone(), truth.get(k).copied()))
+                .collect(),
+            ClassificationMode::Ensemble { seed, threshold } => {
+                let ensemble = MajorityEnsemble::new(*seed, ConfidenceAggregation::Average);
+                let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let results = ensemble.classify_batch(&refs);
+                keys.iter()
+                    .zip(results)
+                    .map(|(k, r)| {
+                        let label = match r.category {
+                            Some(c) if r.confidence >= *threshold => Some(c),
+                            _ => None,
+                        };
+                        (k.clone(), label)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One decoded capture unit, ready for classification — the input format
+/// for auditing externally supplied traces (see [`crate::loader`]).
+#[derive(Debug)]
+pub struct LoadedUnit {
+    /// Platform the unit was captured on.
+    pub platform: Platform,
+    /// Trace kind.
+    pub kind: TraceKind,
+    /// Trace category.
+    pub category: TraceCategory,
+    /// The decoded outgoing exchanges.
+    pub exchanges: Vec<Exchange>,
+    /// SNIs of undecryptable flows.
+    pub opaque_snis: Vec<String>,
+    /// Packets in the unit.
+    pub packet_count: usize,
+    /// TCP flows in the unit.
+    pub flow_count: usize,
+}
+
+/// An audit input: one service's identity plus its decoded units.
+#[derive(Debug)]
+pub struct ServiceInput {
+    /// Display name.
+    pub name: String,
+    /// Stable slug.
+    pub slug: String,
+    /// The service's own registrable domains (party classification).
+    pub first_party_domains: Vec<String>,
+    /// The decoded units.
+    pub units: Vec<LoadedUnit>,
+}
+
+/// A decoded (but not yet classified) unit with pre-extracted keys.
+struct DecodedUnit {
+    platform: Platform,
+    kind: TraceKind,
+    category: TraceCategory,
+    /// (exchange, raw keys) per outgoing request.
+    requests: Vec<(Exchange, Vec<String>)>,
+    opaque_snis: Vec<String>,
+    packet_count: usize,
+    flow_count: usize,
+}
+
+fn extract_unit(unit: LoadedUnit) -> DecodedUnit {
+    let requests = unit
+        .exchanges
+        .into_iter()
+        .map(|ex| {
+            let mut keys: Vec<String> = extract_request(&ex.request)
+                .into_iter()
+                .map(|e| e.key)
+                .collect();
+            keys.sort();
+            keys.dedup();
+            (ex, keys)
+        })
+        .collect();
+    DecodedUnit {
+        platform: unit.platform,
+        kind: unit.kind,
+        category: unit.category,
+        requests,
+        opaque_snis: unit.opaque_snis,
+        packet_count: unit.packet_count,
+        flow_count: unit.flow_count,
+    }
+}
+
+fn decode_capture(capture: &ServiceCapture) -> Vec<DecodedUnit> {
+    capture
+        .artifacts
+        .iter()
+        .map(|artifact| {
+            let (exchanges, opaque_snis, packet_count, flow_count) = match artifact.platform {
+                Platform::Web | Platform::Desktop => {
+                    let exchanges = artifact
+                        .har
+                        .as_deref()
+                        .map(|har| har_to_exchanges(har).expect("generated HAR parses"))
+                        .unwrap_or_default();
+                    let n = exchanges.len();
+                    (exchanges, Vec::new(), n, n)
+                }
+                Platform::Mobile => {
+                    let keylog = KeyLog::parse(artifact.keylog.as_deref().unwrap_or(""));
+                    let trace = decode_pcap(
+                        artifact.pcap.as_deref().unwrap_or(&[]),
+                        &keylog,
+                    )
+                    .expect("generated pcap decodes");
+                    let opaque = trace
+                        .opaque
+                        .iter()
+                        .filter_map(|o| o.sni.clone())
+                        .collect();
+                    (
+                        trace.exchanges,
+                        opaque,
+                        trace.packet_count,
+                        trace.flow_count,
+                    )
+                }
+            };
+            let requests = exchanges
+                .into_iter()
+                .map(|ex| {
+                    let mut keys: Vec<String> = extract_request(&ex.request)
+                        .into_iter()
+                        .map(|e| e.key)
+                        .collect();
+                    keys.sort();
+                    keys.dedup();
+                    (ex, keys)
+                })
+                .collect();
+            DecodedUnit {
+                platform: artifact.platform,
+                kind: artifact.kind,
+                category: artifact.category,
+                requests,
+                opaque_snis,
+                packet_count,
+                flow_count,
+            }
+        })
+        .collect()
+}
+
+fn assemble_service(
+    name: &str,
+    slug: &str,
+    first_party_domains: &[&str],
+    units: Vec<DecodedUnit>,
+    key_labels: &HashMap<String, Option<DataTypeCategory>>,
+) -> ObservedService {
+    let mut analyzer = DestinationAnalyzer::new(first_party_domains);
+    let observed_units = units
+        .into_iter()
+        .map(|unit| {
+            let exchanges = unit
+                .requests
+                .into_iter()
+                .filter_map(|(ex, keys)| {
+                    let info = analyzer.analyze(ex.request.url.host.as_str())?;
+                    let mut categories: Vec<DataTypeCategory> = keys
+                        .iter()
+                        .filter_map(|k| key_labels.get(k).copied().flatten())
+                        .collect();
+                    categories.sort();
+                    categories.dedup();
+                    Some(ObservedExchange {
+                        fqdn: info.fqdn,
+                        esld: info.esld.unwrap_or_default(),
+                        class: info.class,
+                        owner: info.owner,
+                        categories,
+                        raw_keys: keys,
+                        timestamp_ms: ex.timestamp_ms,
+                    })
+                })
+                .collect();
+            ObservedUnit {
+                platform: unit.platform,
+                kind: unit.kind,
+                category: unit.category,
+                exchanges,
+                opaque_snis: unit.opaque_snis,
+                packet_count: unit.packet_count,
+                flow_count: unit.flow_count,
+            }
+        })
+        .collect();
+    ObservedService {
+        name: name.to_string(),
+        slug: slug.to_string(),
+        units: observed_units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffaudit_services::{generate_dataset, DatasetOptions};
+
+    fn tiny_dataset() -> GeneratedDataset {
+        generate_dataset(&DatasetOptions {
+            seed: 77,
+            volume_scale: 0.03,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into()],
+        })
+    }
+
+    #[test]
+    fn oracle_pipeline_runs_end_to_end() {
+        let dataset = tiny_dataset();
+        let pipeline = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()));
+        let outcome = pipeline.run(&dataset);
+        assert_eq!(outcome.services.len(), 1);
+        let service = &outcome.services[0];
+        assert_eq!(service.slug, "tiktok");
+        assert_eq!(service.units.len(), 14);
+        assert!(outcome.unique_raw_keys > 50);
+        // Every decoded exchange got destination analysis and ≥1 category.
+        let with_cats = service
+            .units
+            .iter()
+            .flat_map(|u| &u.exchanges)
+            .filter(|e| !e.categories.is_empty())
+            .count();
+        let total: usize = service.units.iter().map(|u| u.exchanges.len()).sum();
+        assert!(total > 0);
+        assert!(
+            with_cats as f64 / total as f64 > 0.95,
+            "{with_cats}/{total} exchanges categorized"
+        );
+    }
+
+    #[test]
+    fn flows_merge_kinds_and_platforms() {
+        let dataset = tiny_dataset();
+        let pipeline = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()));
+        let outcome = pipeline.run(&dataset);
+        let service = &outcome.services[0];
+        let merged = service.flows(TraceCategory::Child);
+        let web_only = service.flows_on(TraceCategory::Child, Platform::Web);
+        assert!(merged.len() >= web_only.len());
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn ensemble_mode_labels_most_keys() {
+        let dataset = tiny_dataset();
+        let pipeline = Pipeline::paper_default(3);
+        let outcome = pipeline.run(&dataset);
+        let labeled = outcome
+            .key_labels
+            .values()
+            .filter(|v| v.is_some())
+            .count();
+        let frac = labeled as f64 / outcome.key_labels.len() as f64;
+        assert!(
+            (0.3..1.0).contains(&frac),
+            "labeled fraction {frac} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn mobile_units_report_packets_and_flows() {
+        let dataset = tiny_dataset();
+        let pipeline = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()));
+        let outcome = pipeline.run(&dataset);
+        let mobile_units: Vec<&ObservedUnit> = outcome.services[0]
+            .units
+            .iter()
+            .filter(|u| u.platform == Platform::Mobile)
+            .collect();
+        assert!(!mobile_units.is_empty());
+        for unit in mobile_units {
+            assert!(unit.packet_count > unit.flow_count, "pcap packets > flows");
+            assert!(unit.flow_count > 0);
+        }
+    }
+}

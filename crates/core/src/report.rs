@@ -1,0 +1,215 @@
+//! Report rendering: the paper's tables and figures as text.
+
+use crate::audit::AuditFinding;
+use crate::diff::ObservedGrid;
+use crate::linkability;
+use crate::pipeline::{AuditOutcome, ObservedService};
+use crate::stats::DatasetSummary;
+use diffaudit_ontology::Level2;
+use diffaudit_services::{FlowAction, TraceCategory};
+
+/// Render a Table 1-style dataset summary.
+pub fn render_table1(summary: &DatasetSummary) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Network Traffic Dataset Summary\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>7} {:>9} {:>10}\n",
+        "Service", "Domains", "eSLDs", "Packets", "TCP Flows"
+    ));
+    for s in &summary.services {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>7} {:>9} {:>10}\n",
+            s.name, s.domains, s.eslds, s.packets, s.tcp_flows
+        ));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>7} {:>9} {:>10}\n",
+        "Total",
+        summary.total_domains,
+        summary.total_eslds,
+        summary.total_packets,
+        summary.total_tcp_flows
+    ));
+    out.push_str(&format!(
+        "\nUnique data types: {}   Unique data flows: {}\n",
+        summary.unique_data_types, summary.unique_data_flows
+    ));
+    out
+}
+
+/// Render a Table 4-style grid for one service.
+///
+/// Each cell prints the platform symbol: `●` both, `□` web only, `▪` mobile
+/// only, `–` absent; columns are collect-1st / collect-1st-ATS / share-3rd /
+/// share-3rd-ATS per trace category.
+pub fn render_table4(service: &ObservedService, grid: &ObservedGrid) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Table 4 — {}\n", service.name));
+    out.push_str(&format!("{:<30}", "Data Type"));
+    for category in TraceCategory::ALL {
+        out.push_str(&format!("{:<14}", category.label()));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<30}", ""));
+    for _ in TraceCategory::ALL {
+        out.push_str(&format!("{:<14}", "1st 1A 3rd 3A"));
+    }
+    out.push('\n');
+    for group in Level2::TABLE4_ROWS {
+        out.push_str(&format!("{:<30}", group.label()));
+        for category in TraceCategory::ALL {
+            let symbols: Vec<&str> = FlowAction::ALL
+                .iter()
+                .map(|&action| grid.presence(category, group, action).symbol())
+                .collect();
+            out.push_str(&format!("{:<14}", symbols.join("   ")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the Figure 3 data series: linkable third-party counts per trace.
+pub fn render_fig3(outcome: &AuditOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 3: Third Parties Sent Linkable Data Types\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>8} {:>12}\n",
+        "Service", "Child", "Adolescent", "Adult", "Logged Out"
+    ));
+    for service in &outcome.services {
+        let counts: Vec<usize> = TraceCategory::ALL
+            .iter()
+            .map(|&c| linkability::linkable_third_party_count(service, c))
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12} {:>8} {:>12}\n",
+            service.name, counts[0], counts[1], counts[2], counts[3]
+        ));
+    }
+    out
+}
+
+/// Render the Figure 4 data series: largest linkable-set sizes per trace.
+pub fn render_fig4(outcome: &AuditOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4: Sizes of Largest Sets of Linkable Data Types\n");
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>8} {:>12}\n",
+        "Service", "Child", "Adolescent", "Adult", "Logged Out"
+    ));
+    for service in &outcome.services {
+        let sizes: Vec<usize> = TraceCategory::ALL
+            .iter()
+            .map(|&c| linkability::largest_linkable_set(service, c).0)
+            .collect();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12} {:>8} {:>12}\n",
+            service.name, sizes[0], sizes[1], sizes[2], sizes[3]
+        ));
+    }
+    if let Some((set, count)) = linkability::most_common_linkable_set(outcome) {
+        let labels: Vec<&str> = set.iter().map(|c| c.label()).collect();
+        out.push_str(&format!(
+            "\nMost common linkable set ({} occurrences, {} types): {}\n",
+            count,
+            set.len(),
+            labels.join(", ")
+        ));
+    }
+    out
+}
+
+/// Render the Figure 5 data: top ATS organizations per service/trace.
+pub fn render_fig5(outcome: &AuditOutcome, top_n: usize) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 5: Most Frequent Third-Party ATS Organizations Sent Linkable Data\n");
+    for service in &outcome.services {
+        for category in TraceCategory::ALL {
+            let ranked = linkability::top_linkable_ats_orgs(service, category, top_n);
+            if ranked.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n{} / {}:\n", service.name, category));
+            for (org, count) in ranked {
+                out.push_str(&format!("  {count:>6}  {org}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Render an audit findings report.
+pub fn render_findings(findings: &[AuditFinding]) -> String {
+    if findings.is_empty() {
+        return "No findings.\n".to_string();
+    }
+    let mut sorted: Vec<&AuditFinding> = findings.iter().collect();
+    sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.service.cmp(&b.service)));
+    let mut out = String::new();
+    for finding in sorted {
+        out.push_str(&finding.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit_service;
+    use crate::pipeline::{ClassificationMode, Pipeline};
+    use crate::stats::summarize;
+    use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
+
+    fn outcome() -> AuditOutcome {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 9,
+            volume_scale: 0.04,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into()],
+        });
+        Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset)
+    }
+
+    #[test]
+    fn table1_renders() {
+        let o = outcome();
+        let text = render_table1(&summarize(&o));
+        assert!(text.contains("TikTok"));
+        assert!(text.contains("Total"));
+        assert!(text.contains("Unique data types"));
+    }
+
+    #[test]
+    fn table4_renders_symbols() {
+        let o = outcome();
+        let grid = ObservedGrid::build(&o.services[0]);
+        let text = render_table4(&o.services[0], &grid);
+        assert!(text.contains("Personal Identifiers"));
+        assert!(text.contains('●'));
+        assert!(text.contains('–'));
+        assert!(text.contains("Logged Out"));
+    }
+
+    #[test]
+    fn figures_render() {
+        let o = outcome();
+        assert!(render_fig3(&o).contains("TikTok"));
+        assert!(render_fig4(&o).contains("Most common linkable set"));
+        assert!(render_fig5(&o, 10).contains("TikTok"));
+    }
+
+    #[test]
+    fn findings_render_sorted_by_severity() {
+        let o = outcome();
+        let findings = audit_service(&o.services[0], &service_by_slug("tiktok").unwrap());
+        let text = render_findings(&findings);
+        let first_violation = text.find("VIOLATION");
+        let first_notice = text.find("NOTICE");
+        if let (Some(v), Some(n)) = (first_violation, first_notice) {
+            assert!(v < n, "violations must sort first");
+        }
+        assert!(render_findings(&[]).contains("No findings"));
+    }
+}

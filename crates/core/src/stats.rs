@@ -1,0 +1,143 @@
+//! Dataset summary statistics (paper Table 1 and the headline counts).
+
+use crate::pipeline::{AuditOutcome, ObservedService};
+use diffaudit_domains::{extract, DomainName};
+use std::collections::BTreeSet;
+
+/// Per-service summary (one Table 1 row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSummary {
+    /// Service name.
+    pub name: String,
+    /// Unique FQDNs contacted (including opaque flows' SNIs).
+    pub domains: usize,
+    /// Unique eSLDs contacted.
+    pub eslds: usize,
+    /// Total packets (pcap packets for mobile units; HAR entries count as
+    /// one packet each for web/desktop units, mirroring the paper's merged
+    /// accounting).
+    pub packets: usize,
+    /// Total TCP flows (pcap flows; one per HAR entry for web/desktop).
+    pub tcp_flows: usize,
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Per-service rows in input order.
+    pub services: Vec<ServiceSummary>,
+    /// Unique domains across services.
+    pub total_domains: usize,
+    /// Unique eSLDs across services.
+    pub total_eslds: usize,
+    /// Total packets.
+    pub total_packets: usize,
+    /// Total TCP flows.
+    pub total_tcp_flows: usize,
+    /// Unique raw data types extracted (paper: 3,968).
+    pub unique_data_types: usize,
+    /// Unique `<category, destination FQDN>` data flows (paper: 5,508).
+    pub unique_data_flows: usize,
+}
+
+fn eslds_of(fqdns: &BTreeSet<String>) -> BTreeSet<String> {
+    fqdns
+        .iter()
+        .filter_map(|f| DomainName::parse(f).ok())
+        .filter_map(|d| extract(&d).esld())
+        .collect()
+}
+
+fn summarize_service(service: &ObservedService) -> ServiceSummary {
+    let fqdns = service.all_fqdns();
+    let eslds = eslds_of(&fqdns);
+    let packets = service.units.iter().map(|u| u.packet_count).sum();
+    let tcp_flows = service.units.iter().map(|u| u.flow_count).sum();
+    ServiceSummary {
+        name: service.name.clone(),
+        domains: fqdns.len(),
+        eslds: eslds.len(),
+        packets,
+        tcp_flows,
+    }
+}
+
+/// Build the Table 1 summary from a pipeline outcome.
+pub fn summarize(outcome: &AuditOutcome) -> DatasetSummary {
+    let services: Vec<ServiceSummary> =
+        outcome.services.iter().map(summarize_service).collect();
+    let mut all_fqdns = BTreeSet::new();
+    let mut unique_flows: BTreeSet<(String, String)> = BTreeSet::new();
+    for service in &outcome.services {
+        all_fqdns.extend(service.all_fqdns());
+        for unit in &service.units {
+            for ex in &unit.exchanges {
+                for c in &ex.categories {
+                    unique_flows.insert((c.label().to_string(), ex.fqdn.clone()));
+                }
+            }
+        }
+    }
+    let total_eslds = eslds_of(&all_fqdns).len();
+    DatasetSummary {
+        total_domains: all_fqdns.len(),
+        total_eslds,
+        total_packets: services.iter().map(|s| s.packets).sum(),
+        total_tcp_flows: services.iter().map(|s| s.tcp_flows).sum(),
+        unique_data_types: outcome.unique_raw_keys,
+        unique_data_flows: unique_flows.len(),
+        services,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{ClassificationMode, Pipeline};
+    use diffaudit_services::{generate_dataset, DatasetOptions};
+
+    #[test]
+    fn summary_shape() {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 3,
+            volume_scale: 0.04,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into(), "youtube".into()],
+        });
+        let outcome =
+            Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
+        let summary = summarize(&outcome);
+        assert_eq!(summary.services.len(), 2);
+        let tiktok = &summary.services[0];
+        assert!(tiktok.domains > 0);
+        assert!(tiktok.eslds <= tiktok.domains);
+        assert!(tiktok.packets >= tiktok.tcp_flows);
+        assert!(summary.unique_data_types > 50);
+        assert!(summary.unique_data_flows > summary.total_eslds);
+        // Totals are unions, not sums (shared trackers overlap), so totals
+        // are at most the per-service sums.
+        let naive_domain_sum: usize = summary.services.iter().map(|s| s.domains).sum();
+        assert!(summary.total_domains <= naive_domain_sum);
+    }
+
+    #[test]
+    fn youtube_contacts_fewest_eslds() {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 3,
+            volume_scale: 0.04,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["quizlet".into(), "youtube".into()],
+        });
+        let outcome =
+            Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
+        let summary = summarize(&outcome);
+        let quizlet = summary.services.iter().find(|s| s.name == "Quizlet").unwrap();
+        let youtube = summary.services.iter().find(|s| s.name == "YouTube").unwrap();
+        assert!(
+            quizlet.eslds > youtube.eslds,
+            "Quizlet ({}) must dwarf YouTube ({})",
+            quizlet.eslds,
+            youtube.eslds
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! `tldextract`-equivalent domain decomposition.
+//!
+//! Splits an FQDN into `subdomain`, `domain`, and `suffix` using the public
+//! suffix list, and exposes the *eSLD* (effective second-level domain =
+//! `domain.suffix`) that DiffAudit's destination analysis keys on (§3.2.3).
+
+use crate::name::DomainName;
+use crate::psl::PublicSuffixList;
+
+/// The result of decomposing an FQDN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extracted {
+    /// Everything left of the registrable domain (may be empty).
+    pub subdomain: String,
+    /// The registrable label (may be empty when the name is itself a public
+    /// suffix).
+    pub domain: String,
+    /// The public suffix.
+    pub suffix: String,
+}
+
+impl Extracted {
+    /// The effective second-level domain: `domain.suffix`, or `None` when
+    /// the input was a bare public suffix.
+    pub fn esld(&self) -> Option<String> {
+        if self.domain.is_empty() {
+            None
+        } else if self.suffix.is_empty() {
+            Some(self.domain.clone())
+        } else {
+            Some(format!("{}.{}", self.domain, self.suffix))
+        }
+    }
+}
+
+/// Decompose using the embedded PSL with ICANN-only rules (the `tldextract`
+/// default the paper used).
+pub fn extract(name: &DomainName) -> Extracted {
+    extract_with(name, PublicSuffixList::embedded(), false)
+}
+
+/// Decompose with an explicit PSL and private-section toggle.
+pub fn extract_with(
+    name: &DomainName,
+    psl: &PublicSuffixList,
+    include_private: bool,
+) -> Extracted {
+    let labels: Vec<&str> = name.labels().collect();
+    let n = labels.len();
+    match psl.suffix_labels(name, include_private) {
+        None => Extracted {
+            subdomain: String::new(),
+            domain: String::new(),
+            suffix: name.as_str().to_string(),
+        },
+        Some(suffix_len) => {
+            let suffix = labels[n - suffix_len..].join(".");
+            let domain = labels[n - suffix_len - 1].to_string();
+            let subdomain = labels[..n - suffix_len - 1].join(".");
+            Extracted {
+                subdomain,
+                domain,
+                suffix,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(s: &str) -> Extracted {
+        extract(&DomainName::parse(s).unwrap())
+    }
+
+    #[test]
+    fn basic_split() {
+        let e = ex("www.roblox.com");
+        assert_eq!(e.subdomain, "www");
+        assert_eq!(e.domain, "roblox");
+        assert_eq!(e.suffix, "com");
+        assert_eq!(e.esld().unwrap(), "roblox.com");
+    }
+
+    #[test]
+    fn deep_subdomain() {
+        let e = ex("browser.events.data.microsoft.com");
+        assert_eq!(e.subdomain, "browser.events.data");
+        assert_eq!(e.esld().unwrap(), "microsoft.com");
+    }
+
+    #[test]
+    fn cctld_second_level() {
+        let e = ex("shop.example.co.uk");
+        assert_eq!(e.subdomain, "shop");
+        assert_eq!(e.domain, "example");
+        assert_eq!(e.suffix, "co.uk");
+        assert_eq!(e.esld().unwrap(), "example.co.uk");
+    }
+
+    #[test]
+    fn bare_suffix() {
+        let e = ex("co.uk");
+        assert_eq!(e.domain, "");
+        assert_eq!(e.suffix, "co.uk");
+        assert_eq!(e.esld(), None);
+    }
+
+    #[test]
+    fn no_subdomain() {
+        let e = ex("duolingo.com");
+        assert_eq!(e.subdomain, "");
+        assert_eq!(e.esld().unwrap(), "duolingo.com");
+    }
+
+    #[test]
+    fn cdn_domains_keep_icann_semantics() {
+        // The paper lists cloudfront.net and googleapis.com as third-party
+        // eSLDs: ICANN-only extraction reproduces that.
+        assert_eq!(ex("d1xyz.cloudfront.net").esld().unwrap(), "cloudfront.net");
+        assert_eq!(ex("fonts.googleapis.com").esld().unwrap(), "googleapis.com");
+    }
+
+    #[test]
+    fn private_section_changes_split() {
+        let psl = PublicSuffixList::embedded();
+        let name = DomainName::parse("alice.github.io").unwrap();
+        let icann = extract_with(&name, psl, false);
+        assert_eq!(icann.esld().unwrap(), "github.io");
+        let private = extract_with(&name, psl, true);
+        assert_eq!(private.domain, "alice");
+        assert_eq!(private.suffix, "github.io");
+        assert_eq!(private.esld().unwrap(), "alice.github.io");
+    }
+}

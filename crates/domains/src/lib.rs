@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-domains
+//!
+//! Domain-name handling for the DiffAudit pipeline.
+//!
+//! The paper's destination analysis (§3.2.3) extracts the fully qualified
+//! domain name (FQDN) from each request URL and then derives the *effective
+//! second-level domain* (eSLD) with the `tldextract` Python library. This
+//! crate reimplements that stack:
+//!
+//! - [`DomainName`] — a validated, normalized FQDN ([`name`]);
+//! - [`Url`] — a minimal URL parser sufficient for HTTP traffic ([`url`]);
+//! - [`PublicSuffixList`] — public-suffix rules with wildcard and exception
+//!   support plus an embedded snapshot ([`psl`]);
+//! - [`extract`] — the `tldextract` equivalent producing
+//!   `subdomain` / `domain` / `suffix` splits and the eSLD.
+
+pub mod extract;
+pub mod name;
+pub mod psl;
+pub mod url;
+
+pub use extract::{extract, extract_with, Extracted};
+pub use name::{DomainError, DomainName};
+pub use psl::{PublicSuffixList, SuffixKind};
+pub use url::{Url, UrlError};

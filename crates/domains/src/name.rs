@@ -1,0 +1,189 @@
+//! Validated, normalized fully qualified domain names.
+
+/// Errors produced when validating a domain name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainError {
+    /// The name was empty (or only a trailing dot).
+    Empty,
+    /// Total length exceeded 253 characters.
+    TooLong(usize),
+    /// A label was empty (consecutive dots).
+    EmptyLabel,
+    /// A label exceeded 63 characters.
+    LabelTooLong(String),
+    /// A label contained a character outside `[a-z0-9-]` or had a leading or
+    /// trailing hyphen.
+    InvalidLabel(String),
+}
+
+impl std::fmt::Display for DomainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainError::Empty => write!(f, "empty domain name"),
+            DomainError::TooLong(n) => write!(f, "domain name too long ({n} > 253)"),
+            DomainError::EmptyLabel => write!(f, "empty label (consecutive dots)"),
+            DomainError::LabelTooLong(l) => write!(f, "label too long: {l:?}"),
+            DomainError::InvalidLabel(l) => write!(f, "invalid label: {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// A validated, lowercase FQDN without a trailing dot.
+///
+/// Hostname validation follows RFC 1123 (digits allowed in any position,
+/// underscores rejected — real traffic occasionally carries underscore
+/// hostnames but none of our sources generate them, and rejecting keeps the
+/// type honest).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName {
+    name: String,
+}
+
+impl DomainName {
+    /// Parse and validate. Uppercase input is lowered; one trailing dot is
+    /// stripped.
+    pub fn parse(input: &str) -> Result<Self, DomainError> {
+        let trimmed = input.strip_suffix('.').unwrap_or(input);
+        if trimmed.is_empty() {
+            return Err(DomainError::Empty);
+        }
+        if trimmed.len() > 253 {
+            return Err(DomainError::TooLong(trimmed.len()));
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        for label in lower.split('.') {
+            if label.is_empty() {
+                return Err(DomainError::EmptyLabel);
+            }
+            if label.len() > 63 {
+                return Err(DomainError::LabelTooLong(label.to_string()));
+            }
+            let bytes = label.as_bytes();
+            if bytes[0] == b'-' || bytes[bytes.len() - 1] == b'-' {
+                return Err(DomainError::InvalidLabel(label.to_string()));
+            }
+            if !bytes
+                .iter()
+                .all(|&b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+            {
+                return Err(DomainError::InvalidLabel(label.to_string()));
+            }
+        }
+        Ok(Self { name: lower })
+    }
+
+    /// The normalized name.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Labels, left to right (`www`, `roblox`, `com`).
+    pub fn labels(&self) -> impl DoubleEndedIterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// `true` if `self` equals `other` or is a subdomain of it
+    /// (`a.b.example.com` is within `example.com`).
+    pub fn is_within(&self, other: &DomainName) -> bool {
+        self.name == other.name
+            || (self.name.len() > other.name.len()
+                && self.name.ends_with(&other.name)
+                && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.')
+    }
+
+    /// The parent domain (one label removed), if any.
+    pub fn parent(&self) -> Option<DomainName> {
+        let idx = self.name.find('.')?;
+        Some(DomainName {
+            name: self.name[idx + 1..].to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for DomainName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl std::str::FromStr for DomainName {
+    type Err = DomainError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let d = DomainName::parse("WWW.Roblox.COM.").unwrap();
+        assert_eq!(d.as_str(), "www.roblox.com");
+        assert_eq!(d.label_count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(DomainName::parse(""), Err(DomainError::Empty));
+        assert_eq!(DomainName::parse("."), Err(DomainError::Empty));
+        assert_eq!(DomainName::parse("a..b"), Err(DomainError::EmptyLabel));
+        assert!(matches!(
+            DomainName::parse("-bad.com"),
+            Err(DomainError::InvalidLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("bad-.com"),
+            Err(DomainError::InvalidLabel(_))
+        ));
+        assert!(matches!(
+            DomainName::parse("under_score.com"),
+            Err(DomainError::InvalidLabel(_))
+        ));
+        let long_label = format!("{}.com", "a".repeat(64));
+        assert!(matches!(
+            DomainName::parse(&long_label),
+            Err(DomainError::LabelTooLong(_))
+        ));
+        let long_name = vec!["aaaaaaaaaa"; 26].join(".");
+        assert!(matches!(
+            DomainName::parse(&long_name),
+            Err(DomainError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn digits_and_hyphens_ok() {
+        assert!(DomainName::parse("3m.com").is_ok());
+        assert!(DomainName::parse("my-site.co.uk").is_ok());
+        assert!(DomainName::parse("a1-b2.example").is_ok());
+    }
+
+    #[test]
+    fn is_within_semantics() {
+        let base = DomainName::parse("example.com").unwrap();
+        let sub = DomainName::parse("a.b.example.com").unwrap();
+        let cousin = DomainName::parse("badexample.com").unwrap();
+        assert!(sub.is_within(&base));
+        assert!(base.is_within(&base));
+        assert!(!cousin.is_within(&base), "suffix without dot boundary");
+        assert!(!base.is_within(&sub));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let d = DomainName::parse("a.b.c").unwrap();
+        let p = d.parent().unwrap();
+        assert_eq!(p.as_str(), "b.c");
+        assert_eq!(p.parent().unwrap().as_str(), "c");
+        assert!(p.parent().unwrap().parent().is_none());
+    }
+}

@@ -1,0 +1,419 @@
+//! Public Suffix List engine.
+//!
+//! Implements the PSL algorithm (https://publicsuffix.org/list/): rules are
+//! domain suffixes, `*.` rules match any single extra label, `!` rules are
+//! exceptions that override wildcards, and the longest matching rule wins.
+//! An unlisted TLD falls back to the implicit `*` rule (the last label is
+//! the suffix).
+//!
+//! The embedded snapshot covers the ICANN TLDs and country-code second-level
+//! registrations observed in the paper's dataset plus the private-section
+//! entries (hosting platforms) relevant to tracker analysis; it is a curated
+//! subset, not the full 10k-line list, but the matching engine accepts any
+//! rule set via [`PublicSuffixList::from_rules`].
+
+use crate::name::DomainName;
+use std::collections::HashMap;
+
+/// Whether a suffix rule comes from the ICANN or the private section of the
+/// PSL. `tldextract` excludes private-section rules by default; DiffAudit
+/// follows that default so that e.g. `d1.cloudfront.net` has eSLD
+/// `cloudfront.net` (matching the paper's third-party tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuffixKind {
+    /// ICANN-managed registry suffix (always active).
+    Icann,
+    /// Private-section entry (active only when requested).
+    Private,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleKind {
+    Normal,
+    Wildcard,
+    Exception,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    kind: RuleKind,
+    section: SuffixKind,
+}
+
+/// A compiled public suffix list.
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    // Keyed by the rule's label sequence (without `*.`/`!` markers), stored
+    // reversed-joined for direct lookup: "uk.co" for rule "co.uk".
+    rules: HashMap<String, Rule>,
+}
+
+fn reverse_key(labels: &[&str]) -> String {
+    let mut rev: Vec<&str> = labels.to_vec();
+    rev.reverse();
+    rev.join(".")
+}
+
+impl PublicSuffixList {
+    /// Compile a rule set from PSL-syntax lines. Lines may carry `*.` and
+    /// `!` markers; blank lines and `//` comments are ignored. `section`
+    /// assignment: lines after a `// ===BEGIN PRIVATE DOMAINS===` marker are
+    /// private, everything before is ICANN (matching the real list layout).
+    pub fn from_rules(text: &str) -> Self {
+        let mut rules = HashMap::new();
+        let mut section = SuffixKind::Icann;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("//") {
+                if line.contains("BEGIN PRIVATE DOMAINS") {
+                    section = SuffixKind::Private;
+                }
+                continue;
+            }
+            let (kind, body) = if let Some(rest) = line.strip_prefix('!') {
+                (RuleKind::Exception, rest)
+            } else if let Some(rest) = line.strip_prefix("*.") {
+                (RuleKind::Wildcard, rest)
+            } else {
+                (RuleKind::Normal, line)
+            };
+            let labels: Vec<&str> = body.split('.').collect();
+            rules.insert(reverse_key(&labels), Rule { kind, section });
+        }
+        Self { rules }
+    }
+
+    /// The embedded snapshot.
+    pub fn embedded() -> &'static PublicSuffixList {
+        use std::sync::OnceLock;
+        static LIST: OnceLock<PublicSuffixList> = OnceLock::new();
+        LIST.get_or_init(|| PublicSuffixList::from_rules(EMBEDDED_RULES))
+    }
+
+    /// Length (in labels) of the public suffix of `name`, considering
+    /// private-section rules only if `include_private`.
+    ///
+    /// Returns `None` when the whole name is itself a public suffix (or a
+    /// wildcard rule consumes every label) — such names have no registrable
+    /// domain.
+    pub fn suffix_labels(&self, name: &DomainName, include_private: bool) -> Option<usize> {
+        let labels: Vec<&str> = name.labels().collect();
+        let n = labels.len();
+        // Walk from the TLD down, tracking the longest match.
+        // PSL semantics: among matching rules, exceptions beat everything;
+        // otherwise the rule with the most labels wins; wildcard rules match
+        // one extra label.
+        let mut best: usize = 1; // implicit `*` rule
+        let mut exception: Option<usize> = None;
+        let mut key = String::new();
+        for depth in 1..=n {
+            let label = labels[n - depth];
+            if depth > 1 {
+                key.push('.');
+            }
+            key.push_str(label);
+            if let Some(rule) = self.rules.get(&key) {
+                if rule.section == SuffixKind::Private && !include_private {
+                    continue;
+                }
+                match rule.kind {
+                    RuleKind::Normal => best = best.max(depth),
+                    RuleKind::Wildcard => best = best.max(depth + 1),
+                    RuleKind::Exception => exception = Some(depth - 1),
+                }
+            }
+        }
+        let suffix_len = exception.unwrap_or(best);
+        if suffix_len >= n {
+            return None;
+        }
+        Some(suffix_len)
+    }
+
+    /// `true` if the name *is* a public suffix under the active sections.
+    pub fn is_public_suffix(&self, name: &DomainName, include_private: bool) -> bool {
+        self.suffix_labels(name, include_private).is_none()
+    }
+
+    /// Number of compiled rules (for diagnostics).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// Curated PSL snapshot: ICANN TLDs + common ccTLD second levels + private
+/// hosting entries. Format mirrors the real list.
+const EMBEDDED_RULES: &str = r#"
+// ===BEGIN ICANN DOMAINS===
+com
+net
+org
+io
+co
+gov
+edu
+mil
+int
+biz
+info
+name
+tv
+me
+cc
+ws
+app
+dev
+page
+cloud
+ai
+gg
+ly
+to
+fm
+am
+im
+us
+uk
+co.uk
+org.uk
+gov.uk
+ac.uk
+net.uk
+ltd.uk
+plc.uk
+me.uk
+au
+com.au
+net.au
+org.au
+edu.au
+gov.au
+id.au
+ca
+de
+fr
+jp
+co.jp
+ne.jp
+or.jp
+ac.jp
+go.jp
+*.kawasaki.jp
+!city.kawasaki.jp
+cn
+com.cn
+net.cn
+org.cn
+gov.cn
+edu.cn
+br
+com.br
+net.br
+org.br
+gov.br
+in
+co.in
+net.in
+org.in
+firm.in
+gen.in
+ind.in
+ru
+com.ru
+kr
+co.kr
+ne.kr
+or.kr
+mx
+com.mx
+org.mx
+gob.mx
+es
+com.es
+org.es
+it
+nl
+se
+no
+fi
+dk
+ch
+at
+be
+pl
+com.pl
+net.pl
+org.pl
+pt
+gr
+cz
+hu
+ro
+ie
+il
+co.il
+org.il
+tr
+com.tr
+za
+co.za
+org.za
+ar
+com.ar
+cl
+nz
+co.nz
+net.nz
+org.nz
+sg
+com.sg
+hk
+com.hk
+tw
+com.tw
+id
+co.id
+th
+co.th
+my
+com.my
+ph
+com.ph
+vn
+com.vn
+eu
+asia
+xyz
+online
+site
+store
+tech
+live
+news
+media
+games
+studio
+design
+agency
+digital
+network
+systems
+solutions
+services
+social
+link
+click
+top
+club
+vip
+fun
+pro
+work
+world
+today
+life
+space
+website
+icu
+mobi
+ck
+*.ck
+!www.ck
+// ===BEGIN PRIVATE DOMAINS===
+github.io
+githubusercontent.com
+gitlab.io
+netlify.app
+vercel.app
+pages.dev
+web.app
+firebaseapp.com
+herokuapp.com
+azurewebsites.net
+blogspot.com
+wordpress.com
+s3.amazonaws.com
+elasticbeanstalk.com
+fastly.net
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> DomainName {
+        DomainName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn simple_tld() {
+        let psl = PublicSuffixList::embedded();
+        assert_eq!(psl.suffix_labels(&d("roblox.com"), false), Some(1));
+        assert_eq!(psl.suffix_labels(&d("www.roblox.com"), false), Some(1));
+    }
+
+    #[test]
+    fn multi_label_suffix() {
+        let psl = PublicSuffixList::embedded();
+        assert_eq!(psl.suffix_labels(&d("bbc.co.uk"), false), Some(2));
+        assert_eq!(psl.suffix_labels(&d("news.bbc.co.uk"), false), Some(2));
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        let psl = PublicSuffixList::embedded();
+        assert!(psl.is_public_suffix(&d("com"), false));
+        assert!(psl.is_public_suffix(&d("co.uk"), false));
+        assert!(!psl.is_public_suffix(&d("example.co.uk"), false));
+    }
+
+    #[test]
+    fn unlisted_tld_uses_implicit_star() {
+        let psl = PublicSuffixList::embedded();
+        // "example" is not a listed TLD; implicit * rule applies.
+        assert_eq!(psl.suffix_labels(&d("foo.example"), false), Some(1));
+        assert!(psl.is_public_suffix(&d("example"), false));
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        let psl = PublicSuffixList::embedded();
+        // *.ck: any single label under ck is a public suffix.
+        assert!(psl.is_public_suffix(&d("anything.ck"), false));
+        assert_eq!(psl.suffix_labels(&d("shop.anything.ck"), false), Some(2));
+    }
+
+    #[test]
+    fn exception_rule_overrides_wildcard() {
+        let psl = PublicSuffixList::embedded();
+        // !www.ck: www.ck IS registrable.
+        assert_eq!(psl.suffix_labels(&d("www.ck"), false), Some(1));
+        assert_eq!(psl.suffix_labels(&d("sub.www.ck"), false), Some(1));
+    }
+
+    #[test]
+    fn kawasaki_wildcard_and_exception() {
+        let psl = PublicSuffixList::embedded();
+        assert!(psl.is_public_suffix(&d("foo.kawasaki.jp"), false));
+        assert_eq!(psl.suffix_labels(&d("city.kawasaki.jp"), false), Some(2));
+    }
+
+    #[test]
+    fn private_rules_gated() {
+        let psl = PublicSuffixList::embedded();
+        // With ICANN-only (tldextract default): github.io -> suffix "io".
+        assert_eq!(psl.suffix_labels(&d("user.github.io"), false), Some(1));
+        // With private: github.io is a suffix.
+        assert_eq!(psl.suffix_labels(&d("user.github.io"), true), Some(2));
+        assert!(psl.is_public_suffix(&d("github.io"), true));
+        assert!(!psl.is_public_suffix(&d("github.io"), false));
+    }
+
+    #[test]
+    fn rule_count_sane() {
+        assert!(PublicSuffixList::embedded().rule_count() > 100);
+    }
+}

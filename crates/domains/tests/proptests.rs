@@ -1,0 +1,115 @@
+//! Property-based tests for domain parsing, eSLD extraction, and URL
+//! handling.
+
+use diffaudit_domains::url::{percent_decode, percent_encode};
+use diffaudit_domains::{extract, DomainName, Url};
+use proptest::prelude::*;
+
+/// Strategy for syntactically valid domain labels.
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?"
+}
+
+/// Strategy for valid FQDNs of 2–5 labels.
+fn arb_domain() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_label(), 2..6).prop_map(|labels| labels.join("."))
+}
+
+proptest! {
+    #[test]
+    fn parse_never_panics(input in "\\PC{0,100}") {
+        let _ = DomainName::parse(&input);
+    }
+
+    #[test]
+    fn valid_domains_parse_and_display(domain in arb_domain()) {
+        let parsed = DomainName::parse(&domain).unwrap();
+        prop_assert_eq!(parsed.as_str(), domain.as_str());
+        prop_assert_eq!(parsed.to_string(), domain);
+    }
+
+    #[test]
+    fn uppercase_normalizes(domain in arb_domain()) {
+        let upper = domain.to_uppercase();
+        let parsed = DomainName::parse(&upper).unwrap();
+        prop_assert_eq!(parsed.as_str(), domain.as_str());
+    }
+
+    #[test]
+    fn extract_recomposes_the_name(domain in arb_domain()) {
+        let name = DomainName::parse(&domain).unwrap();
+        let parts = extract(&name);
+        let mut recomposed = String::new();
+        if !parts.subdomain.is_empty() {
+            recomposed.push_str(&parts.subdomain);
+            recomposed.push('.');
+        }
+        if !parts.domain.is_empty() {
+            recomposed.push_str(&parts.domain);
+            recomposed.push('.');
+        }
+        recomposed.push_str(&parts.suffix);
+        prop_assert_eq!(recomposed, domain);
+    }
+
+    #[test]
+    fn esld_is_a_suffix_of_the_name(domain in arb_domain()) {
+        let name = DomainName::parse(&domain).unwrap();
+        if let Some(esld) = extract(&name).esld() {
+            let esld_name = DomainName::parse(&esld).unwrap();
+            prop_assert!(name.is_within(&esld_name), "{} not within {}", name, esld_name);
+        }
+    }
+
+    #[test]
+    fn subdomains_share_the_esld(domain in arb_domain(), sub in arb_label()) {
+        let base = DomainName::parse(&domain).unwrap();
+        let deeper = DomainName::parse(&format!("{sub}.{domain}")).unwrap();
+        prop_assert_eq!(extract(&base).esld(), extract(&deeper).esld());
+    }
+
+    #[test]
+    fn is_within_is_reflexive_and_antisymmetric(a in arb_domain(), b in arb_domain()) {
+        let da = DomainName::parse(&a).unwrap();
+        let db = DomainName::parse(&b).unwrap();
+        prop_assert!(da.is_within(&da));
+        if da.is_within(&db) && db.is_within(&da) {
+            prop_assert_eq!(da, db);
+        }
+    }
+
+    #[test]
+    fn percent_coding_round_trips(s in "\\PC{0,60}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    #[test]
+    fn percent_decode_never_panics(s in "\\PC{0,60}") {
+        let _ = percent_decode(&s);
+    }
+
+    #[test]
+    fn url_round_trips(
+        host in arb_domain(),
+        port in proptest::option::of(1u16..),
+        path in "(/[a-z0-9._-]{0,8}){0,4}",
+        query in proptest::option::of("[a-z0-9=&+%._-]{0,30}"),
+    ) {
+        let mut url = format!("https://{host}");
+        if let Some(p) = port {
+            url.push_str(&format!(":{p}"));
+        }
+        url.push_str(if path.is_empty() { "/" } else { &path });
+        if let Some(q) = &query {
+            url.push('?');
+            url.push_str(q);
+        }
+        let parsed = Url::parse(&url).unwrap();
+        prop_assert_eq!(parsed.to_url_string(), url);
+    }
+
+    #[test]
+    fn url_parse_never_panics(input in "\\PC{0,120}") {
+        let _ = Url::parse(&input);
+    }
+}

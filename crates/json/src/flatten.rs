@@ -1,0 +1,251 @@
+//! Recursive key-value extraction from JSON payloads.
+//!
+//! This implements the paper's extraction step (§3.2.2): "We extract
+//! key-value pairs from the JSON-structured data, and the keys serve as the
+//! raw data types." Every object key at every depth becomes a candidate raw
+//! data type for classification, paired with its (stringified) value.
+//!
+//! Trackers frequently embed JSON *inside* string values (e.g. a `payload`
+//! field whose value is itself a serialized JSON object); with
+//! [`FlattenOptions::parse_nested_json`] enabled the flattener transparently
+//! recurses into those as well, which is where a large fraction of the
+//! interesting keys in real traces hide.
+
+use crate::parse;
+use crate::value::Json;
+
+/// One extracted key-value pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatEntry {
+    /// Dotted path from the root, e.g. `"user.device.os"`.
+    pub path: String,
+    /// The leaf key itself, e.g. `"os"` — this is the *raw data type*.
+    pub key: String,
+    /// The stringified value.
+    pub value: String,
+}
+
+/// Extraction options.
+#[derive(Debug, Clone)]
+pub struct FlattenOptions {
+    /// Attempt to parse string values that look like JSON documents and
+    /// recurse into them. Default `true`.
+    pub parse_nested_json: bool,
+    /// Depth limit for nested-JSON recursion (how many stringified layers to
+    /// peel, not structural depth). Default `3`.
+    pub max_nested_json: usize,
+    /// Include `[i]` markers for array elements in paths. Default `false`
+    /// (array elements share the parent key, matching how the paper treats
+    /// repeated fields as one data type).
+    pub array_indices_in_paths: bool,
+    /// Emit entries for object-valued keys too (value rendered compactly).
+    /// Default `false`: only leaf scalars produce entries.
+    pub include_composite_values: bool,
+}
+
+impl Default for FlattenOptions {
+    fn default() -> Self {
+        Self {
+            parse_nested_json: true,
+            max_nested_json: 3,
+            array_indices_in_paths: false,
+            include_composite_values: false,
+        }
+    }
+}
+
+/// Flatten with default options.
+pub fn flatten(value: &Json) -> Vec<FlatEntry> {
+    flatten_with(value, &FlattenOptions::default())
+}
+
+/// Flatten with explicit options.
+pub fn flatten_with(value: &Json, options: &FlattenOptions) -> Vec<FlatEntry> {
+    let mut out = Vec::new();
+    walk(value, "", "", options, options.max_nested_json, &mut out);
+    out
+}
+
+fn scalar_string(value: &Json) -> String {
+    match value {
+        Json::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Heuristic: does this string look like an embedded JSON document worth
+/// parsing? Cheap check before invoking the parser.
+fn looks_like_json(s: &str) -> bool {
+    let t = s.trim_start();
+    (t.starts_with('{') || t.starts_with('[')) && s.len() >= 2
+}
+
+fn walk(
+    value: &Json,
+    path: &str,
+    key: &str,
+    options: &FlattenOptions,
+    nested_budget: usize,
+    out: &mut Vec<FlatEntry>,
+) {
+    match value {
+        Json::Obj(entries) => {
+            if options.include_composite_values && !path.is_empty() {
+                out.push(FlatEntry {
+                    path: path.to_string(),
+                    key: key.to_string(),
+                    value: value.to_string(),
+                });
+            }
+            for (k, v) in entries {
+                let child_path = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                walk(v, &child_path, k, options, nested_budget, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let child_path = if options.array_indices_in_paths {
+                    format!("{path}[{i}]")
+                } else {
+                    path.to_string()
+                };
+                walk(item, &child_path, key, options, nested_budget, out);
+            }
+        }
+        Json::Str(s)
+            if options.parse_nested_json && nested_budget > 0 && looks_like_json(s) =>
+        {
+            match parse(s) {
+                Ok(inner @ (Json::Obj(_) | Json::Arr(_))) => {
+                    // Peel one stringified layer and keep walking.
+                    walk(&inner, path, key, options, nested_budget - 1, out);
+                }
+                _ => {
+                    if !key.is_empty() {
+                        out.push(FlatEntry {
+                            path: path.to_string(),
+                            key: key.to_string(),
+                            value: s.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        scalar => {
+            if !key.is_empty() {
+                out.push(FlatEntry {
+                    path: path.to_string(),
+                    key: key.to_string(),
+                    value: scalar_string(scalar),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(s: &str) -> Json {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn flat_object() {
+        let entries = flatten(&j(r#"{"email":"a@b.com","age":12}"#));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, "email");
+        assert_eq!(entries[0].value, "a@b.com");
+        assert_eq!(entries[1].key, "age");
+        assert_eq!(entries[1].value, "12");
+    }
+
+    #[test]
+    fn nested_paths() {
+        let entries = flatten(&j(r#"{"user":{"device":{"os":"android"}}}"#));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "user.device.os");
+        assert_eq!(entries[0].key, "os");
+    }
+
+    #[test]
+    fn arrays_share_parent_key() {
+        let entries = flatten(&j(r#"{"events":[{"ts":1},{"ts":2}]}"#));
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.key == "ts" && e.path == "events.ts"));
+    }
+
+    #[test]
+    fn array_indices_option() {
+        let opts = FlattenOptions {
+            array_indices_in_paths: true,
+            ..Default::default()
+        };
+        let entries = flatten_with(&j(r#"{"a":[{"b":1},{"b":2}]}"#), &opts);
+        assert_eq!(entries[0].path, "a[0].b");
+        assert_eq!(entries[1].path, "a[1].b");
+    }
+
+    #[test]
+    fn stringified_json_is_peeled() {
+        let entries = flatten(&j(
+            r#"{"payload":"{\"device_id\":\"abc\",\"lat\":1.5}"}"#,
+        ));
+        let keys: Vec<&str> = entries.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["device_id", "lat"]);
+        assert_eq!(entries[0].path, "payload.device_id");
+    }
+
+    #[test]
+    fn nested_json_budget_limits_recursion() {
+        // Four stringified layers, budget peels only three.
+        let inner = r#"{"k":1}"#;
+        let mut doc = inner.to_string();
+        for _ in 0..4 {
+            doc = Json::obj().with("p", Json::Str(doc)).to_string();
+        }
+        let entries = flatten(&parse(&doc).unwrap());
+        // Budget exhausted: the innermost layer stays an opaque string value.
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, "p");
+        assert_eq!(entries[0].value, inner);
+    }
+
+    #[test]
+    fn non_json_braces_stay_scalar() {
+        let entries = flatten(&j(r#"{"template":"{not json"}"#));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].value, "{not json");
+    }
+
+    #[test]
+    fn scalars_without_keys_produce_nothing() {
+        assert!(flatten(&j("42")).is_empty());
+        assert!(flatten(&j("[1,2,3]")).is_empty());
+    }
+
+    #[test]
+    fn composite_values_option() {
+        let opts = FlattenOptions {
+            include_composite_values: true,
+            parse_nested_json: false,
+            ..Default::default()
+        };
+        let entries = flatten_with(&j(r#"{"meta":{"a":1}}"#), &opts);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].key, "meta");
+        assert_eq!(entries[0].value, r#"{"a":1}"#);
+    }
+
+    #[test]
+    fn null_and_bool_values_stringify() {
+        let entries = flatten(&j(r#"{"consent":null,"opt_out":false}"#));
+        assert_eq!(entries[0].value, "null");
+        assert_eq!(entries[1].value, "false");
+    }
+}

@@ -1,0 +1,160 @@
+//! JSON serialization (compact and pretty).
+
+use crate::value::{Json, Number};
+
+impl Json {
+    /// Compact serialization (no whitespace).
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+}
+
+fn write_value(v: &Json, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                // Keep "2.0" distinguishable from the integer 2.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_output() {
+        let v = Json::obj()
+            .with("a", Json::int(1))
+            .with("b", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_output() {
+        let v = Json::obj().with("a", Json::int(1));
+        assert_eq!(v.to_pretty_string(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        let v = Json::str("a\"b\\c\nd\u{0001}");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn float_formatting_keeps_type() {
+        assert_eq!(Json::float(2.0).to_string(), "2.0");
+        assert_eq!(Json::float(2.5).to_string(), "2.5");
+        assert_eq!(Json::int(2).to_string(), "2");
+    }
+
+    #[test]
+    fn round_trip_parse_serialize_parse() {
+        let src = r#"{"user":{"id":123,"name":"a😀b","tags":["x","y"],"score":1.5,"ok":true,"gone":null}}"#;
+        let v = parse(src).unwrap();
+        let re = parse(&v.to_string()).unwrap();
+        assert_eq!(v, re);
+        let re_pretty = parse(&v.to_pretty_string()).unwrap();
+        assert_eq!(v, re_pretty);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(Json::obj().to_string(), "{}");
+        assert_eq!(Json::Arr(vec![]).to_string(), "[]");
+        assert_eq!(Json::obj().to_pretty_string(), "{}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the JSON engine: round trips, parser
+//! robustness, and flattener invariants.
+
+use diffaudit_json::{flatten, parse, Json, Number};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary JSON trees (bounded depth/size).
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::int),
+        (-1e12f64..1e12).prop_map(|f| Json::Num(Number::Float(f))),
+        "\\PC{0,20}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            prop::collection::vec(("[a-zA-Z_][a-zA-Z0-9_]{0,10}", inner), 0..6).prop_map(
+                |entries| {
+                    // Deduplicate keys: our builders never produce duplicates
+                    // and equality after round trip requires uniqueness.
+                    let mut obj = Json::obj();
+                    for (k, v) in entries {
+                        obj.set(k, v);
+                    }
+                    obj
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn serialize_parse_round_trip(value in arb_json()) {
+        let compact = value.to_string();
+        prop_assert_eq!(parse(&compact).unwrap(), value.clone());
+        let pretty = value.to_pretty_string();
+        prop_assert_eq!(parse(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_jsonish(input in "[\\{\\}\\[\\],:\"0-9a-z \\\\.]{0,100}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn flatten_bounded_by_node_count(value in arb_json()) {
+        let entries = flatten(&value);
+        prop_assert!(entries.len() <= value.node_count());
+    }
+
+    #[test]
+    fn flatten_keys_come_from_object_keys(value in arb_json()) {
+        // Every flattened key must appear somewhere in the serialized form
+        // as a quoted key (sanity link between tree and extraction).
+        let text = value.to_string();
+        for entry in flatten(&value) {
+            prop_assert!(
+                text.contains(&Json::Str(entry.key.clone()).to_string()),
+                "key {:?} not found in {}", entry.key, text
+            );
+        }
+    }
+
+    #[test]
+    fn number_round_trip(i: i64) {
+        prop_assert_eq!(parse(&i.to_string()).unwrap(), Json::int(i));
+    }
+
+    #[test]
+    fn string_escaping_round_trip(s in "\\PC{0,50}") {
+        let v = Json::str(s);
+        prop_assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn pointer_resolves_every_array_index(items in prop::collection::vec(any::<i64>(), 0..10)) {
+        let v = Json::Arr(items.iter().copied().map(Json::int).collect());
+        for (i, expected) in items.iter().enumerate() {
+            prop_assert_eq!(
+                v.pointer(&format!("/{i}")).and_then(Json::as_i64),
+                Some(*expected)
+            );
+        }
+    }
+}

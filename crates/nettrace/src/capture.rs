@@ -1,0 +1,551 @@
+//! End-to-end capture sessions and the decode pipeline.
+//!
+//! [`CaptureSession`] plays the role of PCAPdroid on the rooted Pixel 6:
+//! every HTTP exchange becomes a full TCP flow (handshake → TLS ClientHello
+//! → sealed request → sealed response → FIN) serialized into genuine pcap
+//! bytes, with session secrets written to an `SSLKEYLOGFILE`-format key log.
+//! [`CaptureOptions`] exposes the fault knobs the paper's setup implies:
+//! a *pinned fraction* (apps whose certificate pinning defeats key
+//! extraction — their payloads stay opaque), plus segment drop and
+//! reordering (radio loss), in the fault-injection spirit of smoltcp's
+//! examples.
+//!
+//! [`decode_pcap`] is the Wireshark/editcap side: pcap bytes + key log →
+//! reassembled flows → decrypted TLS → parsed HTTP exchanges, with opaque
+//! (undecryptable) flows reported alongside — the paper includes those in
+//! its analysis via their SNI.
+
+use crate::http::{Exchange, HttpRequest, HttpResponse};
+use crate::keylog::KeyLog;
+use crate::packet::{TcpFlags, TcpSegment};
+use crate::pcap::{PcapError, PcapReader, PcapWriter};
+use crate::tcp::FlowTable;
+use crate::tls::{decode_client_stream, decode_server_stream, TlsError, TlsSession};
+use diffaudit_util::Rng;
+
+/// Knobs for a capture session.
+#[derive(Debug, Clone)]
+pub struct CaptureOptions {
+    /// RNG seed (drives TLS randoms, ports, fault injection).
+    pub seed: u64,
+    /// Probability that a flow's session secret is *not* logged —
+    /// simulates certificate-pinned apps (mobile captures in the paper).
+    pub pinned_fraction: f64,
+    /// Maximum TCP payload bytes per segment.
+    pub mtu: usize,
+    /// Probability of swapping two adjacent data segments (reordering).
+    pub reorder_prob: f64,
+    /// Probability of dropping a data segment (leaves a reassembly gap).
+    pub drop_prob: f64,
+}
+
+impl Default for CaptureOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            pinned_fraction: 0.0,
+            mtu: 1400,
+            reorder_prob: 0.0,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+const CLIENT_IP: [u8; 4] = [10, 0, 0, 2];
+const CLIENT_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x01];
+const SERVER_MAC: [u8; 6] = [0x02, 0, 0, 0, 0, 0x02];
+
+/// Derive a stable fake server IPv4 from a hostname.
+fn server_ip(host: &str) -> [u8; 4] {
+    let h = diffaudit_util::fnv1a64(host.as_bytes());
+    // 93.x.y.z — documentation-adjacent, never multicast/private.
+    [93, (h >> 16) as u8, (h >> 8) as u8, h as u8]
+}
+
+/// A PCAPdroid-style capture session.
+pub struct CaptureSession {
+    writer: PcapWriter,
+    keylog: KeyLog,
+    rng: Rng,
+    options: CaptureOptions,
+    next_port: u16,
+    flow_count: usize,
+    pinned_flows: usize,
+}
+
+impl CaptureSession {
+    /// Start a session.
+    pub fn new(options: CaptureOptions) -> Self {
+        Self {
+            writer: PcapWriter::new(),
+            keylog: KeyLog::new(),
+            rng: Rng::new(options.seed ^ 0xCAFE_F00D_u64),
+            options,
+            next_port: 49_152,
+            flow_count: 0,
+            pinned_flows: 0,
+        }
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        let p = self.next_port;
+        self.next_port = if self.next_port == u16::MAX {
+            49_152
+        } else {
+            self.next_port + 1
+        };
+        p
+    }
+
+    /// Capture one exchange as a complete HTTPS flow.
+    pub fn capture(&mut self, exchange: &Exchange) {
+        let host = exchange.request.url.host.as_str().to_string();
+        let dst_ip = server_ip(&host);
+        let src_port = self.alloc_port();
+        // Certificate pinning is a property of the app/endpoint, not of an
+        // individual connection: the decision is a deterministic hash of the
+        // hostname, so a pinned destination is *consistently* opaque across
+        // the capture (as in the paper's mobile traces).
+        let pinned = {
+            let h = diffaudit_util::fnv1a64(host.as_bytes()) ^ self.options.seed.rotate_left(32);
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            unit < self.options.pinned_fraction
+        };
+        let mut session = if pinned {
+            self.pinned_flows += 1;
+            TlsSession::open(&mut self.rng, &host, None)
+        } else {
+            TlsSession::open(&mut self.rng, &host, Some(&mut self.keylog))
+        };
+
+        let t0 = exchange.timestamp_ms;
+        let mut t = t0;
+        let client_isn = self.rng.next_u32();
+        let server_isn = self.rng.next_u32();
+
+        let seg = |from_client: bool, seq: u32, ack: u32, flags: u8, payload: Vec<u8>| TcpSegment {
+            src_mac: if from_client { CLIENT_MAC } else { SERVER_MAC },
+            dst_mac: if from_client { SERVER_MAC } else { CLIENT_MAC },
+            src_ip: if from_client { CLIENT_IP } else { dst_ip },
+            dst_ip: if from_client { dst_ip } else { CLIENT_IP },
+            src_port: if from_client { src_port } else { 443 },
+            dst_port: if from_client { 443 } else { src_port },
+            seq,
+            ack,
+            flags: TcpFlags(flags),
+            payload,
+        };
+
+        // Handshake (never dropped — a lost SYN would just be retried).
+        self.emit(seg(true, client_isn, 0, TcpFlags::SYN, Vec::new()), t);
+        t += 1;
+        self.emit(
+            seg(false, server_isn, client_isn + 1, TcpFlags::SYN | TcpFlags::ACK, Vec::new()),
+            t,
+        );
+        t += 1;
+        self.emit(
+            seg(true, client_isn + 1, server_isn + 1, TcpFlags::ACK, Vec::new()),
+            t,
+        );
+        t += 1;
+
+        // Client flight: ClientHello + sealed request.
+        let mut client_bytes = session.client_hello();
+        client_bytes.extend(session.seal_client(&exchange.request.to_wire()));
+        // Server flight: ServerHello + sealed response.
+        let mut server_bytes = session.server_hello(&mut self.rng);
+        server_bytes.extend(session.seal_server(&exchange.response.to_wire()));
+
+        let mut client_seq = client_isn + 1;
+        let mut server_seq = server_isn + 1;
+        t = self.emit_data(true, &client_bytes, &mut client_seq, server_seq, t, &seg);
+        t = self.emit_data(false, &server_bytes, &mut server_seq, client_seq, t, &seg);
+
+        // Close.
+        self.emit(
+            seg(true, client_seq, server_seq, TcpFlags::FIN | TcpFlags::ACK, Vec::new()),
+            t,
+        );
+        t += 1;
+        self.emit(
+            seg(false, server_seq, client_seq + 1, TcpFlags::FIN | TcpFlags::ACK, Vec::new()),
+            t,
+        );
+        self.flow_count += 1;
+    }
+
+    /// Segment a byte stream at the MTU with fault injection; returns the
+    /// advanced timestamp.
+    fn emit_data(
+        &mut self,
+        from_client: bool,
+        data: &[u8],
+        seq: &mut u32,
+        ack: u32,
+        mut t: u64,
+        seg: &impl Fn(bool, u32, u32, u8, Vec<u8>) -> TcpSegment,
+    ) -> u64 {
+        let mut segments: Vec<TcpSegment> = Vec::new();
+        for chunk in data.chunks(self.options.mtu.max(1)) {
+            segments.push(seg(
+                from_client,
+                *seq,
+                ack,
+                TcpFlags::PSH | TcpFlags::ACK,
+                chunk.to_vec(),
+            ));
+            *seq = seq.wrapping_add(chunk.len() as u32);
+        }
+        // Reorder adjacent pairs.
+        let mut i = 0;
+        while i + 1 < segments.len() {
+            if self.rng.chance(self.options.reorder_prob) {
+                segments.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        for s in segments {
+            if self.rng.chance(self.options.drop_prob) {
+                continue; // lost on the air
+            }
+            self.emit(s, t);
+            t += 1;
+        }
+        t
+    }
+
+    fn emit(&mut self, segment: TcpSegment, t: u64) {
+        self.writer.write_packet(t, &segment.encode());
+    }
+
+    /// Packets written so far.
+    pub fn packet_count(&self) -> usize {
+        self.writer.packet_count()
+    }
+
+    /// Flows captured so far.
+    pub fn flow_count(&self) -> usize {
+        self.flow_count
+    }
+
+    /// Flows whose secrets were withheld (certificate-pinned).
+    pub fn pinned_flow_count(&self) -> usize {
+        self.pinned_flows
+    }
+
+    /// Finish: returns `(pcap bytes, key log text)`.
+    pub fn finish(self) -> (Vec<u8>, String) {
+        (self.writer.finish(), self.keylog.to_file_string())
+    }
+}
+
+/// An undecryptable flow surfaced by the decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpaqueFlow {
+    /// Destination hostname from the SNI (present unless the ClientHello
+    /// itself was lost).
+    pub sni: Option<String>,
+    /// Server port.
+    pub server_port: u16,
+    /// Segments in the flow.
+    pub segment_count: usize,
+}
+
+/// Everything recovered from a pcap + key log.
+#[derive(Debug)]
+pub struct DecodedTrace {
+    /// Fully decrypted and parsed exchanges, in flow order.
+    pub exchanges: Vec<Exchange>,
+    /// Flows that could not be decrypted (pinned apps) — destination still
+    /// known via SNI.
+    pub opaque: Vec<OpaqueFlow>,
+    /// Total packets in the capture.
+    pub packet_count: usize,
+    /// Total TCP flows (the paper's Table 1 metric).
+    pub flow_count: usize,
+}
+
+/// Decode-pipeline errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// The pcap container was malformed.
+    Pcap(PcapError),
+    /// The pcapng container was malformed.
+    Pcapng(crate::pcapng::PcapngError),
+    /// A TLS stream was malformed (not merely undecryptable).
+    Tls(TlsError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Pcap(e) => write!(f, "pcap error: {e}"),
+            DecodeError::Pcapng(e) => write!(f, "pcapng error: {e}"),
+            DecodeError::Tls(e) => write!(f, "tls error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<PcapError> for DecodeError {
+    fn from(e: PcapError) -> Self {
+        DecodeError::Pcap(e)
+    }
+}
+
+/// The Wireshark/editcap step: pcap bytes + key log → exchanges.
+///
+/// Damaged frames (bad checksums) and flows with reassembly gaps are
+/// skipped, not fatal — a real capture always has some, and the paper's
+/// pipeline likewise analyzes what it can decode.
+pub fn decode_pcap(pcap_bytes: &[u8], keylog: &KeyLog) -> Result<DecodedTrace, DecodeError> {
+    let reader = PcapReader::parse(pcap_bytes)?;
+    decode_packets(&reader.packets, keylog)
+}
+
+/// Decode either capture container: legacy pcap (with an external key log)
+/// or pcapng (whose embedded Decryption Secrets Blocks are merged with the
+/// external key log — pass an empty one for a self-contained editcap
+/// output).
+pub fn decode_auto(bytes: &[u8], external_keylog: &KeyLog) -> Result<DecodedTrace, DecodeError> {
+    if crate::pcapng::PcapngReader::sniff(bytes) {
+        let reader = crate::pcapng::PcapngReader::parse(bytes).map_err(DecodeError::Pcapng)?;
+        // Merge embedded + external secrets through the canonical format.
+        let merged = KeyLog::parse(&format!(
+            "{}{}",
+            reader.keylog.to_file_string(),
+            external_keylog.to_file_string()
+        ));
+        decode_packets(&reader.packets, &merged)
+    } else {
+        decode_pcap(bytes, external_keylog)
+    }
+}
+
+fn decode_packets(
+    packets: &[crate::pcap::PcapPacket],
+    keylog: &KeyLog,
+) -> Result<DecodedTrace, DecodeError> {
+    let packet_count = packets.len();
+    let mut table = FlowTable::new();
+    for packet in packets {
+        if let Ok(segment) = TcpSegment::decode(&packet.data) {
+            table.push(&segment, packet.timestamp_ms());
+        }
+    }
+    let mut exchanges = Vec::new();
+    let mut opaque = Vec::new();
+    for flow in table.flows() {
+        let client_stream = flow.client_stream();
+        if client_stream.is_empty() {
+            opaque.push(OpaqueFlow {
+                sni: None,
+                server_port: flow.server_port(),
+                segment_count: flow.segment_count,
+            });
+            continue;
+        }
+        // Tolerate truncated trailing records (dropped final segments).
+        let decoded = match decode_client_stream(&client_stream, keylog) {
+            Ok(d) => d,
+            Err(TlsError::Truncated) => {
+                // Retry on the longest prefix that parses by trimming until
+                // success is not practical; treat as opaque instead.
+                opaque.push(OpaqueFlow {
+                    sni: None,
+                    server_port: flow.server_port(),
+                    segment_count: flow.segment_count,
+                });
+                continue;
+            }
+            Err(e) => return Err(DecodeError::Tls(e)),
+        };
+        match decoded.plaintext {
+            Some(plaintext) => {
+                // Parse the (possibly pipelined) requests.
+                let server_plain = decode_server_stream(
+                    &flow.server_stream(),
+                    decoded.client_random,
+                    keylog,
+                )
+                .ok()
+                .and_then(|d| d.plaintext);
+                let mut responses = Vec::new();
+                if let Some(sp) = server_plain {
+                    let mut pos = 0;
+                    while let Some((resp, n)) = HttpResponse::parse_wire(&sp[pos..]) {
+                        responses.push(resp);
+                        pos += n;
+                    }
+                }
+                let mut pos = 0;
+                let mut req_index = 0;
+                while let Some((request, n)) = HttpRequest::parse_wire(&plaintext[pos..], "https")
+                {
+                    let response = responses
+                        .get(req_index)
+                        .cloned()
+                        .unwrap_or_else(HttpResponse::ok);
+                    exchanges.push(Exchange {
+                        timestamp_ms: flow.first_ts_ms,
+                        request,
+                        response,
+                    });
+                    pos += n;
+                    req_index += 1;
+                }
+            }
+            None => opaque.push(OpaqueFlow {
+                sni: decoded.sni,
+                server_port: flow.server_port(),
+                segment_count: flow.segment_count,
+            }),
+        }
+    }
+    Ok(DecodedTrace {
+        exchanges,
+        opaque,
+        packet_count,
+        flow_count: table.flow_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diffaudit_domains::Url;
+
+    fn exchange(url: &str, body: &str) -> Exchange {
+        Exchange {
+            timestamp_ms: 1_700_000_000_000,
+            request: HttpRequest::post(
+                Url::parse(url).unwrap(),
+                "application/json",
+                body.as_bytes().to_vec(),
+            ),
+            response: HttpResponse::ok(),
+        }
+    }
+
+    #[test]
+    fn capture_decode_round_trip() {
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        let ex1 = exchange("https://api.roblox.com/v1/join", r#"{"user_id":"u-1"}"#);
+        let ex2 = exchange("https://metrics.roblox.com/v2/event", r#"{"event":"spawn"}"#);
+        session.capture(&ex1);
+        session.capture(&ex2);
+        assert_eq!(session.flow_count(), 2);
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        assert_eq!(keylog.len(), 2);
+
+        let decoded = decode_pcap(&pcap, &keylog).unwrap();
+        assert_eq!(decoded.flow_count, 2);
+        assert_eq!(decoded.exchanges.len(), 2);
+        assert!(decoded.opaque.is_empty());
+        assert_eq!(decoded.exchanges[0].request.url.to_url_string(), "https://api.roblox.com/v1/join");
+        assert_eq!(decoded.exchanges[0].request.body, ex1.request.body);
+        assert_eq!(decoded.exchanges[1].request.body, ex2.request.body);
+        assert_eq!(decoded.exchanges[0].response.status, 200);
+    }
+
+    #[test]
+    fn pinned_flows_opaque_with_sni() {
+        let mut session = CaptureSession::new(CaptureOptions {
+            pinned_fraction: 1.0,
+            ..Default::default()
+        });
+        session.capture(&exchange("https://pinned.tiktok.com/api/x", r#"{"k":1}"#));
+        assert_eq!(session.pinned_flow_count(), 1);
+        let (pcap, keylog_text) = session.finish();
+        let decoded = decode_pcap(&pcap, &KeyLog::parse(&keylog_text)).unwrap();
+        assert!(decoded.exchanges.is_empty());
+        assert_eq!(decoded.opaque.len(), 1);
+        assert_eq!(decoded.opaque[0].sni.as_deref(), Some("pinned.tiktok.com"));
+        assert_eq!(decoded.opaque[0].server_port, 443);
+    }
+
+    #[test]
+    fn survives_reordering() {
+        let mut session = CaptureSession::new(CaptureOptions {
+            seed: 7,
+            reorder_prob: 0.5,
+            mtu: 64, // force many segments
+            ..Default::default()
+        });
+        let body = r#"{"device_id":"abcdef-123456","lat":33.64,"lon":-117.84,"events":["a","b","c","d"]}"#;
+        let ex = exchange("https://t.example.com/batch", body);
+        session.capture(&ex);
+        let (pcap, keylog_text) = session.finish();
+        let decoded = decode_pcap(&pcap, &KeyLog::parse(&keylog_text)).unwrap();
+        assert_eq!(decoded.exchanges.len(), 1);
+        assert_eq!(decoded.exchanges[0].request.body, ex.request.body);
+    }
+
+    #[test]
+    fn dropped_segments_leave_flow_opaque_not_fatal() {
+        let mut session = CaptureSession::new(CaptureOptions {
+            seed: 3,
+            drop_prob: 0.6,
+            mtu: 48,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            session.capture(&exchange(
+                &format!("https://d{i}.example.com/x"),
+                r#"{"payload":"data that spans multiple small segments for sure"}"#,
+            ));
+        }
+        let (pcap, keylog_text) = session.finish();
+        let decoded = decode_pcap(&pcap, &KeyLog::parse(&keylog_text)).unwrap();
+        // Every flow is accounted for as either decoded or opaque.
+        assert_eq!(decoded.flow_count, 5);
+        assert_eq!(decoded.exchanges.len() + decoded.opaque.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let run = || {
+            let mut s = CaptureSession::new(CaptureOptions {
+                seed: 42,
+                pinned_fraction: 0.3,
+                ..Default::default()
+            });
+            s.capture(&exchange("https://a.example.com/p", r#"{"a":1}"#));
+            s.capture(&exchange("https://b.example.com/q", r#"{"b":2}"#));
+            s.finish()
+        };
+        let (p1, k1) = run();
+        let (p2, k2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn decode_auto_handles_editcap_output() {
+        use crate::pcapng::inject_secrets;
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        let ex = exchange("https://api.example.com/x", r#"{"k":"v"}"#);
+        session.capture(&ex);
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        // editcap path: secrets embedded, no external key log needed.
+        let pcapng = inject_secrets(&pcap, &keylog).unwrap();
+        let decoded = decode_auto(&pcapng, &KeyLog::new()).unwrap();
+        assert_eq!(decoded.exchanges.len(), 1);
+        assert_eq!(decoded.exchanges[0].request.body, ex.request.body);
+        // Legacy path through the same entry point.
+        let decoded_legacy = decode_auto(&pcap, &keylog).unwrap();
+        assert_eq!(decoded_legacy.exchanges.len(), 1);
+    }
+
+    #[test]
+    fn server_ip_stable_and_distinct() {
+        assert_eq!(server_ip("a.example.com"), server_ip("a.example.com"));
+        assert_ne!(server_ip("a.example.com"), server_ip("b.example.com"));
+    }
+}

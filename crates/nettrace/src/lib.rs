@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-nettrace
+//!
+//! The network-capture substrate.
+//!
+//! The paper collects traffic three ways: PCAPdroid on a rooted Android
+//! device (PCAP + TLS key log, decrypted via Wireshark/editcap), Chrome
+//! DevTools on the web (HAR export), and Proxyman on desktop (HAR export).
+//! This crate reimplements the file formats and the decode pipeline so that
+//! the rest of DiffAudit operates on exactly the artifacts a real deployment
+//! would produce:
+//!
+//! - [`http`] — the HTTP request/response model shared by all formats;
+//! - [`har`] — HAR 1.2 serialization and parsing (DevTools/Proxyman path);
+//! - [`pcap`] — the libpcap file format, reader and writer;
+//! - [`packet`] — Ethernet II / IPv4 / TCP codecs with real checksums;
+//! - [`tcp`] — TCP flow tracking and stream reassembly (out-of-order
+//!   tolerant), plus the flow counts reported in the paper's Table 1;
+//! - [`tls`] — a simulated TLS record layer: handshake with client random,
+//!   keyed-stream "encryption", and an `SSLKEYLOGFILE`-format key log; data
+//!   captured without a logged key stays opaque, exactly like a
+//!   certificate-pinned app in the paper's setup;
+//! - [`keylog`] — key-log file parsing/serialization;
+//! - [`pcapng`] — the pcapng subset Wireshark's editcap produces when
+//!   embedding TLS secrets (SHB/IDB/EPB + Decryption Secrets Block), plus
+//!   the `inject_secrets` editcap simulation;
+//! - [`capture`] — end-to-end capture sessions: HTTP exchanges → pcap
+//!   bytes with a key log (the PCAPdroid side) or → HAR (the DevTools
+//!   side), and the decode pipeline back from bytes to exchanges.
+
+pub mod capture;
+pub mod har;
+pub mod http;
+pub mod keylog;
+pub mod packet;
+pub mod pcap;
+pub mod pcapng;
+pub mod tcp;
+pub mod tls;
+
+pub use capture::{decode_auto, decode_pcap, CaptureOptions, CaptureSession, DecodedTrace};
+pub use har::{har_from_exchanges, har_to_exchanges, HarError};
+pub use http::{Exchange, HeaderMap, HttpRequest, HttpResponse, Method};
+pub use keylog::KeyLog;
+pub use pcap::{PcapError, PcapPacket, PcapReader, PcapWriter};
+pub use pcapng::{inject_secrets, PcapngError, PcapngReader, PcapngWriter};

@@ -1,0 +1,324 @@
+//! Ethernet II / IPv4 / TCP frame codecs with real checksums.
+//!
+//! These are honest codecs in the smoltcp spirit — simple, robust, no
+//! shortcuts: the IPv4 header checksum and the TCP checksum (over the
+//! pseudo-header) are computed on encode and *verified* on decode, so a
+//! corrupted capture is detected rather than silently misparsed.
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+
+    /// `true` if the SYN bit is set.
+    pub fn syn(&self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+    /// `true` if the ACK bit is set.
+    pub fn ack(&self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+    /// `true` if the FIN bit is set.
+    pub fn fin(&self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+    /// `true` if the RST bit is set.
+    pub fn rst(&self) -> bool {
+        self.0 & Self::RST != 0
+    }
+}
+
+/// A decoded TCP/IPv4/Ethernet frame (the only shape our captures contain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source MAC address.
+    pub src_mac: [u8; 6],
+    /// Destination MAC address.
+    pub dst_mac: [u8; 6],
+    /// Source IPv4 address.
+    pub src_ip: [u8; 4],
+    /// Destination IPv4 address.
+    pub dst_ip: [u8; 4],
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Destination TCP port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// TCP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Frame decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame shorter than the headers require.
+    Truncated(&'static str),
+    /// EtherType other than IPv4.
+    NotIpv4(u16),
+    /// IP protocol other than TCP.
+    NotTcp(u8),
+    /// IPv4 header checksum mismatch.
+    BadIpChecksum,
+    /// TCP checksum mismatch.
+    BadTcpChecksum,
+    /// IPv4 header options unsupported (IHL > 5 never appears in our
+    /// captures).
+    UnsupportedIpOptions,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated(what) => write!(f, "frame truncated in {what}"),
+            FrameError::NotIpv4(et) => write!(f, "ethertype {et:#06x} is not IPv4"),
+            FrameError::NotTcp(p) => write!(f, "IP protocol {p} is not TCP"),
+            FrameError::BadIpChecksum => write!(f, "IPv4 header checksum mismatch"),
+            FrameError::BadTcpChecksum => write!(f, "TCP checksum mismatch"),
+            FrameError::UnsupportedIpOptions => write!(f, "IPv4 options unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const ETHERTYPE_IPV4: u16 = 0x0800;
+const IP_PROTO_TCP: u8 = 6;
+
+/// RFC 1071 ones'-complement checksum.
+fn ones_complement_sum(chunks: &[&[u8]]) -> u16 {
+    let mut sum: u32 = 0;
+    for chunk in chunks {
+        let mut iter = chunk.chunks_exact(2);
+        for pair in &mut iter {
+            sum += u16::from_be_bytes([pair[0], pair[1]]) as u32;
+        }
+        if let [last] = iter.remainder() {
+            sum += u16::from_be_bytes([*last, 0]) as u32;
+        }
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl TcpSegment {
+    /// Encode to a complete Ethernet frame with valid checksums.
+    pub fn encode(&self) -> Vec<u8> {
+        let tcp_len = 20 + self.payload.len();
+        let ip_total = 20 + tcp_len;
+        let mut frame = Vec::with_capacity(14 + ip_total);
+
+        // Ethernet II.
+        frame.extend_from_slice(&self.dst_mac);
+        frame.extend_from_slice(&self.src_mac);
+        frame.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+
+        // IPv4 header (IHL=5, no options).
+        let mut ip = [0u8; 20];
+        ip[0] = 0x45; // version 4, IHL 5
+        ip[1] = 0; // DSCP/ECN
+        ip[2..4].copy_from_slice(&(ip_total as u16).to_be_bytes());
+        ip[4..6].copy_from_slice(&0u16.to_be_bytes()); // identification
+        ip[6..8].copy_from_slice(&0x4000u16.to_be_bytes()); // DF
+        ip[8] = 64; // TTL
+        ip[9] = IP_PROTO_TCP;
+        // checksum at [10..12] stays zero for computation
+        ip[12..16].copy_from_slice(&self.src_ip);
+        ip[16..20].copy_from_slice(&self.dst_ip);
+        let ip_csum = ones_complement_sum(&[&ip]);
+        ip[10..12].copy_from_slice(&ip_csum.to_be_bytes());
+        frame.extend_from_slice(&ip);
+
+        // TCP header (data offset 5, no options).
+        let mut tcp = [0u8; 20];
+        tcp[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        tcp[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        tcp[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        tcp[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        tcp[12] = 5 << 4; // data offset
+        tcp[13] = self.flags.0;
+        tcp[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
+        // checksum [16..18] zero for computation; urgent pointer [18..20] zero
+        let pseudo = pseudo_header(&self.src_ip, &self.dst_ip, tcp_len as u16);
+        let tcp_csum = ones_complement_sum(&[&pseudo, &tcp, &self.payload]);
+        tcp[16..18].copy_from_slice(&tcp_csum.to_be_bytes());
+        frame.extend_from_slice(&tcp);
+        frame.extend_from_slice(&self.payload);
+        frame
+    }
+
+    /// Decode and verify a frame.
+    pub fn decode(frame: &[u8]) -> Result<TcpSegment, FrameError> {
+        if frame.len() < 14 {
+            return Err(FrameError::Truncated("ethernet header"));
+        }
+        let dst_mac: [u8; 6] = frame[0..6].try_into().expect("6 bytes");
+        let src_mac: [u8; 6] = frame[6..12].try_into().expect("6 bytes");
+        let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        if ethertype != ETHERTYPE_IPV4 {
+            return Err(FrameError::NotIpv4(ethertype));
+        }
+        let ip = &frame[14..];
+        if ip.len() < 20 {
+            return Err(FrameError::Truncated("ipv4 header"));
+        }
+        if ip[0] >> 4 != 4 {
+            return Err(FrameError::NotIpv4(0));
+        }
+        if ip[0] & 0x0F != 5 {
+            return Err(FrameError::UnsupportedIpOptions);
+        }
+        if ones_complement_sum(&[&ip[..20]]) != 0 {
+            return Err(FrameError::BadIpChecksum);
+        }
+        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+        if ip.len() < total_len {
+            return Err(FrameError::Truncated("ipv4 total length"));
+        }
+        let proto = ip[9];
+        if proto != IP_PROTO_TCP {
+            return Err(FrameError::NotTcp(proto));
+        }
+        let src_ip: [u8; 4] = ip[12..16].try_into().expect("4 bytes");
+        let dst_ip: [u8; 4] = ip[16..20].try_into().expect("4 bytes");
+        let tcp = &ip[20..total_len];
+        if tcp.len() < 20 {
+            return Err(FrameError::Truncated("tcp header"));
+        }
+        let data_offset = (tcp[12] >> 4) as usize * 4;
+        if data_offset < 20 || tcp.len() < data_offset {
+            return Err(FrameError::Truncated("tcp options"));
+        }
+        let pseudo = pseudo_header(&src_ip, &dst_ip, tcp.len() as u16);
+        if ones_complement_sum(&[&pseudo, tcp]) != 0 {
+            return Err(FrameError::BadTcpChecksum);
+        }
+        Ok(TcpSegment {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
+            dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
+            seq: u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]),
+            ack: u32::from_be_bytes([tcp[8], tcp[9], tcp[10], tcp[11]]),
+            flags: TcpFlags(tcp[13]),
+            payload: tcp[data_offset..].to_vec(),
+        })
+    }
+}
+
+fn pseudo_header(src: &[u8; 4], dst: &[u8; 4], tcp_len: u16) -> [u8; 12] {
+    let mut p = [0u8; 12];
+    p[0..4].copy_from_slice(src);
+    p[4..8].copy_from_slice(dst);
+    p[9] = IP_PROTO_TCP;
+    p[10..12].copy_from_slice(&tcp_len.to_be_bytes());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: &[u8]) -> TcpSegment {
+        TcpSegment {
+            src_mac: [2, 0, 0, 0, 0, 1],
+            dst_mac: [2, 0, 0, 0, 0, 2],
+            src_ip: [192, 168, 1, 10],
+            dst_ip: [93, 184, 216, 34],
+            src_port: 49152,
+            dst_port: 443,
+            seq: 1000,
+            ack: 2000,
+            flags: TcpFlags(TcpFlags::PSH | TcpFlags::ACK),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let seg = sample(b"hello tls world");
+        let frame = seg.encode();
+        let decoded = TcpSegment::decode(&frame).unwrap();
+        assert_eq!(decoded, seg);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let mut seg = sample(b"");
+        seg.flags = TcpFlags(TcpFlags::SYN);
+        let decoded = TcpSegment::decode(&seg.encode()).unwrap();
+        assert_eq!(decoded, seg);
+        assert!(decoded.flags.syn());
+        assert!(!decoded.flags.ack());
+    }
+
+    #[test]
+    fn odd_length_payload_checksums() {
+        // Odd-length payloads exercise the checksum padding path.
+        let seg = sample(b"odd");
+        assert_eq!(TcpSegment::decode(&seg.encode()).unwrap().payload, b"odd");
+    }
+
+    #[test]
+    fn detects_ip_corruption() {
+        let mut frame = sample(b"data").encode();
+        frame[14 + 8] ^= 0xFF; // flip TTL inside IP header
+        assert_eq!(TcpSegment::decode(&frame), Err(FrameError::BadIpChecksum));
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let mut frame = sample(b"data").encode();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01;
+        assert_eq!(TcpSegment::decode(&frame), Err(FrameError::BadTcpChecksum));
+    }
+
+    #[test]
+    fn rejects_non_ipv4() {
+        let mut frame = sample(b"x").encode();
+        frame[12] = 0x86; // 0x86DD = IPv6
+        frame[13] = 0xDD;
+        assert!(matches!(
+            TcpSegment::decode(&frame),
+            Err(FrameError::NotIpv4(0x86DD))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let frame = sample(b"payload").encode();
+        assert!(matches!(
+            TcpSegment::decode(&frame[..10]),
+            Err(FrameError::Truncated(_))
+        ));
+        assert!(TcpSegment::decode(&frame[..frame.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn checksum_reference() {
+        // RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7 is 0x220d
+        // (ones' complement of 0xddf2).
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&[&data]), !0xddf2u16);
+    }
+}

@@ -1,0 +1,297 @@
+//! The libpcap file format (the classic `.pcap`, not pcapng).
+//!
+//! Layout (https://wiki.wireshark.org/Development/LibpcapFileFormat):
+//! a 24-byte global header (magic `0xa1b2c3d4`, version 2.4, snaplen,
+//! link type) followed by per-packet records (`ts_sec`, `ts_usec`,
+//! `incl_len`, `orig_len`, data). The reader accepts both byte orders by
+//! dispatching on the magic, exactly like tcpdump.
+
+/// Link type: Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Our writer's snaplen (packets are never truncated in simulation).
+pub const DEFAULT_SNAPLEN: u32 = 262_144;
+
+const MAGIC_LE: u32 = 0xA1B2_C3D4; // written little-endian by us
+const MAGIC_SWAPPED: u32 = 0xD4C3_B2A1;
+
+/// Errors from [`PcapReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// File shorter than the global header.
+    TruncatedHeader,
+    /// Unknown magic number.
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u16, u16),
+    /// A packet record was cut short.
+    TruncatedPacket {
+        /// Index of the bad record.
+        index: usize,
+    },
+    /// A record claimed more captured bytes than the snaplen allows.
+    OversizedPacket {
+        /// Index of the bad record.
+        index: usize,
+        /// Claimed capture length.
+        incl_len: u32,
+    },
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::TruncatedHeader => write!(f, "pcap file shorter than global header"),
+            PcapError::BadMagic(m) => write!(f, "unknown pcap magic {m:#010x}"),
+            PcapError::BadVersion(major, minor) => {
+                write!(f, "unsupported pcap version {major}.{minor}")
+            }
+            PcapError::TruncatedPacket { index } => {
+                write!(f, "truncated packet record at index {index}")
+            }
+            PcapError::OversizedPacket { index, incl_len } => {
+                write!(f, "packet {index} claims {incl_len} bytes > snaplen")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Seconds since the Unix epoch.
+    pub ts_sec: u32,
+    /// Microseconds within the second.
+    pub ts_usec: u32,
+    /// Original length on the wire (equals `data.len()` in simulation).
+    pub orig_len: u32,
+    /// Captured bytes.
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    /// Capture timestamp in milliseconds since the epoch.
+    pub fn timestamp_ms(&self) -> u64 {
+        self.ts_sec as u64 * 1000 + (self.ts_usec / 1000) as u64
+    }
+}
+
+/// Serializes packets into pcap bytes.
+#[derive(Debug)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    snaplen: u32,
+    count: usize,
+}
+
+impl PcapWriter {
+    /// Start a new capture file (Ethernet link type, little-endian).
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC_LE.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        Self {
+            buf,
+            snaplen: DEFAULT_SNAPLEN,
+            count: 0,
+        }
+    }
+
+    /// Append one packet. Frames longer than the snaplen are truncated with
+    /// `orig_len` preserved, as a real capture would.
+    pub fn write_packet(&mut self, timestamp_ms: u64, frame: &[u8]) {
+        let ts_sec = (timestamp_ms / 1000) as u32;
+        let ts_usec = ((timestamp_ms % 1000) * 1000) as u32;
+        let incl = frame.len().min(self.snaplen as usize);
+        self.buf.extend_from_slice(&ts_sec.to_le_bytes());
+        self.buf.extend_from_slice(&ts_usec.to_le_bytes());
+        self.buf.extend_from_slice(&(incl as u32).to_le_bytes());
+        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&frame[..incl]);
+        self.count += 1;
+    }
+
+    /// Packets written so far.
+    pub fn packet_count(&self) -> usize {
+        self.count
+    }
+
+    /// Finish and return the file bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses pcap bytes into packets.
+#[derive(Debug)]
+pub struct PcapReader {
+    /// Link type from the global header.
+    pub link_type: u32,
+    /// Snaplen from the global header.
+    pub snaplen: u32,
+    /// All parsed packets.
+    pub packets: Vec<PcapPacket>,
+}
+
+impl PcapReader {
+    /// Parse an entire capture file.
+    pub fn parse(data: &[u8]) -> Result<PcapReader, PcapError> {
+        if data.len() < 24 {
+            return Err(PcapError::TruncatedHeader);
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        let swapped = match magic {
+            MAGIC_LE => false,
+            MAGIC_SWAPPED => true,
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        let read_u16 = |b: &[u8]| -> u16 {
+            let arr: [u8; 2] = b.try_into().expect("2 bytes");
+            if swapped {
+                u16::from_be_bytes(arr)
+            } else {
+                u16::from_le_bytes(arr)
+            }
+        };
+        let read_u32 = |b: &[u8]| -> u32 {
+            let arr: [u8; 4] = b.try_into().expect("4 bytes");
+            if swapped {
+                u32::from_be_bytes(arr)
+            } else {
+                u32::from_le_bytes(arr)
+            }
+        };
+        let major = read_u16(&data[4..6]);
+        let minor = read_u16(&data[6..8]);
+        if major != 2 {
+            return Err(PcapError::BadVersion(major, minor));
+        }
+        let snaplen = read_u32(&data[16..20]);
+        let link_type = read_u32(&data[20..24]);
+        let mut packets = Vec::new();
+        let mut pos = 24;
+        let mut index = 0;
+        while pos < data.len() {
+            if pos + 16 > data.len() {
+                return Err(PcapError::TruncatedPacket { index });
+            }
+            let ts_sec = read_u32(&data[pos..pos + 4]);
+            let ts_usec = read_u32(&data[pos + 4..pos + 8]);
+            let incl_len = read_u32(&data[pos + 8..pos + 12]);
+            let orig_len = read_u32(&data[pos + 12..pos + 16]);
+            if incl_len > snaplen {
+                return Err(PcapError::OversizedPacket { index, incl_len });
+            }
+            let start = pos + 16;
+            let end = start + incl_len as usize;
+            if end > data.len() {
+                return Err(PcapError::TruncatedPacket { index });
+            }
+            packets.push(PcapPacket {
+                ts_sec,
+                ts_usec,
+                orig_len,
+                data: data[start..end].to_vec(),
+            });
+            pos = end;
+            index += 1;
+        }
+        Ok(PcapReader {
+            link_type,
+            snaplen,
+            packets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = PcapWriter::new();
+        w.write_packet(1_700_000_000_123, b"frame-one");
+        w.write_packet(1_700_000_000_456, b"frame-two-longer");
+        assert_eq!(w.packet_count(), 2);
+        let bytes = w.finish();
+        let r = PcapReader::parse(&bytes).unwrap();
+        assert_eq!(r.link_type, LINKTYPE_ETHERNET);
+        assert_eq!(r.packets.len(), 2);
+        assert_eq!(r.packets[0].data, b"frame-one");
+        assert_eq!(r.packets[0].timestamp_ms(), 1_700_000_000_123);
+        assert_eq!(r.packets[1].data, b"frame-two-longer");
+        assert_eq!(r.packets[1].orig_len, 16);
+    }
+
+    #[test]
+    fn reads_big_endian_files() {
+        // Hand-build a big-endian capture with one 3-byte packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_LE.to_be_bytes()); // BE writer stores magic in its order
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0i32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&100u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&5000u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&3u32.to_be_bytes()); // incl
+        buf.extend_from_slice(&3u32.to_be_bytes()); // orig
+        buf.extend_from_slice(b"abc");
+        let r = PcapReader::parse(&buf).unwrap();
+        assert_eq!(r.packets.len(), 1);
+        assert_eq!(r.packets[0].ts_sec, 100);
+        assert_eq!(r.packets[0].data, b"abc");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = PcapWriter::new().finish();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            PcapReader::parse(&bytes),
+            Err(PcapError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncations() {
+        assert!(matches!(
+            PcapReader::parse(&[0u8; 10]),
+            Err(PcapError::TruncatedHeader)
+        ));
+        let mut w = PcapWriter::new();
+        w.write_packet(0, b"abcdef");
+        let bytes = w.finish();
+        assert!(matches!(
+            PcapReader::parse(&bytes[..bytes.len() - 2]),
+            Err(PcapError::TruncatedPacket { index: 0 })
+        ));
+        // Record header cut mid-way.
+        assert!(matches!(
+            PcapReader::parse(&bytes[..30]),
+            Err(PcapError::TruncatedPacket { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_capture_is_valid() {
+        let bytes = PcapWriter::new().finish();
+        let r = PcapReader::parse(&bytes).unwrap();
+        assert!(r.packets.is_empty());
+    }
+}

@@ -1,0 +1,387 @@
+//! The pcapng file format with Decryption Secrets Blocks.
+//!
+//! The paper's actual decryption step is `editcap --inject-secrets
+//! tls,<keylog> trace.pcap trace-dsb.pcapng` — Wireshark's editcap embeds
+//! the TLS key log into a **pcapng** file as a Decryption Secrets Block
+//! (DSB), producing a single self-contained decryptable capture (§3.2:
+//! "We use the Wireshark functionality editcap to embed the TLS keys into
+//! the PCAP file"). This module implements the needed pcapng subset:
+//!
+//! - Section Header Block (SHB), Interface Description Block (IDB),
+//!   Enhanced Packet Block (EPB), and Decryption Secrets Block (DSB) with
+//!   the `TLSK` (TLS key log) secrets type;
+//! - [`inject_secrets`] — the editcap simulation: legacy pcap + key log →
+//!   pcapng with an embedded DSB;
+//! - [`PcapngReader`] — parses packets *and* recovers the embedded key log,
+//!   so a DSB-carrying capture decrypts with no side files.
+
+use crate::keylog::KeyLog;
+use crate::pcap::{PcapError, PcapPacket, PcapReader};
+
+const BT_SHB: u32 = 0x0A0D_0D0A;
+const BT_IDB: u32 = 0x0000_0001;
+const BT_EPB: u32 = 0x0000_0006;
+const BT_DSB: u32 = 0x0000_000A;
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+/// Secrets type for a TLS key log ("TLSK").
+const SECRETS_TLS_KEYLOG: u32 = 0x544C_534B;
+
+/// pcapng parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapngError {
+    /// File does not start with a Section Header Block.
+    NotPcapng,
+    /// Big-endian sections are not produced by our tooling.
+    BigEndianUnsupported,
+    /// A block's declared length is impossible.
+    BadBlockLength {
+        /// Offset of the bad block.
+        offset: usize,
+    },
+    /// The file ended mid-block.
+    Truncated {
+        /// Offset where data ran out.
+        offset: usize,
+    },
+    /// Leading/trailing block length fields disagree.
+    LengthMismatch {
+        /// Offset of the bad block.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for PcapngError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapngError::NotPcapng => write!(f, "not a pcapng file"),
+            PcapngError::BigEndianUnsupported => write!(f, "big-endian pcapng unsupported"),
+            PcapngError::BadBlockLength { offset } => {
+                write!(f, "impossible block length at offset {offset}")
+            }
+            PcapngError::Truncated { offset } => write!(f, "truncated block at offset {offset}"),
+            PcapngError::LengthMismatch { offset } => {
+                write!(f, "block length fields disagree at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcapngError {}
+
+fn pad4(n: usize) -> usize {
+    n.div_ceil(4) * 4
+}
+
+/// Writes a pcapng section (SHB + IDB up front, then DSBs/EPBs).
+#[derive(Debug)]
+pub struct PcapngWriter {
+    buf: Vec<u8>,
+    packets: usize,
+}
+
+impl PcapngWriter {
+    /// Start a section with one Ethernet interface.
+    pub fn new() -> Self {
+        let mut w = Self {
+            buf: Vec::with_capacity(4096),
+            packets: 0,
+        };
+        // SHB body: magic, version 1.0, section length -1 (unknown).
+        let mut body = Vec::new();
+        body.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&(-1i64).to_le_bytes());
+        w.block(BT_SHB, &body);
+        // IDB body: linktype ethernet, reserved, snaplen 0 (no limit).
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u16.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&0u32.to_le_bytes());
+        w.block(BT_IDB, &body);
+        w
+    }
+
+    fn block(&mut self, block_type: u32, body: &[u8]) {
+        let padded = pad4(body.len());
+        let total = (12 + padded) as u32;
+        self.buf.extend_from_slice(&block_type.to_le_bytes());
+        self.buf.extend_from_slice(&total.to_le_bytes());
+        self.buf.extend_from_slice(body);
+        self.buf.extend(std::iter::repeat_n(0u8, padded - body.len()));
+        self.buf.extend_from_slice(&total.to_le_bytes());
+    }
+
+    /// Embed a TLS key log as a Decryption Secrets Block. Per the pcapng
+    /// spec, DSBs should precede the packets that need them.
+    pub fn write_secrets(&mut self, keylog: &KeyLog) {
+        let data = keylog.to_file_string().into_bytes();
+        let mut body = Vec::with_capacity(8 + data.len());
+        body.extend_from_slice(&SECRETS_TLS_KEYLOG.to_le_bytes());
+        body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        body.extend_from_slice(&data);
+        self.block(BT_DSB, &body);
+    }
+
+    /// Append one packet as an Enhanced Packet Block.
+    pub fn write_packet(&mut self, timestamp_ms: u64, frame: &[u8]) {
+        let ts_us = timestamp_ms * 1000; // default if_tsresol = microseconds
+        let mut body = Vec::with_capacity(20 + frame.len());
+        body.extend_from_slice(&0u32.to_le_bytes()); // interface 0
+        body.extend_from_slice(&((ts_us >> 32) as u32).to_le_bytes());
+        body.extend_from_slice(&(ts_us as u32).to_le_bytes());
+        body.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        body.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        body.extend_from_slice(frame);
+        self.block(BT_EPB, &body);
+        self.packets += 1;
+    }
+
+    /// Packets written.
+    pub fn packet_count(&self) -> usize {
+        self.packets
+    }
+
+    /// Finish and return the file bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for PcapngWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A parsed pcapng section.
+#[derive(Debug)]
+pub struct PcapngReader {
+    /// Packets, in file order.
+    pub packets: Vec<PcapPacket>,
+    /// TLS key log assembled from every DSB in the section.
+    pub keylog: KeyLog,
+}
+
+impl PcapngReader {
+    /// `true` when the bytes start with a pcapng SHB.
+    pub fn sniff(data: &[u8]) -> bool {
+        data.len() >= 4 && u32::from_le_bytes([data[0], data[1], data[2], data[3]]) == BT_SHB
+    }
+
+    /// Parse an entire section. Unknown block types are skipped (per spec).
+    pub fn parse(data: &[u8]) -> Result<PcapngReader, PcapngError> {
+        if !Self::sniff(data) {
+            return Err(PcapngError::NotPcapng);
+        }
+        // Check the byte-order magic inside the SHB body.
+        if data.len() < 12 {
+            return Err(PcapngError::Truncated { offset: 0 });
+        }
+        let magic = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+        if magic == BYTE_ORDER_MAGIC.swap_bytes() {
+            return Err(PcapngError::BigEndianUnsupported);
+        }
+        if magic != BYTE_ORDER_MAGIC {
+            return Err(PcapngError::NotPcapng);
+        }
+
+        let mut packets = Vec::new();
+        let mut keylog = KeyLog::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            if pos + 12 > data.len() {
+                return Err(PcapngError::Truncated { offset: pos });
+            }
+            let block_type =
+                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
+            let total =
+                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            if total < 12 || !total.is_multiple_of(4) {
+                return Err(PcapngError::BadBlockLength { offset: pos });
+            }
+            if pos + total > data.len() {
+                return Err(PcapngError::Truncated { offset: pos });
+            }
+            let trailing = u32::from_le_bytes(
+                data[pos + total - 4..pos + total].try_into().expect("4 bytes"),
+            ) as usize;
+            if trailing != total {
+                return Err(PcapngError::LengthMismatch { offset: pos });
+            }
+            let body = &data[pos + 8..pos + total - 4];
+            match block_type {
+                BT_EPB => {
+                    if body.len() < 20 {
+                        return Err(PcapngError::Truncated { offset: pos });
+                    }
+                    let ts_high =
+                        u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as u64;
+                    let ts_low =
+                        u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as u64;
+                    let cap_len =
+                        u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
+                    let orig_len =
+                        u32::from_le_bytes(body[16..20].try_into().expect("4 bytes"));
+                    if 20 + cap_len > body.len() {
+                        return Err(PcapngError::Truncated { offset: pos });
+                    }
+                    let ts_us = (ts_high << 32) | ts_low;
+                    packets.push(PcapPacket {
+                        ts_sec: (ts_us / 1_000_000) as u32,
+                        ts_usec: (ts_us % 1_000_000) as u32,
+                        orig_len,
+                        data: body[20..20 + cap_len].to_vec(),
+                    });
+                }
+                BT_DSB => {
+                    if body.len() < 8 {
+                        return Err(PcapngError::Truncated { offset: pos });
+                    }
+                    let secrets_type =
+                        u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+                    let len =
+                        u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
+                    if 8 + len > body.len() {
+                        return Err(PcapngError::Truncated { offset: pos });
+                    }
+                    if secrets_type == SECRETS_TLS_KEYLOG {
+                        if let Ok(text) = std::str::from_utf8(&body[8..8 + len]) {
+                            // Merge: a section may carry several DSBs.
+                            let parsed = KeyLog::parse(text);
+                            keylog = merge_keylogs(keylog, parsed);
+                        }
+                    }
+                }
+                // SHB, IDB, and anything else: skipped.
+                _ => {}
+            }
+            pos += total;
+        }
+        Ok(PcapngReader { packets, keylog })
+    }
+}
+
+fn merge_keylogs(a: KeyLog, b: KeyLog) -> KeyLog {
+    // KeyLog has no iteration API by design (secrets stay opaque); merge via
+    // the file format, which is the canonical interchange anyway.
+    let combined = format!("{}{}", a.to_file_string(), b.to_file_string());
+    KeyLog::parse(&combined)
+}
+
+/// The editcap simulation: `editcap --inject-secrets tls,<keylog>` — takes
+/// legacy pcap bytes plus a key log and produces a self-contained pcapng
+/// capture with the secrets embedded ahead of the packets.
+pub fn inject_secrets(pcap_bytes: &[u8], keylog: &KeyLog) -> Result<Vec<u8>, PcapError> {
+    let legacy = PcapReader::parse(pcap_bytes)?;
+    let mut writer = PcapngWriter::new();
+    writer.write_secrets(keylog);
+    for packet in &legacy.packets {
+        writer.write_packet(packet.timestamp_ms(), &packet.data);
+    }
+    Ok(writer.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+
+    fn sample_keylog() -> KeyLog {
+        let mut log = KeyLog::new();
+        log.insert([1u8; 32], [2u8; 32]);
+        log.insert([3u8; 32], [4u8; 32]);
+        log
+    }
+
+    #[test]
+    fn write_read_round_trip_with_secrets() {
+        let mut w = PcapngWriter::new();
+        w.write_secrets(&sample_keylog());
+        w.write_packet(1_700_000_000_123, b"frame-one");
+        w.write_packet(1_700_000_000_456, b"frame-two!!");
+        let bytes = w.finish();
+        assert!(PcapngReader::sniff(&bytes));
+        let r = PcapngReader::parse(&bytes).unwrap();
+        assert_eq!(r.packets.len(), 2);
+        assert_eq!(r.packets[0].data, b"frame-one");
+        assert_eq!(r.packets[0].timestamp_ms(), 1_700_000_000_123);
+        assert_eq!(r.packets[1].data, b"frame-two!!");
+        assert_eq!(r.keylog.len(), 2);
+        assert_eq!(r.keylog.secret_for(&[1u8; 32]), Some(&[2u8; 32]));
+    }
+
+    #[test]
+    fn inject_secrets_is_editcap() {
+        let mut legacy = PcapWriter::new();
+        legacy.write_packet(42, b"abc");
+        legacy.write_packet(43, b"defg");
+        let pcap = legacy.finish();
+        let pcapng = inject_secrets(&pcap, &sample_keylog()).unwrap();
+        let r = PcapngReader::parse(&pcapng).unwrap();
+        assert_eq!(r.packets.len(), 2);
+        assert_eq!(r.packets[1].data, b"defg");
+        assert_eq!(r.keylog.len(), 2);
+    }
+
+    #[test]
+    fn sniff_rejects_legacy_pcap() {
+        let legacy = PcapWriter::new().finish();
+        assert!(!PcapngReader::sniff(&legacy));
+        assert!(matches!(
+            PcapngReader::parse(&legacy),
+            Err(PcapngError::NotPcapng)
+        ));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut w = PcapngWriter::new();
+        w.write_packet(1, b"xyz");
+        let mut bytes = w.finish();
+        // Corrupt a trailing length field.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        assert!(matches!(
+            PcapngReader::parse(&bytes),
+            Err(PcapngError::LengthMismatch { .. })
+        ));
+        // Truncate mid-block.
+        let mut w = PcapngWriter::new();
+        w.write_packet(1, b"xyz");
+        let bytes = w.finish();
+        assert!(matches!(
+            PcapngReader::parse(&bytes[..bytes.len() - 6]),
+            Err(PcapngError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_blocks_are_skipped() {
+        let mut w = PcapngWriter::new();
+        w.write_packet(5, b"keep-me");
+        let mut bytes = w.finish();
+        // Append a custom block (type 0x0BAD) — readers must skip it.
+        let body = [0u8; 4];
+        let total = (12 + body.len()) as u32;
+        bytes.extend_from_slice(&0x0BADu32.to_le_bytes());
+        bytes.extend_from_slice(&total.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&total.to_le_bytes());
+        let r = PcapngReader::parse(&bytes).unwrap();
+        assert_eq!(r.packets.len(), 1);
+    }
+
+    #[test]
+    fn multiple_dsbs_merge() {
+        let mut a = KeyLog::new();
+        a.insert([5u8; 32], [6u8; 32]);
+        let mut b = KeyLog::new();
+        b.insert([7u8; 32], [8u8; 32]);
+        let mut w = PcapngWriter::new();
+        w.write_secrets(&a);
+        w.write_secrets(&b);
+        let r = PcapngReader::parse(&w.finish()).unwrap();
+        assert_eq!(r.keylog.len(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! TCP flow tracking and stream reassembly.
+//!
+//! The decode pipeline feeds every captured [`TcpSegment`] into a
+//! [`FlowTable`], which groups segments into bidirectional flows by
+//! canonical 4-tuple, identifies the initiator from the bare-SYN, and
+//! reassembles each direction's byte stream from sequence numbers —
+//! tolerating out-of-order arrival and duplicate segments (retransmissions).
+//! The resulting per-flow client→server streams are what the HTTP parser and
+//! TLS decryptor consume, and the flow count is the "TCP Flows" column of
+//! the paper's Table 1.
+
+use crate::packet::TcpSegment;
+use std::collections::{BTreeMap, HashMap};
+
+/// One endpoint of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: [u8; 4],
+    /// TCP port.
+    pub port: u16,
+}
+
+/// Canonical (order-independent) flow key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// The lexicographically smaller endpoint.
+    pub a: Endpoint,
+    /// The larger endpoint.
+    pub b: Endpoint,
+}
+
+impl FlowKey {
+    fn canonical(x: Endpoint, y: Endpoint) -> FlowKey {
+        if x <= y {
+            FlowKey { a: x, b: y }
+        } else {
+            FlowKey { a: y, b: x }
+        }
+    }
+}
+
+/// One direction of a flow's data, reassembled lazily.
+#[derive(Debug, Default)]
+struct DirectionBuf {
+    /// Relative-seq → payload. BTreeMap gives in-order walk regardless of
+    /// arrival order.
+    segments: BTreeMap<u32, Vec<u8>>,
+    /// Initial sequence number (seq of SYN, or first data seq when the
+    /// handshake was not captured).
+    isn: Option<u32>,
+    /// Whether the ISN came from a SYN (data starts at isn+1) or from a
+    /// mid-stream guess (data starts at isn).
+    isn_from_syn: bool,
+}
+
+impl DirectionBuf {
+    fn record(&mut self, seq: u32, payload: &[u8], syn: bool) {
+        if syn {
+            self.isn = Some(seq);
+            self.isn_from_syn = true;
+        } else if self.isn.is_none() {
+            self.isn = Some(seq);
+        }
+        if !payload.is_empty() {
+            let base = self.isn.expect("isn set above");
+            let offset = seq.wrapping_sub(base).wrapping_sub(if self.isn_from_syn { 1 } else { 0 });
+            // First copy wins: a retransmission never overwrites data.
+            self.segments.entry(offset).or_insert_with(|| payload.to_vec());
+        }
+    }
+
+    /// Contiguous reassembly from offset zero; stops at the first gap.
+    fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut expected: u32 = 0;
+        for (&offset, data) in &self.segments {
+            if offset > expected {
+                break; // gap — the rest is not yet contiguous
+            }
+            // Overlap: skip the already-assembled prefix.
+            let skip = (expected - offset) as usize;
+            if skip < data.len() {
+                out.extend_from_slice(&data[skip..]);
+                expected = offset + data.len() as u32;
+            }
+        }
+        out
+    }
+}
+
+/// A tracked bidirectional flow.
+#[derive(Debug)]
+pub struct TcpFlow {
+    /// Canonical key.
+    pub key: FlowKey,
+    /// The initiating endpoint (sender of the bare SYN, or of the first
+    /// observed segment when the handshake is missing).
+    pub client: Endpoint,
+    /// The responding endpoint.
+    pub server: Endpoint,
+    /// Timestamp of the first segment (ms since epoch).
+    pub first_ts_ms: u64,
+    /// Whether a FIN or RST was seen in either direction.
+    pub closed: bool,
+    c2s: DirectionBuf,
+    s2c: DirectionBuf,
+    /// Total segments attributed to this flow.
+    pub segment_count: usize,
+}
+
+impl TcpFlow {
+    /// Reassembled client→server byte stream (the outgoing data DiffAudit
+    /// analyzes).
+    pub fn client_stream(&self) -> Vec<u8> {
+        self.c2s.assemble()
+    }
+
+    /// Reassembled server→client byte stream.
+    pub fn server_stream(&self) -> Vec<u8> {
+        self.s2c.assemble()
+    }
+
+    /// The server's TCP port — used to pick the scheme (443 ⇒ TLS).
+    pub fn server_port(&self) -> u16 {
+        self.server.port
+    }
+}
+
+/// Groups segments into flows.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: Vec<TcpFlow>,
+    index: HashMap<FlowKey, usize>,
+}
+
+impl FlowTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one segment.
+    pub fn push(&mut self, seg: &TcpSegment, timestamp_ms: u64) {
+        let src = Endpoint {
+            ip: seg.src_ip,
+            port: seg.src_port,
+        };
+        let dst = Endpoint {
+            ip: seg.dst_ip,
+            port: seg.dst_port,
+        };
+        let key = FlowKey::canonical(src, dst);
+        let idx = match self.index.get(&key) {
+            Some(&i) => i,
+            None => {
+                // New flow. The bare SYN identifies the client; if we join
+                // mid-stream, assume the first sender is the client.
+                let (client, server) = if seg.flags.syn() && seg.flags.ack() {
+                    (dst, src) // SYN-ACK arrives from the server
+                } else {
+                    (src, dst)
+                };
+                let i = self.flows.len();
+                self.flows.push(TcpFlow {
+                    key,
+                    client,
+                    server,
+                    first_ts_ms: timestamp_ms,
+                    closed: false,
+                    c2s: DirectionBuf::default(),
+                    s2c: DirectionBuf::default(),
+                    segment_count: 0,
+                });
+                self.index.insert(key, i);
+                i
+            }
+        };
+        let flow = &mut self.flows[idx];
+        flow.segment_count += 1;
+        if seg.flags.fin() || seg.flags.rst() {
+            flow.closed = true;
+        }
+        let from_client = src == flow.client;
+        let dir = if from_client {
+            &mut flow.c2s
+        } else {
+            &mut flow.s2c
+        };
+        // A SYN-ACK still carries the ISN for its direction.
+        dir.record(seg.seq, &seg.payload, seg.flags.syn());
+    }
+
+    /// All tracked flows in first-seen order.
+    pub fn flows(&self) -> &[TcpFlow] {
+        &self.flows
+    }
+
+    /// Number of distinct flows (Table 1's "TCP Flows").
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TcpFlags;
+
+    const CLIENT_IP: [u8; 4] = [10, 0, 0, 2];
+    const SERVER_IP: [u8; 4] = [93, 184, 216, 34];
+
+    fn seg(
+        from_client: bool,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+        payload: &[u8],
+    ) -> TcpSegment {
+        let (src_ip, dst_ip, src_port, dst_port) = if from_client {
+            (CLIENT_IP, SERVER_IP, 50000, 443)
+        } else {
+            (SERVER_IP, CLIENT_IP, 443, 50000)
+        };
+        TcpSegment {
+            src_mac: [2, 0, 0, 0, 0, 1],
+            dst_mac: [2, 0, 0, 0, 0, 2],
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags(flags),
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// A full handshake + two data segments + FIN.
+    fn run_flow(table: &mut FlowTable, order: &[usize]) {
+        let packets = [
+            seg(true, 100, 0, TcpFlags::SYN, b""),
+            seg(false, 500, 101, TcpFlags::SYN | TcpFlags::ACK, b""),
+            seg(true, 101, 501, TcpFlags::ACK, b""),
+            seg(true, 101, 501, TcpFlags::PSH | TcpFlags::ACK, b"hello "),
+            seg(true, 107, 501, TcpFlags::PSH | TcpFlags::ACK, b"world"),
+            seg(false, 501, 112, TcpFlags::PSH | TcpFlags::ACK, b"response"),
+            seg(true, 112, 509, TcpFlags::FIN | TcpFlags::ACK, b""),
+        ];
+        for &i in order {
+            table.push(&packets[i], 1000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let mut table = FlowTable::new();
+        run_flow(&mut table, &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(table.flow_count(), 1);
+        let flow = &table.flows()[0];
+        assert_eq!(flow.client_stream(), b"hello world");
+        assert_eq!(flow.server_stream(), b"response");
+        assert_eq!(flow.server_port(), 443);
+        assert!(flow.closed);
+        assert_eq!(flow.client.ip, CLIENT_IP);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut table = FlowTable::new();
+        // Data segment 4 arrives before 3.
+        run_flow(&mut table, &[0, 1, 2, 4, 3, 5, 6]);
+        assert_eq!(table.flows()[0].client_stream(), b"hello world");
+    }
+
+    #[test]
+    fn duplicate_segments_ignored() {
+        let mut table = FlowTable::new();
+        run_flow(&mut table, &[0, 1, 2, 3, 3, 4, 4, 5, 6]);
+        assert_eq!(table.flows()[0].client_stream(), b"hello world");
+    }
+
+    #[test]
+    fn gap_stops_assembly() {
+        let mut table = FlowTable::new();
+        // Omit the first data segment: assembly stops before "world".
+        run_flow(&mut table, &[0, 1, 2, 4, 5, 6]);
+        assert_eq!(table.flows()[0].client_stream(), b"");
+    }
+
+    #[test]
+    fn midstream_join_without_handshake() {
+        let mut table = FlowTable::new();
+        table.push(&seg(true, 5000, 1, TcpFlags::PSH | TcpFlags::ACK, b"late data"), 1);
+        let flow = &table.flows()[0];
+        assert_eq!(flow.client_stream(), b"late data");
+        assert_eq!(flow.client.port, 50000, "first sender assumed client");
+    }
+
+    #[test]
+    fn multiple_flows_separate() {
+        let mut table = FlowTable::new();
+        run_flow(&mut table, &[0, 1, 2, 3, 4, 5, 6]);
+        // Second flow: different client port.
+        let mut s = seg(true, 100, 0, TcpFlags::SYN, b"");
+        s.src_port = 50001;
+        table.push(&s, 2000);
+        let mut d = seg(true, 101, 0, TcpFlags::PSH | TcpFlags::ACK, b"flow2");
+        d.src_port = 50001;
+        table.push(&d, 2001);
+        assert_eq!(table.flow_count(), 2);
+        assert_eq!(table.flows()[1].client_stream(), b"flow2");
+    }
+
+    #[test]
+    fn syn_ack_first_still_identifies_server() {
+        let mut table = FlowTable::new();
+        // Capture starts at the SYN-ACK (client SYN lost).
+        table.push(&seg(false, 500, 101, TcpFlags::SYN | TcpFlags::ACK, b""), 1);
+        table.push(&seg(true, 101, 501, TcpFlags::PSH | TcpFlags::ACK, b"req"), 2);
+        let flow = &table.flows()[0];
+        assert_eq!(flow.client.ip, CLIENT_IP);
+        assert_eq!(flow.client_stream(), b"req");
+    }
+
+    #[test]
+    fn overlapping_retransmission_handled() {
+        let mut table = FlowTable::new();
+        table.push(&seg(true, 100, 0, TcpFlags::SYN, b""), 0);
+        table.push(&seg(true, 101, 0, TcpFlags::ACK, b"abcdef"), 1);
+        // Retransmission covering old+new range.
+        table.push(&seg(true, 104, 0, TcpFlags::ACK, b"defGHI"), 2);
+        assert_eq!(table.flows()[0].client_stream(), b"abcdefGHI");
+    }
+}

@@ -1,0 +1,412 @@
+//! The ontology level enums and their relationships.
+
+/// Level 1: the two legal roots (COPPA 16 C.F.R. § 312.2 "personal
+/// information" enumerates identifiers; CCPA § 1798.140(v) defines both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level1 {
+    /// Data that identifies a user or device.
+    Identifiers,
+    /// Other personal information about the user.
+    PersonalInformation,
+}
+
+impl Level1 {
+    /// All level-1 roots.
+    pub const ALL: [Level1; 2] = [Level1::Identifiers, Level1::PersonalInformation];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level1::Identifiers => "Identifiers",
+            Level1::PersonalInformation => "Personal Information",
+        }
+    }
+}
+
+impl std::fmt::Display for Level1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Level 2: the eight abstracted groups. Paper Table 4 reports data flows at
+/// this level (six of the eight were observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level2 {
+    /// Identifiers tied to the person (name, contact info, login, …).
+    PersonalIdentifiers,
+    /// Identifiers tied to the device (hardware/software IDs, device info).
+    DeviceIdentifiers,
+    /// Protected characteristics (age, language, gender, …).
+    PersonalCharacteristics,
+    /// Employment / education / financial / medical history.
+    PersonalHistory,
+    /// Location data of any precision, plus location timestamps.
+    Geolocation,
+    /// Communications, contacts, internet activity, connection metadata.
+    UserCommunications,
+    /// Raw sensor data (audio/video recordings, etc.).
+    Sensors,
+    /// Behavioral data: advertising, usage, settings, service info,
+    /// inferences.
+    UserInterestsAndBehaviors,
+}
+
+impl Level2 {
+    /// All level-2 groups in display order.
+    pub const ALL: [Level2; 8] = [
+        Level2::PersonalIdentifiers,
+        Level2::DeviceIdentifiers,
+        Level2::PersonalCharacteristics,
+        Level2::PersonalHistory,
+        Level2::Geolocation,
+        Level2::UserCommunications,
+        Level2::Sensors,
+        Level2::UserInterestsAndBehaviors,
+    ];
+
+    /// The six groups observed in the paper's dataset, in the row order of
+    /// Table 4.
+    pub const TABLE4_ROWS: [Level2; 6] = [
+        Level2::PersonalIdentifiers,
+        Level2::DeviceIdentifiers,
+        Level2::PersonalCharacteristics,
+        Level2::Geolocation,
+        Level2::UserCommunications,
+        Level2::UserInterestsAndBehaviors,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level2::PersonalIdentifiers => "Personal Identifiers",
+            Level2::DeviceIdentifiers => "Device Identifiers",
+            Level2::PersonalCharacteristics => "Personal Characteristics",
+            Level2::PersonalHistory => "Personal History",
+            Level2::Geolocation => "Geolocation",
+            Level2::UserCommunications => "User Communications",
+            Level2::Sensors => "Sensors",
+            Level2::UserInterestsAndBehaviors => "User Interests and Behaviors",
+        }
+    }
+
+    /// The level-1 root this group belongs to.
+    pub fn level1(&self) -> Level1 {
+        match self {
+            Level2::PersonalIdentifiers | Level2::DeviceIdentifiers => Level1::Identifiers,
+            _ => Level1::PersonalInformation,
+        }
+    }
+
+    /// The level-3 categories in this group.
+    pub fn categories(&self) -> Vec<DataTypeCategory> {
+        DataTypeCategory::ALL
+            .iter()
+            .copied()
+            .filter(|c| c.level2() == *self)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Level2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Level 3: the 35 classification labels (paper Table 2). These are the
+/// output space of every classifier in `diffaudit-classifier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // labels are self-describing; docs live on `label()`
+pub enum DataTypeCategory {
+    // --- Identifiers / Personal Identifiers ---
+    Name,
+    LinkedPersonalIdentifiers,
+    ContactInfo,
+    ReasonablyLinkablePersonalIdentifiers,
+    Aliases,
+    CustomerNumbers,
+    LoginInfo,
+    // --- Identifiers / Device Identifiers ---
+    DeviceHardwareIdentifiers,
+    DeviceSoftwareIdentifiers,
+    DeviceInfo,
+    // --- Personal Information / Personal Characteristics ---
+    Race,
+    Age,
+    Language,
+    Religion,
+    GenderSex,
+    MaritalStatus,
+    MilitaryVeteranStatus,
+    MedicalConditions,
+    GeneticInfo,
+    Disabilities,
+    BiometricInfo,
+    // --- Personal Information / Personal History ---
+    PersonalHistory,
+    // --- Personal Information / Geolocation ---
+    PreciseGeolocation,
+    CoarseGeolocation,
+    LocationTime,
+    // --- Personal Information / User Communications ---
+    Communications,
+    Contacts,
+    InternetActivity,
+    NetworkConnectionInfo,
+    // --- Personal Information / Sensors ---
+    SensorData,
+    // --- Personal Information / User Interests and Behaviors ---
+    ProductsAndAdvertising,
+    AppServiceUsage,
+    AccountSettings,
+    ServiceInfo,
+    InferencesAboutUsers,
+}
+
+impl DataTypeCategory {
+    /// All 35 categories, grouped by level 2 in display order.
+    pub const ALL: [DataTypeCategory; 35] = [
+        DataTypeCategory::Name,
+        DataTypeCategory::LinkedPersonalIdentifiers,
+        DataTypeCategory::ContactInfo,
+        DataTypeCategory::ReasonablyLinkablePersonalIdentifiers,
+        DataTypeCategory::Aliases,
+        DataTypeCategory::CustomerNumbers,
+        DataTypeCategory::LoginInfo,
+        DataTypeCategory::DeviceHardwareIdentifiers,
+        DataTypeCategory::DeviceSoftwareIdentifiers,
+        DataTypeCategory::DeviceInfo,
+        DataTypeCategory::Race,
+        DataTypeCategory::Age,
+        DataTypeCategory::Language,
+        DataTypeCategory::Religion,
+        DataTypeCategory::GenderSex,
+        DataTypeCategory::MaritalStatus,
+        DataTypeCategory::MilitaryVeteranStatus,
+        DataTypeCategory::MedicalConditions,
+        DataTypeCategory::GeneticInfo,
+        DataTypeCategory::Disabilities,
+        DataTypeCategory::BiometricInfo,
+        DataTypeCategory::PersonalHistory,
+        DataTypeCategory::PreciseGeolocation,
+        DataTypeCategory::CoarseGeolocation,
+        DataTypeCategory::LocationTime,
+        DataTypeCategory::Communications,
+        DataTypeCategory::Contacts,
+        DataTypeCategory::InternetActivity,
+        DataTypeCategory::NetworkConnectionInfo,
+        DataTypeCategory::SensorData,
+        DataTypeCategory::ProductsAndAdvertising,
+        DataTypeCategory::AppServiceUsage,
+        DataTypeCategory::AccountSettings,
+        DataTypeCategory::ServiceInfo,
+        DataTypeCategory::InferencesAboutUsers,
+    ];
+
+    /// The 19 categories observed in the paper's dataset (starred in
+    /// Table 2).
+    pub const OBSERVED_IN_PAPER: [DataTypeCategory; 19] = [
+        DataTypeCategory::Name,
+        DataTypeCategory::ContactInfo,
+        DataTypeCategory::ReasonablyLinkablePersonalIdentifiers,
+        DataTypeCategory::Aliases,
+        DataTypeCategory::LoginInfo,
+        DataTypeCategory::DeviceHardwareIdentifiers,
+        DataTypeCategory::DeviceSoftwareIdentifiers,
+        DataTypeCategory::DeviceInfo,
+        DataTypeCategory::Age,
+        DataTypeCategory::Language,
+        DataTypeCategory::GenderSex,
+        DataTypeCategory::CoarseGeolocation,
+        DataTypeCategory::LocationTime,
+        DataTypeCategory::NetworkConnectionInfo,
+        DataTypeCategory::ProductsAndAdvertising,
+        DataTypeCategory::AppServiceUsage,
+        DataTypeCategory::AccountSettings,
+        DataTypeCategory::ServiceInfo,
+        DataTypeCategory::InferencesAboutUsers,
+    ];
+
+    /// Human-readable label (matches the paper's Table 2 wording).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataTypeCategory::Name => "Name",
+            DataTypeCategory::LinkedPersonalIdentifiers => "Linked Personal Identifiers",
+            DataTypeCategory::ContactInfo => "Contact Information",
+            DataTypeCategory::ReasonablyLinkablePersonalIdentifiers => {
+                "Reasonably Linkable Personal Identifiers"
+            }
+            DataTypeCategory::Aliases => "Aliases",
+            DataTypeCategory::CustomerNumbers => "Customer Numbers",
+            DataTypeCategory::LoginInfo => "Login Information",
+            DataTypeCategory::DeviceHardwareIdentifiers => "Device Hardware Identifiers",
+            DataTypeCategory::DeviceSoftwareIdentifiers => "Device Software Identifiers",
+            DataTypeCategory::DeviceInfo => "Device Information",
+            DataTypeCategory::Race => "Race",
+            DataTypeCategory::Age => "Age",
+            DataTypeCategory::Language => "Language",
+            DataTypeCategory::Religion => "Religion",
+            DataTypeCategory::GenderSex => "Gender/Sex",
+            DataTypeCategory::MaritalStatus => "Marital Status",
+            DataTypeCategory::MilitaryVeteranStatus => "Military/Veteran Status",
+            DataTypeCategory::MedicalConditions => "Medical Conditions",
+            DataTypeCategory::GeneticInfo => "Genetic Information",
+            DataTypeCategory::Disabilities => "Disabilities",
+            DataTypeCategory::BiometricInfo => "Biometric Information",
+            DataTypeCategory::PersonalHistory => "Personal History",
+            DataTypeCategory::PreciseGeolocation => "Precise Geolocation",
+            DataTypeCategory::CoarseGeolocation => "Coarse Geolocation",
+            DataTypeCategory::LocationTime => "Location Time",
+            DataTypeCategory::Communications => "Communications",
+            DataTypeCategory::Contacts => "Contacts",
+            DataTypeCategory::InternetActivity => "Internet Activity",
+            DataTypeCategory::NetworkConnectionInfo => "Network Connection Information",
+            DataTypeCategory::SensorData => "Sensor Data",
+            DataTypeCategory::ProductsAndAdvertising => "Products and Advertising",
+            DataTypeCategory::AppServiceUsage => "App or Service Usage",
+            DataTypeCategory::AccountSettings => "Account Settings",
+            DataTypeCategory::ServiceInfo => "Service Information",
+            DataTypeCategory::InferencesAboutUsers => "Inferences",
+        }
+    }
+
+    /// Parse a label back into a category (exact match on [`label`]),
+    /// case-insensitive.
+    ///
+    /// [`label`]: DataTypeCategory::label
+    pub fn from_label(label: &str) -> Option<DataTypeCategory> {
+        let needle = label.trim();
+        DataTypeCategory::ALL
+            .iter()
+            .copied()
+            .find(|c| c.label().eq_ignore_ascii_case(needle))
+    }
+
+    /// The level-2 group this category belongs to.
+    pub fn level2(&self) -> Level2 {
+        use DataTypeCategory::*;
+        match self {
+            Name | LinkedPersonalIdentifiers | ContactInfo
+            | ReasonablyLinkablePersonalIdentifiers | Aliases | CustomerNumbers | LoginInfo => {
+                Level2::PersonalIdentifiers
+            }
+            DeviceHardwareIdentifiers | DeviceSoftwareIdentifiers | DeviceInfo => {
+                Level2::DeviceIdentifiers
+            }
+            Race | Age | Language | Religion | GenderSex | MaritalStatus
+            | MilitaryVeteranStatus | MedicalConditions | GeneticInfo | Disabilities
+            | BiometricInfo => Level2::PersonalCharacteristics,
+            PersonalHistory => Level2::PersonalHistory,
+            PreciseGeolocation | CoarseGeolocation | LocationTime => Level2::Geolocation,
+            Communications | Contacts | InternetActivity | NetworkConnectionInfo => {
+                Level2::UserCommunications
+            }
+            SensorData => Level2::Sensors,
+            ProductsAndAdvertising | AppServiceUsage | AccountSettings | ServiceInfo
+            | InferencesAboutUsers => Level2::UserInterestsAndBehaviors,
+        }
+    }
+
+    /// The level-1 root.
+    pub fn level1(&self) -> Level1 {
+        self.level2().level1()
+    }
+
+    /// `true` if the category is an identifier under COPPA/CCPA (level 1 =
+    /// Identifiers). Linkability analysis pairs identifier categories with
+    /// personal-information categories.
+    pub fn is_identifier(&self) -> bool {
+        self.level1() == Level1::Identifiers
+    }
+}
+
+impl std::fmt::Display for DataTypeCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_35_categories() {
+        assert_eq!(DataTypeCategory::ALL.len(), 35);
+        let mut set = DataTypeCategory::ALL.to_vec();
+        set.sort();
+        set.dedup();
+        assert_eq!(set.len(), 35, "no duplicates");
+    }
+
+    #[test]
+    fn exactly_19_observed() {
+        assert_eq!(DataTypeCategory::OBSERVED_IN_PAPER.len(), 19);
+    }
+
+    #[test]
+    fn level2_partition_is_complete() {
+        let mut total = 0;
+        for l2 in Level2::ALL {
+            total += l2.categories().len();
+        }
+        assert_eq!(total, 35, "every category in exactly one group");
+    }
+
+    #[test]
+    fn group_sizes_match_paper() {
+        assert_eq!(Level2::PersonalIdentifiers.categories().len(), 7);
+        assert_eq!(Level2::DeviceIdentifiers.categories().len(), 3);
+        assert_eq!(Level2::PersonalCharacteristics.categories().len(), 11);
+        assert_eq!(Level2::PersonalHistory.categories().len(), 1);
+        assert_eq!(Level2::Geolocation.categories().len(), 3);
+        assert_eq!(Level2::UserCommunications.categories().len(), 4);
+        assert_eq!(Level2::Sensors.categories().len(), 1);
+        assert_eq!(Level2::UserInterestsAndBehaviors.categories().len(), 5);
+    }
+
+    #[test]
+    fn level1_roots() {
+        assert_eq!(
+            DataTypeCategory::DeviceInfo.level1(),
+            Level1::Identifiers
+        );
+        assert_eq!(
+            DataTypeCategory::AppServiceUsage.level1(),
+            Level1::PersonalInformation
+        );
+        let identifiers = DataTypeCategory::ALL
+            .iter()
+            .filter(|c| c.is_identifier())
+            .count();
+        assert_eq!(identifiers, 10, "10 identifier categories (Table 2 left column)");
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for c in DataTypeCategory::ALL {
+            assert_eq!(DataTypeCategory::from_label(c.label()), Some(c));
+            assert_eq!(
+                DataTypeCategory::from_label(&c.label().to_uppercase()),
+                Some(c)
+            );
+        }
+        assert_eq!(DataTypeCategory::from_label("Nonsense"), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = DataTypeCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 35);
+    }
+
+    #[test]
+    fn table4_rows_are_observed_groups() {
+        assert_eq!(Level2::TABLE4_ROWS.len(), 6);
+        assert!(!Level2::TABLE4_ROWS.contains(&Level2::Sensors));
+        assert!(!Level2::TABLE4_ROWS.contains(&Level2::PersonalHistory));
+    }
+}

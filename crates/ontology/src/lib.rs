@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-ontology
+//!
+//! The DiffAudit data-type ontology (paper Table 5), rooted in the COPPA and
+//! CCPA legal definitions of *identifiers* and *personal information*
+//! (16 C.F.R. § 312.2; Cal. Civ. Code § 1798.140).
+//!
+//! The ontology has four levels:
+//!
+//! 1. [`Level1`] — `Identifiers` vs `PersonalInformation` (the two legal
+//!    roots);
+//! 2. [`Level2`] — eight groups (personal identifiers, device identifiers,
+//!    personal characteristics, personal history, geolocation, user
+//!    communications, sensors, user interests and behaviors); Table 4 in the
+//!    paper reports flows at this level;
+//! 3. [`DataTypeCategory`] — the 35 classification labels (paper Table 2);
+//!    these are the classifier's output space;
+//! 4. the level-4 *vocabulary* — example terms per category
+//!    ([`DataTypeCategory::vocabulary`]), used as few-shot examples by every
+//!    classifier implementation.
+//!
+//! [`legal`] carries the statutory citations each category derives from, so
+//! audit findings can cite chapter and verse.
+
+pub mod legal;
+mod level;
+mod vocab;
+
+pub use legal::{LegalBasis, LegalCitation};
+pub use level::{DataTypeCategory, Level1, Level2};

@@ -1,0 +1,362 @@
+//! Level-4 vocabulary: the example terms for each level-3 category, as
+//! enumerated in paper Table 5.
+//!
+//! These terms serve two roles:
+//! - they are the *few-shot examples* handed to every classifier (the paper
+//!   passes "the category labels … and data types in each category" to
+//!   GPT-4);
+//! - the traffic generator derives its raw payload keys from them (with
+//!   mutations — casing, concatenation, abbreviation — so classification is
+//!   not a trivial lookup).
+
+use crate::level::DataTypeCategory;
+
+impl DataTypeCategory {
+    /// The level-4 example terms for this category (Table 5).
+    pub fn vocabulary(&self) -> &'static [&'static str] {
+        use DataTypeCategory::*;
+        match self {
+            Name => &["first name", "last name", "full name", "user name", "surname"],
+            LinkedPersonalIdentifiers => &[
+                "social security number",
+                "ssn",
+                "driver's license number",
+                "state identification card number",
+                "passport number",
+            ],
+            ContactInfo => &[
+                "email address",
+                "email",
+                "telephone number",
+                "phone number",
+                "mobile number",
+            ],
+            ReasonablyLinkablePersonalIdentifiers => &[
+                "ip address",
+                "unique pseudonym",
+                "pseudonymous id",
+                "user id",
+                "account id",
+                "profile id",
+            ],
+            Aliases => &[
+                "alias",
+                "online identifier",
+                "unique personal identifier",
+                "unique id",
+                "guid",
+                "uuid",
+                "nickname",
+                "handle",
+            ],
+            CustomerNumbers => &[
+                "customer number",
+                "account name",
+                "insurance policy number",
+                "bank account number",
+                "credit card number",
+                "debit card number",
+            ],
+            LoginInfo => &[
+                "password",
+                "login",
+                "authorization",
+                "authentication",
+                "auth token",
+                "access token",
+                "session token",
+                "credentials",
+            ],
+            DeviceHardwareIdentifiers => &[
+                "imei",
+                "mac address",
+                "unique device identifier",
+                "device id",
+                "processor serial number",
+                "device serial number",
+                "android id",
+                "hardware id",
+            ],
+            DeviceSoftwareIdentifiers => &[
+                "advertising identifier",
+                "advertising id",
+                "idfa",
+                "gaid",
+                "cookie",
+                "pixel tag",
+                "beacon",
+                "tracking identifier",
+                "install id",
+            ],
+            DeviceInfo => &[
+                "display",
+                "height",
+                "width",
+                "fps",
+                "browser",
+                "bitrate",
+                "abr",
+                "speed",
+                "device model",
+                "delay",
+                "os",
+                "operating system",
+                "os version",
+                "rate",
+                "screen",
+                "sound",
+                "memory",
+                "cpu",
+                "buffer",
+                "latency",
+                "download",
+                "load",
+                "frame",
+                "depth",
+                "download speed",
+                "render",
+                "battery",
+                "resolution",
+            ],
+            Race => &["race", "skin color", "national origin", "ancestry", "ethnicity"],
+            Age => &["age", "birthday", "birth date", "date of birth", "dob", "birth year", "age group"],
+            Language => &["language", "locale", "preferred language", "lang"],
+            Religion => &["religion", "religious affiliation", "faith"],
+            GenderSex => &["gender", "sex", "sexual orientation", "pronouns"],
+            MaritalStatus => &["marital status", "married", "spouse"],
+            MilitaryVeteranStatus => &["military status", "veteran status", "veteran"],
+            MedicalConditions => &["medical condition", "health condition", "diagnosis", "medication"],
+            GeneticInfo => &["genetic information", "dna", "genome"],
+            Disabilities => &["disability", "accessibility needs", "impairment"],
+            BiometricInfo => &[
+                "dna",
+                "images",
+                "voiceprint",
+                "fingerprint",
+                "patterns",
+                "rhythms",
+                "physical characteristics",
+                "face scan",
+            ],
+            PersonalHistory => &[
+                "employment",
+                "education",
+                "financial information",
+                "medical information",
+                "employer",
+                "school",
+                "income",
+            ],
+            PreciseGeolocation => &[
+                "gps location",
+                "gps",
+                "coordinates",
+                "postal address",
+                "street address",
+                "latitude",
+                "longitude",
+                "zip code",
+                "altitude",
+            ],
+            CoarseGeolocation => &["city", "town", "country", "region", "state", "province", "geo"],
+            LocationTime => &[
+                "time",
+                "timestamp",
+                "timezone",
+                "time zone",
+                "time offset",
+                "date",
+                "utc offset",
+                "local time",
+            ],
+            Communications => &[
+                "audio communications",
+                "text communications",
+                "video communications",
+                "message",
+                "chat",
+                "comment",
+                "direct message",
+            ],
+            Contacts => &["contact list", "contacts", "address book", "friends list", "people you communicate with"],
+            InternetActivity => &[
+                "browsing history",
+                "search history",
+                "search query",
+                "visited pages",
+                "clickstream",
+                "ip addresses communicated with",
+            ],
+            NetworkConnectionInfo => &[
+                "request",
+                "response",
+                "dns",
+                "tcp",
+                "tls",
+                "rtt",
+                "ttfb",
+                "protocol",
+                "client",
+                "connection",
+                "key",
+                "payload",
+                "host",
+                "referer",
+                "telemetry",
+                "cache",
+                "network type",
+                "carrier",
+                "ssid",
+                "bandwidth",
+                "user agent",
+            ],
+            SensorData => &[
+                "audio recording",
+                "video recording",
+                "microphone",
+                "camera",
+                "accelerometer",
+                "gyroscope",
+                "sensor data",
+            ],
+            ProductsAndAdvertising => &[
+                "advertisement",
+                "ad engagement",
+                "ad impression",
+                "ad click",
+                "bid",
+                "analytics",
+                "marketing",
+                "third party",
+                "advertiser",
+                "campaign",
+                "products or services considered",
+                "purchase records",
+                "creative id",
+                "placement",
+            ],
+            AppServiceUsage => &[
+                "session",
+                "usage session",
+                "content",
+                "video",
+                "audio",
+                "video buffer",
+                "audio buffer",
+                "play",
+                "volume",
+                "avatar",
+                "behavior",
+                "action",
+                "event",
+                "data",
+                "status",
+                "duration",
+                "timing",
+                "watch time",
+                "scroll depth",
+                "interaction",
+                "screen view",
+                "level",
+                "score",
+                "game state",
+            ],
+            AccountSettings => &[
+                "account",
+                "settings",
+                "consent",
+                "permission",
+                "preferences",
+                "notification settings",
+                "privacy settings",
+                "opt out",
+                "opt in",
+                "parental controls",
+            ],
+            ServiceInfo => &[
+                "server",
+                "sdk",
+                "api",
+                "site",
+                "url",
+                "domain",
+                "version",
+                "script",
+                "uri",
+                "application",
+                "page",
+                "app",
+                "cdn",
+                "dom",
+                "build",
+                "environment",
+                "endpoint",
+                "sdk version",
+                "app version",
+                "platform",
+            ],
+            InferencesAboutUsers => &[
+                "user preferences",
+                "characteristics",
+                "psychological trends",
+                "predispositions",
+                "attitudes",
+                "intelligence",
+                "abilities",
+                "aptitudes",
+                "personality",
+                "purchase history",
+                "purchase tendency",
+                "interest segment",
+                "audience segment",
+                "affinity",
+                "recommendation profile",
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_category_has_vocabulary() {
+        for c in DataTypeCategory::ALL {
+            assert!(
+                !c.vocabulary().is_empty(),
+                "category {c:?} has empty vocabulary"
+            );
+        }
+    }
+
+    #[test]
+    fn vocabulary_terms_are_lowercase_and_trimmed() {
+        for c in DataTypeCategory::ALL {
+            for term in c.vocabulary() {
+                assert_eq!(*term, term.trim(), "untrimmed term {term:?} in {c:?}");
+                assert_eq!(
+                    *term,
+                    term.to_lowercase(),
+                    "non-lowercase term {term:?} in {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_vocabulary_size_reasonable() {
+        let total: usize = DataTypeCategory::ALL.iter().map(|c| c.vocabulary().len()).sum();
+        assert!(total > 200, "vocabulary too small: {total}");
+    }
+
+    #[test]
+    fn no_term_duplicated_within_category() {
+        for c in DataTypeCategory::ALL {
+            let mut v = c.vocabulary().to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), c.vocabulary().len(), "duplicate term in {c:?}");
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! The six audited services (paper §2.2), with behavior matrices
+//! reconstructed from Table 4 and the per-service prose of §4.1.2.
+//!
+//! Grid encoding per trace: six rows in [`Level2::TABLE4_ROWS`] order
+//! (personal identifiers, device identifiers, personal characteristics,
+//! geolocation, user communications, user interests & behaviors), four
+//! columns per row in [`FlowAction::ALL`] order (collect-1st,
+//! collect-1st-ATS, share-3rd, share-3rd-ATS); `B` = both platforms,
+//! `W` = web only, `M` = mobile only, `-` = absent.
+//!
+//! Where Table 4's per-cell symbols are not recoverable from the paper text,
+//! cells follow the §4.1.2 prose (which fully determines the category-level
+//! grid) with platform symbols chosen to reproduce the paper's
+//! platform-difference findings: mobile-only flows exist only for Roblox,
+//! TikTok, Minecraft and Duolingo and all involve third parties; web-only
+//! flows exist for every service.
+
+use crate::policy::{PolicyDisclosure, PrivacyPolicy};
+use crate::profile::{Platform, TraceCategory};
+use crate::spec::{ServiceSpec, TraceProfile};
+use diffaudit_blocklist::DestinationClass;
+use diffaudit_domains::{extract, DomainName};
+use diffaudit_ontology::Level2;
+use std::collections::HashMap;
+
+/// Unique third-party ATS eSLDs derived from the embedded block lists (kept
+/// in sync with the matcher by construction).
+pub fn ats_esld_pool() -> Vec<String> {
+    let matcher = diffaudit_blocklist::ats::embedded_matcher();
+    let mut eslds: Vec<String> = diffaudit_blocklist::ats::embedded_lists()
+        .iter()
+        .flat_map(|list| list.domains.iter())
+        .filter_map(|d| extract(d).esld())
+        .filter(|esld| {
+            // Keep only eSLDs that are block-listed *at the eSLD level*:
+            // a subdomain-specific entry (e.g. `events.redditmedia.com`)
+            // does not make arbitrary sibling hosts ATS, so its eSLD cannot
+            // serve as an ATS destination pool member.
+            DomainName::parse(esld)
+                .map(|d| matcher.is_blocked(&d))
+                .unwrap_or(false)
+        })
+        .filter(|esld| {
+            // Exclude eSLDs owned by the audited services' orgs — those are
+            // first-party ATS, handled separately per service.
+            !matches!(
+                esld.as_str(),
+                "roblox.com" | "duolingo.com" | "duolingo.cn" | "quizlet.com"
+            )
+        })
+        .collect();
+    eslds.sort();
+    eslds.dedup();
+    eslds
+}
+
+/// Third-party non-ATS eSLDs: real CDNs/utility domains plus a synthetic
+/// long tail (the paper likewise could not attribute many domains to any
+/// owner).
+pub fn non_ats_pool() -> Vec<String> {
+    let mut pool: Vec<String> = [
+        "cloudfront.net",
+        "googleapis.com",
+        "gstatic.com",
+        "vimeocdn.com",
+        "vimeo.com",
+        "akamaized.net",
+        "akamaihd.net",
+        "fastly.net",
+        "cloudflare.com",
+        "cdnjs.com",
+        "twimg.com",
+        "pinimg.com",
+        "githubusercontent.com",
+        "awsstatic.com",
+        "media-amazon.com",
+        "msecnd.net",
+        "azureedge.net",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    // Synthetic long tail of unattributable utility domains.
+    const HEADS: [&str; 12] = [
+        "static", "cdn", "edge", "media", "assets", "content", "img", "cache", "origin",
+        "files", "video", "play",
+    ];
+    const TAILS: [&str; 8] = ["hub", "grid", "nest", "works", "layer", "point", "wave", "stack"];
+    const TLDS: [&str; 3] = ["com", "net", "io"];
+    for (i, head) in HEADS.iter().enumerate() {
+        for (j, tail) in TAILS.iter().enumerate() {
+            let tld = TLDS[(i + j) % TLDS.len()];
+            pool.push(format!("{head}{tail}.{tld}"));
+        }
+    }
+    pool
+}
+
+#[allow(clippy::too_many_arguments)] // catalog constructor mirrors the spec fields
+fn svc(
+    name: &'static str,
+    slug: &'static str,
+    first_party_domains: &[&'static str],
+    first_party_hosts: &[&'static str],
+    first_party_ats_hosts: &[&'static str],
+    platforms: &[Platform],
+    traces: HashMap<TraceCategory, TraceProfile>,
+    policy: PrivacyPolicy,
+    mean_request_padding: usize,
+) -> ServiceSpec {
+    for host in first_party_hosts.iter().chain(first_party_ats_hosts) {
+        DomainName::parse(host).expect("catalog host must be valid");
+    }
+    ServiceSpec {
+        name,
+        slug,
+        first_party_domains: first_party_domains.to_vec(),
+        first_party_hosts: first_party_hosts.to_vec(),
+        first_party_ats_hosts: first_party_ats_hosts.to_vec(),
+        third_party_ats_pool: ats_esld_pool(),
+        third_party_pool: non_ats_pool(),
+        platforms: platforms.to_vec(),
+        traces,
+        policy,
+        mean_request_padding,
+    }
+}
+
+fn traces4(
+    child: TraceProfile,
+    adolescent: TraceProfile,
+    adult: TraceProfile,
+    logged_out: TraceProfile,
+) -> HashMap<TraceCategory, TraceProfile> {
+    let mut map = HashMap::new();
+    map.insert(TraceCategory::Child, child);
+    map.insert(TraceCategory::Adolescent, adolescent);
+    map.insert(TraceCategory::Adult, adult);
+    map.insert(TraceCategory::LoggedOut, logged_out);
+    map
+}
+
+fn duolingo() -> ServiceSpec {
+    // §4.1.2: every group collected by first parties and shared with third
+    // party ATS across all ages AND logged out; under-16 policy claims
+    // non-personalized ads and no third-party behavioral tracking.
+    let policy = PrivacyPolicy {
+        url: "https://www.duolingo.com/privacy",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Level2::TABLE4_ROWS
+                .iter()
+                .map(|&g| PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty))
+                .collect();
+            // Personalized ads / tracking disclosed for adults only.
+            for g in [
+                Level2::DeviceIdentifiers,
+                Level2::UserInterestsAndBehaviors,
+                Level2::UserCommunications,
+            ] {
+                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
+                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdParty));
+            }
+            d
+        },
+        statements: vec![
+            "For users under 16, advertisements are set to non-personalised.",
+            "For users under 16, third-party behavioral tracking is disabled.",
+        ],
+    };
+    svc(
+        "Duolingo",
+        "duolingo",
+        &["duolingo.com"],
+        &[
+            "www.duolingo.com",
+            "api.duolingo.com",
+            "api2.duolingo.com",
+            "accounts.duolingo.com",
+            "stories.duolingo.com",
+            "goals-api.duolingo.com",
+            "friends-prod.duolingo.com",
+            "d2.duolingo.com",
+            "static.duolingo.com",
+            "sounds.duolingo.com",
+        ],
+        &[],
+        &[Platform::Web, Platform::Mobile],
+        traces4(
+            TraceProfile::from_grid(
+                ["B-WB", "B-BB", "B-WB", "W-MB", "B-BB", "B-BB"],
+                34, 0.72, 7, 105,
+            ),
+            TraceProfile::from_grid(
+                ["B-WB", "B-BB", "B-BB", "W-WB", "B-BB", "B-BB"],
+                46, 0.70, 9, 105,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "B-BB", "B-BB", "B-WB", "B-BB", "B-BB"],
+                52, 0.70, 10, 105,
+            ),
+            TraceProfile::from_grid(
+                ["B--B", "B-BB", "B-WB", "W--B", "B-BB", "B-BB"],
+                40, 0.74, 8, 63,
+            ),
+        ),
+        policy,
+        50_000,
+    )
+}
+
+fn minecraft() -> ServiceSpec {
+    // §4.1.2: all groups collected by first parties (ATS and non-ATS) and
+    // shared with non-ATS third parties for all ages; child/adolescent share
+    // everything EXCEPT personal identifiers with third-party ATS; the adult
+    // trace includes personal identifiers.
+    let policy = PrivacyPolicy {
+        url: "https://privacy.microsoft.com/en-US/privacystatement",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Vec::new();
+            for &g in &Level2::TABLE4_ROWS {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
+                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
+            }
+            d
+        },
+        statements: vec![
+            "We do not deliver personalized advertising to children whose birthdate in their \
+             Microsoft account identifies them as under 18 years of age.",
+        ],
+    };
+    svc(
+        "Minecraft",
+        "minecraft",
+        &["minecraft.net", "mojang.com", "minecraftservices.com"],
+        &[
+            "www.minecraft.net",
+            "api.minecraftservices.com",
+            "authserver.mojang.com",
+            "session.minecraft.net",
+            "sessionserver.mojang.com",
+            "textures.minecraft.net",
+            "launchermeta.mojang.com",
+            "libraries.minecraft.net",
+            "resources.download.minecraft.net",
+            "login.live.com",
+            "user.auth.xboxlive.com",
+            "xsts.auth.xboxlive.com",
+            "api.mojang.com",
+            "msftstore.azureedge.net",
+        ],
+        &[
+            "browser.events.data.microsoft.com",
+            "mobile.events.data.microsoft.com",
+            "www.clarity.ms",
+        ],
+        &[Platform::Web, Platform::Mobile, Platform::Desktop],
+        traces4(
+            TraceProfile::from_grid(
+                ["BBB-", "BBBB", "BBBB", "BBWM", "BBBB", "BBBB"],
+                26, 0.62, 6, 95,
+            ),
+            TraceProfile::from_grid(
+                ["BBB-", "BBBB", "BBBB", "BBWB", "BBBB", "BBBB"],
+                30, 0.62, 8, 95,
+            ),
+            TraceProfile::from_grid(
+                ["BBBB", "BBBB", "BBBB", "BBWB", "BBBB", "BBBB"],
+                33, 0.62, 9, 95,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BBBB", "BB-W", "BB-W", "BBBB", "BB-B"],
+                24, 0.68, 7, 57,
+            ),
+        ),
+        policy,
+        160_000,
+    )
+}
+
+fn quizlet() -> ServiceSpec {
+    // §4.1.2: every group collected by first parties, shared with third
+    // parties, and shared with third-party ATS for ALL traces including
+    // logged out; the densest third-party fan-out in the dataset (Fig. 3).
+    let policy = PrivacyPolicy {
+        url: "https://quizlet.com/privacy",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Vec::new();
+            for &g in &Level2::TABLE4_ROWS {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+            }
+            // "Aggregated or de-identified information ... for marketing":
+            // read generously as disclosing behavioral data to third parties
+            // after consent.
+            for g in [Level2::UserInterestsAndBehaviors, Level2::UserCommunications] {
+                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
+                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdPartyAts));
+            }
+            d
+        },
+        statements: vec![
+            "We may use aggregated or de-identified information about children for research, \
+             analysis, marketing and other commercial purposes.",
+        ],
+    };
+    svc(
+        "Quizlet",
+        "quizlet",
+        &["quizlet.com", "qzlt.live"],
+        &[
+            "quizlet.com",
+            "api.quizlet.com",
+            "assets.quizlet.com",
+            "assets2.quizlet.com",
+            "up.quizlet.com",
+            "images.quizlet.com",
+            "slater.quizlet.com",
+            "search.quizlet.com",
+            "qzlt.live",
+        ],
+        &["o.quizlet.com", "events.quizlet.com"],
+        &[Platform::Web, Platform::Mobile],
+        traces4(
+            TraceProfile::from_grid(
+                ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
+                118, 0.55, 9, 440,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
+                219, 0.55, 12, 440,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
+                234, 0.55, 13, 440,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
+                152, 0.58, 11, 264,
+            ),
+        ),
+        policy,
+        10_000,
+    )
+}
+
+fn roblox() -> ServiceSpec {
+    // §4.1.2: all six groups collected by non-ATS first parties and shared
+    // with third-party ATS in every age trace; everything except geolocation
+    // also goes to non-ATS third parties. Logged out differs only in that
+    // personal identifiers are not shared with non-ATS third parties and
+    // geolocation is not collected by non-ATS first parties.
+    let policy = PrivacyPolicy {
+        url: "https://en.help.roblox.com/hc/articles/115004630823",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Vec::new();
+            for &g in &Level2::TABLE4_ROWS {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+            }
+            // "Non-identifying data of all users regardless of their age".
+            for g in [
+                Level2::DeviceIdentifiers,
+                Level2::UserCommunications,
+                Level2::UserInterestsAndBehaviors,
+            ] {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::ThirdParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::ThirdPartyAts));
+            }
+            d
+        },
+        statements: vec![
+            "We may share non-identifying data of all users regardless of their age.",
+            "We have no actual knowledge of selling or sharing the Personal Information of \
+             minors under 16 years of age.",
+        ],
+    };
+    svc(
+        "Roblox",
+        "roblox",
+        &["roblox.com", "rbxcdn.com"],
+        &[
+            "www.roblox.com",
+            "web.roblox.com",
+            "api.roblox.com",
+            "apis.roblox.com",
+            "auth.roblox.com",
+            "users.roblox.com",
+            "games.roblox.com",
+            "gamejoin.roblox.com",
+            "presence.roblox.com",
+            "thumbnails.roblox.com",
+            "friends.roblox.com",
+            "chat.roblox.com",
+            "economy.roblox.com",
+            "assetdelivery.roblox.com",
+            "c0.rbxcdn.com",
+            "c1.rbxcdn.com",
+            "c3.rbxcdn.com",
+            "t3.rbxcdn.com",
+            "t5.rbxcdn.com",
+            "tr.rbxcdn.com",
+        ],
+        &["metrics.roblox.com", "ephemeralcounters.api.roblox.com"],
+        &[Platform::Web, Platform::Mobile, Platform::Desktop],
+        traces4(
+            TraceProfile::from_grid(
+                ["B-BB", "BBBB", "B-MB", "B--B", "B-WB", "BBBB"],
+                41, 0.78, 8, 110,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "BBBB", "B-BB", "B--B", "B-BB", "BBBB"],
+                52, 0.78, 9, 110,
+            ),
+            TraceProfile::from_grid(
+                ["B-BB", "BBBB", "B-BB", "B--B", "B-BB", "BBBB"],
+                55, 0.78, 10, 110,
+            ),
+            TraceProfile::from_grid(
+                ["B--B", "BBBB", "B-BB", "---B", "B-BB", "BBBB"],
+                44, 0.80, 8, 66,
+            ),
+        ),
+        policy,
+        90_000,
+    )
+}
+
+fn tiktok() -> ServiceSpec {
+    // §4.1.2: child and adolescent collect via first parties (ATS and
+    // non-ATS); device identifiers and user communications go to third
+    // parties (ATS and non-ATS); the adolescent trace adds user interests to
+    // third-party ATS; the adult trace has more third-party flows overall.
+    let policy = PrivacyPolicy {
+        url: "https://www.tiktok.com/legal/childrens-privacy-policy",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Vec::new();
+            for &g in &Level2::TABLE4_ROWS {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+            }
+            // "Service providers ... for internal operations": non-ATS third
+            // parties for device/communications data.
+            for g in [Level2::DeviceIdentifiers, Level2::UserCommunications] {
+                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
+            }
+            for g in [
+                Level2::PersonalIdentifiers,
+                Level2::DeviceIdentifiers,
+                Level2::UserCommunications,
+                Level2::UserInterestsAndBehaviors,
+            ] {
+                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
+            }
+            d
+        },
+        statements: vec![
+            "We may share the information that we collect with our corporate group or service \
+             providers as necessary for them to support the internal operations of the TikTok \
+             service.",
+            "TikTok does not sell information from children to third parties and does not share \
+             such information with third parties for the purposes of cross-context behavioral \
+             advertising.",
+        ],
+    };
+    svc(
+        "TikTok",
+        "tiktok",
+        &["tiktok.com", "tiktokcdn.com", "tiktokv.com", "tiktokv.us", "ibytedtos.com"],
+        &[
+            "www.tiktok.com",
+            "webcast.tiktok.com",
+            "api.tiktokv.com",
+            "api16-normal-useast5.tiktokv.us",
+            "api19-normal-useast1a.tiktokv.us",
+            "p16-sign.tiktokcdn-us.com",
+            "p19-sign.tiktokcdn-us.com",
+            "v16-webapp.tiktok.com",
+            "v19-webapp-prime.us.tiktok.com",
+            "sf16-website-login.neutral.ttwstatic.com",
+            "lf16-tiktok-web.ttwstatic.com",
+            "im-api-va.tiktokv.com",
+        ],
+        &["analytics.tiktok.com", "business-api.tiktok.com", "mcs.tiktokv.us"],
+        &[Platform::Web, Platform::Mobile],
+        traces4(
+            TraceProfile::from_grid(
+                ["BB--", "BBMB", "BB--", "BB--", "BBBB", "BB--"],
+                7, 0.72, 4, 172,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BBBB", "BB--", "BB--", "BBBB", "BB-B"],
+                12, 0.72, 5, 172,
+            ),
+            TraceProfile::from_grid(
+                ["BB-B", "BBBB", "BB--", "BBW-", "BBBB", "BBBB"],
+                15, 0.72, 6, 172,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BB-B", "BB--", "BB--", "BB-B", "BB--"],
+                9, 0.76, 4, 103,
+            ),
+        ),
+        policy,
+        12_000,
+    )
+}
+
+fn youtube() -> ServiceSpec {
+    // §4.1.2: no third-party flows at all (Google owns the ATS domains, so
+    // they classify as first-party ATS). The child trace (YouTube Kids)
+    // lacks first-party-ATS collection of personal identifiers and
+    // geolocation; adolescent/adult have all six groups on first-party ATS.
+    let policy = PrivacyPolicy {
+        url: "https://kids.youtube.com/t/privacynotice",
+        disclosures: {
+            let mut d: Vec<PolicyDisclosure> = Vec::new();
+            for &g in &Level2::TABLE4_ROWS {
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
+                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+            }
+            d
+        },
+        statements: vec![
+            "We collect information including device type and settings, log information, and \
+             unique identifiers for internal operational purposes, personalized content, and \
+             contextual advertising, including ad frequency capping.",
+        ],
+    };
+    svc(
+        "YouTube",
+        "youtube",
+        &["youtube.com", "youtubekids.com", "ytimg.com", "googlevideo.com"],
+        &[
+            // The paper observes 76 distinct YouTube FQDNs, dominated by
+            // googlevideo CDN shards; this pool reproduces that shape.
+            "www.youtube.com",
+            "m.youtube.com",
+            "youtubei.googleapis.com",
+            "www.youtubekids.com",
+            "i.ytimg.com",
+            "i9.ytimg.com",
+            "s.ytimg.com",
+            "yt3.ggpht.com",
+            "yt4.ggpht.com",
+            "accounts.google.com",
+            "accounts.youtube.com",
+            "play.google.com",
+            "apis.google.com",
+            "www.gstatic.com",
+            "fonts.gstatic.com",
+            "lh3.googleusercontent.com",
+            "suggestqueries-clients6.youtube.com",
+            "clients6.google.com",
+            "jnn-pa.googleapis.com",
+            "rr1---sn-a5mekned.googlevideo.com",
+            "rr2---sn-a5mekned.googlevideo.com",
+            "rr3---sn-a5mekned.googlevideo.com",
+            "rr4---sn-a5meknee.googlevideo.com",
+            "rr5---sn-a5meknes.googlevideo.com",
+            "rr1---sn-q4fl6nds.googlevideo.com",
+            "rr2---sn-q4fl6nds.googlevideo.com",
+            "rr3---sn-q4fl6ndl.googlevideo.com",
+            "rr6---sn-q4flrnek.googlevideo.com",
+            "manifest.googlevideo.com",
+            "redirector.googlevideo.com",
+        ],
+        &[
+            "www.google-analytics.com",
+            "googleads.g.doubleclick.net",
+            "pagead2.googlesyndication.com",
+        ],
+        &[Platform::Web, Platform::Mobile],
+        traces4(
+            TraceProfile::from_grid(
+                ["B---", "BB--", "BB--", "B---", "BB--", "BB--"],
+                0, 0.0, 0, 16,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BB--", "BB--", "BB--", "BB--", "BB--"],
+                0, 0.0, 0, 16,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BB--", "BB--", "BB--", "BB--", "BB--"],
+                0, 0.0, 0, 16,
+            ),
+            TraceProfile::from_grid(
+                ["BB--", "BB--", "BW--", "BB--", "BB--", "BB--"],
+                0, 0.0, 0, 10,
+            ),
+        ),
+        policy,
+        120_000,
+    )
+}
+
+/// All six services in the paper's alphabetical order.
+pub fn all_services() -> Vec<ServiceSpec> {
+    vec![duolingo(), minecraft(), quizlet(), roblox(), tiktok(), youtube()]
+}
+
+/// Look up one service by slug.
+pub fn service_by_slug(slug: &str) -> Option<ServiceSpec> {
+    all_services().into_iter().find(|s| s.slug == slug)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FlowAction;
+
+    #[test]
+    fn six_services_present() {
+        let services = all_services();
+        assert_eq!(services.len(), 6);
+        let slugs: Vec<&str> = services.iter().map(|s| s.slug).collect();
+        assert_eq!(
+            slugs,
+            ["duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube"]
+        );
+    }
+
+    #[test]
+    fn every_service_has_all_four_traces() {
+        for service in all_services() {
+            for trace in TraceCategory::ALL {
+                let profile = service.trace(trace);
+                assert!(
+                    profile.exchanges_per_unit > 0,
+                    "{} {trace} has no volume",
+                    service.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_services_collect_while_logged_out() {
+        // Paper: "All of the services engaged in data collection and/or
+        // sharing prior to consent and age disclosure."
+        for service in all_services() {
+            let profile = service.trace(TraceCategory::LoggedOut);
+            let collects = Level2::TABLE4_ROWS.iter().any(|&g| {
+                profile.presence(g, FlowAction::CollectFirst).any()
+            });
+            assert!(collects, "{} must collect while logged out", service.name);
+        }
+    }
+
+    #[test]
+    fn all_but_youtube_share_with_ats_logged_out() {
+        // Paper: "All but one of the services (YouTube) was observed sharing
+        // identifiers and personal information with third party ATS while
+        // logged-out."
+        for service in all_services() {
+            let profile = service.trace(TraceCategory::LoggedOut);
+            let shares_ats = Level2::TABLE4_ROWS
+                .iter()
+                .any(|&g| profile.presence(g, FlowAction::ShareThirdAts).any());
+            if service.slug == "youtube" {
+                assert!(!shares_ats, "YouTube must not share with third-party ATS");
+            } else {
+                assert!(shares_ats, "{} must share with ATS logged out", service.name);
+            }
+        }
+    }
+
+    #[test]
+    fn youtube_has_no_third_party_flows_at_all() {
+        let yt = service_by_slug("youtube").unwrap();
+        for trace in TraceCategory::ALL {
+            assert!(
+                !yt.trace(trace).shares_with_third_parties(),
+                "YouTube {trace} must not contact third parties"
+            );
+        }
+    }
+
+    #[test]
+    fn minecraft_adult_adds_personal_identifiers_to_ats() {
+        let mc = service_by_slug("minecraft").unwrap();
+        assert!(!mc
+            .expected_presence(
+                TraceCategory::Child,
+                Level2::PersonalIdentifiers,
+                FlowAction::ShareThirdAts
+            )
+            .any());
+        assert!(!mc
+            .expected_presence(
+                TraceCategory::Adolescent,
+                Level2::PersonalIdentifiers,
+                FlowAction::ShareThirdAts
+            )
+            .any());
+        assert!(mc
+            .expected_presence(
+                TraceCategory::Adult,
+                Level2::PersonalIdentifiers,
+                FlowAction::ShareThirdAts
+            )
+            .any());
+    }
+
+    #[test]
+    fn mobile_only_flows_limited_to_four_services_and_third_parties() {
+        use crate::spec::CellPresence;
+        for service in all_services() {
+            for trace in TraceCategory::ALL {
+                for &g in &Level2::TABLE4_ROWS {
+                    for action in FlowAction::ALL {
+                        if service.expected_presence(trace, g, action)
+                            == CellPresence::MobileOnly
+                        {
+                            assert!(
+                                ["roblox", "tiktok", "minecraft", "duolingo"]
+                                    .contains(&service.slug),
+                                "{} has unexpected mobile-only flow",
+                                service.name
+                            );
+                            assert!(
+                                matches!(
+                                    action,
+                                    FlowAction::ShareThird | FlowAction::ShareThirdAts
+                                ),
+                                "mobile-only flows must involve third parties"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quizlet_third_party_counts_dominate() {
+        // Fig. 3 shape: Quizlet has the most third parties for adolescent,
+        // adult and logged-out; child counts are below adolescent/adult.
+        let services = all_services();
+        let quizlet = services.iter().find(|s| s.slug == "quizlet").unwrap();
+        for trace in [TraceCategory::Adolescent, TraceCategory::Adult, TraceCategory::LoggedOut] {
+            for other in services.iter().filter(|s| s.slug != "quizlet") {
+                assert!(
+                    quizlet.trace(trace).third_party_esld_count
+                        > other.trace(trace).third_party_esld_count,
+                    "Quizlet must dominate {trace}"
+                );
+            }
+        }
+        for service in &services {
+            let child = service.trace(TraceCategory::Child).third_party_esld_count;
+            let adult = service.trace(TraceCategory::Adult).third_party_esld_count;
+            assert!(child <= adult, "{}: child ({child}) > adult ({adult})", service.name);
+        }
+    }
+
+    #[test]
+    fn pool_sizes_cover_requirements() {
+        let ats = ats_esld_pool();
+        let non_ats = non_ats_pool();
+        for service in all_services() {
+            for trace in TraceCategory::ALL {
+                let profile = service.trace(trace);
+                let need_ats =
+                    (profile.third_party_esld_count as f64 * profile.ats_fraction) as usize;
+                let need_non =
+                    profile.third_party_esld_count - need_ats.min(profile.third_party_esld_count);
+                assert!(
+                    need_ats <= ats.len(),
+                    "{} {trace} needs {need_ats} ATS eSLDs, pool has {}",
+                    service.name,
+                    ats.len()
+                );
+                assert!(
+                    need_non <= non_ats.len(),
+                    "{} {trace} needs {need_non} non-ATS eSLDs, pool has {}",
+                    service.name,
+                    non_ats.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ats_pool_excludes_first_party_eslds() {
+        let pool = ats_esld_pool();
+        assert!(!pool.iter().any(|e| e == "roblox.com" || e == "quizlet.com"));
+        assert!(pool.len() >= 120, "ATS eSLD pool too small: {}", pool.len());
+    }
+}

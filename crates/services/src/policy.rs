@@ -1,0 +1,134 @@
+//! Privacy-policy models.
+//!
+//! The paper audits observed flows against each service's privacy policy as
+//! of fall 2023 (§4.1.2). A [`PrivacyPolicy`] is the structured version of
+//! those disclosures: for each trace category, which (level-2 group,
+//! destination class) flows the policy discloses, plus the verbatim quotes
+//! the paper cites. The policy audit compares the observed grid against
+//! these disclosures; flows outside them are the paper's "not disclosed in
+//! their privacy policy" findings.
+
+use crate::profile::TraceCategory;
+use diffaudit_blocklist::DestinationClass;
+use diffaudit_ontology::Level2;
+
+/// One disclosed (group, destination class) flow for a set of trace
+/// categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDisclosure {
+    /// The data group disclosed.
+    pub group: Level2,
+    /// The destination class disclosed.
+    pub destination: DestinationClass,
+    /// Which trace categories the disclosure covers.
+    pub applies_to: Vec<TraceCategory>,
+}
+
+/// A structured privacy policy.
+#[derive(Debug, Clone)]
+pub struct PrivacyPolicy {
+    /// Policy URL (for reports).
+    pub url: &'static str,
+    /// Disclosed flows.
+    pub disclosures: Vec<PolicyDisclosure>,
+    /// Verbatim statements the paper quotes (for reports).
+    pub statements: Vec<&'static str>,
+}
+
+impl PrivacyPolicy {
+    /// `true` when the policy discloses this flow for this trace category.
+    pub fn discloses(
+        &self,
+        group: Level2,
+        destination: DestinationClass,
+        trace: TraceCategory,
+    ) -> bool {
+        self.disclosures.iter().any(|d| {
+            d.group == group && d.destination == destination && d.applies_to.contains(&trace)
+        })
+    }
+
+    /// Convenience: a disclosure covering all four trace categories.
+    pub fn disclose_all_traces(group: Level2, destination: DestinationClass) -> PolicyDisclosure {
+        PolicyDisclosure {
+            group,
+            destination,
+            applies_to: TraceCategory::ALL.to_vec(),
+        }
+    }
+
+    /// Convenience: a disclosure covering only consented (logged-in) traces.
+    pub fn disclose_consented(group: Level2, destination: DestinationClass) -> PolicyDisclosure {
+        PolicyDisclosure {
+            group,
+            destination,
+            applies_to: vec![
+                TraceCategory::Child,
+                TraceCategory::Adolescent,
+                TraceCategory::Adult,
+            ],
+        }
+    }
+
+    /// Convenience: a disclosure covering adults only.
+    pub fn disclose_adult(group: Level2, destination: DestinationClass) -> PolicyDisclosure {
+        PolicyDisclosure {
+            group,
+            destination,
+            applies_to: vec![TraceCategory::Adult],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disclosure_lookup() {
+        let policy = PrivacyPolicy {
+            url: "https://example.com/privacy",
+            disclosures: vec![
+                PrivacyPolicy::disclose_all_traces(
+                    Level2::DeviceIdentifiers,
+                    DestinationClass::FirstParty,
+                ),
+                PrivacyPolicy::disclose_adult(
+                    Level2::UserInterestsAndBehaviors,
+                    DestinationClass::ThirdPartyAts,
+                ),
+            ],
+            statements: vec!["we collect device information"],
+        };
+        assert!(policy.discloses(
+            Level2::DeviceIdentifiers,
+            DestinationClass::FirstParty,
+            TraceCategory::Child
+        ));
+        assert!(policy.discloses(
+            Level2::UserInterestsAndBehaviors,
+            DestinationClass::ThirdPartyAts,
+            TraceCategory::Adult
+        ));
+        assert!(!policy.discloses(
+            Level2::UserInterestsAndBehaviors,
+            DestinationClass::ThirdPartyAts,
+            TraceCategory::Child
+        ));
+        assert!(!policy.discloses(
+            Level2::Geolocation,
+            DestinationClass::FirstParty,
+            TraceCategory::Adult
+        ));
+    }
+
+    #[test]
+    fn consented_helper_excludes_logged_out() {
+        let d = PrivacyPolicy::disclose_consented(
+            Level2::PersonalIdentifiers,
+            DestinationClass::FirstParty,
+        );
+        assert!(!d.applies_to.contains(&TraceCategory::LoggedOut));
+        assert_eq!(d.applies_to.len(), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! User profiles, platforms, and trace taxonomy (paper §3.1).
+
+/// The three age groups COPPA/CCPA distinguish (paper: child < 13,
+/// 13 ≤ adolescent < 16, adult ≥ 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AgeGroup {
+    /// Under 13 (COPPA-protected).
+    Child,
+    /// 13–15 (CCPA opt-in protected).
+    Adolescent,
+    /// 16 and older.
+    Adult,
+}
+
+impl AgeGroup {
+    /// All groups in display order.
+    pub const ALL: [AgeGroup; 3] = [AgeGroup::Child, AgeGroup::Adolescent, AgeGroup::Adult];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgeGroup::Child => "Child",
+            AgeGroup::Adolescent => "Adolescent",
+            AgeGroup::Adult => "Adult",
+        }
+    }
+
+    /// A representative age for profile creation.
+    pub fn representative_age(&self) -> u8 {
+        match self {
+            AgeGroup::Child => 10,
+            AgeGroup::Adolescent => 14,
+            AgeGroup::Adult => 25,
+        }
+    }
+
+    /// `true` for the groups that require opt-in consent before sale/share
+    /// under CCPA (and parental consent under COPPA for children).
+    pub fn requires_opt_in(&self) -> bool {
+        !matches!(self, AgeGroup::Adult)
+    }
+}
+
+impl std::fmt::Display for AgeGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Capture platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Platform {
+    /// Chrome + DevTools HAR capture.
+    Web,
+    /// PCAPdroid on a rooted Android device (pcap + key log).
+    Mobile,
+    /// Proxyman HAR capture (Roblox and Minecraft only).
+    Desktop,
+}
+
+impl Platform {
+    /// All platforms.
+    pub const ALL: [Platform; 3] = [Platform::Web, Platform::Mobile, Platform::Desktop];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Platform::Web => "Web",
+            Platform::Mobile => "Mobile",
+            Platform::Desktop => "Desktop",
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The three collection procedures (paper §3.1): account creation,
+/// logged-in usage, logged-out usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Traffic during the whole account-creation funnel.
+    AccountCreation,
+    /// Traffic while logged in to an existing account.
+    LoggedIn,
+    /// Traffic with no account (no consent, no age disclosed).
+    LoggedOut,
+}
+
+impl TraceKind {
+    /// All kinds.
+    pub const ALL: [TraceKind; 3] = [
+        TraceKind::AccountCreation,
+        TraceKind::LoggedIn,
+        TraceKind::LoggedOut,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::AccountCreation => "Account Creation",
+            TraceKind::LoggedIn => "Logged In",
+            TraceKind::LoggedOut => "Logged Out",
+        }
+    }
+}
+
+/// The four columns of Table 4: the age-specific traces (account creation
+/// and logged-in merged) plus the logged-out trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceCategory {
+    /// Child account traffic.
+    Child,
+    /// Adolescent account traffic.
+    Adolescent,
+    /// Adult account traffic.
+    Adult,
+    /// Pre-consent traffic (no account).
+    LoggedOut,
+}
+
+impl TraceCategory {
+    /// All categories in Table 4 column order.
+    pub const ALL: [TraceCategory; 4] = [
+        TraceCategory::Child,
+        TraceCategory::Adolescent,
+        TraceCategory::Adult,
+        TraceCategory::LoggedOut,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceCategory::Child => "Child",
+            TraceCategory::Adolescent => "Adolescent",
+            TraceCategory::Adult => "Adult",
+            TraceCategory::LoggedOut => "Logged Out",
+        }
+    }
+
+    /// The age group, when this is an age-specific trace.
+    pub fn age_group(&self) -> Option<AgeGroup> {
+        match self {
+            TraceCategory::Child => Some(AgeGroup::Child),
+            TraceCategory::Adolescent => Some(AgeGroup::Adolescent),
+            TraceCategory::Adult => Some(AgeGroup::Adult),
+            TraceCategory::LoggedOut => None,
+        }
+    }
+
+    /// Build from an age group.
+    pub fn from_age(age: AgeGroup) -> TraceCategory {
+        match age {
+            AgeGroup::Child => TraceCategory::Child,
+            AgeGroup::Adolescent => TraceCategory::Adolescent,
+            AgeGroup::Adult => TraceCategory::Adult,
+        }
+    }
+
+    /// `true` when consent has been given (any logged-in state).
+    pub fn has_consent(&self) -> bool {
+        !matches!(self, TraceCategory::LoggedOut)
+    }
+}
+
+impl std::fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_groups_match_law() {
+        assert!(AgeGroup::Child.requires_opt_in());
+        assert!(AgeGroup::Adolescent.requires_opt_in());
+        assert!(!AgeGroup::Adult.requires_opt_in());
+        assert!(AgeGroup::Child.representative_age() < 13);
+        assert!((13..16).contains(&AgeGroup::Adolescent.representative_age()));
+        assert!(AgeGroup::Adult.representative_age() >= 16);
+    }
+
+    #[test]
+    fn trace_category_round_trip() {
+        for age in AgeGroup::ALL {
+            assert_eq!(TraceCategory::from_age(age).age_group(), Some(age));
+        }
+        assert_eq!(TraceCategory::LoggedOut.age_group(), None);
+        assert!(!TraceCategory::LoggedOut.has_consent());
+        assert!(TraceCategory::Child.has_consent());
+    }
+}

@@ -1,0 +1,628 @@
+//! The traffic generator: specs → HTTP exchanges.
+//!
+//! One *unit* is the paper's unit of capture: one (service, platform,
+//! trace-kind) session of manual interaction. The generator deterministically
+//! produces the unit's outgoing exchanges from the service's behavior
+//! matrix:
+//!
+//! - every active (group, action) cell is visited round-robin first (so
+//!   low-volume units still exhibit every encoded flow), then by weighted
+//!   random draws;
+//! - destinations come from per-(service, trace-category) pools sampled once
+//!   and shared across platforms and kinds — the same trackers see the user
+//!   on web and mobile, which is what makes the linkability analysis bite;
+//! - payload keys are [`KeyFactory`] mutations of the ontology vocabulary,
+//!   with each exchange carrying keys of a single level-2 group (so the
+//!   encoded grid is exactly recoverable);
+//! - each third-party eSLD has a capped set of level-3 data types it may
+//!   receive (`max_l3_per_third_party`), which shapes the linkable-set sizes
+//!   of Fig. 4;
+//! - request bodies carry a same-group padding field sized to the service's
+//!   `mean_request_padding`, calibrating packets-per-flow toward Table 1.
+
+use crate::keys::KeyFactory;
+use crate::profile::{Platform, TraceCategory, TraceKind};
+use crate::spec::{FlowAction, ServiceSpec};
+use diffaudit_blocklist::EntityDb;
+use diffaudit_domains::url::percent_encode;
+use diffaudit_domains::Url;
+use diffaudit_json::Json;
+use diffaudit_nettrace::{Exchange, HttpRequest, HttpResponse};
+use diffaudit_ontology::{DataTypeCategory, Level2};
+use diffaudit_util::Rng;
+use std::collections::HashMap;
+
+/// The level-3 categories each level-2 group transmits — exactly the 19
+/// categories starred as observed in the paper's Table 2.
+pub fn starred_l3(group: Level2) -> &'static [DataTypeCategory] {
+    use DataTypeCategory::*;
+    match group {
+        Level2::PersonalIdentifiers => &[
+            Name,
+            ContactInfo,
+            ReasonablyLinkablePersonalIdentifiers,
+            Aliases,
+            LoginInfo,
+        ],
+        Level2::DeviceIdentifiers => &[
+            DeviceHardwareIdentifiers,
+            DeviceSoftwareIdentifiers,
+            DeviceInfo,
+        ],
+        Level2::PersonalCharacteristics => &[Age, Language, GenderSex],
+        Level2::Geolocation => &[CoarseGeolocation, LocationTime],
+        Level2::UserCommunications => &[NetworkConnectionInfo],
+        Level2::UserInterestsAndBehaviors => &[
+            ProductsAndAdvertising,
+            AppServiceUsage,
+            AccountSettings,
+            ServiceInfo,
+            InferencesAboutUsers,
+        ],
+        Level2::PersonalHistory | Level2::Sensors => &[],
+    }
+}
+
+/// Subdomain prefixes for third-party destinations.
+const TP_SUBDOMAINS: [&str; 8] = ["events", "t", "collect", "pixel", "sync", "sdk", "rt", "api"];
+
+/// Per-(service, trace-category) generator state, shared across the
+/// category's platforms and kinds so destination pools and linkability caps
+/// are consistent when traces are merged.
+pub struct TraceState {
+    /// Sampled third-party ATS FQDNs.
+    pub third_ats_hosts: Vec<String>,
+    /// Sampled third-party non-ATS FQDNs.
+    pub third_hosts: Vec<String>,
+    /// Per-third-party-eSLD allowed level-3 categories (linkability cap).
+    l3_allow: HashMap<String, Vec<DataTypeCategory>>,
+    max_l3: usize,
+}
+
+impl TraceState {
+    /// Build the state for one (service, trace-category) pair.
+    pub fn new(spec: &ServiceSpec, category: TraceCategory, root: &Rng) -> TraceState {
+        let profile = spec.trace(category);
+        let mut rng = root.fork(&format!("pools:{}:{}", spec.slug, category));
+        let entities = EntityDb::embedded();
+        let service_org = spec
+            .first_party_domains
+            .iter()
+            .find_map(|d| entities.owner_name(d));
+
+        // Exclude eSLDs owned by the service's own organization: a Google
+        // tracker is *first-party* ATS for YouTube, not third-party.
+        let not_own_org = |esld: &String| match service_org {
+            Some(org) => entities.owner_name(esld) != Some(org),
+            None => true,
+        };
+
+        let want_total = profile.third_party_esld_count;
+        let want_ats = ((want_total as f64) * profile.ats_fraction).round() as usize;
+        let want_non = want_total - want_ats;
+
+        let ats_pool: Vec<String> = spec
+            .third_party_ats_pool
+            .iter()
+            .filter(|e| not_own_org(e))
+            .cloned()
+            .collect();
+        let non_pool: Vec<String> = spec
+            .third_party_pool
+            .iter()
+            .filter(|e| not_own_org(e))
+            .cloned()
+            .collect();
+
+        let pick = |rng: &mut Rng, pool: &[String], k: usize| -> Vec<String> {
+            rng.sample_indices(pool.len(), k)
+                .into_iter()
+                .map(|i| pool[i].clone())
+                .collect()
+        };
+        let ats_eslds = pick(&mut rng, &ats_pool, want_ats);
+        let non_eslds = pick(&mut rng, &non_pool, want_non);
+
+        let fqdns = |rng: &mut Rng, eslds: &[String]| -> Vec<String> {
+            let mut out = Vec::new();
+            for esld in eslds {
+                // 1–2 hostnames per eSLD.
+                let n = 1 + rng.range(0, 2);
+                let mut offsets = rng.sample_indices(TP_SUBDOMAINS.len(), n);
+                offsets.sort_unstable();
+                for off in offsets {
+                    out.push(format!("{}.{}", TP_SUBDOMAINS[off], esld));
+                }
+            }
+            out
+        };
+        // Belt-and-braces: a non-ATS host must not accidentally collide
+        // with a subdomain-level block-list entry (e.g. `pixel.wp.com`).
+        let matcher = diffaudit_blocklist::ats::embedded_matcher();
+        let third_hosts: Vec<String> = fqdns(&mut rng, &non_eslds)
+            .into_iter()
+            .filter(|h| {
+                diffaudit_domains::DomainName::parse(h)
+                    .map(|d| !matcher.is_blocked(&d))
+                    .unwrap_or(false)
+            })
+            .collect();
+        TraceState {
+            third_ats_hosts: fqdns(&mut rng, &ats_eslds),
+            third_hosts,
+            l3_allow: HashMap::new(),
+            max_l3: profile.max_l3_per_third_party.max(1),
+        }
+    }
+
+    /// The level-3 categories this destination may receive from `group`,
+    /// honoring the per-destination cap. Grows the allowlist on demand.
+    fn allowed_l3(
+        &mut self,
+        esld: &str,
+        group: Level2,
+        rng: &mut Rng,
+    ) -> Vec<DataTypeCategory> {
+        let candidates = starred_l3(group);
+        let allow = self.l3_allow.entry(esld.to_string()).or_default();
+        let mut usable: Vec<DataTypeCategory> = candidates
+            .iter()
+            .copied()
+            .filter(|c| allow.contains(c))
+            .collect();
+        if usable.is_empty() {
+            // Admit new categories up to the cap; if the cap is exhausted by
+            // other groups, admit one anyway (the cap is a shaping target,
+            // not a hard invariant — the grid requires the flow to exist).
+            let room = self.max_l3.saturating_sub(allow.len()).max(1);
+            // Higher caps admit faster, so hub destinations approach the
+            // configured linkable-set ceiling even in short traces.
+            let take = room
+                .min(candidates.len())
+                .min(1 + self.max_l3 / 5 + rng.range(0, 2));
+            for &idx in rng.sample_indices(candidates.len(), take).iter() {
+                let c = candidates[idx];
+                if !allow.contains(&c) {
+                    allow.push(c);
+                }
+                usable.push(c);
+            }
+        }
+        usable
+    }
+}
+
+/// Generate one unit's exchanges. `factory` accumulates key ground truth
+/// across the whole dataset.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_unit(
+    spec: &ServiceSpec,
+    category: TraceCategory,
+    kind: TraceKind,
+    platform: Platform,
+    state: &mut TraceState,
+    factory: &mut KeyFactory,
+    root: &Rng,
+    start_ms: u64,
+) -> Vec<Exchange> {
+    generate_unit_scaled(spec, category, kind, platform, state, factory, root, start_ms, 1.0)
+}
+
+/// [`generate_unit`] with a volume multiplier. The unit never shrinks below
+/// two full round-robin passes over its active cells, so every encoded flow
+/// remains present at any scale.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_unit_scaled(
+    spec: &ServiceSpec,
+    category: TraceCategory,
+    kind: TraceKind,
+    platform: Platform,
+    state: &mut TraceState,
+    factory: &mut KeyFactory,
+    root: &Rng,
+    start_ms: u64,
+    volume_scale: f64,
+) -> Vec<Exchange> {
+    let profile = spec.trace(category);
+    let mut rng = root.fork(&format!(
+        "unit:{}:{}:{:?}:{}",
+        spec.slug, category, kind, platform
+    ));
+    let cells = profile.active_cells(platform);
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let scaled = ((profile.exchanges_per_unit as f64) * volume_scale).round() as usize;
+    let n = scaled.max(cells.len() * 2);
+    let mut exchanges = Vec::with_capacity(n);
+    let mut t = start_ms;
+    for i in 0..n {
+        // Round-robin the first passes over the cells, then weighted draws
+        // biased toward first-party collection (dominant in real traffic).
+        let (group, action) = if i < cells.len() * 2 {
+            cells[i % cells.len()]
+        } else {
+            let weights: Vec<f64> = cells
+                .iter()
+                .map(|(_, a)| match a {
+                    FlowAction::CollectFirst => 3.0,
+                    FlowAction::CollectFirstAts => 1.5,
+                    FlowAction::ShareThird => 1.0,
+                    FlowAction::ShareThirdAts => 1.5,
+                })
+                .collect();
+            cells[rng.weighted(&weights)]
+        };
+        let host = match action {
+            FlowAction::CollectFirst => rng.choose(&spec.first_party_hosts).to_string(),
+            FlowAction::CollectFirstAts => {
+                if spec.first_party_ats_hosts.is_empty() {
+                    rng.choose(&spec.first_party_hosts).to_string()
+                } else {
+                    rng.choose(&spec.first_party_ats_hosts).to_string()
+                }
+            }
+            FlowAction::ShareThird => pick_third_party(&state.third_hosts, &mut rng),
+            FlowAction::ShareThirdAts => pick_third_party(&state.third_ats_hosts, &mut rng),
+        };
+        let esld = esld_of(&host);
+        let l3s = match action {
+            FlowAction::ShareThird | FlowAction::ShareThirdAts => {
+                // Trackers receive batched payloads mixing several data
+                // groups in one request (device id + behavior + locale...).
+                // Only groups whose cell is active for this same action on
+                // this platform may ride along, so the Table 4 grid stays
+                // exactly recoverable — but a single contact can already be
+                // *linkable* (identifiers + personal information together),
+                // as in real SDK traffic.
+                let mut combined = state.allowed_l3(&esld, group, &mut rng);
+                let co_groups: Vec<Level2> = cells
+                    .iter()
+                    .filter(|(g2, a2)| *a2 == action && *g2 != group)
+                    .map(|(g2, _)| *g2)
+                    .collect();
+                if !co_groups.is_empty() && rng.chance(0.75) {
+                    let extra = 1 + rng.range(0, 2.min(co_groups.len()) + 1);
+                    for &idx in rng.sample_indices(co_groups.len(), extra).iter() {
+                        combined.extend(state.allowed_l3(&esld, co_groups[idx], &mut rng));
+                    }
+                }
+                combined.sort();
+                combined.dedup();
+                rng.shuffle(&mut combined);
+                combined
+            }
+            _ => starred_l3(group).to_vec(),
+        };
+        let exchange = build_exchange(
+            spec, category, kind, group, &l3s, &host, factory, &mut rng, t,
+        );
+        exchanges.push(exchange);
+        t += 400 + rng.range(0, 1200) as u64;
+    }
+    exchanges
+}
+
+/// Zipf-ish destination choice: real tracker traffic concentrates on a few
+/// hub endpoints (Google Analytics, Doubleclick, ...) with a long tail.
+/// Half the draws go to the first few pool entries, the rest are uniform —
+/// this is what lets frequently-contacted third parties accumulate the
+/// large linkable sets of Fig. 4 and dominate the Fig. 5 rankings.
+fn pick_third_party(pool: &[String], rng: &mut Rng) -> String {
+    if pool.is_empty() {
+        return String::new();
+    }
+    let hubs = pool.len().min(8);
+    if rng.chance(0.35) {
+        pool[rng.range(0, hubs)].clone()
+    } else {
+        rng.choose(pool).clone()
+    }
+}
+
+fn esld_of(host: &str) -> String {
+    diffaudit_domains::DomainName::parse(host)
+        .ok()
+        .and_then(|d| diffaudit_domains::extract(&d).esld())
+        .unwrap_or_else(|| host.to_string())
+}
+
+/// Paths by group, for realistic URLs.
+fn path_for(group: Level2, kind: TraceKind, rng: &mut Rng) -> String {
+    let base = match group {
+        Level2::PersonalIdentifiers => ["/v1/account", "/v1/profile", "/signup/step"],
+        Level2::DeviceIdentifiers => ["/v1/device", "/telemetry/device", "/sdk/init"],
+        Level2::PersonalCharacteristics => ["/v1/profile/attrs", "/v1/settings/profile", "/onboarding"],
+        Level2::Geolocation => ["/v1/geo", "/locale", "/v1/region"],
+        Level2::UserCommunications => ["/v1/net", "/health/conn", "/v1/ping"],
+        Level2::UserInterestsAndBehaviors => ["/v2/events", "/batch", "/v1/analytics"],
+        _ => ["/v1/data", "/v1/data", "/v1/data"],
+    };
+    let suffix = match kind {
+        TraceKind::AccountCreation => "register",
+        TraceKind::LoggedIn => "session",
+        TraceKind::LoggedOut => "anon",
+    };
+    format!("{}/{}", base[rng.range(0, base.len())], suffix)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_exchange(
+    spec: &ServiceSpec,
+    category: TraceCategory,
+    kind: TraceKind,
+    group: Level2,
+    l3s: &[DataTypeCategory],
+    host: &str,
+    factory: &mut KeyFactory,
+    rng: &mut Rng,
+    timestamp_ms: u64,
+) -> Exchange {
+    // 2–4 keys per chosen L3 (bounded by availability).
+    let mut kvs: Vec<(String, String)> = Vec::new();
+    let use_l3s = l3s[..l3s.len().min(2 + rng.range(0, 3))].to_vec();
+    for &l3 in &use_l3s {
+        let keys = 1 + rng.range(0, 3);
+        for _ in 0..keys {
+            kvs.push(factory.make(l3, rng));
+        }
+    }
+    if kvs.is_empty() {
+        // Degenerate group (unstarred): emit a generic same-group key.
+        let fallback = starred_l3(group).first().copied()
+            .unwrap_or(DataTypeCategory::ServiceInfo);
+        kvs.push(factory.make(fallback, rng));
+    }
+
+    let format_roll = rng.f64();
+    let url_base = format!("https://{host}{}", path_for(group, kind, rng));
+    let mut request = if format_roll < 0.55 {
+        // JSON POST with a same-group padding field carrying the bulk.
+        let mut body = Json::obj();
+        for (k, v) in &kvs {
+            body.set(k.clone(), Json::str(v.clone()));
+        }
+        let padding = padded_len(spec.mean_request_padding, rng);
+        if padding > 0 {
+            let (pad_key, _) = factory.make(use_l3s.first().copied().unwrap_or(
+                starred_l3(group).first().copied().unwrap_or(DataTypeCategory::ServiceInfo),
+            ), rng);
+            body.set(pad_key, Json::str("x".repeat(padding)));
+        }
+        HttpRequest::post(
+            Url::parse(&url_base).expect("generated URL valid"),
+            "application/json",
+            body.to_string().into_bytes(),
+        )
+    } else if format_roll < 0.80 {
+        // GET with query parameters.
+        let query: Vec<String> = kvs
+            .iter()
+            .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+            .collect();
+        HttpRequest::get(
+            Url::parse(&format!("{url_base}?{}", query.join("&"))).expect("generated URL valid"),
+        )
+    } else if format_roll < 0.92 {
+        // Form-encoded POST with padding.
+        let mut parts: Vec<String> = kvs
+            .iter()
+            .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+            .collect();
+        let padding = padded_len(spec.mean_request_padding, rng);
+        if padding > 0 {
+            let pad_l3 = use_l3s.first().copied().unwrap_or(
+                starred_l3(group).first().copied().unwrap_or(DataTypeCategory::ServiceInfo),
+            );
+            let (pad_key, _) = factory.make(pad_l3, rng);
+            parts.push(format!("{}={}", percent_encode(&pad_key), "x".repeat(padding)));
+        }
+        HttpRequest::post(
+            Url::parse(&url_base).expect("generated URL valid"),
+            "application/x-www-form-urlencoded",
+            parts.join("&").into_bytes(),
+        )
+    } else {
+        // GET with a Cookie header carrying the keys.
+        let cookie = kvs
+            .iter()
+            .map(|(k, v)| format!("{}={}", k.replace([';', '=', ' '], "_"), v.replace([';', ' '], "_")))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let mut req = HttpRequest::get(Url::parse(&url_base).expect("generated URL valid"));
+        req.headers.push("Cookie", cookie);
+        req
+    };
+    request
+        .headers
+        .push("User-Agent", user_agent(category, rng));
+    let mut response = HttpResponse::ok();
+    response.body = br#"{"status":"ok"}"#.to_vec();
+    Exchange {
+        timestamp_ms,
+        request,
+        response,
+    }
+}
+
+fn padded_len(mean: usize, rng: &mut Rng) -> usize {
+    if mean == 0 {
+        return 0;
+    }
+    let jitter = 0.5 + rng.f64(); // 0.5x – 1.5x
+    (mean as f64 * jitter) as usize
+}
+
+fn user_agent(category: TraceCategory, rng: &mut Rng) -> String {
+    let uas = [
+        "Mozilla/5.0 (Linux; Android 13; Pixel 6) AppleWebKit/537.36",
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 Chrome/118.0",
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/537.36",
+    ];
+    format!("{} da/{:?}", uas[rng.range(0, uas.len())], category)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::service_by_slug;
+    use diffaudit_nettrace::Method;
+
+    fn unit(slug: &str, category: TraceCategory, platform: Platform) -> Vec<Exchange> {
+        let spec = service_by_slug(slug).unwrap();
+        let root = Rng::new(99);
+        let mut state = TraceState::new(&spec, category, &root);
+        let mut factory = KeyFactory::new();
+        generate_unit(
+            &spec,
+            category,
+            TraceKind::LoggedIn,
+            platform,
+            &mut state,
+            &mut factory,
+            &root,
+            1_696_500_000_000,
+        )
+    }
+
+    #[test]
+    fn volume_matches_profile() {
+        let spec = service_by_slug("tiktok").unwrap();
+        let exchanges = unit("tiktok", TraceCategory::Child, Platform::Web);
+        assert_eq!(
+            exchanges.len(),
+            spec.trace(TraceCategory::Child).exchanges_per_unit
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = unit("roblox", TraceCategory::Adult, Platform::Web);
+        let b = unit("roblox", TraceCategory::Adult, Platform::Web);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].request.url, b[0].request.url);
+        assert_eq!(a[0].request.body, b[0].request.body);
+    }
+
+    #[test]
+    fn youtube_only_contacts_own_org() {
+        use diffaudit_blocklist::PartyClassifier;
+        let spec = service_by_slug("youtube").unwrap();
+        let classifier = PartyClassifier::new(&spec.first_party_domains);
+        for category in TraceCategory::ALL {
+            let root = Rng::new(5);
+            let mut state = TraceState::new(&spec, category, &root);
+            let mut factory = KeyFactory::new();
+            for kind in [TraceKind::AccountCreation, TraceKind::LoggedIn] {
+                for ex in generate_unit(
+                    &spec, category, kind, Platform::Web, &mut state, &mut factory, &root, 0,
+                ) {
+                    assert!(
+                        classifier.is_first_party(&ex.request.url.host),
+                        "YouTube contacted third party {}",
+                        ex.request.url.host
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ats_destinations_actually_match_blocklists() {
+        use diffaudit_blocklist::ats::embedded_matcher;
+        let matcher = embedded_matcher();
+        let spec = service_by_slug("quizlet").unwrap();
+        let root = Rng::new(7);
+        let state = TraceState::new(&spec, TraceCategory::Adult, &root);
+        assert!(!state.third_ats_hosts.is_empty());
+        for host in &state.third_ats_hosts {
+            let d = diffaudit_domains::DomainName::parse(host).unwrap();
+            assert!(matcher.is_blocked(&d), "{host} should be on a block list");
+        }
+        for host in &state.third_hosts {
+            let d = diffaudit_domains::DomainName::parse(host).unwrap();
+            assert!(!matcher.is_blocked(&d), "{host} should NOT be on a block list");
+        }
+    }
+
+    #[test]
+    fn third_party_pools_exclude_own_org() {
+        use diffaudit_blocklist::PartyClassifier;
+        // Minecraft is Microsoft: clarity.ms must not appear among its
+        // *third*-party destinations.
+        let spec = service_by_slug("minecraft").unwrap();
+        let classifier = PartyClassifier::new(&spec.first_party_domains);
+        let root = Rng::new(11);
+        let state = TraceState::new(&spec, TraceCategory::Adult, &root);
+        for host in state.third_ats_hosts.iter().chain(&state.third_hosts) {
+            let d = diffaudit_domains::DomainName::parse(host).unwrap();
+            assert!(
+                !classifier.is_first_party(&d),
+                "{host} is Microsoft-owned but sampled as third party"
+            );
+        }
+    }
+
+    #[test]
+    fn exchanges_carry_extractable_keys() {
+        let exchanges = unit("duolingo", TraceCategory::Child, Platform::Web);
+        let mut found_json = false;
+        let mut found_query = false;
+        for ex in &exchanges {
+            if ex.request.content_type() == Some("application/json") {
+                found_json = true;
+                let body = std::str::from_utf8(&ex.request.body).unwrap();
+                let parsed = diffaudit_json::parse(body).unwrap();
+                assert!(!diffaudit_json::flatten(&parsed).is_empty());
+            }
+            if ex.request.method == Method::Get && ex.request.url.query.is_some() {
+                found_query = true;
+                assert!(!ex.request.url.query_pairs().is_empty());
+            }
+        }
+        assert!(found_json && found_query, "format variety expected");
+    }
+
+    #[test]
+    fn every_active_cell_visited() {
+        use diffaudit_blocklist::{DestinationClass, PartyClassifier};
+        let spec = service_by_slug("minecraft").unwrap();
+        let classifier = PartyClassifier::new(&spec.first_party_domains);
+        let category = TraceCategory::Adult;
+        let root = Rng::new(3);
+        let mut state = TraceState::new(&spec, category, &root);
+        let mut factory = KeyFactory::new();
+        let mut seen: std::collections::HashSet<DestinationClass> = Default::default();
+        for kind in [TraceKind::AccountCreation, TraceKind::LoggedIn] {
+            for ex in generate_unit(
+                &spec, category, kind, Platform::Mobile, &mut state, &mut factory, &root, 0,
+            ) {
+                seen.insert(classifier.classify(&ex.request.url.host));
+            }
+        }
+        // Minecraft adult mobile has all four destination classes active.
+        assert_eq!(seen.len(), 4, "saw {seen:?}");
+    }
+
+    #[test]
+    fn linkability_cap_shapes_distinct_l3s() {
+        let spec = service_by_slug("tiktok").unwrap(); // cap 4 for child
+        let root = Rng::new(13);
+        let mut state = TraceState::new(&spec, TraceCategory::Child, &root);
+        let mut rng = Rng::new(1);
+        // Hammer one destination with every group.
+        for _ in 0..50 {
+            for group in Level2::TABLE4_ROWS {
+                state.allowed_l3("tracker.example", group, &mut rng);
+            }
+        }
+        let allowed = &state.l3_allow["tracker.example"];
+        // Soft cap: every group must be able to send *something*, so the cap
+        // can be exceeded by at most one admission per group.
+        assert!(
+            allowed.len() <= 4 + 5,
+            "cap wildly exceeded: {}",
+            allowed.len()
+        );
+    }
+}

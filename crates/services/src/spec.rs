@@ -1,0 +1,319 @@
+//! Service behavior specifications.
+//!
+//! A [`ServiceSpec`] is the ground truth a simulator runs from: which
+//! destination classes receive which level-2 data groups, per trace category
+//! and per platform (the paper's Table 4 grid), plus traffic-volume
+//! parameters calibrated against Table 1 and linkability parameters
+//! calibrated against Figures 3–4.
+
+use crate::policy::PrivacyPolicy;
+use crate::profile::{Platform, TraceCategory};
+use diffaudit_blocklist::DestinationClass;
+use diffaudit_ontology::Level2;
+use std::collections::HashMap;
+
+/// The four flow actions of Table 4's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlowAction {
+    /// Data sent to first-party non-ATS domains ("collect").
+    CollectFirst,
+    /// Data sent to first-party ATS domains.
+    CollectFirstAts,
+    /// Data sent to third-party non-ATS domains ("share").
+    ShareThird,
+    /// Data sent to third-party ATS domains.
+    ShareThirdAts,
+}
+
+impl FlowAction {
+    /// All actions in Table 4 column order.
+    pub const ALL: [FlowAction; 4] = [
+        FlowAction::CollectFirst,
+        FlowAction::CollectFirstAts,
+        FlowAction::ShareThird,
+        FlowAction::ShareThirdAts,
+    ];
+
+    /// The destination class this action targets.
+    pub fn destination_class(&self) -> DestinationClass {
+        match self {
+            FlowAction::CollectFirst => DestinationClass::FirstParty,
+            FlowAction::CollectFirstAts => DestinationClass::FirstPartyAts,
+            FlowAction::ShareThird => DestinationClass::ThirdParty,
+            FlowAction::ShareThirdAts => DestinationClass::ThirdPartyAts,
+        }
+    }
+
+    /// Build from a destination class.
+    pub fn from_destination(class: DestinationClass) -> FlowAction {
+        match class {
+            DestinationClass::FirstParty => FlowAction::CollectFirst,
+            DestinationClass::FirstPartyAts => FlowAction::CollectFirstAts,
+            DestinationClass::ThirdParty => FlowAction::ShareThird,
+            DestinationClass::ThirdPartyAts => FlowAction::ShareThirdAts,
+        }
+    }
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        self.destination_class().label()
+    }
+}
+
+/// Which platforms exhibit a flow (the four symbols in Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CellPresence {
+    /// Flow not observed on either platform (`–`).
+    #[default]
+    Neither,
+    /// Website-only flow (`□`).
+    WebOnly,
+    /// Mobile-only flow (`▪`).
+    MobileOnly,
+    /// Both platforms (`●`).
+    Both,
+}
+
+impl CellPresence {
+    /// `true` when the flow occurs on `platform` (Desktop mirrors Web — the
+    /// paper's desktop traces are the same services' desktop apps and are
+    /// merged into the web column).
+    pub fn on(&self, platform: Platform) -> bool {
+        match self {
+            CellPresence::Neither => false,
+            CellPresence::Both => true,
+            CellPresence::WebOnly => matches!(platform, Platform::Web | Platform::Desktop),
+            CellPresence::MobileOnly => matches!(platform, Platform::Mobile),
+        }
+    }
+
+    /// `true` when the flow occurs anywhere.
+    pub fn any(&self) -> bool {
+        !matches!(self, CellPresence::Neither)
+    }
+
+    /// Parse the compact catalog encoding: `B` both, `W` web-only,
+    /// `M` mobile-only, `-` neither.
+    pub fn from_char(c: char) -> Option<CellPresence> {
+        Some(match c {
+            'B' => CellPresence::Both,
+            'W' => CellPresence::WebOnly,
+            'M' => CellPresence::MobileOnly,
+            '-' => CellPresence::Neither,
+            _ => return None,
+        })
+    }
+
+    /// The Table 4 symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CellPresence::Neither => "–",
+            CellPresence::WebOnly => "□",
+            CellPresence::MobileOnly => "▪",
+            CellPresence::Both => "●",
+        }
+    }
+}
+
+/// Behavior of one trace category: the 6×4 presence grid plus volume and
+/// linkability parameters.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    cells: HashMap<(Level2, FlowAction), CellPresence>,
+    /// Distinct third-party eSLDs this trace contacts (drives Fig. 3).
+    pub third_party_esld_count: usize,
+    /// Fraction of those that are ATS (the rest are CDNs etc.).
+    pub ats_fraction: f64,
+    /// Cap on distinct level-3 data types sent to any single third party
+    /// (drives the largest-linkable-set sizes of Fig. 4).
+    pub max_l3_per_third_party: usize,
+    /// Exchanges generated per (platform, trace-kind) unit.
+    pub exchanges_per_unit: usize,
+}
+
+impl TraceProfile {
+    /// Build from the compact grid encoding: six strings (one per Table 4
+    /// row, in [`Level2::TABLE4_ROWS`] order), each of four chars (one per
+    /// [`FlowAction::ALL`] column).
+    ///
+    /// Example: `"B-WB"` = collect-1st on both platforms, no 1st-party-ATS,
+    /// share-3rd web-only, share-3rd-ATS on both.
+    pub fn from_grid(
+        rows: [&str; 6],
+        third_party_esld_count: usize,
+        ats_fraction: f64,
+        max_l3_per_third_party: usize,
+        exchanges_per_unit: usize,
+    ) -> TraceProfile {
+        let mut cells = HashMap::new();
+        for (row_idx, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), 4, "grid row must have 4 columns: {row:?}");
+            let group = Level2::TABLE4_ROWS[row_idx];
+            for (col_idx, c) in row.chars().enumerate() {
+                let presence = CellPresence::from_char(c)
+                    .unwrap_or_else(|| panic!("bad grid char {c:?} in {row:?}"));
+                cells.insert((group, FlowAction::ALL[col_idx]), presence);
+            }
+        }
+        TraceProfile {
+            cells,
+            third_party_esld_count,
+            ats_fraction,
+            max_l3_per_third_party,
+            exchanges_per_unit,
+        }
+    }
+
+    /// The presence of one cell.
+    pub fn presence(&self, group: Level2, action: FlowAction) -> CellPresence {
+        self.cells
+            .get(&(group, action))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// All cells active on `platform`.
+    pub fn active_cells(&self, platform: Platform) -> Vec<(Level2, FlowAction)> {
+        let mut active: Vec<(Level2, FlowAction)> = self
+            .cells
+            .iter()
+            .filter(|(_, presence)| presence.on(platform))
+            .map(|(&key, _)| key)
+            .collect();
+        active.sort();
+        active
+    }
+
+    /// `true` when any third-party flow exists anywhere in this trace.
+    pub fn shares_with_third_parties(&self) -> bool {
+        self.cells.iter().any(|(&(_, action), presence)| {
+            presence.any()
+                && matches!(action, FlowAction::ShareThird | FlowAction::ShareThirdAts)
+        })
+    }
+}
+
+/// A complete service specification.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Display name ("Roblox").
+    pub name: &'static str,
+    /// Stable lowercase slug ("roblox").
+    pub slug: &'static str,
+    /// The service's own registrable domains.
+    pub first_party_domains: Vec<&'static str>,
+    /// First-party non-ATS hostnames contacted (FQDNs).
+    pub first_party_hosts: Vec<&'static str>,
+    /// First-party ATS hostnames (analytics endpoints on own/org domains).
+    pub first_party_ats_hosts: Vec<&'static str>,
+    /// Candidate third-party ATS eSLDs (sampled per trace).
+    pub third_party_ats_pool: Vec<String>,
+    /// Candidate third-party non-ATS eSLDs.
+    pub third_party_pool: Vec<String>,
+    /// Platforms the service is audited on.
+    pub platforms: Vec<Platform>,
+    /// Per-trace behavior.
+    pub traces: HashMap<TraceCategory, TraceProfile>,
+    /// The structured privacy policy.
+    pub policy: PrivacyPolicy,
+    /// Mean request-body padding bytes (tunes packets/flow toward Table 1).
+    pub mean_request_padding: usize,
+}
+
+impl ServiceSpec {
+    /// The profile for a trace category.
+    pub fn trace(&self, category: TraceCategory) -> &TraceProfile {
+        self.traces
+            .get(&category)
+            .unwrap_or_else(|| panic!("{} has no profile for {category}", self.name))
+    }
+
+    /// The expected Table 4 presence for a cell (ground truth).
+    pub fn expected_presence(
+        &self,
+        category: TraceCategory,
+        group: Level2,
+        action: FlowAction,
+    ) -> CellPresence {
+        self.trace(category).presence(group, action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_class_round_trip() {
+        for action in FlowAction::ALL {
+            assert_eq!(
+                FlowAction::from_destination(action.destination_class()),
+                action
+            );
+        }
+    }
+
+    #[test]
+    fn presence_platform_logic() {
+        assert!(CellPresence::Both.on(Platform::Web));
+        assert!(CellPresence::Both.on(Platform::Mobile));
+        assert!(CellPresence::WebOnly.on(Platform::Web));
+        assert!(CellPresence::WebOnly.on(Platform::Desktop));
+        assert!(!CellPresence::WebOnly.on(Platform::Mobile));
+        assert!(CellPresence::MobileOnly.on(Platform::Mobile));
+        assert!(!CellPresence::MobileOnly.on(Platform::Desktop));
+        assert!(!CellPresence::Neither.on(Platform::Web));
+    }
+
+    #[test]
+    fn grid_parsing() {
+        let profile = TraceProfile::from_grid(
+            ["B-WB", "BBBB", "----", "W---", "M-M-", "BB-B"],
+            20,
+            0.7,
+            8,
+            50,
+        );
+        assert_eq!(
+            profile.presence(Level2::PersonalIdentifiers, FlowAction::CollectFirst),
+            CellPresence::Both
+        );
+        assert_eq!(
+            profile.presence(Level2::PersonalIdentifiers, FlowAction::ShareThird),
+            CellPresence::WebOnly
+        );
+        assert_eq!(
+            profile.presence(Level2::PersonalCharacteristics, FlowAction::CollectFirst),
+            CellPresence::Neither
+        );
+        assert_eq!(
+            profile.presence(Level2::UserCommunications, FlowAction::CollectFirst),
+            CellPresence::MobileOnly
+        );
+        assert!(profile.shares_with_third_parties());
+        // Web actives: PI(collect, share3rd W, share3rdATS), DI(all 4), Geo(collect W), UIB(3)
+        let web = profile.active_cells(Platform::Web);
+        assert!(web.contains(&(Level2::Geolocation, FlowAction::CollectFirst)));
+        assert!(!web.contains(&(Level2::UserCommunications, FlowAction::CollectFirst)));
+        let mobile = profile.active_cells(Platform::Mobile);
+        assert!(mobile.contains(&(Level2::UserCommunications, FlowAction::CollectFirst)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad grid char")]
+    fn grid_rejects_bad_chars() {
+        TraceProfile::from_grid(["XXXX", "----", "----", "----", "----", "----"], 1, 0.5, 1, 1);
+    }
+
+    #[test]
+    fn no_third_party_grid() {
+        let profile = TraceProfile::from_grid(
+            ["BB--", "BB--", "B---", "B---", "B---", "BB--"],
+            0,
+            0.0,
+            0,
+            10,
+        );
+        assert!(!profile.shares_with_third_parties());
+    }
+}

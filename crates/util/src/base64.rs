@@ -1,0 +1,164 @@
+//! Standard-alphabet base64 (RFC 4648) with padding.
+//!
+//! HAR files produced by browser dev tools base64-encode binary response
+//! bodies; our HAR writer/reader does the same for request payloads that are
+//! not valid UTF-8.
+
+const TABLE: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as padded base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut chunks = data.chunks_exact(3);
+    for chunk in &mut chunks {
+        let n = ((chunk[0] as u32) << 16) | ((chunk[1] as u32) << 8) | chunk[2] as u32;
+        out.push(TABLE[(n >> 18) as usize & 63] as char);
+        out.push(TABLE[(n >> 12) as usize & 63] as char);
+        out.push(TABLE[(n >> 6) as usize & 63] as char);
+        out.push(TABLE[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [a] => {
+            let n = (*a as u32) << 16;
+            out.push(TABLE[(n >> 18) as usize & 63] as char);
+            out.push(TABLE[(n >> 12) as usize & 63] as char);
+            out.push_str("==");
+        }
+        [a, b] => {
+            let n = ((*a as u32) << 16) | ((*b as u32) << 8);
+            out.push(TABLE[(n >> 18) as usize & 63] as char);
+            out.push(TABLE[(n >> 12) as usize & 63] as char);
+            out.push(TABLE[(n >> 6) as usize & 63] as char);
+            out.push('=');
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// Length is not a multiple of 4.
+    BadLength(usize),
+    /// An invalid character at this offset.
+    InvalidChar {
+        /// Byte offset of the bad character.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// Padding appeared somewhere other than the end.
+    BadPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::BadLength(n) => write!(f, "base64 length {n} not a multiple of 4"),
+            Base64Error::InvalidChar { offset, byte } => {
+                write!(f, "invalid base64 character {byte:#04x} at offset {offset}")
+            }
+            Base64Error::BadPadding => write!(f, "misplaced base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+fn sextet(b: u8, offset: usize) -> Result<u8, Base64Error> {
+    match b {
+        b'A'..=b'Z' => Ok(b - b'A'),
+        b'a'..=b'z' => Ok(b - b'a' + 26),
+        b'0'..=b'9' => Ok(b - b'0' + 52),
+        b'+' => Ok(62),
+        b'/' => Ok(63),
+        _ => Err(Base64Error::InvalidChar { offset, byte: b }),
+    }
+}
+
+/// Decode padded base64.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Base64Error::BadLength(bytes.len()));
+    }
+    // Count trailing padding (at most 2).
+    let pad = bytes.iter().rev().take_while(|&&b| b == b'=').count();
+    if pad > 2 {
+        return Err(Base64Error::BadPadding);
+    }
+    // Padding must only appear at the very end.
+    if bytes[..bytes.len() - pad].contains(&b'=') {
+        return Err(Base64Error::BadPadding);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (gi, group) in bytes.chunks_exact(4).enumerate() {
+        let base = gi * 4;
+        let is_last = base + 4 == bytes.len();
+        let a = sextet(group[0], base)?;
+        let b = sextet(group[1], base + 1)?;
+        let n_pad = if is_last { pad } else { 0 };
+        let c = if n_pad >= 2 { 0 } else { sextet(group[2], base + 2)? };
+        let d = if n_pad >= 1 { 0 } else { sextet(group[3], base + 3)? };
+        let n = ((a as u32) << 18) | ((b as u32) << 12) | ((c as u32) << 6) | d as u32;
+        out.push((n >> 16) as u8);
+        if n_pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if n_pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("").unwrap(), b"");
+    }
+
+    #[test]
+    fn round_trip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert_eq!(decode("abc"), Err(Base64Error::BadLength(3)));
+    }
+
+    #[test]
+    fn rejects_interior_padding() {
+        assert_eq!(decode("Zg==Zm8="), Err(Base64Error::BadPadding));
+    }
+
+    #[test]
+    fn rejects_invalid_char() {
+        assert!(matches!(
+            decode("Zm9*"),
+            Err(Base64Error::InvalidChar { offset: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Stable, platform-independent hashing.
+//!
+//! `std::collections::hash_map::DefaultHasher` is explicitly unstable across
+//! releases, so anything that feeds table generation uses FNV-1a instead.
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 32-bit hash of a byte slice (used by the hashing-trick embedder).
+pub fn fnv1a32(data: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811C_9DC5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Combine two hashes into one (boost-style mix).
+pub fn combine(a: u64, b: u64) -> u64 {
+    a ^ b
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(a << 6)
+        .wrapping_add(a >> 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn fnv32_known_vectors() {
+        assert_eq!(fnv1a32(b""), 0x811C_9DC5);
+        assert_eq!(fnv1a32(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn combine_differs_from_inputs() {
+        let a = fnv1a64(b"left");
+        let b = fnv1a64(b"right");
+        let c = combine(a, b);
+        assert_ne!(c, a);
+        assert_ne!(c, b);
+        assert_ne!(combine(a, b), combine(b, a), "combine must be ordered");
+    }
+}

@@ -1,0 +1,106 @@
+//! Hexadecimal encoding and decoding.
+//!
+//! Used by the simulated TLS key log (`CLIENT_RANDOM <hex> <hex>` lines,
+//! matching the `SSLKEYLOGFILE` format Wireshark consumes) and by packet
+//! debugging output.
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0F) as usize] as char);
+    }
+    out
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length was odd.
+    OddLength(usize),
+    /// A non-hex character was found at this byte offset.
+    InvalidChar {
+        /// Byte offset of the bad character.
+        offset: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength(n) => write!(f, "hex string has odd length {n}"),
+            HexError::InvalidChar { offset, byte } => {
+                write!(f, "invalid hex character {byte:#04x} at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+fn nibble(b: u8, offset: usize) -> Result<u8, HexError> {
+    match b {
+        b'0'..=b'9' => Ok(b - b'0'),
+        b'a'..=b'f' => Ok(b - b'a' + 10),
+        b'A'..=b'F' => Ok(b - b'A' + 10),
+        _ => Err(HexError::InvalidChar { offset, byte: b }),
+    }
+}
+
+/// Decode a hex string (case-insensitive) into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(HexError::OddLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0], i * 2)?;
+        let lo = nibble(pair[1], i * 2 + 1)?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 2, 0xFF, 0xAB, 0x10];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0xDE, 0xAD, 0xBE, 0xEF]), "deadbeef");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_uppercase() {
+        assert_eq!(decode("DEADBEEF").unwrap(), vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength(3)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_chars() {
+        assert_eq!(
+            decode("zz"),
+            Err(HexError::InvalidChar { offset: 0, byte: b'z' })
+        );
+        assert_eq!(
+            decode("aaxg"),
+            Err(HexError::InvalidChar { offset: 2, byte: b'x' })
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # diffaudit-util
+//!
+//! Shared low-level utilities for the DiffAudit workspace.
+//!
+//! The entire reproduction must be *bit-stable*: every table and figure in
+//! the paper is regenerated from seeded synthetic workloads, so the random
+//! number generator, hashes, and encodings used throughout the workspace are
+//! implemented here rather than pulled from external crates whose output
+//! could drift across versions.
+//!
+//! Modules:
+//! - [`rng`] — `SplitMix64` seeding and `Xoshiro256StarStar`, plus sampling
+//!   helpers (ranges, choices, shuffles, weighted selection).
+//! - [`hash`] — FNV-1a 64-bit hashing for stable, platform-independent
+//!   string digests.
+//! - [`hex`] — hexadecimal encoding/decoding (used by the TLS key log).
+//! - [`base64`] — standard-alphabet base64 (used by HAR payload encoding).
+//! - [`stats`] — small descriptive-statistics helpers for the benchmark
+//!   harness (means, percentiles, histograms).
+
+pub mod base64;
+pub mod hash;
+pub mod hex;
+pub mod rng;
+pub mod stats;
+
+pub use hash::fnv1a64;
+pub use rng::Rng;

@@ -1,0 +1,84 @@
+//! Property-based tests for encodings, RNG, and statistics.
+
+use diffaudit_util::{base64, hex, rng::Rng, stats};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base64_round_trips(data: Vec<u8>) {
+        let encoded = base64::encode(&data);
+        prop_assert_eq!(base64::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_never_panics_on_garbage(s in "\\PC*") {
+        let _ = base64::decode(&s);
+    }
+
+    #[test]
+    fn hex_round_trips(data: Vec<u8>) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_never_panics_on_garbage(s in "\\PC*") {
+        let _ = hex::decode(&s);
+    }
+
+    #[test]
+    fn rng_range_stays_in_bounds(seed: u64, lo in 0usize..1000, span in 1usize..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let v = rng.range(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_f64_unit_interval(seed: u64) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = rng.f64();
+            prop_assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed: u64, mut items: Vec<u32>) {
+        let mut rng = Rng::new(seed);
+        let mut original = items.clone();
+        rng.shuffle(&mut items);
+        original.sort_unstable();
+        items.sort_unstable();
+        prop_assert_eq!(items, original);
+    }
+
+    #[test]
+    fn sample_indices_distinct_in_range(seed: u64, n in 0usize..200, k in 0usize..300) {
+        let mut rng = Rng::new(seed);
+        let sample = rng.sample_indices(n, k);
+        prop_assert_eq!(sample.len(), k.min(n));
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), sample.len());
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn percentile_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..100), p in 0.0f64..100.0) {
+        let value = stats::percentile(&xs, p).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(value >= min - 1e-9 && value <= max + 1e-9);
+    }
+
+    #[test]
+    fn fork_is_deterministic(seed: u64, label in "\\PC{0,40}") {
+        let root = Rng::new(seed);
+        let mut a = root.fork(&label);
+        let mut b = root.fork(&label);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

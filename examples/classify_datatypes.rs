@@ -1,0 +1,80 @@
+//! Data-type classification showcase.
+//!
+//! ```sh
+//! cargo run -p diffaudit --example classify_datatypes [key ...]
+//! ```
+//!
+//! Classifies raw payload keys (command-line arguments, or a built-in demo
+//! set) with every classifier in the stack — the GPT-4 simulator at several
+//! temperatures, the majority ensemble, and the four baselines — and prints
+//! the raw Chat-Completions-style model response for the first batch.
+
+use diffaudit_classifier::fewshot::FewShot;
+use diffaudit_classifier::fuzzy::{FuzzyBert, FuzzyTfIdf};
+use diffaudit_classifier::llm::{ChatMessage, LlmClassifier, LlmOptions, SYSTEM_PROMPT};
+use diffaudit_classifier::zeroshot::ZeroShot;
+use diffaudit_classifier::{Classifier, ConfidenceAggregation, MajorityEnsemble};
+
+const DEMO_KEYS: [&str; 10] = [
+    "email_address",
+    "advertisingId",
+    "os_ver",
+    "rtt",
+    "user_dob",
+    "IsOptOutEmailShown",
+    "pers_ad_show_third_part_measurement",
+    "gamertag",
+    "X-Forwarded-Lang",
+    "zq7_blk",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let keys: Vec<&str> = if args.is_empty() {
+        DEMO_KEYS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    // The raw Chat-Completions-shaped interaction, exactly as the paper
+    // drives GPT-4 (Appendix C).
+    let model = LlmClassifier::new(LlmOptions {
+        temperature: 0.0,
+        seed: 7,
+    });
+    let response = model.chat_completion(&[
+        ChatMessage {
+            role: "system",
+            content: SYSTEM_PROMPT.to_string(),
+        },
+        ChatMessage {
+            role: "user",
+            content: keys.join("\n"),
+        },
+    ]);
+    println!("=== GPT-4 simulator raw response (temperature 0) ===");
+    print!("{response}");
+
+    // Compare every classifier on each key.
+    println!("\n=== classifier comparison ===");
+    let mut classifiers: Vec<Box<dyn Classifier>> = vec![
+        Box::new(MajorityEnsemble::new(7, ConfidenceAggregation::Average)),
+        Box::new(FuzzyTfIdf::new()),
+        Box::new(FuzzyBert::new()),
+        Box::new(FewShot::new()),
+        Box::new(ZeroShot::new()),
+    ];
+    for key in &keys {
+        println!("\n{key:?}:");
+        for clf in classifiers.iter_mut() {
+            match clf.classify(key) {
+                Some((category, confidence)) => println!(
+                    "  {:<14} {} ({confidence:.2})",
+                    clf.name(),
+                    category.label()
+                ),
+                None => println!("  {:<14} (abstained)", clf.name()),
+            }
+        }
+    }
+}

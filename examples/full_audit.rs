@@ -1,0 +1,54 @@
+//! Full audit: all six general-audience services, every report.
+//!
+//! ```sh
+//! cargo run --release -p diffaudit --example full_audit [scale]
+//! ```
+//!
+//! The optional positional argument scales traffic volume (default 0.1;
+//! pass 1.0 for paper-scale — use `--release`).
+
+use diffaudit::audit::audit_service;
+use diffaudit::diff::{age_similarity, ObservedGrid};
+use diffaudit::pipeline::{ClassificationMode, Pipeline};
+use diffaudit::report;
+use diffaudit::stats::summarize;
+use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions, TraceCategory};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    println!("Generating all six services at scale {scale}...");
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 2023,
+        volume_scale: scale,
+        mobile_pinned_fraction: 0.12,
+        services: Vec::new(),
+    });
+    let pipeline = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()));
+    let outcome = pipeline.run(&dataset);
+
+    println!("\n{}", report::render_table1(&summarize(&outcome)));
+    for service in &outcome.services {
+        let grid = ObservedGrid::build(service);
+        println!("{}", report::render_table4(service, &grid));
+        println!(
+            "  age similarity (Jaccard over Table 4 cells): child/adult {:.2}, adolescent/adult {:.2}\n",
+            age_similarity(service, TraceCategory::Child, TraceCategory::Adult),
+            age_similarity(service, TraceCategory::Adolescent, TraceCategory::Adult),
+        );
+    }
+    println!("{}", report::render_fig3(&outcome));
+    println!("{}", report::render_fig4(&outcome));
+    println!("{}", report::render_fig5(&outcome, 10));
+
+    println!("Audit findings (all services):");
+    let mut all_findings = Vec::new();
+    for service in &outcome.services {
+        let spec = service_by_slug(&service.slug).expect("catalog service");
+        all_findings.extend(audit_service(service, &spec));
+    }
+    print!("{}", report::render_findings(&all_findings));
+    println!("\n{} findings total.", all_findings.len());
+}
