@@ -1,0 +1,344 @@
+//! `// lint:allow(<name>): <reason>` escape hatches.
+//!
+//! Grammar (one annotation per comment):
+//!
+//! ```text
+//! // lint:allow(no-panic): index is bounds-checked by the loop guard
+//! ```
+//!
+//! Placement rules:
+//! - **Trailing** (code before the comment on the same line): exempts that
+//!   line only.
+//! - **Own line**: exempts the next non-blank, non-comment line. If that
+//!   line starts a `fn` item, the exemption covers the whole function body —
+//!   this keeps infallible encode paths readable instead of demanding an
+//!   annotation per line.
+//!
+//! A reason is mandatory; an unknown lint name or a missing reason is itself
+//! reported (as `lint[annotation]`), and an escape that suppresses no finding
+//! is reported as stale — so escapes cannot silently disable (or outlive)
+//! enforcement.
+
+use crate::findings::{Finding, Lint};
+use crate::lexer;
+use std::cell::Cell;
+
+/// One exemption: `lint` is allowed on lines `lo..=hi` (1-based), granted by
+/// the annotation comment on line `at`.
+#[derive(Debug)]
+struct AllowRange {
+    lint: Lint,
+    lo: usize,
+    hi: usize,
+    at: usize,
+    /// Set when the range actually suppresses a finding; unused ranges are
+    /// stale escapes.
+    used: Cell<bool>,
+}
+
+/// Parsed allow-set: for each lint, the set of exempted 1-based lines.
+#[derive(Debug, Default)]
+pub struct Allows {
+    ranges: Vec<AllowRange>,
+}
+
+impl Allows {
+    /// Is `line` exempt from `lint`? A hit marks the granting annotation as
+    /// used, which is what keeps it off the stale list.
+    pub fn allows(&self, lint: Lint, line: usize) -> bool {
+        let mut hit = false;
+        for range in &self.ranges {
+            if range.lint == lint && range.lo <= line && line <= range.hi {
+                range.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// `(lint, annotation line)` of escapes that never suppressed a finding.
+    /// Only meaningful after every enabled pass has queried [`Allows::allows`].
+    pub fn stale(&self) -> impl Iterator<Item = (Lint, usize)> + '_ {
+        self.ranges
+            .iter()
+            .filter(|range| !range.used.get())
+            .map(|range| (range.lint, range.at))
+    }
+
+    fn add(&mut self, lint: Lint, at: usize, lo: usize, hi: usize) {
+        self.ranges.push(AllowRange {
+            lint,
+            lo,
+            hi,
+            at,
+            used: Cell::new(false),
+        });
+    }
+}
+
+const MARKER: &str = "lint:allow(";
+
+/// Scan `raw` (original source) for annotations. `stripped` is the
+/// lexer-stripped twin, used to decide whether a line has leading code and
+/// where function bodies end. Malformed annotations are appended to
+/// `findings`.
+pub fn parse(file: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>) -> Allows {
+    let mut allows = Allows::default();
+    // Comments kept, string contents blanked: annotations live in comments,
+    // and a marker inside a string literal must not count.
+    let code = lexer::strip_strings_only(raw);
+    let code_lines: Vec<&str> = code.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+
+    for (idx, line) in code_lines.iter().enumerate() {
+        let Some(comment_pos) = find_annotation_comment(line) else {
+            continue;
+        };
+        let lineno = idx + 1;
+        let annotation = &line[comment_pos..];
+        let Some((lint, reason)) = parse_body(annotation) else {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: Lint::Annotation,
+                message: format!(
+                    "malformed lint:allow annotation {:?}; expected \
+                     `// lint:allow(<no-panic|unsafe-audit|error-taxonomy>): <reason>`",
+                    annotation.trim()
+                ),
+            });
+            continue;
+        };
+        if reason.trim().is_empty() {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: Lint::Annotation,
+                message: "lint:allow annotation is missing its reason".to_string(),
+            });
+            continue;
+        }
+
+        let has_leading_code = stripped_lines
+            .get(idx)
+            .is_some_and(|s| !s.trim().is_empty());
+        if has_leading_code {
+            allows.add(lint, lineno, lineno, lineno);
+            continue;
+        }
+        // Own-line annotation: find the next line with real code.
+        let Some(target_idx) = stripped_lines
+            .iter()
+            .enumerate()
+            .skip(idx + 1)
+            .find(|(_, s)| !s.trim().is_empty())
+            .map(|(i, _)| i)
+        else {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: Lint::Annotation,
+                message: "lint:allow annotation at end of file exempts nothing".to_string(),
+            });
+            continue;
+        };
+        let end_idx = if starts_fn_item(stripped_lines[target_idx]) {
+            fn_body_end(&stripped_lines, target_idx)
+        } else {
+            target_idx
+        };
+        allows.add(lint, lineno, target_idx + 1, end_idx + 1);
+    }
+    allows
+}
+
+/// Byte position of a `// lint:allow(` comment in a strings-blanked line.
+/// Doc comments (`///`, `//!`) are documentation, not annotations.
+fn find_annotation_comment(line: &str) -> Option<usize> {
+    let slashes = line.find("//")?;
+    let after = &line[slashes + 2..];
+    if after.starts_with('/') || after.starts_with('!') {
+        return None;
+    }
+    after.contains(MARKER).then_some(slashes)
+}
+
+/// Parse `// lint:allow(<name>): <reason>` → `(lint, reason)`.
+fn parse_body(comment: &str) -> Option<(Lint, &str)> {
+    let start = comment.find(MARKER)? + MARKER.len();
+    let rest = &comment[start..];
+    let close = rest.find(')')?;
+    let lint = Lint::from_allow_name(rest[..close].trim())?;
+    let after = rest[close + 1..].strip_prefix(':')?;
+    Some((lint, after))
+}
+
+/// Does this stripped line begin a `fn` item (optionally `pub`/`const`/
+/// `async` qualified)?
+fn starts_fn_item(stripped_line: &str) -> bool {
+    let trimmed = stripped_line.trim_start();
+    let mut rest = trimmed;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix("pub") {
+            // `pub` or `pub(crate)` etc.
+            let after = after.trim_start();
+            rest = after.strip_prefix('(').map_or(after, |inner| {
+                inner.split_once(')').map_or(inner, |(_, tail)| tail)
+            });
+            continue;
+        }
+        for qualifier in ["const ", "async ", "unsafe ", "extern "] {
+            if let Some(after) = rest.strip_prefix(qualifier) {
+                rest = after;
+            }
+        }
+        break;
+    }
+    rest.trim_start().starts_with("fn ") || rest.trim_start() == "fn"
+}
+
+/// 0-based index of the line holding the closing brace of the fn starting at
+/// `start_idx`. Falls back to `start_idx` when no body is found (e.g. a
+/// trait method signature ending in `;`).
+fn fn_body_end(stripped_lines: &[&str], start_idx: usize) -> usize {
+    let mut depth = 0usize;
+    let mut nest = 0usize; // (), [] — a `;` inside `[u8; 4]` is not an end
+    let mut seen_open = false;
+    for (idx, line) in stripped_lines.iter().enumerate().skip(start_idx) {
+        for byte in line.bytes() {
+            match byte {
+                b'(' | b'[' => nest += 1,
+                b')' | b']' => nest = nest.saturating_sub(1),
+                b'{' => {
+                    depth += 1;
+                    seen_open = true;
+                }
+                b'}' => depth = depth.saturating_sub(1),
+                b';' if !seen_open && depth == 0 && nest == 0 => return start_idx,
+                _ => {}
+            }
+        }
+        if seen_open && depth == 0 {
+            return idx;
+        }
+    }
+    stripped_lines.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Allows, Vec<Finding>) {
+        let stripped = lexer::strip(src);
+        let mut findings = Vec::new();
+        // NB: annotations live in comments, so parse() reads the *raw* text.
+        let allows = parse("test.rs", src, &stripped, &mut findings);
+        (allows, findings)
+    }
+
+    #[test]
+    fn trailing_annotation_covers_its_line() {
+        let src = "let x = v[0]; // lint:allow(no-panic): length checked above\nlet y = v[1];\n";
+        let (allows, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(allows.allows(Lint::NoPanic, 1));
+        assert!(!allows.allows(Lint::NoPanic, 2));
+        assert!(!allows.allows(Lint::UnsafeAudit, 1));
+    }
+
+    #[test]
+    fn own_line_annotation_covers_next_line() {
+        let src = "// lint:allow(no-panic): fixture\n\nlet x = v[0];\nlet y = v[1];\n";
+        let (allows, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(allows.allows(Lint::NoPanic, 3));
+        assert!(!allows.allows(Lint::NoPanic, 4));
+    }
+
+    #[test]
+    fn own_line_annotation_covers_whole_fn() {
+        let src = "\
+// lint:allow(no-panic): encodes into a fixed buffer, all offsets constant
+pub fn encode(buf: &mut [u8; 4]) {
+    buf[0] = 1;
+    if true {
+        buf[1] = 2;
+    }
+}
+fn after() { let _ = buf[2]; }
+";
+        let (allows, findings) = run(src);
+        assert!(findings.is_empty());
+        for line in 2..=7 {
+            assert!(allows.allows(Lint::NoPanic, line), "line {line}");
+        }
+        assert!(!allows.allows(Lint::NoPanic, 8));
+    }
+
+    #[test]
+    fn unqueried_allow_is_stale_until_used() {
+        let src = "let x = v[0]; // lint:allow(no-panic): length checked above\n";
+        let (allows, findings) = run(src);
+        assert!(findings.is_empty());
+        assert_eq!(allows.stale().collect::<Vec<_>>(), vec![(Lint::NoPanic, 1)]);
+        // A suppressing query marks it used.
+        assert!(allows.allows(Lint::NoPanic, 1));
+        assert_eq!(allows.stale().count(), 0);
+        // A miss on another line does not.
+        assert!(!allows.allows(Lint::NoPanic, 2));
+        assert_eq!(allows.stale().count(), 0);
+    }
+
+    #[test]
+    fn unknown_lint_name_is_reported() {
+        let (allows, findings) = run("// lint:allow(no-panics): typo\nlet x = v[0];\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::Annotation);
+        assert_eq!(findings[0].line, 1);
+        assert!(!allows.allows(Lint::NoPanic, 2));
+    }
+
+    #[test]
+    fn missing_reason_is_reported() {
+        let (_, findings) = run("let x = v[0]; // lint:allow(no-panic):\n");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn missing_colon_is_reported() {
+        let (_, findings) = run("// lint:allow(no-panic) reasonless\nlet x = 1;\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::Annotation);
+    }
+
+    #[test]
+    fn annotation_inside_string_is_ignored() {
+        let src = "let s = \"// lint:allow(no-panic): fake\";\nlet x = v[0];\n";
+        let (allows, findings) = run(src);
+        assert!(findings.is_empty());
+        assert!(!allows.allows(Lint::NoPanic, 1));
+        assert!(!allows.allows(Lint::NoPanic, 2));
+    }
+
+    #[test]
+    fn doc_comments_mentioning_the_marker_are_ignored() {
+        let src = "/// Use `// lint:allow(no-panic): reason` to exempt a line.\nfn f() {}\n";
+        let (_, findings) = run(src);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn signature_only_fn_does_not_swallow_following_lines() {
+        let src = "\
+// lint:allow(no-panic): trait method default
+fn sig_only(x: u8) -> u8;
+let y = v[0];
+";
+        let (allows, _) = run(src);
+        assert!(allows.allows(Lint::NoPanic, 2));
+        assert!(!allows.allows(Lint::NoPanic, 3));
+    }
+}

@@ -1,0 +1,96 @@
+//! Diagnostic types shared by every lint pass.
+
+use std::fmt;
+
+/// The lint that produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Panic-capable construct in an untrusted-input crate.
+    NoPanic,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeAudit,
+    /// Public fallible API returning a stringly-typed error.
+    ErrorTaxonomy,
+    /// Malformed `// lint:allow(...)` annotation.
+    Annotation,
+}
+
+impl Lint {
+    /// The name used in diagnostics and in `lint:allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::UnsafeAudit => "unsafe-audit",
+            Lint::ErrorTaxonomy => "error-taxonomy",
+            Lint::Annotation => "annotation",
+        }
+    }
+
+    /// Parse a `lint:allow` target name. `annotation` is not allowable —
+    /// a broken annotation cannot excuse itself.
+    pub fn from_allow_name(name: &str) -> Option<Lint> {
+        match name {
+            "no-panic" => Some(Lint::NoPanic),
+            "unsafe-audit" => Some(Lint::UnsafeAudit),
+            "error-taxonomy" => Some(Lint::ErrorTaxonomy),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic: a lint fired at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: lint[{}]: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_rustc_style() {
+        let finding = Finding {
+            file: "crates/nettrace/src/pcap.rs".into(),
+            line: 154,
+            lint: Lint::NoPanic,
+            message: "`.unwrap()` on untrusted input path".into(),
+        };
+        assert_eq!(
+            finding.to_string(),
+            "crates/nettrace/src/pcap.rs:154: lint[no-panic]: `.unwrap()` on untrusted input path"
+        );
+    }
+
+    #[test]
+    fn allow_names_round_trip() {
+        for lint in [Lint::NoPanic, Lint::UnsafeAudit, Lint::ErrorTaxonomy] {
+            assert_eq!(Lint::from_allow_name(lint.name()), Some(lint));
+        }
+        assert_eq!(Lint::from_allow_name("annotation"), None);
+        assert_eq!(Lint::from_allow_name("bogus"), None);
+    }
+}

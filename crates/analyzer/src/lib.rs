@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # diffaudit-analyzer
+//!
+//! A std-only static-analysis suite over the workspace's own Rust sources.
+//!
+//! DiffAudit's pipeline decodes adversarial bytes end to end — pcap/pcapng
+//! records, reassembled TCP, HTTP and JSON payloads captured from live
+//! services — so a reachable panic in a decoder is a denial-of-service
+//! against the whole audit. This crate enforces, at build time (the lint
+//! run is a tier-1 integration test), three rules:
+//!
+//! - **`no-panic`** — `unwrap()`, `expect(`, `panic!`, `todo!`,
+//!   `unimplemented!`, and `[...]` index expressions are forbidden in the
+//!   designated untrusted-input crates (`diffaudit-nettrace`,
+//!   `diffaudit-json`, `diffaudit-domains`). Escape hatch:
+//!   `// lint:allow(no-panic): <reason>`; test modules and `tests/`/
+//!   `benches/` targets are exempt.
+//! - **`unsafe-audit`** — every `unsafe` token must carry a nearby
+//!   `// SAFETY:` comment (the workspace additionally sets
+//!   `unsafe_code = "forbid"`, so this pass is a second line of defense).
+//! - **`error-taxonomy`** — `pub` fallible APIs in the designated crates
+//!   must return the crate's typed error, not `Result<_, String>` or
+//!   `Result<_, &str>`.
+//!
+//! The passes are textual but comment/string-aware: a small lexer
+//! ([`lexer::strip`]) blanks comments and string literals (preserving byte
+//! offsets) before any pattern is matched.
+//!
+//! Run it as `cargo run -p diffaudit-analyzer` (human output) or
+//! `cargo run -p diffaudit-analyzer -- --json` (machine output).
+
+pub mod annotations;
+pub mod findings;
+pub mod lexer;
+pub mod passes;
+pub mod report;
+pub mod workspace;
+
+pub use findings::{Finding, Lint};
+pub use passes::{analyze_source, Policy, SourceFile};
+pub use workspace::{analyze_workspace, find_root, Config, DESIGNATED_CRATES};

@@ -1,0 +1,82 @@
+//! Driver binary: run the lint passes over the workspace and report.
+//!
+//! ```text
+//! cargo run -p diffaudit-analyzer             # rustc-style diagnostics
+//! cargo run -p diffaudit-analyzer -- --json   # machine output
+//! cargo run -p diffaudit-analyzer -- --root <dir>
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use diffaudit_analyzer::{analyze_workspace, find_root, report, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: diffaudit-analyzer [--json] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let root = match root_arg {
+        Some(dir) => dir,
+        None => {
+            // Prefer the invocation directory (works for `cargo run` from
+            // anywhere inside the workspace); fall back to this crate's
+            // baked-in manifest location.
+            let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_root(&start)
+                .or_else(|| find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR"))))
+            {
+                Some(dir) => dir,
+                None => return usage("could not locate a workspace root; pass --root"),
+            }
+        }
+    };
+
+    let findings = match analyze_workspace(&Config::new(&root)) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!(
+                "diffaudit-analyzer: i/o error under {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report::render_json(&findings));
+    } else {
+        print!("{}", report::render_text(&findings));
+        if findings.is_empty() {
+            eprintln!("diffaudit-analyzer: clean");
+        } else {
+            eprintln!("diffaudit-analyzer: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("usage: diffaudit-analyzer [--json] [--root <dir>]");
+    ExitCode::from(2)
+}

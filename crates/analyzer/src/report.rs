@@ -1,0 +1,92 @@
+//! Output formatting: rustc-style text and `--json` machine output.
+//!
+//! The JSON encoder is the workspace's own `diffaudit-json` — the analyzer
+//! eats the same dogfood the pipeline serves.
+
+use crate::findings::Finding;
+use diffaudit_json::Json;
+
+/// Render findings as rustc-style diagnostics, one per line.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for finding in findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Render findings as a JSON document:
+/// `{"count": N, "findings": [{"file", "line", "lint", "message"}…]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let items: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::obj()
+                .with("file", Json::str(f.file.clone()))
+                .with("line", Json::int(f.line as i64))
+                .with("lint", Json::str(f.lint.name()))
+                .with("message", Json::str(f.message.clone()))
+        })
+        .collect();
+    Json::obj()
+        .with("count", Json::int(findings.len() as i64))
+        .with("findings", Json::Arr(items))
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Lint;
+    use diffaudit_json::parse;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/json/src/parse.rs".into(),
+            line: 331,
+            lint: Lint::NoPanic,
+            message: "`.expect(..)` can panic".into(),
+        }]
+    }
+
+    #[test]
+    fn text_is_one_diagnostic_per_line() {
+        let text = render_text(&sample());
+        assert_eq!(
+            text,
+            "crates/json/src/parse.rs:331: lint[no-panic]: `.expect(..)` can panic\n"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_diffaudit_json() {
+        let doc = render_json(&sample());
+        let parsed = parse(&doc).expect("valid json");
+        assert_eq!(parsed.get("count").and_then(Json::as_i64), Some(1));
+        let first = parsed
+            .get("findings")
+            .and_then(|a| a.at(0))
+            .expect("one finding");
+        assert_eq!(
+            first.get("file").and_then(Json::as_str),
+            Some("crates/json/src/parse.rs")
+        );
+        assert_eq!(first.get("line").and_then(Json::as_i64), Some(331));
+        assert_eq!(first.get("lint").and_then(Json::as_str), Some("no-panic"));
+    }
+
+    #[test]
+    fn empty_findings_render_cleanly() {
+        assert_eq!(render_text(&[]), "");
+        let parsed = parse(&render_json(&[])).expect("valid json");
+        assert_eq!(parsed.get("count").and_then(Json::as_i64), Some(0));
+        assert_eq!(
+            parsed
+                .get("findings")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(0)
+        );
+    }
+}

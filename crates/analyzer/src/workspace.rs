@@ -1,0 +1,147 @@
+//! Workspace walking: decide which files get which [`Policy`] and run the
+//! passes over the whole tree.
+
+use crate::findings::Finding;
+use crate::passes::{analyze_source, Policy, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees parse untrusted input and therefore get the
+/// full `no-panic` + `error-taxonomy` treatment. Everything else is audited
+/// for `unsafe` only.
+pub const DESIGNATED_CRATES: [&str; 3] = ["nettrace", "json", "domains"];
+
+/// Analysis configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+    /// Crate directory names (under `crates/`) held to the parser policy.
+    pub designated: Vec<String>,
+}
+
+impl Config {
+    /// Default configuration rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            designated: DESIGNATED_CRATES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Run every pass over every analyzable file under `config.root`.
+///
+/// Coverage: `crates/*/{src,tests,benches}/**/*.rs` plus the workspace-level
+/// `tests/` and `examples/` directories. Policy per file:
+/// - designated crates' `src/`: `no-panic` + `unsafe-audit` + `error-taxonomy`;
+/// - everything else (including designated crates' own `tests/`):
+///   `unsafe-audit` only.
+pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let crates_dir = config.root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        let designated = config.designated.iter().any(|d| *d == crate_name);
+        for (subdir, production) in [("src", true), ("tests", false), ("benches", false)] {
+            let dir = crate_dir.join(subdir);
+            if !dir.is_dir() {
+                continue;
+            }
+            let policy = if designated && production {
+                Policy::parser_crate()
+            } else {
+                Policy::default_crate()
+            };
+            analyze_dir(&dir, &config.root, policy, &mut findings)?;
+        }
+    }
+    for top in ["tests", "examples"] {
+        let dir = config.root.join(top);
+        if dir.is_dir() {
+            analyze_dir(&dir, &config.root, Policy::default_crate(), &mut findings)?;
+        }
+    }
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Ok(findings)
+}
+
+fn analyze_dir(
+    dir: &Path,
+    root: &Path,
+    policy: Policy,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&current)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                let raw = fs::read_to_string(&path)?;
+                let display = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let file = SourceFile::new(display, raw);
+                findings.extend(analyze_source(&file, policy));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_up() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+        assert!(root.join("Cargo.toml").is_file());
+    }
+
+    #[test]
+    fn designated_set_matches_issue() {
+        assert_eq!(DESIGNATED_CRATES, ["nettrace", "json", "domains"]);
+    }
+}

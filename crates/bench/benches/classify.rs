@@ -1,14 +1,13 @@
 //! Micro-benchmarks for classification and destination analysis, including
 //! the design-choice ablations called out in DESIGN.md: trie vs naive
 //! block-list matching, and single-model vs ensemble classification.
+//!
+//! With `--features bench` (requires a vendored Criterion) these run under
+//! Criterion; otherwise a std-only fallback harness times the same workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use diffaudit_blocklist::matcher::NaiveMatcher;
 use diffaudit_blocklist::{ats, DomainMatcher};
-use diffaudit_classifier::llm::{LlmClassifier, LlmOptions};
-use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
-use diffaudit_domains::{extract, DomainName};
-use std::hint::black_box;
+use diffaudit_domains::DomainName;
 
 const KEYS: [&str; 12] = [
     "device_id",
@@ -25,50 +24,25 @@ const KEYS: [&str; 12] = [
     "pers_ad_show_third_part_measurement",
 ];
 
-fn bench_llm(c: &mut Criterion) {
-    let model = LlmClassifier::new(LlmOptions::default());
-    let ensemble = MajorityEnsemble::new(1, ConfidenceAggregation::Average);
-    let mut group = c.benchmark_group("classify");
-    group.throughput(Throughput::Elements(KEYS.len() as u64));
-    group.bench_function("llm_batch_12", |b| {
-        b.iter(|| model.classify_batch(black_box(&KEYS)))
-    });
-    group.bench_function("ensemble_batch_12", |b| {
-        b.iter(|| ensemble.classify_batch(black_box(&KEYS)))
-    });
-    group.finish();
-}
+const HOSTS: [&str; 5] = [
+    "stats.g.doubleclick.net",
+    "browser.events.data.microsoft.com",
+    "www.roblox.com",
+    "shop.example.co.uk",
+    "a.b.c.d.e.tracker.io",
+];
 
-fn bench_domains(c: &mut Criterion) {
-    let hosts = [
-        "stats.g.doubleclick.net",
-        "browser.events.data.microsoft.com",
-        "www.roblox.com",
-        "shop.example.co.uk",
-        "a.b.c.d.e.tracker.io",
-    ];
-    let names: Vec<DomainName> = hosts.iter().map(|h| DomainName::parse(h).unwrap()).collect();
-    let mut group = c.benchmark_group("domains");
-    group.throughput(Throughput::Elements(hosts.len() as u64));
-    group.bench_function("parse_5", |b| {
-        b.iter(|| {
-            for h in &hosts {
-                black_box(DomainName::parse(h).unwrap());
-            }
-        })
-    });
-    group.bench_function("esld_extract_5", |b| {
-        b.iter(|| {
-            for n in &names {
-                black_box(extract(n).esld());
-            }
-        })
-    });
-    group.finish();
-}
+const PROBES: [&str; 6] = [
+    "stats.g.doubleclick.net",
+    "api.roblox.com",
+    "t.appsflyer.com",
+    "cdn.shopify.com",
+    "deep.sub.domain.clean-site.org",
+    "metrics.roblox.com",
+];
 
-fn bench_blocklist(c: &mut Criterion) {
-    // Ablation: trie matcher vs the naive linear-scan reference.
+/// Build the trie and naive matchers over the embedded ATS lists.
+fn matchers() -> (DomainMatcher, NaiveMatcher) {
     let lists = ats::embedded_lists();
     let mut trie = DomainMatcher::new();
     let mut naive = NaiveMatcher::new();
@@ -76,35 +50,128 @@ fn bench_blocklist(c: &mut Criterion) {
         trie.add_list(&list.name, &list.domains);
         naive.add_list(&list.name, &list.domains);
     }
-    let probes: Vec<DomainName> = [
-        "stats.g.doubleclick.net",
-        "api.roblox.com",
-        "t.appsflyer.com",
-        "cdn.shopify.com",
-        "deep.sub.domain.clean-site.org",
-        "metrics.roblox.com",
-    ]
-    .iter()
-    .map(|h| DomainName::parse(h).unwrap())
-    .collect();
-    let mut group = c.benchmark_group("blocklist");
-    group.throughput(Throughput::Elements(probes.len() as u64));
-    group.bench_function("trie_6_lookups", |b| {
-        b.iter(|| {
-            for p in &probes {
-                black_box(trie.is_blocked(p));
-            }
-        })
-    });
-    group.bench_function("naive_6_lookups", |b| {
-        b.iter(|| {
-            for p in &probes {
-                black_box(naive.is_blocked(p));
-            }
-        })
-    });
-    group.finish();
+    (trie, naive)
 }
 
-criterion_group!(benches, bench_llm, bench_domains, bench_blocklist);
-criterion_main!(benches);
+fn parse_all(hosts: &[&str]) -> Vec<DomainName> {
+    hosts
+        .iter()
+        .map(|h| DomainName::parse(h).unwrap())
+        .collect()
+}
+
+#[cfg(feature = "bench")]
+mod with_criterion {
+    use super::{matchers, parse_all, HOSTS, KEYS, PROBES};
+    use criterion::{criterion_group, Criterion, Throughput};
+    use diffaudit_classifier::llm::{LlmClassifier, LlmOptions};
+    use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+    use diffaudit_domains::{extract, DomainName};
+    use std::hint::black_box;
+
+    fn bench_llm(c: &mut Criterion) {
+        let model = LlmClassifier::new(LlmOptions::default());
+        let ensemble = MajorityEnsemble::new(1, ConfidenceAggregation::Average);
+        let mut group = c.benchmark_group("classify");
+        group.throughput(Throughput::Elements(KEYS.len() as u64));
+        group.bench_function("llm_batch_12", |b| {
+            b.iter(|| model.classify_batch(black_box(&KEYS)))
+        });
+        group.bench_function("ensemble_batch_12", |b| {
+            b.iter(|| ensemble.classify_batch(black_box(&KEYS)))
+        });
+        group.finish();
+    }
+
+    fn bench_domains(c: &mut Criterion) {
+        let names: Vec<DomainName> = parse_all(&HOSTS);
+        let mut group = c.benchmark_group("domains");
+        group.throughput(Throughput::Elements(HOSTS.len() as u64));
+        group.bench_function("parse_5", |b| {
+            b.iter(|| {
+                for h in &HOSTS {
+                    black_box(DomainName::parse(h).unwrap());
+                }
+            })
+        });
+        group.bench_function("esld_extract_5", |b| {
+            b.iter(|| {
+                for n in &names {
+                    black_box(extract(n).esld());
+                }
+            })
+        });
+        group.finish();
+    }
+
+    fn bench_blocklist(c: &mut Criterion) {
+        // Ablation: trie matcher vs the naive linear-scan reference.
+        let (trie, naive) = matchers();
+        let probes = parse_all(&PROBES);
+        let mut group = c.benchmark_group("blocklist");
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_function("trie_6_lookups", |b| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(trie.is_blocked(p));
+                }
+            })
+        });
+        group.bench_function("naive_6_lookups", |b| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(naive.is_blocked(p));
+                }
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_llm, bench_domains, bench_blocklist);
+}
+
+#[cfg(feature = "bench")]
+fn main() {
+    with_criterion::benches();
+}
+
+#[cfg(not(feature = "bench"))]
+fn main() {
+    use diffaudit_bench::stopwatch::run;
+    use diffaudit_classifier::llm::{LlmClassifier, LlmOptions};
+    use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+    use diffaudit_domains::extract;
+    use std::hint::black_box;
+
+    let model = LlmClassifier::new(LlmOptions::default());
+    let ensemble = MajorityEnsemble::new(1, ConfidenceAggregation::Average);
+    run("classify/llm_batch_12", || {
+        black_box(model.classify_batch(black_box(&KEYS)));
+    });
+    run("classify/ensemble_batch_12", || {
+        black_box(ensemble.classify_batch(black_box(&KEYS)));
+    });
+
+    let names = parse_all(&HOSTS);
+    run("domains/parse_5", || {
+        black_box(parse_all(black_box(&HOSTS)));
+    });
+    run("domains/esld_extract_5", || {
+        for n in &names {
+            black_box(extract(n).esld());
+        }
+    });
+
+    let (trie, naive) = matchers();
+    let probes = parse_all(&PROBES);
+    run("blocklist/trie_6_lookups", || {
+        for p in &probes {
+            black_box(trie.is_blocked(p));
+        }
+    });
+    run("blocklist/naive_6_lookups", || {
+        for p in &probes {
+            black_box(naive.is_blocked(p));
+        }
+    });
+}

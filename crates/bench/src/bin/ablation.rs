@@ -14,14 +14,21 @@ const THRESHOLDS: [f64; 10] = [0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[ablation] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[ablation] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
     let refs: Vec<&str> = sample.iter().map(|e| e.raw.as_str()).collect();
 
     println!("Ablation: confidence threshold sweep (n={})", sample.len());
-    println!("{:<16} {}", "model", THRESHOLDS.map(|t| format!("{t:>11.2}")).join(""));
+    println!(
+        "{:<16} {}",
+        "model",
+        THRESHOLDS.map(|t| format!("{t:>11.2}")).join("")
+    );
 
     let configs: Vec<(String, Vec<diffaudit_classifier::Classification>)> = vec![
         (
@@ -38,8 +45,7 @@ fn main() {
         ),
         (
             "majority-avg".into(),
-            MajorityEnsemble::new(args.seed, ConfidenceAggregation::Average)
-                .classify_batch(&refs),
+            MajorityEnsemble::new(args.seed, ConfidenceAggregation::Average).classify_batch(&refs),
         ),
     ];
     for (name, results) in &configs {

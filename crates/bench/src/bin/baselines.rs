@@ -21,13 +21,19 @@ fn accuracy(clf: &mut dyn Classifier, sample: &[diffaudit_classifier::LabeledExa
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[baselines] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[baselines] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
     eprintln!("[baselines] validation sample n={}", sample.len());
 
-    println!("Baseline classifier comparison (sample accuracy, n={}):", sample.len());
+    println!(
+        "Baseline classifier comparison (sample accuracy, n={}):",
+        sample.len()
+    );
     let mut tfidf = FuzzyTfIdf::new();
     let mut bert = FuzzyBert::new();
     let mut zero = ZeroShot::new();

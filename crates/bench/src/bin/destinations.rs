@@ -10,7 +10,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[destinations] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[destinations] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
 

@@ -26,7 +26,10 @@ fn accuracy(clf: &mut dyn Classifier, sample: &[LabeledExample]) -> f64 {
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[distill] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[distill] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let holdout = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
@@ -80,6 +83,8 @@ fn main() {
         student_time
     );
     let speedup = teacher_time.as_secs_f64() / student_time.as_secs_f64().max(1e-9);
-    println!("  student speedup: {speedup:.0}x; accuracy retained: {:.0}%",
-        student_acc / teacher_acc.max(1e-9) * 100.0);
+    println!(
+        "  student speedup: {speedup:.0}x; accuracy retained: {:.0}%",
+        student_acc / teacher_acc.max(1e-9) * 100.0
+    );
 }

@@ -13,7 +13,10 @@ use diffaudit_services::{generate_dataset, DatasetOptions};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[table1] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[table1] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let options = DatasetOptions {
         seed: args.seed,
         volume_scale: args.scale,
@@ -22,7 +25,8 @@ fn main() {
     };
     let dataset = generate_dataset(&options);
     eprintln!("[table1] running pipeline...");
-    let outcome = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
+    let outcome =
+        Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
     let summary: DatasetSummary = summarize(&outcome);
     print!("{}", diffaudit::report::render_table1(&summary));
 }

@@ -8,7 +8,10 @@ use std::collections::BTreeSet;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[table2] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[table2] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
 
@@ -28,7 +31,11 @@ fn main() {
             if category.level1() != root {
                 continue;
             }
-            let star = if observed.contains(&category) { "*" } else { " " };
+            let star = if observed.contains(&category) {
+                "*"
+            } else {
+                " "
+            };
             println!("  {}{}", category.label(), star);
         }
     }

@@ -10,7 +10,11 @@ use diffaudit_classifier::validate::{sample_fraction, validate, ValidationReport
 use diffaudit_classifier::ConfidenceAggregation;
 
 fn print_row(report: &ValidationReport) {
-    print!("{:<14} {:>8}", report.model, format!("{:.2}", report.accuracy));
+    print!(
+        "{:<14} {:>8}",
+        report.model,
+        format!("{:.2}", report.accuracy)
+    );
     for t in &report.thresholds {
         print!("  {:>8} {:>7}", format!("{:.2}", t.accuracy), t.labeled);
     }
@@ -19,7 +23,10 @@ fn print_row(report: &ValidationReport) {
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[table3] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[table3] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
@@ -30,7 +37,10 @@ fn main() {
         sample.len()
     );
 
-    println!("Table 3: GPT-4 Classification Model Sample Validation Results (n={})", sample.len());
+    println!(
+        "Table 3: GPT-4 Classification Model Sample Validation Results (n={})",
+        sample.len()
+    );
     println!(
         "{:<14} {:>8}  {:>8} {:>7}  {:>8} {:>7}  {:>8} {:>7}",
         "Temp/Method", "Accuracy", "Acc@0.7", "Labeled", "Acc@0.8", "Labeled", "Acc@0.9", "Labeled"

@@ -11,7 +11,10 @@ use diffaudit_services::service_by_slug;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!("[table4] generating dataset (scale {}, seed {})...", args.scale, args.seed);
+    eprintln!(
+        "[table4] generating dataset (scale {}, seed {})...",
+        args.scale, args.seed
+    );
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
     for service in &outcome.services {

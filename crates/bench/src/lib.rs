@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # diffaudit-bench
@@ -99,4 +100,30 @@ pub fn labeled_examples(truth: &HashMap<String, DataTypeCategory>) -> Vec<Labele
 /// Format a fraction as the paper does (two decimals).
 pub fn fmt2(x: f64) -> String {
     format!("{x:.2}")
+}
+
+/// Minimal std-only timing harness used by the `benches/` targets when the
+/// `bench` feature (Criterion) is off — the offline default, since Criterion
+/// cannot be fetched from the registry. It auto-scales iteration counts to
+/// ~50ms per workload and prints ns/iter, which is enough to spot order-of-
+/// magnitude regressions without any external dependency.
+pub mod stopwatch {
+    use std::time::{Duration, Instant};
+
+    /// Time `f`, printing `name`, the iteration count, and ns/iter.
+    pub fn run(name: &str, mut f: impl FnMut()) {
+        // Warm-up, and a single timed call to pick the iteration count.
+        f();
+        let probe = Instant::now();
+        f();
+        let once = probe.elapsed().as_nanos().max(1);
+        let budget = Duration::from_millis(50).as_nanos();
+        let iters = (budget / once).clamp(1, 100_000) as u64;
+        let timer = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = timer.elapsed().as_nanos() / u128::from(iters);
+        println!("{name:<40} {iters:>7} iters  {per:>12} ns/iter");
+    }
 }

@@ -52,68 +52,252 @@ type OrgSpec = (
 /// paper (Fig. 5 shows Google, Pubmatic, Amazon, Adobe, Microsoft among 32)
 /// plus the long tail any real capture of these six services contacts.
 const ORGS: &[OrgSpec] = &[
-    ("Google LLC", "advertising", 3,
-     &["google.com", "googleapis.com", "gstatic.com", "doubleclick.net", "google-analytics.com",
-       "googletagmanager.com", "googlesyndication.com", "googleadservices.com",
-       "googletagservices.com", "googlevideo.com", "youtube.com", "ytimg.com", "ggpht.com",
-       "googleusercontent.com", "app-measurement.com", "crashlytics.com", "firebaseio.com",
-       "recaptcha.net", "gvt1.com", "gvt2.com", "withgoogle.com", "youtubekids.com"],
-     &["google.ad", "googlesource.com"]),
-    ("Microsoft Corporation", "first-party", 2,
-     &["microsoft.com", "minecraft.net", "mojang.com", "xboxlive.com", "bing.com", "clarity.ms",
-       "live.com", "office.com", "azurewebsites.net", "azure.com", "msecnd.net", "azureedge.net",
-       "microsoftonline.com", "skype.com", "msn.com"],
-     &["minecraftservices.com", "xbox.com"]),
-    ("Amazon.com, Inc.", "cdn", 1,
-     &["amazon.com", "amazon-adsystem.com", "amazonaws.com", "cloudfront.net", "awsstatic.com",
-       "media-amazon.com", "ssl-images-amazon.com", "a2z.com", "amazontrust.com"],
-     &["amazon.dev"]),
-    ("Adobe Inc.", "analytics", 2,
-     &["adobe.com", "omtrdc.net", "demdex.net", "everesttech.net", "adobedtm.com", "typekit.net",
-       "adobelogin.com", "2o7.net"],
-     &[]),
+    (
+        "Google LLC",
+        "advertising",
+        3,
+        &[
+            "google.com",
+            "googleapis.com",
+            "gstatic.com",
+            "doubleclick.net",
+            "google-analytics.com",
+            "googletagmanager.com",
+            "googlesyndication.com",
+            "googleadservices.com",
+            "googletagservices.com",
+            "googlevideo.com",
+            "youtube.com",
+            "ytimg.com",
+            "ggpht.com",
+            "googleusercontent.com",
+            "app-measurement.com",
+            "crashlytics.com",
+            "firebaseio.com",
+            "recaptcha.net",
+            "gvt1.com",
+            "gvt2.com",
+            "withgoogle.com",
+            "youtubekids.com",
+        ],
+        &["google.ad", "googlesource.com"],
+    ),
+    (
+        "Microsoft Corporation",
+        "first-party",
+        2,
+        &[
+            "microsoft.com",
+            "minecraft.net",
+            "mojang.com",
+            "xboxlive.com",
+            "bing.com",
+            "clarity.ms",
+            "live.com",
+            "office.com",
+            "azurewebsites.net",
+            "azure.com",
+            "msecnd.net",
+            "azureedge.net",
+            "microsoftonline.com",
+            "skype.com",
+            "msn.com",
+        ],
+        &["minecraftservices.com", "xbox.com"],
+    ),
+    (
+        "Amazon.com, Inc.",
+        "cdn",
+        1,
+        &[
+            "amazon.com",
+            "amazon-adsystem.com",
+            "amazonaws.com",
+            "cloudfront.net",
+            "awsstatic.com",
+            "media-amazon.com",
+            "ssl-images-amazon.com",
+            "a2z.com",
+            "amazontrust.com",
+        ],
+        &["amazon.dev"],
+    ),
+    (
+        "Adobe Inc.",
+        "analytics",
+        2,
+        &[
+            "adobe.com",
+            "omtrdc.net",
+            "demdex.net",
+            "everesttech.net",
+            "adobedtm.com",
+            "typekit.net",
+            "adobelogin.com",
+            "2o7.net",
+        ],
+        &[],
+    ),
     ("PubMatic, Inc.", "advertising", 2, &["pubmatic.com"], &[]),
-    ("Roblox Corporation", "first-party", 0,
-     &["roblox.com", "rbxcdn.com", "rbx.com", "robloxlabs.com"], &["rbxtrk.com"]),
-    ("ByteDance Ltd.", "first-party", 2,
-     &["tiktok.com", "tiktokcdn.com", "tiktokv.com", "tiktokv.us", "byteoversea.com",
-       "ibytedtos.com", "ibyteimg.com", "musical.ly", "pangle.io", "pangleglobal.com",
-       "tiktokcdn-us.com", "ttwstatic.com"],
-     &["bytedance.com"]),
-    ("Duolingo, Inc.", "first-party", 0,
-     &["duolingo.com", "duolingo.cn"], &["duolingo.dev"]),
-    ("Quizlet, Inc.", "first-party", 0, &["quizlet.com"], &["quizlet.dev"]),
-    ("Meta Platforms, Inc.", "advertising", 3,
-     &["facebook.com", "facebook.net", "fbcdn.net", "instagram.com", "whatsapp.com"], &[]),
-    ("Criteo SA", "advertising", 3, &["criteo.com", "criteo.net"], &[]),
+    (
+        "Roblox Corporation",
+        "first-party",
+        0,
+        &["roblox.com", "rbxcdn.com", "rbx.com", "robloxlabs.com"],
+        &["rbxtrk.com"],
+    ),
+    (
+        "ByteDance Ltd.",
+        "first-party",
+        2,
+        &[
+            "tiktok.com",
+            "tiktokcdn.com",
+            "tiktokv.com",
+            "tiktokv.us",
+            "byteoversea.com",
+            "ibytedtos.com",
+            "ibyteimg.com",
+            "musical.ly",
+            "pangle.io",
+            "pangleglobal.com",
+            "tiktokcdn-us.com",
+            "ttwstatic.com",
+        ],
+        &["bytedance.com"],
+    ),
+    (
+        "Duolingo, Inc.",
+        "first-party",
+        0,
+        &["duolingo.com", "duolingo.cn"],
+        &["duolingo.dev"],
+    ),
+    (
+        "Quizlet, Inc.",
+        "first-party",
+        0,
+        &["quizlet.com"],
+        &["quizlet.dev"],
+    ),
+    (
+        "Meta Platforms, Inc.",
+        "advertising",
+        3,
+        &[
+            "facebook.com",
+            "facebook.net",
+            "fbcdn.net",
+            "instagram.com",
+            "whatsapp.com",
+        ],
+        &[],
+    ),
+    (
+        "Criteo SA",
+        "advertising",
+        3,
+        &["criteo.com", "criteo.net"],
+        &[],
+    ),
     ("The Trade Desk", "advertising", 2, &["adsrvr.org"], &[]),
-    ("Magnite, Inc.", "advertising", 2, &["rubiconproject.com", "magnite.com"], &[]),
-    ("Index Exchange", "advertising", 2, &["casalemedia.com", "indexww.com"], &[]),
+    (
+        "Magnite, Inc.",
+        "advertising",
+        2,
+        &["rubiconproject.com", "magnite.com"],
+        &[],
+    ),
+    (
+        "Index Exchange",
+        "advertising",
+        2,
+        &["casalemedia.com", "indexww.com"],
+        &[],
+    ),
     ("OpenX Technologies", "advertising", 2, &["openx.net"], &[]),
     ("Xandr (AT&T)", "advertising", 2, &["adnxs.com"], &[]),
-    ("Yahoo (Verizon Media)", "advertising", 2,
-     &["yahoo.com", "advertising.com", "flurry.com", "adtechus.com"], &[]),
+    (
+        "Yahoo (Verizon Media)",
+        "advertising",
+        2,
+        &["yahoo.com", "advertising.com", "flurry.com", "adtechus.com"],
+        &[],
+    ),
     ("Taboola", "advertising", 2, &["taboola.com"], &[]),
-    ("Outbrain", "advertising", 2, &["outbrain.com", "zemanta.com"], &[]),
-    ("Comscore, Inc.", "analytics", 2, &["scorecardresearch.com", "comscore.com"], &[]),
-    ("Quantcast", "analytics", 2, &["quantserve.com", "quantcount.com"], &[]),
-    ("Oracle (BlueKai/Moat)", "analytics", 2,
-     &["bluekai.com", "addthis.com", "moatads.com", "krxd.net", "exelator.com"], &[]),
+    (
+        "Outbrain",
+        "advertising",
+        2,
+        &["outbrain.com", "zemanta.com"],
+        &[],
+    ),
+    (
+        "Comscore, Inc.",
+        "analytics",
+        2,
+        &["scorecardresearch.com", "comscore.com"],
+        &[],
+    ),
+    (
+        "Quantcast",
+        "analytics",
+        2,
+        &["quantserve.com", "quantcount.com"],
+        &[],
+    ),
+    (
+        "Oracle (BlueKai/Moat)",
+        "analytics",
+        2,
+        &[
+            "bluekai.com",
+            "addthis.com",
+            "moatads.com",
+            "krxd.net",
+            "exelator.com",
+        ],
+        &[],
+    ),
     ("Nielsen", "analytics", 2, &["imrworldwide.com"], &[]),
-    ("LiveRamp", "identity", 3, &["rlcdn.com", "liveramp.com"], &[]),
+    (
+        "LiveRamp",
+        "identity",
+        3,
+        &["rlcdn.com", "liveramp.com"],
+        &[],
+    ),
     ("Lotame", "identity", 2, &["crwdcntrl.net"], &[]),
     ("Neustar", "identity", 2, &["agkn.com"], &[]),
     ("ID5", "identity", 3, &["id5-sync.com"], &[]),
     ("Hotjar", "analytics", 2, &["hotjar.com"], &[]),
     ("Mixpanel", "analytics", 1, &["mixpanel.com"], &[]),
     ("Amplitude", "analytics", 1, &["amplitude.com"], &[]),
-    ("Twilio (Segment)", "analytics", 1, &["segment.io", "segment.com"], &[]),
+    (
+        "Twilio (Segment)",
+        "analytics",
+        1,
+        &["segment.io", "segment.com"],
+        &[],
+    ),
     ("Branch Metrics", "attribution", 2, &["branch.io"], &[]),
-    ("Adjust GmbH", "attribution", 2, &["adjust.com", "adjust.io"], &[]),
+    (
+        "Adjust GmbH",
+        "attribution",
+        2,
+        &["adjust.com", "adjust.io"],
+        &[],
+    ),
     ("AppsFlyer", "attribution", 2, &["appsflyer.com"], &[]),
     ("Kochava", "attribution", 2, &["kochava.com"], &[]),
     ("Singular", "attribution", 2, &["singular.net"], &[]),
-    ("New Relic", "monitoring", 1, &["newrelic.com", "nr-data.net"], &[]),
+    (
+        "New Relic",
+        "monitoring",
+        1,
+        &["newrelic.com", "nr-data.net"],
+        &[],
+    ),
     ("Datadog", "monitoring", 1, &["datadoghq.com"], &[]),
     ("Sentry", "monitoring", 0, &["sentry.io"], &[]),
     ("Bugsnag", "monitoring", 0, &["bugsnag.com"], &[]),
@@ -125,11 +309,41 @@ const ORGS: &[OrgSpec] = &[
     ("Leanplum", "engagement", 1, &["leanplum.com"], &[]),
     ("CleverTap", "engagement", 1, &["clevertap.com"], &[]),
     ("Optimizely", "experimentation", 1, &["optimizely.com"], &[]),
-    ("LaunchDarkly", "experimentation", 0, &["launchdarkly.com"], &[]),
-    ("AppLovin", "advertising", 2, &["applovin.com", "applvn.com"], &[]),
-    ("Unity Technologies", "advertising", 2, &["unity3d.com", "unityads.unity3d.com"], &[]),
-    ("ironSource", "advertising", 2, &["ironsrc.mobi", "supersonicads.com"], &[]),
-    ("Digital Turbine (AdColony)", "advertising", 2, &["adcolony.com"], &[]),
+    (
+        "LaunchDarkly",
+        "experimentation",
+        0,
+        &["launchdarkly.com"],
+        &[],
+    ),
+    (
+        "AppLovin",
+        "advertising",
+        2,
+        &["applovin.com", "applvn.com"],
+        &[],
+    ),
+    (
+        "Unity Technologies",
+        "advertising",
+        2,
+        &["unity3d.com", "unityads.unity3d.com"],
+        &[],
+    ),
+    (
+        "ironSource",
+        "advertising",
+        2,
+        &["ironsrc.mobi", "supersonicads.com"],
+        &[],
+    ),
+    (
+        "Digital Turbine (AdColony)",
+        "advertising",
+        2,
+        &["adcolony.com"],
+        &[],
+    ),
     ("Vungle", "advertising", 2, &["vungle.com"], &[]),
     ("Chartboost", "advertising", 2, &["chartboost.com"], &[]),
     ("Tapjoy", "advertising", 2, &["tapjoy.com"], &[]),
@@ -137,37 +351,136 @@ const ORGS: &[OrgSpec] = &[
     ("Liftoff", "advertising", 2, &["liftoff.io"], &[]),
     ("Moloco", "advertising", 2, &["moloco.com"], &[]),
     ("BidMachine", "advertising", 2, &["bidmachine.io"], &[]),
-    ("Mintegral", "advertising", 2, &["mintegral.com", "rayjump.com"], &[]),
+    (
+        "Mintegral",
+        "advertising",
+        2,
+        &["mintegral.com", "rayjump.com"],
+        &[],
+    ),
     ("InMobi", "advertising", 2, &["inmobi.com"], &[]),
     ("Smaato", "advertising", 2, &["smaato.net"], &[]),
     ("MoPub (Twitter)", "advertising", 2, &["mopub.com"], &[]),
     ("Teads", "advertising", 2, &["teads.tv"], &[]),
     ("Media.net", "advertising", 2, &["media.net"], &[]),
     ("GumGum", "advertising", 2, &["gumgum.com"], &[]),
-    ("Sovrn Holdings", "advertising", 2, &["lijit.com", "sovrn.com"], &[]),
+    (
+        "Sovrn Holdings",
+        "advertising",
+        2,
+        &["lijit.com", "sovrn.com"],
+        &[],
+    ),
     ("33Across", "advertising", 2, &["33across.com"], &[]),
     ("Sharethrough", "advertising", 2, &["sharethrough.com"], &[]),
     ("TripleLift", "advertising", 2, &["triplelift.com"], &[]),
-    ("Smart AdServer", "advertising", 2, &["smartadserver.com"], &[]),
-    ("Improve Digital", "advertising", 2, &["improvedigital.com"], &[]),
+    (
+        "Smart AdServer",
+        "advertising",
+        2,
+        &["smartadserver.com"],
+        &[],
+    ),
+    (
+        "Improve Digital",
+        "advertising",
+        2,
+        &["improvedigital.com"],
+        &[],
+    ),
     ("Adform", "advertising", 2, &["adform.net"], &[]),
-    ("BidSwitch (IPONWEB)", "advertising", 2, &["bidswitch.net"], &[]),
+    (
+        "BidSwitch (IPONWEB)",
+        "advertising",
+        2,
+        &["bidswitch.net"],
+        &[],
+    ),
     ("PulsePoint", "advertising", 2, &["contextweb.com"], &[]),
     ("Sonobi", "advertising", 2, &["sonobi.com"], &[]),
-    ("FreeWheel (Comcast)", "advertising", 2,
-     &["freewheel.tv", "stickyadstv.com", "spotxchange.com", "spotx.tv"], &[]),
-    ("Cloudflare, Inc.", "cdn", 0, &["cloudflare.com", "cdnjs.com"], &[]),
-    ("Akamai Technologies", "cdn", 0,
-     &["akamai.net", "akamaized.net", "akamaihd.net", "akstat.io"], &[]),
-    ("Fastly, Inc.", "cdn", 0, &["fastly.net", "fastlylb.net"], &[]),
-    ("Vimeo, Inc.", "media", 0, &["vimeo.com", "vimeocdn.com"], &[]),
-    ("Snap Inc.", "advertising", 2, &["snapchat.com", "sc-static.net"], &[]),
-    ("Twitter, Inc.", "advertising", 2, &["twitter.com", "twimg.com", "ads-twitter.com"], &[]),
-    ("Pinterest", "advertising", 2, &["pinterest.com", "pinimg.com"], &[]),
-    ("Chartbeat", "analytics", 1, &["chartbeat.com", "chartbeat.net"], &[]),
-    ("Yandex", "advertising", 2, &["yandex.net", "yandex.ru"], &[]),
+    (
+        "FreeWheel (Comcast)",
+        "advertising",
+        2,
+        &[
+            "freewheel.tv",
+            "stickyadstv.com",
+            "spotxchange.com",
+            "spotx.tv",
+        ],
+        &[],
+    ),
+    (
+        "Cloudflare, Inc.",
+        "cdn",
+        0,
+        &["cloudflare.com", "cdnjs.com"],
+        &[],
+    ),
+    (
+        "Akamai Technologies",
+        "cdn",
+        0,
+        &["akamai.net", "akamaized.net", "akamaihd.net", "akstat.io"],
+        &[],
+    ),
+    (
+        "Fastly, Inc.",
+        "cdn",
+        0,
+        &["fastly.net", "fastlylb.net"],
+        &[],
+    ),
+    (
+        "Vimeo, Inc.",
+        "media",
+        0,
+        &["vimeo.com", "vimeocdn.com"],
+        &[],
+    ),
+    (
+        "Snap Inc.",
+        "advertising",
+        2,
+        &["snapchat.com", "sc-static.net"],
+        &[],
+    ),
+    (
+        "Twitter, Inc.",
+        "advertising",
+        2,
+        &["twitter.com", "twimg.com", "ads-twitter.com"],
+        &[],
+    ),
+    (
+        "Pinterest",
+        "advertising",
+        2,
+        &["pinterest.com", "pinimg.com"],
+        &[],
+    ),
+    (
+        "Chartbeat",
+        "analytics",
+        1,
+        &["chartbeat.com", "chartbeat.net"],
+        &[],
+    ),
+    (
+        "Yandex",
+        "advertising",
+        2,
+        &["yandex.net", "yandex.ru"],
+        &[],
+    ),
     ("StartApp", "advertising", 2, &["startappservice.com"], &[]),
-    ("Automattic (WordPress)", "cdn", 0, &["wp.com", "wordpress.com"], &[]),
+    (
+        "Automattic (WordPress)",
+        "cdn",
+        0,
+        &["wp.com", "wordpress.com"],
+        &[],
+    ),
     ("MGID", "advertising", 2, &["mgid.com"], &[]),
     ("Nativo", "advertising", 2, &["nativo.com"], &[]),
     ("RevContent", "advertising", 2, &["revcontent.com"], &[]),
@@ -241,7 +554,10 @@ mod tests {
         let db = EntityDb::embedded();
         assert_eq!(db.owner_name("doubleclick.net"), Some("Google LLC"));
         assert_eq!(db.owner_name("youtube.com"), Some("Google LLC"));
-        assert_eq!(db.owner_name("minecraft.net"), Some("Microsoft Corporation"));
+        assert_eq!(
+            db.owner_name("minecraft.net"),
+            Some("Microsoft Corporation")
+        );
         assert_eq!(db.owner_name("cloudfront.net"), Some("Amazon.com, Inc."));
         assert_eq!(db.owner_name("tiktokcdn.com"), Some("ByteDance Ltd."));
         assert_eq!(db.owner_name("unknown-domain.xyz"), None);
@@ -268,7 +584,11 @@ mod tests {
     #[test]
     fn database_scale() {
         let db = EntityDb::embedded();
-        assert!(db.organizations().len() >= 80, "orgs={}", db.organizations().len());
+        assert!(
+            db.organizations().len() >= 80,
+            "orgs={}",
+            db.organizations().len()
+        );
         assert!(db.domain_count() >= 200, "domains={}", db.domain_count());
     }
 
@@ -280,13 +600,22 @@ mod tests {
         for (_, _, _, radar, whois) in ORGS {
             count += radar.len() + whois.len();
         }
-        assert_eq!(count, EntityDb::embedded().domain_count(), "duplicate eSLD in ORGS");
+        assert_eq!(
+            count,
+            EntityDb::embedded().domain_count(),
+            "duplicate eSLD in ORGS"
+        );
     }
 
     #[test]
     fn fingerprinting_scores_in_range() {
         for org in EntityDb::embedded().organizations() {
-            assert!(org.fingerprinting <= 3, "{} score {}", org.name, org.fingerprinting);
+            assert!(
+                org.fingerprinting <= 3,
+                "{} score {}",
+                org.name,
+                org.fingerprinting
+            );
         }
     }
 }

@@ -71,7 +71,10 @@ impl BlockList {
                 continue;
             };
             // Hosts files commonly include localhost entries; skip them.
-            if matches!(candidate, "localhost" | "localhost.localdomain" | "broadcasthost") {
+            if matches!(
+                candidate,
+                "localhost" | "localhost.localdomain" | "broadcasthost"
+            ) {
                 continue;
             }
             match DomainName::parse(candidate) {
@@ -141,7 +144,11 @@ mod tests {
         let text = "! adblock comment\n||pubmatic.com^\n||ads.t.co^\nnot-an-anchor.com\n";
         let list = BlockList::parse("ab", ListFormat::Adblock, text);
         assert_eq!(list.len(), 2);
-        assert_eq!(list.rejected.len(), 1, "plain line rejected in adblock mode");
+        assert_eq!(
+            list.rejected.len(),
+            1,
+            "plain line rejected in adblock mode"
+        );
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl DomainMatcher {
             }
         }
         hits.sort_unstable();
-        hits.into_iter().map(|i| self.list_names[i].as_str()).collect()
+        hits.into_iter()
+            .map(|i| self.list_names[i].as_str())
+            .collect()
     }
 
     /// Total distinct (entry, list) pairs compiled.
@@ -172,7 +174,10 @@ mod tests {
     #[test]
     fn non_matches() {
         let m = sample_matcher();
-        assert!(!m.is_blocked(&d("example.com")), "parent of an entry is not blocked");
+        assert!(
+            !m.is_blocked(&d("example.com")),
+            "parent of an entry is not blocked"
+        );
         assert!(!m.is_blocked(&d("notdoubleclick.net")));
         assert!(!m.is_blocked(&d("safe.org")));
     }
@@ -209,7 +214,11 @@ mod tests {
 
     #[test]
     fn matches_naive_reference() {
-        let entries_a = [d("doubleclick.net"), d("ads.example.com"), d("metrics.roblox.com")];
+        let entries_a = [
+            d("doubleclick.net"),
+            d("ads.example.com"),
+            d("metrics.roblox.com"),
+        ];
         let entries_b = [d("tracker.io"), d("example.com")];
         let mut fast = DomainMatcher::new();
         let mut naive = NaiveMatcher::new();

@@ -156,11 +156,26 @@ mod tests {
     #[test]
     fn roblox_destinations() {
         let c = PartyClassifier::new(&["roblox.com", "rbxcdn.com"]);
-        assert_eq!(c.classify(&d("www.roblox.com")), DestinationClass::FirstParty);
-        assert_eq!(c.classify(&d("metrics.roblox.com")), DestinationClass::FirstPartyAts);
-        assert_eq!(c.classify(&d("c0.rbxcdn.com")), DestinationClass::FirstParty);
-        assert_eq!(c.classify(&d("d1.cloudfront.net")), DestinationClass::ThirdParty);
-        assert_eq!(c.classify(&d("stats.g.doubleclick.net")), DestinationClass::ThirdPartyAts);
+        assert_eq!(
+            c.classify(&d("www.roblox.com")),
+            DestinationClass::FirstParty
+        );
+        assert_eq!(
+            c.classify(&d("metrics.roblox.com")),
+            DestinationClass::FirstPartyAts
+        );
+        assert_eq!(
+            c.classify(&d("c0.rbxcdn.com")),
+            DestinationClass::FirstParty
+        );
+        assert_eq!(
+            c.classify(&d("d1.cloudfront.net")),
+            DestinationClass::ThirdParty
+        );
+        assert_eq!(
+            c.classify(&d("stats.g.doubleclick.net")),
+            DestinationClass::ThirdPartyAts
+        );
     }
 
     #[test]
@@ -168,12 +183,18 @@ mod tests {
         // clarity.ms is Microsoft-owned: first-party (ATS) for Minecraft.
         let c = PartyClassifier::new(&["minecraft.net"]);
         assert_eq!(c.service_org(), Some("Microsoft Corporation"));
-        assert_eq!(c.classify(&d("www.clarity.ms")), DestinationClass::FirstPartyAts);
+        assert_eq!(
+            c.classify(&d("www.clarity.ms")),
+            DestinationClass::FirstPartyAts
+        );
         assert_eq!(
             c.classify(&d("browser.events.data.microsoft.com")),
             DestinationClass::FirstPartyAts
         );
-        assert_eq!(c.classify(&d("login.live.com")), DestinationClass::FirstParty);
+        assert_eq!(
+            c.classify(&d("login.live.com")),
+            DestinationClass::FirstParty
+        );
     }
 
     #[test]
@@ -195,10 +216,8 @@ mod tests {
 
     #[test]
     fn unknown_service_org_falls_back_to_domain_matching() {
-        let c = PartyClassifier::with_matcher(
-            &["tiny-indie-service.example"],
-            ats::embedded_matcher(),
-        );
+        let c =
+            PartyClassifier::with_matcher(&["tiny-indie-service.example"], ats::embedded_matcher());
         assert_eq!(c.service_org(), None);
         assert_eq!(
             c.classify(&d("api.tiny-indie-service.example")),
@@ -213,8 +232,14 @@ mod tests {
     #[test]
     fn owner_lookup() {
         let c = PartyClassifier::new(&["duolingo.com"]);
-        assert_eq!(c.owner_of(&d("stats.g.doubleclick.net")), Some("Google LLC"));
-        assert_eq!(c.owner_of(&d("excess.duolingo.com")), Some("Duolingo, Inc."));
+        assert_eq!(
+            c.owner_of(&d("stats.g.doubleclick.net")),
+            Some("Google LLC")
+        );
+        assert_eq!(
+            c.owner_of(&d("excess.duolingo.com")),
+            Some("Duolingo, Inc.")
+        );
         assert_eq!(c.owner_of(&d("mystery.example")), None);
     }
 

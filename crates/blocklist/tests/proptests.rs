@@ -1,3 +1,8 @@
+// Property-based suites need the external `proptest` crate, which the
+// offline default build cannot fetch. The whole file is compiled out unless
+// the crate's `fuzz` feature is enabled (with a vendored proptest).
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests: the trie matcher must agree with the naive
 //! reference on arbitrary list/probe combinations, and destination
 //! classification must be total and consistent.

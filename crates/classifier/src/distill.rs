@@ -64,7 +64,9 @@ impl DistilledModel {
         let mut sums: HashMap<DataTypeCategory, (SparseVec, usize)> = HashMap::new();
         for ((_, category), phrase) in confident.iter().zip(&phrases) {
             let vec = tfidf.transform(phrase);
-            let entry = sums.entry(*category).or_insert_with(|| (SparseVec::new(), 0));
+            let entry = sums
+                .entry(*category)
+                .or_insert_with(|| (SparseVec::new(), 0));
             for (k, v) in vec {
                 *entry.0.entry(k).or_insert(0.0) += v;
             }
@@ -123,13 +125,41 @@ mod tests {
     /// Build a labeled corpus: clear keys across several categories.
     fn corpus() -> Vec<&'static str> {
         vec![
-            "email_address", "user_email", "contact_email", "emailAddr", "tel_number",
-            "device_id", "deviceId", "hardware_device_id", "dev_serial", "mac_addr",
-            "advertising_id", "idfa", "gaid", "ad_identifier", "tracking_cookie",
-            "latitude", "longitude", "gps_lat", "coord_lon", "street_address",
-            "password", "auth_token", "login_secret", "session_token", "credentials",
-            "user_age", "birth_date", "dob", "birth_year", "age_group",
-            "watch_time", "play_duration", "session_event", "video_action", "scroll_event",
+            "email_address",
+            "user_email",
+            "contact_email",
+            "emailAddr",
+            "tel_number",
+            "device_id",
+            "deviceId",
+            "hardware_device_id",
+            "dev_serial",
+            "mac_addr",
+            "advertising_id",
+            "idfa",
+            "gaid",
+            "ad_identifier",
+            "tracking_cookie",
+            "latitude",
+            "longitude",
+            "gps_lat",
+            "coord_lon",
+            "street_address",
+            "password",
+            "auth_token",
+            "login_secret",
+            "session_token",
+            "credentials",
+            "user_age",
+            "birth_date",
+            "dob",
+            "birth_year",
+            "age_group",
+            "watch_time",
+            "play_duration",
+            "session_event",
+            "video_action",
+            "scroll_event",
         ]
     }
 

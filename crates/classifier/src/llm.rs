@@ -216,7 +216,9 @@ impl LlmClassifier {
         let mut out = String::new();
         for input in inputs {
             let (label, confidence, explanation) = self.answer(input);
-            out.push_str(&format!("{input} // {label} // {confidence:.2} // {explanation}\n"));
+            out.push_str(&format!(
+                "{input} // {label} // {confidence:.2} // {explanation}\n"
+            ));
         }
         out
     }
@@ -250,8 +252,7 @@ impl LlmClassifier {
         };
 
         // Confidence model: driven by match strength and separation.
-        let mut confidence =
-            (0.30 + 0.58 * base_score + 0.22 * margin.min(0.5)).clamp(0.05, 0.99);
+        let mut confidence = (0.30 + 0.58 * base_score + 0.22 * margin.min(0.5)).clamp(0.05, 0.99);
 
         // World-knowledge gaps: on a small, temperature-independent fraction
         // of inputs the model is *confidently wrong* — it picks a plausible
@@ -259,8 +260,7 @@ impl LlmClassifier {
         // well-calibrated (the paper's Table 3 shows accuracy at the 0.7
         // threshold only a few points above overall accuracy), and this is
         // the mechanism that reproduces that miscalibration.
-        let gap_roll = fnv1a64(&[input.as_bytes(), b"::gap"].concat()) as f64
-            / u64::MAX as f64;
+        let gap_roll = fnv1a64(&[input.as_bytes(), b"::gap"].concat()) as f64 / u64::MAX as f64;
         if gap_roll < 0.085 && scored.len() > 1 && base_score < 0.97 {
             // (exact vocabulary matches are immune — even a miscalibrated
             // model does not misread "email address")
@@ -269,8 +269,7 @@ impl LlmClassifier {
         // Overconfident guessing: some opaque inputs nonetheless draw a
         // fluent, high-confidence answer.
         if base_score < 0.35 {
-            let oc_roll = fnv1a64(&[input.as_bytes(), b"::oc"].concat()) as f64
-                / u64::MAX as f64;
+            let oc_roll = fnv1a64(&[input.as_bytes(), b"::oc"].concat()) as f64 / u64::MAX as f64;
             if oc_roll < 0.45 {
                 confidence = (0.68 + 0.3 * oc_roll).min(0.95);
             }
@@ -299,11 +298,7 @@ impl LlmClassifier {
         let label_text = if t > 1.0 && rng.chance((t - 1.0).min(1.0) * 0.8) {
             let adjectives = ["Quantum", "Holistic", "Meta", "Hyper", "Latent"];
             let nouns = ["Signals", "Essence", "Vibes", "Artifacts", "Residue"];
-            format!(
-                "{} {}",
-                rng.choose(&adjectives),
-                rng.choose(&nouns)
-            )
+            format!("{} {}", rng.choose(&adjectives), rng.choose(&nouns))
         } else {
             category.label().to_string()
         };
@@ -351,7 +346,11 @@ pub fn parse_response(response: &str, inputs: &[&str]) -> Vec<Classification> {
         let confidence: f64 = parts[2].trim().parse().unwrap_or(0.0);
         by_input.insert(
             input,
-            (category, confidence.clamp(0.0, 1.0), parts[3].trim().to_string()),
+            (
+                category,
+                confidence.clamp(0.0, 1.0),
+                parts[3].trim().to_string(),
+            ),
         );
     }
     inputs
@@ -389,7 +388,10 @@ mod tests {
         let m = model(0.0);
         let cases = [
             ("email_address", DataTypeCategory::ContactInfo),
-            ("advertising_id", DataTypeCategory::DeviceSoftwareIdentifiers),
+            (
+                "advertising_id",
+                DataTypeCategory::DeviceSoftwareIdentifiers,
+            ),
             ("idfa", DataTypeCategory::DeviceSoftwareIdentifiers),
             ("latitude", DataTypeCategory::PreciseGeolocation),
             ("password", DataTypeCategory::LoginInfo),
@@ -418,7 +420,11 @@ mod tests {
     fn cryptic_keys_get_low_confidence() {
         let m = model(0.0);
         let r = &m.classify_batch(&["zq9_blk"])[0];
-        assert!(r.confidence < 0.5, "cryptic key confidence {}", r.confidence);
+        assert!(
+            r.confidence < 0.5,
+            "cryptic key confidence {}",
+            r.confidence
+        );
     }
 
     #[test]
@@ -465,7 +471,10 @@ mod tests {
         };
         let d025 = count_diff(0.25);
         let d100 = count_diff(1.0);
-        assert!(d100 > d025, "flips at t=1.0 ({d100}) should exceed t=0.25 ({d025})");
+        assert!(
+            d100 > d025,
+            "flips at t=1.0 ({d100}) should exceed t=0.25 ({d025})"
+        );
     }
 
     #[test]

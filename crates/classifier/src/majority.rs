@@ -100,10 +100,9 @@ impl MajorityEnsemble {
             .into_iter()
             .map(|(category, confidences)| {
                 let aggregated = match self.aggregation {
-                    ConfidenceAggregation::Max => confidences
-                        .iter()
-                        .copied()
-                        .fold(f64::MIN, f64::max),
+                    ConfidenceAggregation::Max => {
+                        confidences.iter().copied().fold(f64::MIN, f64::max)
+                    }
                     ConfidenceAggregation::Average => {
                         confidences.iter().sum::<f64>() / confidences.len() as f64
                     }
@@ -121,10 +120,7 @@ impl MajorityEnsemble {
             input: input.to_string(),
             category: Some(category),
             confidence,
-            explanation: format!(
-                "majority vote: {vote_count}/{} members",
-                votes.len()
-            ),
+            explanation: format!("majority vote: {vote_count}/{} members", votes.len()),
         }
     }
 }

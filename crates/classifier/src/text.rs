@@ -252,7 +252,10 @@ mod tests {
     #[test]
     fn splits_camel_case() {
         assert_eq!(toks("deviceId"), ["device", "id"]);
-        assert_eq!(toks("IsOptOutEmailShown"), ["is", "opt", "out", "email", "shown"]);
+        assert_eq!(
+            toks("IsOptOutEmailShown"),
+            ["is", "opt", "out", "email", "shown"]
+        );
         assert_eq!(toks("HTTPRequest"), ["http", "request"]);
         assert_eq!(toks("parseJSONBody"), ["parse", "json", "body"]);
     }

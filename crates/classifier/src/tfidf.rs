@@ -120,10 +120,16 @@ mod tests {
     use super::*;
 
     fn corpus() -> Vec<String> {
-        ["email address", "device id", "advertising identifier", "latitude", "session token"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "email address",
+            "device id",
+            "advertising identifier",
+            "latitude",
+            "session token",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     }
 
     #[test]

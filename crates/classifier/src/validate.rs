@@ -257,7 +257,10 @@ mod tests {
         ];
         let m = ConfusionMatrix::build(&cls, &truth);
         assert_eq!(m.get(DataTypeCategory::Age, Some(DataTypeCategory::Age)), 1);
-        assert_eq!(m.get(DataTypeCategory::Age, Some(DataTypeCategory::Name)), 1);
+        assert_eq!(
+            m.get(DataTypeCategory::Age, Some(DataTypeCategory::Name)),
+            1
+        );
         assert_eq!(m.get(DataTypeCategory::Name, None), 1);
         let top = m.top_confusions(5);
         assert_eq!(top.len(), 1);

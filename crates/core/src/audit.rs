@@ -58,9 +58,13 @@ impl AuditRule {
     /// Statutory citation backing the rule.
     pub fn citation(&self) -> &'static str {
         match self {
-            AuditRule::PreConsentCollection => "16 C.F.R. § 312.5(a)(1); Cal. Civ. Code § 1798.120(c)",
+            AuditRule::PreConsentCollection => {
+                "16 C.F.R. § 312.5(a)(1); Cal. Civ. Code § 1798.120(c)"
+            }
             AuditRule::PreConsentThirdPartySharing => "Cal. Civ. Code § 1798.120(c)",
-            AuditRule::PreConsentAtsSharing => "16 C.F.R. § 312.5(a)(2); Cal. Civ. Code § 1798.120(c)",
+            AuditRule::PreConsentAtsSharing => {
+                "16 C.F.R. § 312.5(a)(2); Cal. Civ. Code § 1798.120(c)"
+            }
             AuditRule::MinorAtsSharing => "16 C.F.R. § 312.5; Cal. Civ. Code § 1798.120(c)-(d)",
             AuditRule::UndisclosedFlow => "16 C.F.R. § 312.4(a); Cal. Civ. Code § 1798.130(a)(5)",
             AuditRule::NoAgeDifferentiation => "Cal. Civ. Code § 1798.120(c)-(d)",
@@ -324,23 +328,27 @@ mod tests {
     fn tiktok_minor_findings() {
         let findings = audit("tiktok");
         assert!(
-            findings.iter().any(|f| f.rule == AuditRule::PreConsentCollection),
+            findings
+                .iter()
+                .any(|f| f.rule == AuditRule::PreConsentCollection),
             "pre-consent collection expected"
-        );
-        assert!(
-            findings.iter().any(|f| f.rule == AuditRule::PreConsentAtsSharing),
-            "pre-consent ATS sharing expected"
         );
         assert!(
             findings
                 .iter()
-                .any(|f| f.rule == AuditRule::MinorAtsSharing
-                    && f.trace == TraceCategory::Child
-                    && f.severity == Severity::Violation),
+                .any(|f| f.rule == AuditRule::PreConsentAtsSharing),
+            "pre-consent ATS sharing expected"
+        );
+        assert!(
+            findings.iter().any(|f| f.rule == AuditRule::MinorAtsSharing
+                && f.trace == TraceCategory::Child
+                && f.severity == Severity::Violation),
             "child ATS sharing violation expected"
         );
         assert!(
-            findings.iter().any(|f| f.rule == AuditRule::NoAgeDifferentiation),
+            findings
+                .iter()
+                .any(|f| f.rule == AuditRule::NoAgeDifferentiation),
             "age-similarity notice expected"
         );
     }
@@ -350,7 +358,9 @@ mod tests {
         let findings = audit("youtube");
         // YouTube collects logged-out (R1 fires) but shares nothing with
         // third parties and its policy discloses its first-party flows.
-        assert!(findings.iter().any(|f| f.rule == AuditRule::PreConsentCollection));
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == AuditRule::PreConsentCollection));
         for rule in [
             AuditRule::PreConsentAtsSharing,
             AuditRule::PreConsentThirdPartySharing,
@@ -361,7 +371,10 @@ mod tests {
             assert!(
                 !findings.iter().any(|f| f.rule == rule),
                 "YouTube should not trigger {rule:?}: {:#?}",
-                findings.iter().map(AuditFinding::render).collect::<Vec<_>>()
+                findings
+                    .iter()
+                    .map(AuditFinding::render)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -372,10 +385,14 @@ mod tests {
         // child trace shares with third-party ATS: R5 must fire for child.
         let findings = audit("duolingo");
         assert!(
-            findings.iter().any(|f| f.rule == AuditRule::UndisclosedFlow
-                && f.trace == TraceCategory::Child),
+            findings
+                .iter()
+                .any(|f| f.rule == AuditRule::UndisclosedFlow && f.trace == TraceCategory::Child),
             "undisclosed child flows expected: {:#?}",
-            findings.iter().map(AuditFinding::render).collect::<Vec<_>>()
+            findings
+                .iter()
+                .map(AuditFinding::render)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -239,7 +239,10 @@ fn cmd_classify(args: &[String]) -> ExitCode {
                 result.confidence,
                 result.explanation
             ),
-            None => println!("{} // (unlabeled) // 0.00 // {}", result.input, result.explanation),
+            None => println!(
+                "{} // (unlabeled) // 0.00 // {}",
+                result.input, result.explanation
+            ),
         }
     }
     ExitCode::SUCCESS
@@ -262,7 +265,11 @@ fn cmd_ontology() -> ExitCode {
                         .with(
                             "examples",
                             Json::Arr(
-                                category.vocabulary().iter().map(|t| Json::str(*t)).collect(),
+                                category
+                                    .vocabulary()
+                                    .iter()
+                                    .map(|t| Json::str(*t))
+                                    .collect(),
                             ),
                         )
                         .with("legalBasis", Json::str(category.legal_basis().label()))

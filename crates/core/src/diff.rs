@@ -4,9 +4,7 @@
 use crate::pipeline::ObservedService;
 use diffaudit_blocklist::DestinationClass;
 use diffaudit_ontology::Level2;
-use diffaudit_services::{
-    CellPresence, FlowAction, Platform, ServiceSpec, TraceCategory,
-};
+use diffaudit_services::{CellPresence, FlowAction, Platform, ServiceSpec, TraceCategory};
 use std::collections::BTreeSet;
 
 /// One grid cell address: `(trace category, data group, flow action)`.
@@ -86,13 +84,18 @@ impl ObservedGrid {
     pub fn compare_exact(
         &self,
         spec: &ServiceSpec,
-    ) -> Vec<(TraceCategory, Level2, FlowAction, CellPresence, CellPresence)> {
+    ) -> Vec<(
+        TraceCategory,
+        Level2,
+        FlowAction,
+        CellPresence,
+        CellPresence,
+    )> {
         self.cells
             .iter()
             .filter_map(|&(category, group, action, observed)| {
                 let expected = spec.expected_presence(category, group, action);
-                (expected != observed)
-                    .then_some((category, group, action, expected, observed))
+                (expected != observed).then_some((category, group, action, expected, observed))
             })
             .collect()
     }
@@ -115,11 +118,7 @@ fn merged_web_cells(
 /// Jaccard similarity between the Table 4 cell sets of two trace categories
 /// — the paper's "no service exhibited significantly different data
 /// processing treatment" metric, made explicit.
-pub fn age_similarity(
-    service: &ObservedService,
-    a: TraceCategory,
-    b: TraceCategory,
-) -> f64 {
+pub fn age_similarity(service: &ObservedService, a: TraceCategory, b: TraceCategory) -> f64 {
     let sa = service.flows(a).group_class_set();
     let sb = service.flows(b).group_class_set();
     if sa.is_empty() && sb.is_empty() {

@@ -103,8 +103,14 @@ pub fn summary_to_json(summary: &DatasetSummary) -> Json {
         .with("totalEslds", Json::int(summary.total_eslds as i64))
         .with("totalPackets", Json::int(summary.total_packets as i64))
         .with("totalTcpFlows", Json::int(summary.total_tcp_flows as i64))
-        .with("uniqueDataTypes", Json::int(summary.unique_data_types as i64))
-        .with("uniqueDataFlows", Json::int(summary.unique_data_flows as i64))
+        .with(
+            "uniqueDataTypes",
+            Json::int(summary.unique_data_types as i64),
+        )
+        .with(
+            "uniqueDataFlows",
+            Json::int(summary.unique_data_flows as i64),
+        )
 }
 
 /// Full outcome export: one JSON document for the whole audit.
@@ -220,11 +226,18 @@ mod tests {
             back.pointer("/services/0/slug").and_then(Json::as_str),
             Some("tiktok")
         );
-        assert!(back
-            .pointer("/services/0/traces/Child/flowCount")
-            .and_then(Json::as_i64)
-            .unwrap() > 0);
-        assert!(!back.pointer("/findings").unwrap().as_arr().unwrap().is_empty());
+        assert!(
+            back.pointer("/services/0/traces/Child/flowCount")
+                .and_then(Json::as_i64)
+                .unwrap()
+                > 0
+        );
+        assert!(!back
+            .pointer("/findings")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -134,10 +134,8 @@ mod tests {
         let mut req = HttpRequest::get(url("https://t.example.com/p?uid=7&lang=en"));
         req.headers.push("Cookie", "sid=xyz; ads_opt=1");
         let entries = extract_request(&req);
-        let keys: Vec<(&str, RawSource)> = entries
-            .iter()
-            .map(|e| (e.key.as_str(), e.source))
-            .collect();
+        let keys: Vec<(&str, RawSource)> =
+            entries.iter().map(|e| (e.key.as_str(), e.source)).collect();
         assert_eq!(
             keys,
             vec![

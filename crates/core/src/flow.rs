@@ -111,24 +111,41 @@ mod tests {
     #[test]
     fn dedup_and_queries() {
         let mut t = FlowTable4::new();
-        t.insert(flow(DataTypeCategory::DeviceInfo, "doubleclick.net", DestinationClass::ThirdPartyAts));
-        t.insert(flow(DataTypeCategory::DeviceInfo, "doubleclick.net", DestinationClass::ThirdPartyAts));
-        t.insert(flow(DataTypeCategory::Age, "roblox.com", DestinationClass::FirstParty));
+        t.insert(flow(
+            DataTypeCategory::DeviceInfo,
+            "doubleclick.net",
+            DestinationClass::ThirdPartyAts,
+        ));
+        t.insert(flow(
+            DataTypeCategory::DeviceInfo,
+            "doubleclick.net",
+            DestinationClass::ThirdPartyAts,
+        ));
+        t.insert(flow(
+            DataTypeCategory::Age,
+            "roblox.com",
+            DestinationClass::FirstParty,
+        ));
         assert_eq!(t.len(), 2);
         assert!(t.has_group_class(Level2::DeviceIdentifiers, DestinationClass::ThirdPartyAts));
         assert!(!t.has_group_class(Level2::DeviceIdentifiers, DestinationClass::FirstParty));
         assert_eq!(t.third_party_eslds().len(), 1);
-        assert_eq!(
-            t.categories_to_esld("doubleclick.net").len(),
-            1
-        );
+        assert_eq!(t.categories_to_esld("doubleclick.net").len(), 1);
     }
 
     #[test]
     fn group_class_set_is_cells() {
         let mut t = FlowTable4::new();
-        t.insert(flow(DataTypeCategory::Name, "a.com", DestinationClass::ThirdParty));
-        t.insert(flow(DataTypeCategory::ContactInfo, "b.com", DestinationClass::ThirdParty));
+        t.insert(flow(
+            DataTypeCategory::Name,
+            "a.com",
+            DestinationClass::ThirdParty,
+        ));
+        t.insert(flow(
+            DataTypeCategory::ContactInfo,
+            "b.com",
+            DestinationClass::ThirdParty,
+        ));
         let cells = t.group_class_set();
         assert_eq!(cells.len(), 1, "two PI flows collapse to one cell");
     }

@@ -35,10 +35,7 @@ impl LinkableParty {
 }
 
 /// Third parties receiving data in one (service, trace) pair, keyed by eSLD.
-pub fn third_parties(
-    service: &ObservedService,
-    category: TraceCategory,
-) -> Vec<LinkableParty> {
+pub fn third_parties(service: &ObservedService, category: TraceCategory) -> Vec<LinkableParty> {
     let mut map: BTreeMap<String, LinkableParty> = BTreeMap::new();
     for unit in service.units.iter().filter(|u| u.category == category) {
         for ex in &unit.exchanges {
@@ -62,10 +59,7 @@ pub fn third_parties(
 
 /// Figure 3: the number of third parties (ATS and non-ATS) sent linkable
 /// data in one (service, trace) pair.
-pub fn linkable_third_party_count(
-    service: &ObservedService,
-    category: TraceCategory,
-) -> usize {
+pub fn linkable_third_party_count(service: &ObservedService, category: TraceCategory) -> usize {
     third_parties(service, category)
         .iter()
         .filter(|p| p.is_linkable())

@@ -108,8 +108,7 @@ pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
     let manifest_path = dir.join("manifest.json");
     let manifest_text = std::fs::read_to_string(&manifest_path)
         .map_err(|e| LoadError::Io(manifest_path.clone(), e))?;
-    let manifest =
-        parse(&manifest_text).map_err(|e| LoadError::ManifestJson(e.to_string()))?;
+    let manifest = parse(&manifest_text).map_err(|e| LoadError::ManifestJson(e.to_string()))?;
 
     let service = manifest
         .get("service")
@@ -276,7 +275,10 @@ mod tests {
     use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("diffaudit-loader-test-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!(
+            "diffaudit-loader-test-{tag}-{}",
+            std::process::id()
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -302,8 +304,8 @@ mod tests {
             .run_inputs(vec![input]);
 
         // The from-disk audit must agree with the in-memory audit.
-        let reference = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()))
-            .run(&dataset);
+        let reference =
+            Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
         let from_disk = ObservedGrid::build(&outcome.services[0]);
         let in_memory = ObservedGrid::build(&reference.services[0]);
         assert_eq!(from_disk.cells(), in_memory.cells());

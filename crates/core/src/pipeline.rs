@@ -13,9 +13,7 @@ use diffaudit_blocklist::DestinationClass;
 use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
 use diffaudit_nettrace::{decode_pcap, har_to_exchanges, Exchange, KeyLog};
 use diffaudit_ontology::DataTypeCategory;
-use diffaudit_services::{
-    GeneratedDataset, Platform, ServiceCapture, TraceCategory, TraceKind,
-};
+use diffaudit_services::{GeneratedDataset, Platform, ServiceCapture, TraceCategory, TraceKind};
 use std::collections::{BTreeSet, HashMap};
 
 /// How raw data types are mapped to ontology categories.
@@ -207,8 +205,7 @@ impl Pipeline {
         let mut decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = Vec::new();
         let mut unique_keys: BTreeSet<String> = BTreeSet::new();
         for input in inputs {
-            let units: Vec<DecodedUnit> =
-                input.units.into_iter().map(extract_unit).collect();
+            let units: Vec<DecodedUnit> = input.units.into_iter().map(extract_unit).collect();
             for unit in &units {
                 for (_, keys) in &unit.requests {
                     unique_keys.extend(keys.iter().cloned());
@@ -347,16 +344,9 @@ fn decode_capture(capture: &ServiceCapture) -> Vec<DecodedUnit> {
                 }
                 Platform::Mobile => {
                     let keylog = KeyLog::parse(artifact.keylog.as_deref().unwrap_or(""));
-                    let trace = decode_pcap(
-                        artifact.pcap.as_deref().unwrap_or(&[]),
-                        &keylog,
-                    )
-                    .expect("generated pcap decodes");
-                    let opaque = trace
-                        .opaque
-                        .iter()
-                        .filter_map(|o| o.sni.clone())
-                        .collect();
+                    let trace = decode_pcap(artifact.pcap.as_deref().unwrap_or(&[]), &keylog)
+                        .expect("generated pcap decodes");
+                    let opaque = trace.opaque.iter().filter_map(|o| o.sni.clone()).collect();
                     (
                         trace.exchanges,
                         opaque,
@@ -497,11 +487,7 @@ mod tests {
         let dataset = tiny_dataset();
         let pipeline = Pipeline::paper_default(3);
         let outcome = pipeline.run(&dataset);
-        let labeled = outcome
-            .key_labels
-            .values()
-            .filter(|v| v.is_some())
-            .count();
+        let labeled = outcome.key_labels.values().filter(|v| v.is_some()).count();
         let frac = labeled as f64 / outcome.key_labels.len() as f64;
         assert!(
             (0.3..1.0).contains(&frac),

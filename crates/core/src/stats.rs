@@ -64,8 +64,7 @@ fn summarize_service(service: &ObservedService) -> ServiceSummary {
 
 /// Build the Table 1 summary from a pipeline outcome.
 pub fn summarize(outcome: &AuditOutcome) -> DatasetSummary {
-    let services: Vec<ServiceSummary> =
-        outcome.services.iter().map(summarize_service).collect();
+    let services: Vec<ServiceSummary> = outcome.services.iter().map(summarize_service).collect();
     let mut all_fqdns = BTreeSet::new();
     let mut unique_flows: BTreeSet<(String, String)> = BTreeSet::new();
     for service in &outcome.services {
@@ -131,8 +130,16 @@ mod tests {
         let outcome =
             Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
         let summary = summarize(&outcome);
-        let quizlet = summary.services.iter().find(|s| s.name == "Quizlet").unwrap();
-        let youtube = summary.services.iter().find(|s| s.name == "YouTube").unwrap();
+        let quizlet = summary
+            .services
+            .iter()
+            .find(|s| s.name == "Quizlet")
+            .unwrap();
+        let youtube = summary
+            .services
+            .iter()
+            .find(|s| s.name == "YouTube")
+            .unwrap();
         assert!(
             quizlet.eslds > youtube.eslds,
             "Quizlet ({}) must dwarf YouTube ({})",

@@ -40,11 +40,7 @@ pub fn extract(name: &DomainName) -> Extracted {
 }
 
 /// Decompose with an explicit PSL and private-section toggle.
-pub fn extract_with(
-    name: &DomainName,
-    psl: &PublicSuffixList,
-    include_private: bool,
-) -> Extracted {
+pub fn extract_with(name: &DomainName, psl: &PublicSuffixList, include_private: bool) -> Extracted {
     let labels: Vec<&str> = name.labels().collect();
     let n = labels.len();
     match psl.suffix_labels(name, include_private) {
@@ -54,9 +50,20 @@ pub fn extract_with(
             suffix: name.as_str().to_string(),
         },
         Some(suffix_len) => {
-            let suffix = labels[n - suffix_len..].join(".");
-            let domain = labels[n - suffix_len - 1].to_string();
-            let subdomain = labels[..n - suffix_len - 1].join(".");
+            // suffix_labels guarantees suffix_len < n, so a registrable
+            // domain label exists; degrade to empty parts if that breaks.
+            let split = n.saturating_sub(suffix_len);
+            let suffix = labels.get(split..).unwrap_or_default().join(".");
+            let domain = split
+                .checked_sub(1)
+                .and_then(|i| labels.get(i))
+                .copied()
+                .unwrap_or_default()
+                .to_string();
+            let subdomain = labels
+                .get(..split.saturating_sub(1))
+                .unwrap_or_default()
+                .join(".");
             Extracted {
                 subdomain,
                 domain,

@@ -61,7 +61,7 @@ impl DomainName {
                 return Err(DomainError::LabelTooLong(label.to_string()));
             }
             let bytes = label.as_bytes();
-            if bytes[0] == b'-' || bytes[bytes.len() - 1] == b'-' {
+            if bytes.first() == Some(&b'-') || bytes.last() == Some(&b'-') {
                 return Err(DomainError::InvalidLabel(label.to_string()));
             }
             if !bytes
@@ -95,14 +95,18 @@ impl DomainName {
         self.name == other.name
             || (self.name.len() > other.name.len()
                 && self.name.ends_with(&other.name)
-                && self.name.as_bytes()[self.name.len() - other.name.len() - 1] == b'.')
+                && self
+                    .name
+                    .as_bytes()
+                    .get(self.name.len() - other.name.len() - 1)
+                    == Some(&b'.'))
     }
 
     /// The parent domain (one label removed), if any.
     pub fn parent(&self) -> Option<DomainName> {
         let idx = self.name.find('.')?;
         Some(DomainName {
-            name: self.name[idx + 1..].to_string(),
+            name: self.name.get(idx + 1..)?.to_string(),
         })
     }
 }

@@ -109,8 +109,8 @@ impl PublicSuffixList {
         let mut best: usize = 1; // implicit `*` rule
         let mut exception: Option<usize> = None;
         let mut key = String::new();
-        for depth in 1..=n {
-            let label = labels[n - depth];
+        for (idx, label) in labels.iter().rev().enumerate() {
+            let depth = idx + 1;
             if depth > 1 {
                 key.push('.');
             }

@@ -66,11 +66,8 @@ impl Url {
             return Err(UrlError::UnsupportedScheme(scheme));
         }
         // Authority ends at the first '/', '?' or '#'.
-        let authority_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
-        let authority = &rest[..authority_end];
-        let tail = &rest[authority_end..];
+        let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+        let (authority, tail) = rest.split_at(authority_end);
         if authority.contains('@') {
             return Err(UrlError::UserInfoUnsupported);
         }
@@ -169,18 +166,21 @@ pub fn percent_decode(s: &str) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&byte) = bytes.get(i) {
+        match byte {
             b'+' => {
                 out.push(b' ');
                 i += 1;
             }
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| {
-                    let hi = (h[0] as char).to_digit(16)?;
-                    let lo = (h[1] as char).to_digit(16)?;
-                    Some((hi * 16 + lo) as u8)
+                match hex.and_then(|h| match *h {
+                    [hi, lo] => {
+                        let hi = (hi as char).to_digit(16)?;
+                        let lo = (lo as char).to_digit(16)?;
+                        Some((hi * 16 + lo) as u8)
+                    }
+                    _ => None,
                 }) {
                     Some(b) => {
                         out.push(b);
@@ -237,7 +237,10 @@ mod tests {
         let u = Url::parse("http://example.com").unwrap();
         assert_eq!(u.path, "/");
         assert_eq!(u.effective_port(), 80);
-        assert_eq!(Url::parse("https://example.com").unwrap().effective_port(), 443);
+        assert_eq!(
+            Url::parse("https://example.com").unwrap().effective_port(),
+            443
+        );
     }
 
     #[test]

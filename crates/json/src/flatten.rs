@@ -116,9 +116,7 @@ fn walk(
                 walk(item, &child_path, key, options, nested_budget, out);
             }
         }
-        Json::Str(s)
-            if options.parse_nested_json && nested_budget > 0 && looks_like_json(s) =>
-        {
+        Json::Str(s) if options.parse_nested_json && nested_budget > 0 && looks_like_json(s) => {
             match parse(s) {
                 Ok(inner @ (Json::Obj(_) | Json::Arr(_))) => {
                     // Peel one stringified layer and keep walking.
@@ -177,7 +175,9 @@ mod tests {
     fn arrays_share_parent_key() {
         let entries = flatten(&j(r#"{"events":[{"ts":1},{"ts":2}]}"#));
         assert_eq!(entries.len(), 2);
-        assert!(entries.iter().all(|e| e.key == "ts" && e.path == "events.ts"));
+        assert!(entries
+            .iter()
+            .all(|e| e.key == "ts" && e.path == "events.ts"));
     }
 
     #[test]
@@ -193,9 +193,7 @@ mod tests {
 
     #[test]
     fn stringified_json_is_peeled() {
-        let entries = flatten(&j(
-            r#"{"payload":"{\"device_id\":\"abc\",\"lat\":1.5}"}"#,
-        ));
+        let entries = flatten(&j(r#"{"payload":"{\"device_id\":\"abc\",\"lat\":1.5}"}"#));
         let keys: Vec<&str> = entries.iter().map(|e| e.key.as_str()).collect();
         assert_eq!(keys, ["device_id", "lat"]);
         assert_eq!(entries[0].path, "payload.device_id");

@@ -67,7 +67,7 @@ impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> JsonError {
         let mut line = 1;
         let mut col = 1;
-        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+        for &b in self.bytes.iter().take(self.pos) {
             if b == b'\n' {
                 line += 1;
                 col = 1;
@@ -99,19 +99,25 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         match self.peek() {
             Some(got) if got == b => {
                 self.pos += 1;
                 Ok(())
             }
-            Some(got) => Err(self.error(format!("expected '{}', found '{}'", b as char, got as char))),
+            Some(got) => {
+                Err(self.error(format!("expected '{}', found '{}'", b as char, got as char)))
+            }
             None => Err(self.error(format!("expected '{}', found end of input", b as char))),
         }
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        if self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(text.as_bytes()))
+        {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -137,7 +143,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut entries = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -151,7 +157,7 @@ impl<'a> Parser<'a> {
             }
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             entries.push((key, value));
@@ -172,7 +178,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -199,7 +205,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -261,10 +267,10 @@ impl<'a> Parser<'a> {
                     };
                     let start = self.pos - 1;
                     let end = start + len;
-                    if end > self.bytes.len() {
+                    let Some(seq) = self.bytes.get(start..end) else {
                         return Err(self.error("truncated UTF-8 sequence"));
-                    }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
+                    };
+                    let s = std::str::from_utf8(seq)
                         .map_err(|_| self.error("invalid UTF-8 sequence"))?;
                     out.push_str(s);
                     self.pos = end;
@@ -328,7 +334,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|digits| std::str::from_utf8(digits).ok())
+            .ok_or_else(|| self.error("invalid number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Json::Num(Number::Int(i)));
@@ -371,16 +381,18 @@ mod tests {
     #[test]
     fn preserves_key_order() {
         let v = parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
-        let keys: Vec<&str> = v.as_obj().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, ["z", "a", "m"]);
     }
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            parse(r#""a\n\t\"\\A""#).unwrap(),
-            Json::str("a\n\t\"\\A")
-        );
+        assert_eq!(parse(r#""a\n\t\"\\A""#).unwrap(), Json::str("a\n\t\"\\A"));
     }
 
     #[test]

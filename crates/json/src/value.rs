@@ -73,6 +73,7 @@ impl Json {
 
     /// Insert (or replace) a key on an object; panics on non-objects —
     /// builder misuse is a programming error, not a data error.
+    #[allow(clippy::panic)]
     pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
         let key = key.into();
         match self {
@@ -84,6 +85,9 @@ impl Json {
                 }
                 self
             }
+            // lint:allow(no-panic): documented builder contract — set() on a
+            // non-object is a programming error in our own code, never
+            // reachable from parsed (untrusted) input.
             other => panic!("Json::set on non-object {other:?}"),
         }
     }
@@ -173,7 +177,7 @@ impl Json {
             return None;
         }
         let mut current = self;
-        for raw in pointer[1..].split('/') {
+        for raw in pointer.get(1..)?.split('/') {
             let token = raw.replace("~1", "/").replace("~0", "~");
             current = match current {
                 Json::Obj(_) => current.get(&token)?,
@@ -249,7 +253,10 @@ mod tests {
             .with("tags", Json::from(vec!["a", "b"]));
         assert_eq!(v.get("name").and_then(Json::as_str), Some("alice"));
         assert_eq!(v.get("age").and_then(Json::as_i64), Some(12));
-        assert_eq!(v.get("tags").and_then(|t| t.at(1)).and_then(Json::as_str), Some("b"));
+        assert_eq!(
+            v.get("tags").and_then(|t| t.at(1)).and_then(Json::as_str),
+            Some("b")
+        );
         assert_eq!(v.get("missing"), None);
     }
 
@@ -265,7 +272,10 @@ mod tests {
     fn pointer_lookup() {
         let v = Json::obj().with(
             "log",
-            Json::obj().with("entries", Json::Arr(vec![Json::obj().with("ok", Json::Bool(true))])),
+            Json::obj().with(
+                "entries",
+                Json::Arr(vec![Json::obj().with("ok", Json::Bool(true))]),
+            ),
         );
         assert_eq!(
             v.pointer("/log/entries/0/ok").and_then(Json::as_bool),

@@ -140,12 +140,24 @@ impl CaptureSession {
         self.emit(seg(true, client_isn, 0, TcpFlags::SYN, Vec::new()), t);
         t += 1;
         self.emit(
-            seg(false, server_isn, client_isn + 1, TcpFlags::SYN | TcpFlags::ACK, Vec::new()),
+            seg(
+                false,
+                server_isn,
+                client_isn + 1,
+                TcpFlags::SYN | TcpFlags::ACK,
+                Vec::new(),
+            ),
             t,
         );
         t += 1;
         self.emit(
-            seg(true, client_isn + 1, server_isn + 1, TcpFlags::ACK, Vec::new()),
+            seg(
+                true,
+                client_isn + 1,
+                server_isn + 1,
+                TcpFlags::ACK,
+                Vec::new(),
+            ),
             t,
         );
         t += 1;
@@ -164,12 +176,24 @@ impl CaptureSession {
 
         // Close.
         self.emit(
-            seg(true, client_seq, server_seq, TcpFlags::FIN | TcpFlags::ACK, Vec::new()),
+            seg(
+                true,
+                client_seq,
+                server_seq,
+                TcpFlags::FIN | TcpFlags::ACK,
+                Vec::new(),
+            ),
             t,
         );
         t += 1;
         self.emit(
-            seg(false, server_seq, client_seq + 1, TcpFlags::FIN | TcpFlags::ACK, Vec::new()),
+            seg(
+                false,
+                server_seq,
+                client_seq + 1,
+                TcpFlags::FIN | TcpFlags::ACK,
+                Vec::new(),
+            ),
             t,
         );
         self.flow_count += 1;
@@ -367,24 +391,23 @@ fn decode_packets(
         match decoded.plaintext {
             Some(plaintext) => {
                 // Parse the (possibly pipelined) requests.
-                let server_plain = decode_server_stream(
-                    &flow.server_stream(),
-                    decoded.client_random,
-                    keylog,
-                )
-                .ok()
-                .and_then(|d| d.plaintext);
+                let server_plain =
+                    decode_server_stream(&flow.server_stream(), decoded.client_random, keylog)
+                        .ok()
+                        .and_then(|d| d.plaintext);
                 let mut responses = Vec::new();
                 if let Some(sp) = server_plain {
                     let mut pos = 0;
-                    while let Some((resp, n)) = HttpResponse::parse_wire(&sp[pos..]) {
+                    while let Some((resp, n)) = sp.get(pos..).and_then(HttpResponse::parse_wire) {
                         responses.push(resp);
                         pos += n;
                     }
                 }
                 let mut pos = 0;
                 let mut req_index = 0;
-                while let Some((request, n)) = HttpRequest::parse_wire(&plaintext[pos..], "https")
+                while let Some((request, n)) = plaintext
+                    .get(pos..)
+                    .and_then(|rest| HttpRequest::parse_wire(rest, "https"))
                 {
                     let response = responses
                         .get(req_index)
@@ -435,7 +458,10 @@ mod tests {
     fn capture_decode_round_trip() {
         let mut session = CaptureSession::new(CaptureOptions::default());
         let ex1 = exchange("https://api.roblox.com/v1/join", r#"{"user_id":"u-1"}"#);
-        let ex2 = exchange("https://metrics.roblox.com/v2/event", r#"{"event":"spawn"}"#);
+        let ex2 = exchange(
+            "https://metrics.roblox.com/v2/event",
+            r#"{"event":"spawn"}"#,
+        );
         session.capture(&ex1);
         session.capture(&ex2);
         assert_eq!(session.flow_count(), 2);
@@ -447,7 +473,10 @@ mod tests {
         assert_eq!(decoded.flow_count, 2);
         assert_eq!(decoded.exchanges.len(), 2);
         assert!(decoded.opaque.is_empty());
-        assert_eq!(decoded.exchanges[0].request.url.to_url_string(), "https://api.roblox.com/v1/join");
+        assert_eq!(
+            decoded.exchanges[0].request.url.to_url_string(),
+            "https://api.roblox.com/v1/join"
+        );
         assert_eq!(decoded.exchanges[0].request.body, ex1.request.body);
         assert_eq!(decoded.exchanges[1].request.body, ex2.request.body);
         assert_eq!(decoded.exchanges[0].response.status, 200);
@@ -477,7 +506,8 @@ mod tests {
             mtu: 64, // force many segments
             ..Default::default()
         });
-        let body = r#"{"device_id":"abcdef-123456","lat":33.64,"lon":-117.84,"events":["a","b","c","d"]}"#;
+        let body =
+            r#"{"device_id":"abcdef-123456","lat":33.64,"lon":-117.84,"events":["a","b","c","d"]}"#;
         let ex = exchange("https://t.example.com/batch", body);
         session.capture(&ex);
         let (pcap, keylog_text) = session.finish();

@@ -93,7 +93,11 @@ pub fn iso8601_from_ms(ms: u64) -> String {
 /// `2023-10-05T14:30:00.123Z` → milliseconds since epoch.
 pub fn ms_from_iso8601(s: &str) -> Option<u64> {
     let bytes = s.as_bytes();
-    if bytes.len() < 20 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T' {
+    if bytes.len() < 20
+        || bytes.get(4) != Some(&b'-')
+        || bytes.get(7) != Some(&b'-')
+        || bytes.get(10) != Some(&b'T')
+    {
         return None;
     }
     let year: i64 = s.get(0..4)?.parse().ok()?;
@@ -106,13 +110,13 @@ pub fn ms_from_iso8601(s: &str) -> Option<u64> {
         return None;
     }
     let mut millis: u64 = 0;
-    let rest = &s[19..];
+    let rest = s.get(19..)?;
     let rest = if let Some(frac) = rest.strip_prefix('.') {
         let digits: String = frac.chars().take_while(|c| c.is_ascii_digit()).collect();
         millis = format!("{:0<3}", digits.get(0..3.min(digits.len()))?)
             .parse()
             .ok()?;
-        &frac[digits.len()..]
+        frac.get(digits.len()..)?
     } else {
         rest
     };
@@ -131,7 +135,11 @@ fn headers_to_json(headers: &HeaderMap) -> Json {
     Json::Arr(
         headers
             .iter()
-            .map(|(n, v)| Json::obj().with("name", Json::str(n)).with("value", Json::str(v)))
+            .map(|(n, v)| {
+                Json::obj()
+                    .with("name", Json::str(n))
+                    .with("value", Json::str(v))
+            })
             .collect(),
     )
 }
@@ -164,7 +172,9 @@ pub fn har_from_exchanges(exchanges: &[Exchange]) -> Json {
                     .query_pairs()
                     .into_iter()
                     .map(|(n, v)| {
-                        Json::obj().with("name", Json::str(n)).with("value", Json::str(v))
+                        Json::obj()
+                            .with("name", Json::str(n))
+                            .with("value", Json::str(v))
                     })
                     .collect(),
             );
@@ -172,7 +182,9 @@ pub fn har_from_exchanges(exchanges: &[Exchange]) -> Json {
                 req.cookies()
                     .into_iter()
                     .map(|(n, v)| {
-                        Json::obj().with("name", Json::str(n)).with("value", Json::str(v))
+                        Json::obj()
+                            .with("name", Json::str(n))
+                            .with("value", Json::str(v))
                     })
                     .collect(),
             );
@@ -200,7 +212,9 @@ pub fn har_from_exchanges(exchanges: &[Exchange]) -> Json {
                     "content",
                     body_to_json(
                         "content",
-                        resp.headers.get("content-type").unwrap_or("application/octet-stream"),
+                        resp.headers
+                            .get("content-type")
+                            .unwrap_or("application/octet-stream"),
                         &resp.body,
                     ),
                 )
@@ -208,7 +222,10 @@ pub fn har_from_exchanges(exchanges: &[Exchange]) -> Json {
                 .with("headersSize", Json::int(-1))
                 .with("bodySize", Json::int(resp.body.len() as i64));
             Json::obj()
-                .with("startedDateTime", Json::str(iso8601_from_ms(ex.timestamp_ms)))
+                .with(
+                    "startedDateTime",
+                    Json::str(iso8601_from_ms(ex.timestamp_ms)),
+                )
                 .with("time", Json::int(1))
                 .with("request", request)
                 .with("response", response)
@@ -293,8 +310,8 @@ pub fn har_json_to_exchanges(doc: &Json) -> Result<Vec<Exchange>, HarError> {
             .get("startedDateTime")
             .and_then(Json::as_str)
             .ok_or_else(|| shape_err(&format!("{base}/startedDateTime"), "string"))?;
-        let timestamp_ms = ms_from_iso8601(started)
-            .ok_or_else(|| HarError::BadTimestamp(started.to_string()))?;
+        let timestamp_ms =
+            ms_from_iso8601(started).ok_or_else(|| HarError::BadTimestamp(started.to_string()))?;
         let request = entry
             .get("request")
             .ok_or_else(|| shape_err(&format!("{base}/request"), "object"))?;
@@ -395,7 +412,10 @@ mod tests {
             "https://api.quizlet.com/events?sid=9&lang=en"
         );
         assert_eq!(back[0].request.body, exchanges[0].request.body);
-        assert_eq!(back[0].request.headers.get("user-agent"), Some("Mozilla/5.0 (sim)"));
+        assert_eq!(
+            back[0].request.headers.get("user-agent"),
+            Some("Mozilla/5.0 (sim)")
+        );
         assert_eq!(back[0].response.status, 200);
     }
 

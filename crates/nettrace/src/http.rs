@@ -201,7 +201,7 @@ impl HttpRequest {
     /// [`to_wire`]: HttpRequest::to_wire
     pub fn parse_wire(data: &[u8], scheme: &str) -> Option<(HttpRequest, usize)> {
         let header_end = find_subslice(data, b"\r\n\r\n")? + 4;
-        let head = std::str::from_utf8(&data[..header_end]).ok()?;
+        let head = std::str::from_utf8(data.get(..header_end)?).ok()?;
         let mut lines = head.split("\r\n");
         let request_line = lines.next()?;
         let mut parts = request_line.split(' ');
@@ -232,7 +232,7 @@ impl HttpRequest {
         if data.len() < total {
             return None; // body not fully arrived yet
         }
-        let body = data[header_end..total].to_vec();
+        let body = data.get(header_end..total)?.to_vec();
         let url = Url::parse(&format!("{scheme}://{host}{target}")).ok()?;
         Some((
             HttpRequest {
@@ -294,7 +294,7 @@ impl HttpResponse {
     /// [`HttpRequest::parse_wire`] for the server→client stream.
     pub fn parse_wire(data: &[u8]) -> Option<(HttpResponse, usize)> {
         let header_end = find_subslice(data, b"\r\n\r\n")? + 4;
-        let head = std::str::from_utf8(&data[..header_end]).ok()?;
+        let head = std::str::from_utf8(data.get(..header_end)?).ok()?;
         let mut lines = head.split("\r\n");
         let status_line = lines.next()?;
         let mut parts = status_line.splitn(3, ' ');
@@ -324,7 +324,7 @@ impl HttpResponse {
             HttpResponse {
                 status,
                 headers,
-                body: data[header_end..total].to_vec(),
+                body: data.get(header_end..total)?.to_vec(),
             },
             total,
         ))
@@ -386,7 +386,8 @@ mod tests {
     #[test]
     fn cookie_parsing() {
         let mut req = HttpRequest::get(url("https://example.com/"));
-        req.headers.push("Cookie", "sid=abc123; theme=dark ; broken");
+        req.headers
+            .push("Cookie", "sid=abc123; theme=dark ; broken");
         assert_eq!(
             req.cookies(),
             vec![
@@ -404,7 +405,10 @@ mod tests {
         let (parsed, consumed) = HttpRequest::parse_wire(&wire, "https").unwrap();
         assert_eq!(consumed, wire.len());
         assert_eq!(parsed.method, Method::Get);
-        assert_eq!(parsed.url.to_url_string(), "https://api.example.com/v1/ping?x=1");
+        assert_eq!(
+            parsed.url.to_url_string(),
+            "https://api.example.com/v1/ping?x=1"
+        );
         assert_eq!(parsed.headers.get("user-agent"), Some("diffaudit/0.1"));
         assert!(parsed.body.is_empty());
     }

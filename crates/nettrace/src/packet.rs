@@ -106,7 +106,9 @@ fn ones_complement_sum(chunks: &[&[u8]]) -> u16 {
     for chunk in chunks {
         let mut iter = chunk.chunks_exact(2);
         for pair in &mut iter {
-            sum += u16::from_be_bytes([pair[0], pair[1]]) as u32;
+            if let &[hi, lo] = pair {
+                sum += u16::from_be_bytes([hi, lo]) as u32;
+            }
         }
         if let [last] = iter.remainder() {
             sum += u16::from_be_bytes([*last, 0]) as u32;
@@ -120,6 +122,8 @@ fn ones_complement_sum(chunks: &[&[u8]]) -> u16 {
 
 impl TcpSegment {
     /// Encode to a complete Ethernet frame with valid checksums.
+    // lint:allow(no-panic): encode writes constant offsets into fixed-size
+    // stack arrays ([u8; 20]); every range is a compile-time-visible bound.
     pub fn encode(&self) -> Vec<u8> {
         let tcp_len = 20 + self.payload.len();
         let ip_total = 20 + tcp_len;
@@ -155,7 +159,7 @@ impl TcpSegment {
         tcp[12] = 5 << 4; // data offset
         tcp[13] = self.flags.0;
         tcp[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes()); // window
-        // checksum [16..18] zero for computation; urgent pointer [18..20] zero
+                                                               // checksum [16..18] zero for computation; urgent pointer [18..20] zero
         let pseudo = pseudo_header(&self.src_ip, &self.dst_ip, tcp_len as u16);
         let tcp_csum = ones_complement_sum(&[&pseudo, &tcp, &self.payload]);
         tcp[16..18].copy_from_slice(&tcp_csum.to_be_bytes());
@@ -165,47 +169,56 @@ impl TcpSegment {
     }
 
     /// Decode and verify a frame.
+    ///
+    /// Every offset is bounds-checked through `diffaudit_util::bytes`, so a
+    /// truncated frame or a lying IPv4 total-length field yields
+    /// [`FrameError::Truncated`] rather than a panic.
     pub fn decode(frame: &[u8]) -> Result<TcpSegment, FrameError> {
-        if frame.len() < 14 {
-            return Err(FrameError::Truncated("ethernet header"));
-        }
-        let dst_mac: [u8; 6] = frame[0..6].try_into().expect("6 bytes");
-        let src_mac: [u8; 6] = frame[6..12].try_into().expect("6 bytes");
-        let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+        use diffaudit_util::bytes::{array_at, read_u16_be, read_u32_be, slice_at, u8_at};
+
+        let eth = FrameError::Truncated("ethernet header");
+        let dst_mac = array_at::<6>(frame, 0).ok_or(eth.clone())?;
+        let src_mac = array_at::<6>(frame, 6).ok_or(eth.clone())?;
+        let ethertype = read_u16_be(frame, 12).ok_or(eth)?;
         if ethertype != ETHERTYPE_IPV4 {
             return Err(FrameError::NotIpv4(ethertype));
         }
-        let ip = &frame[14..];
-        if ip.len() < 20 {
-            return Err(FrameError::Truncated("ipv4 header"));
-        }
-        if ip[0] >> 4 != 4 {
+        let ip = frame.get(14..).unwrap_or(&[]);
+        let ip_header = slice_at(ip, 0, 20).ok_or(FrameError::Truncated("ipv4 header"))?;
+        let version_ihl = u8_at(ip, 0).ok_or(FrameError::Truncated("ipv4 header"))?;
+        if version_ihl >> 4 != 4 {
             return Err(FrameError::NotIpv4(0));
         }
-        if ip[0] & 0x0F != 5 {
+        if version_ihl & 0x0F != 5 {
             return Err(FrameError::UnsupportedIpOptions);
         }
-        if ones_complement_sum(&[&ip[..20]]) != 0 {
+        if ones_complement_sum(&[ip_header]) != 0 {
             return Err(FrameError::BadIpChecksum);
         }
-        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
-        if ip.len() < total_len {
-            return Err(FrameError::Truncated("ipv4 total length"));
-        }
-        let proto = ip[9];
+        let total_len = read_u16_be(ip, 2).ok_or(FrameError::Truncated("ipv4 header"))? as usize;
+        let proto = u8_at(ip, 9).ok_or(FrameError::Truncated("ipv4 header"))?;
         if proto != IP_PROTO_TCP {
             return Err(FrameError::NotTcp(proto));
         }
-        let src_ip: [u8; 4] = ip[12..16].try_into().expect("4 bytes");
-        let dst_ip: [u8; 4] = ip[16..20].try_into().expect("4 bytes");
-        let tcp = &ip[20..total_len];
+        let src_ip = array_at::<4>(ip, 12).ok_or(FrameError::Truncated("ipv4 header"))?;
+        let dst_ip = array_at::<4>(ip, 16).ok_or(FrameError::Truncated("ipv4 header"))?;
+        // A total length shorter than the IPv4 header itself is a lying
+        // length field, not a short buffer — but both decode to Truncated.
+        let tcp_len = total_len
+            .checked_sub(20)
+            .ok_or(FrameError::Truncated("ipv4 total length"))?;
+        let tcp = slice_at(ip, 20, tcp_len).ok_or(FrameError::Truncated("ipv4 total length"))?;
         if tcp.len() < 20 {
             return Err(FrameError::Truncated("tcp header"));
         }
-        let data_offset = (tcp[12] >> 4) as usize * 4;
-        if data_offset < 20 || tcp.len() < data_offset {
+        let tcp_err = FrameError::Truncated("tcp header");
+        let data_offset = (u8_at(tcp, 12).ok_or(tcp_err.clone())? >> 4) as usize * 4;
+        if data_offset < 20 {
             return Err(FrameError::Truncated("tcp options"));
         }
+        let payload = tcp
+            .get(data_offset..)
+            .ok_or(FrameError::Truncated("tcp options"))?;
         let pseudo = pseudo_header(&src_ip, &dst_ip, tcp.len() as u16);
         if ones_complement_sum(&[&pseudo, tcp]) != 0 {
             return Err(FrameError::BadTcpChecksum);
@@ -215,16 +228,17 @@ impl TcpSegment {
             dst_mac,
             src_ip,
             dst_ip,
-            src_port: u16::from_be_bytes([tcp[0], tcp[1]]),
-            dst_port: u16::from_be_bytes([tcp[2], tcp[3]]),
-            seq: u32::from_be_bytes([tcp[4], tcp[5], tcp[6], tcp[7]]),
-            ack: u32::from_be_bytes([tcp[8], tcp[9], tcp[10], tcp[11]]),
-            flags: TcpFlags(tcp[13]),
-            payload: tcp[data_offset..].to_vec(),
+            src_port: read_u16_be(tcp, 0).ok_or(tcp_err.clone())?,
+            dst_port: read_u16_be(tcp, 2).ok_or(tcp_err.clone())?,
+            seq: read_u32_be(tcp, 4).ok_or(tcp_err.clone())?,
+            ack: read_u32_be(tcp, 8).ok_or(tcp_err.clone())?,
+            flags: TcpFlags(u8_at(tcp, 13).ok_or(tcp_err)?),
+            payload: payload.to_vec(),
         })
     }
 }
 
+// lint:allow(no-panic): writes constant offsets into a fixed [u8; 12] array.
 fn pseudo_header(src: &[u8; 4], dst: &[u8; 4], tcp_len: u16) -> [u8; 12] {
     let mut p = [0u8; 12];
     p[0..4].copy_from_slice(src);

@@ -112,8 +112,10 @@ impl PcapWriter {
         self.buf.extend_from_slice(&ts_sec.to_le_bytes());
         self.buf.extend_from_slice(&ts_usec.to_le_bytes());
         self.buf.extend_from_slice(&(incl as u32).to_le_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&frame[..incl]);
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(frame.get(..incl).unwrap_or(frame));
         self.count += 1;
     }
 
@@ -147,65 +149,63 @@ pub struct PcapReader {
 
 impl PcapReader {
     /// Parse an entire capture file.
+    ///
+    /// All reads go through checked helpers, so truncation at any byte and
+    /// lying length fields surface as [`PcapError`] values, never panics.
     pub fn parse(data: &[u8]) -> Result<PcapReader, PcapError> {
+        use diffaudit_util::bytes::{read_u16_be, read_u16_le, read_u32_be, read_u32_le, slice_at};
+
         if data.len() < 24 {
             return Err(PcapError::TruncatedHeader);
         }
-        let magic = u32::from_le_bytes(data[0..4].try_into().expect("4 bytes"));
+        let magic = read_u32_le(data, 0).ok_or(PcapError::TruncatedHeader)?;
         let swapped = match magic {
             MAGIC_LE => false,
             MAGIC_SWAPPED => true,
             other => return Err(PcapError::BadMagic(other)),
         };
-        let read_u16 = |b: &[u8]| -> u16 {
-            let arr: [u8; 2] = b.try_into().expect("2 bytes");
+        let read_u16 = |offset: usize| -> Option<u16> {
             if swapped {
-                u16::from_be_bytes(arr)
+                read_u16_be(data, offset)
             } else {
-                u16::from_le_bytes(arr)
+                read_u16_le(data, offset)
             }
         };
-        let read_u32 = |b: &[u8]| -> u32 {
-            let arr: [u8; 4] = b.try_into().expect("4 bytes");
+        let read_u32 = |offset: usize| -> Option<u32> {
             if swapped {
-                u32::from_be_bytes(arr)
+                read_u32_be(data, offset)
             } else {
-                u32::from_le_bytes(arr)
+                read_u32_le(data, offset)
             }
         };
-        let major = read_u16(&data[4..6]);
-        let minor = read_u16(&data[6..8]);
+        let major = read_u16(4).ok_or(PcapError::TruncatedHeader)?;
+        let minor = read_u16(6).ok_or(PcapError::TruncatedHeader)?;
         if major != 2 {
             return Err(PcapError::BadVersion(major, minor));
         }
-        let snaplen = read_u32(&data[16..20]);
-        let link_type = read_u32(&data[20..24]);
+        let snaplen = read_u32(16).ok_or(PcapError::TruncatedHeader)?;
+        let link_type = read_u32(20).ok_or(PcapError::TruncatedHeader)?;
         let mut packets = Vec::new();
-        let mut pos = 24;
-        let mut index = 0;
+        let mut pos = 24usize;
+        let mut index = 0usize;
         while pos < data.len() {
-            if pos + 16 > data.len() {
-                return Err(PcapError::TruncatedPacket { index });
-            }
-            let ts_sec = read_u32(&data[pos..pos + 4]);
-            let ts_usec = read_u32(&data[pos + 4..pos + 8]);
-            let incl_len = read_u32(&data[pos + 8..pos + 12]);
-            let orig_len = read_u32(&data[pos + 12..pos + 16]);
+            let truncated = PcapError::TruncatedPacket { index };
+            let ts_sec = read_u32(pos).ok_or(truncated.clone())?;
+            let ts_usec = read_u32(pos + 4).ok_or(truncated.clone())?;
+            let incl_len = read_u32(pos + 8).ok_or(truncated.clone())?;
+            let orig_len = read_u32(pos + 12).ok_or(truncated.clone())?;
             if incl_len > snaplen {
                 return Err(PcapError::OversizedPacket { index, incl_len });
             }
             let start = pos + 16;
-            let end = start + incl_len as usize;
-            if end > data.len() {
-                return Err(PcapError::TruncatedPacket { index });
-            }
+            let payload = slice_at(data, start, incl_len as usize).ok_or(truncated)?;
             packets.push(PcapPacket {
                 ts_sec,
                 ts_usec,
                 orig_len,
-                data: data[start..end].to_vec(),
+                data: payload.to_vec(),
             });
-            pos = end;
+            pos = start + incl_len as usize;
             index += 1;
         }
         Ok(PcapReader {

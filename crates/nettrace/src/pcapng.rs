@@ -108,7 +108,8 @@ impl PcapngWriter {
         self.buf.extend_from_slice(&block_type.to_le_bytes());
         self.buf.extend_from_slice(&total.to_le_bytes());
         self.buf.extend_from_slice(body);
-        self.buf.extend(std::iter::repeat_n(0u8, padded - body.len()));
+        self.buf
+            .extend(std::iter::repeat_n(0u8, padded - body.len()));
         self.buf.extend_from_slice(&total.to_le_bytes());
     }
 
@@ -166,19 +167,21 @@ pub struct PcapngReader {
 impl PcapngReader {
     /// `true` when the bytes start with a pcapng SHB.
     pub fn sniff(data: &[u8]) -> bool {
-        data.len() >= 4 && u32::from_le_bytes([data[0], data[1], data[2], data[3]]) == BT_SHB
+        diffaudit_util::bytes::read_u32_le(data, 0) == Some(BT_SHB)
     }
 
     /// Parse an entire section. Unknown block types are skipped (per spec).
+    ///
+    /// Every read goes through checked helpers: truncation at any byte and
+    /// lying length fields surface as [`PcapngError`] values, never panics.
     pub fn parse(data: &[u8]) -> Result<PcapngReader, PcapngError> {
+        use diffaudit_util::bytes::{read_u32_le, slice_at};
+
         if !Self::sniff(data) {
             return Err(PcapngError::NotPcapng);
         }
         // Check the byte-order magic inside the SHB body.
-        if data.len() < 12 {
-            return Err(PcapngError::Truncated { offset: 0 });
-        }
-        let magic = u32::from_le_bytes([data[8], data[9], data[10], data[11]]);
+        let magic = read_u32_le(data, 8).ok_or(PcapngError::Truncated { offset: 0 })?;
         if magic == BYTE_ORDER_MAGIC.swap_bytes() {
             return Err(PcapngError::BigEndianUnsupported);
         }
@@ -190,63 +193,40 @@ impl PcapngReader {
         let mut keylog = KeyLog::new();
         let mut pos = 0usize;
         while pos < data.len() {
-            if pos + 12 > data.len() {
-                return Err(PcapngError::Truncated { offset: pos });
-            }
-            let block_type =
-                u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"));
-            let total =
-                u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+            let truncated = PcapngError::Truncated { offset: pos };
+            let block_type = read_u32_le(data, pos).ok_or(truncated.clone())?;
+            let total = read_u32_le(data, pos + 4).ok_or(truncated.clone())? as usize;
             if total < 12 || !total.is_multiple_of(4) {
                 return Err(PcapngError::BadBlockLength { offset: pos });
             }
-            if pos + total > data.len() {
-                return Err(PcapngError::Truncated { offset: pos });
-            }
-            let trailing = u32::from_le_bytes(
-                data[pos + total - 4..pos + total].try_into().expect("4 bytes"),
-            ) as usize;
+            let block = slice_at(data, pos, total).ok_or(truncated.clone())?;
+            let trailing = read_u32_le(block, total - 4).ok_or(truncated.clone())? as usize;
             if trailing != total {
                 return Err(PcapngError::LengthMismatch { offset: pos });
             }
-            let body = &data[pos + 8..pos + total - 4];
+            // `total >= 12` was checked above, so the body range is valid.
+            let body = slice_at(block, 8, total - 12).ok_or(truncated.clone())?;
             match block_type {
                 BT_EPB => {
-                    if body.len() < 20 {
-                        return Err(PcapngError::Truncated { offset: pos });
-                    }
-                    let ts_high =
-                        u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as u64;
-                    let ts_low =
-                        u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")) as u64;
-                    let cap_len =
-                        u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
-                    let orig_len =
-                        u32::from_le_bytes(body[16..20].try_into().expect("4 bytes"));
-                    if 20 + cap_len > body.len() {
-                        return Err(PcapngError::Truncated { offset: pos });
-                    }
+                    let ts_high = read_u32_le(body, 4).ok_or(truncated.clone())? as u64;
+                    let ts_low = read_u32_le(body, 8).ok_or(truncated.clone())? as u64;
+                    let cap_len = read_u32_le(body, 12).ok_or(truncated.clone())? as usize;
+                    let orig_len = read_u32_le(body, 16).ok_or(truncated.clone())?;
+                    let captured = slice_at(body, 20, cap_len).ok_or(truncated)?;
                     let ts_us = (ts_high << 32) | ts_low;
                     packets.push(PcapPacket {
                         ts_sec: (ts_us / 1_000_000) as u32,
                         ts_usec: (ts_us % 1_000_000) as u32,
                         orig_len,
-                        data: body[20..20 + cap_len].to_vec(),
+                        data: captured.to_vec(),
                     });
                 }
                 BT_DSB => {
-                    if body.len() < 8 {
-                        return Err(PcapngError::Truncated { offset: pos });
-                    }
-                    let secrets_type =
-                        u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
-                    let len =
-                        u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")) as usize;
-                    if 8 + len > body.len() {
-                        return Err(PcapngError::Truncated { offset: pos });
-                    }
+                    let secrets_type = read_u32_le(body, 0).ok_or(truncated.clone())?;
+                    let len = read_u32_le(body, 4).ok_or(truncated.clone())? as usize;
+                    let secrets = slice_at(body, 8, len).ok_or(truncated)?;
                     if secrets_type == SECRETS_TLS_KEYLOG {
-                        if let Ok(text) = std::str::from_utf8(&body[8..8 + len]) {
+                        if let Ok(text) = std::str::from_utf8(secrets) {
                             // Merge: a section may carry several DSBs.
                             let parsed = KeyLog::parse(text);
                             keylog = merge_keylogs(keylog, parsed);

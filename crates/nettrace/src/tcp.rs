@@ -56,17 +56,21 @@ struct DirectionBuf {
 
 impl DirectionBuf {
     fn record(&mut self, seq: u32, payload: &[u8], syn: bool) {
-        if syn {
+        let base = if syn {
             self.isn = Some(seq);
             self.isn_from_syn = true;
-        } else if self.isn.is_none() {
-            self.isn = Some(seq);
-        }
+            seq
+        } else {
+            *self.isn.get_or_insert(seq)
+        };
         if !payload.is_empty() {
-            let base = self.isn.expect("isn set above");
-            let offset = seq.wrapping_sub(base).wrapping_sub(if self.isn_from_syn { 1 } else { 0 });
+            let offset = seq
+                .wrapping_sub(base)
+                .wrapping_sub(if self.isn_from_syn { 1 } else { 0 });
             // First copy wins: a retransmission never overwrites data.
-            self.segments.entry(offset).or_insert_with(|| payload.to_vec());
+            self.segments
+                .entry(offset)
+                .or_insert_with(|| payload.to_vec());
         }
     }
 
@@ -80,8 +84,8 @@ impl DirectionBuf {
             }
             // Overlap: skip the already-assembled prefix.
             let skip = (expected - offset) as usize;
-            if skip < data.len() {
-                out.extend_from_slice(&data[skip..]);
+            if let Some(rest) = data.get(skip..).filter(|r| !r.is_empty()) {
+                out.extend_from_slice(rest);
                 expected = offset + data.len() as u32;
             }
         }
@@ -176,7 +180,9 @@ impl FlowTable {
                 i
             }
         };
-        let flow = &mut self.flows[idx];
+        let Some(flow) = self.flows.get_mut(idx) else {
+            return; // unreachable: idx comes from the map or the push above
+        };
         flow.segment_count += 1;
         if seg.flags.fin() || seg.flags.rst() {
             flow.closed = true;
@@ -210,13 +216,7 @@ mod tests {
     const CLIENT_IP: [u8; 4] = [10, 0, 0, 2];
     const SERVER_IP: [u8; 4] = [93, 184, 216, 34];
 
-    fn seg(
-        from_client: bool,
-        seq: u32,
-        ack: u32,
-        flags: u8,
-        payload: &[u8],
-    ) -> TcpSegment {
+    fn seg(from_client: bool, seq: u32, ack: u32, flags: u8, payload: &[u8]) -> TcpSegment {
         let (src_ip, dst_ip, src_port, dst_port) = if from_client {
             (CLIENT_IP, SERVER_IP, 50000, 443)
         } else {
@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn midstream_join_without_handshake() {
         let mut table = FlowTable::new();
-        table.push(&seg(true, 5000, 1, TcpFlags::PSH | TcpFlags::ACK, b"late data"), 1);
+        table.push(
+            &seg(true, 5000, 1, TcpFlags::PSH | TcpFlags::ACK, b"late data"),
+            1,
+        );
         let flow = &table.flows()[0];
         assert_eq!(flow.client_stream(), b"late data");
         assert_eq!(flow.client.port, 50000, "first sender assumed client");
@@ -317,7 +320,10 @@ mod tests {
         let mut table = FlowTable::new();
         // Capture starts at the SYN-ACK (client SYN lost).
         table.push(&seg(false, 500, 101, TcpFlags::SYN | TcpFlags::ACK, b""), 1);
-        table.push(&seg(true, 101, 501, TcpFlags::PSH | TcpFlags::ACK, b"req"), 2);
+        table.push(
+            &seg(true, 101, 501, TcpFlags::PSH | TcpFlags::ACK, b"req"),
+            2,
+        );
         let flow = &table.flows()[0];
         assert_eq!(flow.client.ip, CLIENT_IP);
         assert_eq!(flow.client_stream(), b"req");

@@ -99,7 +99,7 @@ impl std::error::Error for TlsError {}
 /// Frame a payload into one or more records.
 fn frame(content_type: ContentType, payload: &[u8], out: &mut Vec<u8>) {
     let chunks: Vec<&[u8]> = if payload.is_empty() {
-        vec![&[][..]]
+        vec![b"".as_slice()]
     } else {
         payload.chunks(MAX_RECORD).collect()
     };
@@ -114,31 +114,27 @@ fn frame(content_type: ContentType, payload: &[u8], out: &mut Vec<u8>) {
 /// Parse a byte stream into records. A trailing partial record yields
 /// `TlsError::Truncated` (callers on live captures may choose to ignore it).
 pub fn parse_records(stream: &[u8]) -> Result<Vec<Record>, TlsError> {
+    use diffaudit_util::bytes::{array_at, slice_at};
+
     let mut records = Vec::new();
     let mut pos = 0;
     while pos < stream.len() {
-        if pos + 5 > stream.len() {
-            return Err(TlsError::Truncated);
-        }
-        let ct = ContentType::from_byte(stream[pos]).ok_or(TlsError::BadContentType(stream[pos]))?;
-        let version = [stream[pos + 1], stream[pos + 2]];
+        let [ct_byte, v0, v1, l0, l1] = array_at(stream, pos).ok_or(TlsError::Truncated)?;
+        let ct = ContentType::from_byte(ct_byte).ok_or(TlsError::BadContentType(ct_byte))?;
+        let version = [v0, v1];
         if version != VERSION {
             return Err(TlsError::BadVersion(version));
         }
-        let len = u16::from_be_bytes([stream[pos + 3], stream[pos + 4]]) as usize;
+        let len = u16::from_be_bytes([l0, l1]) as usize;
         if len > MAX_RECORD {
             return Err(TlsError::OversizedRecord(len));
         }
-        let start = pos + 5;
-        let end = start + len;
-        if end > stream.len() {
-            return Err(TlsError::Truncated);
-        }
+        let payload = slice_at(stream, pos + 5, len).ok_or(TlsError::Truncated)?;
         records.push(Record {
             content_type: ct,
-            payload: stream[start..end].to_vec(),
+            payload: payload.to_vec(),
         });
-        pos = end;
+        pos += 5 + len;
     }
     Ok(records)
 }
@@ -169,18 +165,17 @@ impl ClientHello {
 
     /// Decode a handshake body.
     pub fn decode(body: &[u8]) -> Result<ClientHello, TlsError> {
-        if body.len() < 35 {
-            return Err(TlsError::BadHandshake("client hello too short"));
-        }
-        if body[0] != HS_CLIENT_HELLO {
+        use diffaudit_util::bytes::{array_at, read_u16_be, slice_at, u8_at};
+
+        let too_short = TlsError::BadHandshake("client hello too short");
+        if u8_at(body, 0).ok_or(too_short.clone())? != HS_CLIENT_HELLO {
             return Err(TlsError::BadHandshake("not a client hello"));
         }
-        let client_random: [u8; 32] = body[1..33].try_into().expect("32 bytes");
-        let sni_len = u16::from_be_bytes([body[33], body[34]]) as usize;
-        if body.len() < 35 + sni_len {
-            return Err(TlsError::BadHandshake("sni truncated"));
-        }
-        let sni = std::str::from_utf8(&body[35..35 + sni_len])
+        let client_random: [u8; 32] = array_at(body, 1).ok_or(too_short.clone())?;
+        let sni_len = read_u16_be(body, 33).ok_or(too_short)? as usize;
+        let sni_bytes =
+            slice_at(body, 35, sni_len).ok_or(TlsError::BadHandshake("sni truncated"))?;
+        let sni = std::str::from_utf8(sni_bytes)
             .map_err(|_| TlsError::BadHandshake("sni not utf-8"))?
             .to_string();
         Ok(ClientHello { client_random, sni })
@@ -344,9 +339,7 @@ pub fn decode_client_stream(stream: &[u8], keylog: &KeyLog) -> Result<DecodedTls
                 }
             }
             ContentType::ApplicationData => {
-                let secret = client_random
-                    .as_ref()
-                    .and_then(|cr| keylog.secret_for(cr));
+                let secret = client_random.as_ref().and_then(|cr| keylog.secret_for(cr));
                 match (secret, client_random.as_ref()) {
                     (Some(secret), Some(cr)) => {
                         let mut pt = record.payload.clone();
@@ -358,7 +351,9 @@ pub fn decode_client_stream(stream: &[u8], keylog: &KeyLog) -> Result<DecodedTls
                             pt.len(),
                         );
                         xor_in_place(&mut pt, &ks);
-                        plaintext.get_or_insert_with(Vec::new).extend_from_slice(&pt);
+                        plaintext
+                            .get_or_insert_with(Vec::new)
+                            .extend_from_slice(&pt);
                     }
                     _ => opaque += 1,
                 }
@@ -389,9 +384,7 @@ pub fn decode_server_stream(
         match record.content_type {
             ContentType::Handshake => {}
             ContentType::ApplicationData => {
-                let secret = client_random
-                    .as_ref()
-                    .and_then(|cr| keylog.secret_for(cr));
+                let secret = client_random.as_ref().and_then(|cr| keylog.secret_for(cr));
                 match (secret, client_random.as_ref()) {
                     (Some(secret), Some(cr)) => {
                         let mut pt = record.payload.clone();
@@ -403,7 +396,9 @@ pub fn decode_server_stream(
                             pt.len(),
                         );
                         xor_in_place(&mut pt, &ks);
-                        plaintext.get_or_insert_with(Vec::new).extend_from_slice(&pt);
+                        plaintext
+                            .get_or_insert_with(Vec::new)
+                            .extend_from_slice(&pt);
                     }
                     _ => opaque += 1,
                 }
@@ -430,9 +425,11 @@ mod tests {
         let mut session = TlsSession::open(&mut rng, "srv.example", Some(&mut keylog));
         let mut stream = session.server_hello(&mut rng);
         stream.extend(session.seal_server(b"HTTP/1.1 200 OK\r\n\r\n"));
-        let decoded =
-            decode_server_stream(&stream, Some(session.client_random), &keylog).unwrap();
-        assert_eq!(decoded.plaintext.as_deref(), Some(&b"HTTP/1.1 200 OK\r\n\r\n"[..]));
+        let decoded = decode_server_stream(&stream, Some(session.client_random), &keylog).unwrap();
+        assert_eq!(
+            decoded.plaintext.as_deref(),
+            Some(&b"HTTP/1.1 200 OK\r\n\r\n"[..])
+        );
     }
 
     #[test]
@@ -508,7 +505,10 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(parse_records(&[99, 3, 3, 0, 0]), Err(TlsError::BadContentType(99)));
+        assert_eq!(
+            parse_records(&[99, 3, 3, 0, 0]),
+            Err(TlsError::BadContentType(99))
+        );
         assert_eq!(
             parse_records(&[23, 3, 1, 0, 0]),
             Err(TlsError::BadVersion([3, 1]))

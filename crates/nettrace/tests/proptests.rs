@@ -1,3 +1,8 @@
+// Property-based suites need the external `proptest` crate, which the
+// offline default build cannot fetch. The whole file is compiled out unless
+// the crate's `fuzz` feature is enabled (with a vendored proptest).
+#![cfg(feature = "fuzz")]
+
 //! Property-based tests for the capture substrate: codec round trips under
 //! arbitrary payloads, reassembly under arbitrary reordering, and TLS
 //! open/seal inverses.
@@ -207,6 +212,10 @@ fn pcap_timestamp_precision() {
         writer.write_packet(ms, b"x");
     }
     let reader = PcapReader::parse(&writer.finish()).unwrap();
-    let round: Vec<u64> = reader.packets.iter().map(PcapPacket::timestamp_ms).collect();
+    let round: Vec<u64> = reader
+        .packets
+        .iter()
+        .map(PcapPacket::timestamp_ms)
+        .collect();
     assert_eq!(round, vec![0, 1, 999, 1000, 1_696_516_200_123]);
 }

@@ -82,21 +82,44 @@ impl DataTypeCategory {
         match self {
             // COPPA § 312.2 explicitly enumerates these; CCPA also covers
             // them as "identifiers".
-            Name | ContactInfo | Aliases | ReasonablyLinkablePersonalIdentifiers
-            | DeviceHardwareIdentifiers | DeviceSoftwareIdentifiers | PreciseGeolocation
-            | Communications | Contacts => LegalBasis::Both,
+            Name
+            | ContactInfo
+            | Aliases
+            | ReasonablyLinkablePersonalIdentifiers
+            | DeviceHardwareIdentifiers
+            | DeviceSoftwareIdentifiers
+            | PreciseGeolocation
+            | Communications
+            | Contacts => LegalBasis::Both,
             // CCPA-specific enumerations (§ 1798.140(v)(1)).
-            LinkedPersonalIdentifiers | CustomerNumbers | LoginInfo | Race | Religion
-            | GenderSex | MaritalStatus | MilitaryVeteranStatus | MedicalConditions
-            | GeneticInfo | Disabilities | BiometricInfo | PersonalHistory
-            | InternetActivity | SensorData | ProductsAndAdvertising
+            LinkedPersonalIdentifiers
+            | CustomerNumbers
+            | LoginInfo
+            | Race
+            | Religion
+            | GenderSex
+            | MaritalStatus
+            | MilitaryVeteranStatus
+            | MedicalConditions
+            | GeneticInfo
+            | Disabilities
+            | BiometricInfo
+            | PersonalHistory
+            | InternetActivity
+            | SensorData
+            | ProductsAndAdvertising
             | InferencesAboutUsers => LegalBasis::Ccpa,
             // Contextual / derived categories covered by both frameworks'
             // catch-alls when linkable to a user.
-            DeviceInfo | Age | Language | CoarseGeolocation | LocationTime
-            | NetworkConnectionInfo | AppServiceUsage | AccountSettings | ServiceInfo => {
-                LegalBasis::Both
-            }
+            DeviceInfo
+            | Age
+            | Language
+            | CoarseGeolocation
+            | LocationTime
+            | NetworkConnectionInfo
+            | AppServiceUsage
+            | AccountSettings
+            | ServiceInfo => LegalBasis::Both,
         }
     }
 

@@ -287,15 +287,26 @@ impl DataTypeCategory {
     pub fn level2(&self) -> Level2 {
         use DataTypeCategory::*;
         match self {
-            Name | LinkedPersonalIdentifiers | ContactInfo
-            | ReasonablyLinkablePersonalIdentifiers | Aliases | CustomerNumbers | LoginInfo => {
-                Level2::PersonalIdentifiers
-            }
+            Name
+            | LinkedPersonalIdentifiers
+            | ContactInfo
+            | ReasonablyLinkablePersonalIdentifiers
+            | Aliases
+            | CustomerNumbers
+            | LoginInfo => Level2::PersonalIdentifiers,
             DeviceHardwareIdentifiers | DeviceSoftwareIdentifiers | DeviceInfo => {
                 Level2::DeviceIdentifiers
             }
-            Race | Age | Language | Religion | GenderSex | MaritalStatus
-            | MilitaryVeteranStatus | MedicalConditions | GeneticInfo | Disabilities
+            Race
+            | Age
+            | Language
+            | Religion
+            | GenderSex
+            | MaritalStatus
+            | MilitaryVeteranStatus
+            | MedicalConditions
+            | GeneticInfo
+            | Disabilities
             | BiometricInfo => Level2::PersonalCharacteristics,
             PersonalHistory => Level2::PersonalHistory,
             PreciseGeolocation | CoarseGeolocation | LocationTime => Level2::Geolocation,
@@ -303,7 +314,10 @@ impl DataTypeCategory {
                 Level2::UserCommunications
             }
             SensorData => Level2::Sensors,
-            ProductsAndAdvertising | AppServiceUsage | AccountSettings | ServiceInfo
+            ProductsAndAdvertising
+            | AppServiceUsage
+            | AccountSettings
+            | ServiceInfo
             | InferencesAboutUsers => Level2::UserInterestsAndBehaviors,
         }
     }
@@ -368,10 +382,7 @@ mod tests {
 
     #[test]
     fn level1_roots() {
-        assert_eq!(
-            DataTypeCategory::DeviceInfo.level1(),
-            Level1::Identifiers
-        );
+        assert_eq!(DataTypeCategory::DeviceInfo.level1(), Level1::Identifiers);
         assert_eq!(
             DataTypeCategory::AppServiceUsage.level1(),
             Level1::PersonalInformation
@@ -380,7 +391,10 @@ mod tests {
             .iter()
             .filter(|c| c.is_identifier())
             .count();
-        assert_eq!(identifiers, 10, "10 identifier categories (Table 2 left column)");
+        assert_eq!(
+            identifiers, 10,
+            "10 identifier categories (Table 2 left column)"
+        );
     }
 
     #[test]

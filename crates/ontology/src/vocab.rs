@@ -16,7 +16,13 @@ impl DataTypeCategory {
     pub fn vocabulary(&self) -> &'static [&'static str] {
         use DataTypeCategory::*;
         match self {
-            Name => &["first name", "last name", "full name", "user name", "surname"],
+            Name => &[
+                "first name",
+                "last name",
+                "full name",
+                "user name",
+                "surname",
+            ],
             LinkedPersonalIdentifiers => &[
                 "social security number",
                 "ssn",
@@ -118,14 +124,33 @@ impl DataTypeCategory {
                 "battery",
                 "resolution",
             ],
-            Race => &["race", "skin color", "national origin", "ancestry", "ethnicity"],
-            Age => &["age", "birthday", "birth date", "date of birth", "dob", "birth year", "age group"],
+            Race => &[
+                "race",
+                "skin color",
+                "national origin",
+                "ancestry",
+                "ethnicity",
+            ],
+            Age => &[
+                "age",
+                "birthday",
+                "birth date",
+                "date of birth",
+                "dob",
+                "birth year",
+                "age group",
+            ],
             Language => &["language", "locale", "preferred language", "lang"],
             Religion => &["religion", "religious affiliation", "faith"],
             GenderSex => &["gender", "sex", "sexual orientation", "pronouns"],
             MaritalStatus => &["marital status", "married", "spouse"],
             MilitaryVeteranStatus => &["military status", "veteran status", "veteran"],
-            MedicalConditions => &["medical condition", "health condition", "diagnosis", "medication"],
+            MedicalConditions => &[
+                "medical condition",
+                "health condition",
+                "diagnosis",
+                "medication",
+            ],
             GeneticInfo => &["genetic information", "dna", "genome"],
             Disabilities => &["disability", "accessibility needs", "impairment"],
             BiometricInfo => &[
@@ -158,7 +183,9 @@ impl DataTypeCategory {
                 "zip code",
                 "altitude",
             ],
-            CoarseGeolocation => &["city", "town", "country", "region", "state", "province", "geo"],
+            CoarseGeolocation => &[
+                "city", "town", "country", "region", "state", "province", "geo",
+            ],
             LocationTime => &[
                 "time",
                 "timestamp",
@@ -178,7 +205,13 @@ impl DataTypeCategory {
                 "comment",
                 "direct message",
             ],
-            Contacts => &["contact list", "contacts", "address book", "friends list", "people you communicate with"],
+            Contacts => &[
+                "contact list",
+                "contacts",
+                "address book",
+                "friends list",
+                "people you communicate with",
+            ],
             InternetActivity => &[
                 "browsing history",
                 "search history",
@@ -346,7 +379,10 @@ mod tests {
 
     #[test]
     fn total_vocabulary_size_reasonable() {
-        let total: usize = DataTypeCategory::ALL.iter().map(|c| c.vocabulary().len()).sum();
+        let total: usize = DataTypeCategory::ALL
+            .iter()
+            .map(|c| c.vocabulary().len())
+            .sum();
         assert!(total > 200, "vocabulary too small: {total}");
     }
 

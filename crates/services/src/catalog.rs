@@ -82,10 +82,12 @@ pub fn non_ats_pool() -> Vec<String> {
     .collect();
     // Synthetic long tail of unattributable utility domains.
     const HEADS: [&str; 12] = [
-        "static", "cdn", "edge", "media", "assets", "content", "img", "cache", "origin",
-        "files", "video", "play",
+        "static", "cdn", "edge", "media", "assets", "content", "img", "cache", "origin", "files",
+        "video", "play",
     ];
-    const TAILS: [&str; 8] = ["hub", "grid", "nest", "works", "layer", "point", "wave", "stack"];
+    const TAILS: [&str; 8] = [
+        "hub", "grid", "nest", "works", "layer", "point", "wave", "stack",
+    ];
     const TLDS: [&str; 3] = ["com", "net", "io"];
     for (i, head) in HEADS.iter().enumerate() {
         for (j, tail) in TAILS.iter().enumerate() {
@@ -157,8 +159,14 @@ fn duolingo() -> ServiceSpec {
                 Level2::UserInterestsAndBehaviors,
                 Level2::UserCommunications,
             ] {
-                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
-                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdParty));
+                d.push(PrivacyPolicy::disclose_adult(
+                    g,
+                    DestinationClass::ThirdPartyAts,
+                ));
+                d.push(PrivacyPolicy::disclose_adult(
+                    g,
+                    DestinationClass::ThirdParty,
+                ));
             }
             d
         },
@@ -188,19 +196,31 @@ fn duolingo() -> ServiceSpec {
         traces4(
             TraceProfile::from_grid(
                 ["B-WB", "B-BB", "B-WB", "W-MB", "B-BB", "B-BB"],
-                34, 0.72, 7, 105,
+                34,
+                0.72,
+                7,
+                105,
             ),
             TraceProfile::from_grid(
                 ["B-WB", "B-BB", "B-BB", "W-WB", "B-BB", "B-BB"],
-                46, 0.70, 9, 105,
+                46,
+                0.70,
+                9,
+                105,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "B-BB", "B-BB", "B-WB", "B-BB", "B-BB"],
-                52, 0.70, 10, 105,
+                52,
+                0.70,
+                10,
+                105,
             ),
             TraceProfile::from_grid(
                 ["B--B", "B-BB", "B-WB", "W--B", "B-BB", "B-BB"],
-                40, 0.74, 8, 63,
+                40,
+                0.74,
+                8,
+                63,
             ),
         ),
         policy,
@@ -218,10 +238,22 @@ fn minecraft() -> ServiceSpec {
         disclosures: {
             let mut d: Vec<PolicyDisclosure> = Vec::new();
             for &g in &Level2::TABLE4_ROWS {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
-                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
-                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstPartyAts,
+                ));
+                d.push(PrivacyPolicy::disclose_consented(
+                    g,
+                    DestinationClass::ThirdParty,
+                ));
+                d.push(PrivacyPolicy::disclose_adult(
+                    g,
+                    DestinationClass::ThirdPartyAts,
+                ));
             }
             d
         },
@@ -259,19 +291,31 @@ fn minecraft() -> ServiceSpec {
         traces4(
             TraceProfile::from_grid(
                 ["BBB-", "BBBB", "BBBB", "BBWM", "BBBB", "BBBB"],
-                26, 0.62, 6, 95,
+                26,
+                0.62,
+                6,
+                95,
             ),
             TraceProfile::from_grid(
                 ["BBB-", "BBBB", "BBBB", "BBWB", "BBBB", "BBBB"],
-                30, 0.62, 8, 95,
+                30,
+                0.62,
+                8,
+                95,
             ),
             TraceProfile::from_grid(
                 ["BBBB", "BBBB", "BBBB", "BBWB", "BBBB", "BBBB"],
-                33, 0.62, 9, 95,
+                33,
+                0.62,
+                9,
+                95,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BBBB", "BB-W", "BB-W", "BBBB", "BB-B"],
-                24, 0.68, 7, 57,
+                24,
+                0.68,
+                7,
+                57,
             ),
         ),
         policy,
@@ -288,15 +332,30 @@ fn quizlet() -> ServiceSpec {
         disclosures: {
             let mut d: Vec<PolicyDisclosure> = Vec::new();
             for &g in &Level2::TABLE4_ROWS {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstPartyAts,
+                ));
             }
             // "Aggregated or de-identified information ... for marketing":
             // read generously as disclosing behavioral data to third parties
             // after consent.
-            for g in [Level2::UserInterestsAndBehaviors, Level2::UserCommunications] {
-                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
-                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdPartyAts));
+            for g in [
+                Level2::UserInterestsAndBehaviors,
+                Level2::UserCommunications,
+            ] {
+                d.push(PrivacyPolicy::disclose_consented(
+                    g,
+                    DestinationClass::ThirdParty,
+                ));
+                d.push(PrivacyPolicy::disclose_consented(
+                    g,
+                    DestinationClass::ThirdPartyAts,
+                ));
             }
             d
         },
@@ -325,19 +384,31 @@ fn quizlet() -> ServiceSpec {
         traces4(
             TraceProfile::from_grid(
                 ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
-                118, 0.55, 9, 440,
+                118,
+                0.55,
+                9,
+                440,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
-                219, 0.55, 12, 440,
+                219,
+                0.55,
+                12,
+                440,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
-                234, 0.55, 13, 440,
+                234,
+                0.55,
+                13,
+                440,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "B-BB", "B-BB", "W-BB", "BBBB", "BBBB"],
-                152, 0.58, 11, 264,
+                152,
+                0.58,
+                11,
+                264,
             ),
         ),
         policy,
@@ -356,8 +427,14 @@ fn roblox() -> ServiceSpec {
         disclosures: {
             let mut d: Vec<PolicyDisclosure> = Vec::new();
             for &g in &Level2::TABLE4_ROWS {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstPartyAts,
+                ));
             }
             // "Non-identifying data of all users regardless of their age".
             for g in [
@@ -365,8 +442,14 @@ fn roblox() -> ServiceSpec {
                 Level2::UserCommunications,
                 Level2::UserInterestsAndBehaviors,
             ] {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::ThirdParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::ThirdPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::ThirdParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::ThirdPartyAts,
+                ));
             }
             d
         },
@@ -407,19 +490,31 @@ fn roblox() -> ServiceSpec {
         traces4(
             TraceProfile::from_grid(
                 ["B-BB", "BBBB", "B-MB", "B--B", "B-WB", "BBBB"],
-                41, 0.78, 8, 110,
+                41,
+                0.78,
+                8,
+                110,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "BBBB", "B-BB", "B--B", "B-BB", "BBBB"],
-                52, 0.78, 9, 110,
+                52,
+                0.78,
+                9,
+                110,
             ),
             TraceProfile::from_grid(
                 ["B-BB", "BBBB", "B-BB", "B--B", "B-BB", "BBBB"],
-                55, 0.78, 10, 110,
+                55,
+                0.78,
+                10,
+                110,
             ),
             TraceProfile::from_grid(
                 ["B--B", "BBBB", "B-BB", "---B", "B-BB", "BBBB"],
-                44, 0.80, 8, 66,
+                44,
+                0.80,
+                8,
+                66,
             ),
         ),
         policy,
@@ -437,13 +532,22 @@ fn tiktok() -> ServiceSpec {
         disclosures: {
             let mut d: Vec<PolicyDisclosure> = Vec::new();
             for &g in &Level2::TABLE4_ROWS {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstPartyAts,
+                ));
             }
             // "Service providers ... for internal operations": non-ATS third
             // parties for device/communications data.
             for g in [Level2::DeviceIdentifiers, Level2::UserCommunications] {
-                d.push(PrivacyPolicy::disclose_consented(g, DestinationClass::ThirdParty));
+                d.push(PrivacyPolicy::disclose_consented(
+                    g,
+                    DestinationClass::ThirdParty,
+                ));
             }
             for g in [
                 Level2::PersonalIdentifiers,
@@ -451,7 +555,10 @@ fn tiktok() -> ServiceSpec {
                 Level2::UserCommunications,
                 Level2::UserInterestsAndBehaviors,
             ] {
-                d.push(PrivacyPolicy::disclose_adult(g, DestinationClass::ThirdPartyAts));
+                d.push(PrivacyPolicy::disclose_adult(
+                    g,
+                    DestinationClass::ThirdPartyAts,
+                ));
             }
             d
         },
@@ -467,7 +574,13 @@ fn tiktok() -> ServiceSpec {
     svc(
         "TikTok",
         "tiktok",
-        &["tiktok.com", "tiktokcdn.com", "tiktokv.com", "tiktokv.us", "ibytedtos.com"],
+        &[
+            "tiktok.com",
+            "tiktokcdn.com",
+            "tiktokv.com",
+            "tiktokv.us",
+            "ibytedtos.com",
+        ],
         &[
             "www.tiktok.com",
             "webcast.tiktok.com",
@@ -482,24 +595,40 @@ fn tiktok() -> ServiceSpec {
             "lf16-tiktok-web.ttwstatic.com",
             "im-api-va.tiktokv.com",
         ],
-        &["analytics.tiktok.com", "business-api.tiktok.com", "mcs.tiktokv.us"],
+        &[
+            "analytics.tiktok.com",
+            "business-api.tiktok.com",
+            "mcs.tiktokv.us",
+        ],
         &[Platform::Web, Platform::Mobile],
         traces4(
             TraceProfile::from_grid(
                 ["BB--", "BBMB", "BB--", "BB--", "BBBB", "BB--"],
-                7, 0.72, 4, 172,
+                7,
+                0.72,
+                4,
+                172,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BBBB", "BB--", "BB--", "BBBB", "BB-B"],
-                12, 0.72, 5, 172,
+                12,
+                0.72,
+                5,
+                172,
             ),
             TraceProfile::from_grid(
                 ["BB-B", "BBBB", "BB--", "BBW-", "BBBB", "BBBB"],
-                15, 0.72, 6, 172,
+                15,
+                0.72,
+                6,
+                172,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BB-B", "BB--", "BB--", "BB-B", "BB--"],
-                9, 0.76, 4, 103,
+                9,
+                0.76,
+                4,
+                103,
             ),
         ),
         policy,
@@ -517,8 +646,14 @@ fn youtube() -> ServiceSpec {
         disclosures: {
             let mut d: Vec<PolicyDisclosure> = Vec::new();
             for &g in &Level2::TABLE4_ROWS {
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstParty));
-                d.push(PrivacyPolicy::disclose_all_traces(g, DestinationClass::FirstPartyAts));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstParty,
+                ));
+                d.push(PrivacyPolicy::disclose_all_traces(
+                    g,
+                    DestinationClass::FirstPartyAts,
+                ));
             }
             d
         },
@@ -531,7 +666,12 @@ fn youtube() -> ServiceSpec {
     svc(
         "YouTube",
         "youtube",
-        &["youtube.com", "youtubekids.com", "ytimg.com", "googlevideo.com"],
+        &[
+            "youtube.com",
+            "youtubekids.com",
+            "ytimg.com",
+            "googlevideo.com",
+        ],
         &[
             // The paper observes 76 distinct YouTube FQDNs, dominated by
             // googlevideo CDN shards; this pool reproduces that shape.
@@ -575,19 +715,31 @@ fn youtube() -> ServiceSpec {
         traces4(
             TraceProfile::from_grid(
                 ["B---", "BB--", "BB--", "B---", "BB--", "BB--"],
-                0, 0.0, 0, 16,
+                0,
+                0.0,
+                0,
+                16,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BB--", "BB--", "BB--", "BB--", "BB--"],
-                0, 0.0, 0, 16,
+                0,
+                0.0,
+                0,
+                16,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BB--", "BB--", "BB--", "BB--", "BB--"],
-                0, 0.0, 0, 16,
+                0,
+                0.0,
+                0,
+                16,
             ),
             TraceProfile::from_grid(
                 ["BB--", "BB--", "BW--", "BB--", "BB--", "BB--"],
-                0, 0.0, 0, 10,
+                0,
+                0.0,
+                0,
+                10,
             ),
         ),
         policy,
@@ -597,7 +749,14 @@ fn youtube() -> ServiceSpec {
 
 /// All six services in the paper's alphabetical order.
 pub fn all_services() -> Vec<ServiceSpec> {
-    vec![duolingo(), minecraft(), quizlet(), roblox(), tiktok(), youtube()]
+    vec![
+        duolingo(),
+        minecraft(),
+        quizlet(),
+        roblox(),
+        tiktok(),
+        youtube(),
+    ]
 }
 
 /// Look up one service by slug.
@@ -617,7 +776,14 @@ mod tests {
         let slugs: Vec<&str> = services.iter().map(|s| s.slug).collect();
         assert_eq!(
             slugs,
-            ["duolingo", "minecraft", "quizlet", "roblox", "tiktok", "youtube"]
+            [
+                "duolingo",
+                "minecraft",
+                "quizlet",
+                "roblox",
+                "tiktok",
+                "youtube"
+            ]
         );
     }
 
@@ -641,9 +807,9 @@ mod tests {
         // sharing prior to consent and age disclosure."
         for service in all_services() {
             let profile = service.trace(TraceCategory::LoggedOut);
-            let collects = Level2::TABLE4_ROWS.iter().any(|&g| {
-                profile.presence(g, FlowAction::CollectFirst).any()
-            });
+            let collects = Level2::TABLE4_ROWS
+                .iter()
+                .any(|&g| profile.presence(g, FlowAction::CollectFirst).any());
             assert!(collects, "{} must collect while logged out", service.name);
         }
     }
@@ -661,7 +827,11 @@ mod tests {
             if service.slug == "youtube" {
                 assert!(!shares_ats, "YouTube must not share with third-party ATS");
             } else {
-                assert!(shares_ats, "{} must share with ATS logged out", service.name);
+                assert!(
+                    shares_ats,
+                    "{} must share with ATS logged out",
+                    service.name
+                );
             }
         }
     }
@@ -710,9 +880,7 @@ mod tests {
             for trace in TraceCategory::ALL {
                 for &g in &Level2::TABLE4_ROWS {
                     for action in FlowAction::ALL {
-                        if service.expected_presence(trace, g, action)
-                            == CellPresence::MobileOnly
-                        {
+                        if service.expected_presence(trace, g, action) == CellPresence::MobileOnly {
                             assert!(
                                 ["roblox", "tiktok", "minecraft", "duolingo"]
                                     .contains(&service.slug),
@@ -739,7 +907,11 @@ mod tests {
         // adult and logged-out; child counts are below adolescent/adult.
         let services = all_services();
         let quizlet = services.iter().find(|s| s.slug == "quizlet").unwrap();
-        for trace in [TraceCategory::Adolescent, TraceCategory::Adult, TraceCategory::LoggedOut] {
+        for trace in [
+            TraceCategory::Adolescent,
+            TraceCategory::Adult,
+            TraceCategory::LoggedOut,
+        ] {
             for other in services.iter().filter(|s| s.slug != "quizlet") {
                 assert!(
                     quizlet.trace(trace).third_party_esld_count
@@ -751,7 +923,11 @@ mod tests {
         for service in &services {
             let child = service.trace(TraceCategory::Child).third_party_esld_count;
             let adult = service.trace(TraceCategory::Adult).third_party_esld_count;
-            assert!(child <= adult, "{}: child ({child}) > adult ({adult})", service.name);
+            assert!(
+                child <= adult,
+                "{}: child ({child}) > adult ({adult})",
+                service.name
+            );
         }
     }
 

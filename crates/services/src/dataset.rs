@@ -144,7 +144,14 @@ pub fn generate_service(
                 unit_index += 1;
                 let state = states.get_mut(&category).expect("state exists");
                 let exchanges = generate_unit_scaled(
-                    spec, category, kind, platform, state, factory, root, start_ms,
+                    spec,
+                    category,
+                    kind,
+                    platform,
+                    state,
+                    factory,
+                    root,
+                    start_ms,
                     options.volume_scale,
                 );
                 let artifact = package_unit(

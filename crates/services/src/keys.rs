@@ -36,8 +36,8 @@ const ABBREVIATIONS: &[(&str, &str)] = &[
     ("message", "msg"),
     ("telephone", "tel"),
     ("number", "num"),
-    ("device", "dev"),      // unknown to classifier
-    ("browser", "brws"),    // unknown to classifier
+    ("device", "dev"),   // unknown to classifier
+    ("browser", "brws"), // unknown to classifier
     ("birthday", "bday"),
     ("country", "ctry"),
     ("region", "rgn"),
@@ -48,8 +48,8 @@ const ABBREVIATIONS: &[(&str, &str)] = &[
     ("settings", "cfg"),
     ("network", "net"),
     ("connection", "conn"),
-    ("request", "req"),     // unknown to classifier
-    ("response", "resp"),   // unknown to classifier
+    ("request", "req"),   // unknown to classifier
+    ("response", "resp"), // unknown to classifier
     ("application", "app"),
     ("event", "evt"),
     ("preferences", "prefs"),
@@ -126,21 +126,45 @@ const SYNONYMS: &[(DataTypeCategory, &[&str])] = &[
     (DataTypeCategory::ContactInfo, &["mailbox", "hotline"]),
     (DataTypeCategory::Aliases, &["gamertag", "screenname"]),
     (DataTypeCategory::LoginInfo, &["otp", "bearer", "secret"]),
-    (DataTypeCategory::ReasonablyLinkablePersonalIdentifiers, &["anon", "visitor"]),
-    (DataTypeCategory::DeviceHardwareIdentifiers, &["imsi", "simid"]), // simid unknown
-    (DataTypeCategory::DeviceSoftwareIdentifiers, &["fbp", "muid"]),
-    (DataTypeCategory::DeviceInfo, &["handset", "viewport", "chipset"]),
+    (
+        DataTypeCategory::ReasonablyLinkablePersonalIdentifiers,
+        &["anon", "visitor"],
+    ),
+    (
+        DataTypeCategory::DeviceHardwareIdentifiers,
+        &["imsi", "simid"],
+    ), // simid unknown
+    (
+        DataTypeCategory::DeviceSoftwareIdentifiers,
+        &["fbp", "muid"],
+    ),
+    (
+        DataTypeCategory::DeviceInfo,
+        &["handset", "viewport", "chipset"],
+    ),
     (DataTypeCategory::Age, &["yob", "cohort"]),
     (DataTypeCategory::Language, &["i18n", "l10n"]),
     (DataTypeCategory::GenderSex, &["salutation"]),
     (DataTypeCategory::CoarseGeolocation, &["territory", "muni"]), // muni unknown
     (DataTypeCategory::LocationTime, &["epoch", "clock", "dst"]),
-    (DataTypeCategory::NetworkConnectionInfo, &["ping", "downlink", "mtu"]),
-    (DataTypeCategory::ProductsAndAdvertising, &["sponsor", "cpc", "monetize"]),
-    (DataTypeCategory::AppServiceUsage, &["engagement", "dwell", "streak"]), // dwell unknown
+    (
+        DataTypeCategory::NetworkConnectionInfo,
+        &["ping", "downlink", "mtu"],
+    ),
+    (
+        DataTypeCategory::ProductsAndAdvertising,
+        &["sponsor", "cpc", "monetize"],
+    ),
+    (
+        DataTypeCategory::AppServiceUsage,
+        &["engagement", "dwell", "streak"],
+    ), // dwell unknown
     (DataTypeCategory::AccountSettings, &["toggles", "flags"]),
     (DataTypeCategory::ServiceInfo, &["artifact", "runtime"]), // artifact unknown
-    (DataTypeCategory::InferencesAboutUsers, &["cluster", "propensity", "lookalike"]),
+    (
+        DataTypeCategory::InferencesAboutUsers,
+        &["cluster", "propensity", "lookalike"],
+    ),
 ];
 
 const PREFIXES: &[&str] = &["user", "client", "meta", "ctx", "req", "payload"];
@@ -233,10 +257,7 @@ impl KeyFactory {
         // shorthand far more often than spelled-out phrases.
         if roll < 0.70 {
             for token in &mut tokens {
-                if let Some((_, abbr)) = ABBREVIATIONS
-                    .iter()
-                    .find(|(word, _)| word == token)
-                {
+                if let Some((_, abbr)) = ABBREVIATIONS.iter().find(|(word, _)| word == token) {
                     if rng.chance(0.85) {
                         *token = abbr.to_string();
                     }
@@ -307,13 +328,21 @@ pub fn make_value(category: DataTypeCategory, rng: &mut Rng) -> String {
             if rng.chance(0.5) {
                 rng.choose(MODELS).to_string()
             } else {
-                format!("{}x{}", 320 + rng.range(0, 8) * 160, 480 + rng.range(0, 8) * 160)
+                format!(
+                    "{}x{}",
+                    320 + rng.range(0, 8) * 160,
+                    480 + rng.range(0, 8) * 160
+                )
             }
         }
         Race => "prefer-not-to-say".to_string(),
         Age => format!("{}", 8 + rng.range(0, 40)),
         Language => ["en-US", "es-MX", "fr-FR", "de-DE", "pt-BR"][rng.range(0, 5)].to_string(),
-        Religion | MaritalStatus | MilitaryVeteranStatus | MedicalConditions | GeneticInfo
+        Religion
+        | MaritalStatus
+        | MilitaryVeteranStatus
+        | MedicalConditions
+        | GeneticInfo
         | Disabilities => "undisclosed".to_string(),
         GenderSex => ["f", "m", "nonbinary", "undisclosed"][rng.range(0, 4)].to_string(),
         BiometricInfo => format!("bio:{}", rng.hex_string(16)),
@@ -337,12 +366,18 @@ pub fn make_value(category: DataTypeCategory, rng: &mut Rng) -> String {
         ProductsAndAdvertising => format!("creative-{}", rng.range(1000, 9999)),
         AppServiceUsage => format!("{}", rng.range(1, 3_600)),
         AccountSettings => ["on", "off", "default"][rng.range(0, 3)].to_string(),
-        ServiceInfo => format!("{}.{}.{}", rng.range(1, 9), rng.range(0, 20), rng.range(0, 99)),
-        InferencesAboutUsers => {
-            ["segment:casual-gamer", "segment:language-learner", "segment:study-focused"]
-                [rng.range(0, 3)]
-            .to_string()
-        }
+        ServiceInfo => format!(
+            "{}.{}.{}",
+            rng.range(1, 9),
+            rng.range(0, 20),
+            rng.range(0, 99)
+        ),
+        InferencesAboutUsers => [
+            "segment:casual-gamer",
+            "segment:language-learner",
+            "segment:study-focused",
+        ][rng.range(0, 3)]
+        .to_string(),
     }
 }
 
@@ -358,7 +393,10 @@ mod tests {
             let key = factory.make_key(DataTypeCategory::ContactInfo, &mut rng);
             assert_eq!(factory.truth()[&key], DataTypeCategory::ContactInfo);
         }
-        assert!(factory.unique_keys() > 20, "mutations should diversify keys");
+        assert!(
+            factory.unique_keys() > 20,
+            "mutations should diversify keys"
+        );
     }
 
     #[test]
@@ -408,7 +446,8 @@ mod tests {
             "header style present"
         );
         assert!(
-            keys.iter().any(|k| k.chars().any(|c| c.is_uppercase()) && !k.contains('-')),
+            keys.iter()
+                .any(|k| k.chars().any(|c| c.is_uppercase()) && !k.contains('-')),
             "camel style present"
         );
     }

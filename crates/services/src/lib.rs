@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # diffaudit-services
@@ -31,7 +32,9 @@ pub mod session;
 pub mod spec;
 
 pub use catalog::{all_services, service_by_slug};
-pub use dataset::{generate_dataset, DatasetOptions, GeneratedDataset, ServiceCapture, TraceArtifact};
+pub use dataset::{
+    generate_dataset, DatasetOptions, GeneratedDataset, ServiceCapture, TraceArtifact,
+};
 pub use keys::KeyFactory;
 pub use policy::{PolicyDisclosure, PrivacyPolicy};
 pub use profile::{AgeGroup, Platform, TraceCategory, TraceKind};

@@ -64,7 +64,9 @@ pub fn starred_l3(group: Level2) -> &'static [DataTypeCategory] {
 }
 
 /// Subdomain prefixes for third-party destinations.
-const TP_SUBDOMAINS: [&str; 8] = ["events", "t", "collect", "pixel", "sync", "sdk", "rt", "api"];
+const TP_SUBDOMAINS: [&str; 8] = [
+    "events", "t", "collect", "pixel", "sync", "sdk", "rt", "api",
+];
 
 /// Per-(service, trace-category) generator state, shared across the
 /// category's platforms and kinds so destination pools and linkability caps
@@ -157,12 +159,7 @@ impl TraceState {
 
     /// The level-3 categories this destination may receive from `group`,
     /// honoring the per-destination cap. Grows the allowlist on demand.
-    fn allowed_l3(
-        &mut self,
-        esld: &str,
-        group: Level2,
-        rng: &mut Rng,
-    ) -> Vec<DataTypeCategory> {
+    fn allowed_l3(&mut self, esld: &str, group: Level2, rng: &mut Rng) -> Vec<DataTypeCategory> {
         let candidates = starred_l3(group);
         let allow = self.l3_allow.entry(esld.to_string()).or_default();
         let mut usable: Vec<DataTypeCategory> = candidates
@@ -205,7 +202,9 @@ pub fn generate_unit(
     root: &Rng,
     start_ms: u64,
 ) -> Vec<Exchange> {
-    generate_unit_scaled(spec, category, kind, platform, state, factory, root, start_ms, 1.0)
+    generate_unit_scaled(
+        spec, category, kind, platform, state, factory, root, start_ms, 1.0,
+    )
 }
 
 /// [`generate_unit`] with a volume multiplier. The unit never shrinks below
@@ -332,7 +331,9 @@ fn path_for(group: Level2, kind: TraceKind, rng: &mut Rng) -> String {
     let base = match group {
         Level2::PersonalIdentifiers => ["/v1/account", "/v1/profile", "/signup/step"],
         Level2::DeviceIdentifiers => ["/v1/device", "/telemetry/device", "/sdk/init"],
-        Level2::PersonalCharacteristics => ["/v1/profile/attrs", "/v1/settings/profile", "/onboarding"],
+        Level2::PersonalCharacteristics => {
+            ["/v1/profile/attrs", "/v1/settings/profile", "/onboarding"]
+        }
         Level2::Geolocation => ["/v1/geo", "/locale", "/v1/region"],
         Level2::UserCommunications => ["/v1/net", "/health/conn", "/v1/ping"],
         Level2::UserInterestsAndBehaviors => ["/v2/events", "/batch", "/v1/analytics"],
@@ -369,7 +370,9 @@ fn build_exchange(
     }
     if kvs.is_empty() {
         // Degenerate group (unstarred): emit a generic same-group key.
-        let fallback = starred_l3(group).first().copied()
+        let fallback = starred_l3(group)
+            .first()
+            .copied()
             .unwrap_or(DataTypeCategory::ServiceInfo);
         kvs.push(factory.make(fallback, rng));
     }
@@ -384,9 +387,15 @@ fn build_exchange(
         }
         let padding = padded_len(spec.mean_request_padding, rng);
         if padding > 0 {
-            let (pad_key, _) = factory.make(use_l3s.first().copied().unwrap_or(
-                starred_l3(group).first().copied().unwrap_or(DataTypeCategory::ServiceInfo),
-            ), rng);
+            let (pad_key, _) = factory.make(
+                use_l3s.first().copied().unwrap_or(
+                    starred_l3(group)
+                        .first()
+                        .copied()
+                        .unwrap_or(DataTypeCategory::ServiceInfo),
+                ),
+                rng,
+            );
             body.set(pad_key, Json::str("x".repeat(padding)));
         }
         HttpRequest::post(
@@ -412,10 +421,17 @@ fn build_exchange(
         let padding = padded_len(spec.mean_request_padding, rng);
         if padding > 0 {
             let pad_l3 = use_l3s.first().copied().unwrap_or(
-                starred_l3(group).first().copied().unwrap_or(DataTypeCategory::ServiceInfo),
+                starred_l3(group)
+                    .first()
+                    .copied()
+                    .unwrap_or(DataTypeCategory::ServiceInfo),
             );
             let (pad_key, _) = factory.make(pad_l3, rng);
-            parts.push(format!("{}={}", percent_encode(&pad_key), "x".repeat(padding)));
+            parts.push(format!(
+                "{}={}",
+                percent_encode(&pad_key),
+                "x".repeat(padding)
+            ));
         }
         HttpRequest::post(
             Url::parse(&url_base).expect("generated URL valid"),
@@ -426,7 +442,13 @@ fn build_exchange(
         // GET with a Cookie header carrying the keys.
         let cookie = kvs
             .iter()
-            .map(|(k, v)| format!("{}={}", k.replace([';', '=', ' '], "_"), v.replace([';', ' '], "_")))
+            .map(|(k, v)| {
+                format!(
+                    "{}={}",
+                    k.replace([';', '=', ' '], "_"),
+                    v.replace([';', ' '], "_")
+                )
+            })
             .collect::<Vec<_>>()
             .join("; ");
         let mut req = HttpRequest::get(Url::parse(&url_base).expect("generated URL valid"));
@@ -515,7 +537,14 @@ mod tests {
             let mut factory = KeyFactory::new();
             for kind in [TraceKind::AccountCreation, TraceKind::LoggedIn] {
                 for ex in generate_unit(
-                    &spec, category, kind, Platform::Web, &mut state, &mut factory, &root, 0,
+                    &spec,
+                    category,
+                    kind,
+                    Platform::Web,
+                    &mut state,
+                    &mut factory,
+                    &root,
+                    0,
                 ) {
                     assert!(
                         classifier.is_first_party(&ex.request.url.host),
@@ -541,7 +570,10 @@ mod tests {
         }
         for host in &state.third_hosts {
             let d = diffaudit_domains::DomainName::parse(host).unwrap();
-            assert!(!matcher.is_blocked(&d), "{host} should NOT be on a block list");
+            assert!(
+                !matcher.is_blocked(&d),
+                "{host} should NOT be on a block list"
+            );
         }
     }
 
@@ -595,7 +627,14 @@ mod tests {
         let mut seen: std::collections::HashSet<DestinationClass> = Default::default();
         for kind in [TraceKind::AccountCreation, TraceKind::LoggedIn] {
             for ex in generate_unit(
-                &spec, category, kind, Platform::Mobile, &mut state, &mut factory, &root, 0,
+                &spec,
+                category,
+                kind,
+                Platform::Mobile,
+                &mut state,
+                &mut factory,
+                &root,
+                0,
             ) {
                 seen.insert(classifier.classify(&ex.request.url.host));
             }

@@ -187,8 +187,7 @@ impl TraceProfile {
     /// `true` when any third-party flow exists anywhere in this trace.
     pub fn shares_with_third_parties(&self) -> bool {
         self.cells.iter().any(|(&(_, action), presence)| {
-            presence.any()
-                && matches!(action, FlowAction::ShareThird | FlowAction::ShareThirdAts)
+            presence.any() && matches!(action, FlowAction::ShareThird | FlowAction::ShareThirdAts)
         })
     }
 }
@@ -302,7 +301,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad grid char")]
     fn grid_rejects_bad_chars() {
-        TraceProfile::from_grid(["XXXX", "----", "----", "----", "----", "----"], 1, 0.5, 1, 1);
+        TraceProfile::from_grid(
+            ["XXXX", "----", "----", "----", "----", "----"],
+            1,
+            0.5,
+            1,
+            1,
+        );
     }
 
     #[test]

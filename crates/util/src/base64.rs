@@ -102,8 +102,16 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base64Error> {
         let a = sextet(group[0], base)?;
         let b = sextet(group[1], base + 1)?;
         let n_pad = if is_last { pad } else { 0 };
-        let c = if n_pad >= 2 { 0 } else { sextet(group[2], base + 2)? };
-        let d = if n_pad >= 1 { 0 } else { sextet(group[3], base + 3)? };
+        let c = if n_pad >= 2 {
+            0
+        } else {
+            sextet(group[2], base + 2)?
+        };
+        let d = if n_pad >= 1 {
+            0
+        } else {
+            sextet(group[3], base + 3)?
+        };
         let n = ((a as u32) << 18) | ((b as u32) << 12) | ((c as u32) << 6) | d as u32;
         out.push((n >> 16) as u8);
         if n_pad < 2 {

@@ -1,0 +1,109 @@
+//! Checked binary readers for untrusted input.
+//!
+//! The capture decoders (pcap/pcapng records, Ethernet/IP/TCP framing, TLS
+//! records) consume length-prefixed binary formats where every offset comes
+//! from attacker-controlled bytes. These helpers replace raw slice indexing
+//! and `try_into().expect(..)` conversions with total functions returning
+//! `Option`, so a truncated or lying buffer surfaces as a decodable error
+//! instead of a panic — the invariant enforced by `diffaudit-analyzer`'s
+//! `no-panic` pass.
+
+/// A fixed-size array copied out of `buf` at `offset`, if in bounds.
+pub fn array_at<const N: usize>(buf: &[u8], offset: usize) -> Option<[u8; N]> {
+    let slice = buf.get(offset..offset.checked_add(N)?)?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    Some(out)
+}
+
+/// The byte at `offset`, if in bounds.
+pub fn u8_at(buf: &[u8], offset: usize) -> Option<u8> {
+    buf.get(offset).copied()
+}
+
+/// Little-endian `u16` at `offset`.
+pub fn read_u16_le(buf: &[u8], offset: usize) -> Option<u16> {
+    array_at(buf, offset).map(u16::from_le_bytes)
+}
+
+/// Big-endian `u16` at `offset`.
+pub fn read_u16_be(buf: &[u8], offset: usize) -> Option<u16> {
+    array_at(buf, offset).map(u16::from_be_bytes)
+}
+
+/// Little-endian `u32` at `offset`.
+pub fn read_u32_le(buf: &[u8], offset: usize) -> Option<u32> {
+    array_at(buf, offset).map(u32::from_le_bytes)
+}
+
+/// Big-endian `u32` at `offset`.
+pub fn read_u32_be(buf: &[u8], offset: usize) -> Option<u32> {
+    array_at(buf, offset).map(u32::from_be_bytes)
+}
+
+/// Little-endian `u64` at `offset`.
+pub fn read_u64_le(buf: &[u8], offset: usize) -> Option<u64> {
+    array_at(buf, offset).map(u64::from_le_bytes)
+}
+
+/// Big-endian `u64` at `offset`.
+pub fn read_u64_be(buf: &[u8], offset: usize) -> Option<u64> {
+    array_at(buf, offset).map(u64::from_be_bytes)
+}
+
+/// The subslice `buf[offset..offset + len]`, if fully in bounds
+/// (overflow-safe: a lying length field near `usize::MAX` returns `None`).
+pub fn slice_at(buf: &[u8], offset: usize, len: usize) -> Option<&[u8]> {
+    buf.get(offset..offset.checked_add(len)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [u8; 8] = [0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08];
+
+    #[test]
+    fn array_at_in_bounds() {
+        assert_eq!(array_at::<4>(&DATA, 2), Some([3, 4, 5, 6]));
+        assert_eq!(array_at::<8>(&DATA, 0), Some(DATA));
+    }
+
+    #[test]
+    fn array_at_out_of_bounds() {
+        assert_eq!(array_at::<4>(&DATA, 5), None);
+        assert_eq!(array_at::<4>(&DATA, usize::MAX), None);
+        assert_eq!(array_at::<9>(&DATA, 0), None);
+    }
+
+    #[test]
+    fn endian_readers() {
+        assert_eq!(read_u16_le(&DATA, 0), Some(0x0201));
+        assert_eq!(read_u16_be(&DATA, 0), Some(0x0102));
+        assert_eq!(read_u32_le(&DATA, 2), Some(0x0605_0403));
+        assert_eq!(read_u32_be(&DATA, 2), Some(0x0304_0506));
+        assert_eq!(read_u64_le(&DATA, 0), Some(0x0807_0605_0403_0201));
+        assert_eq!(read_u64_be(&DATA, 0), Some(0x0102_0304_0506_0708));
+    }
+
+    #[test]
+    fn endian_readers_reject_truncation() {
+        assert_eq!(read_u16_le(&DATA, 7), None);
+        assert_eq!(read_u32_be(&DATA, 5), None);
+        assert_eq!(read_u64_le(&DATA, 1), None);
+    }
+
+    #[test]
+    fn slice_at_bounds_and_overflow() {
+        assert_eq!(slice_at(&DATA, 2, 3), Some(&DATA[2..5]));
+        assert_eq!(slice_at(&DATA, 2, 7), None);
+        assert_eq!(slice_at(&DATA, 8, 0), Some(&[][..]));
+        assert_eq!(slice_at(&DATA, 1, usize::MAX), None);
+    }
+
+    #[test]
+    fn u8_at_bounds() {
+        assert_eq!(u8_at(&DATA, 0), Some(1));
+        assert_eq!(u8_at(&DATA, 8), None);
+    }
+}

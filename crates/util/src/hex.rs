@@ -96,11 +96,17 @@ mod tests {
     fn decode_rejects_bad_chars() {
         assert_eq!(
             decode("zz"),
-            Err(HexError::InvalidChar { offset: 0, byte: b'z' })
+            Err(HexError::InvalidChar {
+                offset: 0,
+                byte: b'z'
+            })
         );
         assert_eq!(
             decode("aaxg"),
-            Err(HexError::InvalidChar { offset: 2, byte: b'x' })
+            Err(HexError::InvalidChar {
+                offset: 2,
+                byte: b'x'
+            })
         );
     }
 }

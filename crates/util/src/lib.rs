@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # diffaudit-util
@@ -17,10 +18,13 @@
 //!   string digests.
 //! - [`hex`] — hexadecimal encoding/decoding (used by the TLS key log).
 //! - [`base64`] — standard-alphabet base64 (used by HAR payload encoding).
+//! - [`bytes`] — checked binary readers (`Option`-returning) for decoding
+//!   untrusted length-prefixed formats without panic-capable indexing.
 //! - [`stats`] — small descriptive-statistics helpers for the benchmark
 //!   harness (means, percentiles, histograms).
 
 pub mod base64;
+pub mod bytes;
 pub mod hash;
 pub mod hex;
 pub mod rng;

@@ -37,10 +37,22 @@ fn main() -> std::io::Result<()> {
         ..Default::default()
     });
     let exchanges = [
-        exchange("https://api.roblox.com/v1/join", r#"{"user_id":"u-1","avatar":"x9"}"#),
-        exchange("https://metrics.roblox.com/v2/e", r#"{"event":"spawn","session":"s-2"}"#),
-        exchange("https://t.appsflyer.com/collect", r#"{"idfa":"ab-12","os":"android 13"}"#),
-        exchange("https://stats.g.doubleclick.net/c", r#"{"aid":"zz-7","lang":"en-US"}"#),
+        exchange(
+            "https://api.roblox.com/v1/join",
+            r#"{"user_id":"u-1","avatar":"x9"}"#,
+        ),
+        exchange(
+            "https://metrics.roblox.com/v2/e",
+            r#"{"event":"spawn","session":"s-2"}"#,
+        ),
+        exchange(
+            "https://t.appsflyer.com/collect",
+            r#"{"idfa":"ab-12","os":"android 13"}"#,
+        ),
+        exchange(
+            "https://stats.g.doubleclick.net/c",
+            r#"{"aid":"zz-7","lang":"en-US"}"#,
+        ),
     ];
     for ex in &exchanges {
         session.capture(ex);
@@ -61,7 +73,11 @@ fn main() -> std::io::Result<()> {
     std::fs::write(&pcap_path, &pcap)?;
     std::fs::write(&keylog_path, &keylog_text)?;
     println!("wrote {} ({} bytes)", pcap_path.display(), pcap.len());
-    println!("wrote {} ({} sessions)", keylog_path.display(), KeyLog::parse(&keylog_text).len());
+    println!(
+        "wrote {} ({} sessions)",
+        keylog_path.display(),
+        KeyLog::parse(&keylog_text).len()
+    );
 
     let pcap_back = std::fs::read(&pcap_path)?;
     let keylog_back = KeyLog::parse(&std::fs::read_to_string(&keylog_path)?);

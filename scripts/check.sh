@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, static analysis, build, tests.
+# Mirrors what CI (and the tier-1 verify) expects to pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> diffaudit-analyzer (no-panic / unsafe-audit / error-taxonomy)"
+cargo run -q -p diffaudit-analyzer
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

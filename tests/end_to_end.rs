@@ -118,5 +118,8 @@ fn pinning_degrades_gracefully() {
     let spec = service_by_slug("quizlet").unwrap();
     let grid = ObservedGrid::build(service);
     let (missing, _) = grid.compare_activity(&spec);
-    assert!(missing.is_empty(), "missing despite web coverage: {missing:?}");
+    assert!(
+        missing.is_empty(),
+        "missing despite web coverage: {missing:?}"
+    );
 }

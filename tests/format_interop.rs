@@ -111,5 +111,8 @@ fn ground_truth_covers_extracted_keys() {
             }
         }
     }
-    assert!(checked > 1000, "expected substantial key volume, got {checked}");
+    assert!(
+        checked > 1000,
+        "expected substantial key volume, got {checked}"
+    );
 }

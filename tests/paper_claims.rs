@@ -8,9 +8,7 @@ use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
 use diffaudit::stats::summarize;
 use diffaudit_blocklist::DestinationClass;
 use diffaudit_ontology::Level2;
-use diffaudit_services::{
-    generate_dataset, service_by_slug, DatasetOptions, TraceCategory,
-};
+use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions, TraceCategory};
 
 fn full_outcome() -> AuditOutcome {
     let dataset = generate_dataset(&DatasetOptions {
@@ -51,7 +49,11 @@ fn all_but_youtube_share_with_ats_pre_consent() {
         if service.slug.as_str() == "youtube" {
             assert!(!shares_ats, "YouTube must not share with third-party ATS");
         } else {
-            assert!(shares_ats, "{} must share with ATS logged out", service.name);
+            assert!(
+                shares_ats,
+                "{} must share with ATS logged out",
+                service.name
+            );
         }
     }
 }
@@ -144,7 +146,12 @@ fn linkability_findings_match_paper() {
         "most services must have child ≤ adult: {counts:?}"
     );
     let total = |idx: usize| counts.iter().map(|(_, p)| p[idx]).sum::<usize>();
-    assert!(total(0) < total(2), "aggregate child ({}) must be below adult ({})", total(0), total(2));
+    assert!(
+        total(0) < total(2),
+        "aggregate child ({}) must be below adult ({})",
+        total(0),
+        total(2)
+    );
 }
 
 /// Fig. 3 / Fig. 4 dominance claims need realistic traffic volume: the
@@ -200,9 +207,17 @@ fn quizlet_dominance_at_volume() {
         }
     }
     assert_eq!(best.1, "quizlet", "largest set owner: {best:?}");
-    assert!(best.0 >= 10, "Quizlet's largest set should be large: {}", best.0);
+    assert!(
+        best.0 >= 10,
+        "Quizlet's largest set should be large: {}",
+        best.0
+    );
     let (q_adult, set) = linkability::largest_linkable_set(
-        outcome.services.iter().find(|s| s.slug.as_str() == "quizlet").unwrap(),
+        outcome
+            .services
+            .iter()
+            .find(|s| s.slug.as_str() == "quizlet")
+            .unwrap(),
         TraceCategory::Adult,
     );
     assert!(q_adult >= 10, "Quizlet adult set: {q_adult}");
@@ -228,11 +243,7 @@ fn policy_inconsistencies_all_but_youtube() {
                 "YouTube's policy must be consistent with its behavior"
             );
         } else {
-            assert!(
-                undisclosed,
-                "{} must have undisclosed flows",
-                service.name
-            );
+            assert!(undisclosed, "{} must have undisclosed flows", service.name);
         }
     }
 }
