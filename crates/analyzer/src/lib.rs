@@ -14,7 +14,9 @@
 //! - **`no-panic`** — `unwrap()`, `expect(`, `panic!`, `todo!`,
 //!   `unimplemented!`, and `[...]` index expressions are forbidden in the
 //!   designated untrusted-input crates (`diffaudit-nettrace`,
-//!   `diffaudit-json`, `diffaudit-domains`). Escape hatch:
+//!   `diffaudit-json`, `diffaudit-domains`) and in the individually
+//!   designated salvage-path files (`crates/core/src/loader.rs`,
+//!   `crates/core/src/salvage.rs`). Escape hatch:
 //!   `// lint:allow(no-panic): <reason>`; test modules and `tests/`/
 //!   `benches/` targets are exempt.
 //! - **`unsafe-audit`** — every `unsafe` token must carry a nearby
@@ -40,4 +42,4 @@ pub mod workspace;
 
 pub use findings::{Finding, Lint};
 pub use passes::{analyze_source, Policy, SourceFile};
-pub use workspace::{analyze_workspace, find_root, Config, DESIGNATED_CRATES};
+pub use workspace::{analyze_workspace, find_root, Config, DESIGNATED_CRATES, DESIGNATED_FILES};

@@ -12,6 +12,13 @@ use std::path::{Path, PathBuf};
 /// for `unsafe` only.
 pub const DESIGNATED_CRATES: [&str; 3] = ["nettrace", "json", "domains"];
 
+/// Individual production files *outside* the designated crates that sit on
+/// the untrusted-input path and are therefore held to the parser policy
+/// too. Paths are workspace-relative with forward slashes. The salvage
+/// loader and degradation ledger route every decoded-or-corrupt record, so
+/// a panic there defeats the whole skip-and-record design.
+pub const DESIGNATED_FILES: [&str; 2] = ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"];
+
 /// Analysis configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -19,6 +26,8 @@ pub struct Config {
     pub root: PathBuf,
     /// Crate directory names (under `crates/`) held to the parser policy.
     pub designated: Vec<String>,
+    /// Workspace-relative paths of extra files held to the parser policy.
+    pub designated_files: Vec<String>,
 }
 
 impl Config {
@@ -27,6 +36,7 @@ impl Config {
         Config {
             root: root.into(),
             designated: DESIGNATED_CRATES.iter().map(|s| s.to_string()).collect(),
+            designated_files: DESIGNATED_FILES.iter().map(|s| s.to_string()).collect(),
         }
     }
 }
@@ -80,13 +90,24 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
             } else {
                 Policy::default_crate()
             };
-            analyze_dir(&dir, &config.root, policy, &mut findings)?;
+            let upgrades = if production {
+                config.designated_files.as_slice()
+            } else {
+                &[]
+            };
+            analyze_dir(&dir, &config.root, policy, upgrades, &mut findings)?;
         }
     }
     for top in ["tests", "examples"] {
         let dir = config.root.join(top);
         if dir.is_dir() {
-            analyze_dir(&dir, &config.root, Policy::default_crate(), &mut findings)?;
+            analyze_dir(
+                &dir,
+                &config.root,
+                Policy::default_crate(),
+                &[],
+                &mut findings,
+            )?;
         }
     }
     findings.sort_by(|a, b| {
@@ -102,6 +123,7 @@ fn analyze_dir(
     dir: &Path,
     root: &Path,
     policy: Policy,
+    upgrades: &[String],
     findings: &mut Vec<Finding>,
 ) -> io::Result<()> {
     let mut stack = vec![dir.to_path_buf()];
@@ -120,6 +142,11 @@ fn analyze_dir(
                     .unwrap_or(&path)
                     .to_string_lossy()
                     .replace('\\', "/");
+                let policy = if upgrades.iter().any(|f| *f == display) {
+                    Policy::parser_crate()
+                } else {
+                    policy
+                };
                 let file = SourceFile::new(display, raw);
                 findings.extend(analyze_source(&file, policy));
             }
@@ -143,5 +170,9 @@ mod tests {
     #[test]
     fn designated_set_matches_issue() {
         assert_eq!(DESIGNATED_CRATES, ["nettrace", "json", "domains"]);
+        assert_eq!(
+            DESIGNATED_FILES,
+            ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"]
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! enforced invariant rather than an opt-in tool — `cargo test` cannot go
 //! green while a panic-capable construct sits on an untrusted-input path.
 
-use diffaudit_analyzer::{analyze_workspace, find_root, report, Config};
+use diffaudit_analyzer::{analyze_workspace, find_root, report, Config, DESIGNATED_FILES};
 use std::path::Path;
 
 fn workspace_root() -> std::path::PathBuf {
@@ -29,6 +29,9 @@ fn analyzer_covers_the_designated_crates() {
         let src = root.join("crates").join(krate).join("src");
         assert!(src.is_dir(), "missing {krate} src dir");
     }
+    for file in DESIGNATED_FILES {
+        assert!(root.join(file).is_file(), "missing designated file {file}");
+    }
 }
 
 #[test]
@@ -44,19 +47,28 @@ fn sentinel_unwrap_in_a_fake_workspace_is_flagged_with_file_and_line() {
     ));
     let _ = std::fs::remove_dir_all(&dir);
     let nettrace_src = dir.join("crates/nettrace/src");
+    let core_src = dir.join("crates/core/src");
     let util_src = dir.join("crates/util/src");
     std::fs::create_dir_all(&nettrace_src).unwrap();
+    std::fs::create_dir_all(&core_src).unwrap();
     std::fs::create_dir_all(&util_src).unwrap();
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
     let sentinel = "fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n";
     std::fs::write(nettrace_src.join("pcap.rs"), sentinel).unwrap();
     std::fs::write(util_src.join("lib.rs"), sentinel).unwrap();
+    // `core` is not a designated crate, but `loader.rs` is a designated
+    // file: its sentinel must be flagged while its sibling stays clean.
+    std::fs::write(core_src.join("loader.rs"), sentinel).unwrap();
+    std::fs::write(core_src.join("report.rs"), sentinel).unwrap();
 
     let findings = analyze_workspace(&Config::new(&dir)).expect("fake workspace readable");
     let _ = std::fs::remove_dir_all(&dir);
 
-    assert_eq!(findings.len(), 1, "{}", report::render_text(&findings));
-    assert_eq!(findings[0].file, "crates/nettrace/src/pcap.rs");
+    assert_eq!(findings.len(), 2, "{}", report::render_text(&findings));
+    assert_eq!(findings[0].file, "crates/core/src/loader.rs");
     assert_eq!(findings[0].line, 2);
     assert_eq!(findings[0].lint.name(), "no-panic");
+    assert_eq!(findings[1].file, "crates/nettrace/src/pcap.rs");
+    assert_eq!(findings[1].line, 2);
+    assert_eq!(findings[1].lint.name(), "no-panic");
 }

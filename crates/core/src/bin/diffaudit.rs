@@ -7,9 +7,17 @@
 //!
 //! diffaudit audit DIR... [--ensemble SEED] [--threshold F]
 //!                        [--format text|markdown|json] [--out FILE]
+//!                        [--strict] [--max-drop PCT]
 //!     Audit capture directories (each containing manifest.json). Works on
 //!     generated captures AND on externally collected traces: drop your own
 //!     .har / .pcap+.keys files next to a manifest and point the tool at it.
+//!     Damaged records are skipped and tallied in a degradation ledger
+//!     instead of aborting the audit; `--strict` turns any drop into a hard
+//!     failure and `--max-drop PCT` bounds the tolerated drop percentage.
+//!
+//!     Exit codes: 0 = clean run, 1 = hard failure (unusable input, policy
+//!     exceeded, bad usage), 2 = salvaged (audit produced, some records
+//!     dropped).
 //!
 //! diffaudit classify KEY...
 //!     Classify raw payload keys with the majority-vote ensemble.
@@ -21,9 +29,10 @@
 use diffaudit::audit::{audit_service, AuditFinding};
 use diffaudit::diff::ObservedGrid;
 use diffaudit::export;
-use diffaudit::loader::{load_capture_dir, write_dataset};
+use diffaudit::loader::{load_capture_dir_salvage, write_dataset};
 use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::report;
+use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
 use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
 use std::path::PathBuf;
@@ -32,10 +41,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
-         diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE]\n  \
+         diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
          diffaudit classify KEY...\n  diffaudit ontology"
     );
-    ExitCode::from(2)
+    // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
+    ExitCode::from(1)
 }
 
 fn main() -> ExitCode {
@@ -119,6 +129,7 @@ fn cmd_audit(args: &[String]) -> ExitCode {
     let mut threshold = 0.8f64;
     let mut format = "text".to_string();
     let mut out_file: Option<PathBuf> = None;
+    let mut policy = SalvagePolicy::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -137,6 +148,13 @@ fn cmd_audit(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--out" => out_file = iter.next().map(PathBuf::from),
+            "--strict" => policy.strict = true,
+            "--max-drop" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if (0.0..=100.0).contains(&pct) => {
+                    policy.max_drop_fraction = Some(pct / 100.0);
+                }
+                _ => return usage(),
+            },
             other if !other.starts_with('-') => dirs.push(PathBuf::from(other)),
             _ => return usage(),
         }
@@ -146,22 +164,41 @@ fn cmd_audit(args: &[String]) -> ExitCode {
     }
 
     let mut inputs = Vec::new();
+    let mut ledger = DegradationLedger::new();
     for dir in &dirs {
-        match load_capture_dir(dir) {
-            Ok(input) => {
+        match load_capture_dir_salvage(dir) {
+            Ok((input, service_ledger)) => {
+                let dropped = service_ledger.merged().total_dropped();
                 eprintln!(
-                    "loaded {} ({} units) from {}",
+                    "loaded {} ({} units{}) from {}",
                     input.name,
                     input.units.len(),
+                    if dropped > 0 {
+                        format!(", {dropped} records dropped")
+                    } else {
+                        String::new()
+                    },
                     dir.display()
                 );
                 inputs.push(input);
+                ledger.services.push(service_ledger);
             }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    let status = policy.evaluate(&ledger);
+    if status == RunStatus::Failed {
+        eprintln!(
+            "error: degradation exceeds policy: {} records dropped ({:.2}%){}",
+            ledger.total_dropped(),
+            ledger.drop_fraction() * 100.0,
+            if policy.strict { " with --strict" } else { "" }
+        );
+        eprint!("{}", report::render_degradation(&ledger));
+        return ExitCode::FAILURE;
     }
 
     let pipeline = Pipeline::new(ClassificationMode::Ensemble { seed, threshold });
@@ -181,21 +218,33 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         }
     }
 
+    // The degradation section appears only on salvaged runs, so a clean
+    // run's output is byte-identical to the pre-salvage tool's.
     let rendered = match format.as_str() {
-        "json" => export::outcome_to_json(&outcome, &findings).to_pretty_string(),
-        "markdown" => outcome
-            .services
-            .iter()
-            .map(|s| {
-                let service_findings: Vec<AuditFinding> = findings
-                    .iter()
-                    .filter(|f| f.service == s.name)
-                    .cloned()
-                    .collect();
-                export::service_to_markdown(s, &service_findings)
-            })
-            .collect::<Vec<_>>()
-            .join("\n---\n\n"),
+        "json" => {
+            export::outcome_to_json_with_ledger(&outcome, &findings, &ledger).to_pretty_string()
+        }
+        "markdown" => {
+            let mut doc = outcome
+                .services
+                .iter()
+                .map(|s| {
+                    let service_findings: Vec<AuditFinding> = findings
+                        .iter()
+                        .filter(|f| f.service == s.name)
+                        .cloned()
+                        .collect();
+                    export::service_to_markdown(s, &service_findings)
+                })
+                .collect::<Vec<_>>()
+                .join("\n---\n\n");
+            if status != RunStatus::Clean {
+                doc.push_str("\n## Degradation\n\n```\n");
+                doc.push_str(&report::render_degradation(&ledger));
+                doc.push_str("```\n");
+            }
+            doc
+        }
         _ => {
             let mut text = String::new();
             for service in &outcome.services {
@@ -207,6 +256,10 @@ fn cmd_audit(args: &[String]) -> ExitCode {
             text.push('\n');
             text.push_str("Findings:\n");
             text.push_str(&report::render_findings(&findings));
+            if status != RunStatus::Clean {
+                text.push('\n');
+                text.push_str(&report::render_degradation(&ledger));
+            }
             text
         }
     };
@@ -220,7 +273,14 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         }
         None => print!("{rendered}"),
     }
-    ExitCode::SUCCESS
+    if status != RunStatus::Clean {
+        eprintln!(
+            "salvaged run: {} records dropped ({:.2}%); exit code 2",
+            ledger.total_dropped(),
+            ledger.drop_fraction() * 100.0
+        );
+    }
+    ExitCode::from(status.exit_code())
 }
 
 fn cmd_classify(args: &[String]) -> ExitCode {

@@ -126,6 +126,21 @@ pub fn outcome_to_json(outcome: &AuditOutcome, findings: &[AuditFinding]) -> Jso
         .with("uniqueRawKeys", Json::int(outcome.unique_raw_keys as i64))
 }
 
+/// [`outcome_to_json`] plus the salvage degradation ledger. A clean ledger
+/// adds nothing — the document stays byte-identical to the plain export, so
+/// undamaged runs are unaffected by salvage mode.
+pub fn outcome_to_json_with_ledger(
+    outcome: &AuditOutcome,
+    findings: &[AuditFinding],
+    ledger: &crate::salvage::DegradationLedger,
+) -> Json {
+    let mut doc = outcome_to_json(outcome, findings);
+    if !ledger.is_clean() {
+        doc.set("degradation", ledger.to_json());
+    }
+    doc
+}
+
 /// Render a human-readable Markdown audit report for one service.
 pub fn service_to_markdown(service: &ObservedService, findings: &[AuditFinding]) -> String {
     let grid = ObservedGrid::build(service);

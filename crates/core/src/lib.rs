@@ -44,6 +44,7 @@ pub mod linkability;
 pub mod loader;
 pub mod pipeline;
 pub mod report;
+pub mod salvage;
 pub mod stats;
 
 pub use audit::{AuditFinding, AuditRule, Severity};
@@ -54,4 +55,5 @@ pub use flow::{DataFlow, FlowTable4};
 pub use pipeline::{
     AuditOutcome, ClassificationMode, ObservedExchange, ObservedService, ObservedUnit, Pipeline,
 };
+pub use salvage::{DegradationLedger, RunStatus, SalvagePolicy, ServiceLedger, UnitLedger};
 pub use stats::{DatasetSummary, ServiceSummary};

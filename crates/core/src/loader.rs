@@ -29,30 +29,55 @@
 //! logged key are reported as opaque, exactly like pinned apps).
 
 use crate::pipeline::{LoadedUnit, ServiceInput};
+use crate::salvage::{ServiceLedger, UnitLedger};
 use diffaudit_json::{parse, Json};
-use diffaudit_nettrace::{decode_auto, har_to_exchanges, KeyLog};
+use diffaudit_nettrace::salvage::{SalvageLog, Stage};
+use diffaudit_nettrace::{decode_auto, decode_auto_salvage, har_to_exchanges};
+use diffaudit_nettrace::{har_to_exchanges_salvage, KeyLog};
 use diffaudit_services::{Platform, TraceCategory, TraceKind};
 use std::path::{Path, PathBuf};
 
-/// Loader errors.
+/// Loader errors. Every variant names the file it is about, so a failed
+/// multi-directory audit pinpoints the offending artifact or manifest.
 #[derive(Debug)]
 pub enum LoadError {
     /// Filesystem error.
     Io(PathBuf, std::io::Error),
     /// The manifest was not valid JSON.
-    ManifestJson(String),
-    /// The manifest was missing or had a malformed field.
-    ManifestShape(String),
+    ManifestJson(PathBuf, String),
+    /// The manifest was missing or had a malformed field. The message names
+    /// the manifest entry (`units[i]`) and key where applicable.
+    ManifestShape(PathBuf, String),
     /// An artifact failed to decode.
     Artifact(PathBuf, String),
+}
+
+impl LoadError {
+    /// Fill in the manifest path on errors minted by helpers that do not
+    /// know it (they leave the path empty).
+    fn with_manifest_path(self, path: &Path) -> LoadError {
+        match self {
+            LoadError::ManifestJson(p, e) if p.as_os_str().is_empty() => {
+                LoadError::ManifestJson(path.to_path_buf(), e)
+            }
+            LoadError::ManifestShape(p, e) if p.as_os_str().is_empty() => {
+                LoadError::ManifestShape(path.to_path_buf(), e)
+            }
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(path, e) => write!(f, "io error on {}: {e}", path.display()),
-            LoadError::ManifestJson(e) => write!(f, "manifest is not valid JSON: {e}"),
-            LoadError::ManifestShape(e) => write!(f, "manifest shape error: {e}"),
+            LoadError::ManifestJson(path, e) => {
+                write!(f, "manifest {} is not valid JSON: {e}", path.display())
+            }
+            LoadError::ManifestShape(path, e) => {
+                write!(f, "manifest {} shape error: {e}", path.display())
+            }
             LoadError::Artifact(path, e) => {
                 write!(f, "failed to decode {}: {e}", path.display())
             }
@@ -62,12 +87,16 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+fn shape_error(msg: String) -> LoadError {
+    LoadError::ManifestShape(PathBuf::new(), msg)
+}
+
 fn parse_platform(s: &str) -> Result<Platform, LoadError> {
     match s.to_ascii_lowercase().as_str() {
         "web" => Ok(Platform::Web),
         "mobile" => Ok(Platform::Mobile),
         "desktop" => Ok(Platform::Desktop),
-        other => Err(LoadError::ManifestShape(format!(
+        other => Err(shape_error(format!(
             "unknown platform {other:?} (expected web|mobile|desktop)"
         ))),
     }
@@ -78,7 +107,7 @@ fn parse_kind(s: &str) -> Result<TraceKind, LoadError> {
         "account-creation" | "account_creation" => Ok(TraceKind::AccountCreation),
         "logged-in" | "logged_in" => Ok(TraceKind::LoggedIn),
         "logged-out" | "logged_out" => Ok(TraceKind::LoggedOut),
-        other => Err(LoadError::ManifestShape(format!(
+        other => Err(shape_error(format!(
             "unknown kind {other:?} (expected account-creation|logged-in|logged-out)"
         ))),
     }
@@ -90,7 +119,7 @@ fn parse_category(s: &str) -> Result<TraceCategory, LoadError> {
         "adolescent" => Ok(TraceCategory::Adolescent),
         "adult" => Ok(TraceCategory::Adult),
         "logged-out" | "logged_out" => Ok(TraceCategory::LoggedOut),
-        other => Err(LoadError::ManifestShape(format!(
+        other => Err(shape_error(format!(
             "unknown category {other:?} (expected child|adolescent|adult|logged-out)"
         ))),
     }
@@ -99,99 +128,193 @@ fn parse_category(s: &str) -> Result<TraceCategory, LoadError> {
 fn str_field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, LoadError> {
     obj.get(key)
         .and_then(Json::as_str)
-        .ok_or_else(|| LoadError::ManifestShape(format!("{ctx}: missing string field {key:?}")))
+        .ok_or_else(|| shape_error(format!("{ctx}: missing string field {key:?}")))
+}
+
+/// The service header plus raw unit entries of a parsed manifest.
+struct Manifest {
+    path: PathBuf,
+    name: String,
+    slug: String,
+    first_party_domains: Vec<String>,
+    unit_entries: Vec<Json>,
+}
+
+fn read_manifest(dir: &Path) -> Result<Manifest, LoadError> {
+    let manifest_path = dir.join("manifest.json");
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| LoadError::Io(manifest_path.clone(), e))?;
+    let manifest = parse(&manifest_text)
+        .map_err(|e| LoadError::ManifestJson(manifest_path.clone(), e.to_string()))?;
+
+    let header = (|| {
+        let service = manifest
+            .get("service")
+            .ok_or_else(|| shape_error("missing \"service\" object".into()))?;
+        let name = str_field(service, "name", "service")?.to_string();
+        let slug = str_field(service, "slug", "service")?.to_string();
+        let first_party_domains: Vec<String> = service
+            .get("firstPartyDomains")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| shape_error("service.firstPartyDomains must be an array".into()))?
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect();
+        if first_party_domains.is_empty() {
+            return Err(shape_error(
+                "service.firstPartyDomains must not be empty".into(),
+            ));
+        }
+        let unit_entries = manifest
+            .get("units")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| shape_error("missing \"units\" array".into()))?
+            .to_vec();
+        Ok((name, slug, first_party_domains, unit_entries))
+    })()
+    .map_err(|e: LoadError| e.with_manifest_path(&manifest_path))?;
+    let (name, slug, first_party_domains, unit_entries) = header;
+    Ok(Manifest {
+        path: manifest_path,
+        name,
+        slug,
+        first_party_domains,
+        unit_entries,
+    })
+}
+
+/// Load one manifest unit entry. With `salvage: Some(log)`, artifact decode
+/// uses the per-record salvage readers and accounts damage in `log`; with
+/// `None`, any damage is a hard error (the pre-salvage behaviour).
+fn load_unit(
+    dir: &Path,
+    entry: &Json,
+    index: usize,
+    mut salvage: Option<&mut SalvageLog>,
+) -> Result<LoadedUnit, LoadError> {
+    let ctx = format!("units[{index}]");
+    let file = str_field(entry, "file", &ctx)?;
+    let platform = parse_platform(str_field(entry, "platform", &ctx)?)?;
+    let kind = parse_kind(str_field(entry, "kind", &ctx)?)?;
+    let category = parse_category(str_field(entry, "category", &ctx)?)?;
+    let path = dir.join(file);
+    if file.ends_with(".har") {
+        let text = std::fs::read_to_string(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
+        let exchanges = match salvage {
+            Some(log) => har_to_exchanges_salvage(&text, log),
+            None => har_to_exchanges(&text),
+        }
+        .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+        let n = exchanges.len();
+        Ok(LoadedUnit {
+            platform,
+            kind,
+            category,
+            exchanges,
+            opaque_snis: Vec::new(),
+            packet_count: n,
+            flow_count: n,
+        })
+    } else if file.ends_with(".pcap") || file.ends_with(".pcapng") {
+        let bytes = std::fs::read(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
+        let keylog = match entry.get("keylog").and_then(Json::as_str) {
+            Some(keylog_file) => {
+                let keylog_path = dir.join(keylog_file);
+                let text = std::fs::read_to_string(&keylog_path)
+                    .map_err(|e| LoadError::Io(keylog_path.clone(), e))?;
+                match salvage.as_deref_mut() {
+                    Some(log) => KeyLog::parse_salvage(&text, log),
+                    None => KeyLog::parse(&text),
+                }
+            }
+            None => KeyLog::new(),
+        };
+        let decoded = match salvage {
+            Some(log) => decode_auto_salvage(&bytes, &keylog, log),
+            None => decode_auto(&bytes, &keylog),
+        }
+        .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+        Ok(LoadedUnit {
+            platform,
+            kind,
+            category,
+            exchanges: decoded.exchanges,
+            opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
+            packet_count: decoded.packet_count,
+            flow_count: decoded.flow_count,
+        })
+    } else {
+        Err(shape_error(format!(
+            "{ctx}: file {file:?} must end in .har, .pcap, or .pcapng"
+        )))
+    }
 }
 
 /// Load a capture directory (containing `manifest.json`) into a
 /// [`ServiceInput`] ready for [`crate::pipeline::Pipeline::run_inputs`].
+/// Any damage anywhere in the directory is a hard error; see
+/// [`load_capture_dir_salvage`] for the skip-and-record variant.
 pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
-    let manifest_path = dir.join("manifest.json");
-    let manifest_text = std::fs::read_to_string(&manifest_path)
-        .map_err(|e| LoadError::Io(manifest_path.clone(), e))?;
-    let manifest = parse(&manifest_text).map_err(|e| LoadError::ManifestJson(e.to_string()))?;
-
-    let service = manifest
-        .get("service")
-        .ok_or_else(|| LoadError::ManifestShape("missing \"service\" object".into()))?;
-    let name = str_field(service, "name", "service")?.to_string();
-    let slug = str_field(service, "slug", "service")?.to_string();
-    let first_party_domains: Vec<String> = service
-        .get("firstPartyDomains")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| {
-            LoadError::ManifestShape("service.firstPartyDomains must be an array".into())
-        })?
-        .iter()
-        .filter_map(|v| v.as_str().map(str::to_string))
-        .collect();
-    if first_party_domains.is_empty() {
-        return Err(LoadError::ManifestShape(
-            "service.firstPartyDomains must not be empty".into(),
-        ));
-    }
-
-    let unit_entries = manifest
-        .get("units")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| LoadError::ManifestShape("missing \"units\" array".into()))?;
-    let mut units = Vec::with_capacity(unit_entries.len());
-    for (i, entry) in unit_entries.iter().enumerate() {
-        let ctx = format!("units[{i}]");
-        let file = str_field(entry, "file", &ctx)?;
-        let platform = parse_platform(str_field(entry, "platform", &ctx)?)?;
-        let kind = parse_kind(str_field(entry, "kind", &ctx)?)?;
-        let category = parse_category(str_field(entry, "category", &ctx)?)?;
-        let path = dir.join(file);
-        let unit = if file.ends_with(".har") {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
-            let exchanges = har_to_exchanges(&text)
-                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
-            let n = exchanges.len();
-            LoadedUnit {
-                platform,
-                kind,
-                category,
-                exchanges,
-                opaque_snis: Vec::new(),
-                packet_count: n,
-                flow_count: n,
-            }
-        } else if file.ends_with(".pcap") || file.ends_with(".pcapng") {
-            let bytes = std::fs::read(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
-            let keylog = match entry.get("keylog").and_then(Json::as_str) {
-                Some(keylog_file) => {
-                    let keylog_path = dir.join(keylog_file);
-                    let text = std::fs::read_to_string(&keylog_path)
-                        .map_err(|e| LoadError::Io(keylog_path.clone(), e))?;
-                    KeyLog::parse(&text)
-                }
-                None => KeyLog::new(),
-            };
-            let decoded = decode_auto(&bytes, &keylog)
-                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
-            LoadedUnit {
-                platform,
-                kind,
-                category,
-                exchanges: decoded.exchanges,
-                opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
-                packet_count: decoded.packet_count,
-                flow_count: decoded.flow_count,
-            }
-        } else {
-            return Err(LoadError::ManifestShape(format!(
-                "{ctx}: file {file:?} must end in .har, .pcap, or .pcapng"
-            )));
-        };
-        units.push(unit);
+    let manifest = read_manifest(dir)?;
+    let mut units = Vec::with_capacity(manifest.unit_entries.len());
+    for (i, entry) in manifest.unit_entries.iter().enumerate() {
+        units.push(
+            load_unit(dir, entry, i, None).map_err(|e| e.with_manifest_path(&manifest.path))?,
+        );
     }
     Ok(ServiceInput {
-        name,
-        slug,
-        first_party_domains,
+        name: manifest.name,
+        slug: manifest.slug,
+        first_party_domains: manifest.first_party_domains,
         units,
     })
+}
+
+/// Salvage-mode directory load: manifest-level damage (unreadable or
+/// malformed `manifest.json`, broken service header) is still a hard error,
+/// but each unit is isolated — a unit that cannot be loaded is dropped into
+/// the ledger (stage `unit`, offset = manifest entry index) instead of
+/// aborting the audit, and units that do load account their own per-record
+/// damage through the salvage readers.
+///
+/// On a pristine directory the returned [`ServiceInput`] is identical to
+/// [`load_capture_dir`]'s and the ledger is clean.
+pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedger), LoadError> {
+    let manifest = read_manifest(dir)?;
+    let mut units = Vec::with_capacity(manifest.unit_entries.len());
+    let mut ledger_units = Vec::with_capacity(manifest.unit_entries.len());
+    for (i, entry) in manifest.unit_entries.iter().enumerate() {
+        let label = entry
+            .get("file")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("units[{i}]"));
+        let mut log = SalvageLog::new();
+        match load_unit(dir, entry, i, Some(&mut log)) {
+            Ok(unit) => {
+                log.ok(Stage::Unit);
+                units.push(unit);
+            }
+            Err(e) => {
+                let reason = e.with_manifest_path(&manifest.path).to_string();
+                log.dropped(Stage::Unit, reason, Some(i as u64));
+            }
+        }
+        ledger_units.push(UnitLedger { file: label, log });
+    }
+    let slug = manifest.slug.clone();
+    Ok((
+        ServiceInput {
+            name: manifest.name,
+            slug: manifest.slug,
+            first_party_domains: manifest.first_party_domains,
+            units,
+        },
+        ServiceLedger {
+            slug,
+            units: ledger_units,
+        },
+    ))
 }
 
 /// Write a generated dataset to disk in the loader's directory layout —
@@ -322,18 +445,16 @@ mod tests {
         let dir = temp_dir("errors");
         // No manifest at all.
         assert!(matches!(load_capture_dir(&dir), Err(LoadError::Io(..))));
-        // Bad JSON.
+        // Bad JSON — and the error names the manifest.
         std::fs::write(dir.join("manifest.json"), "{oops").unwrap();
-        assert!(matches!(
-            load_capture_dir(&dir),
-            Err(LoadError::ManifestJson(_))
-        ));
-        // Missing fields.
+        let err = load_capture_dir(&dir).unwrap_err();
+        assert!(matches!(err, LoadError::ManifestJson(..)));
+        assert!(err.to_string().contains("manifest.json"), "{err}");
+        // Missing fields — also attributed to the manifest.
         std::fs::write(dir.join("manifest.json"), "{}").unwrap();
-        assert!(matches!(
-            load_capture_dir(&dir),
-            Err(LoadError::ManifestShape(_))
-        ));
+        let err = load_capture_dir(&dir).unwrap_err();
+        assert!(matches!(err, LoadError::ManifestShape(..)));
+        assert!(err.to_string().contains("manifest.json"), "{err}");
         // Bad platform.
         std::fs::write(
             dir.join("manifest.json"),
@@ -343,6 +464,77 @@ mod tests {
         .unwrap();
         let err = load_capture_dir(&dir).unwrap_err();
         assert!(err.to_string().contains("fridge"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn written_service_dir(tag: &str) -> (diffaudit_services::GeneratedDataset, PathBuf, PathBuf) {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 21,
+            volume_scale: 0.03,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into()],
+        });
+        let dir = temp_dir(tag);
+        let service_dirs = write_dataset(&dataset, &dir).unwrap();
+        let service_dir = service_dirs.into_iter().next().unwrap();
+        (dataset, dir, service_dir)
+    }
+
+    #[test]
+    fn salvage_load_matches_strict_on_clean_directory() {
+        let (_, dir, service_dir) = written_service_dir("salvage-clean");
+        let strict = load_capture_dir(&service_dir).unwrap();
+        let (salvaged, ledger) = load_capture_dir_salvage(&service_dir).unwrap();
+        assert_eq!(salvaged.slug, strict.slug);
+        assert_eq!(salvaged.units.len(), strict.units.len());
+        for (a, b) in salvaged.units.iter().zip(&strict.units) {
+            assert_eq!(a.exchanges, b.exchanges);
+            assert_eq!(a.opaque_snis, b.opaque_snis);
+        }
+        let merged = ledger.merged();
+        assert!(
+            merged.is_clean(),
+            "clean directory must yield a clean ledger"
+        );
+        assert!(merged.conserved());
+        assert_eq!(ledger.units.len(), strict.units.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn salvage_load_isolates_a_broken_unit() {
+        let (_, dir, service_dir) = written_service_dir("salvage-broken");
+        let strict_units = load_capture_dir(&service_dir).unwrap().units.len();
+        // Destroy one pcap's header so its unit cannot be decoded at all.
+        let victim = std::fs::read_dir(&service_dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "pcap"))
+            .unwrap();
+        std::fs::write(&victim, b"not a pcap").unwrap();
+
+        assert!(load_capture_dir(&service_dir).is_err());
+        let (salvaged, ledger) = load_capture_dir_salvage(&service_dir).unwrap();
+        assert_eq!(salvaged.units.len(), strict_units - 1);
+        let merged = ledger.merged();
+        assert!(merged.conserved());
+        assert_eq!(merged.stage(Stage::Unit).dropped, 1);
+        assert_eq!(merged.stage(Stage::Unit).processed, strict_units as u64 - 1);
+        let dropped = ledger
+            .units
+            .iter()
+            .find(|u| u.unit_dropped())
+            .expect("one unit ledger records the drop");
+        let victim_name = victim.file_name().unwrap().to_str().unwrap();
+        assert_eq!(dropped.file, victim_name);
+        assert!(
+            dropped
+                .log
+                .drops()
+                .iter()
+                .any(|d| d.reason.contains(victim_name)),
+            "drop reason should name the artifact"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

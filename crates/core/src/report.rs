@@ -139,6 +139,60 @@ pub fn render_fig5(outcome: &AuditOutcome, top_n: usize) -> String {
     out
 }
 
+/// Render the salvage degradation ledger: per-stage processed/dropped
+/// tallies plus every drop with its stage and location. A clean ledger
+/// renders as a one-line notice.
+pub fn render_degradation(ledger: &crate::salvage::DegradationLedger) -> String {
+    let merged = ledger.merged();
+    let mut out = String::new();
+    out.push_str("Degradation ledger\n");
+    if merged.is_clean() {
+        out.push_str(&format!(
+            "clean run: {} records processed, 0 dropped\n",
+            merged.total_processed()
+        ));
+        return out;
+    }
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>8}\n",
+        "Stage", "Processed", "Dropped"
+    ));
+    for (stage, counts) in merged.stages() {
+        if counts.total() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>8}\n",
+            stage.label(),
+            counts.processed,
+            counts.dropped
+        ));
+    }
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>8}   ({:.2}% dropped)\n",
+        "Total",
+        merged.total_processed(),
+        merged.total_dropped(),
+        merged.drop_fraction() * 100.0
+    ));
+    for service in &ledger.services {
+        for unit in &service.units {
+            for drop in unit.log.drops() {
+                let at = drop.offset.map(|o| format!(" @{o}")).unwrap_or_default();
+                out.push_str(&format!(
+                    "  {}/{} [{}{}]: {}\n",
+                    service.slug,
+                    unit.file,
+                    drop.stage.label(),
+                    at,
+                    drop.reason
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Render an audit findings report.
 pub fn render_findings(findings: &[AuditFinding]) -> String {
     if findings.is_empty() {
@@ -198,6 +252,37 @@ mod tests {
         assert!(render_fig3(&o).contains("TikTok"));
         assert!(render_fig4(&o).contains("Most common linkable set"));
         assert!(render_fig5(&o, 10).contains("TikTok"));
+    }
+
+    #[test]
+    fn degradation_ledger_renders_tallies_and_drops() {
+        use crate::salvage::{DegradationLedger, ServiceLedger, UnitLedger};
+        use diffaudit_nettrace::salvage::{SalvageLog, Stage};
+
+        let clean = DegradationLedger::new();
+        assert!(render_degradation(&clean).contains("clean run"));
+
+        let mut log = SalvageLog::new();
+        log.ok_n(Stage::PcapRecord, 9);
+        log.dropped(Stage::PcapRecord, "truncated record", Some(144));
+        let ledger = DegradationLedger {
+            services: vec![ServiceLedger {
+                slug: "tiktok".into(),
+                units: vec![UnitLedger {
+                    file: "mobile-child-logged-in.pcap".into(),
+                    log,
+                }],
+            }],
+        };
+        let text = render_degradation(&ledger);
+        assert!(text.contains("pcap-record"), "{text}");
+        assert!(text.contains("(10.00% dropped)"), "{text}");
+        assert!(
+            text.contains(
+                "tiktok/mobile-child-logged-in.pcap [pcap-record @144]: truncated record"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

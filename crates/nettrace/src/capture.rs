@@ -19,6 +19,7 @@ use crate::http::{Exchange, HttpRequest, HttpResponse};
 use crate::keylog::KeyLog;
 use crate::packet::{TcpFlags, TcpSegment};
 use crate::pcap::{PcapError, PcapReader, PcapWriter};
+use crate::salvage::{SalvageLog, Stage};
 use crate::tcp::FlowTable;
 use crate::tls::{decode_client_stream, decode_server_stream, TlsError, TlsSession};
 use diffaudit_util::Rng;
@@ -437,6 +438,176 @@ fn decode_packets(
     })
 }
 
+/// Salvage counterpart of [`decode_pcap`]: the container is parsed with
+/// per-record resync, and every downstream stage skips-and-records instead
+/// of aborting. Only an unusable global header remains an error.
+pub fn decode_pcap_salvage(
+    pcap_bytes: &[u8],
+    keylog: &KeyLog,
+    log: &mut SalvageLog,
+) -> Result<DecodedTrace, DecodeError> {
+    let reader = PcapReader::parse_salvage(pcap_bytes, log)?;
+    Ok(decode_packets_salvage(&reader.packets, keylog, log))
+}
+
+/// Salvage counterpart of [`decode_auto`]: dispatches on the container
+/// magic like [`decode_auto`], then decodes with per-record isolation.
+/// Only an unusable container header remains an error.
+pub fn decode_auto_salvage(
+    bytes: &[u8],
+    external_keylog: &KeyLog,
+    log: &mut SalvageLog,
+) -> Result<DecodedTrace, DecodeError> {
+    if crate::pcapng::PcapngReader::sniff(bytes) {
+        let reader =
+            crate::pcapng::PcapngReader::parse_salvage(bytes, log).map_err(DecodeError::Pcapng)?;
+        let merged = KeyLog::parse(&format!(
+            "{}{}",
+            reader.keylog.to_file_string(),
+            external_keylog.to_file_string()
+        ));
+        Ok(decode_packets_salvage(&reader.packets, &merged, log))
+    } else {
+        decode_pcap_salvage(bytes, external_keylog, log)
+    }
+}
+
+/// Like `decode_packets`, but infallible past the container: damaged frames
+/// and malformed TLS streams become drop records, reassembly gaps are
+/// accounted per flow, and whatever decodes cleanly is kept. On undamaged
+/// input the returned trace is identical to `decode_packets`' and the log
+/// stays clean (opaque pinned flows are expected, not damage).
+fn decode_packets_salvage(
+    packets: &[crate::pcap::PcapPacket],
+    keylog: &KeyLog,
+    log: &mut SalvageLog,
+) -> DecodedTrace {
+    let packet_count = packets.len();
+    let mut table = FlowTable::new();
+    for (i, packet) in packets.iter().enumerate() {
+        match TcpSegment::decode(&packet.data) {
+            Ok(segment) => {
+                table.push(&segment, packet.timestamp_ms());
+                log.ok(Stage::Frame);
+            }
+            Err(e) => log.dropped(Stage::Frame, e.to_string(), Some(i as u64)),
+        }
+    }
+    let mut exchanges = Vec::new();
+    let mut opaque = Vec::new();
+    for flow in table.flows() {
+        let (client_stream, client_gap) = flow.client_stream_report();
+        let gap_reason = client_gap.map(|g| {
+            format!(
+                "reassembly gap at offset {} ({} bytes stranded)",
+                g.at_offset, g.stranded_bytes
+            )
+        });
+        if client_stream.is_empty() {
+            opaque.push(OpaqueFlow {
+                sni: None,
+                server_port: flow.server_port(),
+                segment_count: flow.segment_count,
+            });
+            match gap_reason {
+                Some(reason) => log.dropped(Stage::TcpFlow, reason, None),
+                // An empty client stream without buffered data beyond it
+                // means the capture simply has no client bytes — strict
+                // mode treats that as opaque too.
+                None => log.ok(Stage::TcpFlow),
+            }
+            continue;
+        }
+        let decoded = match decode_client_stream(&client_stream, keylog) {
+            Ok(d) => d,
+            Err(e) => {
+                // Unlike strict mode, *no* TLS error aborts the run: the
+                // flow is dropped with its reason and the audit continues.
+                opaque.push(OpaqueFlow {
+                    sni: None,
+                    server_port: flow.server_port(),
+                    segment_count: flow.segment_count,
+                });
+                let reason = match (&e, &gap_reason) {
+                    (TlsError::Truncated, Some(gap)) => format!("tls stream truncated; {gap}"),
+                    _ => format!("tls stream malformed: {e}"),
+                };
+                log.dropped(Stage::TcpFlow, reason, None);
+                continue;
+            }
+        };
+        match decoded.plaintext {
+            Some(plaintext) => {
+                let server_plain =
+                    decode_server_stream(&flow.server_stream(), decoded.client_random, keylog)
+                        .ok()
+                        .and_then(|d| d.plaintext);
+                let mut responses = Vec::new();
+                if let Some(sp) = server_plain {
+                    let mut pos = 0;
+                    while let Some((resp, n)) = sp.get(pos..).and_then(HttpResponse::parse_wire) {
+                        responses.push(resp);
+                        pos += n;
+                    }
+                }
+                let mut pos = 0;
+                let mut req_index = 0;
+                while let Some((request, n)) = plaintext
+                    .get(pos..)
+                    .and_then(|rest| HttpRequest::parse_wire(rest, "https"))
+                {
+                    let response = responses
+                        .get(req_index)
+                        .cloned()
+                        .unwrap_or_else(HttpResponse::ok);
+                    exchanges.push(Exchange {
+                        timestamp_ms: flow.first_ts_ms,
+                        request,
+                        response,
+                    });
+                    log.ok(Stage::HttpExchange);
+                    pos += n;
+                    req_index += 1;
+                }
+                if pos < plaintext.len() {
+                    log.dropped(
+                        Stage::HttpExchange,
+                        format!(
+                            "{} trailing plaintext bytes did not parse as HTTP",
+                            plaintext.len() - pos
+                        ),
+                        Some(pos as u64),
+                    );
+                }
+                match gap_reason {
+                    Some(reason) => log.dropped(Stage::TcpFlow, reason, None),
+                    None => log.ok(Stage::TcpFlow),
+                }
+            }
+            None => {
+                // No logged secret: a certificate-pinned flow. That is an
+                // expected property of the capture, not damage — the paper
+                // analyzes such flows via SNI.
+                opaque.push(OpaqueFlow {
+                    sni: decoded.sni,
+                    server_port: flow.server_port(),
+                    segment_count: flow.segment_count,
+                });
+                match gap_reason {
+                    Some(reason) => log.dropped(Stage::TcpFlow, reason, None),
+                    None => log.ok(Stage::TcpFlow),
+                }
+            }
+        }
+    }
+    DecodedTrace {
+        exchanges,
+        opaque,
+        packet_count,
+        flow_count: table.flow_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,6 +742,81 @@ mod tests {
         // Legacy path through the same entry point.
         let decoded_legacy = decode_auto(&pcap, &keylog).unwrap();
         assert_eq!(decoded_legacy.exchanges.len(), 1);
+    }
+
+    #[test]
+    fn salvage_decode_matches_strict_on_clean_capture() {
+        let mut session = CaptureSession::new(CaptureOptions {
+            pinned_fraction: 0.3,
+            seed: 42,
+            ..Default::default()
+        });
+        for i in 0..4 {
+            session.capture(&exchange(
+                &format!("https://s{i}.example.com/x"),
+                r#"{"k":"v"}"#,
+            ));
+        }
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        let strict = decode_pcap(&pcap, &keylog).unwrap();
+        let mut log = SalvageLog::new();
+        let salvaged = decode_pcap_salvage(&pcap, &keylog, &mut log).unwrap();
+        assert_eq!(strict.exchanges, salvaged.exchanges);
+        assert_eq!(strict.opaque, salvaged.opaque);
+        assert_eq!(strict.flow_count, salvaged.flow_count);
+        // Pinned (opaque) flows are expected, not damage: the log is clean.
+        assert!(
+            log.is_clean(),
+            "clean capture produced drops: {:?}",
+            log.drops()
+        );
+        assert!(log.conserved());
+    }
+
+    #[test]
+    fn salvage_decode_recovers_from_mid_file_corruption() {
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        for i in 0..6 {
+            session.capture(&exchange(
+                &format!("https://s{i}.example.com/x"),
+                r#"{"k":"v"}"#,
+            ));
+        }
+        let (mut pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        // Flip a byte mid-file: some flow's frame fails its checksum.
+        let mid = pcap.len() / 2;
+        pcap[mid] ^= 0xFF;
+        let mut log = SalvageLog::new();
+        let salvaged = decode_pcap_salvage(&pcap, &keylog, &mut log).unwrap();
+        // Conservation: every flow accounted, most exchanges recovered.
+        assert_eq!(salvaged.flow_count, 6);
+        assert!(
+            salvaged.exchanges.len() >= 4,
+            "{}",
+            salvaged.exchanges.len()
+        );
+        assert!(!log.is_clean());
+        assert!(log.conserved());
+        // Strict mode may or may not abort on this input, but salvage must
+        // account for the damage either at frame or flow level.
+        assert!(log.total_dropped() >= 1);
+    }
+
+    #[test]
+    fn salvage_decode_auto_handles_pcapng() {
+        use crate::pcapng::inject_secrets;
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        let ex = exchange("https://api.example.com/x", r#"{"k":"v"}"#);
+        session.capture(&ex);
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        let pcapng = inject_secrets(&pcap, &keylog).unwrap();
+        let mut log = SalvageLog::new();
+        let decoded = decode_auto_salvage(&pcapng, &KeyLog::new(), &mut log).unwrap();
+        assert_eq!(decoded.exchanges.len(), 1);
+        assert!(log.is_clean());
     }
 
     #[test]

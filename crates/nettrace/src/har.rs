@@ -297,6 +297,58 @@ pub fn har_to_exchanges(text: &str) -> Result<Vec<Exchange>, HarError> {
     har_json_to_exchanges(&doc)
 }
 
+/// Parse one `log.entries[]` element. `base` is the entry's JSON-pointer
+/// prefix for error paths.
+fn entry_to_exchange(entry: &Json, base: &str) -> Result<Exchange, HarError> {
+    let started = entry
+        .get("startedDateTime")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape_err(&format!("{base}/startedDateTime"), "string"))?;
+    let timestamp_ms =
+        ms_from_iso8601(started).ok_or_else(|| HarError::BadTimestamp(started.to_string()))?;
+    let request = entry
+        .get("request")
+        .ok_or_else(|| shape_err(&format!("{base}/request"), "object"))?;
+    let method_str = request
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape_err(&format!("{base}/request/method"), "string"))?;
+    let method = Method::parse(method_str).ok_or_else(|| HarError::BadMethod(method_str.into()))?;
+    let url_str = request
+        .get("url")
+        .and_then(Json::as_str)
+        .ok_or_else(|| shape_err(&format!("{base}/request/url"), "string"))?;
+    let url = Url::parse(url_str).map_err(|_| HarError::BadUrl(url_str.into()))?;
+    let headers = json_headers(request.get("headers"), &format!("{base}/request/headers"))?;
+    let body = json_body(request.get("postData"));
+
+    let response = entry
+        .get("response")
+        .ok_or_else(|| shape_err(&format!("{base}/response"), "object"))?;
+    let status = response
+        .get("status")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| shape_err(&format!("{base}/response/status"), "integer"))?
+        as u16;
+    let resp_headers = json_headers(response.get("headers"), &format!("{base}/response/headers"))?;
+    let resp_body = json_body(response.get("content"));
+
+    Ok(Exchange {
+        timestamp_ms,
+        request: HttpRequest {
+            method,
+            url,
+            headers,
+            body,
+        },
+        response: HttpResponse {
+            status,
+            headers: resp_headers,
+            body: resp_body,
+        },
+    })
+}
+
 /// Parse an already-parsed HAR JSON value into exchanges.
 pub fn har_json_to_exchanges(doc: &Json) -> Result<Vec<Exchange>, HarError> {
     let entries = doc
@@ -305,56 +357,34 @@ pub fn har_json_to_exchanges(doc: &Json) -> Result<Vec<Exchange>, HarError> {
         .ok_or_else(|| shape_err("/log/entries", "array"))?;
     let mut exchanges = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
-        let base = format!("/log/entries/{i}");
-        let started = entry
-            .get("startedDateTime")
-            .and_then(Json::as_str)
-            .ok_or_else(|| shape_err(&format!("{base}/startedDateTime"), "string"))?;
-        let timestamp_ms =
-            ms_from_iso8601(started).ok_or_else(|| HarError::BadTimestamp(started.to_string()))?;
-        let request = entry
-            .get("request")
-            .ok_or_else(|| shape_err(&format!("{base}/request"), "object"))?;
-        let method_str = request
-            .get("method")
-            .and_then(Json::as_str)
-            .ok_or_else(|| shape_err(&format!("{base}/request/method"), "string"))?;
-        let method =
-            Method::parse(method_str).ok_or_else(|| HarError::BadMethod(method_str.into()))?;
-        let url_str = request
-            .get("url")
-            .and_then(Json::as_str)
-            .ok_or_else(|| shape_err(&format!("{base}/request/url"), "string"))?;
-        let url = Url::parse(url_str).map_err(|_| HarError::BadUrl(url_str.into()))?;
-        let headers = json_headers(request.get("headers"), &format!("{base}/request/headers"))?;
-        let body = json_body(request.get("postData"));
+        exchanges.push(entry_to_exchange(entry, &format!("/log/entries/{i}"))?);
+    }
+    Ok(exchanges)
+}
 
-        let response = entry
-            .get("response")
-            .ok_or_else(|| shape_err(&format!("{base}/response"), "object"))?;
-        let status = response
-            .get("status")
-            .and_then(Json::as_i64)
-            .ok_or_else(|| shape_err(&format!("{base}/response/status"), "integer"))?
-            as u16;
-        let resp_headers =
-            json_headers(response.get("headers"), &format!("{base}/response/headers"))?;
-        let resp_body = json_body(response.get("content"));
-
-        exchanges.push(Exchange {
-            timestamp_ms,
-            request: HttpRequest {
-                method,
-                url,
-                headers,
-                body,
-            },
-            response: HttpResponse {
-                status,
-                headers: resp_headers,
-                body: resp_body,
-            },
-        });
+/// Salvage parse: document-level failures (invalid JSON, no `log.entries`
+/// array) are still errors, but each malformed entry is skipped and
+/// accounted for in `log` (stage `HarEntry`, offset = entry index) instead
+/// of aborting the whole document.
+pub fn har_to_exchanges_salvage(
+    text: &str,
+    log: &mut crate::salvage::SalvageLog,
+) -> Result<Vec<Exchange>, HarError> {
+    use crate::salvage::Stage;
+    let doc = parse(text).map_err(|e| HarError::Json(e.to_string()))?;
+    let entries = doc
+        .pointer("/log/entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| shape_err("/log/entries", "array"))?;
+    let mut exchanges = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        match entry_to_exchange(entry, &format!("/log/entries/{i}")) {
+            Ok(exchange) => {
+                exchanges.push(exchange);
+                log.ok(Stage::HarEntry);
+            }
+            Err(e) => log.dropped(Stage::HarEntry, e.to_string(), Some(i as u64)),
+        }
     }
     Ok(exchanges)
 }
@@ -462,6 +492,54 @@ mod tests {
         );
         // BREW is rejected before headers are inspected.
         assert!(matches!(err, Err(HarError::BadMethod(_))), "{err:?}");
+    }
+
+    #[test]
+    fn salvage_isolates_malformed_entries() {
+        let text = r#"{"log":{"entries":[
+            {"startedDateTime":"1970-01-01T00:00:01.000Z",
+             "request":{"method":"GET","url":"https://good.example.com/a","headers":[]},
+             "response":{"status":200,"headers":[]}},
+            {"startedDateTime":"1970-01-01T00:00:02.000Z",
+             "request":{"method":"BREW","url":"https://bad.example.com/b","headers":[]},
+             "response":{"status":200,"headers":[]}},
+            {"startedDateTime":"1970-01-01T00:00:03.000Z",
+             "request":{"method":"POST","url":"https://also-good.example.com/c","headers":[]},
+             "response":{"status":204,"headers":[]}}
+        ]}}"#;
+        assert!(har_to_exchanges(text).is_err(), "strict mode must abort");
+        let mut log = crate::salvage::SalvageLog::new();
+        let exchanges = har_to_exchanges_salvage(text, &mut log).unwrap();
+        assert_eq!(exchanges.len(), 2);
+        assert_eq!(exchanges[1].response.status, 204);
+        let counts = log.stage(crate::salvage::Stage::HarEntry);
+        assert_eq!((counts.processed, counts.dropped), (2, 1));
+        assert_eq!(log.drops()[0].offset, Some(1));
+        assert!(log.conserved());
+    }
+
+    #[test]
+    fn salvage_still_errors_on_document_damage() {
+        let mut log = crate::salvage::SalvageLog::new();
+        assert!(matches!(
+            har_to_exchanges_salvage("{not json", &mut log),
+            Err(HarError::Json(_))
+        ));
+        assert!(matches!(
+            har_to_exchanges_salvage(r#"{"log":{}}"#, &mut log),
+            Err(HarError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn salvage_matches_strict_on_clean_document() {
+        let har = har_from_exchanges(&[sample_exchange()]);
+        let text = har.to_pretty_string();
+        let strict = har_to_exchanges(&text).unwrap();
+        let mut log = crate::salvage::SalvageLog::new();
+        let salvaged = har_to_exchanges_salvage(&text, &mut log).unwrap();
+        assert_eq!(strict, salvaged);
+        assert!(log.is_clean());
     }
 
     #[test]

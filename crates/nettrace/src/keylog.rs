@@ -67,29 +67,67 @@ impl KeyLog {
     pub fn parse(text: &str) -> KeyLog {
         let mut log = KeyLog::new();
         for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+            if let LineOutcome::Entry(cr, secret) = parse_line(line) {
+                log.insert(cr, secret);
             }
-            let mut parts = line.split_whitespace();
-            if parts.next() != Some("CLIENT_RANDOM") {
-                continue;
-            }
-            let (Some(cr_hex), Some(secret_hex)) = (parts.next(), parts.next()) else {
-                continue;
-            };
-            let (Ok(cr), Ok(secret)) = (hex::decode(cr_hex), hex::decode(secret_hex)) else {
-                continue;
-            };
-            let (Ok(cr), Ok(secret)): (Result<[u8; 32], _>, Result<[u8; 32], _>) =
-                (cr.try_into(), secret.try_into())
-            else {
-                continue;
-            };
-            log.insert(cr, secret);
         }
         log
     }
+
+    /// Salvage parse: same acceptance as [`KeyLog::parse`], but every
+    /// damaged line is accounted for in `log` (stage `KeylogLine`, offset =
+    /// 1-based line number) instead of vanishing silently. Comments and
+    /// blank lines are neither processed nor dropped.
+    pub fn parse_salvage(text: &str, log: &mut crate::salvage::SalvageLog) -> KeyLog {
+        use crate::salvage::Stage;
+        let mut keylog = KeyLog::new();
+        for (i, line) in text.lines().enumerate() {
+            match parse_line(line) {
+                LineOutcome::Entry(cr, secret) => {
+                    keylog.insert(cr, secret);
+                    log.ok(Stage::KeylogLine);
+                }
+                LineOutcome::Ignored => {}
+                LineOutcome::Bad(reason) => {
+                    log.dropped(Stage::KeylogLine, reason, Some(i as u64 + 1));
+                }
+            }
+        }
+        keylog
+    }
+}
+
+/// What one key-log line amounts to.
+enum LineOutcome {
+    /// Comment or blank — not an entry, not damage.
+    Ignored,
+    /// A well-formed `CLIENT_RANDOM` entry.
+    Entry([u8; 32], [u8; 32]),
+    /// A line that is neither (malformed or unknown label).
+    Bad(&'static str),
+}
+
+fn parse_line(line: &str) -> LineOutcome {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return LineOutcome::Ignored;
+    }
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("CLIENT_RANDOM") {
+        return LineOutcome::Bad("unknown key-log label");
+    }
+    let (Some(cr_hex), Some(secret_hex)) = (parts.next(), parts.next()) else {
+        return LineOutcome::Bad("CLIENT_RANDOM line missing fields");
+    };
+    let (Ok(cr), Ok(secret)) = (hex::decode(cr_hex), hex::decode(secret_hex)) else {
+        return LineOutcome::Bad("CLIENT_RANDOM fields are not hex");
+    };
+    let (Ok(cr), Ok(secret)): (Result<[u8; 32], _>, Result<[u8; 32], _>) =
+        (cr.try_into(), secret.try_into())
+    else {
+        return LineOutcome::Bad("CLIENT_RANDOM fields are not 32 bytes");
+    };
+    LineOutcome::Entry(cr, secret)
 }
 
 #[cfg(test)]
@@ -129,6 +167,35 @@ CLIENT_RANDOM 0101010101010101010101010101010101010101010101010101010101010101 0
         assert!(KeyLog::new().is_empty());
         assert_eq!(KeyLog::new().to_file_string(), "");
         assert!(KeyLog::parse("").is_empty());
+    }
+
+    #[test]
+    fn salvage_parse_accounts_for_damaged_lines() {
+        let text = "\
+# comment
+CLIENT_RANDOM deadbeef tooshort
+CLIENT_RANDOM 0101010101010101010101010101010101010101010101010101010101010101 0202020202020202020202020202020202020202020202020202020202020202
+garbage line
+";
+        let mut log = crate::salvage::SalvageLog::new();
+        let parsed = KeyLog::parse_salvage(text, &mut log);
+        assert_eq!(parsed.len(), 1);
+        let counts = log.stage(crate::salvage::Stage::KeylogLine);
+        assert_eq!((counts.processed, counts.dropped), (1, 2));
+        assert!(log.conserved());
+        // Offsets are 1-based line numbers.
+        assert_eq!(log.drops()[0].offset, Some(2));
+        assert_eq!(log.drops()[1].offset, Some(4));
+    }
+
+    #[test]
+    fn salvage_parse_clean_on_well_formed_log() {
+        let mut source = KeyLog::new();
+        source.insert([1u8; 32], [2u8; 32]);
+        let mut log = crate::salvage::SalvageLog::new();
+        let parsed = KeyLog::parse_salvage(&source.to_file_string(), &mut log);
+        assert_eq!(parsed.len(), 1);
+        assert!(log.is_clean());
     }
 
     #[test]

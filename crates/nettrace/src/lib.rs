@@ -35,18 +35,25 @@
 //!   side), and the decode pipeline back from bytes to exchanges.
 
 pub mod capture;
+pub mod fault;
 pub mod har;
 pub mod http;
 pub mod keylog;
 pub mod packet;
 pub mod pcap;
 pub mod pcapng;
+pub mod salvage;
 pub mod tcp;
 pub mod tls;
 
-pub use capture::{decode_auto, decode_pcap, CaptureOptions, CaptureSession, DecodedTrace};
-pub use har::{har_from_exchanges, har_to_exchanges, HarError};
+pub use capture::{
+    decode_auto, decode_auto_salvage, decode_pcap, decode_pcap_salvage, CaptureOptions,
+    CaptureSession, DecodedTrace,
+};
+pub use fault::{FaultOp, FaultSpec};
+pub use har::{har_from_exchanges, har_to_exchanges, har_to_exchanges_salvage, HarError};
 pub use http::{Exchange, HeaderMap, HttpRequest, HttpResponse, Method};
 pub use keylog::KeyLog;
 pub use pcap::{PcapError, PcapPacket, PcapReader, PcapWriter};
 pub use pcapng::{inject_secrets, PcapngError, PcapngReader, PcapngWriter};
+pub use salvage::{DropRecord, SalvageLog, Stage, StageCounts};

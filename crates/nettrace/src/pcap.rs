@@ -214,6 +214,139 @@ impl PcapReader {
             packets,
         })
     }
+
+    /// Salvage parse: per-record damage is skipped-and-recorded instead of
+    /// aborting. The reader resyncs by scanning forward for the next
+    /// plausible record boundary (sane microsecond field, capture length
+    /// within the snaplen, record fits in the file). Only an unusable
+    /// global header is still an error. On undamaged input this accepts
+    /// exactly what [`PcapReader::parse`] accepts, with a clean log.
+    pub fn parse_salvage(
+        data: &[u8],
+        log: &mut crate::salvage::SalvageLog,
+    ) -> Result<PcapReader, PcapError> {
+        use crate::salvage::Stage;
+        use diffaudit_util::bytes::{read_u16_be, read_u16_le, read_u32_be, read_u32_le};
+
+        if data.len() < 24 {
+            return Err(PcapError::TruncatedHeader);
+        }
+        let magic = read_u32_le(data, 0).ok_or(PcapError::TruncatedHeader)?;
+        let swapped = match magic {
+            MAGIC_LE => false,
+            MAGIC_SWAPPED => true,
+            other => return Err(PcapError::BadMagic(other)),
+        };
+        let read_u16 = |offset: usize| -> Option<u16> {
+            if swapped {
+                read_u16_be(data, offset)
+            } else {
+                read_u16_le(data, offset)
+            }
+        };
+        let read_u32 = |offset: usize| -> Option<u32> {
+            if swapped {
+                read_u32_be(data, offset)
+            } else {
+                read_u32_le(data, offset)
+            }
+        };
+        let major = read_u16(4).ok_or(PcapError::TruncatedHeader)?;
+        let minor = read_u16(6).ok_or(PcapError::TruncatedHeader)?;
+        if major != 2 {
+            return Err(PcapError::BadVersion(major, minor));
+        }
+        let snaplen = read_u32(16).ok_or(PcapError::TruncatedHeader)?;
+        let link_type = read_u32(20).ok_or(PcapError::TruncatedHeader)?;
+
+        // Strict per-record read, identical to `parse`'s loop body.
+        let read_record = |pos: usize| -> Result<(PcapPacket, usize), PcapError> {
+            use diffaudit_util::bytes::slice_at;
+            let truncated = PcapError::TruncatedPacket { index: 0 };
+            let ts_sec = read_u32(pos).ok_or(truncated.clone())?;
+            let ts_usec = read_u32(pos + 4).ok_or(truncated.clone())?;
+            let incl_len = read_u32(pos + 8).ok_or(truncated.clone())?;
+            let orig_len = read_u32(pos + 12).ok_or(truncated.clone())?;
+            if incl_len > snaplen {
+                return Err(PcapError::OversizedPacket { index: 0, incl_len });
+            }
+            let start = pos + 16;
+            let payload = slice_at(data, start, incl_len as usize).ok_or(truncated)?;
+            Ok((
+                PcapPacket {
+                    ts_sec,
+                    ts_usec,
+                    orig_len,
+                    data: payload.to_vec(),
+                },
+                start + incl_len as usize,
+            ))
+        };
+        // A position looks like a record boundary when the header fields
+        // pass sanity checks a garbage window would almost never pass.
+        let plausible = |pos: usize| -> bool {
+            let Some(ts_usec) = read_u32(pos + 4) else {
+                return false;
+            };
+            let Some(incl_len) = read_u32(pos + 8) else {
+                return false;
+            };
+            let Some(orig_len) = read_u32(pos + 12) else {
+                return false;
+            };
+            ts_usec < 1_000_000
+                && incl_len <= snaplen
+                && orig_len >= incl_len
+                && pos + 16 + incl_len as usize <= data.len()
+        };
+
+        let mut packets = Vec::new();
+        let mut pos = 24usize;
+        while pos < data.len() {
+            match read_record(pos) {
+                Ok((packet, next)) => {
+                    packets.push(packet);
+                    log.ok(Stage::PcapRecord);
+                    pos = next;
+                }
+                Err(e) => {
+                    let what = match &e {
+                        PcapError::OversizedPacket { incl_len, .. } => {
+                            format!("record claims {incl_len} bytes > snaplen")
+                        }
+                        _ => "truncated record".to_string(),
+                    };
+                    let resync = (pos + 1..data.len().saturating_sub(16)).find(|&p| plausible(p));
+                    match resync {
+                        Some(next) => {
+                            log.dropped(
+                                Stage::PcapRecord,
+                                format!("{what}; resynced after {} bytes", next - pos),
+                                Some(pos as u64),
+                            );
+                            pos = next;
+                        }
+                        None => {
+                            log.dropped(
+                                Stage::PcapRecord,
+                                format!(
+                                    "{what}; {} trailing bytes unrecoverable",
+                                    data.len() - pos
+                                ),
+                                Some(pos as u64),
+                            );
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PcapReader {
+            link_type,
+            snaplen,
+            packets,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +426,68 @@ mod tests {
         let bytes = PcapWriter::new().finish();
         let r = PcapReader::parse(&bytes).unwrap();
         assert!(r.packets.is_empty());
+    }
+
+    #[test]
+    fn salvage_matches_strict_on_clean_input() {
+        let mut w = PcapWriter::new();
+        for i in 0..5u64 {
+            w.write_packet(1_700_000_000_000 + i, format!("frame-{i}").as_bytes());
+        }
+        let bytes = w.finish();
+        let strict = PcapReader::parse(&bytes).unwrap();
+        let mut log = crate::salvage::SalvageLog::new();
+        let salvaged = PcapReader::parse_salvage(&bytes, &mut log).unwrap();
+        assert_eq!(strict.packets, salvaged.packets);
+        assert!(log.is_clean());
+        assert_eq!(log.stage(crate::salvage::Stage::PcapRecord).processed, 5);
+    }
+
+    #[test]
+    fn salvage_resyncs_past_lying_length() {
+        let mut w = PcapWriter::new();
+        w.write_packet(1_700_000_000_000, b"first-frame");
+        w.write_packet(1_700_000_000_001, b"second-frame");
+        w.write_packet(1_700_000_000_002, b"third-frame");
+        let mut bytes = w.finish();
+        // Overwrite record 0's incl_len with an oversized lie.
+        bytes[24 + 8..24 + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(PcapReader::parse(&bytes).is_err());
+        let mut log = crate::salvage::SalvageLog::new();
+        let r = PcapReader::parse_salvage(&bytes, &mut log).unwrap();
+        // Records 1 and 2 recovered; record 0 dropped with its offset.
+        assert_eq!(r.packets.len(), 2);
+        assert_eq!(r.packets[0].data, b"second-frame");
+        assert!(log.conserved());
+        let counts = log.stage(crate::salvage::Stage::PcapRecord);
+        assert_eq!((counts.processed, counts.dropped), (2, 1));
+        assert_eq!(log.drops()[0].offset, Some(24));
+    }
+
+    #[test]
+    fn salvage_accounts_for_truncated_tail() {
+        let mut w = PcapWriter::new();
+        w.write_packet(1_700_000_000_000, b"kept-frame");
+        w.write_packet(1_700_000_000_001, b"lost-frame");
+        let bytes = w.finish();
+        let mut log = crate::salvage::SalvageLog::new();
+        let r = PcapReader::parse_salvage(&bytes[..bytes.len() - 4], &mut log).unwrap();
+        assert_eq!(r.packets.len(), 1);
+        assert_eq!(log.stage(crate::salvage::Stage::PcapRecord).dropped, 1);
+        assert!(log.drops()[0].reason.contains("unrecoverable"));
+    }
+
+    #[test]
+    fn salvage_still_rejects_unusable_header() {
+        assert!(matches!(
+            PcapReader::parse_salvage(&[0u8; 10], &mut crate::salvage::SalvageLog::new()),
+            Err(PcapError::TruncatedHeader)
+        ));
+        let mut bytes = PcapWriter::new().finish();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            PcapReader::parse_salvage(&bytes, &mut crate::salvage::SalvageLog::new()),
+            Err(PcapError::BadMagic(_))
+        ));
     }
 }

@@ -240,6 +240,175 @@ impl PcapngReader {
         }
         Ok(PcapngReader { packets, keylog })
     }
+
+    /// Salvage parse: per-block damage is skipped-and-recorded instead of
+    /// aborting. Resync scans forward (4-byte stride — blocks we write are
+    /// always aligned) for a block whose leading and trailing length fields
+    /// agree, a redundancy garbage almost never reproduces. Only an unusable
+    /// SHB is still an error. On undamaged input this accepts exactly what
+    /// [`PcapngReader::parse`] accepts, with a clean log.
+    pub fn parse_salvage(
+        data: &[u8],
+        log: &mut crate::salvage::SalvageLog,
+    ) -> Result<PcapngReader, PcapngError> {
+        use crate::salvage::Stage;
+        use diffaudit_util::bytes::{read_u32_le, slice_at};
+
+        if !Self::sniff(data) {
+            return Err(PcapngError::NotPcapng);
+        }
+        let magic = read_u32_le(data, 8).ok_or(PcapngError::Truncated { offset: 0 })?;
+        if magic == BYTE_ORDER_MAGIC.swap_bytes() {
+            return Err(PcapngError::BigEndianUnsupported);
+        }
+        if magic != BYTE_ORDER_MAGIC {
+            return Err(PcapngError::NotPcapng);
+        }
+
+        // A block boundary is plausible when its length fields are sane and
+        // the trailing copy agrees with the leading one.
+        let plausible = |pos: usize| -> bool {
+            let Some(total) = read_u32_le(data, pos + 4).map(|t| t as usize) else {
+                return false;
+            };
+            if total < 12 || !total.is_multiple_of(4) || pos + total > data.len() {
+                return false;
+            }
+            read_u32_le(data, pos + total - 4).map(|t| t as usize) == Some(total)
+        };
+
+        let mut packets = Vec::new();
+        let mut keylog = KeyLog::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let bad = |reason: &str, log: &mut crate::salvage::SalvageLog| -> Option<usize> {
+                let resync = (pos + 4..data.len().saturating_sub(12))
+                    .step_by(4)
+                    .find(|&p| plausible(p));
+                match resync {
+                    Some(next) => {
+                        log.dropped(
+                            Stage::PcapngBlock,
+                            format!("{reason}; resynced after {} bytes", next - pos),
+                            Some(pos as u64),
+                        );
+                    }
+                    None => {
+                        log.dropped(
+                            Stage::PcapngBlock,
+                            format!(
+                                "{reason}; {} trailing bytes unrecoverable",
+                                data.len() - pos
+                            ),
+                            Some(pos as u64),
+                        );
+                    }
+                }
+                resync
+            };
+            let header = read_u32_le(data, pos)
+                .zip(read_u32_le(data, pos + 4))
+                .map(|(t, total)| (t, total as usize));
+            let Some((block_type, total)) = header else {
+                match bad("truncated block header", log) {
+                    Some(next) => {
+                        pos = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            if total < 12 || !total.is_multiple_of(4) {
+                match bad("impossible block length", log) {
+                    Some(next) => {
+                        pos = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let Some(block) = slice_at(data, pos, total) else {
+                match bad("block extends past end of file", log) {
+                    Some(next) => {
+                        pos = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            if read_u32_le(block, total - 4).map(|t| t as usize) != Some(total) {
+                match bad("block length fields disagree", log) {
+                    Some(next) => {
+                        pos = next;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let body = slice_at(block, 8, total - 12).unwrap_or(&[]);
+            match block_type {
+                BT_EPB => match parse_epb_body(body) {
+                    Some(packet) => {
+                        packets.push(packet);
+                        log.ok(Stage::PcapngBlock);
+                    }
+                    None => {
+                        log.dropped(
+                            Stage::PcapngBlock,
+                            "packet block body malformed",
+                            Some(pos as u64),
+                        );
+                    }
+                },
+                BT_DSB => {
+                    let parsed = read_u32_le(body, 0).zip(read_u32_le(body, 4)).and_then(
+                        |(secrets_type, len)| {
+                            let secrets = slice_at(body, 8, len as usize)?;
+                            if secrets_type == SECRETS_TLS_KEYLOG {
+                                std::str::from_utf8(secrets).ok().map(KeyLog::parse)
+                            } else {
+                                Some(KeyLog::new()) // non-TLS secrets: valid, ignored
+                            }
+                        },
+                    );
+                    match parsed {
+                        Some(extra) => {
+                            keylog = merge_keylogs(keylog, extra);
+                            log.ok(Stage::PcapngBlock);
+                        }
+                        None => {
+                            log.dropped(
+                                Stage::PcapngBlock,
+                                "secrets block body malformed",
+                                Some(pos as u64),
+                            );
+                        }
+                    }
+                }
+                // SHB, IDB, and anything else: structurally valid, skipped.
+                _ => log.ok(Stage::PcapngBlock),
+            }
+            pos += total;
+        }
+        Ok(PcapngReader { packets, keylog })
+    }
+}
+
+/// Decode an Enhanced Packet Block body (checked; `None` on any lie).
+fn parse_epb_body(body: &[u8]) -> Option<PcapPacket> {
+    use diffaudit_util::bytes::{read_u32_le, slice_at};
+    let ts_high = read_u32_le(body, 4)? as u64;
+    let ts_low = read_u32_le(body, 8)? as u64;
+    let cap_len = read_u32_le(body, 12)? as usize;
+    let orig_len = read_u32_le(body, 16)?;
+    let captured = slice_at(body, 20, cap_len)?;
+    let ts_us = (ts_high << 32) | ts_low;
+    Some(PcapPacket {
+        ts_sec: (ts_us / 1_000_000) as u32,
+        ts_usec: (ts_us % 1_000_000) as u32,
+        orig_len,
+        data: captured.to_vec(),
+    })
 }
 
 fn merge_keylogs(a: KeyLog, b: KeyLog) -> KeyLog {
@@ -350,6 +519,57 @@ mod tests {
         bytes.extend_from_slice(&total.to_le_bytes());
         let r = PcapngReader::parse(&bytes).unwrap();
         assert_eq!(r.packets.len(), 1);
+    }
+
+    #[test]
+    fn salvage_matches_strict_on_clean_input() {
+        let mut w = PcapngWriter::new();
+        w.write_secrets(&sample_keylog());
+        w.write_packet(1_700_000_000_123, b"frame-one");
+        w.write_packet(1_700_000_000_456, b"frame-two!!");
+        let bytes = w.finish();
+        let strict = PcapngReader::parse(&bytes).unwrap();
+        let mut log = crate::salvage::SalvageLog::new();
+        let salvaged = PcapngReader::parse_salvage(&bytes, &mut log).unwrap();
+        assert_eq!(strict.packets, salvaged.packets);
+        assert_eq!(strict.keylog.len(), salvaged.keylog.len());
+        assert!(log.is_clean());
+        // SHB + IDB + DSB + 2 EPBs.
+        assert_eq!(log.stage(crate::salvage::Stage::PcapngBlock).processed, 5);
+    }
+
+    #[test]
+    fn salvage_resyncs_past_corrupt_block() {
+        let mut w = PcapngWriter::new();
+        w.write_packet(1, b"first");
+        w.write_packet(2, b"second");
+        w.write_packet(3, b"third");
+        let mut bytes = w.finish();
+        // Find the first EPB and corrupt its leading length field.
+        let epb_at = (0..bytes.len() - 4)
+            .step_by(4)
+            .find(|&p| diffaudit_util::bytes::read_u32_le(&bytes, p) == Some(6))
+            .unwrap();
+        bytes[epb_at + 4..epb_at + 8].copy_from_slice(&13u32.to_le_bytes()); // not mult of 4
+        assert!(PcapngReader::parse(&bytes).is_err());
+        let mut log = crate::salvage::SalvageLog::new();
+        let r = PcapngReader::parse_salvage(&bytes, &mut log).unwrap();
+        assert_eq!(r.packets.len(), 2);
+        assert_eq!(r.packets[0].data, b"second");
+        assert!(log.conserved());
+        assert_eq!(log.stage(crate::salvage::Stage::PcapngBlock).dropped, 1);
+    }
+
+    #[test]
+    fn salvage_accounts_for_truncated_tail() {
+        let mut w = PcapngWriter::new();
+        w.write_packet(1, b"kept");
+        w.write_packet(2, b"lost");
+        let bytes = w.finish();
+        let mut log = crate::salvage::SalvageLog::new();
+        let r = PcapngReader::parse_salvage(&bytes[..bytes.len() - 6], &mut log).unwrap();
+        assert_eq!(r.packets.len(), 1);
+        assert_eq!(log.stage(crate::salvage::Stage::PcapngBlock).dropped, 1);
     }
 
     #[test]

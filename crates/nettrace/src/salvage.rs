@@ -1,0 +1,245 @@
+//! Per-record degradation accounting for salvage-mode decoding.
+//!
+//! Real capture directories are messy: truncated pcaps, cert-pinned flows,
+//! malformed HAR entries. The salvage decode entry points
+//! ([`crate::capture::decode_auto_salvage`],
+//! [`crate::har::har_to_exchanges_salvage`], …) never abort on a bad record;
+//! they skip it and account for it here. A [`SalvageLog`] keeps, per
+//! pipeline [`Stage`], how many records were processed and how many were
+//! dropped — conservation (`processed + dropped == total`) holds by
+//! construction, and every drop carries a reason plus (where meaningful) the
+//! byte offset or record index of the damage.
+
+use std::collections::BTreeMap;
+
+/// A pipeline stage at which an input record can be processed or dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// A legacy-pcap packet record.
+    PcapRecord,
+    /// A pcapng block (SHB/IDB/EPB/DSB/unknown).
+    PcapngBlock,
+    /// A captured frame decoded into a TCP segment.
+    Frame,
+    /// A reassembled bidirectional TCP flow.
+    TcpFlow,
+    /// A parsed HTTP request inside a decrypted stream.
+    HttpExchange,
+    /// One `log.entries[]` element of a HAR document.
+    HarEntry,
+    /// One non-comment line of an `SSLKEYLOGFILE` key log.
+    KeylogLine,
+    /// One manifest unit (a whole artifact file).
+    Unit,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::PcapRecord,
+        Stage::PcapngBlock,
+        Stage::Frame,
+        Stage::TcpFlow,
+        Stage::HttpExchange,
+        Stage::HarEntry,
+        Stage::KeylogLine,
+        Stage::Unit,
+    ];
+
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::PcapRecord => "pcap-record",
+            Stage::PcapngBlock => "pcapng-block",
+            Stage::Frame => "frame",
+            Stage::TcpFlow => "tcp-flow",
+            Stage::HttpExchange => "http-exchange",
+            Stage::HarEntry => "har-entry",
+            Stage::KeylogLine => "keylog-line",
+            Stage::Unit => "unit",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One skipped input record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropRecord {
+    /// The stage that gave up on the record.
+    pub stage: Stage,
+    /// Human-readable reason (typed errors' `Display` output).
+    pub reason: String,
+    /// Byte offset (container stages) or record index (entry stages) of the
+    /// damage, when known.
+    pub offset: Option<u64>,
+}
+
+/// Per-stage processed/dropped tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Records that made it through the stage.
+    pub processed: u64,
+    /// Records skipped at the stage.
+    pub dropped: u64,
+}
+
+impl StageCounts {
+    /// `processed + dropped`.
+    pub fn total(&self) -> u64 {
+        self.processed + self.dropped
+    }
+}
+
+/// The degradation account for one decode: per-stage tallies plus the drop
+/// reasons. `processed + dropped == total` holds per stage by construction.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageLog {
+    counts: BTreeMap<Stage, StageCounts>,
+    drops: Vec<DropRecord>,
+}
+
+impl SalvageLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one successfully processed record at `stage`.
+    pub fn ok(&mut self, stage: Stage) {
+        self.counts.entry(stage).or_default().processed += 1;
+    }
+
+    /// Record `n` successfully processed records at `stage`.
+    pub fn ok_n(&mut self, stage: Stage, n: u64) {
+        self.counts.entry(stage).or_default().processed += n;
+    }
+
+    /// Record one dropped record at `stage`.
+    pub fn dropped(&mut self, stage: Stage, reason: impl Into<String>, offset: Option<u64>) {
+        self.counts.entry(stage).or_default().dropped += 1;
+        self.drops.push(DropRecord {
+            stage,
+            reason: reason.into(),
+            offset,
+        });
+    }
+
+    /// Tallies for one stage (zero if the stage never ran).
+    pub fn stage(&self, stage: Stage) -> StageCounts {
+        self.counts.get(&stage).copied().unwrap_or_default()
+    }
+
+    /// Every stage that saw at least one record, in pipeline order.
+    pub fn stages(&self) -> impl Iterator<Item = (Stage, StageCounts)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// All drop records, in the order they happened.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// Sum of processed records across stages.
+    pub fn total_processed(&self) -> u64 {
+        self.counts.values().map(|c| c.processed).sum()
+    }
+
+    /// Sum of dropped records across stages.
+    pub fn total_dropped(&self) -> u64 {
+        self.counts.values().map(|c| c.dropped).sum()
+    }
+
+    /// `true` when nothing was dropped at any stage.
+    pub fn is_clean(&self) -> bool {
+        self.total_dropped() == 0
+    }
+
+    /// Dropped fraction across all stages (0.0 on an empty log).
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.total_processed() + self.total_dropped();
+        if total == 0 {
+            0.0
+        } else {
+            self.total_dropped() as f64 / total as f64
+        }
+    }
+
+    /// Conservation check: per stage, the drop records must match the drop
+    /// tally. (`processed + dropped == total` is definitional; this guards
+    /// the redundant representation.)
+    pub fn conserved(&self) -> bool {
+        Stage::ALL.iter().all(|&stage| {
+            let recorded = self.drops.iter().filter(|d| d.stage == stage).count() as u64;
+            recorded == self.stage(stage).dropped
+        })
+    }
+
+    /// Fold `other` into `self` (per-stage sums, drops appended).
+    pub fn merge(&mut self, other: &SalvageLog) {
+        for (&stage, &counts) in &other.counts {
+            let entry = self.counts.entry(stage).or_default();
+            entry.processed += counts.processed;
+            entry.dropped += counts.dropped;
+        }
+        self.drops.extend(other.drops.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_by_construction() {
+        let mut log = SalvageLog::new();
+        log.ok(Stage::PcapRecord);
+        log.ok_n(Stage::PcapRecord, 3);
+        log.dropped(Stage::PcapRecord, "truncated record", Some(40));
+        log.dropped(Stage::TcpFlow, "malformed TLS", None);
+        let pcap = log.stage(Stage::PcapRecord);
+        assert_eq!(pcap.processed, 4);
+        assert_eq!(pcap.dropped, 1);
+        assert_eq!(pcap.total(), 5);
+        assert!(log.conserved());
+        assert!(!log.is_clean());
+        assert_eq!(log.total_dropped(), 2);
+        assert_eq!(log.drops().len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_appends_drops() {
+        let mut a = SalvageLog::new();
+        a.ok(Stage::HarEntry);
+        a.dropped(Stage::HarEntry, "bad url", Some(1));
+        let mut b = SalvageLog::new();
+        b.ok_n(Stage::HarEntry, 2);
+        b.dropped(Stage::KeylogLine, "bad hex", Some(0));
+        a.merge(&b);
+        assert_eq!(a.stage(Stage::HarEntry).processed, 3);
+        assert_eq!(a.stage(Stage::HarEntry).dropped, 1);
+        assert_eq!(a.stage(Stage::KeylogLine).dropped, 1);
+        assert_eq!(a.drops().len(), 2);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn empty_log_is_clean_and_conserved() {
+        let log = SalvageLog::new();
+        assert!(log.is_clean());
+        assert!(log.conserved());
+        assert_eq!(log.drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn drop_fraction() {
+        let mut log = SalvageLog::new();
+        log.ok_n(Stage::PcapRecord, 3);
+        log.dropped(Stage::PcapRecord, "x", None);
+        assert!((log.drop_fraction() - 0.25).abs() < 1e-12);
+    }
+}

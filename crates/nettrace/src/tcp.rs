@@ -40,6 +40,16 @@ impl FlowKey {
     }
 }
 
+/// A reassembly gap: the point where contiguous data ran out while later
+/// segments were still buffered (lost segment in the capture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamGap {
+    /// Stream offset at which contiguous data ends.
+    pub at_offset: u32,
+    /// Bytes buffered beyond the gap that could not be assembled.
+    pub stranded_bytes: u64,
+}
+
 /// One direction of a flow's data, reassembled lazily.
 #[derive(Debug, Default)]
 struct DirectionBuf {
@@ -76,11 +86,27 @@ impl DirectionBuf {
 
     /// Contiguous reassembly from offset zero; stops at the first gap.
     fn assemble(&self) -> Vec<u8> {
+        self.assemble_report().0
+    }
+
+    /// Contiguous reassembly plus gap accounting: when a sequence hole
+    /// stops assembly, report where and how many buffered bytes were
+    /// stranded beyond it instead of discarding them silently.
+    fn assemble_report(&self) -> (Vec<u8>, Option<StreamGap>) {
         let mut out = Vec::new();
         let mut expected: u32 = 0;
-        for (&offset, data) in &self.segments {
+        let mut iter = self.segments.iter();
+        for (&offset, data) in iter.by_ref() {
             if offset > expected {
-                break; // gap — the rest is not yet contiguous
+                // Gap — everything from here on is not contiguous.
+                let stranded = data.len() as u64 + iter.map(|(_, d)| d.len() as u64).sum::<u64>();
+                return (
+                    out,
+                    Some(StreamGap {
+                        at_offset: expected,
+                        stranded_bytes: stranded,
+                    }),
+                );
             }
             // Overlap: skip the already-assembled prefix.
             let skip = (expected - offset) as usize;
@@ -89,7 +115,7 @@ impl DirectionBuf {
                 expected = offset + data.len() as u32;
             }
         }
-        out
+        (out, None)
     }
 }
 
@@ -123,6 +149,21 @@ impl TcpFlow {
     /// Reassembled server→client byte stream.
     pub fn server_stream(&self) -> Vec<u8> {
         self.s2c.assemble()
+    }
+
+    /// Client→server stream with gap accounting (salvage mode).
+    pub fn client_stream_report(&self) -> (Vec<u8>, Option<StreamGap>) {
+        self.c2s.assemble_report()
+    }
+
+    /// Server→client stream with gap accounting (salvage mode).
+    pub fn server_stream_report(&self) -> (Vec<u8>, Option<StreamGap>) {
+        self.s2c.assemble_report()
+    }
+
+    /// `true` when either direction has a reassembly gap.
+    pub fn has_gap(&self) -> bool {
+        self.c2s.assemble_report().1.is_some() || self.s2c.assemble_report().1.is_some()
     }
 
     /// The server's TCP port — used to pick the scheme (443 ⇒ TLS).
@@ -286,6 +327,30 @@ mod tests {
         // Omit the first data segment: assembly stops before "world".
         run_flow(&mut table, &[0, 1, 2, 4, 5, 6]);
         assert_eq!(table.flows()[0].client_stream(), b"");
+    }
+
+    #[test]
+    fn gap_is_reported_with_stranded_bytes() {
+        let mut table = FlowTable::new();
+        run_flow(&mut table, &[0, 1, 2, 4, 5, 6]);
+        let flow = &table.flows()[0];
+        assert!(flow.has_gap());
+        let (data, gap) = flow.client_stream_report();
+        assert_eq!(data, b"");
+        let gap = gap.unwrap();
+        assert_eq!(gap.at_offset, 0);
+        assert_eq!(gap.stranded_bytes, 5); // "world"
+                                           // The complete server direction reports no gap.
+        let (server, server_gap) = flow.server_stream_report();
+        assert_eq!(server, b"response");
+        assert!(server_gap.is_none());
+    }
+
+    #[test]
+    fn complete_flow_reports_no_gap() {
+        let mut table = FlowTable::new();
+        run_flow(&mut table, &[0, 1, 2, 3, 4, 5, 6]);
+        assert!(!table.flows()[0].has_gap());
     }
 
     #[test]

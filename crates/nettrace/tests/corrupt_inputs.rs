@@ -7,11 +7,15 @@
 //! Any panic aborts the test process, so merely running to completion is the
 //! property under test.
 
+use diffaudit_domains::Url;
 use diffaudit_nettrace::packet::{TcpFlags, TcpSegment};
 use diffaudit_nettrace::pcap::{PcapReader, PcapWriter};
 use diffaudit_nettrace::pcapng::{inject_secrets, PcapngReader, PcapngWriter};
 use diffaudit_nettrace::tls::{parse_records, ClientHello};
-use diffaudit_nettrace::KeyLog;
+use diffaudit_nettrace::{
+    har_from_exchanges, har_to_exchanges, har_to_exchanges_salvage, Exchange, HttpRequest,
+    HttpResponse, KeyLog, SalvageLog,
+};
 
 fn sample_pcap() -> Vec<u8> {
     let mut w = PcapWriter::new();
@@ -164,6 +168,100 @@ fn tls_records_survive_corruption() {
     let mut hello_lie = body.clone();
     hello_lie[33..35].copy_from_slice(&u16::MAX.to_be_bytes());
     assert!(ClientHello::decode(&hello_lie).is_err());
+}
+
+fn sample_har() -> String {
+    let exchanges = vec![
+        Exchange {
+            timestamp_ms: 1_700_000_000_000,
+            request: HttpRequest::post(
+                Url::parse("https://api.example.com/events?sid=9").unwrap(),
+                "application/json",
+                br#"{"event":"page_view"}"#.to_vec(),
+            ),
+            response: HttpResponse::ok(),
+        },
+        Exchange {
+            timestamp_ms: 1_700_000_000_250,
+            request: HttpRequest::get(Url::parse("https://cdn.example.com/app.js").unwrap()),
+            response: HttpResponse::ok(),
+        },
+    ];
+    har_from_exchanges(&exchanges).to_pretty_string()
+}
+
+#[test]
+fn har_truncation_never_panics() {
+    let text = sample_har();
+    let bytes = text.as_bytes();
+    for cut in 0..bytes.len() {
+        let lossy = String::from_utf8_lossy(&bytes[..cut]);
+        let _ = har_to_exchanges(&lossy);
+        let mut log = SalvageLog::new();
+        let _ = har_to_exchanges_salvage(&lossy, &mut log);
+        assert!(log.conserved());
+    }
+    // Every strict prefix is a document-level error.
+    assert!(har_to_exchanges(&text[..text.len() - 1]).is_err());
+}
+
+#[test]
+fn har_bitflips_never_panic() {
+    let text = sample_har();
+    let mut buf = text.into_bytes();
+    for i in 0..buf.len() {
+        buf[i] ^= 0xFF;
+        let lossy = String::from_utf8_lossy(&buf);
+        let _ = har_to_exchanges(&lossy);
+        let mut log = SalvageLog::new();
+        let _ = har_to_exchanges_salvage(&lossy, &mut log);
+        assert!(log.conserved());
+        buf[i] ^= 0xFF;
+    }
+}
+
+/// Salvage-mode truncation sweep: besides never panicking, every sweep
+/// position must leave the ledger internally consistent.
+fn salvage_truncation_sweep<T, E>(
+    data: &[u8],
+    parse: impl Fn(&[u8], &mut SalvageLog) -> Result<T, E>,
+) {
+    for cut in 0..data.len() {
+        let mut log = SalvageLog::new();
+        let _ = parse(&data[..cut], &mut log);
+        assert!(log.conserved(), "ledger broken at cut {cut}");
+    }
+}
+
+/// Salvage-mode bit-flip sweep with the same ledger invariant.
+fn salvage_bitflip_sweep<T, E>(
+    data: &[u8],
+    parse: impl Fn(&[u8], &mut SalvageLog) -> Result<T, E>,
+) {
+    let mut buf = data.to_vec();
+    for i in 0..buf.len() {
+        buf[i] ^= 0xFF;
+        let mut log = SalvageLog::new();
+        let _ = parse(&buf, &mut log);
+        assert!(log.conserved(), "ledger broken at flip {i}");
+        buf[i] ^= 0xFF;
+    }
+}
+
+#[test]
+fn pcap_salvage_sweeps_never_panic_and_conserve() {
+    let data = sample_pcap();
+    salvage_truncation_sweep(&data, PcapReader::parse_salvage);
+    salvage_bitflip_sweep(&data, PcapReader::parse_salvage);
+}
+
+#[test]
+fn pcapng_salvage_sweeps_never_panic_and_conserve() {
+    // sample_pcapng carries a Decryption Secrets Block, so the sweeps also
+    // exercise the DSB body parser under damage.
+    let data = sample_pcapng();
+    salvage_truncation_sweep(&data, PcapngReader::parse_salvage);
+    salvage_bitflip_sweep(&data, PcapngReader::parse_salvage);
 }
 
 #[test]

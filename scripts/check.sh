@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos suite (fault grid + CLI exit codes, release profile)"
+cargo test -q --release -p diffaudit --test chaos --test cli_exit_codes
+
 echo "All checks passed."
