@@ -11,6 +11,8 @@ pub enum Lint {
     UnsafeAudit,
     /// Public fallible API returning a stringly-typed error.
     ErrorTaxonomy,
+    /// Raw `eprintln!`/`eprint!` bypassing the structured logger.
+    NoBareEprintln,
     /// Malformed `// lint:allow(...)` annotation.
     Annotation,
 }
@@ -22,6 +24,7 @@ impl Lint {
             Lint::NoPanic => "no-panic",
             Lint::UnsafeAudit => "unsafe-audit",
             Lint::ErrorTaxonomy => "error-taxonomy",
+            Lint::NoBareEprintln => "no-bare-eprintln",
             Lint::Annotation => "annotation",
         }
     }
@@ -33,6 +36,7 @@ impl Lint {
             "no-panic" => Some(Lint::NoPanic),
             "unsafe-audit" => Some(Lint::UnsafeAudit),
             "error-taxonomy" => Some(Lint::ErrorTaxonomy),
+            "no-bare-eprintln" => Some(Lint::NoBareEprintln),
             _ => None,
         }
     }
@@ -87,7 +91,12 @@ mod tests {
 
     #[test]
     fn allow_names_round_trip() {
-        for lint in [Lint::NoPanic, Lint::UnsafeAudit, Lint::ErrorTaxonomy] {
+        for lint in [
+            Lint::NoPanic,
+            Lint::UnsafeAudit,
+            Lint::ErrorTaxonomy,
+            Lint::NoBareEprintln,
+        ] {
             assert_eq!(Lint::from_allow_name(lint.name()), Some(lint));
         }
         assert_eq!(Lint::from_allow_name("annotation"), None);

@@ -1,4 +1,5 @@
-//! The lint passes: `no-panic`, `unsafe-audit`, and `error-taxonomy`.
+//! The lint passes: `no-panic`, `unsafe-audit`, `error-taxonomy`, and
+//! `no-bare-eprintln`.
 //!
 //! Every pass operates on a [`SourceFile`] — the raw text plus its
 //! lexer-stripped twin — so matches never fire inside comments or string
@@ -18,6 +19,9 @@ pub struct Policy {
     pub unsafe_audit: bool,
     /// Forbid stringly-typed errors on `pub fn` (designated crates only).
     pub error_taxonomy: bool,
+    /// Forbid raw `eprintln!`/`eprint!` (instrumented crates' production
+    /// sources; the obs stderr sink is allowlisted by the driver).
+    pub no_bare_eprintln: bool,
 }
 
 impl Policy {
@@ -27,6 +31,7 @@ impl Policy {
             no_panic: true,
             unsafe_audit: true,
             error_taxonomy: true,
+            no_bare_eprintln: false,
         }
     }
 
@@ -36,6 +41,7 @@ impl Policy {
             no_panic: false,
             unsafe_audit: true,
             error_taxonomy: false,
+            no_bare_eprintln: false,
         }
     }
 }
@@ -91,6 +97,9 @@ pub fn analyze_source(file: &SourceFile, policy: Policy) -> Vec<Finding> {
     if policy.error_taxonomy {
         error_taxonomy(file, &allows, &mut findings);
     }
+    if policy.no_bare_eprintln {
+        no_bare_eprintln(file, &allows, &mut findings);
+    }
     // An escape that suppressed nothing is stale — but only judge lints whose
     // pass actually ran here, otherwise the pass never had a chance to use it.
     for (lint, line) in allows.stale() {
@@ -98,6 +107,7 @@ pub fn analyze_source(file: &SourceFile, policy: Policy) -> Vec<Finding> {
             Lint::NoPanic => policy.no_panic,
             Lint::UnsafeAudit => policy.unsafe_audit,
             Lint::ErrorTaxonomy => policy.error_taxonomy,
+            Lint::NoBareEprintln => policy.no_bare_eprintln,
             Lint::Annotation => false,
         };
         if !pass_ran {
@@ -224,6 +234,37 @@ fn index_expression_sites(stripped: &str) -> Vec<usize> {
         sites.push(at);
     }
     sites
+}
+
+// ------------------------------------------------------ no-bare-eprintln
+
+/// Flag raw `eprintln!` / `eprint!` invocations. In the instrumented crates
+/// every operator-facing stderr line must flow through the leveled
+/// `diffaudit-obs` event API so `--log-level` filters it and `--trace-out`
+/// records it; a bare macro call bypasses both sinks.
+fn no_bare_eprintln(file: &SourceFile, allows: &Allows, findings: &mut Vec<Finding>) {
+    let stripped = &file.stripped;
+    let bytes = stripped.as_bytes();
+    for needle in ["eprintln!", "eprint!"] {
+        for at in occurrences(stripped, needle) {
+            // Word boundary: `my_eprintln!`-style identifiers must not match.
+            if at > 0 && is_ident(bytes[at - 1]) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.in_test_code(line) || allows.allows(Lint::NoBareEprintln, line) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.path.clone(),
+                line,
+                lint: Lint::NoBareEprintln,
+                message: format!(
+                    "`{needle}` bypasses the structured logger; emit a diffaudit-obs event instead"
+                ),
+            });
+        }
+    }
 }
 
 // ------------------------------------------------------------ unsafe-audit
@@ -605,6 +646,74 @@ fn f(w: &[u8]) -> Option<u8> {
         let src = "fn f(v: &[u8]) -> u8 { v[0] }\n";
         let findings = analyze_source(&SourceFile::new("t.rs", src), Policy::default_crate());
         assert!(findings.is_empty());
+    }
+
+    // ------------------------------------------- no-bare-eprintln
+
+    fn eprintln_policy() -> Policy {
+        Policy {
+            no_bare_eprintln: true,
+            ..Policy::default_crate()
+        }
+    }
+
+    #[test]
+    fn bare_eprintln_and_eprint_flagged() {
+        let src = "\
+fn f(e: &str) {
+    eprintln!(\"error: {e}\");
+    eprint!(\"partial\");
+}
+";
+        let findings = analyze_source(&SourceFile::new("t.rs", src), eprintln_policy());
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings.iter().all(|f| f.lint == Lint::NoBareEprintln));
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn eprintln_in_tests_comments_and_strings_exempt() {
+        let src = "\
+// eprintln!(\"in a comment\")
+fn f() { let s = \"eprintln!(hi)\"; let _ = s; }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { eprintln!(\"debugging a test is fine\"); }
+}
+";
+        let findings = analyze_source(&SourceFile::new("t.rs", src), eprintln_policy());
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn eprintln_allow_annotation_suppresses_and_goes_stale() {
+        let allowed = "\
+fn f() {
+    eprintln!(\"x\"); // lint:allow(no-bare-eprintln): the sink itself
+}
+";
+        let findings = analyze_source(&SourceFile::new("t.rs", allowed), eprintln_policy());
+        assert!(findings.is_empty(), "{findings:#?}");
+
+        let stale = "fn f() {} // lint:allow(no-bare-eprintln): nothing here\n";
+        let findings = analyze_source(&SourceFile::new("t.rs", stale), eprintln_policy());
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].lint, Lint::Annotation);
+        // And with the pass off, the unused escape is not judged.
+        let findings = analyze_source(&SourceFile::new("t.rs", stale), Policy::default_crate());
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn eprintln_off_by_default_everywhere() {
+        let src = "fn f() { eprintln!(\"x\"); }\n";
+        for policy in [Policy::default_crate(), Policy::parser_crate()] {
+            let findings = analyze_source(&SourceFile::new("t.rs", src), policy);
+            assert!(findings.is_empty(), "{findings:#?}");
+        }
     }
 
     // ------------------------------------------------------ unsafe-audit

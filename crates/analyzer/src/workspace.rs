@@ -19,6 +19,17 @@ pub const DESIGNATED_CRATES: [&str; 3] = ["nettrace", "json", "domains"];
 /// a panic there defeats the whole skip-and-record design.
 pub const DESIGNATED_FILES: [&str; 2] = ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"];
 
+/// Crates whose production sources must route stderr output through the
+/// `diffaudit-obs` structured logger instead of bare `eprintln!`/`eprint!`.
+/// These are the instrumented crates: `core` hosts the CLI (whose progress
+/// and error lines must honor `--log-level` and land in `--trace-out`), and
+/// `obs` itself must not print around its own sink.
+pub const EPRINTLN_CRATES: [&str; 2] = ["core", "obs"];
+
+/// Files exempt from `no-bare-eprintln`: the stderr sink is the one
+/// sanctioned funnel, so it alone may invoke the macros.
+pub const EPRINTLN_ALLOWLIST: [&str; 1] = ["crates/obs/src/sink.rs"];
+
 /// Analysis configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -28,6 +39,11 @@ pub struct Config {
     pub designated: Vec<String>,
     /// Workspace-relative paths of extra files held to the parser policy.
     pub designated_files: Vec<String>,
+    /// Crate directory names whose production sources forbid bare
+    /// `eprintln!`/`eprint!`.
+    pub eprintln_crates: Vec<String>,
+    /// Workspace-relative paths exempt from `no-bare-eprintln`.
+    pub eprintln_allowlist: Vec<String>,
 }
 
 impl Config {
@@ -37,6 +53,8 @@ impl Config {
             root: root.into(),
             designated: DESIGNATED_CRATES.iter().map(|s| s.to_string()).collect(),
             designated_files: DESIGNATED_FILES.iter().map(|s| s.to_string()).collect(),
+            eprintln_crates: EPRINTLN_CRATES.iter().map(|s| s.to_string()).collect(),
+            eprintln_allowlist: EPRINTLN_ALLOWLIST.iter().map(|s| s.to_string()).collect(),
         }
     }
 }
@@ -62,6 +80,8 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 /// Coverage: `crates/*/{src,tests,benches}/**/*.rs` plus the workspace-level
 /// `tests/` and `examples/` directories. Policy per file:
 /// - designated crates' `src/`: `no-panic` + `unsafe-audit` + `error-taxonomy`;
+/// - instrumented crates' `src/` (minus the sink allowlist):
+///   `no-bare-eprintln` on top of the base policy;
 /// - everything else (including designated crates' own `tests/`):
 ///   `unsafe-audit` only.
 pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
@@ -80,6 +100,7 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
             .unwrap_or_default()
             .to_string();
         let designated = config.designated.iter().any(|d| *d == crate_name);
+        let eprintln_gated = config.eprintln_crates.iter().any(|d| *d == crate_name);
         for (subdir, production) in [("src", true), ("tests", false), ("benches", false)] {
             let dir = crate_dir.join(subdir);
             if !dir.is_dir() {
@@ -95,19 +116,25 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
             } else {
                 &[]
             };
-            analyze_dir(&dir, &config.root, policy, upgrades, &mut findings)?;
+            let scope = DirScope {
+                policy,
+                upgrades,
+                no_bare_eprintln: eprintln_gated && production,
+                eprintln_allowlist: &config.eprintln_allowlist,
+            };
+            analyze_dir(&dir, &config.root, &scope, &mut findings)?;
         }
     }
     for top in ["tests", "examples"] {
         let dir = config.root.join(top);
         if dir.is_dir() {
-            analyze_dir(
-                &dir,
-                &config.root,
-                Policy::default_crate(),
-                &[],
-                &mut findings,
-            )?;
+            let scope = DirScope {
+                policy: Policy::default_crate(),
+                upgrades: &[],
+                no_bare_eprintln: false,
+                eprintln_allowlist: &config.eprintln_allowlist,
+            };
+            analyze_dir(&dir, &config.root, &scope, &mut findings)?;
         }
     }
     findings.sort_by(|a, b| {
@@ -119,11 +146,19 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
+/// Per-directory analysis scope: the base policy plus the file-level
+/// adjustments (parser-policy upgrades, eprintln gating and its allowlist).
+struct DirScope<'a> {
+    policy: Policy,
+    upgrades: &'a [String],
+    no_bare_eprintln: bool,
+    eprintln_allowlist: &'a [String],
+}
+
 fn analyze_dir(
     dir: &Path,
     root: &Path,
-    policy: Policy,
-    upgrades: &[String],
+    scope: &DirScope<'_>,
     findings: &mut Vec<Finding>,
 ) -> io::Result<()> {
     let mut stack = vec![dir.to_path_buf()];
@@ -142,11 +177,13 @@ fn analyze_dir(
                     .unwrap_or(&path)
                     .to_string_lossy()
                     .replace('\\', "/");
-                let policy = if upgrades.iter().any(|f| *f == display) {
+                let mut policy = if scope.upgrades.iter().any(|f| *f == display) {
                     Policy::parser_crate()
                 } else {
-                    policy
+                    scope.policy
                 };
+                policy.no_bare_eprintln = scope.no_bare_eprintln
+                    && !scope.eprintln_allowlist.iter().any(|f| *f == display);
                 let file = SourceFile::new(display, raw);
                 findings.extend(analyze_source(&file, policy));
             }
@@ -174,5 +211,15 @@ mod tests {
             DESIGNATED_FILES,
             ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"]
         );
+    }
+
+    #[test]
+    fn eprintln_gate_covers_cli_and_obs_but_not_bench() {
+        assert_eq!(EPRINTLN_CRATES, ["core", "obs"]);
+        assert_eq!(EPRINTLN_ALLOWLIST, ["crates/obs/src/sink.rs"]);
+        // The bench and analyzer crates are deliberately outside the gate:
+        // they are developer tools, not the audited pipeline.
+        assert!(!EPRINTLN_CRATES.contains(&"bench"));
+        assert!(!EPRINTLN_CRATES.contains(&"analyzer"));
     }
 }

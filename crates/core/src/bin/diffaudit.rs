@@ -24,6 +24,16 @@
 //!
 //! diffaudit ontology
 //!     Print the COPPA/CCPA data-type ontology as JSON.
+//!
+//! Global observability flags (any subcommand, stripped before dispatch):
+//!   --log-level error|warn|info|debug   stderr verbosity (default info)
+//!   --trace-out FILE.jsonl              write a JSONL event/span trace
+//!   --metrics-out FILE.json             write end-of-run metrics JSON
+//!   -v | --verbose                      debug level + pipeline run report
+//!
+//! Reports and exports go to stdout / `--out`; observability goes to stderr
+//! and the trace/metrics files, so enabling it never perturbs the audit
+//! output. The exit-code contract above is likewise unchanged.
 //! ```
 
 use diffaudit::audit::{audit_service, AuditFinding};
@@ -34,29 +44,126 @@ use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::report;
 use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
+use diffaudit_obs as obs;
 use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!(
+    obs::write_stderr_block(
         "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
          diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
-         diffaudit classify KEY...\n  diffaudit ontology"
+         diffaudit classify KEY...\n  diffaudit ontology\n\
+         global flags: [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
     );
     // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
     ExitCode::from(1)
 }
 
+/// What the observability flags asked for beyond recorder configuration.
+struct ObsOptions {
+    metrics_out: Option<PathBuf>,
+    verbose: bool,
+}
+
+/// Strip the global observability flags from the argument list and
+/// configure the process-global recorder. Returns the remaining arguments
+/// plus the end-of-run options, or `Err` with a message on a bad value.
+fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut level: Option<obs::Level> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--log-level" => match iter.next().as_deref().and_then(obs::Level::parse) {
+                Some(l) => level = Some(l),
+                None => return Err("--log-level takes error|warn|info|debug".into()),
+            },
+            "--trace-out" => match iter.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return Err("--trace-out takes a file path".into()),
+            },
+            "--metrics-out" => match iter.next() {
+                Some(path) => metrics_out = Some(PathBuf::from(path)),
+                None => return Err("--metrics-out takes a file path".into()),
+            },
+            "-v" | "--verbose" => verbose = true,
+            _ => rest.push(arg),
+        }
+    }
+    // The CLI is operator-facing: progress lines (info) show by default,
+    // -v raises to debug, an explicit --log-level always wins.
+    let effective = level.unwrap_or(if verbose {
+        obs::Level::Debug
+    } else {
+        obs::Level::Info
+    });
+    obs::global().configure(obs::ObsConfig {
+        level: Some(effective),
+        stderr: Some(true),
+        trace: None,
+    });
+    if let Some(path) = &trace_out {
+        obs::global()
+            .trace_to_file(path)
+            .map_err(|e| format!("cannot open trace file {}: {e}", path.display()))?;
+    }
+    Ok((
+        rest,
+        ObsOptions {
+            metrics_out,
+            verbose,
+        },
+    ))
+}
+
+/// End-of-run: flush the trace, write the metrics document, and print the
+/// pipeline run report when `-v` asked for it.
+fn finish_obs(options: &ObsOptions) {
+    obs::flush();
+    let snapshot = obs::snapshot();
+    if let Some(path) = &options.metrics_out {
+        let doc = snapshot.to_json().to_pretty_string();
+        match std::fs::write(path, doc) {
+            Ok(()) => obs::debug(
+                "metrics written",
+                &[obs::field("path", path.display().to_string())],
+            ),
+            Err(e) => obs::error(
+                "failed to write metrics",
+                &[
+                    obs::field("path", path.display().to_string()),
+                    obs::field("reason", e.to_string()),
+                ],
+            ),
+        }
+    }
+    if options.verbose {
+        obs::write_stderr_block(&obs::render_run_report(&snapshot));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let (args, obs_options) = match setup_obs(args) {
+        Ok(v) => v,
+        Err(msg) => {
+            obs::error(&msg, &[]);
+            return usage();
+        }
+    };
+    let code = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("ontology") => cmd_ontology(),
         _ => usage(),
-    }
+    };
+    finish_obs(&obs_options);
+    code
 }
 
 fn cmd_generate(args: &[String]) -> ExitCode {
@@ -89,12 +196,20 @@ fn cmd_generate(args: &[String]) -> ExitCode {
     let Some(out) = out else {
         return usage();
     };
-    eprintln!(
-        "generating dataset (scale {}, seed {})...",
-        options.volume_scale, options.seed
+    obs::info(
+        "generating dataset",
+        &[
+            obs::field("scale", options.volume_scale),
+            obs::field("seed", options.seed),
+        ],
     );
+    let gen_span = obs::span("generate");
     let dataset = generate_dataset(&options);
-    match write_dataset(&dataset, &out) {
+    gen_span.finish();
+    let write_span = obs::span("generate.write");
+    let written = write_dataset(&dataset, &out);
+    write_span.finish();
+    match written {
         Ok(dirs) => {
             // Ground truth alongside, for oracle-mode audits and classifier
             // validation.
@@ -107,7 +222,13 @@ fn cmd_generate(args: &[String]) -> ExitCode {
             );
             let truth_path = out.join("key_truth.json");
             if let Err(e) = std::fs::write(&truth_path, truth.to_string()) {
-                eprintln!("error writing {}: {e}", truth_path.display());
+                obs::error(
+                    "failed to write ground truth",
+                    &[
+                        obs::field("path", truth_path.display().to_string()),
+                        obs::field("reason", e.to_string()),
+                    ],
+                );
                 return ExitCode::FAILURE;
             }
             for dir in &dirs {
@@ -117,7 +238,7 @@ fn cmd_generate(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
+            obs::error(&e.to_string(), &[]);
             ExitCode::FAILURE
         }
     }
@@ -163,41 +284,62 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         return usage();
     }
 
+    let audit_span = obs::span("audit");
+    let load_span = obs::span("audit.load");
     let mut inputs = Vec::new();
     let mut ledger = DegradationLedger::new();
     for dir in &dirs {
         match load_capture_dir_salvage(dir) {
             Ok((input, service_ledger)) => {
                 let dropped = service_ledger.merged().total_dropped();
-                eprintln!(
-                    "loaded {} ({} units{}) from {}",
-                    input.name,
-                    input.units.len(),
-                    if dropped > 0 {
-                        format!(", {dropped} records dropped")
-                    } else {
-                        String::new()
-                    },
-                    dir.display()
-                );
+                let mut fields = vec![
+                    obs::field("service", input.name.as_str()),
+                    obs::field("units", input.units.len()),
+                    obs::field("dir", dir.display().to_string()),
+                ];
+                if dropped > 0 {
+                    fields.push(obs::field("dropped", dropped));
+                }
+                obs::info("loaded capture directory", &fields);
                 inputs.push(input);
                 ledger.services.push(service_ledger);
             }
             Err(e) => {
-                eprintln!("error: {e}");
+                obs::error(&e.to_string(), &[]);
                 return ExitCode::FAILURE;
             }
         }
     }
+    load_span.finish();
+
+    // Mirror the degradation ledger into the metrics registry so the
+    // `--metrics-out` document is conservation-checkable against the
+    // ledger: for every stage,
+    //   counters["salvage.<stage>.processed"] == ledger processed
+    //   counters["salvage.<stage>.dropped"]   == ledger dropped.
+    for (stage, counts) in ledger.merged().stages() {
+        let label = stage.label();
+        obs::add(
+            &format!("{}{label}.processed", obs::SALVAGE_PREFIX),
+            counts.processed,
+        );
+        obs::add(
+            &format!("{}{label}.dropped", obs::SALVAGE_PREFIX),
+            counts.dropped,
+        );
+    }
+
     let status = policy.evaluate(&ledger);
     if status == RunStatus::Failed {
-        eprintln!(
-            "error: degradation exceeds policy: {} records dropped ({:.2}%){}",
-            ledger.total_dropped(),
-            ledger.drop_fraction() * 100.0,
-            if policy.strict { " with --strict" } else { "" }
+        obs::error(
+            "degradation exceeds policy",
+            &[
+                obs::field("dropped", ledger.total_dropped()),
+                obs::field("dropPct", ledger.drop_fraction() * 100.0),
+                obs::field("strict", policy.strict),
+            ],
         );
-        eprint!("{}", report::render_degradation(&ledger));
+        obs::write_stderr_block(&report::render_degradation(&ledger));
         return ExitCode::FAILURE;
     }
 
@@ -206,20 +348,24 @@ fn cmd_audit(args: &[String]) -> ExitCode {
 
     // Findings need a policy; catalog services get their real one, unknown
     // services get the flow/linkability analyses without policy rules.
+    let findings_span = obs::span("audit.findings");
     let mut findings: Vec<AuditFinding> = Vec::new();
     for service in &outcome.services {
         if let Some(spec) = service_by_slug(&service.slug) {
             findings.extend(audit_service(service, &spec));
         } else {
-            eprintln!(
-                "note: {} is not in the catalog; policy-consistency rules skipped",
-                service.name
+            obs::warn(
+                "service not in catalog; policy-consistency rules skipped",
+                &[obs::field("service", service.name.as_str())],
             );
         }
     }
+    findings_span.finish();
+    obs::add("audit.findings", findings.len() as u64);
 
     // The degradation section appears only on salvaged runs, so a clean
     // run's output is byte-identical to the pre-salvage tool's.
+    let render_span = obs::span("audit.render");
     let rendered = match format.as_str() {
         "json" => {
             export::outcome_to_json_with_ledger(&outcome, &findings, &ledger).to_pretty_string()
@@ -263,21 +409,34 @@ fn cmd_audit(args: &[String]) -> ExitCode {
             text
         }
     };
+    render_span.finish();
+    audit_span.finish();
     match out_file {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, rendered) {
-                eprintln!("error writing {}: {e}", path.display());
+                obs::error(
+                    "failed to write report",
+                    &[
+                        obs::field("path", path.display().to_string()),
+                        obs::field("reason", e.to_string()),
+                    ],
+                );
                 return ExitCode::FAILURE;
             }
-            eprintln!("wrote {}", path.display());
+            obs::info(
+                "wrote report",
+                &[obs::field("path", path.display().to_string())],
+            );
         }
         None => print!("{rendered}"),
     }
     if status != RunStatus::Clean {
-        eprintln!(
-            "salvaged run: {} records dropped ({:.2}%); exit code 2",
-            ledger.total_dropped(),
-            ledger.drop_fraction() * 100.0
+        obs::warn(
+            "salvaged run; exit code 2",
+            &[
+                obs::field("dropped", ledger.total_dropped()),
+                obs::field("dropPct", ledger.drop_fraction() * 100.0),
+            ],
         );
     }
     ExitCode::from(status.exit_code())
@@ -288,6 +447,7 @@ fn cmd_classify(args: &[String]) -> ExitCode {
         return usage();
     }
     use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
+    let _span = obs::span("classify");
     let ensemble = MajorityEnsemble::new(2023, ConfidenceAggregation::Average);
     let refs: Vec<&str> = args.iter().map(String::as_str).collect();
     for result in ensemble.classify_batch(&refs) {

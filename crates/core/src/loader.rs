@@ -280,6 +280,7 @@ pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
 /// On a pristine directory the returned [`ServiceInput`] is identical to
 /// [`load_capture_dir`]'s and the ledger is clean.
 pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedger), LoadError> {
+    let _span = diffaudit_obs::span("loader.dir");
     let manifest = read_manifest(dir)?;
     let mut units = Vec::with_capacity(manifest.unit_entries.len());
     let mut ledger_units = Vec::with_capacity(manifest.unit_entries.len());
@@ -290,16 +291,39 @@ pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedg
             .map(str::to_string)
             .unwrap_or_else(|| format!("units[{i}]"));
         let mut log = SalvageLog::new();
+        let unit_span = diffaudit_obs::span("loader.unit");
         match load_unit(dir, entry, i, Some(&mut log)) {
             Ok(unit) => {
                 log.ok(Stage::Unit);
+                diffaudit_obs::add("loader.units.loaded", 1);
+                diffaudit_obs::observe(
+                    "loader.unit.exchanges",
+                    &diffaudit_obs::RECORD_BOUNDS,
+                    unit.exchanges.len() as u64,
+                );
+                diffaudit_obs::debug(
+                    "unit loaded",
+                    &[
+                        diffaudit_obs::field("file", label.as_str()),
+                        diffaudit_obs::field("exchanges", unit.exchanges.len()),
+                    ],
+                );
                 units.push(unit);
             }
             Err(e) => {
                 let reason = e.with_manifest_path(&manifest.path).to_string();
+                diffaudit_obs::add("loader.units.dropped", 1);
+                diffaudit_obs::warn(
+                    "unit dropped",
+                    &[
+                        diffaudit_obs::field("file", label.as_str()),
+                        diffaudit_obs::field("reason", reason.as_str()),
+                    ],
+                );
                 log.dropped(Stage::Unit, reason, Some(i as u64));
             }
         }
+        unit_span.finish();
         ledger_units.push(UnitLedger { file: label, log });
     }
     let slug = manifest.slug.clone();

@@ -163,23 +163,32 @@ impl Pipeline {
 
     /// Run over a generated dataset.
     pub fn run(&self, dataset: &GeneratedDataset) -> AuditOutcome {
+        let _run_span = diffaudit_obs::span("pipeline");
         // Phase 1: decode every unit and gather raw entries.
+        let decode_span = diffaudit_obs::span("pipeline.decode");
         let mut decoded: Vec<(&ServiceCapture, Vec<DecodedUnit>)> = Vec::new();
         let mut unique_keys: BTreeSet<String> = BTreeSet::new();
+        let mut key_occurrences: u64 = 0;
         for capture in &dataset.services {
+            let service_span = diffaudit_obs::span("pipeline.decode.service");
             let units = decode_capture(capture);
             for unit in &units {
                 for (_, keys) in &unit.requests {
+                    key_occurrences += keys.len() as u64;
                     unique_keys.extend(keys.iter().cloned());
                 }
             }
+            service_span.finish();
             decoded.push((capture, units));
         }
+        decode_span.finish();
+        record_key_stats(key_occurrences, unique_keys.len());
 
         // Phase 2: classify unique keys once.
         let key_labels = self.classify_keys(&unique_keys);
 
         // Phase 3: destination analysis + assembly.
+        let assemble_span = diffaudit_obs::span("pipeline.assemble");
         let services = decoded
             .into_iter()
             .map(|(capture, units)| {
@@ -192,6 +201,7 @@ impl Pipeline {
                 )
             })
             .collect();
+        assemble_span.finish();
         AuditOutcome {
             services,
             key_labels,
@@ -202,18 +212,39 @@ impl Pipeline {
     /// Run over externally supplied inputs (decoded traces loaded from
     /// disk — see [`crate::loader`]).
     pub fn run_inputs(&self, inputs: Vec<ServiceInput>) -> AuditOutcome {
+        let _run_span = diffaudit_obs::span("pipeline");
+        let extract_span = diffaudit_obs::span("pipeline.extract");
         let mut decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = Vec::new();
         let mut unique_keys: BTreeSet<String> = BTreeSet::new();
+        let mut key_occurrences: u64 = 0;
         for input in inputs {
+            let service_span = diffaudit_obs::span("pipeline.extract.service");
             let units: Vec<DecodedUnit> = input.units.into_iter().map(extract_unit).collect();
+            let mut unit_exchanges: u64 = 0;
             for unit in &units {
+                unit_exchanges += unit.requests.len() as u64;
                 for (_, keys) in &unit.requests {
+                    key_occurrences += keys.len() as u64;
                     unique_keys.extend(keys.iter().cloned());
                 }
             }
+            diffaudit_obs::add("pipeline.units", units.len() as u64);
+            diffaudit_obs::add("pipeline.exchanges", unit_exchanges);
+            diffaudit_obs::debug(
+                "service extracted",
+                &[
+                    diffaudit_obs::field("slug", input.slug.as_str()),
+                    diffaudit_obs::field("units", units.len()),
+                    diffaudit_obs::field("exchanges", unit_exchanges),
+                ],
+            );
+            service_span.finish();
             decoded.push((input.name, input.slug, input.first_party_domains, units));
         }
+        extract_span.finish();
+        record_key_stats(key_occurrences, unique_keys.len());
         let key_labels = self.classify_keys(&unique_keys);
+        let assemble_span = diffaudit_obs::span("pipeline.assemble");
         let services = decoded
             .into_iter()
             .map(|(name, slug, domains, units)| {
@@ -221,6 +252,7 @@ impl Pipeline {
                 assemble_service(&name, &slug, &domain_refs, units, &key_labels)
             })
             .collect();
+        assemble_span.finish();
         AuditOutcome {
             services,
             key_labels,
@@ -233,6 +265,7 @@ impl Pipeline {
         &self,
         keys: &BTreeSet<String>,
     ) -> HashMap<String, Option<DataTypeCategory>> {
+        let _span = diffaudit_obs::span("pipeline.classify");
         match &self.mode {
             ClassificationMode::Oracle(truth) => keys
                 .iter()
@@ -255,6 +288,27 @@ impl Pipeline {
             }
         }
     }
+}
+
+/// Record the unique-key dedup counters: classification runs once per
+/// *unique* key (the paper classified its 3,968 unique types in batch), so
+/// every repeat occurrence is a cache hit the batch never pays for.
+fn record_key_stats(occurrences: u64, unique: usize) {
+    diffaudit_obs::add("pipeline.keys.occurrences", occurrences);
+    diffaudit_obs::add("pipeline.keys.unique", unique as u64);
+    let hit_rate = if occurrences > 0 {
+        1.0 - (unique as f64 / occurrences as f64)
+    } else {
+        0.0
+    };
+    diffaudit_obs::debug(
+        "unique-key classification cache",
+        &[
+            diffaudit_obs::field("occurrences", occurrences),
+            diffaudit_obs::field("unique", unique),
+            diffaudit_obs::field("hitRate", hit_rate),
+        ],
+    );
 }
 
 /// One decoded capture unit, ready for classification — the input format

@@ -446,6 +446,12 @@ pub fn decode_pcap_salvage(
     keylog: &KeyLog,
     log: &mut SalvageLog,
 ) -> Result<DecodedTrace, DecodeError> {
+    let _span = diffaudit_obs::span("nettrace.decode.pcap");
+    diffaudit_obs::observe(
+        "nettrace.capture.bytes",
+        &diffaudit_obs::BYTE_BOUNDS,
+        pcap_bytes.len() as u64,
+    );
     let reader = PcapReader::parse_salvage(pcap_bytes, log)?;
     Ok(decode_packets_salvage(&reader.packets, keylog, log))
 }
@@ -459,6 +465,12 @@ pub fn decode_auto_salvage(
     log: &mut SalvageLog,
 ) -> Result<DecodedTrace, DecodeError> {
     if crate::pcapng::PcapngReader::sniff(bytes) {
+        let _span = diffaudit_obs::span("nettrace.decode.pcapng");
+        diffaudit_obs::observe(
+            "nettrace.capture.bytes",
+            &diffaudit_obs::BYTE_BOUNDS,
+            bytes.len() as u64,
+        );
         let reader =
             crate::pcapng::PcapngReader::parse_salvage(bytes, log).map_err(DecodeError::Pcapng)?;
         let merged = KeyLog::parse(&format!(
@@ -482,6 +494,7 @@ fn decode_packets_salvage(
     keylog: &KeyLog,
     log: &mut SalvageLog,
 ) -> DecodedTrace {
+    let _span = diffaudit_obs::span("nettrace.reassemble");
     let packet_count = packets.len();
     let mut table = FlowTable::new();
     for (i, packet) in packets.iter().enumerate() {
@@ -599,6 +612,24 @@ fn decode_packets_salvage(
                 }
             }
         }
+    }
+    diffaudit_obs::add("nettrace.packets", packet_count as u64);
+    diffaudit_obs::add("nettrace.flows", table.flow_count() as u64);
+    diffaudit_obs::add("nettrace.exchanges", exchanges.len() as u64);
+    diffaudit_obs::add("nettrace.flows.opaque", opaque.len() as u64);
+    diffaudit_obs::observe(
+        "nettrace.exchanges.per-capture",
+        &diffaudit_obs::RECORD_BOUNDS,
+        exchanges.len() as u64,
+    );
+    if !log.is_clean() {
+        diffaudit_obs::debug(
+            "capture decoded with drops",
+            &[
+                diffaudit_obs::field("dropped", log.total_dropped()),
+                diffaudit_obs::field("flows", table.flow_count()),
+            ],
+        );
     }
     DecodedTrace {
         exchanges,

@@ -371,6 +371,12 @@ pub fn har_to_exchanges_salvage(
     log: &mut crate::salvage::SalvageLog,
 ) -> Result<Vec<Exchange>, HarError> {
     use crate::salvage::Stage;
+    let _span = diffaudit_obs::span("nettrace.decode.har");
+    diffaudit_obs::observe(
+        "nettrace.capture.bytes",
+        &diffaudit_obs::BYTE_BOUNDS,
+        text.len() as u64,
+    );
     let doc = parse(text).map_err(|e| HarError::Json(e.to_string()))?;
     let entries = doc
         .pointer("/log/entries")
@@ -386,6 +392,7 @@ pub fn har_to_exchanges_salvage(
             Err(e) => log.dropped(Stage::HarEntry, e.to_string(), Some(i as u64)),
         }
     }
+    diffaudit_obs::add("nettrace.har.entries", exchanges.len() as u64);
     Ok(exchanges)
 }
 

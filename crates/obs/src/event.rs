@@ -1,0 +1,111 @@
+//! Structured events: a message plus typed `key=value` fields.
+
+use diffaudit_json::Json;
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (counters, sizes).
+    Uint(u64),
+    /// A float (fractions, rates).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl FieldValue {
+    /// JSON representation for the JSONL trace sink.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FieldValue::Str(s) => Json::str(s.clone()),
+            FieldValue::Int(i) => Json::int(*i),
+            FieldValue::Uint(u) => {
+                i64::try_from(*u).map_or_else(|_| Json::float(*u as f64), Json::int)
+            }
+            FieldValue::Float(f) => Json::float(*f),
+            FieldValue::Bool(b) => Json::Bool(*b),
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::Int(i) => write!(f, "{i}"),
+            FieldValue::Uint(u) => write!(f, "{u}"),
+            FieldValue::Float(x) => write!(f, "{x:.4}"),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Str(s.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Str(s)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(i: i64) -> Self {
+        FieldValue::Int(i)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(u: u64) -> Self {
+        FieldValue::Uint(u)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(u: usize) -> Self {
+        FieldValue::Uint(u as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(f: f64) -> Self {
+        FieldValue::Float(f)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(b: bool) -> Self {
+        FieldValue::Bool(b)
+    }
+}
+
+/// One `key=value` pair.
+pub type Field = (&'static str, FieldValue);
+
+/// Build a field vector tersely: `fields![("units", 14usize), ("slug", slug)]`
+/// without the macro — callers use `vec![("units", n.into())]` or this helper.
+pub fn field(key: &'static str, value: impl Into<FieldValue>) -> Field {
+    (key, value.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        assert_eq!(field("a", 3i64).1.to_string(), "3");
+        assert_eq!(field("b", "x").1, FieldValue::Str("x".into()));
+        assert_eq!(field("c", true).1.to_string(), "true");
+        assert_eq!(field("d", 0.5f64).1.to_string(), "0.5000");
+    }
+
+    #[test]
+    fn json_preserves_integer_counters() {
+        assert_eq!(FieldValue::Uint(7).to_json(), Json::int(7));
+        assert_eq!(FieldValue::Int(-2).to_json(), Json::int(-2));
+        // u64 values beyond i64 degrade to float rather than erroring.
+        assert!(matches!(FieldValue::Uint(u64::MAX).to_json(), Json::Num(_)));
+    }
+}

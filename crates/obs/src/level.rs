@@ -1,0 +1,96 @@
+//! Event severity levels.
+
+/// Severity of a structured event, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; the run's outcome is affected.
+    Error,
+    /// Something degraded but the run continues (salvage territory).
+    Warn,
+    /// Operator-facing progress (the CLI's default).
+    Info,
+    /// Per-stage detail for diagnosing a run.
+    Debug,
+}
+
+impl Level {
+    /// Stable lowercase label, used by `--log-level` and the JSONL sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse a `--log-level` argument.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// `true` when an event at `self` passes a filter set to `max`.
+    /// (`Error` passes every filter; `Debug` only a `Debug` filter.)
+    pub fn passes(self, max: Level) -> bool {
+        self <= max
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            Level::Error => 0,
+            Level::Warn => 1,
+            Level::Info => 2,
+            Level::Debug => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_severity_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn filter_semantics() {
+        assert!(Level::Error.passes(Level::Error));
+        assert!(!Level::Info.passes(Level::Warn));
+        assert!(Level::Info.passes(Level::Debug));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.label()), Some(level));
+            assert_eq!(Level::from_u8(level.as_u8()), level);
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}

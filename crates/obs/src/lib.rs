@@ -1,0 +1,115 @@
+//! `diffaudit-obs` — std-only structured tracing, per-stage metrics, and a
+//! pipeline run report for the DiffAudit reproduction.
+//!
+//! The crate provides four pieces, all dependency-free:
+//!
+//! - **Spans** — hierarchical wall-time timing via an RAII guard
+//!   ([`Recorder::enter`] / [`span`]); each completed span feeds a
+//!   per-name [`SpanStats`] aggregate and a latency histogram.
+//! - **Metrics** — typed counters and fixed-bucket [`Histogram`]s
+//!   (byte volumes, record counts, latencies) collected into a
+//!   [`MetricsSnapshot`] for `--metrics-out` export.
+//! - **Events** — a leveled structured logging API
+//!   ([`error`]/[`warn`]/[`info`]/[`debug`]) with typed `key=value`
+//!   fields.
+//! - **Sinks** — a human-readable stderr logger (the only sanctioned
+//!   `eprintln!` in the instrumented crates) and a machine-readable JSONL
+//!   trace writer built on `diffaudit-json`.
+//!
+//! Instrumented library crates talk to one process-global [`Recorder`]
+//! through the free functions below; the recorder defaults to level
+//! `Warn` so libraries and tests stay quiet until the CLI calls
+//! [`global`]`().configure(...)`.
+
+pub mod event;
+pub mod level;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+
+pub use event::{field, Field, FieldValue};
+pub use level::Level;
+pub use metrics::{
+    Histogram, Metrics, MetricsSnapshot, SpanStats, BYTE_BOUNDS, LATENCY_US_BOUNDS, RECORD_BOUNDS,
+};
+pub use recorder::{ObsConfig, Recorder, SpanGuard};
+pub use report::{render_run_report, SALVAGE_PREFIX};
+pub use sink::{write_stderr_block, JsonlSink};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-global recorder (created on first use).
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+/// Enter a span on the global recorder; the guard closes it on drop.
+pub fn span(name: impl Into<String>) -> SpanGuard<'static> {
+    global().enter(name)
+}
+
+/// Emit an `error` event on the global recorder.
+pub fn error(msg: &str, fields: &[Field]) {
+    global().event(Level::Error, msg, fields);
+}
+
+/// Emit a `warn` event on the global recorder.
+pub fn warn(msg: &str, fields: &[Field]) {
+    global().event(Level::Warn, msg, fields);
+}
+
+/// Emit an `info` event on the global recorder.
+pub fn info(msg: &str, fields: &[Field]) {
+    global().event(Level::Info, msg, fields);
+}
+
+/// Emit a `debug` event on the global recorder.
+pub fn debug(msg: &str, fields: &[Field]) {
+    global().event(Level::Debug, msg, fields);
+}
+
+/// Add `n` to global counter `name`.
+pub fn add(name: &str, n: u64) {
+    global().add(name, n);
+}
+
+/// Record `value` into global histogram `name` over `bounds`.
+pub fn observe(name: &str, bounds: &[u64], value: u64) {
+    global().observe(name, bounds, value);
+}
+
+/// Snapshot the global recorder's metrics.
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Flush the global trace sink.
+pub fn flush() {
+    global().flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_veneer_is_usable() {
+        // The global recorder is shared across the test binary; use names
+        // unique to this test and assert only on them.
+        add("obs.lib.test.counter", 2);
+        observe("obs.lib.test.hist", &RECORD_BOUNDS, 3);
+        {
+            let _span = span("obs.lib.test.span");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.metrics.counter("obs.lib.test.counter"), 2);
+        assert!(snap.metrics.spans().any(|(n, _)| n == "obs.lib.test.span"));
+        assert!(snap
+            .metrics
+            .histograms()
+            .any(|(n, _)| n == "obs.lib.test.hist"));
+    }
+}

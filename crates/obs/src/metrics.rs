@@ -1,0 +1,337 @@
+//! Typed counters, fixed-bucket histograms, and span timing aggregates.
+//!
+//! Everything here is plain data guarded by the recorder's lock; the
+//! exported [`MetricsSnapshot`] is an owned copy so report rendering and
+//! JSON export never hold the lock.
+
+use diffaudit_json::Json;
+use std::collections::BTreeMap;
+
+/// Fixed upper-bound buckets for byte volumes (64 B … 4 MiB, then overflow).
+pub const BYTE_BOUNDS: [u64; 9] = [
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+];
+
+/// Fixed upper-bound buckets for record counts per container.
+pub const RECORD_BOUNDS: [u64; 8] = [1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// Fixed upper-bound buckets for latencies in microseconds (10 µs … 10 s).
+pub const LATENCY_US_BOUNDS: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// A histogram over fixed upper-bound buckets plus an overflow bucket.
+///
+/// Bucket semantics: a value `v` lands in the first bucket whose bound
+/// satisfies `v <= bound`; values above every bound land in the overflow
+/// bucket. Bounds are fixed at creation so merged snapshots stay comparable
+/// across runs — the property a perf baseline needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` entries; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Empty histogram over `bounds` (must be ascending).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `(upper_bound, count)` per bucket; the final entry has `None` as its
+    /// bound — the overflow bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.bounds
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// JSON representation (part of the `--metrics-out` document).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets()
+            .map(|(bound, count)| {
+                Json::obj()
+                    .with(
+                        "le",
+                        bound.map_or(Json::Null, |b| Json::int(b.min(i64::MAX as u64) as i64)),
+                    )
+                    .with("count", Json::int(count.min(i64::MAX as u64) as i64))
+            })
+            .collect();
+        Json::obj()
+            .with("count", Json::int(self.count.min(i64::MAX as u64) as i64))
+            .with("sum", Json::int(self.sum.min(i64::MAX as u64) as i64))
+            .with(
+                "min",
+                self.min()
+                    .map_or(Json::Null, |v| Json::int(v.min(i64::MAX as u64) as i64)),
+            )
+            .with(
+                "max",
+                self.max()
+                    .map_or(Json::Null, |v| Json::int(v.min(i64::MAX as u64) as i64)),
+            )
+            .with("buckets", Json::Arr(buckets))
+    }
+}
+
+/// Aggregate wall-time statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans under this name.
+    pub count: u64,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Shortest single span, microseconds.
+    pub min_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, dur_us: u64) {
+        if self.count == 0 {
+            self.min_us = dur_us;
+        } else {
+            self.min_us = self.min_us.min(dur_us);
+        }
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(dur_us);
+        self.max_us = self.max_us.max(dur_us);
+    }
+
+    /// JSON representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::int(self.count.min(i64::MAX as u64) as i64))
+            .with(
+                "totalUs",
+                Json::int(self.total_us.min(i64::MAX as u64) as i64),
+            )
+            .with("minUs", Json::int(self.min_us.min(i64::MAX as u64) as i64))
+            .with("maxUs", Json::int(self.max_us.min(i64::MAX as u64) as i64))
+    }
+}
+
+/// The live metric registry: named counters, histograms, and span stats.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Add `n` to counter `name` (created at zero on first use).
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Record `value` into histogram `name`, creating it over `bounds` on
+    /// first use. (Later calls keep the original bounds.)
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Record a completed span's duration.
+    pub fn span_done(&mut self, name: &str, dur_us: u64) {
+        self.spans
+            .entry(name.to_string())
+            .or_default()
+            .record(dur_us);
+    }
+
+    /// Current value of counter `name` (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Named counters in sorted order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Named histograms in sorted order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Named span stats in sorted order.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> + '_ {
+        self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// An owned copy of the registry at one instant, plus run uptime.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// The copied registry.
+    pub metrics: Metrics,
+    /// Microseconds since the recorder started.
+    pub uptime_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// The `--metrics-out` document.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, value) in self.metrics.counters() {
+            counters.set(name, Json::int(value.min(i64::MAX as u64) as i64));
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in self.metrics.histograms() {
+            histograms.set(name, h.to_json());
+        }
+        let mut spans = Json::obj();
+        for (name, s) in self.metrics.spans() {
+            spans.set(name, s.to_json());
+        }
+        Json::obj()
+            .with("schema", Json::str("diffaudit-obs/v1"))
+            .with(
+                "uptimeUs",
+                Json::int(self.uptime_us.min(i64::MAX as u64) as i64),
+            )
+            .with("counters", counters)
+            .with("histograms", histograms)
+            .with("spans", spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(0);
+        h.record(10); // exactly on a bound → that bucket
+        h.record(11);
+        h.record(100);
+        h.record(101); // overflow
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(10), 2), (Some(100), 2), (None, 1)]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 222);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(101));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::new(&BYTE_BOUNDS);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn span_stats_track_min_max_total() {
+        let mut s = SpanStats::default();
+        s.record(5);
+        s.record(2);
+        s.record(9);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_us, 16);
+        assert_eq!(s.min_us, 2);
+        assert_eq!(s.max_us, 9);
+    }
+
+    #[test]
+    fn registry_and_snapshot_export() {
+        let mut m = Metrics::new();
+        m.add("pipeline.units", 14);
+        m.add("pipeline.units", 1);
+        m.observe("artifact.bytes", &BYTE_BOUNDS, 2_000);
+        m.span_done("pipeline.classify", 1_500);
+        assert_eq!(m.counter("pipeline.units"), 15);
+        assert_eq!(m.counter("missing"), 0);
+
+        let snap = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 42,
+        };
+        let json = snap.to_json();
+        assert_eq!(
+            json.pointer("/schema").and_then(Json::as_str),
+            Some("diffaudit-obs/v1")
+        );
+        assert_eq!(
+            json.pointer("/counters/pipeline.units")
+                .and_then(Json::as_i64),
+            Some(15)
+        );
+        assert_eq!(
+            json.pointer("/histograms/artifact.bytes/count")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            json.pointer("/spans/pipeline.classify/totalUs")
+                .and_then(Json::as_i64),
+            Some(1500)
+        );
+        // The document round-trips through the parser.
+        let text = json.to_pretty_string();
+        let back = diffaudit_json::parse(&text).expect("metrics JSON parses");
+        assert_eq!(back.pointer("/uptimeUs").and_then(Json::as_i64), Some(42));
+    }
+}

@@ -1,0 +1,317 @@
+//! The recorder: one object owning the level filter, the sinks, the metric
+//! registry, and the active span stack.
+//!
+//! Library code talks to the process-global recorder through the free
+//! functions in [`crate`]; tests build private [`Recorder`]s and assert on
+//! their snapshots without cross-test interference.
+
+use crate::event::Field;
+use crate::level::Level;
+use crate::metrics::{Metrics, MetricsSnapshot, LATENCY_US_BOUNDS};
+use crate::sink::{event_record, span_record, write_stderr, JsonlSink};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Recorder configuration, applied by [`Recorder::configure`].
+#[derive(Debug, Default)]
+pub struct ObsConfig {
+    /// New stderr filter level (`None` keeps the current one).
+    pub level: Option<Level>,
+    /// Enable/disable the stderr sink (`None` keeps the current state).
+    pub stderr: Option<bool>,
+    /// Attach a JSONL trace sink (`None` keeps the current one).
+    pub trace: Option<JsonlSink>,
+}
+
+struct Inner {
+    start: Instant,
+    seq: u64,
+    trace: Option<JsonlSink>,
+    metrics: Metrics,
+    /// Names of the spans currently open, outermost first. The pipeline is
+    /// single-threaded, so a plain stack captures the hierarchy.
+    stack: Vec<String>,
+}
+
+/// The observability recorder.
+pub struct Recorder {
+    level: AtomicU8,
+    stderr: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Recorder")
+    }
+}
+
+fn lock_inner(recorder: &Recorder) -> std::sync::MutexGuard<'_, Inner> {
+    // Observability must never poison-panic the audit: if a panicking
+    // thread held the lock, keep using the (counter-only) state.
+    match recorder.inner.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder: level `Warn`, stderr on, no trace sink. The quiet
+    /// default keeps library consumers (tests, benches) silent while still
+    /// surfacing real problems; the CLI raises the level to `Info`.
+    pub fn new() -> Recorder {
+        Recorder {
+            level: AtomicU8::new(Level::Warn.as_u8()),
+            stderr: AtomicBool::new(true),
+            inner: Mutex::new(Inner {
+                start: Instant::now(),
+                seq: 0,
+                trace: None,
+                metrics: Metrics::new(),
+                stack: Vec::new(),
+            }),
+        }
+    }
+
+    /// Apply a configuration.
+    pub fn configure(&self, config: ObsConfig) {
+        if let Some(level) = config.level {
+            self.level.store(level.as_u8(), Ordering::Relaxed);
+        }
+        if let Some(stderr) = config.stderr {
+            self.stderr.store(stderr, Ordering::Relaxed);
+        }
+        if let Some(sink) = config.trace {
+            lock_inner(self).trace = Some(sink);
+        }
+    }
+
+    /// Open a file trace sink at `path`.
+    pub fn trace_to_file(&self, path: &Path) -> std::io::Result<()> {
+        let sink = JsonlSink::create(path)?;
+        lock_inner(self).trace = Some(sink);
+        Ok(())
+    }
+
+    /// Attach an arbitrary writer as the trace sink (tests).
+    pub fn trace_to_writer(&self, out: Box<dyn Write + Send>) {
+        lock_inner(self).trace = Some(JsonlSink::new(out));
+    }
+
+    /// The current stderr filter level.
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Emit a structured event. Events at or above the filter level go to
+    /// stderr (when enabled); every event goes to the trace sink.
+    pub fn event(&self, level: Level, msg: &str, fields: &[Field]) {
+        if self.stderr.load(Ordering::Relaxed) && level.passes(self.level()) {
+            write_stderr(level, msg, fields);
+        }
+        let mut inner = lock_inner(self);
+        if inner.trace.is_some() {
+            inner.seq += 1;
+            let seq = inner.seq;
+            let t_us = elapsed_us(inner.start);
+            let record = event_record(seq, t_us, level, msg, fields);
+            if let Some(trace) = inner.trace.as_mut() {
+                trace.write(&record);
+            }
+        }
+    }
+
+    /// Enter a named span; the returned guard closes it on drop, recording
+    /// wall time into the metrics and (when attached) the trace sink.
+    pub fn enter(&self, name: impl Into<String>) -> SpanGuard<'_> {
+        let name = name.into();
+        lock_inner(self).stack.push(name.clone());
+        SpanGuard {
+            recorder: self,
+            name,
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    fn exit_span(&self, name: &str, start: Instant) {
+        let dur_us = elapsed_us(start);
+        let mut inner = lock_inner(self);
+        // Pop this span off the stack (LIFO by construction; tolerate an
+        // out-of-order drop by removing the last matching entry).
+        let parent = match inner.stack.iter().rposition(|n| n == name) {
+            Some(at) => {
+                inner.stack.remove(at);
+                at.checked_sub(1).and_then(|i| inner.stack.get(i).cloned())
+            }
+            None => None,
+        };
+        inner.metrics.span_done(name, dur_us);
+        inner
+            .metrics
+            .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
+        if inner.trace.is_some() {
+            inner.seq += 1;
+            let seq = inner.seq;
+            let t_us = elapsed_us(inner.start);
+            let record = span_record(seq, t_us, name, parent.as_deref(), dur_us);
+            if let Some(trace) = inner.trace.as_mut() {
+                trace.write(&record);
+            }
+        }
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        lock_inner(self).metrics.add(name, n);
+    }
+
+    /// Record `value` into histogram `name` over `bounds`.
+    pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
+        lock_inner(self).metrics.observe(name, bounds, value);
+    }
+
+    /// An owned copy of the metric registry plus uptime.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = lock_inner(self);
+        MetricsSnapshot {
+            metrics: inner.metrics.clone(),
+            uptime_us: elapsed_us(inner.start),
+        }
+    }
+
+    /// Flush the trace sink (call before process exit).
+    pub fn flush(&self) {
+        if let Some(trace) = lock_inner(self).trace.as_mut() {
+            trace.flush();
+        }
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard for an open span; closes it on drop.
+#[must_use = "a span closes when its guard drops — bind it with `let _span = ...`"]
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    start: Instant,
+    closed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Close the span now (instead of at end of scope).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.recorder.exit_span(&self.name, self.start);
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::field;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let rec = Recorder::new();
+        rec.add("records", 3);
+        rec.add("records", 2);
+        rec.observe("bytes", &[10, 100], 7);
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.counter("records"), 5);
+        assert_eq!(
+            snap.metrics
+                .histograms()
+                .find(|(n, _)| *n == "bytes")
+                .map(|(_, h)| h.count()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_and_nests() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.enter("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = rec.enter("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = rec.snapshot();
+        let outer = snap
+            .metrics
+            .spans()
+            .find(|(n, _)| *n == "outer")
+            .map(|(_, s)| *s)
+            .unwrap();
+        let inner = snap
+            .metrics
+            .spans()
+            .find(|(n, _)| *n == "inner")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Monotonic timing: the outer span contains the inner one.
+        assert!(outer.total_us >= inner.total_us, "{outer:?} vs {inner:?}");
+        assert!(inner.total_us >= 1_000, "slept ≥1ms: {inner:?}");
+        // The span also feeds its latency histogram.
+        assert!(snap.metrics.histograms().any(|(n, _)| n == "outer.us"));
+    }
+
+    #[test]
+    fn level_filter_gates_stderr_but_not_metrics() {
+        let rec = Recorder::new();
+        rec.configure(ObsConfig {
+            level: Some(Level::Error),
+            stderr: Some(false),
+            trace: None,
+        });
+        assert_eq!(rec.level(), Level::Error);
+        // No assertion on stderr output (disabled); events still sequence
+        // into the trace when one is attached later.
+        rec.event(Level::Debug, "quiet", &[field("k", 1u64)]);
+        assert_eq!(rec.snapshot().metrics.counters().count(), 0);
+    }
+
+    #[test]
+    fn finish_closes_early_and_drop_does_not_double_count() {
+        let rec = Recorder::new();
+        let span = rec.enter("once");
+        span.finish();
+        let snap = rec.snapshot();
+        let stats = snap
+            .metrics
+            .spans()
+            .find(|(n, _)| *n == "once")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(stats.count, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! End-of-run pipeline report: a human-readable digest of one
+//! [`MetricsSnapshot`] — stage timing table, counters, and salvage summary.
+
+use crate::metrics::MetricsSnapshot;
+use diffaudit_util::fmt::{format_bytes, format_duration_us};
+
+/// Counter-name prefix under which the CLI mirrors the salvage ledger
+/// (`salvage.<stage>.processed` / `salvage.<stage>.dropped`).
+pub const SALVAGE_PREFIX: &str = "salvage.";
+
+/// Render the pipeline run report.
+///
+/// Sections: a span timing table (name, calls, total, max), the counter
+/// list (salvage counters folded into their own processed/dropped table),
+/// and histogram one-liners. Byte-valued histograms (`*.bytes`) render
+/// with binary-unit formatting.
+pub fn render_run_report(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== pipeline run report ==\n");
+    out.push_str(&format!(
+        "total wall time: {}\n",
+        format_duration_us(snapshot.uptime_us)
+    ));
+
+    let spans: Vec<_> = snapshot.metrics.spans().collect();
+    if !spans.is_empty() {
+        out.push_str("\nstage timing:\n");
+        let name_w = spans
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("stage".len());
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>6}  {:>10}  {:>10}\n",
+            "stage", "calls", "total", "max"
+        ));
+        for (name, stats) in &spans {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>6}  {:>10}  {:>10}\n",
+                name,
+                stats.count,
+                format_duration_us(stats.total_us),
+                format_duration_us(stats.max_us)
+            ));
+        }
+    }
+
+    let (salvage, plain): (Vec<_>, Vec<_>) = snapshot
+        .metrics
+        .counters()
+        .partition(|(name, _)| name.starts_with(SALVAGE_PREFIX));
+
+    if !plain.is_empty() {
+        out.push_str("\ncounters:\n");
+        let name_w = plain.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in &plain {
+            out.push_str(&format!("  {name:<name_w$}  {value}\n"));
+        }
+    }
+
+    if !salvage.is_empty() {
+        out.push_str(&render_salvage_table(&salvage));
+    }
+
+    let histograms: Vec<_> = snapshot.metrics.histograms().collect();
+    if !histograms.is_empty() {
+        out.push_str("\ndistributions:\n");
+        for (name, h) in &histograms {
+            let fmt_value: fn(u64) -> String = if name.ends_with(".bytes") {
+                format_bytes
+            } else if name.ends_with(".us") {
+                format_duration_us
+            } else {
+                |v| v.to_string()
+            };
+            out.push_str(&format!(
+                "  {name}: n={} sum={} min={} max={}\n",
+                h.count(),
+                fmt_value(h.sum()),
+                h.min().map_or_else(|| "-".to_string(), fmt_value),
+                h.max().map_or_else(|| "-".to_string(), fmt_value),
+            ));
+        }
+    }
+    out
+}
+
+/// Fold `salvage.<stage>.processed` / `.dropped` counters into a per-stage
+/// table mirroring the degradation ledger.
+fn render_salvage_table(salvage: &[(&str, u64)]) -> String {
+    // Collect stage -> (processed, dropped), preserving sorted counter order.
+    let mut stages: Vec<(String, u64, u64)> = Vec::new();
+    for (name, value) in salvage {
+        let rest = name.strip_prefix(SALVAGE_PREFIX).unwrap_or(name);
+        let (stage, kind) = match rest.rsplit_once('.') {
+            Some(split) => split,
+            None => (rest, ""),
+        };
+        let entry = match stages.iter_mut().find(|(s, _, _)| s == stage) {
+            Some(entry) => entry,
+            None => {
+                stages.push((stage.to_string(), 0, 0));
+                match stages.last_mut() {
+                    Some(entry) => entry,
+                    None => continue,
+                }
+            }
+        };
+        match kind {
+            "processed" => entry.1 = *value,
+            "dropped" => entry.2 = *value,
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    out.push_str("\nsalvage summary:\n");
+    let name_w = stages
+        .iter()
+        .map(|(s, _, _)| s.len())
+        .max()
+        .unwrap_or(0)
+        .max("stage".len());
+    out.push_str(&format!(
+        "  {:<name_w$}  {:>10}  {:>8}\n",
+        "stage", "processed", "dropped"
+    ));
+    for (stage, processed, dropped) in &stages {
+        out.push_str(&format!(
+            "  {stage:<name_w$}  {processed:>10}  {dropped:>8}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, BYTE_BOUNDS};
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut m = Metrics::new();
+        m.span_done("pipeline", 5_000_000);
+        m.span_done("pipeline.classify", 1_200_000);
+        m.add("pipeline.units", 14);
+        m.add("salvage.pcap-record.processed", 120);
+        m.add("salvage.pcap-record.dropped", 3);
+        m.observe("artifact.bytes", &BYTE_BOUNDS, 2_048);
+        MetricsSnapshot {
+            metrics: m,
+            uptime_us: 5_100_000,
+        }
+    }
+
+    #[test]
+    fn report_has_all_sections() {
+        let text = render_run_report(&snapshot());
+        assert!(text.contains("pipeline run report"));
+        assert!(text.contains("stage timing:"));
+        assert!(text.contains("pipeline.classify"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("pipeline.units"));
+        assert!(text.contains("salvage summary:"));
+        assert!(text.contains("pcap-record"));
+        assert!(text.contains("120"));
+        assert!(text.contains("distributions:"));
+        assert!(text.contains("artifact.bytes"));
+        // Byte histogram renders with units.
+        assert!(text.contains("KiB"), "expected KiB in:\n{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only() {
+        let snap = MetricsSnapshot {
+            metrics: Metrics::new(),
+            uptime_us: 10,
+        };
+        let text = render_run_report(&snap);
+        assert!(text.contains("pipeline run report"));
+        assert!(!text.contains("stage timing:"));
+        assert!(!text.contains("salvage summary:"));
+    }
+}

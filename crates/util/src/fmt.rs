@@ -1,0 +1,51 @@
+//! Human-readable quantity formatting for reports and logs.
+//!
+//! The observability run report prints wall times and byte volumes; these
+//! helpers pick a unit so a 3 µs span and a 3 s span both read naturally.
+
+/// Format a duration given in microseconds: `950us`, `12.3ms`, `4.56s`.
+pub fn format_duration_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Format a byte count: `512B`, `3.2KiB`, `1.50MiB`, `2.25GiB`.
+pub fn format_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b < KIB {
+        format!("{bytes}B")
+    } else if b < KIB * KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else if b < KIB * KIB * KIB {
+        format!("{:.2}MiB", b / (KIB * KIB))
+    } else {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_units() {
+        assert_eq!(format_duration_us(0), "0us");
+        assert_eq!(format_duration_us(950), "950us");
+        assert_eq!(format_duration_us(12_300), "12.3ms");
+        assert_eq!(format_duration_us(4_560_000), "4.56s");
+    }
+
+    #[test]
+    fn bytes_pick_units() {
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(3277), "3.2KiB");
+        assert_eq!(format_bytes(1_572_864), "1.50MiB");
+        assert_eq!(format_bytes(2_415_919_104), "2.25GiB");
+    }
+}

@@ -22,9 +22,11 @@
 //!   untrusted length-prefixed formats without panic-capable indexing.
 //! - [`stats`] — small descriptive-statistics helpers for the benchmark
 //!   harness (means, percentiles, histograms).
+//! - [`fmt`] — human-readable duration/byte formatting for reports and logs.
 
 pub mod base64;
 pub mod bytes;
+pub mod fmt;
 pub mod hash;
 pub mod hex;
 pub mod rng;

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> diffaudit-analyzer (no-panic / unsafe-audit / error-taxonomy)"
+echo "==> diffaudit-analyzer (no-panic / unsafe-audit / error-taxonomy / no-bare-eprintln)"
 cargo run -q -p diffaudit-analyzer
 
 echo "==> cargo build --release"
@@ -18,5 +18,22 @@ cargo test -q
 
 echo "==> chaos suite (fault grid + CLI exit codes, release profile)"
 cargo test -q --release -p diffaudit --test chaos --test cli_exit_codes
+
+echo "==> observability smoke (trace + metrics files parse, stages present)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+./target/release/diffaudit generate --out "$obs_tmp/cap" --scale 0.02 \
+    --services tiktok --log-level warn
+./target/release/diffaudit audit "$obs_tmp/cap/tiktok" --log-level warn \
+    --trace-out "$obs_tmp/trace.jsonl" --metrics-out "$obs_tmp/metrics.json" \
+    > "$obs_tmp/report.txt"
+grep -q '"schema": "diffaudit-obs/v1"' "$obs_tmp/metrics.json"
+for stage in audit audit.load pipeline pipeline.classify loader.unit; do
+    grep -q "\"$stage\"" "$obs_tmp/metrics.json" \
+        || { echo "metrics.json missing span $stage"; exit 1; }
+done
+grep -q '"kind":"span","name":"pipeline"' "$obs_tmp/trace.jsonl"
+# Every trace line is one JSON object (cheap well-formedness check).
+! grep -qv '^{.*}$' "$obs_tmp/trace.jsonl"
 
 echo "All checks passed."

@@ -1,0 +1,306 @@
+//! Integration tests for the observability surface of the `diffaudit` CLI:
+//! `--trace-out` / `--metrics-out` / `--log-level` / `-v`.
+//!
+//! These drive the real binary on real capture directories and assert the
+//! three contracts the obs layer makes:
+//!
+//! 1. emitted trace/metrics files parse with `diffaudit-json` and name the
+//!    pipeline stages the run actually went through;
+//! 2. the `salvage.*` counters in the metrics document are conservation-
+//!    consistent with the degradation ledger exported on stdout;
+//! 3. observability never perturbs the audit itself — stdout stays
+//!    byte-identical and the exit-code contract is unchanged.
+
+use diffaudit::loader::write_dataset;
+use diffaudit_json::{parse, Json};
+use diffaudit_services::{generate_dataset, DatasetOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_diffaudit"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diffaudit-obs-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write the synthetic tiktok capture to disk and return its service dir.
+fn capture_dir(root: &Path) -> PathBuf {
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 33,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.0,
+        services: vec!["tiktok".into()],
+    });
+    let dirs = write_dataset(&dataset, root).unwrap();
+    dirs.into_iter().next().unwrap()
+}
+
+/// Flip a few spread-out bytes in one pcap so decode drops records but the
+/// file header stays intact.
+fn corrupt_one_pcap(service_dir: &Path) {
+    let victim = std::fs::read_dir(service_dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "pcap"))
+        .expect("a pcap artifact to corrupt");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let len = bytes.len();
+    assert!(len > 100, "pcap too small to corrupt meaningfully");
+    for pos in [len / 3, len / 2, 2 * len / 3] {
+        bytes[pos] ^= 0xFF;
+    }
+    std::fs::write(&victim, bytes).unwrap();
+}
+
+struct Run {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+fn run(args: &[&str]) -> Run {
+    let output = bin().args(args).output().unwrap();
+    Run {
+        code: output.status.code(),
+        stdout: String::from_utf8_lossy(&output.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+    }
+}
+
+/// Counter value from a parsed metrics document (zero when absent).
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn trace_and_metrics_files_parse_and_cover_the_pipeline_stages() {
+    let root = temp_dir("files");
+    let dir = capture_dir(&root);
+    let trace_path = root.join("trace.jsonl");
+    let metrics_path = root.join("metrics.json");
+    let result = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+        "-v",
+    ]);
+    assert_eq!(result.code, Some(0), "stderr: {}", result.stderr);
+    assert!(
+        result.stderr.contains("pipeline run report"),
+        "-v must print the run report, got:\n{}",
+        result.stderr
+    );
+
+    // The metrics document parses and names the stages the run went through.
+    let metrics = parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    assert_eq!(
+        metrics.get("schema").and_then(Json::as_str),
+        Some("diffaudit-obs/v1")
+    );
+    let spans = metrics.get("spans").and_then(Json::as_obj).unwrap();
+    for stage in [
+        "audit",
+        "audit.load",
+        "audit.findings",
+        "audit.render",
+        "loader.dir",
+        "loader.unit",
+        "pipeline",
+        "pipeline.classify",
+    ] {
+        assert!(
+            spans.iter().any(|(name, _)| name == stage),
+            "metrics missing span {stage}"
+        );
+    }
+    assert!(counter(&metrics, "pipeline.keys.unique") > 0);
+    assert!(counter(&metrics, "loader.units.loaded") > 0);
+    assert_eq!(counter(&metrics, "loader.units.dropped"), 0);
+
+    // Every histogram is internally conserved: bucket counts sum to `count`.
+    let histograms = metrics.get("histograms").and_then(Json::as_obj).unwrap();
+    assert!(!histograms.is_empty(), "run must record histograms");
+    for (name, h) in histograms {
+        let count = h.get("count").and_then(Json::as_i64).unwrap();
+        let bucket_sum: i64 = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|b| b.get("count").and_then(Json::as_i64).unwrap())
+            .sum();
+        assert_eq!(bucket_sum, count, "histogram {name} loses observations");
+    }
+
+    // The trace is line-delimited JSON with monotone sequence numbers, and
+    // records the top-level pipeline span.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let mut last_seq = -1i64;
+    let mut saw_pipeline_span = false;
+    let mut lines = 0usize;
+    for line in trace.lines() {
+        let record = parse(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        lines += 1;
+        let seq = record.get("seq").and_then(Json::as_i64).unwrap();
+        assert!(seq > last_seq, "trace seq must be strictly increasing");
+        last_seq = seq;
+        match record.get("kind").and_then(Json::as_str) {
+            Some("event") => {
+                assert!(record.get("level").and_then(Json::as_str).is_some());
+                assert!(record.get("msg").and_then(Json::as_str).is_some());
+            }
+            Some("span") => {
+                assert!(record.get("durUs").and_then(Json::as_i64).unwrap() >= 0);
+                if record.get("name").and_then(Json::as_str) == Some("pipeline") {
+                    saw_pipeline_span = true;
+                }
+            }
+            other => panic!("unknown trace kind {other:?} in {line:?}"),
+        }
+    }
+    assert!(lines > 0, "trace must not be empty");
+    assert!(saw_pipeline_span, "trace missing the pipeline span");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn salvage_counters_match_the_degradation_ledger() {
+    let root = temp_dir("ledger");
+    let dir = capture_dir(&root);
+    corrupt_one_pcap(&dir);
+    let metrics_path = root.join("metrics.json");
+    let result = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--format",
+        "json",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert_eq!(result.code, Some(2), "damaged input within policy exits 2");
+
+    let report = parse(&result.stdout).unwrap();
+    let stages = report
+        .get("degradation")
+        .and_then(|d| d.get("stages"))
+        .and_then(Json::as_obj)
+        .expect("salvaged report exports per-stage tallies");
+    let metrics = parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+
+    // Every ledger stage is mirrored 1:1 into the salvage.* counters.
+    let mut dropped_total = 0i64;
+    for (label, counts) in stages {
+        let processed = counts.get("processed").and_then(Json::as_i64).unwrap();
+        let dropped = counts.get("dropped").and_then(Json::as_i64).unwrap();
+        dropped_total += dropped;
+        assert_eq!(
+            counter(&metrics, &format!("salvage.{label}.processed")),
+            processed,
+            "salvage.{label}.processed diverges from the ledger"
+        );
+        assert_eq!(
+            counter(&metrics, &format!("salvage.{label}.dropped")),
+            dropped,
+            "salvage.{label}.dropped diverges from the ledger"
+        );
+    }
+    assert!(dropped_total > 0, "corruption must register in the ledger");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_run_mirrors_a_zero_drop_ledger() {
+    let root = temp_dir("cleanledger");
+    let dir = capture_dir(&root);
+    let metrics_path = root.join("metrics.json");
+    let result = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert_eq!(result.code, Some(0));
+    let metrics = parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    let counters = metrics.get("counters").and_then(Json::as_obj).unwrap();
+    let mut salvage_processed = 0i64;
+    for (name, value) in counters {
+        if let Some(rest) = name.strip_prefix("salvage.") {
+            let value = value.as_i64().unwrap();
+            if rest.ends_with(".dropped") {
+                assert_eq!(value, 0, "clean run must not report drops in {name}");
+            } else {
+                salvage_processed += value;
+            }
+        }
+    }
+    assert!(
+        salvage_processed > 0,
+        "clean run still accounts for processed records"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stdout_is_byte_identical_with_and_without_observability() {
+    let root = temp_dir("identical");
+    let dir = capture_dir(&root);
+    let plain = run(&["audit", dir.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(plain.code, Some(0));
+    let observed = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--format",
+        "json",
+        "--log-level",
+        "debug",
+        "--trace-out",
+        root.join("t.jsonl").to_str().unwrap(),
+        "--metrics-out",
+        root.join("m.json").to_str().unwrap(),
+        "-v",
+    ]);
+    assert_eq!(observed.code, Some(0));
+    assert_eq!(
+        plain.stdout, observed.stdout,
+        "observability must not perturb the exported report"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn log_level_gates_stderr_and_bad_values_are_usage_errors() {
+    let root = temp_dir("levels");
+    let dir = capture_dir(&root);
+    // error-level: the clean audit's info progress lines are suppressed.
+    let quiet = run(&["audit", dir.to_str().unwrap(), "--log-level", "error"]);
+    assert_eq!(quiet.code, Some(0));
+    assert!(
+        quiet.stderr.is_empty(),
+        "--log-level error must silence progress lines, got:\n{}",
+        quiet.stderr
+    );
+    // default (info): progress lines show.
+    let chatty = run(&["audit", dir.to_str().unwrap()]);
+    assert_eq!(chatty.code, Some(0));
+    assert!(
+        chatty.stderr.contains("loaded capture directory"),
+        "default level must show progress, got:\n{}",
+        chatty.stderr
+    );
+    // A bad level value is a usage error, same contract as any bad flag.
+    let bad = run(&["audit", dir.to_str().unwrap(), "--log-level", "loud"]);
+    assert_eq!(bad.code, Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}
