@@ -22,9 +22,10 @@ pub const DESIGNATED_FILES: [&str; 2] = ["crates/core/src/loader.rs", "crates/co
 /// Crates whose production sources must route stderr output through the
 /// `diffaudit-obs` structured logger instead of bare `eprintln!`/`eprint!`.
 /// These are the instrumented crates: `core` hosts the CLI (whose progress
-/// and error lines must honor `--log-level` and land in `--trace-out`), and
-/// `obs` itself must not print around its own sink.
-pub const EPRINTLN_CRATES: [&str; 2] = ["core", "obs"];
+/// and error lines must honor `--log-level` and land in `--trace-out`),
+/// `obs` itself must not print around its own sink, and `bench` feeds the
+/// perf-baseline snapshots so its progress chatter must stay structured.
+pub const EPRINTLN_CRATES: [&str; 3] = ["bench", "core", "obs"];
 
 /// Files exempt from `no-bare-eprintln`: the stderr sink is the one
 /// sanctioned funnel, so it alone may invoke the macros.
@@ -214,12 +215,11 @@ mod tests {
     }
 
     #[test]
-    fn eprintln_gate_covers_cli_and_obs_but_not_bench() {
-        assert_eq!(EPRINTLN_CRATES, ["core", "obs"]);
+    fn eprintln_gate_covers_cli_obs_and_bench() {
+        assert_eq!(EPRINTLN_CRATES, ["bench", "core", "obs"]);
         assert_eq!(EPRINTLN_ALLOWLIST, ["crates/obs/src/sink.rs"]);
-        // The bench and analyzer crates are deliberately outside the gate:
-        // they are developer tools, not the audited pipeline.
-        assert!(!EPRINTLN_CRATES.contains(&"bench"));
+        // The analyzer crate is deliberately outside the gate: it is a
+        // developer tool, not the audited pipeline or its bench harness.
         assert!(!EPRINTLN_CRATES.contains(&"analyzer"));
     }
 }

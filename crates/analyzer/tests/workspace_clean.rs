@@ -75,8 +75,8 @@ fn sentinel_unwrap_in_a_fake_workspace_is_flagged_with_file_and_line() {
 
 #[test]
 fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
-    // The eprintln gate covers production src of `core` and `obs`, exempts
-    // the obs stderr sink, and ignores non-gated crates and test dirs.
+    // The eprintln gate covers production src of `bench`, `core`, and `obs`,
+    // exempts the obs stderr sink, and ignores non-gated crates and test dirs.
     let dir = std::env::temp_dir().join(format!(
         "diffaudit-analyzer-eprintln-sentinel-{}",
         std::process::id()
@@ -86,7 +86,8 @@ fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
     let core_tests = dir.join("crates/core/tests");
     let obs_src = dir.join("crates/obs/src");
     let bench_src = dir.join("crates/bench/src");
-    for d in [&core_src, &core_tests, &obs_src, &bench_src] {
+    let analyzer_src = dir.join("crates/analyzer/src");
+    for d in [&core_src, &core_tests, &obs_src, &bench_src, &analyzer_src] {
         std::fs::create_dir_all(d).unwrap();
     }
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
@@ -96,14 +97,17 @@ fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
     std::fs::write(obs_src.join("sink.rs"), sentinel).unwrap();
     std::fs::write(obs_src.join("lib.rs"), sentinel).unwrap();
     std::fs::write(bench_src.join("main.rs"), sentinel).unwrap();
+    std::fs::write(analyzer_src.join("main.rs"), sentinel).unwrap();
 
     let findings = analyze_workspace(&Config::new(&dir)).expect("fake workspace readable");
     let _ = std::fs::remove_dir_all(&dir);
 
-    assert_eq!(findings.len(), 2, "{}", report::render_text(&findings));
-    assert_eq!(findings[0].file, "crates/core/src/report.rs");
+    assert_eq!(findings.len(), 3, "{}", report::render_text(&findings));
+    assert_eq!(findings[0].file, "crates/bench/src/main.rs");
     assert_eq!(findings[0].line, 2);
     assert_eq!(findings[0].lint.name(), "no-bare-eprintln");
-    assert_eq!(findings[1].file, "crates/obs/src/lib.rs");
+    assert_eq!(findings[1].file, "crates/core/src/report.rs");
     assert_eq!(findings[1].lint.name(), "no-bare-eprintln");
+    assert_eq!(findings[2].file, "crates/obs/src/lib.rs");
+    assert_eq!(findings[2].lint.name(), "no-bare-eprintln");
 }

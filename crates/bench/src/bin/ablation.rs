@@ -14,10 +14,7 @@ const THRESHOLDS: [f64; 10] = [0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[ablation] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[ablation] generating dataset");
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);

@@ -10,6 +10,7 @@ use diffaudit_classifier::fuzzy::{FuzzyBert, FuzzyTfIdf};
 use diffaudit_classifier::validate::sample_fraction;
 use diffaudit_classifier::zeroshot::ZeroShot;
 use diffaudit_classifier::{Classifier, ConfidenceAggregation, MajorityEnsemble};
+use diffaudit_obs as obs;
 
 fn accuracy(clf: &mut dyn Classifier, sample: &[diffaudit_classifier::LabeledExample]) -> f64 {
     let correct = sample
@@ -21,14 +22,14 @@ fn accuracy(clf: &mut dyn Classifier, sample: &[diffaudit_classifier::LabeledExa
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[baselines] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[baselines] generating dataset");
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
-    eprintln!("[baselines] validation sample n={}", sample.len());
+    obs::info(
+        "[baselines] validation sample",
+        &[obs::field("n", sample.len())],
+    );
 
     println!(
         "Baseline classifier comparison (sample accuracy, n={}):",

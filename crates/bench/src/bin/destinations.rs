@@ -10,10 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[destinations] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[destinations] generating dataset");
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
 

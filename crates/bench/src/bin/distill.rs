@@ -13,6 +13,7 @@ use diffaudit_classifier::{
     Classifier, ConfidenceAggregation, DistillOptions, DistilledModel, LabeledExample,
     MajorityEnsemble,
 };
+use diffaudit_obs as obs;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -26,10 +27,7 @@ fn accuracy(clf: &mut dyn Classifier, sample: &[LabeledExample]) -> f64 {
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[distill] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[distill] generating dataset");
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let holdout = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
@@ -39,10 +37,12 @@ fn main() {
         .map(|e| e.raw.as_str())
         .filter(|k| !holdout_keys.contains(k))
         .collect();
-    eprintln!(
-        "[distill] {} training keys, {} held-out validation keys",
-        train_keys.len(),
-        holdout.len()
+    obs::info(
+        "[distill] split keys",
+        &[
+            obs::field("train", train_keys.len()),
+            obs::field("holdout", holdout.len()),
+        ],
     );
 
     // Teacher labels the training corpus once.
@@ -55,10 +55,13 @@ fn main() {
     let t0 = Instant::now();
     let mut student = DistilledModel::train(&teacher_labels, &DistillOptions::default());
     let train_time = t0.elapsed();
-    eprintln!(
-        "[distill] student trained on {} confident labels across {} categories in {train_time:?}",
-        student.training_examples,
-        student.category_count()
+    obs::info(
+        "[distill] student trained",
+        &[
+            obs::field("labels", student.training_examples),
+            obs::field("categories", student.category_count()),
+            obs::field("trainTime", format!("{train_time:?}")),
+        ],
     );
 
     // Evaluate both on the held-out sample.

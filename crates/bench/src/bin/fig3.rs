@@ -6,10 +6,7 @@ use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[fig3] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[fig3] generating dataset");
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
     print!("{}", render_fig3(&outcome));

@@ -7,10 +7,7 @@ use diffaudit_bench::{oracle_outcome, standard_dataset, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[fig4] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[fig4] generating dataset");
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
     print!("{}", render_fig4(&outcome));

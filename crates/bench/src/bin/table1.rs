@@ -9,14 +9,12 @@
 use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::stats::{summarize, DatasetSummary};
 use diffaudit_bench::BenchArgs;
+use diffaudit_obs as obs;
 use diffaudit_services::{generate_dataset, DatasetOptions};
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[table1] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[table1] generating dataset");
     let options = DatasetOptions {
         seed: args.seed,
         volume_scale: args.scale,
@@ -24,7 +22,7 @@ fn main() {
         services: Vec::new(),
     };
     let dataset = generate_dataset(&options);
-    eprintln!("[table1] running pipeline...");
+    obs::info("[table1] running pipeline", &[]);
     let outcome =
         Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
     let summary: DatasetSummary = summarize(&outcome);

@@ -8,10 +8,7 @@ use std::collections::BTreeSet;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[table2] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[table2] generating dataset");
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
 

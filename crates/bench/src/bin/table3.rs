@@ -8,6 +8,7 @@ use diffaudit_classifier::llm::{LlmClassifier, LlmOptions};
 use diffaudit_classifier::majority::{MajorityEnsemble, TEMPERATURE_GRID};
 use diffaudit_classifier::validate::{sample_fraction, validate, ValidationReport};
 use diffaudit_classifier::ConfidenceAggregation;
+use diffaudit_obs as obs;
 
 fn print_row(report: &ValidationReport) {
     print!(
@@ -23,18 +24,17 @@ fn print_row(report: &ValidationReport) {
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[table3] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[table3] generating dataset");
     let dataset = standard_dataset(&args);
     let examples = labeled_examples(&dataset.key_truth);
     let sample = sample_fraction(&examples, 0.10, args.seed ^ 0x5A5A);
     let refs: Vec<&str> = sample.iter().map(|e| e.raw.as_str()).collect();
-    eprintln!(
-        "[table3] {} unique data types, validation sample n={}",
-        examples.len(),
-        sample.len()
+    obs::info(
+        "[table3] data types",
+        &[
+            obs::field("unique", examples.len()),
+            obs::field("sampleN", sample.len()),
+        ],
     );
 
     println!(

@@ -11,10 +11,7 @@ use diffaudit_services::service_by_slug;
 
 fn main() {
     let args = BenchArgs::parse();
-    eprintln!(
-        "[table4] generating dataset (scale {}, seed {})...",
-        args.scale, args.seed
-    );
+    args.announce("[table4] generating dataset");
     let dataset = standard_dataset(&args);
     let outcome = oracle_outcome(&dataset);
     for service in &outcome.services {

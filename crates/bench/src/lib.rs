@@ -12,6 +12,7 @@
 
 use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
 use diffaudit_classifier::LabeledExample;
+use diffaudit_obs as obs;
 use diffaudit_ontology::DataTypeCategory;
 use diffaudit_services::{generate_dataset, DatasetOptions, GeneratedDataset};
 use std::collections::HashMap;
@@ -27,12 +28,26 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     /// Parse `--scale`/`--seed` from `std::env::args`; anything else prints
-    /// usage and exits.
+    /// usage and exits. Also raises the global `diffaudit-obs` recorder to
+    /// `Info` so bench progress events reach stderr by default.
     pub fn parse() -> BenchArgs {
+        BenchArgs::parse_extra(&[]).0
+    }
+
+    /// Like [`BenchArgs::parse`], but additionally accepts the given extra
+    /// `--flag <value>` options; the returned vector holds the values in the
+    /// same order as `extra` (None when a flag was not supplied).
+    pub fn parse_extra(extra: &[&str]) -> (BenchArgs, Vec<Option<String>>) {
+        obs::global().configure(obs::ObsConfig {
+            level: Some(obs::Level::Info),
+            stderr: None,
+            trace: None,
+        });
         let mut args = BenchArgs {
             scale: 1.0,
             seed: 2023,
         };
+        let mut values: Vec<Option<String>> = vec![None; extra.len()];
         let mut iter = std::env::args().skip(1);
         while let Some(flag) = iter.next() {
             match flag.as_str() {
@@ -48,16 +63,36 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed requires an integer"));
                 }
-                other => usage(&format!("unknown flag {other:?}")),
+                other => match extra.iter().position(|e| *e == other) {
+                    Some(slot) => {
+                        values[slot] = Some(
+                            iter.next()
+                                .unwrap_or_else(|| usage(&format!("{other} requires a value"))),
+                        );
+                    }
+                    None => usage(&format!("unknown flag {other:?}")),
+                },
             }
         }
-        args
+        (args, values)
+    }
+
+    /// Emit a standard `info` progress event for a bench stage, tagged with
+    /// the scale and seed in play.
+    pub fn announce(&self, stage: &str) {
+        obs::info(
+            stage,
+            &[
+                obs::field("scale", self.scale),
+                obs::field("seed", self.seed),
+            ],
+        );
     }
 }
 
 fn usage(message: &str) -> ! {
-    eprintln!("error: {message}");
-    eprintln!("usage: <bin> [--scale <f64>] [--seed <u64>]");
+    obs::error(message, &[]);
+    obs::write_stderr_block("usage: <bin> [--scale <f64>] [--seed <u64>]\n");
     std::process::exit(2);
 }
 

@@ -25,6 +25,22 @@
 //! diffaudit ontology
 //!     Print the COPPA/CCPA data-type ontology as JSON.
 //!
+//! diffaudit obs report TRACE.jsonl [--top K]
+//!     Analyze a `--trace-out` trace: reconstruct the span tree, attribute
+//!     self vs. child time, and print the flame/critical-path report with
+//!     the top-K self-time hotspots. Malformed lines are skipped and
+//!     counted (salvage-style). Exit codes: 0 = clean, 2 = report produced
+//!     but some lines were skipped, 1 = unusable input.
+//!
+//! diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT]
+//!                    [--noise-floor-us N]
+//!     Diff two `--metrics-out` documents: per-stage wall-time deltas,
+//!     counter deltas, bucket-derived p50/p90/p99 shifts, conservation
+//!     checks, and an ok/regressed verdict. `--fail-over PCT` turns growth
+//!     past PCT percent (and past the noise floor) into exit code 2, so CI
+//!     can gate on a committed baseline. Exit codes: 0 = ok, 2 = regressed,
+//!     1 = unusable input or bad usage.
+//!
 //! Global observability flags (any subcommand, stripped before dispatch):
 //!   --log-level error|warn|info|debug   stderr verbosity (default info)
 //!   --trace-out FILE.jsonl              write a JSONL event/span trace
@@ -53,7 +69,9 @@ fn usage() -> ExitCode {
     obs::write_stderr_block(
         "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
          diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
-         diffaudit classify KEY...\n  diffaudit ontology\n\
+         diffaudit classify KEY...\n  diffaudit ontology\n  \
+         diffaudit obs report TRACE.jsonl [--top K]\n  \
+         diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n\
          global flags: [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
     );
     // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
@@ -160,6 +178,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("ontology") => cmd_ontology(),
+        Some("obs") => cmd_obs(&args[1..]),
         _ => usage(),
     };
     finish_obs(&obs_options);
@@ -466,6 +485,150 @@ fn cmd_classify(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `obs` subcommand family: trace analysis and metrics diffing — the
+/// consumption half of the observability stack.
+fn cmd_obs(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_obs_report(&args[1..]),
+        Some("diff") => cmd_obs_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// `obs report TRACE.jsonl [--top K]` — span-tree / critical-path report.
+///
+/// Shares the audit exit contract: 0 = clean, 2 = report produced but some
+/// trace lines were malformed and skipped, 1 = unusable input.
+fn cmd_obs_report(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut options = obs::TraceReportOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(k) if k > 0 => options.top = k,
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(PathBuf::from(other));
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            obs::error(
+                "cannot read trace file",
+                &[
+                    obs::field("path", path.display().to_string()),
+                    obs::field("reason", e.to_string()),
+                ],
+            );
+            return ExitCode::from(1);
+        }
+    };
+    let log = obs::TraceLog::parse(&text);
+    if log.records.is_empty() {
+        obs::error(
+            "no usable trace records",
+            &[
+                obs::field("path", path.display().to_string()),
+                obs::field("lines", log.lines),
+                obs::field("skipped", log.skipped),
+            ],
+        );
+        return ExitCode::from(1);
+    }
+    let tree = obs::SpanTree::build(&log);
+    print!("{}", obs::render_trace_report(&tree, &options));
+    if log.skipped > 0 {
+        obs::warn(
+            "trace partially malformed; exit code 2",
+            &[
+                obs::field("skipped", log.skipped),
+                obs::field("lines", log.lines),
+            ],
+        );
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `obs diff BASELINE.json CURRENT.json [--fail-over PCT]
+/// [--noise-floor-us N]` — metrics comparison with a gated verdict.
+///
+/// Exit contract: 0 = ok, 2 = regressed (report still printed),
+/// 1 = unusable input or bad usage.
+fn cmd_obs_diff(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut options = obs::DiffOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fail-over" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => options.fail_over = Some(pct / 100.0),
+                _ => return usage(),
+            },
+            "--noise-floor-us" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(us) => options.noise_floor_us = us,
+                None => return usage(),
+            },
+            other if !other.starts_with('-') => paths.push(PathBuf::from(other)),
+            _ => return usage(),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage();
+    };
+    let load = |path: &PathBuf| -> Option<obs::Snapshot> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                obs::error(
+                    "cannot read metrics file",
+                    &[
+                        obs::field("path", path.display().to_string()),
+                        obs::field("reason", e.to_string()),
+                    ],
+                );
+                return None;
+            }
+        };
+        match obs::parse_snapshot(&text) {
+            Ok(snapshot) => Some(snapshot),
+            Err(e) => {
+                obs::error(
+                    "cannot parse metrics snapshot",
+                    &[
+                        obs::field("path", path.display().to_string()),
+                        obs::field("reason", e.to_string()),
+                    ],
+                );
+                None
+            }
+        }
+    };
+    let (Some(baseline), Some(current)) = (load(baseline_path), load(current_path)) else {
+        return ExitCode::from(1);
+    };
+    let diff = obs::diff_snapshots(&baseline, &current, &options);
+    print!("{}", obs::render_diff(&diff, &options));
+    match diff.verdict {
+        obs::Verdict::Ok => ExitCode::SUCCESS,
+        obs::Verdict::Regressed => {
+            obs::warn(
+                "metrics regressed against baseline; exit code 2",
+                &[obs::field("metrics", diff.regressions.join(","))],
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_ontology() -> ExitCode {

@@ -1,0 +1,745 @@
+//! Metrics diffing: compare two `diffaudit-obs/v1` [`MetricsSnapshot`]
+//! documents and render a thresholded perf-regression verdict.
+//!
+//! [`MetricsSnapshot`]: crate::metrics::MetricsSnapshot
+//!
+//! The comparison has four parts:
+//!
+//! - **counter deltas** — absolute and relative change for the union of
+//!   counter names, with *conservation checks* (every histogram's bucket
+//!   counts must sum to its `count`; documents failing that are corrupt
+//!   and flip the verdict);
+//! - **histogram shifts** — bucket-derived p50/p90/p99 estimates
+//!   ([`estimate_quantile`]) side by side, skipped when the two documents
+//!   disagree on bucket bounds (incomparable);
+//! - **wall-time deltas per stage** — span totals plus overall uptime;
+//! - **verdict** — `ok` / `regressed`. A stage regresses when its wall
+//!   time grows past the configured relative threshold *and* past an
+//!   absolute noise floor (so a 40 µs stage doubling on a noisy machine
+//!   does not fail CI). Without a threshold the timing comparison is
+//!   informational only; conservation violations always regress.
+//!
+//! [`estimate_quantile`]: crate::metrics::estimate_quantile
+
+use crate::metrics::estimate_quantile;
+use diffaudit_json::Json;
+use diffaudit_util::fmt::format_duration_us;
+use std::collections::BTreeMap;
+
+/// The schema string a comparable document must carry.
+pub const SNAPSHOT_SCHEMA: &str = "diffaudit-obs/v1";
+
+/// Why a document could not be interpreted as a metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The text is not valid JSON.
+    Json(String),
+    /// The `schema` field is missing or not [`SNAPSHOT_SCHEMA`].
+    Schema(Option<String>),
+    /// A required field is missing or has the wrong type.
+    Shape(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Json(e) => write!(f, "invalid JSON: {e}"),
+            SnapshotError::Schema(found) => {
+                write!(f, "not a {SNAPSHOT_SCHEMA} document (schema = {found:?})")
+            }
+            SnapshotError::Shape(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A histogram as stored in a snapshot document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramDoc {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<u64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<u64>,
+    /// `(upper_bound, count)` pairs, `None` bound = overflow bucket.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl HistogramDoc {
+    /// Bucket-derived quantile estimate (see [`estimate_quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        estimate_quantile(&self.buckets, self.count, self.min?, self.max?, q)
+    }
+
+    /// `true` when bucket counts sum to `count`.
+    pub fn conserved(&self) -> bool {
+        self.buckets.iter().map(|(_, n)| n).sum::<u64>() == self.count
+    }
+
+    /// The bucket bounds alone (comparability key).
+    fn bounds(&self) -> Vec<Option<u64>> {
+        self.buckets.iter().map(|(b, _)| *b).collect()
+    }
+}
+
+/// Span aggregate as stored in a snapshot document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStatsDoc {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time, microseconds.
+    pub total_us: u64,
+    /// Shortest span, microseconds.
+    pub min_us: u64,
+    /// Longest span, microseconds.
+    pub max_us: u64,
+}
+
+/// A parsed `diffaudit-obs/v1` document.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Run wall time, microseconds.
+    pub uptime_us: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramDoc>,
+    /// Span aggregates by name.
+    pub spans: BTreeMap<String, SpanStatsDoc>,
+}
+
+fn as_u64(json: &Json, what: &str) -> Result<u64, SnapshotError> {
+    json.as_i64()
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| SnapshotError::Shape(format!("{what} is not a non-negative integer")))
+}
+
+fn opt_u64(json: Option<&Json>, what: &str) -> Result<Option<u64>, SnapshotError> {
+    match json {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => as_u64(v, what).map(Some),
+    }
+}
+
+/// Parse a snapshot document from JSON text.
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, SnapshotError> {
+    let json = diffaudit_json::parse(text).map_err(|e| SnapshotError::Json(e.to_string()))?;
+    let schema = json.get("schema").and_then(Json::as_str);
+    if schema != Some(SNAPSHOT_SCHEMA) {
+        return Err(SnapshotError::Schema(schema.map(str::to_string)));
+    }
+    let mut snapshot = Snapshot {
+        uptime_us: as_u64(
+            json.get("uptimeUs")
+                .ok_or_else(|| SnapshotError::Shape("missing uptimeUs".into()))?,
+            "uptimeUs",
+        )?,
+        ..Snapshot::default()
+    };
+    if let Some(counters) = json.get("counters").and_then(Json::as_obj) {
+        for (name, value) in counters {
+            snapshot
+                .counters
+                .insert(name.clone(), as_u64(value, &format!("counter {name}"))?);
+        }
+    }
+    if let Some(histograms) = json.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in histograms {
+            let buckets = h
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| SnapshotError::Shape(format!("histogram {name} lacks buckets")))?
+                .iter()
+                .map(|b| {
+                    Ok((
+                        opt_u64(b.get("le"), "bucket le")?,
+                        as_u64(
+                            b.get("count").ok_or_else(|| {
+                                SnapshotError::Shape("bucket missing count".into())
+                            })?,
+                            "bucket count",
+                        )?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            snapshot.histograms.insert(
+                name.clone(),
+                HistogramDoc {
+                    count: as_u64(
+                        h.get("count").ok_or_else(|| {
+                            SnapshotError::Shape(format!("histogram {name} lacks count"))
+                        })?,
+                        "histogram count",
+                    )?,
+                    sum: opt_u64(h.get("sum"), "histogram sum")?.unwrap_or(0),
+                    min: opt_u64(h.get("min"), "histogram min")?,
+                    max: opt_u64(h.get("max"), "histogram max")?,
+                    buckets,
+                },
+            );
+        }
+    }
+    if let Some(spans) = json.get("spans").and_then(Json::as_obj) {
+        for (name, s) in spans {
+            let field = |key: &str| -> Result<u64, SnapshotError> {
+                as_u64(
+                    s.get(key)
+                        .ok_or_else(|| SnapshotError::Shape(format!("span {name} lacks {key}")))?,
+                    key,
+                )
+            };
+            snapshot.spans.insert(
+                name.clone(),
+                SpanStatsDoc {
+                    count: field("count")?,
+                    total_us: field("totalUs")?,
+                    min_us: field("minUs")?,
+                    max_us: field("maxUs")?,
+                },
+            );
+        }
+    }
+    Ok(snapshot)
+}
+
+/// Comparison thresholds.
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative change (as a fraction, e.g. `0.5` = +50%) past which a
+    /// stage's wall-time growth counts as a regression. `None` disables
+    /// the timing gate (informational diff).
+    pub fail_over: Option<f64>,
+    /// Absolute growth (µs) a stage must also exceed to regress —
+    /// the noise floor that keeps micro-stages from flapping.
+    pub noise_floor_us: u64,
+    /// Relative change below which a delta renders as stable (`~`).
+    pub display_tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            fail_over: None,
+            noise_floor_us: 20_000,
+            display_tolerance: 0.02,
+        }
+    }
+}
+
+/// The comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No gated metric exceeded its threshold.
+    Ok,
+    /// At least one gated metric regressed (or a document is corrupt).
+    Regressed,
+}
+
+impl Verdict {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "regressed",
+        }
+    }
+}
+
+/// One wall-time comparison row (a span stage, or overall uptime).
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// Stage name (`uptime` for the run total).
+    pub name: String,
+    /// Baseline total, microseconds.
+    pub base_us: u64,
+    /// Current total, microseconds.
+    pub current_us: u64,
+    /// `current - base` (signed).
+    pub delta_us: i64,
+    /// Relative change, `delta / base` (`base == 0` ⇒ `inf` when grown).
+    pub rel: f64,
+    /// Whether this row tripped the regression gate.
+    pub regressed: bool,
+}
+
+/// One counter comparison row.
+#[derive(Debug, Clone)]
+pub struct CounterDelta {
+    /// Counter name.
+    pub name: String,
+    /// Baseline value.
+    pub base: u64,
+    /// Current value.
+    pub current: u64,
+    /// `current - base` (signed).
+    pub delta: i64,
+}
+
+/// One histogram comparison row: p50/p90/p99 shift.
+#[derive(Debug, Clone)]
+pub struct HistogramShift {
+    /// Histogram name.
+    pub name: String,
+    /// Baseline `[p50, p90, p99]` estimates (`None` when empty).
+    pub base_p: [Option<f64>; 3],
+    /// Current `[p50, p90, p99]` estimates.
+    pub current_p: [Option<f64>; 3],
+    /// `false` when bucket bounds differ between the documents, making
+    /// the percentile comparison meaningless.
+    pub comparable: bool,
+}
+
+/// The full diff: rows, conservation findings, and the verdict.
+#[derive(Debug, Clone)]
+pub struct MetricsDiff {
+    /// Overall run wall time row.
+    pub uptime: StageDelta,
+    /// Per-stage wall time rows (union of span names, sorted).
+    pub stages: Vec<StageDelta>,
+    /// Counter rows (union of names, sorted).
+    pub counters: Vec<CounterDelta>,
+    /// Histogram percentile shifts (union of names, sorted).
+    pub histograms: Vec<HistogramShift>,
+    /// Conservation violations found in either document.
+    pub violations: Vec<String>,
+    /// Names of the rows that tripped the gate.
+    pub regressions: Vec<String>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+fn stage_delta(name: &str, base_us: u64, current_us: u64, options: &DiffOptions) -> StageDelta {
+    let delta_us = current_us as i64 - base_us as i64;
+    let rel = if base_us > 0 {
+        delta_us as f64 / base_us as f64
+    } else if current_us > 0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let regressed = match options.fail_over {
+        Some(threshold) => rel > threshold && delta_us > options.noise_floor_us as i64,
+        None => false,
+    };
+    StageDelta {
+        name: name.to_string(),
+        base_us,
+        current_us,
+        delta_us,
+        rel,
+        regressed,
+    }
+}
+
+/// Compare two parsed snapshots under the given thresholds.
+pub fn diff_snapshots(base: &Snapshot, current: &Snapshot, options: &DiffOptions) -> MetricsDiff {
+    let mut violations = Vec::new();
+    for (tag, doc) in [("baseline", base), ("current", current)] {
+        for (name, h) in &doc.histograms {
+            if !h.conserved() {
+                violations.push(format!(
+                    "{tag} histogram {name}: bucket counts sum to {} but count is {}",
+                    h.buckets.iter().map(|(_, n)| n).sum::<u64>(),
+                    h.count
+                ));
+            }
+        }
+    }
+
+    let uptime = stage_delta("uptime", base.uptime_us, current.uptime_us, options);
+
+    let stage_names: Vec<&String> = {
+        let mut names: Vec<&String> = base.spans.keys().chain(current.spans.keys()).collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let stages: Vec<StageDelta> = stage_names
+        .iter()
+        .map(|name| {
+            stage_delta(
+                name,
+                base.spans.get(*name).map_or(0, |s| s.total_us),
+                current.spans.get(*name).map_or(0, |s| s.total_us),
+                options,
+            )
+        })
+        .collect();
+
+    let counter_names: Vec<&String> = {
+        let mut names: Vec<&String> = base
+            .counters
+            .keys()
+            .chain(current.counters.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let counters: Vec<CounterDelta> = counter_names
+        .iter()
+        .map(|name| {
+            let b = base.counters.get(*name).copied().unwrap_or(0);
+            let c = current.counters.get(*name).copied().unwrap_or(0);
+            CounterDelta {
+                name: (*name).clone(),
+                base: b,
+                current: c,
+                delta: c as i64 - b as i64,
+            }
+        })
+        .collect();
+
+    let histogram_names: Vec<&String> = {
+        let mut names: Vec<&String> = base
+            .histograms
+            .keys()
+            .chain(current.histograms.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let histograms: Vec<HistogramShift> = histogram_names
+        .iter()
+        .map(|name| {
+            let b = base.histograms.get(*name);
+            let c = current.histograms.get(*name);
+            let comparable = match (b, c) {
+                (Some(b), Some(c)) => b.bounds() == c.bounds(),
+                _ => true, // one-sided: nothing to mismatch
+            };
+            let ps = |h: Option<&HistogramDoc>| -> [Option<f64>; 3] {
+                [0.5, 0.9, 0.99].map(|q| h.and_then(|h| h.quantile(q)))
+            };
+            HistogramShift {
+                name: (*name).clone(),
+                base_p: ps(b),
+                current_p: ps(c),
+                comparable,
+            }
+        })
+        .collect();
+
+    let mut regressions: Vec<String> = std::iter::once(&uptime)
+        .chain(stages.iter())
+        .filter(|row| row.regressed)
+        .map(|row| row.name.clone())
+        .collect();
+    if !violations.is_empty() {
+        regressions.push("conservation".to_string());
+    }
+    let verdict = if regressions.is_empty() {
+        Verdict::Ok
+    } else {
+        Verdict::Regressed
+    };
+    MetricsDiff {
+        uptime,
+        stages,
+        counters,
+        histograms,
+        violations,
+        regressions,
+        verdict,
+    }
+}
+
+fn format_rel(rel: f64, tolerance: f64) -> String {
+    if rel.is_infinite() {
+        "new".to_string()
+    } else if rel.abs() < tolerance {
+        "~".to_string()
+    } else {
+        format!("{:+.1}%", rel * 100.0)
+    }
+}
+
+fn format_quantile(q: Option<f64>) -> String {
+    q.map_or_else(|| "-".to_string(), |v| format_duration_us(v.round() as u64))
+}
+
+/// Render the diff as a text report.
+pub fn render_diff(diff: &MetricsDiff, options: &DiffOptions) -> String {
+    let tolerance = options.display_tolerance;
+    let mut out = String::new();
+    out.push_str("== metrics diff ==\n");
+    match diff.verdict {
+        Verdict::Ok => out.push_str("verdict: ok\n"),
+        Verdict::Regressed => out.push_str(&format!(
+            "verdict: regressed ({})\n",
+            diff.regressions.join(", ")
+        )),
+    }
+    if let Some(threshold) = options.fail_over {
+        out.push_str(&format!(
+            "gate: fail over +{:.0}% growth (noise floor {})\n",
+            threshold * 100.0,
+            format_duration_us(options.noise_floor_us)
+        ));
+    }
+    out.push_str(&format!(
+        "wall time: {} -> {}  ({})\n",
+        format_duration_us(diff.uptime.base_us),
+        format_duration_us(diff.uptime.current_us),
+        format_rel(diff.uptime.rel, tolerance)
+    ));
+
+    if !diff.stages.is_empty() {
+        out.push_str("\nstage wall time:\n");
+        let name_w = diff
+            .stages
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("stage".len());
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>10}  {:>10}  {:>8}  {:>4}\n",
+            "stage", "base", "current", "rel", "gate"
+        ));
+        for stage in &diff.stages {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>10}  {:>10}  {:>8}  {:>4}\n",
+                stage.name,
+                format_duration_us(stage.base_us),
+                format_duration_us(stage.current_us),
+                format_rel(stage.rel, tolerance),
+                if stage.regressed { "FAIL" } else { "" },
+            ));
+        }
+    }
+
+    let changed: Vec<&CounterDelta> = diff.counters.iter().filter(|c| c.delta != 0).collect();
+    out.push_str(&format!(
+        "\ncounters: {} compared, {} changed\n",
+        diff.counters.len(),
+        changed.len()
+    ));
+    for c in &changed {
+        out.push_str(&format!(
+            "  {}  {} -> {}  ({:+})\n",
+            c.name, c.base, c.current, c.delta
+        ));
+    }
+
+    if !diff.histograms.is_empty() {
+        out.push_str("\nhistogram shifts (p50 / p90 / p99):\n");
+        for h in &diff.histograms {
+            if !h.comparable {
+                out.push_str(&format!(
+                    "  {}: bucket bounds differ — not comparable\n",
+                    h.name
+                ));
+                continue;
+            }
+            out.push_str(&format!(
+                "  {}: {} -> {} / {} -> {} / {} -> {}\n",
+                h.name,
+                format_quantile(h.base_p[0]),
+                format_quantile(h.current_p[0]),
+                format_quantile(h.base_p[1]),
+                format_quantile(h.current_p[1]),
+                format_quantile(h.base_p[2]),
+                format_quantile(h.current_p[2]),
+            ));
+        }
+    }
+
+    if diff.violations.is_empty() {
+        out.push_str(&format!(
+            "\nconservation: ok ({} histograms checked)\n",
+            diff.histograms.len()
+        ));
+    } else {
+        out.push_str("\nconservation violations:\n");
+        for v in &diff.violations {
+            out.push_str(&format!("  {v}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, MetricsSnapshot, LATENCY_US_BOUNDS};
+
+    fn sample_snapshot(scale: u64) -> String {
+        let mut m = Metrics::new();
+        m.span_done("pipeline", 1_000_000 * scale);
+        m.span_done("pipeline.classify", 600_000 * scale);
+        m.add("pipeline.units", 14);
+        for i in 0..50 {
+            m.observe("span.us", &LATENCY_US_BOUNDS, (i + 1) * 1_000 * scale);
+        }
+        MetricsSnapshot {
+            metrics: m,
+            uptime_us: 1_100_000 * scale,
+        }
+        .to_json()
+        .to_pretty_string()
+    }
+
+    #[test]
+    fn parse_rejects_non_snapshot_documents() {
+        assert!(matches!(
+            parse_snapshot("not json").unwrap_err(),
+            SnapshotError::Json(_)
+        ));
+        assert!(matches!(
+            parse_snapshot("{\"schema\":\"other/v9\"}").unwrap_err(),
+            SnapshotError::Schema(Some(_))
+        ));
+        assert!(matches!(
+            parse_snapshot("{}").unwrap_err(),
+            SnapshotError::Schema(None)
+        ));
+        assert!(matches!(
+            parse_snapshot("{\"schema\":\"diffaudit-obs/v1\"}").unwrap_err(),
+            SnapshotError::Shape(_)
+        ));
+    }
+
+    #[test]
+    fn self_diff_is_all_zero_and_ok() {
+        let doc = sample_snapshot(1);
+        let snap = parse_snapshot(&doc).unwrap();
+        let options = DiffOptions {
+            fail_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        let diff = diff_snapshots(&snap, &snap, &options);
+        assert_eq!(diff.verdict, Verdict::Ok);
+        assert_eq!(diff.uptime.delta_us, 0);
+        assert!(diff.stages.iter().all(|s| s.delta_us == 0 && !s.regressed));
+        assert!(diff.counters.iter().all(|c| c.delta == 0));
+        assert!(diff.violations.is_empty());
+        let text = render_diff(&diff, &options);
+        assert!(text.contains("verdict: ok"));
+        assert!(text.contains("0 changed"));
+    }
+
+    #[test]
+    fn growth_past_threshold_regresses() {
+        let base = parse_snapshot(&sample_snapshot(1)).unwrap();
+        let slow = parse_snapshot(&sample_snapshot(3)).unwrap();
+        let options = DiffOptions {
+            fail_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        let diff = diff_snapshots(&base, &slow, &options);
+        assert_eq!(diff.verdict, Verdict::Regressed);
+        assert!(diff.regressions.contains(&"uptime".to_string()));
+        assert!(diff.regressions.contains(&"pipeline".to_string()));
+        let text = render_diff(&diff, &options);
+        assert!(text.contains("verdict: regressed"));
+        assert!(text.contains("FAIL"));
+        // The improvement direction is not a regression.
+        let improved = diff_snapshots(&slow, &base, &options);
+        assert_eq!(improved.verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn no_threshold_means_informational_only() {
+        let base = parse_snapshot(&sample_snapshot(1)).unwrap();
+        let slow = parse_snapshot(&sample_snapshot(4)).unwrap();
+        let diff = diff_snapshots(&base, &slow, &DiffOptions::default());
+        assert_eq!(diff.verdict, Verdict::Ok);
+        assert!(diff.uptime.delta_us > 0);
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_regressions() {
+        let mut m = Metrics::new();
+        m.span_done("tiny", 10);
+        let base = MetricsSnapshot {
+            metrics: m.clone(),
+            uptime_us: 100,
+        };
+        let mut m2 = Metrics::new();
+        m2.span_done("tiny", 40); // 4x but far below the noise floor
+        let current = MetricsSnapshot {
+            metrics: m2,
+            uptime_us: 130,
+        };
+        let base = parse_snapshot(&base.to_json().to_pretty_string()).unwrap();
+        let current = parse_snapshot(&current.to_json().to_pretty_string()).unwrap();
+        let options = DiffOptions {
+            fail_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        let diff = diff_snapshots(&base, &current, &options);
+        assert_eq!(diff.verdict, Verdict::Ok, "{:?}", diff.regressions);
+    }
+
+    #[test]
+    fn conservation_violation_flips_the_verdict() {
+        let doc = sample_snapshot(1);
+        let broken = doc.replacen("\"count\": 50", "\"count\": 49", 1);
+        assert_ne!(doc, broken, "replacement must hit the histogram count");
+        let base = parse_snapshot(&doc).unwrap();
+        let current = parse_snapshot(&broken).unwrap();
+        let diff = diff_snapshots(&base, &current, &DiffOptions::default());
+        assert_eq!(diff.verdict, Verdict::Regressed);
+        assert!(!diff.violations.is_empty());
+        let text = render_diff(&diff, &DiffOptions::default());
+        assert!(text.contains("conservation violations:"));
+    }
+
+    #[test]
+    fn incomparable_buckets_are_flagged_not_compared() {
+        let mut m = Metrics::new();
+        m.observe("h", &[10, 100], 5);
+        let a = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 10,
+        };
+        let mut m2 = Metrics::new();
+        m2.observe("h", &[20, 200], 5);
+        let b = MetricsSnapshot {
+            metrics: m2,
+            uptime_us: 10,
+        };
+        let a = parse_snapshot(&a.to_json().to_pretty_string()).unwrap();
+        let b = parse_snapshot(&b.to_json().to_pretty_string()).unwrap();
+        let diff = diff_snapshots(&a, &b, &DiffOptions::default());
+        assert!(diff.histograms.iter().any(|h| !h.comparable));
+        let text = render_diff(&diff, &DiffOptions::default());
+        assert!(text.contains("not comparable"));
+    }
+
+    #[test]
+    fn union_of_names_covers_one_sided_metrics() {
+        let mut m = Metrics::new();
+        m.span_done("only.base", 100_000);
+        m.add("only.base.counter", 5);
+        let a = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 100_000,
+        };
+        let mut m2 = Metrics::new();
+        m2.span_done("only.current", 200_000);
+        let b = MetricsSnapshot {
+            metrics: m2,
+            uptime_us: 100_000,
+        };
+        let a = parse_snapshot(&a.to_json().to_pretty_string()).unwrap();
+        let b = parse_snapshot(&b.to_json().to_pretty_string()).unwrap();
+        let options = DiffOptions {
+            fail_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        let diff = diff_snapshots(&a, &b, &options);
+        let names: Vec<&str> = diff.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["only.base", "only.current"]);
+        // A brand-new expensive stage regresses (rel = inf, over floor).
+        assert!(diff.regressions.contains(&"only.current".to_string()));
+        let text = render_diff(&diff, &options);
+        assert!(text.contains("new"));
+    }
+}

@@ -21,21 +21,28 @@
 //! `Warn` so libraries and tests stay quiet until the CLI calls
 //! [`global`]`().configure(...)`.
 
+pub mod compare;
 pub mod event;
 pub mod level;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
+pub use compare::{
+    diff_snapshots, parse_snapshot, render_diff, DiffOptions, MetricsDiff, Snapshot, Verdict,
+};
 pub use event::{field, Field, FieldValue};
 pub use level::Level;
 pub use metrics::{
-    Histogram, Metrics, MetricsSnapshot, SpanStats, BYTE_BOUNDS, LATENCY_US_BOUNDS, RECORD_BOUNDS,
+    estimate_quantile, Histogram, Metrics, MetricsSnapshot, SpanStats, BYTE_BOUNDS,
+    LATENCY_US_BOUNDS, RECORD_BOUNDS,
 };
 pub use recorder::{ObsConfig, Recorder, SpanGuard};
 pub use report::{render_run_report, SALVAGE_PREFIX};
 pub use sink::{write_stderr_block, JsonlSink};
+pub use trace::{render_trace_report, SpanTree, TraceLog, TraceReportOptions};
 
 use std::sync::OnceLock;
 

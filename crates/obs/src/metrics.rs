@@ -94,6 +94,12 @@ impl Histogram {
             .zip(self.counts.iter().copied())
     }
 
+    /// Bucket-based estimate of the `q`-quantile (see [`estimate_quantile`]).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let buckets: Vec<(Option<u64>, u64)> = self.buckets().collect();
+        estimate_quantile(&buckets, self.count, self.min()?, self.max()?, q)
+    }
+
     /// JSON representation (part of the `--metrics-out` document).
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
@@ -122,6 +128,53 @@ impl Histogram {
             )
             .with("buckets", Json::Arr(buckets))
     }
+}
+
+/// Estimate the `q`-quantile of a bucketed distribution by linear
+/// interpolation inside the bucket containing the target rank.
+///
+/// `buckets` are ascending `(upper_bound, count)` pairs ending with the
+/// `None` overflow bucket — exactly what [`Histogram::buckets`] yields and
+/// what a parsed `diffaudit-obs/v1` document carries. Edges: the first
+/// bucket's lower edge is `min`, the overflow bucket's upper edge is `max`,
+/// and every interior edge is the neighbouring bound; the estimate is
+/// clamped to `[min, max]`, which makes single-observation and
+/// single-bucket distributions exact. The target rank is `q * count`, so
+/// `q = 1.0` lands on the last observation.
+///
+/// Returns `None` when the distribution is empty or `q` is outside
+/// `(0, 1]`. When the bucket counts undershoot `count` (a conservation
+/// violation in a hand-edited document) the estimate degrades to `max`
+/// rather than failing.
+pub fn estimate_quantile(
+    buckets: &[(Option<u64>, u64)],
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> Option<f64> {
+    if count == 0 || !(q > 0.0 && q <= 1.0) {
+        return None;
+    }
+    let (min_f, max_f) = (min as f64, max as f64);
+    let target = q * count as f64;
+    let mut cum = 0u64;
+    let mut lower = min_f;
+    for (bound, n) in buckets {
+        let upper = bound.map_or(max_f, |b| b as f64);
+        if *n > 0 {
+            let next_cum = cum + n;
+            if target <= next_cum as f64 {
+                let lo = lower.clamp(min_f, max_f);
+                let hi = upper.clamp(lo, max_f);
+                let frac = (target - cum as f64) / *n as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+            cum = next_cum;
+        }
+        lower = upper.max(lower);
+    }
+    Some(max_f)
 }
 
 /// Aggregate wall-time statistics for one span name.
@@ -281,6 +334,80 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 100 observations spread 1..=100 over bounds [25, 50, 75, 100]:
+        // 25 per bucket, so the distribution is uniform and quantiles are
+        // (approximately) the identity.
+        let mut h = Histogram::new(&[25, 50, 75, 100]);
+        for v in 1..=100 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 = {p50}");
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 = {p90}");
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 = {p99}");
+        // q = 1.0 is the maximum exactly.
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn quantile_handles_overflow_bucket_via_max() {
+        // Everything above the last bound: the overflow bucket spans
+        // [last bound, max].
+        let mut h = Histogram::new(&[10]);
+        h.record(100);
+        h.record(200);
+        h.record(300);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (10.0..=300.0).contains(&p50),
+            "overflow p50 within [bound, max]: {p50}"
+        );
+        assert_eq!(h.quantile(1.0), Some(300.0));
+    }
+
+    #[test]
+    fn quantile_is_exact_for_a_single_observation() {
+        let mut h = Histogram::new(&[1_000, 10_000]);
+        h.record(4_242);
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(4_242.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_empty_and_out_of_range_are_none() {
+        let h = Histogram::new(&BYTE_BOUNDS);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::new(&[10]);
+        h.record(5);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_on_bucket_boundary_values() {
+        // All mass exactly on a bound: the estimate stays within that
+        // bucket and clamps to [min, max] = [10, 10].
+        let mut h = Histogram::new(&[10, 100]);
+        for _ in 0..4 {
+            h.record(10);
+        }
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn estimate_quantile_degrades_to_max_on_undercounted_buckets() {
+        // A lying document: count says 10 but buckets only account for 2.
+        let buckets = [(Some(10u64), 2u64), (None, 0)];
+        assert_eq!(estimate_quantile(&buckets, 10, 1, 9, 0.99), Some(9.0));
     }
 
     #[test]

@@ -74,12 +74,19 @@ pub fn render_run_report(snapshot: &MetricsSnapshot) -> String {
             } else {
                 |v| v.to_string()
             };
+            let quantile = |q: f64| {
+                h.quantile(q)
+                    .map_or_else(|| "-".to_string(), |v| fmt_value(v.round() as u64))
+            };
             out.push_str(&format!(
-                "  {name}: n={} sum={} min={} max={}\n",
+                "  {name}: n={} sum={} min={} max={} p50={} p90={} p99={}\n",
                 h.count(),
                 fmt_value(h.sum()),
                 h.min().map_or_else(|| "-".to_string(), fmt_value),
                 h.max().map_or_else(|| "-".to_string(), fmt_value),
+                quantile(0.5),
+                quantile(0.9),
+                quantile(0.99),
             ));
         }
     }
@@ -165,8 +172,10 @@ mod tests {
         assert!(text.contains("120"));
         assert!(text.contains("distributions:"));
         assert!(text.contains("artifact.bytes"));
-        // Byte histogram renders with units.
+        // Byte histogram renders with units and bucket-derived percentiles.
         assert!(text.contains("KiB"), "expected KiB in:\n{text}");
+        assert!(text.contains("p50="), "expected percentiles in:\n{text}");
+        assert!(text.contains("p99="), "expected percentiles in:\n{text}");
     }
 
     #[test]

@@ -36,4 +36,21 @@ grep -q '"kind":"span","name":"pipeline"' "$obs_tmp/trace.jsonl"
 # Every trace line is one JSON object (cheap well-formedness check).
 ! grep -qv '^{.*}$' "$obs_tmp/trace.jsonl"
 
+echo "==> obs trace report (span tree reconstructs from the smoke trace)"
+./target/release/diffaudit obs report "$obs_tmp/trace.jsonl" > "$obs_tmp/trace_report.txt"
+grep -q '^root audit: total ' "$obs_tmp/trace_report.txt"
+grep -q '^critical path:' "$obs_tmp/trace_report.txt"
+
+echo "==> perf regression vs BENCH_pipeline.json (advisory: exit 2 warns, exit 1 fails)"
+./target/release/pipeline_metrics --out "$obs_tmp/current.json"
+set +e
+./target/release/diffaudit obs diff BENCH_pipeline.json "$obs_tmp/current.json" --fail-over 200
+diff_status=$?
+set -e
+case "$diff_status" in
+    0) ;;
+    2) echo "WARNING: pipeline metrics regressed >200% vs BENCH_pipeline.json (advisory only)" ;;
+    *) echo "obs diff failed (exit $diff_status)"; exit 1 ;;
+esac
+
 echo "All checks passed."

@@ -279,6 +279,191 @@ fn stdout_is_byte_identical_with_and_without_observability() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Copy a metrics snapshot with `uptimeUs` and every span's `totalUs`
+/// multiplied by `factor`; histograms are untouched so bucket conservation
+/// still holds and only wall-time deltas drive the diff verdict.
+fn inflate_snapshot(doc: &Json, factor: i64) -> Json {
+    let mut out = doc.clone();
+    let uptime = doc.get("uptimeUs").and_then(Json::as_i64).unwrap();
+    out.set("uptimeUs", Json::int(uptime * factor));
+    let mut spans = Json::obj();
+    for (name, stats) in doc.get("spans").and_then(Json::as_obj).unwrap() {
+        let total = stats.get("totalUs").and_then(Json::as_i64).unwrap();
+        spans.set(
+            name.clone(),
+            stats.clone().with("totalUs", Json::int(total * factor)),
+        );
+    }
+    out.set("spans", spans);
+    out
+}
+
+#[test]
+fn obs_report_and_self_diff_round_trip() {
+    // One audit produces both obs artifacts; `obs report` reconstructs the
+    // span tree from the trace and `obs diff` of the snapshot against itself
+    // is all-zero and exits 0.
+    let root = temp_dir("roundtrip");
+    let dir = capture_dir(&root);
+    let trace_path = root.join("trace.jsonl");
+    let metrics_path = root.join("metrics.json");
+    let audit = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert_eq!(audit.code, Some(0), "stderr: {}", audit.stderr);
+
+    let report = run(&["obs", "report", trace_path.to_str().unwrap()]);
+    assert_eq!(report.code, Some(0), "stderr: {}", report.stderr);
+    for section in [
+        "== trace report ==",
+        "span tree (total / self / calls / % of roots):",
+        "root audit: total ",
+        "critical path:",
+        "hotspots (top 10 by self time):",
+    ] {
+        assert!(
+            report.stdout.contains(section),
+            "obs report missing {section:?}, got:\n{}",
+            report.stdout
+        );
+    }
+    // The tree names the stages the audit actually went through.
+    for stage in ["audit", "audit.load", "pipeline", "pipeline.classify"] {
+        assert!(
+            report.stdout.contains(stage),
+            "obs report missing stage {stage}"
+        );
+    }
+
+    let selfdiff = run(&[
+        "obs",
+        "diff",
+        metrics_path.to_str().unwrap(),
+        metrics_path.to_str().unwrap(),
+        "--fail-over",
+        "50",
+    ]);
+    assert_eq!(selfdiff.code, Some(0), "stderr: {}", selfdiff.stderr);
+    assert!(
+        selfdiff.stdout.contains("verdict: ok"),
+        "self-diff must be ok, got:\n{}",
+        selfdiff.stdout
+    );
+    assert!(
+        selfdiff.stdout.contains("counters: ") && selfdiff.stdout.contains(", 0 changed"),
+        "self-diff must report zero counter deltas, got:\n{}",
+        selfdiff.stdout
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn obs_diff_flags_a_synthetic_regression_but_not_an_improvement() {
+    let root = temp_dir("regression");
+    let dir = capture_dir(&root);
+    let metrics_path = root.join("metrics.json");
+    let audit = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert_eq!(audit.code, Some(0), "stderr: {}", audit.stderr);
+
+    let base = parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    let inflated_path = root.join("inflated.json");
+    std::fs::write(
+        &inflated_path,
+        inflate_snapshot(&base, 10).to_pretty_string(),
+    )
+    .unwrap();
+
+    // 10x slower trips a 50% gate: exit 2 and a regressed verdict.
+    let slower = run(&[
+        "obs",
+        "diff",
+        metrics_path.to_str().unwrap(),
+        inflated_path.to_str().unwrap(),
+        "--fail-over",
+        "50",
+    ]);
+    assert_eq!(slower.code, Some(2), "stderr: {}", slower.stderr);
+    assert!(
+        slower.stdout.contains("verdict: regressed"),
+        "inflated snapshot must regress, got:\n{}",
+        slower.stdout
+    );
+
+    // The reverse direction is an improvement, not a regression.
+    let faster = run(&[
+        "obs",
+        "diff",
+        inflated_path.to_str().unwrap(),
+        metrics_path.to_str().unwrap(),
+        "--fail-over",
+        "50",
+    ]);
+    assert_eq!(faster.code, Some(0), "stderr: {}", faster.stderr);
+    assert!(faster.stdout.contains("verdict: ok"));
+
+    // Without --fail-over the same delta is informational only.
+    let advisory = run(&[
+        "obs",
+        "diff",
+        metrics_path.to_str().unwrap(),
+        inflated_path.to_str().unwrap(),
+    ]);
+    assert_eq!(advisory.code, Some(0), "stderr: {}", advisory.stderr);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn obs_report_salvages_a_partially_malformed_trace() {
+    let root = temp_dir("malformed");
+    let dir = capture_dir(&root);
+    let trace_path = root.join("trace.jsonl");
+    let audit = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(audit.code, Some(0), "stderr: {}", audit.stderr);
+
+    // Corrupt the trace: garbage lines interleaved with the real tail.
+    let mut text = std::fs::read_to_string(&trace_path).unwrap();
+    text.push_str("this is not json\n");
+    text.push_str("{\"seq\":1,\"kind\":\"span\"}\n");
+    std::fs::write(&trace_path, text).unwrap();
+
+    let report = run(&["obs", "report", trace_path.to_str().unwrap()]);
+    assert_eq!(
+        report.code,
+        Some(2),
+        "salvaged report exits 2; stderr: {}",
+        report.stderr
+    );
+    assert!(
+        report.stdout.contains("(2 malformed lines skipped)"),
+        "report must count skipped lines, got:\n{}",
+        report.stdout
+    );
+    // The surviving records still yield a full tree.
+    assert!(report.stdout.contains("root audit: total "));
+
+    // A file with no usable record at all is a hard failure.
+    let hopeless = root.join("hopeless.jsonl");
+    std::fs::write(&hopeless, "junk\nmore junk\n").unwrap();
+    let dead = run(&["obs", "report", hopeless.to_str().unwrap()]);
+    assert_eq!(dead.code, Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn log_level_gates_stderr_and_bad_values_are_usage_errors() {
     let root = temp_dir("levels");
