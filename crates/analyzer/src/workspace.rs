@@ -16,16 +16,24 @@ pub const DESIGNATED_CRATES: [&str; 3] = ["nettrace", "json", "domains"];
 /// the untrusted-input path and are therefore held to the parser policy
 /// too. Paths are workspace-relative with forward slashes. The salvage
 /// loader and degradation ledger route every decoded-or-corrupt record, so
-/// a panic there defeats the whole skip-and-record design.
-pub const DESIGNATED_FILES: [&str; 2] = ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"];
+/// a panic there defeats the whole skip-and-record design; the parallel
+/// executor runs arbitrary per-unit closures on worker threads, where a
+/// panic of its own would tear down every in-flight unit at once.
+pub const DESIGNATED_FILES: [&str; 3] = [
+    "crates/core/src/loader.rs",
+    "crates/core/src/salvage.rs",
+    "crates/util/src/par.rs",
+];
 
 /// Crates whose production sources must route stderr output through the
 /// `diffaudit-obs` structured logger instead of bare `eprintln!`/`eprint!`.
 /// These are the instrumented crates: `core` hosts the CLI (whose progress
 /// and error lines must honor `--log-level` and land in `--trace-out`),
-/// `obs` itself must not print around its own sink, and `bench` feeds the
-/// perf-baseline snapshots so its progress chatter must stay structured.
-pub const EPRINTLN_CRATES: [&str; 3] = ["bench", "core", "obs"];
+/// `obs` itself must not print around its own sink, `bench` feeds the
+/// perf-baseline snapshots so its progress chatter must stay structured,
+/// and `util` hosts the parallel executor — worker threads must not emit
+/// bare diagnostics outside the obs sink.
+pub const EPRINTLN_CRATES: [&str; 4] = ["bench", "core", "obs", "util"];
 
 /// Files exempt from `no-bare-eprintln`: the stderr sink is the one
 /// sanctioned funnel, so it alone may invoke the macros.
@@ -210,13 +218,17 @@ mod tests {
         assert_eq!(DESIGNATED_CRATES, ["nettrace", "json", "domains"]);
         assert_eq!(
             DESIGNATED_FILES,
-            ["crates/core/src/loader.rs", "crates/core/src/salvage.rs"]
+            [
+                "crates/core/src/loader.rs",
+                "crates/core/src/salvage.rs",
+                "crates/util/src/par.rs"
+            ]
         );
     }
 
     #[test]
     fn eprintln_gate_covers_cli_obs_and_bench() {
-        assert_eq!(EPRINTLN_CRATES, ["bench", "core", "obs"]);
+        assert_eq!(EPRINTLN_CRATES, ["bench", "core", "obs", "util"]);
         assert_eq!(EPRINTLN_ALLOWLIST, ["crates/obs/src/sink.rs"]);
         // The analyzer crate is deliberately outside the gate: it is a
         // developer tool, not the audited pipeline or its bench harness.

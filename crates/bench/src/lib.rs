@@ -6,9 +6,11 @@
 //! The benchmark harness: one binary per paper table/figure (see
 //! `src/bin/`) plus Criterion micro-benchmarks (see `benches/`).
 //!
-//! Every binary accepts `--scale <f64>` (default 1.0 = paper-scale traffic)
-//! and `--seed <u64>` (default 2023). Regeneration commands are indexed in
-//! `DESIGN.md` and results are recorded in `EXPERIMENTS.md`.
+//! Every binary accepts `--scale <f64>` (default 1.0 = paper-scale traffic),
+//! `--seed <u64>` (default 2023), and `--threads <usize>` (worker threads
+//! for the parallel pipeline stages; default = available parallelism, 1 =
+//! serial). Regeneration commands are indexed in `DESIGN.md` and results
+//! are recorded in `EXPERIMENTS.md`.
 
 use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
 use diffaudit_classifier::LabeledExample;
@@ -24,12 +26,15 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the parallel pipeline stages (also installed as
+    /// the process-wide default via `par::set_default_threads`).
+    pub threads: usize,
 }
 
 impl BenchArgs {
-    /// Parse `--scale`/`--seed` from `std::env::args`; anything else prints
-    /// usage and exits. Also raises the global `diffaudit-obs` recorder to
-    /// `Info` so bench progress events reach stderr by default.
+    /// Parse `--scale`/`--seed`/`--threads` from `std::env::args`; anything
+    /// else prints usage and exits. Also raises the global `diffaudit-obs`
+    /// recorder to `Info` so bench progress events reach stderr by default.
     pub fn parse() -> BenchArgs {
         BenchArgs::parse_extra(&[]).0
     }
@@ -46,6 +51,7 @@ impl BenchArgs {
         let mut args = BenchArgs {
             scale: 1.0,
             seed: 2023,
+            threads: diffaudit_util::par::default_threads(),
         };
         let mut values: Vec<Option<String>> = vec![None; extra.len()];
         let mut iter = std::env::args().skip(1);
@@ -62,6 +68,14 @@ impl BenchArgs {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed requires an integer"));
+                }
+                "--threads" => {
+                    args.threads = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or_else(|| usage("--threads requires a positive integer"));
+                    diffaudit_util::par::set_default_threads(args.threads);
                 }
                 other => match extra.iter().position(|e| *e == other) {
                     Some(slot) => {
@@ -92,7 +106,7 @@ impl BenchArgs {
 
 fn usage(message: &str) -> ! {
     obs::error(message, &[]);
-    obs::write_stderr_block("usage: <bin> [--scale <f64>] [--seed <u64>]\n");
+    obs::write_stderr_block("usage: <bin> [--scale <f64>] [--seed <u64>] [--threads <usize>]\n");
     std::process::exit(2);
 }
 

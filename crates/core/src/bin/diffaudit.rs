@@ -41,7 +41,12 @@
 //!     can gate on a committed baseline. Exit codes: 0 = ok, 2 = regressed,
 //!     1 = unusable input or bad usage.
 //!
-//! Global observability flags (any subcommand, stripped before dispatch):
+//! Global flags (any subcommand, stripped before dispatch):
+//!   --threads N                         worker threads for the parallel
+//!                                       pipeline stages (default: the
+//!                                       machine's available parallelism;
+//!                                       1 forces the serial path — output
+//!                                       is byte-identical either way)
 //!   --log-level error|warn|info|debug   stderr verbosity (default info)
 //!   --trace-out FILE.jsonl              write a JSONL event/span trace
 //!   --metrics-out FILE.json             write end-of-run metrics JSON
@@ -72,7 +77,7 @@ fn usage() -> ExitCode {
          diffaudit classify KEY...\n  diffaudit ontology\n  \
          diffaudit obs report TRACE.jsonl [--top K]\n  \
          diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n\
-         global flags: [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
+         global flags: [--threads N] [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
     );
     // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
     ExitCode::from(1)
@@ -107,6 +112,10 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
             "--metrics-out" => match iter.next() {
                 Some(path) => metrics_out = Some(PathBuf::from(path)),
                 None => return Err("--metrics-out takes a file path".into()),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => diffaudit_util::par::set_default_threads(n),
+                _ => return Err("--threads takes a positive integer".into()),
             },
             "-v" | "--verbose" => verbose = true,
             _ => rest.push(arg),

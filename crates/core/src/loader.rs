@@ -250,6 +250,49 @@ fn load_unit(
     }
 }
 
+/// Salvage-load one manifest unit entry on a worker thread: times the load
+/// as a `loader.unit` span, tallies loaded/dropped counters and the
+/// exchange-count histogram into the worker's private recorder, and folds
+/// any error into the unit's salvage log. Returns the unit's display label,
+/// the load result (the error already rendered to its display string), and
+/// the per-unit ledger entry.
+fn load_unit_salvage(
+    dir: &Path,
+    entry: &Json,
+    index: usize,
+    manifest_path: &Path,
+    recorder: &mut diffaudit_obs::LocalRecorder,
+) -> (String, Result<LoadedUnit, String>, SalvageLog) {
+    let label = entry
+        .get("file")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("units[{index}]"));
+    let mut log = SalvageLog::new();
+    let outcome = recorder.time("loader.unit", || {
+        load_unit(dir, entry, index, Some(&mut log))
+    });
+    let result = match outcome {
+        Ok(unit) => {
+            log.ok(Stage::Unit);
+            recorder.add("loader.units.loaded", 1);
+            recorder.observe(
+                "loader.unit.exchanges",
+                &diffaudit_obs::RECORD_BOUNDS,
+                unit.exchanges.len() as u64,
+            );
+            Ok(unit)
+        }
+        Err(e) => {
+            let reason = e.with_manifest_path(manifest_path).to_string();
+            recorder.add("loader.units.dropped", 1);
+            log.dropped(Stage::Unit, reason.clone(), Some(index as u64));
+            Err(reason)
+        }
+    };
+    (label, result, log)
+}
+
 /// Load a capture directory (containing `manifest.json`) into a
 /// [`ServiceInput`] ready for [`crate::pipeline::Pipeline::run_inputs`].
 /// Any damage anywhere in the directory is a hard error; see
@@ -282,25 +325,25 @@ pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
 pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedger), LoadError> {
     let _span = diffaudit_obs::span("loader.dir");
     let manifest = read_manifest(dir)?;
-    let mut units = Vec::with_capacity(manifest.unit_entries.len());
-    let mut ledger_units = Vec::with_capacity(manifest.unit_entries.len());
-    for (i, entry) in manifest.unit_entries.iter().enumerate() {
-        let label = entry
-            .get("file")
-            .and_then(Json::as_str)
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("units[{i}]"));
-        let mut log = SalvageLog::new();
-        let unit_span = diffaudit_obs::span("loader.unit");
-        match load_unit(dir, entry, i, Some(&mut log)) {
+    // Units are independent, so they load in parallel over the scoped
+    // executor (the `--threads` default; 1 = today's serial path). Workers
+    // record `loader.unit` timings and counters into per-thread recorders
+    // merged at join, and never emit events — the debug/warn lines below go
+    // out on this thread afterwards, in manifest order, so the event stream
+    // and both returned vectors are identical for every thread count.
+    let loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)> =
+        diffaudit_util::par::par_map_ctx(
+            diffaudit_util::par::default_threads(),
+            &manifest.unit_entries,
+            diffaudit_obs::LocalRecorder::new,
+            |recorder, i, entry| load_unit_salvage(dir, entry, i, &manifest.path, recorder),
+            diffaudit_obs::absorb,
+        );
+    let mut units = Vec::with_capacity(loaded.len());
+    let mut ledger_units = Vec::with_capacity(loaded.len());
+    for (label, result, log) in loaded {
+        match result {
             Ok(unit) => {
-                log.ok(Stage::Unit);
-                diffaudit_obs::add("loader.units.loaded", 1);
-                diffaudit_obs::observe(
-                    "loader.unit.exchanges",
-                    &diffaudit_obs::RECORD_BOUNDS,
-                    unit.exchanges.len() as u64,
-                );
                 diffaudit_obs::debug(
                     "unit loaded",
                     &[
@@ -310,9 +353,7 @@ pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedg
                 );
                 units.push(unit);
             }
-            Err(e) => {
-                let reason = e.with_manifest_path(&manifest.path).to_string();
-                diffaudit_obs::add("loader.units.dropped", 1);
+            Err(reason) => {
                 diffaudit_obs::warn(
                     "unit dropped",
                     &[
@@ -320,10 +361,8 @@ pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedg
                         diffaudit_obs::field("reason", reason.as_str()),
                     ],
                 );
-                log.dropped(Stage::Unit, reason, Some(i as u64));
             }
         }
-        unit_span.finish();
         ledger_units.push(UnitLedger { file: label, log });
     }
     let slug = manifest.slug.clone();

@@ -5,6 +5,15 @@
 //! classify the *unique* raw types once (the paper classified its 3,968
 //! unique types in batch), analyze destinations, and assemble per-unit
 //! observations ready for the differential audit.
+//!
+//! Decode/extract and per-service assembly shard per unit over the
+//! scoped-thread executor in [`diffaudit_util::par`]; only the unique-key
+//! classification pass needs a global view. Determinism is preserved by
+//! construction: workers return results in input order, the unique-key set
+//! is a [`BTreeSet`] (order-insensitive merge), and raw keys are interned
+//! [`Key`]s whose ordering delegates to the spelling. `--threads 1` (or
+//! [`Pipeline::with_threads`]`(1)`) forces the serial path; any other
+//! thread count produces byte-identical output.
 
 use crate::dest::DestinationAnalyzer;
 use crate::extract::extract_request;
@@ -14,9 +23,13 @@ use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
 use diffaudit_nettrace::{decode_pcap, har_to_exchanges, Exchange, KeyLog};
 use diffaudit_ontology::DataTypeCategory;
 use diffaudit_services::{GeneratedDataset, Platform, ServiceCapture, TraceCategory, TraceKind};
+use diffaudit_util::par::{self, Key, KeyInterner};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How raw data types are mapped to ontology categories.
+#[derive(Clone)]
 pub enum ClassificationMode {
     /// Use a ground-truth label map (closed-loop verification; plays the
     /// role of the paper's manual labeling).
@@ -45,8 +58,9 @@ pub struct ObservedExchange {
     pub owner: Option<&'static str>,
     /// Classified categories present in the payload (deduplicated).
     pub categories: Vec<DataTypeCategory>,
-    /// Raw keys observed (deduplicated).
-    pub raw_keys: Vec<String>,
+    /// Raw keys observed (deduplicated, interned — clones share one
+    /// allocation per distinct spelling).
+    pub raw_keys: Vec<Key>,
     /// Capture timestamp.
     pub timestamp_ms: u64,
 }
@@ -137,20 +151,27 @@ pub struct AuditOutcome {
     pub services: Vec<ObservedService>,
     /// The label assigned to each unique raw key (`None` = below threshold
     /// or unparseable).
-    pub key_labels: HashMap<String, Option<DataTypeCategory>>,
+    pub key_labels: HashMap<Key, Option<DataTypeCategory>>,
     /// Total unique raw data types extracted.
     pub unique_raw_keys: usize,
 }
 
 /// The DiffAudit pipeline.
+#[derive(Clone)]
 pub struct Pipeline {
     mode: ClassificationMode,
+    /// Worker-thread override; `None` defers to [`par::default_threads`]
+    /// (which the `--threads` CLI flag configures) at run time.
+    threads: Option<usize>,
 }
 
 impl Pipeline {
     /// Build with a classification mode.
     pub fn new(mode: ClassificationMode) -> Self {
-        Self { mode }
+        Self {
+            mode,
+            threads: None,
+        }
     }
 
     /// The paper's configuration: majority-average ensemble at 0.8.
@@ -161,46 +182,75 @@ impl Pipeline {
         })
     }
 
+    /// Override the worker-thread count for this pipeline (`1` forces the
+    /// serial path). Without this, runs use [`par::default_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(par::default_threads)
+    }
+
     /// Run over a generated dataset.
     pub fn run(&self, dataset: &GeneratedDataset) -> AuditOutcome {
         let _run_span = diffaudit_obs::span("pipeline");
-        // Phase 1: decode every unit and gather raw entries.
+        let threads = self.threads();
+        let interner = KeyInterner::new();
+
+        // Phase 1: decode every unit (sharded per unit over the executor)
+        // and gather raw entries into the shared key batch.
         let decode_span = diffaudit_obs::span("pipeline.decode");
-        let mut decoded: Vec<(&ServiceCapture, Vec<DecodedUnit>)> = Vec::new();
-        let mut unique_keys: BTreeSet<String> = BTreeSet::new();
-        let mut key_occurrences: u64 = 0;
-        for capture in &dataset.services {
-            let service_span = diffaudit_obs::span("pipeline.decode.service");
-            let units = decode_capture(capture);
-            for unit in &units {
-                for (_, keys) in &unit.requests {
-                    key_occurrences += keys.len() as u64;
-                    unique_keys.extend(keys.iter().cloned());
-                }
-            }
-            service_span.finish();
-            decoded.push((capture, units));
-        }
+        let unit_refs: Vec<&diffaudit_services::TraceArtifact> = dataset
+            .services
+            .iter()
+            .flat_map(|capture| capture.artifacts.iter())
+            .collect();
+        let batch = KeyBatch::new();
+        let units = par::par_map_ctx(
+            threads,
+            &unit_refs,
+            UnitCtx::new,
+            |ctx, _, artifact| {
+                let unit = ctx.recorder.time("pipeline.unit.decode", || {
+                    decode_artifact(artifact, &interner)
+                });
+                ctx.gather(&unit);
+                unit
+            },
+            |ctx| ctx.finish(&batch),
+        );
         decode_span.finish();
+        let (unique_keys, key_occurrences) = batch.into_parts();
         record_key_stats(key_occurrences, unique_keys.len());
 
         // Phase 2: classify unique keys once.
         let key_labels = self.classify_keys(&unique_keys);
 
-        // Phase 3: destination analysis + assembly.
+        // Phase 3: destination analysis + assembly, parallel per service
+        // (each service gets its own memoizing analyzer).
         let assemble_span = diffaudit_obs::span("pipeline.assemble");
-        let services = decoded
-            .into_iter()
-            .map(|(capture, units)| {
-                assemble_service(
-                    capture.spec.name,
-                    capture.spec.slug,
-                    &capture.spec.first_party_domains,
-                    units,
-                    &key_labels,
+        let mut units = units.into_iter();
+        let grouped: Vec<(&ServiceCapture, Vec<DecodedUnit>)> = dataset
+            .services
+            .iter()
+            .map(|capture| {
+                (
+                    capture,
+                    units.by_ref().take(capture.artifacts.len()).collect(),
                 )
             })
             .collect();
+        let services = par::par_map_owned(threads, grouped, |_, (capture, units)| {
+            assemble_service(
+                capture.spec.name,
+                capture.spec.slug,
+                &capture.spec.first_party_domains,
+                units,
+                &key_labels,
+            )
+        });
         assemble_span.finish();
         AuditOutcome {
             services,
@@ -213,45 +263,70 @@ impl Pipeline {
     /// disk — see [`crate::loader`]).
     pub fn run_inputs(&self, inputs: Vec<ServiceInput>) -> AuditOutcome {
         let _run_span = diffaudit_obs::span("pipeline");
+        let threads = self.threads();
+        let interner = KeyInterner::new();
+
+        // Flatten to per-unit work items, remembering each service's
+        // identity and unit count so the ordered results regroup exactly.
         let extract_span = diffaudit_obs::span("pipeline.extract");
-        let mut decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = Vec::new();
-        let mut unique_keys: BTreeSet<String> = BTreeSet::new();
-        let mut key_occurrences: u64 = 0;
+        let mut meta: Vec<(String, String, Vec<String>, usize)> = Vec::with_capacity(inputs.len());
+        let mut flat: Vec<LoadedUnit> = Vec::new();
         for input in inputs {
-            let service_span = diffaudit_obs::span("pipeline.extract.service");
-            let units: Vec<DecodedUnit> = input.units.into_iter().map(extract_unit).collect();
-            let mut unit_exchanges: u64 = 0;
-            for unit in &units {
-                unit_exchanges += unit.requests.len() as u64;
-                for (_, keys) in &unit.requests {
-                    key_occurrences += keys.len() as u64;
-                    unique_keys.extend(keys.iter().cloned());
-                }
-            }
-            diffaudit_obs::add("pipeline.units", units.len() as u64);
-            diffaudit_obs::add("pipeline.exchanges", unit_exchanges);
-            diffaudit_obs::debug(
-                "service extracted",
-                &[
-                    diffaudit_obs::field("slug", input.slug.as_str()),
-                    diffaudit_obs::field("units", units.len()),
-                    diffaudit_obs::field("exchanges", unit_exchanges),
-                ],
-            );
-            service_span.finish();
-            decoded.push((input.name, input.slug, input.first_party_domains, units));
+            meta.push((
+                input.name,
+                input.slug,
+                input.first_party_domains,
+                input.units.len(),
+            ));
+            flat.extend(input.units);
         }
+        let batch = KeyBatch::new();
+        let units = par::par_map_ctx_owned(
+            threads,
+            flat,
+            UnitCtx::new,
+            |ctx, _, unit| {
+                let unit = ctx
+                    .recorder
+                    .time("pipeline.unit.extract", || extract_unit(unit, &interner));
+                ctx.gather(&unit);
+                unit
+            },
+            |ctx| ctx.finish(&batch),
+        );
+
+        // Per-service counters and progress events, on the main thread in
+        // input order (worker threads never touch the global recorder, so
+        // the event stream stays deterministic).
+        let mut units = units.into_iter();
+        let decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = meta
+            .into_iter()
+            .map(|(name, slug, domains, count)| {
+                let service_units: Vec<DecodedUnit> = units.by_ref().take(count).collect();
+                let unit_exchanges: u64 =
+                    service_units.iter().map(|u| u.requests.len() as u64).sum();
+                diffaudit_obs::add("pipeline.units", service_units.len() as u64);
+                diffaudit_obs::add("pipeline.exchanges", unit_exchanges);
+                diffaudit_obs::debug(
+                    "service extracted",
+                    &[
+                        diffaudit_obs::field("slug", slug.as_str()),
+                        diffaudit_obs::field("units", service_units.len()),
+                        diffaudit_obs::field("exchanges", unit_exchanges),
+                    ],
+                );
+                (name, slug, domains, service_units)
+            })
+            .collect();
         extract_span.finish();
+        let (unique_keys, key_occurrences) = batch.into_parts();
         record_key_stats(key_occurrences, unique_keys.len());
         let key_labels = self.classify_keys(&unique_keys);
         let assemble_span = diffaudit_obs::span("pipeline.assemble");
-        let services = decoded
-            .into_iter()
-            .map(|(name, slug, domains, units)| {
-                let domain_refs: Vec<&str> = domains.iter().map(String::as_str).collect();
-                assemble_service(&name, &slug, &domain_refs, units, &key_labels)
-            })
-            .collect();
+        let services = par::par_map_owned(threads, decoded, |_, (name, slug, domains, units)| {
+            let domain_refs: Vec<&str> = domains.iter().map(String::as_str).collect();
+            assemble_service(&name, &slug, &domain_refs, units, &key_labels)
+        });
         assemble_span.finish();
         AuditOutcome {
             services,
@@ -261,19 +336,16 @@ impl Pipeline {
     }
 
     /// Classify a set of unique raw keys according to the mode.
-    pub fn classify_keys(
-        &self,
-        keys: &BTreeSet<String>,
-    ) -> HashMap<String, Option<DataTypeCategory>> {
+    pub fn classify_keys(&self, keys: &BTreeSet<Key>) -> HashMap<Key, Option<DataTypeCategory>> {
         let _span = diffaudit_obs::span("pipeline.classify");
         match &self.mode {
             ClassificationMode::Oracle(truth) => keys
                 .iter()
-                .map(|k| (k.clone(), truth.get(k).copied()))
+                .map(|k| (k.clone(), truth.get(k.as_ref()).copied()))
                 .collect(),
             ClassificationMode::Ensemble { seed, threshold } => {
                 let ensemble = MajorityEnsemble::new(*seed, ConfidenceAggregation::Average);
-                let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                let refs: Vec<&str> = keys.iter().map(|k| k.as_ref()).collect();
                 let results = ensemble.classify_batch(&refs);
                 keys.iter()
                     .zip(results)
@@ -350,23 +422,84 @@ struct DecodedUnit {
     kind: TraceKind,
     category: TraceCategory,
     /// (exchange, raw keys) per outgoing request.
-    requests: Vec<(Exchange, Vec<String>)>,
+    requests: Vec<(Exchange, Vec<Key>)>,
     opaque_snis: Vec<String>,
     packet_count: usize,
     flow_count: usize,
 }
 
-fn extract_unit(unit: LoadedUnit) -> DecodedUnit {
+/// Per-worker decode/extract context: a private metric recorder plus the
+/// thread's share of the unique-key batch. Merged once at join.
+struct UnitCtx {
+    recorder: diffaudit_obs::LocalRecorder,
+    keys: BTreeSet<Key>,
+    occurrences: u64,
+}
+
+impl UnitCtx {
+    fn new() -> UnitCtx {
+        UnitCtx {
+            recorder: diffaudit_obs::LocalRecorder::new(),
+            keys: BTreeSet::new(),
+            occurrences: 0,
+        }
+    }
+
+    /// Fold one decoded unit's keys into this worker's batch.
+    fn gather(&mut self, unit: &DecodedUnit) {
+        for (_, keys) in &unit.requests {
+            self.occurrences += keys.len() as u64;
+            self.keys.extend(keys.iter().cloned());
+        }
+    }
+
+    /// Merge this worker's batch into the shared one (called at join).
+    fn finish(self, batch: &KeyBatch) {
+        match batch.keys.lock() {
+            Ok(mut shared) => shared.extend(self.keys),
+            Err(poisoned) => poisoned.into_inner().extend(self.keys),
+        }
+        batch
+            .occurrences
+            .fetch_add(self.occurrences, Ordering::Relaxed);
+        diffaudit_obs::absorb(self.recorder);
+    }
+}
+
+/// The shared unique-key accumulator: a deterministic [`BTreeSet`] merge
+/// target (union is order-insensitive, iteration is sorted) plus the raw
+/// occurrence tally. Interned keys make the set membership test a pointer
+/// hash away and the union clone a reference-count bump.
+struct KeyBatch {
+    keys: Mutex<BTreeSet<Key>>,
+    occurrences: AtomicU64,
+}
+
+impl KeyBatch {
+    fn new() -> KeyBatch {
+        KeyBatch {
+            keys: Mutex::new(BTreeSet::new()),
+            occurrences: AtomicU64::new(0),
+        }
+    }
+
+    fn into_parts(self) -> (BTreeSet<Key>, u64) {
+        let keys = match self.keys.into_inner() {
+            Ok(keys) => keys,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (keys, self.occurrences.into_inner())
+    }
+}
+
+/// Extract sorted, deduplicated raw keys from every outgoing request of a
+/// loaded unit. Pure per-unit work — safe to shard over the executor.
+fn extract_unit(unit: LoadedUnit, interner: &KeyInterner) -> DecodedUnit {
     let requests = unit
         .exchanges
         .into_iter()
         .map(|ex| {
-            let mut keys: Vec<String> = extract_request(&ex.request)
-                .into_iter()
-                .map(|e| e.key)
-                .collect();
-            keys.sort();
-            keys.dedup();
+            let keys = extract_keys(&ex, interner);
             (ex, keys)
         })
         .collect();
@@ -381,57 +514,61 @@ fn extract_unit(unit: LoadedUnit) -> DecodedUnit {
     }
 }
 
-fn decode_capture(capture: &ServiceCapture) -> Vec<DecodedUnit> {
-    capture
-        .artifacts
-        .iter()
-        .map(|artifact| {
-            let (exchanges, opaque_snis, packet_count, flow_count) = match artifact.platform {
-                Platform::Web | Platform::Desktop => {
-                    let exchanges = artifact
-                        .har
-                        .as_deref()
-                        .map(|har| har_to_exchanges(har).expect("generated HAR parses"))
-                        .unwrap_or_default();
-                    let n = exchanges.len();
-                    (exchanges, Vec::new(), n, n)
-                }
-                Platform::Mobile => {
-                    let keylog = KeyLog::parse(artifact.keylog.as_deref().unwrap_or(""));
-                    let trace = decode_pcap(artifact.pcap.as_deref().unwrap_or(&[]), &keylog)
-                        .expect("generated pcap decodes");
-                    let opaque = trace.opaque.iter().filter_map(|o| o.sni.clone()).collect();
-                    (
-                        trace.exchanges,
-                        opaque,
-                        trace.packet_count,
-                        trace.flow_count,
-                    )
-                }
-            };
-            let requests = exchanges
-                .into_iter()
-                .map(|ex| {
-                    let mut keys: Vec<String> = extract_request(&ex.request)
-                        .into_iter()
-                        .map(|e| e.key)
-                        .collect();
-                    keys.sort();
-                    keys.dedup();
-                    (ex, keys)
-                })
-                .collect();
-            DecodedUnit {
-                platform: artifact.platform,
-                kind: artifact.kind,
-                category: artifact.category,
-                requests,
-                opaque_snis,
-                packet_count,
-                flow_count,
-            }
+fn extract_keys(ex: &Exchange, interner: &KeyInterner) -> Vec<Key> {
+    let mut keys: Vec<Key> = extract_request(&ex.request)
+        .into_iter()
+        .map(|e| interner.intern(&e.key))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Decode one generated artifact into a [`DecodedUnit`]. Pure per-unit
+/// work — safe to shard over the executor.
+fn decode_artifact(
+    artifact: &diffaudit_services::TraceArtifact,
+    interner: &KeyInterner,
+) -> DecodedUnit {
+    let (exchanges, opaque_snis, packet_count, flow_count) = match artifact.platform {
+        Platform::Web | Platform::Desktop => {
+            let exchanges = artifact
+                .har
+                .as_deref()
+                .map(|har| har_to_exchanges(har).expect("generated HAR parses"))
+                .unwrap_or_default();
+            let n = exchanges.len();
+            (exchanges, Vec::new(), n, n)
+        }
+        Platform::Mobile => {
+            let keylog = KeyLog::parse(artifact.keylog.as_deref().unwrap_or(""));
+            let trace = decode_pcap(artifact.pcap.as_deref().unwrap_or(&[]), &keylog)
+                .expect("generated pcap decodes");
+            let opaque = trace.opaque.iter().filter_map(|o| o.sni.clone()).collect();
+            (
+                trace.exchanges,
+                opaque,
+                trace.packet_count,
+                trace.flow_count,
+            )
+        }
+    };
+    let requests = exchanges
+        .into_iter()
+        .map(|ex| {
+            let keys = extract_keys(&ex, interner);
+            (ex, keys)
         })
-        .collect()
+        .collect();
+    DecodedUnit {
+        platform: artifact.platform,
+        kind: artifact.kind,
+        category: artifact.category,
+        requests,
+        opaque_snis,
+        packet_count,
+        flow_count,
+    }
 }
 
 fn assemble_service(
@@ -439,7 +576,7 @@ fn assemble_service(
     slug: &str,
     first_party_domains: &[&str],
     units: Vec<DecodedUnit>,
-    key_labels: &HashMap<String, Option<DataTypeCategory>>,
+    key_labels: &HashMap<Key, Option<DataTypeCategory>>,
 ) -> ObservedService {
     let mut analyzer = DestinationAnalyzer::new(first_party_domains);
     let observed_units = units

@@ -9,6 +9,11 @@
 //! - **Metrics** — typed counters and fixed-bucket [`Histogram`]s
 //!   (byte volumes, record counts, latencies) collected into a
 //!   [`MetricsSnapshot`] for `--metrics-out` export.
+//! - **Per-thread recorders** — worker threads accumulate counters,
+//!   histograms, and span timings into private [`LocalRecorder`]s and
+//!   merge them associatively into the global registry at join
+//!   ([`absorb`]), so parallel stages produce the same snapshot as the
+//!   serial path without taking the global lock per operation.
 //! - **Events** — a leveled structured logging API
 //!   ([`error`]/[`warn`]/[`info`]/[`debug`]) with typed `key=value`
 //!   fields.
@@ -39,7 +44,7 @@ pub use metrics::{
     estimate_quantile, Histogram, Metrics, MetricsSnapshot, SpanStats, BYTE_BOUNDS,
     LATENCY_US_BOUNDS, RECORD_BOUNDS,
 };
-pub use recorder::{ObsConfig, Recorder, SpanGuard};
+pub use recorder::{LocalRecorder, ObsConfig, Recorder, SpanGuard};
 pub use report::{render_run_report, SALVAGE_PREFIX};
 pub use sink::{write_stderr_block, JsonlSink};
 pub use trace::{render_trace_report, SpanTree, TraceLog, TraceReportOptions};
@@ -91,6 +96,12 @@ pub fn observe(name: &str, bounds: &[u64], value: u64) {
 /// Snapshot the global recorder's metrics.
 pub fn snapshot() -> MetricsSnapshot {
     global().snapshot()
+}
+
+/// Merge a worker thread's [`LocalRecorder`] into the global registry
+/// (call once per worker, at join).
+pub fn absorb(local: LocalRecorder) {
+    global().absorb(local);
 }
 
 /// Flush the global trace sink.

@@ -100,6 +100,41 @@ impl Histogram {
         estimate_quantile(&buckets, self.count, self.min()?, self.max()?, q)
     }
 
+    /// Merge another histogram into this one. With identical bounds (the
+    /// common case — every call site uses one of the fixed bound tables)
+    /// the merge is exact: bucket-wise count addition, saturating sum, and
+    /// min/max folding, so merging per-thread histograms at join yields the
+    /// same registry the serial path builds. Mismatched bounds degrade
+    /// gracefully: each foreign bucket is re-bucketed at its upper bound
+    /// (the overflow bucket at the observed max), preserving count, sum,
+    /// and extrema exactly and bucket placement approximately.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.bounds == other.bounds {
+            for (slot, n) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *slot = slot.saturating_add(*n);
+            }
+        } else {
+            for (bound, n) in other.buckets() {
+                let value = bound.unwrap_or(other.max);
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(self.bounds.len());
+                if let Some(slot) = self.counts.get_mut(idx) {
+                    *slot = slot.saturating_add(n);
+                }
+            }
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// JSON representation (part of the `--metrics-out` document).
     pub fn to_json(&self) -> Json {
         let buckets: Vec<Json> = self
@@ -202,6 +237,24 @@ impl SpanStats {
         self.max_us = self.max_us.max(dur_us);
     }
 
+    /// Merge another aggregate into this one (counts and totals add,
+    /// extrema fold). An empty side is the identity, so the merge is
+    /// associative and commutative — per-thread span stats can join in any
+    /// order and still equal the serial aggregate.
+    pub fn merge_from(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// JSON representation.
     pub fn to_json(&self) -> Json {
         Json::obj()
@@ -249,6 +302,31 @@ impl Metrics {
             .entry(name.to_string())
             .or_default()
             .record(dur_us);
+    }
+
+    /// Merge another registry into this one: counters add, histograms
+    /// merge bucket-wise ([`Histogram::merge_from`]), span stats fold
+    /// ([`SpanStats::merge_from`]). This is the join step of the
+    /// per-thread recorder design — each worker accumulates into a private
+    /// [`Metrics`] and the batches merge associatively here, so the final
+    /// snapshot is independent of thread count and join order.
+    pub fn merge_from(&mut self, other: Metrics) {
+        for (name, value) in other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, histogram) in other.histograms {
+            match self.histograms.entry(name) {
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    entry.get_mut().merge_from(&histogram);
+                }
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    entry.insert(histogram);
+                }
+            }
+        }
+        for (name, stats) in other.spans {
+            self.spans.entry(name).or_default().merge_from(&stats);
+        }
     }
 
     /// Current value of counter `name` (zero when absent).
@@ -420,6 +498,97 @@ mod tests {
         assert_eq!(s.total_us, 16);
         assert_eq!(s.min_us, 2);
         assert_eq!(s.max_us, 9);
+    }
+
+    #[test]
+    fn histogram_merge_matches_serial_recording() {
+        let values_a = [3u64, 40, 500, 20_000];
+        let values_b = [7u64, 11, 90_000, 12];
+        let mut serial = Histogram::new(&LATENCY_US_BOUNDS);
+        for v in values_a.iter().chain(values_b.iter()) {
+            serial.record(*v);
+        }
+        let mut a = Histogram::new(&LATENCY_US_BOUNDS);
+        let mut b = Histogram::new(&LATENCY_US_BOUNDS);
+        for v in values_a {
+            a.record(v);
+        }
+        for v in values_b {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, serial);
+        // Merging an empty histogram is the identity.
+        a.merge_from(&Histogram::new(&LATENCY_US_BOUNDS));
+        assert_eq!(a, serial);
+        // And merging *into* an empty one copies the distribution.
+        let mut empty = Histogram::new(&LATENCY_US_BOUNDS);
+        empty.merge_from(&serial);
+        assert_eq!(empty, serial);
+    }
+
+    #[test]
+    fn histogram_merge_rebuckets_on_bound_mismatch() {
+        let mut coarse = Histogram::new(&[100]);
+        coarse.record(5);
+        let mut fine = Histogram::new(&[10, 100]);
+        fine.record(50);
+        fine.record(2_000); // overflow in the fine histogram
+        coarse.merge_from(&fine);
+        assert_eq!(coarse.count(), 3);
+        assert_eq!(coarse.sum(), 2_055);
+        assert_eq!(coarse.min(), Some(5));
+        assert_eq!(coarse.max(), Some(2_000));
+        // Conservation: buckets still account for every observation.
+        let bucket_total: u64 = coarse.buckets().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, coarse.count());
+    }
+
+    #[test]
+    fn span_stats_merge_folds_extrema() {
+        let mut a = SpanStats::default();
+        a.record(5);
+        a.record(30);
+        let mut b = SpanStats::default();
+        b.record(2);
+        let mut merged = SpanStats::default();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        merged.merge_from(&SpanStats::default());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.total_us, 37);
+        assert_eq!(merged.min_us, 2);
+        assert_eq!(merged.max_us, 30);
+    }
+
+    #[test]
+    fn metrics_merge_is_join_order_independent() {
+        let make = |seed: u64| {
+            let mut m = Metrics::new();
+            m.add("units", seed);
+            m.observe("latency", &LATENCY_US_BOUNDS, seed * 100);
+            m.span_done("decode", seed * 10);
+            m
+        };
+        let mut forward = Metrics::new();
+        forward.merge_from(make(1));
+        forward.merge_from(make(2));
+        forward.merge_from(make(3));
+        let mut backward = Metrics::new();
+        backward.merge_from(make(3));
+        backward.merge_from(make(2));
+        backward.merge_from(make(1));
+        assert_eq!(forward.counter("units"), 6);
+        assert_eq!(backward.counter("units"), 6);
+        let snap = |m: &Metrics| {
+            MetricsSnapshot {
+                metrics: m.clone(),
+                uptime_us: 0,
+            }
+            .to_json()
+            .to_pretty_string()
+        };
+        assert_eq!(snap(&forward), snap(&backward));
     }
 
     #[test]

@@ -195,6 +195,73 @@ impl Recorder {
             trace.flush();
         }
     }
+
+    /// Merge a worker thread's [`LocalRecorder`] into this recorder's
+    /// registry (one lock acquisition per worker, at join). Counters add,
+    /// histograms merge bucket-wise, span stats fold — see
+    /// [`Metrics::merge_from`] — so the final snapshot equals the serial
+    /// run's regardless of thread count or join order.
+    pub fn absorb(&self, local: LocalRecorder) {
+        lock_inner(self).metrics.merge_from(local.into_metrics());
+    }
+}
+
+/// A private, lock-free metric recorder for one worker thread.
+///
+/// The global [`Recorder`] serializes every `add`/`observe` behind a mutex
+/// and threads a *single* span stack through the trace sink — fine for the
+/// serial pipeline, hostile to a parallel one. Workers instead accumulate
+/// into a `LocalRecorder` (plain owned [`Metrics`], no lock, no trace
+/// writes, no global span stack) and merge once at join via
+/// [`Recorder::absorb`]. Timing spans recorded here feed the same
+/// `SpanStats` + `{name}.us` latency histogram pair the global
+/// [`Recorder::enter`] guard produces, so per-unit work is indistinguishable
+/// in the snapshot from work timed on the main thread.
+#[derive(Debug, Default)]
+pub struct LocalRecorder {
+    metrics: Metrics,
+}
+
+impl LocalRecorder {
+    /// Empty recorder.
+    pub fn new() -> LocalRecorder {
+        LocalRecorder::default()
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        self.metrics.add(name, n);
+    }
+
+    /// Record `value` into histogram `name` over `bounds`.
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.metrics.observe(name, bounds, value);
+    }
+
+    /// Time `f` as a completed span named `name`: records the duration into
+    /// the span aggregate and the `{name}.us` latency histogram, mirroring
+    /// what dropping a global span guard does (minus the trace record —
+    /// workers never write the trace, which keeps its `seq` stream and
+    /// parent attribution single-threaded).
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let dur_us = elapsed_us(start);
+        self.metrics.span_done(name, dur_us);
+        self.metrics
+            .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
+        out
+    }
+
+    /// Borrow the accumulated registry (tests).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consume the recorder, yielding its registry for merging.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
 }
 
 fn elapsed_us(since: Instant) -> u64 {
@@ -298,6 +365,61 @@ mod tests {
         // into the trace when one is attached later.
         rec.event(Level::Debug, "quiet", &[field("k", 1u64)]);
         assert_eq!(rec.snapshot().metrics.counters().count(), 0);
+    }
+
+    #[test]
+    fn local_recorders_absorb_like_direct_recording() {
+        let direct = Recorder::new();
+        direct.add("units", 3);
+        direct.add("units", 2);
+        direct.observe("exchanges", &crate::metrics::RECORD_BOUNDS, 7);
+        direct.observe("exchanges", &crate::metrics::RECORD_BOUNDS, 900);
+
+        let absorbed = Recorder::new();
+        let mut a = LocalRecorder::new();
+        a.add("units", 3);
+        a.observe("exchanges", &crate::metrics::RECORD_BOUNDS, 7);
+        let mut b = LocalRecorder::new();
+        b.add("units", 2);
+        b.observe("exchanges", &crate::metrics::RECORD_BOUNDS, 900);
+        absorbed.absorb(b);
+        absorbed.absorb(a);
+
+        let left = direct.snapshot().metrics;
+        let right = absorbed.snapshot().metrics;
+        assert_eq!(left.counter("units"), right.counter("units"));
+        let hist = |m: &Metrics| {
+            m.histograms()
+                .find(|(n, _)| *n == "exchanges")
+                .map(|(_, h)| h.clone())
+                .unwrap()
+        };
+        assert_eq!(hist(&left), hist(&right));
+    }
+
+    #[test]
+    fn local_time_feeds_span_stats_and_latency_histogram() {
+        let mut local = LocalRecorder::new();
+        let out = local.time("unit.decode", || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            42
+        });
+        assert_eq!(out, 42);
+        let rec = Recorder::new();
+        rec.absorb(local);
+        let snap = rec.snapshot();
+        let stats = snap
+            .metrics
+            .spans()
+            .find(|(n, _)| *n == "unit.decode")
+            .map(|(_, s)| *s)
+            .unwrap();
+        assert_eq!(stats.count, 1);
+        assert!(stats.total_us >= 1_000, "slept ≥1ms: {stats:?}");
+        assert!(snap
+            .metrics
+            .histograms()
+            .any(|(n, _)| n == "unit.decode.us"));
     }
 
     #[test]

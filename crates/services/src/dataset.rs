@@ -100,16 +100,55 @@ pub struct GeneratedDataset {
 pub const CAMPAIGN_START_MS: u64 = 1_696_237_200_000;
 
 /// Generate the full dataset.
+///
+/// Two phases. Exchange *generation* is serial by necessity: the shared
+/// [`KeyFactory`] disambiguates cross-service spelling collisions in
+/// first-seen order, so the campaign walks services and units in one fixed
+/// sequence to keep every key name (and the ground truth) bit-stable.
+/// Unit *packaging* — HAR serialization, or the pcap/TLS capture
+/// simulation seeded per `(seed, slug, unit_index)` — is pure per-unit
+/// work, so all services' units package concurrently over the scoped
+/// executor (thread count from [`diffaudit_util::par::default_threads`],
+/// i.e. the `--threads` flag; 1 forces the serial path). Results return in
+/// input order, so artifacts are byte-identical at any thread count.
 pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
     let root = Rng::new(options.seed);
     let mut factory = KeyFactory::new();
-    let mut services = Vec::new();
+    let mut specs: Vec<ServiceSpec> = Vec::new();
+    let mut pending: Vec<(usize, PendingUnit)> = Vec::new();
     for spec in all_services() {
         if !options.services.is_empty() && !options.services.iter().any(|s| s == spec.slug) {
             continue;
         }
-        let capture = generate_service(&spec, options, &root, &mut factory);
-        services.push(capture);
+        let service_index = specs.len();
+        let units = generate_service_units(&spec, options, &root, &mut factory);
+        pending.extend(units.into_iter().map(|unit| (service_index, unit)));
+        specs.push(spec);
+    }
+    let packaged = diffaudit_util::par::par_map_owned(
+        diffaudit_util::par::default_threads(),
+        pending,
+        |_, (service_index, unit)| {
+            let artifact = match specs.get(service_index) {
+                Some(spec) => package_unit(spec, options, unit),
+                // Unreachable: every pending unit was minted with its
+                // spec's index. Skipping keeps the closure panic-free.
+                None => return None,
+            };
+            Some((service_index, artifact))
+        },
+    );
+    let mut services: Vec<ServiceCapture> = specs
+        .iter()
+        .map(|spec| ServiceCapture {
+            spec: spec.clone(),
+            artifacts: Vec::new(),
+        })
+        .collect();
+    for (service_index, artifact) in packaged.into_iter().flatten() {
+        if let Some(capture) = services.get_mut(service_index) {
+            capture.artifacts.push(artifact);
+        }
     }
     GeneratedDataset {
         services,
@@ -119,14 +158,48 @@ pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
 }
 
 /// Generate one service's capture (callable separately so the full-scale
-/// benchmark can process services one at a time).
+/// benchmark can process services one at a time). Exchange generation is
+/// serial (see [`generate_dataset`]); this service's units still package
+/// in parallel.
 pub fn generate_service(
     spec: &ServiceSpec,
     options: &DatasetOptions,
     root: &Rng,
     factory: &mut KeyFactory,
 ) -> ServiceCapture {
-    let mut artifacts = Vec::new();
+    let units = generate_service_units(spec, options, root, factory);
+    let artifacts = diffaudit_util::par::par_map_owned(
+        diffaudit_util::par::default_threads(),
+        units,
+        |_, unit| package_unit(spec, options, unit),
+    );
+    ServiceCapture {
+        spec: spec.clone(),
+        artifacts,
+    }
+}
+
+/// One unit's generated exchanges, awaiting packaging into an artifact.
+struct PendingUnit {
+    platform: Platform,
+    kind: TraceKind,
+    category: TraceCategory,
+    exchanges: Vec<Exchange>,
+    /// The campaign-order index packaging uses for per-unit capture seeds
+    /// (1-based, matching the pre-parallel packaging order).
+    unit_index: u64,
+}
+
+/// Serial phase: run the campaign's unit walk for one service, producing
+/// every unit's exchanges (and growing the shared key ground truth) in the
+/// fixed platform × category × kind order.
+fn generate_service_units(
+    spec: &ServiceSpec,
+    options: &DatasetOptions,
+    root: &Rng,
+    factory: &mut KeyFactory,
+) -> Vec<PendingUnit> {
+    let mut units = Vec::new();
     // Shared per-category state (destination pools, linkability caps).
     let mut states: HashMap<TraceCategory, TraceState> = TraceCategory::ALL
         .iter()
@@ -154,28 +227,30 @@ pub fn generate_service(
                     start_ms,
                     options.volume_scale,
                 );
-                let artifact = package_unit(
-                    spec, platform, kind, category, exchanges, options, unit_index,
-                );
-                artifacts.push(artifact);
+                units.push(PendingUnit {
+                    platform,
+                    kind,
+                    category,
+                    exchanges,
+                    unit_index,
+                });
             }
         }
     }
-    ServiceCapture {
-        spec: spec.clone(),
-        artifacts,
-    }
+    units
 }
 
-fn package_unit(
-    spec: &ServiceSpec,
-    platform: Platform,
-    kind: TraceKind,
-    category: TraceCategory,
-    exchanges: Vec<Exchange>,
-    options: &DatasetOptions,
-    unit_index: u64,
-) -> TraceArtifact {
+/// Parallel phase: package one unit's exchanges into its capture artifact.
+/// Pure per-unit work — the mobile capture seed derives only from the
+/// dataset seed, the service slug, and the unit's campaign index.
+fn package_unit(spec: &ServiceSpec, options: &DatasetOptions, unit: PendingUnit) -> TraceArtifact {
+    let PendingUnit {
+        platform,
+        kind,
+        category,
+        exchanges,
+        unit_index,
+    } = unit;
     let exchange_count = exchanges.len();
     let age = category.age_group();
     match platform {

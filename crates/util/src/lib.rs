@@ -23,14 +23,19 @@
 //! - [`stats`] — small descriptive-statistics helpers for the benchmark
 //!   harness (means, percentiles, histograms).
 //! - [`fmt`] — human-readable duration/byte formatting for reports and logs.
+//! - [`par`] — std-only scoped-thread fork-join executor with ordered
+//!   result merge, the process-wide thread-count default behind the
+//!   `--threads` flag, and the hash-consed [`par::KeyInterner`].
 
 pub mod base64;
 pub mod bytes;
 pub mod fmt;
 pub mod hash;
 pub mod hex;
+pub mod par;
 pub mod rng;
 pub mod stats;
 
 pub use hash::fnv1a64;
+pub use par::{Key, KeyInterner};
 pub use rng::Rng;

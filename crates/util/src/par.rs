@@ -1,0 +1,364 @@
+//! Scoped-thread fork-join execution and hash-consed key interning.
+//!
+//! The audit pipeline is embarrassingly parallel per capture unit, but the
+//! workspace is dependency-free by design, so this module builds the whole
+//! parallel substrate from `std` alone:
+//!
+//! - a fork-join executor over `std::thread::scope` with an atomic
+//!   work-stealing cursor ([`par_map_indexed`], [`par_map_owned`],
+//!   [`par_map_ctx`], [`par_map_ctx_owned`]) — results always come back in
+//!   input order, so downstream output is byte-identical regardless of the
+//!   thread count;
+//! - a process-wide thread-count default ([`set_default_threads`] /
+//!   [`default_threads`]) that the `--threads N` CLI flag feeds;
+//! - a [`KeyInterner`] that hash-conses raw payload keys into shared
+//!   [`Key`] (`Arc<str>`) handles, so the ~73k key occurrences funneling
+//!   into ~29.5k unique keys stop cloning `String`s through
+//!   extract → classify → observed exchanges.
+//!
+//! Ownership rules for interned keys: the interner hands out clones of one
+//! canonical `Arc<str>` per distinct spelling. Clones are reference-count
+//! bumps, comparisons and ordering delegate to the underlying `str`, and a
+//! `BTreeSet<Key>` therefore sorts exactly like a `BTreeSet<String>` —
+//! the property the deterministic unique-key merge relies on.
+//!
+//! Everything here is `unsafe`-free and panic-free: worker panics are
+//! re-raised on the caller thread via `std::panic::resume_unwind`, so a
+//! failing closure behaves exactly as it would have on the serial path.
+
+use std::collections::HashSet;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The process-wide default thread count. Zero means "auto": resolve to
+/// [`available_threads`] at call time.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The machine's available parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Set the process-wide default thread count used by [`default_threads`].
+/// `0` restores the "auto" behaviour (use [`available_threads`]); any other
+/// value is taken as-is, so `set_default_threads(1)` forces the serial path
+/// everywhere that does not override threads explicitly.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The effective default thread count: the last value passed to
+/// [`set_default_threads`], or [`available_threads`] when unset (or set
+/// to zero).
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => available_threads(),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped threads, returning the
+/// results in input order. `threads <= 1` (or fewer than two items) runs
+/// inline on the caller thread — the serial path, bit-for-bit identical.
+pub fn par_map_indexed<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_ctx(
+        threads,
+        items,
+        || (),
+        |(), index, item| f(index, item),
+        |()| {},
+    )
+}
+
+/// Like [`par_map_indexed`], but consuming `items`: each element is handed
+/// to `f` by value exactly once. Ownership transfer is mediated by a
+/// per-item `Mutex<Option<T>>` slot, which keeps the executor `unsafe`-free.
+pub fn par_map_owned<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_ctx_owned(
+        threads,
+        items,
+        || (),
+        |(), index, item| f(index, item),
+        |()| {},
+    )
+}
+
+/// Context-carrying variant of [`par_map_indexed`]: every worker thread
+/// builds one context with `make`, threads it through each `f` call, and
+/// hands it to `finish` after its last item. The pipeline uses the context
+/// for per-thread metric recorders and key batches that merge once at join
+/// instead of contending on a lock per item.
+pub fn par_map_ctx<T, C, R, M, F, D>(
+    threads: usize,
+    items: &[T],
+    make: M,
+    f: F,
+    finish: D,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+    D: Fn(C) + Sync,
+{
+    let refs: Vec<&T> = items.iter().collect();
+    par_map_ctx_owned(
+        threads,
+        refs,
+        make,
+        |ctx, index, item| f(ctx, index, item),
+        finish,
+    )
+}
+
+/// Context-carrying, ownership-consuming core of the executor. Workers race
+/// an atomic cursor over the item slots (work stealing: a slow item never
+/// blocks the others), each claimed item is mapped with the worker's
+/// context, and the per-worker result batches are reassembled in input
+/// order before returning.
+pub fn par_map_ctx_owned<T, C, R, M, F, D>(
+    threads: usize,
+    items: Vec<T>,
+    make: M,
+    f: F,
+    finish: D,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, T) -> R + Sync,
+    D: Fn(C) + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        let mut ctx = make();
+        let out: Vec<R> = items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut ctx, index, item))
+            .collect();
+        finish(ctx);
+        return out;
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let total = slots.len();
+
+    let mut batches: Vec<std::thread::Result<Vec<(usize, R)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ctx = make();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(index) else {
+                            break;
+                        };
+                        let item = match slot.lock() {
+                            Ok(mut guard) => guard.take(),
+                            Err(poisoned) => poisoned.into_inner().take(),
+                        };
+                        if let Some(item) = item {
+                            out.push((index, f(&mut ctx, index, item)));
+                        }
+                    }
+                    finish(ctx);
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            batches.push(handle.join());
+        }
+    });
+
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(total);
+    for batch in batches {
+        match batch {
+            Ok(part) => pairs.extend(part),
+            // Re-raise a worker panic on the caller thread, exactly as the
+            // serial path would have.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    pairs.sort_unstable_by_key(|(index, _)| *index);
+    pairs.into_iter().map(|(_, result)| result).collect()
+}
+
+/// A hash-consed raw payload key: one shared allocation per distinct
+/// spelling. Ordering and hashing delegate to the underlying `str`.
+pub type Key = Arc<str>;
+
+/// Hash-consing table for raw payload keys (see [`Key`]).
+///
+/// `intern` is `&self` and internally locked, so worker threads can share
+/// one interner by reference; the canonical `Arc<str>` for a spelling is
+/// created at most once and every later occurrence is a reference-count
+/// bump instead of a fresh `String`.
+#[derive(Debug, Default)]
+pub struct KeyInterner {
+    strings: Mutex<HashSet<Key>>,
+}
+
+impl KeyInterner {
+    /// Empty interner.
+    pub fn new() -> KeyInterner {
+        KeyInterner::default()
+    }
+
+    /// The canonical [`Key`] for `s`, creating it on first sight.
+    pub fn intern(&self, s: &str) -> Key {
+        let mut strings = match self.strings.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match strings.get(s) {
+            Some(key) => key.clone(),
+            None => {
+                let key: Key = Arc::from(s);
+                strings.insert(key.clone());
+                key
+            }
+        }
+    }
+
+    /// Number of distinct spellings interned so far.
+    pub fn len(&self) -> usize {
+        match self.strings.lock() {
+            Ok(guard) => guard.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 9] {
+            let out = par_map_indexed(threads, &items, |i, &v| {
+                assert_eq!(i as u64, v);
+                v * 2
+            });
+            let expected: Vec<u64> = items.iter().map(|v| v * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn owned_variant_consumes_each_item_exactly_once() {
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let out = par_map_owned(4, items.clone(), |_, s| s);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn contexts_are_made_and_finished_per_worker() {
+        use std::sync::atomic::AtomicU64;
+        let made = AtomicU64::new(0);
+        let finished = AtomicU64::new(0);
+        let summed = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        let out = par_map_ctx(
+            4,
+            &items,
+            || {
+                made.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, _, &v| {
+                *acc += v;
+                v
+            },
+            |acc| {
+                finished.fetch_add(1, Ordering::Relaxed);
+                summed.fetch_add(acc, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(
+            made.load(Ordering::Relaxed),
+            finished.load(Ordering::Relaxed)
+        );
+        assert_eq!(summed.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_run_inline() {
+        let none: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(8, &none, |_, &v| v).is_empty());
+        assert_eq!(par_map_indexed(8, &[7u8], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_threads_round_trips() {
+        // The default is process-global; restore "auto" afterwards.
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0);
+        assert_eq!(default_threads(), available_threads());
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn interner_returns_one_allocation_per_spelling() {
+        let interner = KeyInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("user_email");
+        let b = interner.intern("user_email");
+        let c = interner.intern("device_id");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn interned_keys_sort_like_strings() {
+        let interner = KeyInterner::new();
+        let mut keys = vec![
+            interner.intern("zeta"),
+            interner.intern("alpha"),
+            interner.intern("midway"),
+        ];
+        keys.sort();
+        let spellings: Vec<&str> = keys.iter().map(|k| k.as_ref()).collect();
+        assert_eq!(spellings, ["alpha", "midway", "zeta"]);
+    }
+
+    #[test]
+    fn interner_is_shareable_across_threads() {
+        let interner = KeyInterner::new();
+        let items: Vec<usize> = (0..200).collect();
+        let keys = par_map_indexed(4, &items, |_, &i| {
+            interner.intern(&format!("key-{}", i % 10))
+        });
+        assert_eq!(interner.len(), 10);
+        assert_eq!(keys.len(), 200);
+    }
+}

@@ -41,6 +41,15 @@ echo "==> obs trace report (span tree reconstructs from the smoke trace)"
 grep -q '^root audit: total ' "$obs_tmp/trace_report.txt"
 grep -q '^critical path:' "$obs_tmp/trace_report.txt"
 
+echo "==> parallel consistency (--threads 1 vs --threads 4: counters must match)"
+./target/release/pipeline_metrics --scale 0.05 --threads 1 --out "$obs_tmp/serial.json"
+./target/release/pipeline_metrics --scale 0.05 --threads 4 --out "$obs_tmp/parallel.json"
+./target/release/diffaudit obs diff "$obs_tmp/serial.json" "$obs_tmp/parallel.json" \
+    | tee "$obs_tmp/threads_diff.txt"
+# Wall-time deltas above are advisory; counter deltas are a correctness bug.
+grep -q 'counters: .*, 0 changed' "$obs_tmp/threads_diff.txt" \
+    || { echo "counters diverge between --threads 1 and --threads 4"; exit 1; }
+
 echo "==> perf regression vs BENCH_pipeline.json (advisory: exit 2 warns, exit 1 fails)"
 ./target/release/pipeline_metrics --out "$obs_tmp/current.json"
 set +e
