@@ -97,25 +97,27 @@ pub fn parse(file: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>)
         let lineno = idx + 1;
         let annotation = &line[comment_pos..];
         let Some((lint, reason)) = parse_body(annotation) else {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: Lint::Annotation,
-                message: format!(
+            findings.push(Finding::new(
+                file.to_string(),
+                lineno,
+                Lint::Annotation,
+                format!(
                     "malformed lint:allow annotation {:?}; expected \
-                     `// lint:allow(<no-panic|unsafe-audit|error-taxonomy>): <reason>`",
+                     `// lint:allow(<lint-name>): <reason>` where <lint-name> is one of \
+                     no-panic, unsafe-audit, error-taxonomy, no-bare-eprintln, \
+                     global-state, redaction, par-discipline",
                     annotation.trim()
                 ),
-            });
+            ));
             continue;
         };
         if reason.trim().is_empty() {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: Lint::Annotation,
-                message: "lint:allow annotation is missing its reason".to_string(),
-            });
+            findings.push(Finding::new(
+                file.to_string(),
+                lineno,
+                Lint::Annotation,
+                "lint:allow annotation is missing its reason".to_string(),
+            ));
             continue;
         }
 
@@ -134,12 +136,12 @@ pub fn parse(file: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>)
             .find(|(_, s)| !s.trim().is_empty())
             .map(|(i, _)| i)
         else {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: Lint::Annotation,
-                message: "lint:allow annotation at end of file exempts nothing".to_string(),
-            });
+            findings.push(Finding::new(
+                file.to_string(),
+                lineno,
+                Lint::Annotation,
+                "lint:allow annotation at end of file exempts nothing".to_string(),
+            ));
             continue;
         };
         let end_idx = if starts_fn_item(stripped_lines[target_idx]) {

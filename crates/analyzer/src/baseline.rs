@@ -1,0 +1,172 @@
+//! The ratcheted baseline: new findings fail, known findings are tolerated
+//! (but counted), and the committed file may only shrink.
+//!
+//! The baseline is the analyzer's own `--format json` output committed at
+//! `analyzer_baseline.json`. Diffing matches findings on `(file, lint,
+//! message)` — **line numbers are ignored**, so unrelated edits that shift
+//! a tolerated finding up or down the file do not trip the gate. Matching
+//! is multiset-aware: two identical findings in one file need two baseline
+//! entries.
+//!
+//! On a clean tree the committed baseline is empty (`"count": 0`); the
+//! ratchet then degenerates to "any finding fails", which is the intended
+//! end state. The machinery exists so a future PR that *introduces* a
+//! to-be-fixed finding can land without weakening the gate for everything
+//! else.
+
+use crate::findings::Finding;
+use diffaudit_json::Json;
+use std::collections::HashMap;
+
+/// One baseline entry: the identity of a tolerated finding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BaselineKey {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Lint name (e.g. `no-panic`).
+    pub lint: String,
+    /// Full finding message.
+    pub message: String,
+}
+
+/// The result of diffing current findings against a baseline.
+#[derive(Debug)]
+pub struct BaselineDiff {
+    /// Findings not present in the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Baseline entries no longer observed — the ratchet can shrink.
+    pub fixed: Vec<BaselineKey>,
+    /// Findings matched by the baseline (tolerated).
+    pub tolerated: usize,
+}
+
+/// Parse a baseline document (the analyzer's own `--format json` output).
+pub fn parse_baseline(doc: &str) -> Result<Vec<BaselineKey>, String> {
+    let parsed =
+        diffaudit_json::parse(doc).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let Some(items) = parsed.get("findings").and_then(Json::as_arr) else {
+        return Err("baseline has no `findings` array".to_string());
+    };
+    let mut keys = Vec::with_capacity(items.len());
+    for (idx, item) in items.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            item.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline finding #{idx} is missing `{name}`"))
+        };
+        keys.push(BaselineKey {
+            file: field("file")?,
+            lint: field("lint")?,
+            message: field("message")?,
+        });
+    }
+    Ok(keys)
+}
+
+/// Diff `current` findings against `baseline` keys (multiset semantics).
+pub fn diff(current: &[Finding], baseline: &[BaselineKey]) -> BaselineDiff {
+    let mut budget: HashMap<BaselineKey, usize> = HashMap::new();
+    for key in baseline {
+        *budget.entry(key.clone()).or_insert(0) += 1;
+    }
+    let mut new = Vec::new();
+    let mut tolerated = 0usize;
+    for finding in current {
+        let (file, lint, message) = finding.baseline_key();
+        let key = BaselineKey {
+            file,
+            lint: lint.to_string(),
+            message,
+        };
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                tolerated += 1;
+            }
+            _ => new.push(finding.clone()),
+        }
+    }
+    let mut fixed: Vec<BaselineKey> = budget
+        .into_iter()
+        .flat_map(|(key, n)| std::iter::repeat_n(key, n))
+        .collect();
+    fixed.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.lint.cmp(&b.lint))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    BaselineDiff {
+        new,
+        fixed,
+        tolerated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Lint;
+    use crate::report::render_json;
+
+    fn finding(file: &str, line: usize, message: &str) -> Finding {
+        Finding::new(file, line, Lint::NoPanic, message.to_string())
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_json() {
+        let findings = vec![
+            finding("a.rs", 10, "msg one"),
+            finding("b.rs", 20, "msg two"),
+        ];
+        let keys = parse_baseline(&render_json(&findings)).expect("parses");
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[0].file, "a.rs");
+        assert_eq!(keys[0].lint, "no-panic");
+        assert_eq!(keys[1].message, "msg two");
+    }
+
+    #[test]
+    fn line_shifts_do_not_count_as_new() {
+        let baseline = parse_baseline(&render_json(&[finding("a.rs", 10, "m")])).unwrap();
+        let d = diff(&[finding("a.rs", 99, "m")], &baseline);
+        assert!(d.new.is_empty(), "{:?}", d.new);
+        assert_eq!(d.tolerated, 1);
+        assert!(d.fixed.is_empty());
+    }
+
+    #[test]
+    fn unbaselined_findings_are_new_and_fixed_entries_surface() {
+        let baseline = parse_baseline(&render_json(&[finding("a.rs", 1, "old")])).unwrap();
+        let d = diff(&[finding("b.rs", 2, "brand new")], &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].file, "b.rs");
+        assert_eq!(d.fixed.len(), 1);
+        assert_eq!(d.fixed[0].message, "old");
+    }
+
+    #[test]
+    fn duplicate_findings_need_duplicate_baseline_entries() {
+        let baseline = parse_baseline(&render_json(&[finding("a.rs", 1, "m")])).unwrap();
+        let current = vec![finding("a.rs", 1, "m"), finding("a.rs", 50, "m")];
+        let d = diff(&current, &baseline);
+        assert_eq!(d.tolerated, 1);
+        assert_eq!(d.new.len(), 1, "second occurrence is new");
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"count\": 0}").is_err());
+        assert!(parse_baseline("{\"findings\": [{\"file\": \"a\"}]}").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_fails_everything() {
+        let baseline = parse_baseline(&render_json(&[])).unwrap();
+        let d = diff(&[finding("a.rs", 1, "m")], &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.tolerated, 0);
+    }
+}

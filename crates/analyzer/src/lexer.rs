@@ -339,6 +339,76 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_at_any_hash_depth() {
+        // Depth 0, 2, and 3 — a lower-depth terminator inside must not
+        // close a higher-depth raw string.
+        let src = "let a = r\"panic!\"; let b = r##\"x \"# unwrap()\"##; b.len();";
+        let out = strip(src);
+        assert_eq!(out.len(), src.len());
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("b.len();"));
+
+        let deep = "let c = r###\"inner \"## still .unwrap()\"###; c.unwrap();";
+        let out = strip(deep);
+        assert_eq!(out.len(), deep.len());
+        assert_eq!(out.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let src = "let a = br#\"panic! \"q\" unwrap()\"#; a.unwrap();";
+        let out = strip(src);
+        assert_eq!(out.len(), src.len());
+        assert!(!out.contains("panic"));
+        assert_eq!(out.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn triply_nested_block_comments() {
+        let src = "a /* 1 /* 2 /* 3 unwrap() */ panic! */ eprintln! */ b.len();";
+        let out = strip(src);
+        assert_eq!(out.len(), src.len());
+        for needle in ["unwrap", "panic", "eprintln"] {
+            assert!(!out.contains(needle), "{needle} survived: {out}");
+        }
+        assert!(out.contains("b.len();"));
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char_literal() {
+        // `'static` must not open a char literal and swallow `.unwrap()`;
+        // a real char `'s'` right next to it must still blank.
+        let src = "fn f(x: &'static str) { x.unwrap(); let c = 's'; c.is_alphabetic(); }";
+        let out = strip(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches(".unwrap()").count(), 1);
+        assert!(out.contains("'static"));
+        assert!(out.contains("c.is_alphabetic()"));
+        assert!(!out.contains("'s'"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_and_quotes_inside_comments() {
+        // A `/*` inside a string is text; a `"` inside a comment is not a
+        // string opener — mixing them up desynchronizes everything after.
+        let src = "let s = \"/* not a comment\"; /* \" */ tail.unwrap();";
+        let out = strip(src);
+        assert_eq!(out.len(), src.len());
+        assert_eq!(out.matches(".unwrap()").count(), 1);
+        assert!(out.contains("tail"));
+    }
+
+    #[test]
+    fn strip_strings_only_keeps_comments() {
+        let src = "x.len(); // note: unwrap() here\nlet s = \"unwrap()\";\n";
+        let out = strip_strings_only(src);
+        assert_eq!(out.len(), src.len());
+        assert!(out.contains("note: unwrap() here"));
+        assert_eq!(out.matches("unwrap").count(), 1);
+    }
+
+    #[test]
     fn line_numbering() {
         let src = "a\nbb\nccc\n";
         let starts = line_starts(src);

@@ -1,30 +1,60 @@
 //! Driver binary: run the lint passes over the workspace and report.
 //!
 //! ```text
-//! cargo run -p diffaudit-analyzer             # rustc-style diagnostics
-//! cargo run -p diffaudit-analyzer -- --json   # machine output
+//! cargo run -p diffaudit-analyzer                        # rustc-style diagnostics
+//! cargo run -p diffaudit-analyzer -- --format json       # machine output
+//! cargo run -p diffaudit-analyzer -- --format json \
+//!     --baseline analyzer_baseline.json                  # ratchet gate
+//! cargo run -p diffaudit-analyzer -- --trace-out a.jsonl # obs trace
 //! cargo run -p diffaudit-analyzer -- --root <dir>
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+//! With `--baseline`, findings present in the baseline are tolerated and
+//! only *new* findings fail (matched on file+lint+message, ignoring line
+//! numbers); baseline entries that no longer fire are reported so the
+//! committed file can be shrunk. Without it, any finding fails.
+//!
+//! Exit codes: 0 = clean (or all findings baselined), 1 = new findings,
+//! 2 = usage or I/O error.
 
-use diffaudit_analyzer::{analyze_workspace, find_root, report, Config};
+use diffaudit_analyzer::{analyze_workspace, baseline, find_root, report, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
+    let mut baseline_arg: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return usage(&format!("unknown format {other:?}; expected text or json"))
+                }
+                None => return usage("--format requires text or json"),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_arg = Some(PathBuf::from(path)),
+                None => return usage("--baseline requires a file"),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(PathBuf::from(path)),
+                None => return usage("--trace-out requires a file"),
+            },
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(PathBuf::from(dir)),
                 None => return usage("--root requires a directory"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: diffaudit-analyzer [--json] [--root <dir>]");
+                eprintln!(
+                    "usage: diffaudit-analyzer [--format text|json] [--baseline <file>] \
+                     [--trace-out <file>] [--root <dir>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown flag {other:?}")),
@@ -47,28 +77,81 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match analyze_workspace(&Config::new(&root)) {
-        Ok(findings) => findings,
-        Err(err) => {
+    if let Some(path) = &trace_out {
+        if let Err(err) = diffaudit_obs::global().trace_to_file(path) {
             eprintln!(
-                "diffaudit-analyzer: i/o error under {}: {err}",
-                root.display()
+                "diffaudit-analyzer: cannot open trace file {}: {err}",
+                path.display()
             );
             return ExitCode::from(2);
+        }
+    }
+
+    let findings = {
+        let _span = diffaudit_obs::span("analyzer.analyze");
+        match analyze_workspace(&Config::new(&root)) {
+            Ok(findings) => findings,
+            Err(err) => {
+                eprintln!(
+                    "diffaudit-analyzer: i/o error under {}: {err}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+    diffaudit_obs::flush();
+
+    // Without a baseline every finding gates; with one, only new findings.
+    let gating = match &baseline_arg {
+        None => findings.clone(),
+        Some(path) => {
+            let doc = match std::fs::read_to_string(path) {
+                Ok(doc) => doc,
+                Err(err) => {
+                    eprintln!(
+                        "diffaudit-analyzer: cannot read baseline {}: {err}",
+                        path.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            let keys = match baseline::parse_baseline(&doc) {
+                Ok(keys) => keys,
+                Err(err) => {
+                    eprintln!("diffaudit-analyzer: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            let diff = baseline::diff(&findings, &keys);
+            if diff.tolerated > 0 {
+                eprintln!(
+                    "diffaudit-analyzer: {} baselined finding(s) tolerated",
+                    diff.tolerated
+                );
+            }
+            for fixed in &diff.fixed {
+                eprintln!(
+                    "diffaudit-analyzer: baseline entry no longer fires \
+                     (ratchet: remove it): {}: [{}] {}",
+                    fixed.file, fixed.lint, fixed.message
+                );
+            }
+            diff.new
         }
     };
 
     if json {
-        println!("{}", report::render_json(&findings));
+        println!("{}", report::render_json(&gating));
     } else {
-        print!("{}", report::render_text(&findings));
-        if findings.is_empty() {
+        print!("{}", report::render_text(&gating));
+        if gating.is_empty() {
             eprintln!("diffaudit-analyzer: clean");
         } else {
-            eprintln!("diffaudit-analyzer: {} finding(s)", findings.len());
+            eprintln!("diffaudit-analyzer: {} new finding(s)", gating.len());
         }
     }
-    if findings.is_empty() {
+    if gating.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -77,6 +160,9 @@ fn main() -> ExitCode {
 
 fn usage(message: &str) -> ExitCode {
     eprintln!("error: {message}");
-    eprintln!("usage: diffaudit-analyzer [--json] [--root <dir>]");
+    eprintln!(
+        "usage: diffaudit-analyzer [--format text|json] [--baseline <file>] \
+         [--trace-out <file>] [--root <dir>]"
+    );
     ExitCode::from(2)
 }

@@ -1,0 +1,363 @@
+//! The `par-discipline` pass: worker-closure hygiene for `util::par`.
+//!
+//! PR 5 established hard-won invariants for the scoped-thread executor:
+//! worker closures must not touch the process-global `diffaudit-obs`
+//! registry (per-item lock contention, and trace lines interleave
+//! non-deterministically), must not emit to the trace/stderr streams, and
+//! must not block on I/O or sockets (a stalled worker starves the
+//! work-stealing cursor). Metrics belong in a per-worker `LocalRecorder`
+//! absorbed at join. This pass machine-checks those rules.
+//!
+//! Mechanics: every call to a `par_map_*` entry point is located, its full
+//! argument region (including the closures) is scanned for forbidden
+//! patterns, and — one hop deep — so are the bodies of same-file functions
+//! called from inside that region. `diffaudit_obs::absorb`,
+//! `diffaudit_obs::field`, and everything on `LocalRecorder` (method
+//! calls) stay allowed.
+
+use crate::annotations::Allows;
+use crate::findings::{Finding, Lint};
+use crate::lexer;
+use crate::parser::{matching_close, FileModel};
+use crate::passes::SourceFile;
+
+/// The executor's entry points (callable as `par::par_map_*` or fully
+/// qualified).
+pub const PAR_ENTRY_POINTS: [&str; 4] = [
+    "par_map_indexed",
+    "par_map_owned",
+    "par_map_ctx",
+    "par_map_ctx_owned",
+];
+
+/// `diffaudit_obs` free functions that hit the process-global registry or
+/// the trace stream. (`absorb` and `field` are deliberately absent — the
+/// former is the sanctioned join-merge, the latter builds values.)
+const FORBIDDEN_OBS: [&str; 10] = [
+    "add", "observe", "span", "error", "warn", "info", "debug", "flush", "global", "snapshot",
+];
+
+/// Textual patterns for blocking I/O inside a worker.
+const BLOCKING_PATTERNS: [(&str, &str); 8] = [
+    ("std::fs::", "filesystem I/O"),
+    ("fs::read", "filesystem read"),
+    ("fs::write", "filesystem write"),
+    ("File::open", "file open"),
+    ("File::create", "file create"),
+    ("stdin()", "stdin read"),
+    ("TcpStream", "network I/O"),
+    ("UdpSocket", "network I/O"),
+];
+
+/// Stderr/stdout macros double as trace emission from a worker.
+const PRINT_MACROS: [&str; 4] = ["eprintln!", "eprint!", "println!", "print!"];
+
+/// Run the pass over one file.
+pub fn par_discipline(
+    file: &SourceFile,
+    model: &FileModel,
+    allows: &Allows,
+    findings: &mut Vec<Finding>,
+) {
+    let stripped = file.stripped();
+    let bytes = stripped.as_bytes();
+    for entry_at in par_call_sites(stripped) {
+        let entry_line = lexer::line_of(file.line_starts(), entry_at);
+        if file.in_test_code(entry_line) {
+            continue;
+        }
+        let Some(open_rel) = stripped[entry_at..].find('(') else {
+            continue;
+        };
+        let open = entry_at + open_rel;
+        let Some(close) = matching_close(bytes, open) else {
+            continue;
+        };
+        let region = (open + 1, close);
+        scan_region(file, region, None, entry_line, allows, findings);
+
+        // One hop: same-file functions called from inside the region run on
+        // the worker thread too.
+        let Some(enclosing) = model.enclosing_fn(entry_at) else {
+            continue;
+        };
+        let mut visited: Vec<&str> = vec![enclosing.name.as_str()];
+        for call in &enclosing.calls {
+            if call.at < region.0 || call.at >= region.1 || call.method {
+                continue;
+            }
+            if visited.contains(&call.name.as_str()) {
+                continue;
+            }
+            visited.push(call.name.as_str());
+            let Some(callee) = model.fn_named(&call.name) else {
+                continue;
+            };
+            if let Some(body) = callee.body {
+                scan_region(file, body, Some(&call.name), entry_line, allows, findings);
+            }
+        }
+    }
+}
+
+/// Offsets of `par_map_*(` call sites.
+fn par_call_sites(stripped: &str) -> Vec<usize> {
+    let bytes = stripped.as_bytes();
+    let mut sites = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = stripped[from..].find("par_map_") {
+        let at = from + rel;
+        from = at + 1;
+        if at > 0 && is_ident(bytes[at - 1]) {
+            continue;
+        }
+        let ident_end = stripped[at..]
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .map(|n| at + n)
+            .unwrap_or(stripped.len());
+        let name = &stripped[at..ident_end];
+        if !PAR_ENTRY_POINTS.contains(&name) {
+            continue;
+        }
+        // Must be a call, not a definition or a doc path.
+        let after = stripped[ident_end..].trim_start();
+        if !after.starts_with('(') {
+            continue;
+        }
+        // `fn par_map_…(` is the definition site in util::par itself.
+        let before = stripped[..at].trim_end();
+        if before.ends_with("fn") {
+            continue;
+        }
+        sites.push(at);
+    }
+    sites
+}
+
+fn scan_region(
+    file: &SourceFile,
+    (lo, hi): (usize, usize),
+    via: Option<&str>,
+    entry_line: usize,
+    allows: &Allows,
+    findings: &mut Vec<Finding>,
+) {
+    let stripped = file.stripped();
+    let region = &stripped[lo..hi];
+    let mut hits: Vec<(usize, String)> = Vec::new();
+
+    // Global obs registry / trace-stream writes.
+    for prefix in ["diffaudit_obs::", "obs::"] {
+        let mut from = 0usize;
+        while let Some(rel) = region[from..].find(prefix) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident(region.as_bytes()[at - 1]) {
+                continue;
+            }
+            let after = &region[at + prefix.len()..];
+            let ident_end = after
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(after.len());
+            let name = &after[..ident_end];
+            if !FORBIDDEN_OBS.contains(&name) {
+                continue;
+            }
+            hits.push((
+                lo + at,
+                format!(
+                    "`{prefix}{name}` hits the process-global obs registry from a worker; \
+                     record into the per-worker `LocalRecorder` and `absorb` at join"
+                ),
+            ));
+        }
+    }
+
+    // Blocking I/O.
+    for (pattern, what) in BLOCKING_PATTERNS {
+        let mut from = 0usize;
+        while let Some(rel) = region[from..].find(pattern) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident(region.as_bytes()[at - 1]) {
+                continue;
+            }
+            // `std::fs::` subsumes `fs::read`/`fs::write`; report once.
+            if pattern.starts_with("fs::") && at >= 5 && &region[at - 5..at] == "std::" {
+                continue;
+            }
+            hits.push((
+                lo + at,
+                format!("blocking {what} (`{pattern}…`) inside a worker closure stalls the work-stealing cursor"),
+            ));
+        }
+    }
+
+    // Stderr/stdout emission.
+    for needle in PRINT_MACROS {
+        let mut from = 0usize;
+        while let Some(rel) = region[from..].find(needle) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident(region.as_bytes()[at - 1]) {
+                continue;
+            }
+            hits.push((
+                lo + at,
+                format!(
+                    "`{needle}` emits to a shared stream from a worker closure; \
+                     workers must stay silent (merge diagnostics at join)"
+                ),
+            ));
+        }
+    }
+
+    // Hits were gathered pattern-by-pattern; report in source order.
+    hits.sort_by_key(|&(at, _)| at);
+    let mut seen_lines: Vec<usize> = Vec::new();
+    for (at, mut message) in hits {
+        let line = lexer::line_of(file.line_starts(), at);
+        if seen_lines.contains(&line) {
+            continue;
+        }
+        seen_lines.push(line);
+        if file.in_test_code(line)
+            || allows.allows(Lint::ParDiscipline, line)
+            || allows.allows(Lint::ParDiscipline, entry_line)
+        {
+            continue;
+        }
+        if let Some(name) = via {
+            message.push_str(&format!(" (reached from the par_map closure via `{name}`)"));
+        }
+        findings.push(Finding::new(
+            file.path.clone(),
+            line,
+            Lint::ParDiscipline,
+            message,
+        ));
+    }
+}
+
+fn is_ident(byte: u8) -> bool {
+    byte == b'_' || byte.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations;
+    use crate::parser::FileModel;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::new("t.rs", src);
+        let model = FileModel::parse(file.stripped());
+        let mut findings = Vec::new();
+        let allows = annotations::parse("t.rs", src, file.stripped(), &mut findings);
+        par_discipline(&file, &model, &allows, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn global_metric_write_in_closure_flagged() {
+        let src = "\
+fn run(items: Vec<u8>) -> Vec<u8> {
+    par_map_owned(4, items, |_, x| {
+        diffaudit_obs::add(\"items\", 1);
+        x
+    })
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].lint, Lint::ParDiscipline);
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("LocalRecorder"));
+    }
+
+    #[test]
+    fn local_recorder_and_absorb_allowed() {
+        let src = "\
+fn run(items: Vec<u8>) -> Vec<u8> {
+    par_map_ctx_owned(
+        4,
+        items,
+        || diffaudit_obs::LocalRecorder::new(),
+        |rec, _, x| {
+            rec.add(\"items\", 1);
+            rec.observe(\"bytes\", &BOUNDS, 1);
+            x
+        },
+        diffaudit_obs::absorb,
+    )
+}
+";
+        assert!(run(src).is_empty(), "{:#?}", run(src));
+    }
+
+    #[test]
+    fn blocking_io_and_prints_flagged() {
+        let src = "\
+fn run(paths: Vec<String>) -> Vec<String> {
+    diffaudit_util::par::par_map_owned(4, paths, |_, p| {
+        eprintln!(\"loading {p}\");
+        std::fs::read_to_string(&p).unwrap_or_default()
+    })
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(findings[0].message.contains("eprintln"));
+        assert!(findings[1].message.contains("filesystem"));
+    }
+
+    #[test]
+    fn one_hop_into_same_file_callee() {
+        let src = "\
+fn run(items: Vec<u8>) -> Vec<u8> {
+    par_map_owned(4, items, |_, x| helper(x))
+}
+fn helper(x: u8) -> u8 {
+    diffaudit_obs::observe(\"x\", &BOUNDS, u64::from(x));
+    x
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 5);
+        assert!(findings[0].message.contains("via `helper`"));
+    }
+
+    #[test]
+    fn code_outside_par_regions_is_untouched() {
+        let src = "\
+fn serial() {
+    diffaudit_obs::add(\"fine\", 1);
+    std::fs::read_to_string(\"ok\").ok();
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_entry_line_suppresses() {
+        let src = "\
+fn run(items: Vec<u8>) -> Vec<u8> {
+    // lint:allow(par-discipline): workers read capture files by design
+    par_map_owned(4, items, |_, x| { std::fs::read(\"f\").ok(); x })
+}
+";
+        assert!(run(src).is_empty(), "{:#?}", run(src));
+    }
+
+    #[test]
+    fn definition_site_in_util_par_is_not_a_call() {
+        let src = "\
+pub fn par_map_owned<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R> {
+    std::fs::read(\"not actually here\").ok();
+    Vec::new()
+}
+";
+        assert!(run(src).is_empty(), "{:#?}", run(src));
+    }
+}

@@ -1,14 +1,22 @@
-//! The lint passes: `no-panic`, `unsafe-audit`, `error-taxonomy`, and
-//! `no-bare-eprintln`.
+//! The per-file lint passes (`no-panic`, `unsafe-audit`, `error-taxonomy`,
+//! `no-bare-eprintln`) and the driver that sequences them with the
+//! item-level passes (`global-state`, `redaction`, `par-discipline`).
 //!
 //! Every pass operates on a [`SourceFile`] — the raw text plus its
 //! lexer-stripped twin — so matches never fire inside comments or string
 //! literals, and `#[cfg(test)]` modules are excluded where the policy says
-//! production-only.
+//! production-only. The item-level passes additionally consume the
+//! [`crate::parser::FileModel`] and (for redaction) the crate-wide
+//! [`crate::dataflow::CrateModel`].
 
 use crate::annotations::{self, Allows};
+use crate::dataflow::CrateModel;
 use crate::findings::{Finding, Lint};
+use crate::global_state::global_state;
 use crate::lexer;
+use crate::par_discipline::par_discipline;
+use crate::parser::FileModel;
+use crate::redaction::redaction;
 
 /// Which passes apply to a file (decided per crate/directory by the driver).
 #[derive(Debug, Clone, Copy)]
@@ -19,19 +27,32 @@ pub struct Policy {
     pub unsafe_audit: bool,
     /// Forbid stringly-typed errors on `pub fn` (designated crates only).
     pub error_taxonomy: bool,
-    /// Forbid raw `eprintln!`/`eprint!` (instrumented crates' production
-    /// sources; the obs stderr sink is allowlisted by the driver).
+    /// Forbid raw `eprintln!`/`eprint!` (all production sources; sink
+    /// modules are allowlisted by path in the driver).
     pub no_bare_eprintln: bool,
+    /// Flag process-global state and ambient env/CWD reads (all production
+    /// sources).
+    pub global_state: bool,
+    /// Taint-check payload-to-sink flows (all production sources).
+    pub redaction: bool,
+    /// Enforce worker-closure hygiene around `par_map_*` (all production
+    /// sources).
+    pub par_discipline: bool,
 }
 
 impl Policy {
-    /// Policy for untrusted-input parser crates' production sources.
+    /// Policy for untrusted-input parser crates' production sources. The
+    /// item-level passes are off here; the workspace driver switches them
+    /// on for production files via [`Policy::with_item_passes`].
     pub fn parser_crate() -> Policy {
         Policy {
             no_panic: true,
             unsafe_audit: true,
             error_taxonomy: true,
             no_bare_eprintln: false,
+            global_state: false,
+            redaction: false,
+            par_discipline: false,
         }
     }
 
@@ -42,7 +63,18 @@ impl Policy {
             unsafe_audit: true,
             error_taxonomy: false,
             no_bare_eprintln: false,
+            global_state: false,
+            redaction: false,
+            par_discipline: false,
         }
+    }
+
+    /// Enable the item-level dataflow passes (production sources only).
+    pub fn with_item_passes(mut self) -> Policy {
+        self.global_state = true;
+        self.redaction = true;
+        self.par_discipline = true;
+        self
     }
 }
 
@@ -77,50 +109,134 @@ impl SourceFile {
         lexer::line_of(&self.line_starts, offset)
     }
 
-    fn in_test_code(&self, line: usize) -> bool {
+    /// The lexer-stripped twin (same length as the raw text).
+    pub fn stripped(&self) -> &str {
+        &self.stripped
+    }
+
+    /// The original source text.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// 0-based byte offsets of each line start (see [`lexer::line_starts`]).
+    pub fn line_starts(&self) -> &[usize] {
+        &self.line_starts
+    }
+
+    /// Is this 1-based line inside a `#[cfg(test)]` item?
+    pub fn in_test_code(&self, line: usize) -> bool {
         self.test_ranges
             .iter()
             .any(|&(lo, hi)| lo <= line && line <= hi)
     }
 }
 
-/// Run all passes enabled by `policy` over `file`.
+/// One file prepared for crate-level analysis.
+pub struct FileUnit<'a> {
+    /// The prepared source.
+    pub source: &'a SourceFile,
+    /// Its item-level model.
+    pub model: &'a FileModel,
+    /// Which passes apply.
+    pub policy: Policy,
+    /// File is on the env/CWD-read allowlist (CLI entry points).
+    pub env_allowed: bool,
+}
+
+/// Run all passes enabled by `policy` over a single standalone file.
+/// Crate-wide carrier propagation sees only this file; the workspace driver
+/// uses [`analyze_units`] to share a crate model across files.
 pub fn analyze_source(file: &SourceFile, policy: Policy) -> Vec<Finding> {
+    let model = FileModel::parse(file.stripped());
+    let unit = FileUnit {
+        source: file,
+        model: &model,
+        policy,
+        env_allowed: false,
+    };
+    analyze_units(std::slice::from_ref(&unit))
+}
+
+/// Run all passes over one crate's files: per-file passes first, then the
+/// crate-wide redaction pass (sharing one carrier fixpoint), then the
+/// stale-escape audit — so an annotation used by *any* pass is not stale.
+pub fn analyze_units(units: &[FileUnit<'_>]) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let allows = annotations::parse(&file.path, &file.raw, &file.stripped, &mut findings);
-    if policy.no_panic {
-        no_panic(file, &allows, &mut findings);
+    let mut allows: Vec<Allows> = Vec::with_capacity(units.len());
+    for unit in units {
+        let file = unit.source;
+        allows.push(annotations::parse(
+            &file.path,
+            file.raw(),
+            file.stripped(),
+            &mut findings,
+        ));
     }
-    if policy.unsafe_audit {
-        unsafe_audit(file, &allows, &mut findings);
-    }
-    if policy.error_taxonomy {
-        error_taxonomy(file, &allows, &mut findings);
-    }
-    if policy.no_bare_eprintln {
-        no_bare_eprintln(file, &allows, &mut findings);
+    let crate_model = CrateModel::build(
+        units
+            .iter()
+            .filter(|u| u.policy.redaction)
+            .map(|u| (u.source.path.as_str(), u.model))
+            .collect(),
+    );
+    for (unit, allow) in units.iter().zip(&allows) {
+        let file = unit.source;
+        let policy = unit.policy;
+        if policy.no_panic {
+            no_panic(file, allow, &mut findings);
+        }
+        if policy.unsafe_audit {
+            unsafe_audit(file, allow, &mut findings);
+        }
+        if policy.error_taxonomy {
+            error_taxonomy(file, allow, &mut findings);
+        }
+        if policy.no_bare_eprintln {
+            no_bare_eprintln(file, allow, &mut findings);
+        }
+        if policy.global_state {
+            global_state(file, unit.model, allow, unit.env_allowed, &mut findings);
+        }
+        if policy.par_discipline {
+            par_discipline(file, unit.model, allow, &mut findings);
+        }
+        if policy.redaction {
+            redaction(file, unit.model, &crate_model, allow, &mut findings);
+        }
     }
     // An escape that suppressed nothing is stale — but only judge lints whose
     // pass actually ran here, otherwise the pass never had a chance to use it.
-    for (lint, line) in allows.stale() {
-        let pass_ran = match lint {
-            Lint::NoPanic => policy.no_panic,
-            Lint::UnsafeAudit => policy.unsafe_audit,
-            Lint::ErrorTaxonomy => policy.error_taxonomy,
-            Lint::NoBareEprintln => policy.no_bare_eprintln,
-            Lint::Annotation => false,
-        };
-        if !pass_ran {
-            continue;
+    for (unit, allow) in units.iter().zip(&allows) {
+        let policy = unit.policy;
+        for (lint, line) in allow.stale() {
+            let pass_ran = match lint {
+                Lint::NoPanic => policy.no_panic,
+                Lint::UnsafeAudit => policy.unsafe_audit,
+                Lint::ErrorTaxonomy => policy.error_taxonomy,
+                Lint::NoBareEprintln => policy.no_bare_eprintln,
+                Lint::GlobalState => policy.global_state,
+                Lint::Redaction => policy.redaction,
+                Lint::ParDiscipline => policy.par_discipline,
+                Lint::Annotation => false,
+            };
+            if !pass_ran {
+                continue;
+            }
+            findings.push(Finding::new(
+                unit.source.path.clone(),
+                line,
+                Lint::Annotation,
+                format!("stale lint:allow({lint}): it suppresses no finding; remove it"),
+            ));
         }
-        findings.push(Finding {
-            file: file.path.clone(),
-            line,
-            lint: Lint::Annotation,
-            message: format!("stale lint:allow({lint}): it suppresses no finding; remove it"),
-        });
     }
-    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     findings
 }
 
@@ -182,12 +298,12 @@ fn no_panic(file: &SourceFile, allows: &Allows, findings: &mut Vec<Finding>) {
         if file.in_test_code(line) || allows.allows(Lint::NoPanic, line) {
             continue;
         }
-        findings.push(Finding {
-            file: file.path.clone(),
+        findings.push(Finding::new(
+            file.path.clone(),
             line,
-            lint: Lint::NoPanic,
+            Lint::NoPanic,
             message,
-        });
+        ));
     }
 }
 
@@ -255,14 +371,14 @@ fn no_bare_eprintln(file: &SourceFile, allows: &Allows, findings: &mut Vec<Findi
             if file.in_test_code(line) || allows.allows(Lint::NoBareEprintln, line) {
                 continue;
             }
-            findings.push(Finding {
-                file: file.path.clone(),
+            findings.push(Finding::new(
+                file.path.clone(),
                 line,
-                lint: Lint::NoBareEprintln,
-                message: format!(
+                Lint::NoBareEprintln,
+                format!(
                     "`{needle}` bypasses the structured logger; emit a diffaudit-obs event instead"
                 ),
-            });
+            ));
         }
     }
 }
@@ -296,12 +412,12 @@ fn unsafe_audit(file: &SourceFile, allows: &Allows, findings: &mut Vec<Finding>)
         if justified {
             continue;
         }
-        findings.push(Finding {
-            file: file.path.clone(),
+        findings.push(Finding::new(
+            file.path.clone(),
             line,
-            lint: Lint::UnsafeAudit,
-            message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
-        });
+            Lint::UnsafeAudit,
+            "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+        ));
     }
 }
 
@@ -336,14 +452,14 @@ fn error_taxonomy(file: &SourceFile, allows: &Allows, findings: &mut Vec<Finding
         if file.in_test_code(line) || allows.allows(Lint::ErrorTaxonomy, line) {
             continue;
         }
-        findings.push(Finding {
-            file: file.path.clone(),
+        findings.push(Finding::new(
+            file.path.clone(),
             line,
-            lint: Lint::ErrorTaxonomy,
-            message: format!(
+            Lint::ErrorTaxonomy,
+            format!(
                 "pub fallible API returns `Result<_, {error_type}>`; use the crate's typed error"
             ),
-        });
+        ));
     }
 }
 

@@ -1,7 +1,9 @@
-//! Output formatting: rustc-style text and `--json` machine output.
+//! Output formatting: rustc-style text and `--format json` machine output.
 //!
 //! The JSON encoder is the workspace's own `diffaudit-json` — the analyzer
-//! eats the same dogfood the pipeline serves.
+//! eats the same dogfood the pipeline serves. The JSON document doubles as
+//! the committed baseline format (see [`crate::baseline`]): line numbers
+//! are carried for humans but ignored when diffing against a baseline.
 
 use crate::findings::Finding;
 use diffaudit_json::Json;
@@ -17,7 +19,7 @@ pub fn render_text(findings: &[Finding]) -> String {
 }
 
 /// Render findings as a JSON document:
-/// `{"count": N, "findings": [{"file", "line", "lint", "message"}…]}`.
+/// `{"count": N, "findings": [{"file", "line", "lint", "severity", "message"}…]}`.
 pub fn render_json(findings: &[Finding]) -> String {
     let items: Vec<Json> = findings
         .iter()
@@ -26,6 +28,7 @@ pub fn render_json(findings: &[Finding]) -> String {
                 .with("file", Json::str(f.file.clone()))
                 .with("line", Json::int(f.line as i64))
                 .with("lint", Json::str(f.lint.name()))
+                .with("severity", Json::str(f.severity.name()))
                 .with("message", Json::str(f.message.clone()))
         })
         .collect();
@@ -42,12 +45,12 @@ mod tests {
     use diffaudit_json::parse;
 
     fn sample() -> Vec<Finding> {
-        vec![Finding {
-            file: "crates/json/src/parse.rs".into(),
-            line: 331,
-            lint: Lint::NoPanic,
-            message: "`.expect(..)` can panic".into(),
-        }]
+        vec![Finding::new(
+            "crates/json/src/parse.rs",
+            331,
+            Lint::NoPanic,
+            "`.expect(..)` can panic".into(),
+        )]
     }
 
     #[test]
@@ -55,7 +58,7 @@ mod tests {
         let text = render_text(&sample());
         assert_eq!(
             text,
-            "crates/json/src/parse.rs:331: lint[no-panic]: `.expect(..)` can panic\n"
+            "crates/json/src/parse.rs:331: error[no-panic]: `.expect(..)` can panic\n"
         );
     }
 
@@ -74,6 +77,7 @@ mod tests {
         );
         assert_eq!(first.get("line").and_then(Json::as_i64), Some(331));
         assert_eq!(first.get("lint").and_then(Json::as_str), Some("no-panic"));
+        assert_eq!(first.get("severity").and_then(Json::as_str), Some("error"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! Workspace walking: decide which files get which [`Policy`] and run the
-//! passes over the whole tree.
+//! Workspace walking: decide which files get which [`Policy`], group files
+//! per crate (the redaction pass shares one carrier fixpoint per crate),
+//! and run the passes over the whole tree.
 
 use crate::findings::Finding;
-use crate::passes::{analyze_source, Policy, SourceFile};
+use crate::parser::FileModel;
+use crate::passes::{analyze_units, FileUnit, Policy, SourceFile};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -25,19 +27,20 @@ pub const DESIGNATED_FILES: [&str; 3] = [
     "crates/util/src/par.rs",
 ];
 
-/// Crates whose production sources must route stderr output through the
-/// `diffaudit-obs` structured logger instead of bare `eprintln!`/`eprint!`.
-/// These are the instrumented crates: `core` hosts the CLI (whose progress
-/// and error lines must honor `--log-level` and land in `--trace-out`),
-/// `obs` itself must not print around its own sink, `bench` feeds the
-/// perf-baseline snapshots so its progress chatter must stay structured,
-/// and `util` hosts the parallel executor — worker threads must not emit
-/// bare diagnostics outside the obs sink.
-pub const EPRINTLN_CRATES: [&str; 4] = ["bench", "core", "obs", "util"];
+/// Files exempt from the workspace-wide `no-bare-eprintln` gate. The obs
+/// stderr sink is the one sanctioned funnel for pipeline diagnostics; the
+/// analyzer's own CLI is a developer tool that reports *about* the
+/// pipeline and must keep working even when the obs crate itself is the
+/// thing being diagnosed.
+pub const EPRINTLN_ALLOWLIST: [&str; 2] = ["crates/obs/src/sink.rs", "crates/analyzer/src/main.rs"];
 
-/// Files exempt from `no-bare-eprintln`: the stderr sink is the one
-/// sanctioned funnel, so it alone may invoke the macros.
-pub const EPRINTLN_ALLOWLIST: [&str; 1] = ["crates/obs/src/sink.rs"];
+/// Files allowed to read ambient process state (`env::*`, CWD): binary
+/// entry points, where argv/CWD are the sanctioned inputs. Library code
+/// must take configuration through arguments.
+pub const ENV_ALLOWLIST: [&str; 2] = [
+    "crates/analyzer/src/main.rs",
+    "crates/core/src/bin/diffaudit.rs",
+];
 
 /// Analysis configuration.
 #[derive(Debug, Clone)]
@@ -48,11 +51,10 @@ pub struct Config {
     pub designated: Vec<String>,
     /// Workspace-relative paths of extra files held to the parser policy.
     pub designated_files: Vec<String>,
-    /// Crate directory names whose production sources forbid bare
-    /// `eprintln!`/`eprint!`.
-    pub eprintln_crates: Vec<String>,
     /// Workspace-relative paths exempt from `no-bare-eprintln`.
     pub eprintln_allowlist: Vec<String>,
+    /// Workspace-relative paths allowed to read env/CWD.
+    pub env_allowlist: Vec<String>,
 }
 
 impl Config {
@@ -62,8 +64,8 @@ impl Config {
             root: root.into(),
             designated: DESIGNATED_CRATES.iter().map(|s| s.to_string()).collect(),
             designated_files: DESIGNATED_FILES.iter().map(|s| s.to_string()).collect(),
-            eprintln_crates: EPRINTLN_CRATES.iter().map(|s| s.to_string()).collect(),
             eprintln_allowlist: EPRINTLN_ALLOWLIST.iter().map(|s| s.to_string()).collect(),
+            env_allowlist: ENV_ALLOWLIST.iter().map(|s| s.to_string()).collect(),
         }
     }
 }
@@ -87,12 +89,18 @@ pub fn find_root(start: &Path) -> Option<PathBuf> {
 /// Run every pass over every analyzable file under `config.root`.
 ///
 /// Coverage: `crates/*/{src,tests,benches}/**/*.rs` plus the workspace-level
-/// `tests/` and `examples/` directories. Policy per file:
-/// - designated crates' `src/`: `no-panic` + `unsafe-audit` + `error-taxonomy`;
-/// - instrumented crates' `src/` (minus the sink allowlist):
-///   `no-bare-eprintln` on top of the base policy;
-/// - everything else (including designated crates' own `tests/`):
-///   `unsafe-audit` only.
+/// `tests/` and `examples/` directories. Directories named `fixtures` are
+/// skipped everywhere — they hold lint-corpus files that are *supposed* to
+/// fire. Policy per file:
+/// - designated crates' `src/` (and [`DESIGNATED_FILES`]): `no-panic` +
+///   `unsafe-audit` + `error-taxonomy`;
+/// - every crate's `src/`: the item-level passes (`global-state`,
+///   `redaction`, `par-discipline`) and `no-bare-eprintln` (minus the
+///   path allowlists) on top of the base policy;
+/// - `tests/`/`benches/` targets: `unsafe-audit` only.
+///
+/// Files are grouped per crate so the redaction pass resolves intra-crate
+/// calls across files (one carrier fixpoint per crate).
 pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     let crates_dir = config.root.join("crates");
@@ -109,42 +117,46 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
             .unwrap_or_default()
             .to_string();
         let designated = config.designated.iter().any(|d| *d == crate_name);
-        let eprintln_gated = config.eprintln_crates.iter().any(|d| *d == crate_name);
+        let mut prepared: Vec<(SourceFile, Policy, bool)> = Vec::new();
         for (subdir, production) in [("src", true), ("tests", false), ("benches", false)] {
             let dir = crate_dir.join(subdir);
             if !dir.is_dir() {
                 continue;
             }
-            let policy = if designated && production {
-                Policy::parser_crate()
-            } else {
-                Policy::default_crate()
-            };
-            let upgrades = if production {
-                config.designated_files.as_slice()
-            } else {
-                &[]
-            };
-            let scope = DirScope {
-                policy,
-                upgrades,
-                no_bare_eprintln: eprintln_gated && production,
-                eprintln_allowlist: &config.eprintln_allowlist,
-            };
-            analyze_dir(&dir, &config.root, &scope, &mut findings)?;
+            for (display, raw) in collect_rs_files(&dir, &config.root)? {
+                let upgraded = production && config.designated_files.iter().any(|f| *f == display);
+                let mut policy = if (designated && production) || upgraded {
+                    Policy::parser_crate()
+                } else {
+                    Policy::default_crate()
+                };
+                if production {
+                    policy = policy.with_item_passes();
+                    policy.no_bare_eprintln =
+                        !config.eprintln_allowlist.iter().any(|f| *f == display);
+                }
+                let env_allowed = config.env_allowlist.iter().any(|f| *f == display);
+                prepared.push((SourceFile::new(display, raw), policy, env_allowed));
+            }
         }
+        findings.extend(analyze_crate(&prepared));
     }
     for top in ["tests", "examples"] {
         let dir = config.root.join(top);
-        if dir.is_dir() {
-            let scope = DirScope {
-                policy: Policy::default_crate(),
-                upgrades: &[],
-                no_bare_eprintln: false,
-                eprintln_allowlist: &config.eprintln_allowlist,
-            };
-            analyze_dir(&dir, &config.root, &scope, &mut findings)?;
+        if !dir.is_dir() {
+            continue;
         }
+        let prepared: Vec<(SourceFile, Policy, bool)> = collect_rs_files(&dir, &config.root)?
+            .into_iter()
+            .map(|(display, raw)| {
+                (
+                    SourceFile::new(display, raw),
+                    Policy::default_crate(),
+                    false,
+                )
+            })
+            .collect();
+        findings.extend(analyze_crate(&prepared));
     }
     findings.sort_by(|a, b| {
         a.file
@@ -155,21 +167,34 @@ pub fn analyze_workspace(config: &Config) -> io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
-/// Per-directory analysis scope: the base policy plus the file-level
-/// adjustments (parser-policy upgrades, eprintln gating and its allowlist).
-struct DirScope<'a> {
-    policy: Policy,
-    upgrades: &'a [String],
-    no_bare_eprintln: bool,
-    eprintln_allowlist: &'a [String],
+/// Parse models for one crate's prepared files and run the passes as a
+/// unit (shared carrier fixpoint).
+fn analyze_crate(prepared: &[(SourceFile, Policy, bool)]) -> Vec<Finding> {
+    if prepared.is_empty() {
+        return Vec::new();
+    }
+    let models: Vec<FileModel> = prepared
+        .iter()
+        .map(|(file, _, _)| FileModel::parse(file.stripped()))
+        .collect();
+    let units: Vec<FileUnit<'_>> = prepared
+        .iter()
+        .zip(&models)
+        .map(|((file, policy, env_allowed), model)| FileUnit {
+            source: file,
+            model,
+            policy: *policy,
+            env_allowed: *env_allowed,
+        })
+        .collect();
+    analyze_units(&units)
 }
 
-fn analyze_dir(
-    dir: &Path,
-    root: &Path,
-    scope: &DirScope<'_>,
-    findings: &mut Vec<Finding>,
-) -> io::Result<()> {
+/// All `.rs` files under `dir` as `(workspace-relative display path, text)`,
+/// sorted by path. Directories named `fixtures` are skipped: the lint
+/// corpus under `crates/analyzer/tests/fixtures/` exists to fire.
+fn collect_rs_files(dir: &Path, root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(current) = stack.pop() {
         let mut entries: Vec<PathBuf> = fs::read_dir(&current)?
@@ -178,6 +203,9 @@ fn analyze_dir(
         entries.sort();
         for path in entries {
             if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "fixtures") {
+                    continue;
+                }
                 stack.push(path);
             } else if path.extension().is_some_and(|ext| ext == "rs") {
                 let raw = fs::read_to_string(&path)?;
@@ -186,19 +214,12 @@ fn analyze_dir(
                     .unwrap_or(&path)
                     .to_string_lossy()
                     .replace('\\', "/");
-                let mut policy = if scope.upgrades.iter().any(|f| *f == display) {
-                    Policy::parser_crate()
-                } else {
-                    scope.policy
-                };
-                policy.no_bare_eprintln = scope.no_bare_eprintln
-                    && !scope.eprintln_allowlist.iter().any(|f| *f == display);
-                let file = SourceFile::new(display, raw);
-                findings.extend(analyze_source(&file, policy));
+                out.push((display, raw));
             }
         }
     }
-    Ok(())
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -227,11 +248,45 @@ mod tests {
     }
 
     #[test]
-    fn eprintln_gate_covers_cli_obs_and_bench() {
-        assert_eq!(EPRINTLN_CRATES, ["bench", "core", "obs", "util"]);
-        assert_eq!(EPRINTLN_ALLOWLIST, ["crates/obs/src/sink.rs"]);
-        // The analyzer crate is deliberately outside the gate: it is a
-        // developer tool, not the audited pipeline or its bench harness.
-        assert!(!EPRINTLN_CRATES.contains(&"analyzer"));
+    fn eprintln_gate_is_workspace_wide_with_path_allowlist() {
+        // The gate now covers every crate's production sources; only the
+        // sink itself and the analyzer CLI may print.
+        assert_eq!(
+            EPRINTLN_ALLOWLIST,
+            ["crates/obs/src/sink.rs", "crates/analyzer/src/main.rs"]
+        );
+    }
+
+    #[test]
+    fn env_allowlist_is_binary_entry_points_only() {
+        assert_eq!(
+            ENV_ALLOWLIST,
+            [
+                "crates/analyzer/src/main.rs",
+                "crates/core/src/bin/diffaudit.rs"
+            ]
+        );
+        for path in ENV_ALLOWLIST {
+            assert!(
+                path.contains("/bin/") || path.ends_with("main.rs"),
+                "{path} is not a binary entry point"
+            );
+        }
+    }
+
+    #[test]
+    fn fixtures_directories_are_skipped() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root");
+        let files =
+            collect_rs_files(&root.join("crates/analyzer/tests"), &root).expect("walk tests dir");
+        assert!(
+            files.iter().all(|(path, _)| !path.contains("fixtures/")),
+            "fixture corpus leaked into the workspace walk: {files:#?}"
+        );
+        // The suite driving the corpus is a plain test file and stays visible.
+        assert!(files
+            .iter()
+            .any(|(path, _)| path.ends_with("fixtures_fire.rs")));
     }
 }

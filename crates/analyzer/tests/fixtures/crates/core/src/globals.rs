@@ -1,0 +1,19 @@
+//! global-state true positives: process-global mutable state and ambient
+//! environment reads in library code.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::OnceLock;
+
+static mut LAST_SEEN: u64 = 0;
+
+static CACHE: OnceLock<Vec<String>> = OnceLock::new();
+
+static RUNS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u8>> = std::cell::RefCell::new(Vec::new());
+}
+
+fn configured_mode() -> String {
+    std::env::var("DIFFAUDIT_MODE").unwrap_or_default()
+}

@@ -1,0 +1,24 @@
+//! redaction true positives: raw payload reaching a log sink without a
+//! redaction/summary step — once via a tainted binding, once via a direct
+//! source expression, and once through a derived intra-crate carrier.
+
+fn log_payload(text: &str) {
+    let exchanges = har_to_exchanges(text);
+    diffaudit_obs::warn(
+        "suspicious payload",
+        &[diffaudit_obs::field("body", format!("{:?}", exchanges))],
+    );
+}
+
+fn dump_request(req: &HttpRequest) {
+    eprintln!("request body: {:?}", req.body);
+}
+
+fn reload(text: &str) -> Vec<Exchange> {
+    har_to_exchanges(text)
+}
+
+fn trace_reloaded(text: &str) {
+    let batch = reload(text);
+    diffaudit_obs::debug("batch", &[diffaudit_obs::field("first", format!("{:?}", batch))]);
+}

@@ -1,0 +1,10 @@
+//! no-bare-eprintln true positives: raw stderr macros in production code
+//! of a gated (now: any) crate.
+
+fn warn_operator(reason: &str) {
+    eprintln!("warning: {reason}");
+}
+
+fn progress(done: usize) {
+    eprint!("\r{done} units");
+}

@@ -1,0 +1,10 @@
+//! unsafe-audit true positives: `unsafe` without a `// SAFETY:` comment.
+//! (Never compiled — the real workspace forbids unsafe_code outright.)
+
+fn reinterpret(v: &[u8]) -> u32 {
+    unsafe { *(v.as_ptr() as *const u32) }
+}
+
+fn skip_checks(s: &[u8]) -> &str {
+    unsafe { std::str::from_utf8_unchecked(s) }
+}

@@ -1,0 +1,16 @@
+//! error-taxonomy true positives: pub fallible APIs returning stringly
+//! errors from a designated crate.
+
+pub fn parse_magic(bytes: &[u8]) -> Result<u32, String> {
+    match bytes.len() {
+        0 => Err("empty".to_string()),
+        _ => Ok(0),
+    }
+}
+
+pub fn parse_header(text: &str) -> Result<(), &str> {
+    if text.is_empty() {
+        return Err("empty header");
+    }
+    Ok(())
+}

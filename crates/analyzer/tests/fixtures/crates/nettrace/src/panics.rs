@@ -1,0 +1,13 @@
+//! no-panic true positives: panic-capable constructs in a designated
+//! untrusted-input crate.
+
+fn first_byte(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+fn must_decode(input: Option<u32>) -> u32 {
+    match input {
+        Some(n) => n,
+        None => panic!("undecodable"),
+    }
+}

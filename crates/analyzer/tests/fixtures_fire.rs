@@ -1,0 +1,100 @@
+//! The lint corpus under `tests/fixtures/` is a fake workspace of known
+//! true positives — at least two per pass. This suite runs the real
+//! workspace driver over it and asserts every pass fires where expected,
+//! which guards against a refactor quietly hollowing out a pass (the
+//! clean-tree gate alone cannot tell "nothing to find" from "pass broken").
+
+use diffaudit_analyzer::{analyze_workspace, report, Config, Finding, Severity};
+use std::path::Path;
+
+fn corpus_findings() -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    analyze_workspace(&Config::new(&root)).expect("fixture corpus readable")
+}
+
+/// Findings of one lint within one fixture file.
+fn of(findings: &[Finding], lint: &str, file_suffix: &str) -> Vec<Finding> {
+    findings
+        .iter()
+        .filter(|f| f.lint.name() == lint && f.file.ends_with(file_suffix))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn every_pass_fires_on_its_fixture_file() {
+    let findings = corpus_findings();
+    let rendered = report::render_text(&findings);
+    for (lint, file, min) in [
+        ("no-panic", "nettrace/src/panics.rs", 2),
+        ("error-taxonomy", "nettrace/src/errors.rs", 2),
+        ("unsafe-audit", "json/src/unsafe_use.rs", 2),
+        ("no-bare-eprintln", "core/src/printing.rs", 2),
+        ("global-state", "core/src/globals.rs", 4),
+        ("redaction", "core/src/leaks.rs", 3),
+        ("par-discipline", "util/src/workers.rs", 3),
+    ] {
+        let hits = of(&findings, lint, file);
+        assert!(
+            hits.len() >= min,
+            "expected >={min} {lint} finding(s) in {file}, got {}:\n{rendered}",
+            hits.len()
+        );
+    }
+}
+
+#[test]
+fn fixture_severities_follow_the_lint_defaults() {
+    let findings = corpus_findings();
+    // static mut is the one severity override: error, not warning.
+    let static_mut = findings
+        .iter()
+        .find(|f| f.message.contains("static mut"))
+        .expect("static mut fixture finding");
+    assert_eq!(static_mut.severity, Severity::Error);
+    for f in &findings {
+        let expected = if f.message.contains("static mut") {
+            Severity::Error
+        } else {
+            f.lint.default_severity()
+        };
+        assert_eq!(f.severity, expected, "{f}");
+    }
+}
+
+#[test]
+fn redaction_fixture_exercises_the_derived_carrier_path() {
+    // `trace_reloaded` leaks through `reload`, a fn that is only a source
+    // because the carrier fixpoint promoted it — if this stops firing the
+    // intra-crate propagation broke, even if direct-source detection works.
+    let findings = corpus_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.lint.name() == "redaction" && f.message.contains("batch")),
+        "derived-carrier taint (via `reload`) must fire:\n{}",
+        report::render_text(&findings)
+    );
+}
+
+#[test]
+fn par_fixture_flags_each_forbidden_category() {
+    let findings = corpus_findings();
+    let messages: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.lint.name() == "par-discipline")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("obs registry")),
+        "global metric write must fire: {messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("blocking")),
+        "blocking I/O must fire: {messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("shared stream")),
+        "stream emission must fire: {messages:#?}"
+    );
+}

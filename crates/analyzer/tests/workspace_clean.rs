@@ -75,8 +75,9 @@ fn sentinel_unwrap_in_a_fake_workspace_is_flagged_with_file_and_line() {
 
 #[test]
 fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
-    // The eprintln gate covers production src of `bench`, `core`, and `obs`,
-    // exempts the obs stderr sink, and ignores non-gated crates and test dirs.
+    // The eprintln gate covers every crate's production src — including
+    // crates that were outside the old four-crate list — exempts the obs
+    // stderr sink and the analyzer CLI by path, and ignores test dirs.
     let dir = std::env::temp_dir().join(format!(
         "diffaudit-analyzer-eprintln-sentinel-{}",
         std::process::id()
@@ -85,9 +86,15 @@ fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
     let core_src = dir.join("crates/core/src");
     let core_tests = dir.join("crates/core/tests");
     let obs_src = dir.join("crates/obs/src");
-    let bench_src = dir.join("crates/bench/src");
+    let services_src = dir.join("crates/services/src");
     let analyzer_src = dir.join("crates/analyzer/src");
-    for d in [&core_src, &core_tests, &obs_src, &bench_src, &analyzer_src] {
+    for d in [
+        &core_src,
+        &core_tests,
+        &obs_src,
+        &services_src,
+        &analyzer_src,
+    ] {
         std::fs::create_dir_all(d).unwrap();
     }
     std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
@@ -96,18 +103,63 @@ fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
     std::fs::write(core_tests.join("it.rs"), sentinel).unwrap();
     std::fs::write(obs_src.join("sink.rs"), sentinel).unwrap();
     std::fs::write(obs_src.join("lib.rs"), sentinel).unwrap();
-    std::fs::write(bench_src.join("main.rs"), sentinel).unwrap();
+    std::fs::write(services_src.join("catalog.rs"), sentinel).unwrap();
     std::fs::write(analyzer_src.join("main.rs"), sentinel).unwrap();
 
     let findings = analyze_workspace(&Config::new(&dir)).expect("fake workspace readable");
     let _ = std::fs::remove_dir_all(&dir);
 
     assert_eq!(findings.len(), 3, "{}", report::render_text(&findings));
-    assert_eq!(findings[0].file, "crates/bench/src/main.rs");
+    assert_eq!(findings[0].file, "crates/core/src/report.rs");
     assert_eq!(findings[0].line, 2);
     assert_eq!(findings[0].lint.name(), "no-bare-eprintln");
-    assert_eq!(findings[1].file, "crates/core/src/report.rs");
+    assert_eq!(findings[1].file, "crates/obs/src/lib.rs");
     assert_eq!(findings[1].lint.name(), "no-bare-eprintln");
-    assert_eq!(findings[2].file, "crates/obs/src/lib.rs");
+    assert_eq!(findings[2].file, "crates/services/src/catalog.rs");
     assert_eq!(findings[2].lint.name(), "no-bare-eprintln");
+}
+
+#[test]
+fn sentinel_item_pass_violations_in_a_fake_workspace_are_flagged() {
+    // The acceptance scenarios from the issue, in miniature: a `static mut`,
+    // an unredacted payload-to-eprintln flow, and a global metric write
+    // inside a par_map closure must each produce a finding.
+    let dir = std::env::temp_dir().join(format!(
+        "diffaudit-analyzer-item-sentinel-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let services_src = dir.join("crates/services/src");
+    std::fs::create_dir_all(&services_src).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        services_src.join("state.rs"),
+        "static mut COUNTER: u64 = 0;\n",
+    )
+    .unwrap();
+    std::fs::write(
+        services_src.join("leak.rs"),
+        "fn dump(text: &str) {\n    let exchanges = har_to_exchanges(text);\n    \
+         diffaudit_obs::warn(\"payload\", &[diffaudit_obs::field(\"x\", exchanges)]);\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        services_src.join("workers.rs"),
+        "fn run(items: Vec<u8>) -> Vec<u8> {\n    \
+         par_map_owned(4, items, |_, x| {\n        \
+         diffaudit_obs::add(\"n\", 1);\n        x\n    })\n}\n",
+    )
+    .unwrap();
+
+    let findings = analyze_workspace(&Config::new(&dir)).expect("fake workspace readable");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let lints: Vec<&str> = findings.iter().map(|f| f.lint.name()).collect();
+    assert!(
+        lints.contains(&"global-state")
+            && lints.contains(&"redaction")
+            && lints.contains(&"par-discipline"),
+        "expected all three item-pass lints, got:\n{}",
+        report::render_text(&findings)
+    );
 }

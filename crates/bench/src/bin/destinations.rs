@@ -12,7 +12,7 @@ fn main() {
     let args = BenchArgs::parse();
     args.announce("[destinations] generating dataset");
     let dataset = standard_dataset(&args);
-    let outcome = oracle_outcome(&dataset);
+    let outcome = oracle_outcome(&args, &dataset);
 
     let mut by_class: BTreeMap<&'static str, BTreeSet<String>> = BTreeMap::new();
     let mut orgs: BTreeSet<&'static str> = BTreeSet::new();

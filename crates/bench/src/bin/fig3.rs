@@ -8,6 +8,6 @@ fn main() {
     let args = BenchArgs::parse();
     args.announce("[fig3] generating dataset");
     let dataset = standard_dataset(&args);
-    let outcome = oracle_outcome(&dataset);
+    let outcome = oracle_outcome(&args, &dataset);
     print!("{}", render_fig3(&outcome));
 }

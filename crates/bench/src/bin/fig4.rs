@@ -9,6 +9,6 @@ fn main() {
     let args = BenchArgs::parse();
     args.announce("[fig4] generating dataset");
     let dataset = standard_dataset(&args);
-    let outcome = oracle_outcome(&dataset);
+    let outcome = oracle_outcome(&args, &dataset);
     print!("{}", render_fig4(&outcome));
 }

@@ -23,7 +23,7 @@ fn main() {
     obs::info("[pipeline_metrics] running ensemble pipeline", &[]);
     let outcome = {
         let _span = obs::span("bench.pipeline");
-        ensemble_outcome(&dataset, args.seed)
+        ensemble_outcome(&args, &dataset, args.seed)
     };
     obs::add("bench.services", outcome.services.len() as u64);
     obs::add(

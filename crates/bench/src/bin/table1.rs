@@ -10,7 +10,7 @@ use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::stats::{summarize, DatasetSummary};
 use diffaudit_bench::BenchArgs;
 use diffaudit_obs as obs;
-use diffaudit_services::{generate_dataset, DatasetOptions};
+use diffaudit_services::{generate_dataset_threads, DatasetOptions};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -21,10 +21,11 @@ fn main() {
         mobile_pinned_fraction: 0.12,
         services: Vec::new(),
     };
-    let dataset = generate_dataset(&options);
+    let dataset = generate_dataset_threads(&options, args.threads);
     obs::info("[table1] running pipeline", &[]);
-    let outcome =
-        Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(&dataset);
+    let outcome = Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()))
+        .with_threads(args.threads)
+        .run(&dataset);
     let summary: DatasetSummary = summarize(&outcome);
     print!("{}", diffaudit::report::render_table1(&summary));
 }

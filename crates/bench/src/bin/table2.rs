@@ -10,7 +10,7 @@ fn main() {
     let args = BenchArgs::parse();
     args.announce("[table2] generating dataset");
     let dataset = standard_dataset(&args);
-    let outcome = oracle_outcome(&dataset);
+    let outcome = oracle_outcome(&args, &dataset);
 
     let mut observed: BTreeSet<DataTypeCategory> = BTreeSet::new();
     for service in &outcome.services {

@@ -13,7 +13,7 @@ fn main() {
     let args = BenchArgs::parse();
     args.announce("[table4] generating dataset");
     let dataset = standard_dataset(&args);
-    let outcome = oracle_outcome(&dataset);
+    let outcome = oracle_outcome(&args, &dataset);
     for service in &outcome.services {
         let spec = service_by_slug(&service.slug).expect("known service");
         let grid = ObservedGrid::build(service);

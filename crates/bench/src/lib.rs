@@ -16,7 +16,7 @@ use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
 use diffaudit_classifier::LabeledExample;
 use diffaudit_obs as obs;
 use diffaudit_ontology::DataTypeCategory;
-use diffaudit_services::{generate_dataset, DatasetOptions, GeneratedDataset};
+use diffaudit_services::{generate_dataset_threads, DatasetOptions, GeneratedDataset};
 use std::collections::HashMap;
 
 /// Standard CLI options shared by all bench binaries.
@@ -26,8 +26,9 @@ pub struct BenchArgs {
     pub scale: f64,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads for the parallel pipeline stages (also installed as
-    /// the process-wide default via `par::set_default_threads`).
+    /// Worker threads for the parallel pipeline stages. Passed explicitly
+    /// to every stage ([`standard_dataset`], [`oracle_outcome`],
+    /// [`ensemble_outcome`]) — there is no process-global default.
     pub threads: usize,
 }
 
@@ -51,7 +52,7 @@ impl BenchArgs {
         let mut args = BenchArgs {
             scale: 1.0,
             seed: 2023,
-            threads: diffaudit_util::par::default_threads(),
+            threads: diffaudit_util::par::available_threads(),
         };
         let mut values: Vec<Option<String>> = vec![None; extra.len()];
         let mut iter = std::env::args().skip(1);
@@ -75,7 +76,6 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .filter(|&n: &usize| n >= 1)
                         .unwrap_or_else(|| usage("--threads requires a positive integer"));
-                    diffaudit_util::par::set_default_threads(args.threads);
                 }
                 other => match extra.iter().position(|e| *e == other) {
                     Some(slot) => {
@@ -110,26 +110,34 @@ fn usage(message: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Generate the standard dataset for these args.
+/// Generate the standard dataset for these args (packaging runs on
+/// `args.threads` workers).
 pub fn standard_dataset(args: &BenchArgs) -> GeneratedDataset {
-    generate_dataset(&DatasetOptions {
-        seed: args.seed,
-        volume_scale: args.scale,
-        mobile_pinned_fraction: 0.12,
-        services: Vec::new(),
-    })
+    generate_dataset_threads(
+        &DatasetOptions {
+            seed: args.seed,
+            volume_scale: args.scale,
+            mobile_pinned_fraction: 0.12,
+            services: Vec::new(),
+        },
+        args.threads,
+    )
 }
 
 /// Run the pipeline in oracle mode (ground-truth labels), which isolates
 /// flow-level results from classifier noise — the configuration used for
 /// the flow tables/figures, where the paper relied on its validated labels.
-pub fn oracle_outcome(dataset: &GeneratedDataset) -> AuditOutcome {
-    Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone())).run(dataset)
+pub fn oracle_outcome(args: &BenchArgs, dataset: &GeneratedDataset) -> AuditOutcome {
+    Pipeline::new(ClassificationMode::Oracle(dataset.key_truth.clone()))
+        .with_threads(args.threads)
+        .run(dataset)
 }
 
 /// Run the pipeline in the paper's ensemble configuration.
-pub fn ensemble_outcome(dataset: &GeneratedDataset, seed: u64) -> AuditOutcome {
-    Pipeline::paper_default(seed).run(dataset)
+pub fn ensemble_outcome(args: &BenchArgs, dataset: &GeneratedDataset, seed: u64) -> AuditOutcome {
+    Pipeline::paper_default(seed)
+        .with_threads(args.threads)
+        .run(dataset)
 }
 
 /// Turn the dataset's key ground truth into labeled validation examples,

@@ -493,6 +493,7 @@ impl EntityDb {
     /// Build the embedded database.
     pub fn embedded() -> &'static EntityDb {
         use std::sync::OnceLock;
+        // lint:allow(global-state): immutable cache of the embedded entity table, built once from const data
         static DB: OnceLock<EntityDb> = OnceLock::new();
         DB.get_or_init(|| {
             let mut orgs = Vec::with_capacity(ORGS.len());

@@ -166,6 +166,7 @@ impl Engine {
 
 fn engine() -> &'static Engine {
     use std::sync::OnceLock;
+    // lint:allow(global-state): immutable cache of the deterministic classifier engine, built once from const data
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(Engine::build)
 }

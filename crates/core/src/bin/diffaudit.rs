@@ -60,13 +60,13 @@
 use diffaudit::audit::{audit_service, AuditFinding};
 use diffaudit::diff::ObservedGrid;
 use diffaudit::export;
-use diffaudit::loader::{load_capture_dir_salvage, write_dataset};
+use diffaudit::loader::{load_capture_dir_salvage_threads, write_dataset};
 use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::report;
 use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
 use diffaudit_obs as obs;
-use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions};
+use diffaudit_services::{generate_dataset_threads, service_by_slug, DatasetOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -87,6 +87,10 @@ fn usage() -> ExitCode {
 struct ObsOptions {
     metrics_out: Option<PathBuf>,
     verbose: bool,
+    /// Worker threads from `--threads` (default: the machine's available
+    /// parallelism). Passed explicitly to every parallel stage — there is
+    /// no process-global thread default to set.
+    threads: usize,
 }
 
 /// Strip the global observability flags from the argument list and
@@ -98,6 +102,7 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut verbose = false;
+    let mut threads = diffaudit_util::par::available_threads();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -114,7 +119,7 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
                 None => return Err("--metrics-out takes a file path".into()),
             },
             "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => diffaudit_util::par::set_default_threads(n),
+                Some(n) if n >= 1 => threads = n,
                 _ => return Err("--threads takes a positive integer".into()),
             },
             "-v" | "--verbose" => verbose = true,
@@ -143,6 +148,7 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
         ObsOptions {
             metrics_out,
             verbose,
+            threads,
         },
     ))
 }
@@ -183,8 +189,8 @@ fn main() -> ExitCode {
         }
     };
     let code = match args.first().map(String::as_str) {
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("audit") => cmd_audit(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..], obs_options.threads),
+        Some("audit") => cmd_audit(&args[1..], obs_options.threads),
         Some("classify") => cmd_classify(&args[1..]),
         Some("ontology") => cmd_ontology(),
         Some("obs") => cmd_obs(&args[1..]),
@@ -194,7 +200,7 @@ fn main() -> ExitCode {
     code
 }
 
-fn cmd_generate(args: &[String]) -> ExitCode {
+fn cmd_generate(args: &[String], threads: usize) -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut options = DatasetOptions {
         volume_scale: 0.1,
@@ -232,7 +238,7 @@ fn cmd_generate(args: &[String]) -> ExitCode {
         ],
     );
     let gen_span = obs::span("generate");
-    let dataset = generate_dataset(&options);
+    let dataset = generate_dataset_threads(&options, threads);
     gen_span.finish();
     let write_span = obs::span("generate.write");
     let written = write_dataset(&dataset, &out);
@@ -272,7 +278,7 @@ fn cmd_generate(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_audit(args: &[String]) -> ExitCode {
+fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
     let mut dirs: Vec<PathBuf> = Vec::new();
     let mut seed = 2023u64;
     let mut threshold = 0.8f64;
@@ -317,7 +323,7 @@ fn cmd_audit(args: &[String]) -> ExitCode {
     let mut inputs = Vec::new();
     let mut ledger = DegradationLedger::new();
     for dir in &dirs {
-        match load_capture_dir_salvage(dir) {
+        match load_capture_dir_salvage_threads(dir, threads) {
             Ok((input, service_ledger)) => {
                 let dropped = service_ledger.merged().total_dropped();
                 let mut fields = vec![
@@ -371,7 +377,8 @@ fn cmd_audit(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let pipeline = Pipeline::new(ClassificationMode::Ensemble { seed, threshold });
+    let pipeline =
+        Pipeline::new(ClassificationMode::Ensemble { seed, threshold }).with_threads(threads);
     let outcome = pipeline.run_inputs(inputs);
 
     // Findings need a policy; catalog services get their real one, unknown

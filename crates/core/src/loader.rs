@@ -323,17 +323,26 @@ pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
 /// On a pristine directory the returned [`ServiceInput`] is identical to
 /// [`load_capture_dir`]'s and the ledger is clean.
 pub fn load_capture_dir_salvage(dir: &Path) -> Result<(ServiceInput, ServiceLedger), LoadError> {
+    load_capture_dir_salvage_threads(dir, diffaudit_util::par::available_threads())
+}
+
+/// [`load_capture_dir_salvage`] with an explicit worker-thread count (the
+/// `--threads` CLI flag lands here; 1 forces the serial path).
+pub fn load_capture_dir_salvage_threads(
+    dir: &Path,
+    threads: usize,
+) -> Result<(ServiceInput, ServiceLedger), LoadError> {
     let _span = diffaudit_obs::span("loader.dir");
     let manifest = read_manifest(dir)?;
     // Units are independent, so they load in parallel over the scoped
-    // executor (the `--threads` default; 1 = today's serial path). Workers
-    // record `loader.unit` timings and counters into per-thread recorders
-    // merged at join, and never emit events — the debug/warn lines below go
-    // out on this thread afterwards, in manifest order, so the event stream
-    // and both returned vectors are identical for every thread count.
+    // executor (1 = today's serial path). Workers record `loader.unit`
+    // timings and counters into per-thread recorders merged at join, and
+    // never emit events — the debug/warn lines below go out on this thread
+    // afterwards, in manifest order, so the event stream and both returned
+    // vectors are identical for every thread count.
     let loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)> =
         diffaudit_util::par::par_map_ctx(
-            diffaudit_util::par::default_threads(),
+            threads.max(1),
             &manifest.unit_entries,
             diffaudit_obs::LocalRecorder::new,
             |recorder, i, entry| load_unit_salvage(dir, entry, i, &manifest.path, recorder),

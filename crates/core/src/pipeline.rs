@@ -160,8 +160,9 @@ pub struct AuditOutcome {
 #[derive(Clone)]
 pub struct Pipeline {
     mode: ClassificationMode,
-    /// Worker-thread override; `None` defers to [`par::default_threads`]
-    /// (which the `--threads` CLI flag configures) at run time.
+    /// Worker-thread override; `None` defers to [`par::available_threads`]
+    /// at run time. The `--threads` CLI flag arrives via
+    /// [`Pipeline::with_threads`] — there is no process-global default.
     threads: Option<usize>,
 }
 
@@ -183,14 +184,14 @@ impl Pipeline {
     }
 
     /// Override the worker-thread count for this pipeline (`1` forces the
-    /// serial path). Without this, runs use [`par::default_threads`].
+    /// serial path). Without this, runs use [`par::available_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
     }
 
     fn threads(&self) -> usize {
-        self.threads.unwrap_or_else(par::default_threads)
+        self.threads.unwrap_or_else(par::available_threads)
     }
 
     /// Run over a generated dataset.

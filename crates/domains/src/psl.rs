@@ -89,6 +89,7 @@ impl PublicSuffixList {
     /// The embedded snapshot.
     pub fn embedded() -> &'static PublicSuffixList {
         use std::sync::OnceLock;
+        // lint:allow(global-state): immutable cache of the embedded PSL snapshot, built once from const data
         static LIST: OnceLock<PublicSuffixList> = OnceLock::new();
         LIST.get_or_init(|| PublicSuffixList::from_rules(EMBEDDED_RULES))
     }

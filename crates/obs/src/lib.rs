@@ -51,6 +51,8 @@ pub use trace::{render_trace_report, SpanTree, TraceLog, TraceReportOptions};
 
 use std::sync::OnceLock;
 
+// lint:allow(global-state): the one sanctioned process-global — the obs recorder the whole
+// workspace funnels through; per-pipeline recorders merge into it at join
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 
 /// The process-global recorder (created on first use).

@@ -108,10 +108,16 @@ pub const CAMPAIGN_START_MS: u64 = 1_696_237_200_000;
 /// Unit *packaging* — HAR serialization, or the pcap/TLS capture
 /// simulation seeded per `(seed, slug, unit_index)` — is pure per-unit
 /// work, so all services' units package concurrently over the scoped
-/// executor (thread count from [`diffaudit_util::par::default_threads`],
-/// i.e. the `--threads` flag; 1 forces the serial path). Results return in
-/// input order, so artifacts are byte-identical at any thread count.
+/// executor ([`diffaudit_util::par::available_threads`] workers; use
+/// [`generate_dataset_threads`] to pass the `--threads` flag through;
+/// 1 forces the serial path). Results return in input order, so artifacts
+/// are byte-identical at any thread count.
 pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
+    generate_dataset_threads(options, diffaudit_util::par::available_threads())
+}
+
+/// [`generate_dataset`] with an explicit packaging thread count.
+pub fn generate_dataset_threads(options: &DatasetOptions, threads: usize) -> GeneratedDataset {
     let root = Rng::new(options.seed);
     let mut factory = KeyFactory::new();
     let mut specs: Vec<ServiceSpec> = Vec::new();
@@ -125,10 +131,8 @@ pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
         pending.extend(units.into_iter().map(|unit| (service_index, unit)));
         specs.push(spec);
     }
-    let packaged = diffaudit_util::par::par_map_owned(
-        diffaudit_util::par::default_threads(),
-        pending,
-        |_, (service_index, unit)| {
+    let packaged =
+        diffaudit_util::par::par_map_owned(threads.max(1), pending, |_, (service_index, unit)| {
             let artifact = match specs.get(service_index) {
                 Some(spec) => package_unit(spec, options, unit),
                 // Unreachable: every pending unit was minted with its
@@ -136,8 +140,7 @@ pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
                 None => return None,
             };
             Some((service_index, artifact))
-        },
-    );
+        });
     let mut services: Vec<ServiceCapture> = specs
         .iter()
         .map(|spec| ServiceCapture {
@@ -160,7 +163,7 @@ pub fn generate_dataset(options: &DatasetOptions) -> GeneratedDataset {
 /// Generate one service's capture (callable separately so the full-scale
 /// benchmark can process services one at a time). Exchange generation is
 /// serial (see [`generate_dataset`]); this service's units still package
-/// in parallel.
+/// in parallel on [`diffaudit_util::par::available_threads`] workers.
 pub fn generate_service(
     spec: &ServiceSpec,
     options: &DatasetOptions,
@@ -169,7 +172,7 @@ pub fn generate_service(
 ) -> ServiceCapture {
     let units = generate_service_units(spec, options, root, factory);
     let artifacts = diffaudit_util::par::par_map_owned(
-        diffaudit_util::par::default_threads(),
+        diffaudit_util::par::available_threads(),
         units,
         |_, unit| package_unit(spec, options, unit),
     );

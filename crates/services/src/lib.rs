@@ -33,7 +33,8 @@ pub mod spec;
 
 pub use catalog::{all_services, service_by_slug};
 pub use dataset::{
-    generate_dataset, DatasetOptions, GeneratedDataset, ServiceCapture, TraceArtifact,
+    generate_dataset, generate_dataset_threads, DatasetOptions, GeneratedDataset, ServiceCapture,
+    TraceArtifact,
 };
 pub use keys::KeyFactory;
 pub use policy::{PolicyDisclosure, PrivacyPolicy};

@@ -9,8 +9,9 @@
 //!   [`par_map_ctx`], [`par_map_ctx_owned`]) — results always come back in
 //!   input order, so downstream output is byte-identical regardless of the
 //!   thread count;
-//! - a process-wide thread-count default ([`set_default_threads`] /
-//!   [`default_threads`]) that the `--threads N` CLI flag feeds;
+//! - no process-global thread-count default: callers thread their chosen
+//!   count explicitly (the `--threads N` CLI flag plumbs through function
+//!   arguments), with [`available_threads`] as the conventional fallback;
 //! - a [`KeyInterner`] that hash-conses raw payload keys into shared
 //!   [`Key`] (`Arc<str>`) handles, so the ~73k key occurrences funneling
 //!   into ~29.5k unique keys stop cloning `String`s through
@@ -31,33 +32,11 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// The process-wide default thread count. Zero means "auto": resolve to
-/// [`available_threads`] at call time.
-static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
-
 /// The machine's available parallelism (1 when it cannot be determined).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-}
-
-/// Set the process-wide default thread count used by [`default_threads`].
-/// `0` restores the "auto" behaviour (use [`available_threads`]); any other
-/// value is taken as-is, so `set_default_threads(1)` forces the serial path
-/// everywhere that does not override threads explicitly.
-pub fn set_default_threads(threads: usize) {
-    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
-}
-
-/// The effective default thread count: the last value passed to
-/// [`set_default_threads`], or [`available_threads`] when unset (or set
-/// to zero).
-pub fn default_threads() -> usize {
-    match DEFAULT_THREADS.load(Ordering::Relaxed) {
-        0 => available_threads(),
-        n => n,
-    }
 }
 
 /// Map `f` over `items` on up to `threads` scoped threads, returning the
@@ -317,12 +296,7 @@ mod tests {
     }
 
     #[test]
-    fn default_threads_round_trips() {
-        // The default is process-global; restore "auto" afterwards.
-        set_default_threads(3);
-        assert_eq!(default_threads(), 3);
-        set_default_threads(0);
-        assert_eq!(default_threads(), available_threads());
+    fn available_threads_is_at_least_one() {
         assert!(available_threads() >= 1);
     }
 

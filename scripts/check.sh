@@ -7,8 +7,22 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> diffaudit-analyzer (no-panic / unsafe-audit / error-taxonomy / no-bare-eprintln)"
-cargo run -q -p diffaudit-analyzer
+echo "==> diffaudit-analyzer (7 lint passes, ratcheted against analyzer_baseline.json)"
+an_tmp="$(mktemp -d)"
+obs_tmp=""
+trap 'rm -rf "$an_tmp" "$obs_tmp"' EXIT
+cargo run -q -p diffaudit-analyzer -- --format json \
+    --baseline analyzer_baseline.json \
+    --trace-out "$an_tmp/analyzer_trace.jsonl" \
+    > "$an_tmp/analyzer.json" 2> "$an_tmp/analyzer.log"
+cat "$an_tmp/analyzer.log" >&2 || true
+# The ratchet only shrinks: a baseline entry that stopped firing must be
+# removed from analyzer_baseline.json, not silently tolerated forever.
+if grep -q '^fixed: ' "$an_tmp/analyzer.log"; then
+    echo "analyzer baseline is stale (entries above no longer fire)."
+    echo "Regenerate: cargo run -q -p diffaudit-analyzer -- --format json > analyzer_baseline.json"
+    exit 1
+fi
 
 echo "==> cargo build --release"
 cargo build --release
@@ -21,7 +35,6 @@ cargo test -q --release -p diffaudit --test chaos --test cli_exit_codes
 
 echo "==> observability smoke (trace + metrics files parse, stages present)"
 obs_tmp="$(mktemp -d)"
-trap 'rm -rf "$obs_tmp"' EXIT
 ./target/release/diffaudit generate --out "$obs_tmp/cap" --scale 0.02 \
     --services tiktok --log-level warn
 ./target/release/diffaudit audit "$obs_tmp/cap/tiktok" --log-level warn \
@@ -40,6 +53,13 @@ echo "==> obs trace report (span tree reconstructs from the smoke trace)"
 ./target/release/diffaudit obs report "$obs_tmp/trace.jsonl" > "$obs_tmp/trace_report.txt"
 grep -q '^root audit: total ' "$obs_tmp/trace_report.txt"
 grep -q '^critical path:' "$obs_tmp/trace_report.txt"
+
+echo "==> analyzer self-instrumentation (analyzer.analyze span in its own trace)"
+grep -q '"kind":"span","name":"analyzer.analyze"' "$an_tmp/analyzer_trace.jsonl"
+./target/release/diffaudit obs report "$an_tmp/analyzer_trace.jsonl" \
+    > "$an_tmp/analyzer_trace_report.txt"
+grep -q 'analyzer.analyze' "$an_tmp/analyzer_trace_report.txt" \
+    || { echo "obs report missing analyzer.analyze span"; exit 1; }
 
 echo "==> parallel consistency (--threads 1 vs --threads 4: counters must match)"
 ./target/release/pipeline_metrics --scale 0.05 --threads 1 --out "$obs_tmp/serial.json"

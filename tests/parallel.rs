@@ -18,13 +18,14 @@
 
 use diffaudit::audit::audit_service;
 use diffaudit::export::outcome_to_json;
-use diffaudit::loader::{load_capture_dir_salvage, write_dataset};
+use diffaudit::loader::{load_capture_dir_salvage_threads, write_dataset};
 use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::{AuditFinding, DegradationLedger};
 use diffaudit_json::{parse, Json};
 use diffaudit_nettrace::fault::{FaultOp, FaultSpec};
-use diffaudit_services::{generate_dataset, service_by_slug, DatasetOptions, GeneratedDataset};
-use diffaudit_util::par;
+use diffaudit_services::{
+    generate_dataset, generate_dataset_threads, service_by_slug, DatasetOptions, GeneratedDataset,
+};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -250,12 +251,8 @@ fn dataset_generation_is_thread_count_invariant() {
         mobile_pinned_fraction: 0.2,
         services: vec!["roblox".into(), "duolingo".into()],
     };
-    let generate_with = |threads: usize| -> GeneratedDataset {
-        par::set_default_threads(threads);
-        let dataset = generate_dataset(&options);
-        par::set_default_threads(0); // restore auto-detect
-        dataset
-    };
+    let generate_with =
+        |threads: usize| -> GeneratedDataset { generate_dataset_threads(&options, threads) };
     let serial = generate_with(1);
     let parallel = generate_with(PARALLEL);
     assert_eq!(serial.services.len(), parallel.services.len());
@@ -301,10 +298,8 @@ fn degradation_ledger_is_conserved_and_identical_under_concurrency() {
     );
 
     let load_with = |threads: usize| {
-        par::set_default_threads(threads);
-        let loaded = load_capture_dir_salvage(&dir);
-        par::set_default_threads(0);
-        loaded.expect("salvage load succeeds on damaged dir")
+        load_capture_dir_salvage_threads(&dir, threads)
+            .expect("salvage load succeeds on damaged dir")
     };
     let (serial_input, serial_ledger) = load_with(1);
     let (parallel_input, parallel_ledger) = load_with(PARALLEL);
