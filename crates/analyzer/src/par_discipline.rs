@@ -14,6 +14,13 @@
 //! called from inside that region. `diffaudit_obs::absorb`,
 //! `diffaudit_obs::field`, and everything on `LocalRecorder` (method
 //! calls) stay allowed.
+//!
+//! The serve daemon added a second kind of scanned region: `catch_unwind`
+//! job boundaries ([`GUARD_ENTRY_POINTS`]). The no-global-registry and
+//! no-print rules apply there too — a panic midway through a registry
+//! write poisons the global lock for every job the containment was meant
+//! to protect — but the blocking-I/O rule does not (a contained job owns
+//! its own I/O budget; its deadline cuts a stall off).
 
 use crate::annotations::Allows;
 use crate::findings::{Finding, Lint};
@@ -29,6 +36,15 @@ pub const PAR_ENTRY_POINTS: [&str; 4] = [
     "par_map_ctx",
     "par_map_ctx_owned",
 ];
+
+/// Panic-containment guards whose closure is a job boundary — the serve
+/// daemon's worker wraps each job in `catch_unwind` so a poisoned job
+/// cannot take the worker down. Inside that region the same no-global-
+/// registry / no-print rules apply, for a sharper reason: a panic midway
+/// through a global-registry write poisons the registry lock for every
+/// *surviving* job, which defeats the containment. Jobs record into their
+/// private `Scope` and the worker merges after the guard returns.
+pub const GUARD_ENTRY_POINTS: [&str; 1] = ["catch_unwind"];
 
 /// `diffaudit_obs` free functions that hit the process-global registry or
 /// the trace stream. (`absorb` and `field` are deliberately absent — the
@@ -52,6 +68,19 @@ const BLOCKING_PATTERNS: [(&str, &str); 8] = [
 /// Stderr/stdout macros double as trace emission from a worker.
 const PRINT_MACROS: [&str; 4] = ["eprintln!", "eprint!", "println!", "print!"];
 
+/// Which kind of scanned region a finding sits in; selects the applicable
+/// rules and the message wording.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Region {
+    /// A `par_map_*` worker-closure argument region: all three rules
+    /// (no global registry, no blocking I/O, no prints).
+    Worker,
+    /// A `catch_unwind` panic-contained job region: no global registry
+    /// (a mid-write panic poisons the lock for surviving jobs) and no
+    /// prints; blocking I/O is the *job's* business there.
+    PanicGuard,
+}
+
 /// Run the pass over one file.
 pub fn par_discipline(
     file: &SourceFile,
@@ -61,7 +90,14 @@ pub fn par_discipline(
 ) {
     let stripped = file.stripped();
     let bytes = stripped.as_bytes();
-    for entry_at in par_call_sites(stripped) {
+    let sites = call_sites(stripped, &PAR_ENTRY_POINTS, Region::Worker)
+        .into_iter()
+        .chain(call_sites(
+            stripped,
+            &GUARD_ENTRY_POINTS,
+            Region::PanicGuard,
+        ));
+    for (entry_at, kind) in sites {
         let entry_line = lexer::line_of(file.line_starts(), entry_at);
         if file.in_test_code(entry_line) {
             continue;
@@ -74,10 +110,10 @@ pub fn par_discipline(
             continue;
         };
         let region = (open + 1, close);
-        scan_region(file, region, None, entry_line, allows, findings);
+        scan_region(file, region, kind, None, entry_line, allows, findings);
 
         // One hop: same-file functions called from inside the region run on
-        // the worker thread too.
+        // the worker thread (or inside the containment boundary) too.
         let Some(enclosing) = model.enclosing_fn(entry_at) else {
             continue;
         };
@@ -94,49 +130,58 @@ pub fn par_discipline(
                 continue;
             };
             if let Some(body) = callee.body {
-                scan_region(file, body, Some(&call.name), entry_line, allows, findings);
+                scan_region(
+                    file,
+                    body,
+                    kind,
+                    Some(&call.name),
+                    entry_line,
+                    allows,
+                    findings,
+                );
             }
         }
     }
 }
 
-/// Offsets of `par_map_*(` call sites.
-fn par_call_sites(stripped: &str) -> Vec<usize> {
+/// Offsets of `<entry>(` call sites for the given entry-point names,
+/// tagged with the region kind they open.
+fn call_sites(stripped: &str, entries: &[&str], kind: Region) -> Vec<(usize, Region)> {
     let bytes = stripped.as_bytes();
     let mut sites = Vec::new();
-    let mut from = 0usize;
-    while let Some(rel) = stripped[from..].find("par_map_") {
-        let at = from + rel;
-        from = at + 1;
-        if at > 0 && is_ident(bytes[at - 1]) {
-            continue;
+    for entry in entries {
+        let mut from = 0usize;
+        while let Some(rel) = stripped[from..].find(entry) {
+            let at = from + rel;
+            from = at + 1;
+            if at > 0 && is_ident(bytes[at - 1]) {
+                continue;
+            }
+            let ident_end = at + entry.len();
+            if ident_end < stripped.len() && is_ident(bytes[ident_end]) {
+                continue;
+            }
+            // Must be a call, not a definition or a doc path.
+            let after = stripped[ident_end..].trim_start();
+            if !after.starts_with('(') {
+                continue;
+            }
+            // `fn par_map_…(` is the definition site in util::par itself.
+            let before = stripped[..at].trim_end();
+            if before.ends_with("fn") {
+                continue;
+            }
+            sites.push((at, kind));
         }
-        let ident_end = stripped[at..]
-            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-            .map(|n| at + n)
-            .unwrap_or(stripped.len());
-        let name = &stripped[at..ident_end];
-        if !PAR_ENTRY_POINTS.contains(&name) {
-            continue;
-        }
-        // Must be a call, not a definition or a doc path.
-        let after = stripped[ident_end..].trim_start();
-        if !after.starts_with('(') {
-            continue;
-        }
-        // `fn par_map_…(` is the definition site in util::par itself.
-        let before = stripped[..at].trim_end();
-        if before.ends_with("fn") {
-            continue;
-        }
-        sites.push(at);
     }
+    sites.sort_by_key(|&(at, _)| at);
     sites
 }
 
 fn scan_region(
     file: &SourceFile,
     (lo, hi): (usize, usize),
+    kind: Region,
     via: Option<&str>,
     entry_line: usize,
     allows: &Allows,
@@ -163,33 +208,42 @@ fn scan_region(
             if !FORBIDDEN_OBS.contains(&name) {
                 continue;
             }
-            hits.push((
-                lo + at,
-                format!(
+            let message = match kind {
+                Region::Worker => format!(
                     "`{prefix}{name}` hits the process-global obs registry from a worker; \
                      record into the per-worker `LocalRecorder` and `absorb` at join"
                 ),
-            ));
+                Region::PanicGuard => format!(
+                    "`{prefix}{name}` hits the process-global obs registry inside a \
+                     panic-contained job region; a panic mid-write poisons the registry \
+                     for surviving jobs — record into the job's private `Scope` and merge \
+                     after the guard returns"
+                ),
+            };
+            hits.push((lo + at, message));
         }
     }
 
-    // Blocking I/O.
-    for (pattern, what) in BLOCKING_PATTERNS {
-        let mut from = 0usize;
-        while let Some(rel) = region[from..].find(pattern) {
-            let at = from + rel;
-            from = at + 1;
-            if at > 0 && is_ident(region.as_bytes()[at - 1]) {
-                continue;
+    // Blocking I/O — a worker-closure rule only: inside a panic guard the
+    // job itself owns its I/O budget (the deadline cuts a stall off).
+    if kind == Region::Worker {
+        for (pattern, what) in BLOCKING_PATTERNS {
+            let mut from = 0usize;
+            while let Some(rel) = region[from..].find(pattern) {
+                let at = from + rel;
+                from = at + 1;
+                if at > 0 && is_ident(region.as_bytes()[at - 1]) {
+                    continue;
+                }
+                // `std::fs::` subsumes `fs::read`/`fs::write`; report once.
+                if pattern.starts_with("fs::") && at >= 5 && &region[at - 5..at] == "std::" {
+                    continue;
+                }
+                hits.push((
+                    lo + at,
+                    format!("blocking {what} (`{pattern}…`) inside a worker closure stalls the work-stealing cursor"),
+                ));
             }
-            // `std::fs::` subsumes `fs::read`/`fs::write`; report once.
-            if pattern.starts_with("fs::") && at >= 5 && &region[at - 5..at] == "std::" {
-                continue;
-            }
-            hits.push((
-                lo + at,
-                format!("blocking {what} (`{pattern}…`) inside a worker closure stalls the work-stealing cursor"),
-            ));
         }
     }
 
@@ -202,13 +256,17 @@ fn scan_region(
             if at > 0 && is_ident(region.as_bytes()[at - 1]) {
                 continue;
             }
-            hits.push((
-                lo + at,
-                format!(
+            let message = match kind {
+                Region::Worker => format!(
                     "`{needle}` emits to a shared stream from a worker closure; \
                      workers must stay silent (merge diagnostics at join)"
                 ),
-            ));
+                Region::PanicGuard => format!(
+                    "`{needle}` emits to a shared stream inside a panic-contained job \
+                     region; jobs must stay silent (report through the job completion)"
+                ),
+            };
+            hits.push((lo + at, message));
         }
     }
 
@@ -348,6 +406,76 @@ fn run(items: Vec<u8>) -> Vec<u8> {
 }
 ";
         assert!(run(src).is_empty(), "{:#?}", run(src));
+    }
+
+    #[test]
+    fn global_registry_write_inside_catch_unwind_flagged() {
+        let src = "\
+fn worker(job: Job) -> Outcome {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        diffaudit_obs::add(\"jobs.started\", 1);
+        run_job(job)
+    }));
+    outcome.unwrap_or_default()
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0].message.contains("panic-contained"));
+        assert!(findings[0].message.contains("poisons"));
+    }
+
+    #[test]
+    fn print_inside_catch_unwind_flagged_but_blocking_io_is_not() {
+        // A contained job may read files (its deadline bounds the stall);
+        // it may not write shared streams.
+        let src = "\
+fn worker(p: String) -> String {
+    catch_unwind(|| {
+        println!(\"running {p}\");
+        std::fs::read_to_string(&p).unwrap_or_default()
+    })
+    .unwrap_or_default()
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("shared stream"));
+        assert!(findings[0].message.contains("job completion"));
+    }
+
+    #[test]
+    fn clean_catch_unwind_job_boundary_passes() {
+        // The serve worker's actual shape: the contained closure only calls
+        // the runner; the merge and the counters happen after the guard.
+        let src = "\
+fn worker_loop(job: Job) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job)));
+    if let Ok(output) = outcome {
+        diffaudit_obs::global().merge(output.metrics);
+        diffaudit_obs::add(\"serve.jobs.finished\", 1);
+    }
+}
+";
+        assert!(run(src).is_empty(), "{:#?}", run(src));
+    }
+
+    #[test]
+    fn one_hop_into_callee_from_catch_unwind_region() {
+        let src = "\
+fn worker(job: Job) -> Outcome {
+    catch_unwind(|| contained(job)).unwrap_or_default()
+}
+fn contained(job: Job) -> Outcome {
+    diffaudit_obs::warn(\"starting\", &[]);
+    run(job)
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 5);
+        assert!(findings[0].message.contains("via `contained`"));
     }
 
     #[test]

@@ -21,9 +21,13 @@ pub const DESIGNATED_CRATES: [&str; 3] = ["nettrace", "json", "domains"];
 /// a panic there defeats the whole skip-and-record design; the parallel
 /// executor runs arbitrary per-unit closures on worker threads, where a
 /// panic of its own would tear down every in-flight unit at once.
-pub const DESIGNATED_FILES: [&str; 3] = [
+/// (`crates/serve/src/http.rs` parses raw HTTP/1.1 request bytes off the
+/// socket — the most untrusted input in the tree — so it is held to the
+/// parser policy too.)
+pub const DESIGNATED_FILES: [&str; 4] = [
     "crates/core/src/loader.rs",
     "crates/core/src/salvage.rs",
+    "crates/serve/src/http.rs",
     "crates/util/src/par.rs",
 ];
 
@@ -39,7 +43,7 @@ pub const EPRINTLN_ALLOWLIST: [&str; 2] = ["crates/obs/src/sink.rs", "crates/ana
 /// must take configuration through arguments.
 pub const ENV_ALLOWLIST: [&str; 2] = [
     "crates/analyzer/src/main.rs",
-    "crates/core/src/bin/diffaudit.rs",
+    "crates/serve/src/bin/diffaudit.rs",
 ];
 
 /// Analysis configuration.
@@ -242,6 +246,7 @@ mod tests {
             [
                 "crates/core/src/loader.rs",
                 "crates/core/src/salvage.rs",
+                "crates/serve/src/http.rs",
                 "crates/util/src/par.rs"
             ]
         );
@@ -263,7 +268,7 @@ mod tests {
             ENV_ALLOWLIST,
             [
                 "crates/analyzer/src/main.rs",
-                "crates/core/src/bin/diffaudit.rs"
+                "crates/serve/src/bin/diffaudit.rs"
             ]
         );
         for path in ENV_ALLOWLIST {

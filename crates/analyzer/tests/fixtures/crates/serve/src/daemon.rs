@@ -1,0 +1,21 @@
+//! par-discipline true positives for the serve daemon's job boundary:
+//! global-registry writes and stream emission inside `catch_unwind`
+//! job-runner closures. Blocking I/O inside the containment is *not* a
+//! violation (the job's deadline bounds it) — `run_contained` below must
+//! produce exactly one finding, for the print, not two.
+
+fn worker_loop(job: Job) -> Outcome {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        diffaudit_obs::add("serve.jobs.started", 1);
+        run_job(job)
+    }));
+    outcome.unwrap_or_default()
+}
+
+fn run_contained(path: String) -> String {
+    catch_unwind(|| {
+        println!("loading {path}");
+        std::fs::read_to_string(&path).unwrap_or_default()
+    })
+    .unwrap_or_default()
+}

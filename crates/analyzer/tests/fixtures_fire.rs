@@ -33,6 +33,7 @@ fn every_pass_fires_on_its_fixture_file() {
         ("global-state", "core/src/globals.rs", 4),
         ("redaction", "core/src/leaks.rs", 3),
         ("par-discipline", "util/src/workers.rs", 3),
+        ("par-discipline", "serve/src/daemon.rs", 2),
     ] {
         let hits = of(&findings, lint, file);
         assert!(
@@ -96,5 +97,34 @@ fn par_fixture_flags_each_forbidden_category() {
     assert!(
         messages.iter().any(|m| m.contains("shared stream")),
         "stream emission must fire: {messages:#?}"
+    );
+}
+
+#[test]
+fn serve_fixture_covers_the_panic_guard_rules() {
+    // The daemon fixture: a registry write and a print inside
+    // `catch_unwind` job closures each fire, but the blocking read inside
+    // the containment does not (the job's deadline bounds its own I/O).
+    let findings = corpus_findings();
+    let daemon: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.file.ends_with("serve/src/daemon.rs"))
+        .collect();
+    assert_eq!(
+        daemon.len(),
+        2,
+        "exactly the registry write and the print must fire:\n{}",
+        report::render_text(&findings)
+    );
+    assert!(daemon
+        .iter()
+        .any(|f| f.message.contains("panic-contained") && f.message.contains("poisons")));
+    assert!(daemon
+        .iter()
+        .any(|f| f.message.contains("shared stream") && f.message.contains("job completion")));
+    assert!(
+        !daemon.iter().any(|f| f.message.contains("blocking")),
+        "blocking I/O inside the containment must not fire:\n{}",
+        report::render_text(&findings)
     );
 }

@@ -120,6 +120,56 @@ fn sentinel_eprintln_in_a_fake_workspace_respects_gate_and_allowlist() {
 }
 
 #[test]
+fn sentinel_job_runner_closure_in_a_fake_workspace_is_flagged() {
+    // The serve daemon's job boundary in miniature: a fake `crates/serve`
+    // whose worker writes the global registry and prints from inside the
+    // `catch_unwind` containment must be flagged at file:line, while the
+    // clean worker shape (merge *after* the guard) stays silent.
+    let dir = std::env::temp_dir().join(format!(
+        "diffaudit-analyzer-serve-sentinel-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serve_src = dir.join("crates/serve/src");
+    std::fs::create_dir_all(&serve_src).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        serve_src.join("worker.rs"),
+        "fn worker_loop(job: Job) {\n    \
+         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {\n        \
+         diffaudit_obs::add(\"serve.jobs.started\", 1);\n        \
+         println!(\"job {job:?}\");\n        \
+         run_job(job)\n    \
+         }));\n    \
+         let _ = outcome;\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        serve_src.join("clean_worker.rs"),
+        "fn worker_loop(job: Job) {\n    \
+         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job)));\n    \
+         if let Ok(output) = outcome {\n        \
+         diffaudit_obs::global().merge(output.metrics);\n        \
+         diffaudit_obs::add(\"serve.jobs.finished\", 1);\n    \
+         }\n}\n",
+    )
+    .unwrap();
+
+    let findings = analyze_workspace(&Config::new(&dir)).expect("fake workspace readable");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(findings.len(), 2, "{}", report::render_text(&findings));
+    assert!(findings
+        .iter()
+        .all(|f| f.file == "crates/serve/src/worker.rs"));
+    assert!(findings.iter().all(|f| f.lint.name() == "par-discipline"));
+    assert_eq!(findings[0].line, 3);
+    assert!(findings[0].message.contains("panic-contained"));
+    assert_eq!(findings[1].line, 4);
+    assert!(findings[1].message.contains("shared stream"));
+}
+
+#[test]
 fn sentinel_item_pass_violations_in_a_fake_workspace_are_flagged() {
     // The acceptance scenarios from the issue, in miniature: a `static mut`,
     // an unredacted payload-to-eprintln flow, and a global metric write

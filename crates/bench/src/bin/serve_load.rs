@@ -1,0 +1,454 @@
+//! Load generator and smoke driver for the `diffaudit serve` daemon — the
+//! producer of the committed `BENCH_serve.json` throughput/latency baseline.
+//!
+//! Two modes:
+//!
+//! - `--mode load` (default): boots an in-process daemon with a bounded
+//!   queue, fires a burst of concurrent job submissions wider than the
+//!   queue (default 8 submitters vs capacity 4) so load shedding is
+//!   actually exercised, retries shed submissions until accepted, polls
+//!   every job to a terminal state, and writes a JSON summary with
+//!   observed `429` counts, throughput, and p50/p90/p99 end-to-end job
+//!   latency. Fails (exit 1) if no submission was ever shed — that means
+//!   the burst did not outrun the queue and the numbers are meaningless.
+//!
+//! - `--mode smoke --target HOST:PORT`: drives an externally booted
+//!   daemon through the whole client lifecycle (health, upload, submit,
+//!   poll, result, report, shutdown) and exits 0 only if every step
+//!   behaved. `scripts/check.sh` runs this against a `--port 0` daemon
+//!   and then asserts the daemon process itself drained cleanly.
+//!
+//! Usage: `serve_load [--scale F] [--seed N] [--threads N] [--out PATH]
+//!         [--mode load|smoke] [--target HOST:PORT] [--uploads N]
+//!         [--queue N] [--workers N]`
+
+use diffaudit_bench::{standard_dataset, BenchArgs};
+use diffaudit_json::Json;
+use diffaudit_obs as obs;
+use diffaudit_serve::client;
+use diffaudit_serve::{ServeConfig, Server};
+use diffaudit_services::{Platform, TraceArtifact, TraceCategory, TraceKind};
+use diffaudit_util::stats::percentile;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    obs::error(msg, &[]);
+    std::process::exit(1);
+}
+
+fn platform_param(p: Platform) -> &'static str {
+    match p {
+        Platform::Web => "web",
+        Platform::Mobile => "mobile",
+        Platform::Desktop => "desktop",
+    }
+}
+
+fn kind_param(k: TraceKind) -> &'static str {
+    match k {
+        TraceKind::AccountCreation => "account-creation",
+        TraceKind::LoggedIn => "logged-in",
+        TraceKind::LoggedOut => "logged-out",
+    }
+}
+
+fn category_param(c: TraceCategory) -> &'static str {
+    match c {
+        TraceCategory::Child => "child",
+        TraceCategory::Adolescent => "adolescent",
+        TraceCategory::Adult => "adult",
+        TraceCategory::LoggedOut => "logged-out",
+    }
+}
+
+/// POST one artifact to `/api/v1/traces` (plus its key log, for captures);
+/// returns the trace id.
+fn upload_artifact(addr: &str, index: usize, artifact: &TraceArtifact) -> String {
+    let path = format!(
+        "/api/v1/traces?label=unit-{index}&platform={}&kind={}&category={}",
+        platform_param(artifact.platform),
+        kind_param(artifact.kind),
+        category_param(artifact.category),
+    );
+    let body: &[u8] = match (&artifact.har, &artifact.pcap) {
+        (Some(har), _) => har.as_bytes(),
+        (None, Some(pcap)) => pcap.as_slice(),
+        (None, None) => fail("generated artifact has neither HAR nor pcap"),
+    };
+    let (status, text) = client::request_text(addr, "POST", &path, body)
+        .unwrap_or_else(|e| fail(&format!("upload failed: {e}")));
+    if status != 201 {
+        fail(&format!("upload returned {status}: {text}"));
+    }
+    let doc = diffaudit_json::parse(&text)
+        .unwrap_or_else(|e| fail(&format!("upload response not JSON: {e}")));
+    let id = doc
+        .get("traceId")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("upload response missing traceId"))
+        .to_string();
+    if artifact.har.is_none() {
+        if let Some(keylog) = &artifact.keylog {
+            let (status, _) = client::request_text(
+                addr,
+                "POST",
+                &format!("/api/v1/traces/{id}/keylog"),
+                keylog.as_bytes(),
+            )
+            .unwrap_or_else(|e| fail(&format!("keylog attach failed: {e}")));
+            if status != 200 {
+                fail(&format!("keylog attach returned {status}"));
+            }
+        }
+    }
+    id
+}
+
+fn job_body(service_name: &str, slug: &str, domains: &[String], trace_ids: &[String]) -> String {
+    Json::obj()
+        .with(
+            "service",
+            Json::obj()
+                .with("name", Json::str(service_name))
+                .with("slug", Json::str(slug))
+                .with(
+                    "firstPartyDomains",
+                    Json::Arr(domains.iter().map(Json::str).collect()),
+                ),
+        )
+        .with(
+            "traces",
+            Json::Arr(trace_ids.iter().map(Json::str).collect()),
+        )
+        .with("deadlineMs", Json::int(60_000))
+        .to_string()
+}
+
+/// Poll a job's status endpoint until it reaches a terminal state; returns
+/// the final state label.
+fn poll_to_terminal(addr: &str, job_id: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, text) =
+            client::request_text(addr, "GET", &format!("/api/v1/jobs/{job_id}"), &[])
+                .unwrap_or_else(|e| fail(&format!("status poll failed: {e}")));
+        if status != 200 {
+            fail(&format!("status poll returned {status}: {text}"));
+        }
+        let doc = diffaudit_json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("status response not JSON: {e}")));
+        let state = doc
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| fail("status response missing state"))
+            .to_string();
+        if state != "queued" && state != "running" {
+            return state;
+        }
+        if Instant::now() > deadline {
+            fail(&format!("job {job_id} still {state} after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct SubmitOutcome {
+    job_id: String,
+    shed: u64,
+    latency_ms: f64,
+    state: String,
+}
+
+/// Submit one job, retrying shed (`429`) attempts, then poll it to a
+/// terminal state. Latency is measured from the accepted submission.
+fn submit_and_wait(addr: &str, body: &str) -> SubmitOutcome {
+    let mut shed = 0u64;
+    loop {
+        let started = Instant::now();
+        let (status, text) = client::request_text(addr, "POST", "/api/v1/jobs", body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("job submit failed: {e}")));
+        match status {
+            202 => {
+                let doc = diffaudit_json::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("submit response not JSON: {e}")));
+                let job_id = doc
+                    .get("jobId")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail("submit response missing jobId"))
+                    .to_string();
+                let state = poll_to_terminal(addr, &job_id, Duration::from_secs(120));
+                return SubmitOutcome {
+                    job_id,
+                    shed,
+                    latency_ms: started.elapsed().as_secs_f64() * 1000.0,
+                    state,
+                };
+            }
+            429 => {
+                shed += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => fail(&format!("job submit returned {other}: {text}")),
+        }
+    }
+}
+
+fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out: Option<String>) {
+    args.announce("[serve_load] generating dataset");
+    let dataset = standard_dataset(args);
+    let capture = dataset
+        .services
+        .iter()
+        .find(|s| s.spec.slug == "duolingo")
+        .unwrap_or_else(|| fail("dataset has no duolingo service"));
+
+    let server = Server::bind(ServeConfig {
+        port: 0,
+        queue_capacity: queue,
+        workers,
+        threads_per_job: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("bind failed: {e}")));
+    let addr = server
+        .addr()
+        .unwrap_or_else(|e| fail(&format!("no local addr: {e}")))
+        .to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    obs::info(
+        "[serve_load] daemon up",
+        &[obs::field("addr", addr.as_str())],
+    );
+
+    let trace_ids: Vec<String> = capture
+        .artifacts
+        .iter()
+        .enumerate()
+        .map(|(i, artifact)| upload_artifact(&addr, i, artifact))
+        .collect();
+    let body = job_body(
+        capture.spec.name,
+        capture.spec.slug,
+        &capture
+            .spec
+            .first_party_domains
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>(),
+        &trace_ids,
+    );
+
+    obs::info(
+        "[serve_load] firing submission burst",
+        &[
+            obs::field("uploads", uploads),
+            obs::field("queueCapacity", queue),
+            obs::field("workers", workers),
+        ],
+    );
+    let burst_started = Instant::now();
+    let outcomes: Vec<SubmitOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..uploads)
+            .map(|_| {
+                let addr = addr.as_str();
+                let body = body.as_str();
+                scope.spawn(move || submit_and_wait(addr, body))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(outcome) => outcome,
+                Err(_) => fail("submitter thread panicked"),
+            })
+            .collect()
+    });
+    let wall_ms = burst_started.elapsed().as_secs_f64() * 1000.0;
+
+    let (status, _) = client::request_text(&addr, "POST", "/api/v1/shutdown", &[])
+        .unwrap_or_else(|e| fail(&format!("shutdown failed: {e}")));
+    if status != 202 {
+        fail(&format!("shutdown returned {status}"));
+    }
+    let exit = match daemon.join() {
+        Ok(exit) => exit,
+        Err(_) => fail("daemon thread panicked"),
+    };
+    if exit.orphaned != 0 {
+        fail(&format!("{} jobs orphaned at shutdown", exit.orphaned));
+    }
+
+    let shed: u64 = outcomes.iter().map(|o| o.shed).sum();
+    if shed == 0 {
+        fail("no submission was shed (429): burst did not exceed the queue, numbers invalid");
+    }
+    let latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_ms).collect();
+    let mut states: Vec<(String, i64)> = Vec::new();
+    for outcome in &outcomes {
+        match states.iter_mut().find(|(s, _)| *s == outcome.state) {
+            Some((_, n)) => *n += 1,
+            None => states.push((outcome.state.clone(), 1)),
+        }
+    }
+    let q = |p: f64| percentile(&latencies, p).unwrap_or(0.0);
+    let doc = Json::obj()
+        .with("schema", Json::str("diffaudit-bench-serve/v1"))
+        .with(
+            "config",
+            Json::obj()
+                .with("uploads", Json::int(uploads as i64))
+                .with("queueCapacity", Json::int(queue as i64))
+                .with("workers", Json::int(workers as i64))
+                .with(
+                    "scale",
+                    Json::Num(diffaudit_json::Number::Float(args.scale)),
+                )
+                .with("seed", Json::int(args.seed as i64)),
+        )
+        .with("shed429", Json::int(shed as i64))
+        .with(
+            "jobs",
+            Json::obj()
+                .with("submitted", Json::int(outcomes.len() as i64))
+                .with(
+                    "states",
+                    states
+                        .into_iter()
+                        .fold(Json::obj(), |acc, (s, n)| acc.with(s, Json::int(n))),
+                ),
+        )
+        .with("wallMs", Json::Num(diffaudit_json::Number::Float(wall_ms)))
+        .with(
+            "throughputJobsPerSec",
+            Json::Num(diffaudit_json::Number::Float(
+                outcomes.len() as f64 / (wall_ms / 1000.0),
+            )),
+        )
+        .with(
+            "latencyMs",
+            Json::obj()
+                .with("p50", Json::Num(diffaudit_json::Number::Float(q(50.0))))
+                .with("p90", Json::Num(diffaudit_json::Number::Float(q(90.0))))
+                .with("p99", Json::Num(diffaudit_json::Number::Float(q(99.0)))),
+        );
+    let rendered = doc.to_pretty_string();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, format!("{rendered}\n")) {
+                fail(&format!("cannot write {path}: {e}"));
+            }
+            obs::info(
+                "[serve_load] baseline written",
+                &[obs::field("path", path.as_str())],
+            );
+        }
+        None => println!("{rendered}"),
+    }
+}
+
+fn mode_smoke(args: &BenchArgs, target: &str) {
+    args.announce("[serve_load] smoke: generating one service");
+    let dataset = standard_dataset(args);
+    let capture = dataset
+        .services
+        .iter()
+        .find(|s| s.artifacts.iter().any(|a| a.har.is_some()))
+        .unwrap_or_else(|| fail("dataset has no HAR artifact"));
+    let artifact = capture
+        .artifacts
+        .iter()
+        .find(|a| a.har.is_some())
+        .unwrap_or_else(|| fail("no HAR artifact"));
+
+    let (status, text) = client::request_text(target, "GET", "/healthz", &[])
+        .unwrap_or_else(|e| fail(&format!("healthz failed: {e}")));
+    if status != 200 || !text.contains("\"ok\"") {
+        fail(&format!("healthz returned {status}: {text}"));
+    }
+
+    let trace_id = upload_artifact(target, 0, artifact);
+    let body = job_body(
+        capture.spec.name,
+        capture.spec.slug,
+        &capture
+            .spec
+            .first_party_domains
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>(),
+        &[trace_id],
+    );
+    let outcome = submit_and_wait(target, &body);
+    if outcome.state != "clean" && outcome.state != "salvaged" {
+        fail(&format!("smoke job ended {}", outcome.state));
+    }
+
+    let (status, result) = client::request_text(
+        target,
+        "GET",
+        &format!("/api/v1/jobs/{}/result", outcome.job_id),
+        &[],
+    )
+    .unwrap_or_else(|e| fail(&format!("result fetch failed: {e}")));
+    if !(status == 200 || status == 206) || !result.contains("\"services\"") {
+        fail(&format!("result fetch returned {status}"));
+    }
+    let (status, report) = client::request_text(
+        target,
+        "GET",
+        &format!("/api/v1/jobs/{}/report", outcome.job_id),
+        &[],
+    )
+    .unwrap_or_else(|e| fail(&format!("report fetch failed: {e}")));
+    if status != 200 || !report.contains("Table 4") {
+        fail(&format!("report fetch returned {status}"));
+    }
+
+    let (status, _) = client::request_text(target, "POST", "/api/v1/shutdown", &[])
+        .unwrap_or_else(|e| fail(&format!("shutdown failed: {e}")));
+    if status != 202 {
+        fail(&format!("shutdown returned {status}"));
+    }
+    obs::info(
+        "[serve_load] smoke passed",
+        &[obs::field("job", outcome.job_id.as_str())],
+    );
+}
+
+fn main() {
+    let (args, extra) = BenchArgs::parse_extra(&[
+        "--out",
+        "--mode",
+        "--target",
+        "--uploads",
+        "--queue",
+        "--workers",
+    ]);
+    let mut extra = extra.into_iter();
+    let out = extra.next().flatten();
+    let mode = extra.next().flatten().unwrap_or_else(|| "load".to_string());
+    let target = extra.next().flatten();
+    let parse_n = |v: Option<String>, name: &str, default: usize| -> usize {
+        match v {
+            None => default,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => fail(&format!("{name} requires a positive integer")),
+            },
+        }
+    };
+    let uploads = parse_n(extra.next().flatten(), "--uploads", 8);
+    let queue = parse_n(extra.next().flatten(), "--queue", 4);
+    let workers = parse_n(extra.next().flatten(), "--workers", 2);
+
+    match mode.as_str() {
+        "load" => mode_load(&args, uploads, queue, workers, out),
+        "smoke" => {
+            let Some(target) = target else {
+                fail("--mode smoke requires --target HOST:PORT");
+            };
+            mode_smoke(&args, &target);
+        }
+        other => fail(&format!("unknown mode {other:?} (load|smoke)")),
+    }
+}

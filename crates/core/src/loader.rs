@@ -31,10 +31,13 @@
 use crate::pipeline::{LoadedUnit, ServiceInput};
 use crate::salvage::{ServiceLedger, UnitLedger};
 use diffaudit_json::{parse, Json};
+use diffaudit_nettrace::capture::DecodeError;
 use diffaudit_nettrace::salvage::{SalvageLog, Stage};
-use diffaudit_nettrace::{decode_auto, decode_auto_salvage, har_to_exchanges};
-use diffaudit_nettrace::{har_to_exchanges_salvage, KeyLog};
+use diffaudit_nettrace::{decode_auto, decode_auto_salvage_ctl, har_to_exchanges};
+use diffaudit_nettrace::{har_to_exchanges_salvage_ctl, HarError, KeyLog};
+use diffaudit_obs::Scope;
 use diffaudit_services::{Platform, TraceCategory, TraceKind};
+use diffaudit_util::cancel::{Ctl, Interrupt};
 use std::path::{Path, PathBuf};
 
 /// Loader errors. Every variant names the file it is about, so a failed
@@ -50,6 +53,11 @@ pub enum LoadError {
     ManifestShape(PathBuf, String),
     /// An artifact failed to decode.
     Artifact(PathBuf, String),
+    /// Loading was interrupted by cancellation or deadline expiry. The
+    /// display string leads with the interrupt's reason code
+    /// (`timeout:` / `cancelled:`) so ledger drop reasons stay
+    /// machine-matchable.
+    Interrupted(PathBuf, Interrupt),
 }
 
 impl LoadError {
@@ -80,6 +88,9 @@ impl std::fmt::Display for LoadError {
             }
             LoadError::Artifact(path, e) => {
                 write!(f, "failed to decode {}: {e}", path.display())
+            }
+            LoadError::Interrupted(path, i) => {
+                write!(f, "{i} (while loading {})", path.display())
             }
         }
     }
@@ -185,12 +196,15 @@ fn read_manifest(dir: &Path) -> Result<Manifest, LoadError> {
 
 /// Load one manifest unit entry. With `salvage: Some(log)`, artifact decode
 /// uses the per-record salvage readers and accounts damage in `log`; with
-/// `None`, any damage is a hard error (the pre-salvage behaviour).
+/// `None`, any damage is a hard error (the pre-salvage behaviour). The
+/// salvage decoders check `ctl` between records, so an expired deadline or
+/// a cancelled job surfaces as [`LoadError::Interrupted`] for this unit.
 fn load_unit(
     dir: &Path,
     entry: &Json,
     index: usize,
     mut salvage: Option<&mut SalvageLog>,
+    ctl: &Ctl,
 ) -> Result<LoadedUnit, LoadError> {
     let ctx = format!("units[{index}]");
     let file = str_field(entry, "file", &ctx)?;
@@ -201,10 +215,13 @@ fn load_unit(
     if file.ends_with(".har") {
         let text = std::fs::read_to_string(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
         let exchanges = match salvage {
-            Some(log) => har_to_exchanges_salvage(&text, log),
-            None => har_to_exchanges(&text),
-        }
-        .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+            Some(log) => har_to_exchanges_salvage_ctl(&text, log, ctl).map_err(|e| match e {
+                HarError::Interrupted(i) => LoadError::Interrupted(path.clone(), i),
+                other => LoadError::Artifact(path.clone(), other.to_string()),
+            })?,
+            None => har_to_exchanges(&text)
+                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?,
+        };
         let n = exchanges.len();
         Ok(LoadedUnit {
             platform,
@@ -230,10 +247,15 @@ fn load_unit(
             None => KeyLog::new(),
         };
         let decoded = match salvage {
-            Some(log) => decode_auto_salvage(&bytes, &keylog, log),
-            None => decode_auto(&bytes, &keylog),
-        }
-        .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?;
+            Some(log) => {
+                decode_auto_salvage_ctl(&bytes, &keylog, log, ctl).map_err(|e| match e {
+                    DecodeError::Interrupted(i) => LoadError::Interrupted(path.clone(), i),
+                    other => LoadError::Artifact(path.clone(), other.to_string()),
+                })?
+            }
+            None => decode_auto(&bytes, &keylog)
+                .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?,
+        };
         Ok(LoadedUnit {
             platform,
             kind,
@@ -262,6 +284,7 @@ fn load_unit_salvage(
     index: usize,
     manifest_path: &Path,
     recorder: &mut diffaudit_obs::LocalRecorder,
+    ctl: &Ctl,
 ) -> (String, Result<LoadedUnit, String>, SalvageLog) {
     let label = entry
         .get("file")
@@ -269,8 +292,12 @@ fn load_unit_salvage(
         .map(str::to_string)
         .unwrap_or_else(|| format!("units[{index}]"));
     let mut log = SalvageLog::new();
-    let outcome = recorder.time("loader.unit", || {
-        load_unit(dir, entry, index, Some(&mut log))
+    // A unit whose control is already tripped drops without touching the
+    // filesystem; units that start decoding are interrupted between records
+    // by the salvage readers.
+    let outcome = recorder.time("loader.unit", || match ctl.check() {
+        Err(i) => Err(LoadError::Interrupted(dir.join(&label), i)),
+        Ok(()) => load_unit(dir, entry, index, Some(&mut log), ctl),
     });
     let result = match outcome {
         Ok(unit) => {
@@ -299,10 +326,12 @@ fn load_unit_salvage(
 /// [`load_capture_dir_salvage`] for the skip-and-record variant.
 pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
     let manifest = read_manifest(dir)?;
+    let ctl = Ctl::unbounded();
     let mut units = Vec::with_capacity(manifest.unit_entries.len());
     for (i, entry) in manifest.unit_entries.iter().enumerate() {
         units.push(
-            load_unit(dir, entry, i, None).map_err(|e| e.with_manifest_path(&manifest.path))?,
+            load_unit(dir, entry, i, None, &ctl)
+                .map_err(|e| e.with_manifest_path(&manifest.path))?,
         );
     }
     Ok(ServiceInput {
@@ -332,28 +361,66 @@ pub fn load_capture_dir_salvage_threads(
     dir: &Path,
     threads: usize,
 ) -> Result<(ServiceInput, ServiceLedger), LoadError> {
-    let _span = diffaudit_obs::span("loader.dir");
-    let manifest = read_manifest(dir)?;
-    // Units are independent, so they load in parallel over the scoped
-    // executor (1 = today's serial path). Workers record `loader.unit`
-    // timings and counters into per-thread recorders merged at join, and
-    // never emit events — the debug/warn lines below go out on this thread
-    // afterwards, in manifest order, so the event stream and both returned
-    // vectors are identical for every thread count.
-    let loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)> =
-        diffaudit_util::par::par_map_ctx(
-            threads.max(1),
-            &manifest.unit_entries,
-            diffaudit_obs::LocalRecorder::new,
-            |recorder, i, entry| load_unit_salvage(dir, entry, i, &manifest.path, recorder),
-            diffaudit_obs::absorb,
+    load_capture_dir_salvage_scoped(dir, threads, &Scope::global(), &Ctl::unbounded())
+}
+
+/// [`load_capture_dir_salvage_threads`] with explicit instrumentation
+/// [`Scope`] and cancellation [`Ctl`] — the serve daemon's disk path. A
+/// tripped control does not abort the load: every unit still gets a ledger
+/// entry, but interrupted units are dropped with a `timeout:`/`cancelled:`
+/// reason so the run degrades per salvage policy instead of vanishing.
+pub fn load_capture_dir_salvage_scoped(
+    dir: &Path,
+    threads: usize,
+    scope: &Scope,
+    ctl: &Ctl,
+) -> Result<(ServiceInput, ServiceLedger), LoadError> {
+    scope.time("loader.dir", || {
+        let manifest = read_manifest(dir)?;
+        // Units are independent, so they load in parallel over the scoped
+        // executor (1 = today's serial path). Workers record `loader.unit`
+        // timings and counters into per-thread recorders merged at join, and
+        // never emit events — the debug/warn lines below go out on this thread
+        // afterwards, in manifest order, so the event stream and both returned
+        // vectors are identical for every thread count.
+        let loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)> =
+            diffaudit_util::par::par_map_ctx(
+                threads.max(1),
+                &manifest.unit_entries,
+                diffaudit_obs::LocalRecorder::new,
+                |recorder, i, entry| {
+                    load_unit_salvage(dir, entry, i, &manifest.path, recorder, ctl)
+                },
+                |recorder| scope.absorb(recorder),
+            );
+        let (input, ledger) = collect_loaded_units(
+            manifest.name,
+            manifest.slug,
+            manifest.first_party_domains,
+            loaded,
+            scope,
         );
+        Ok((input, ledger))
+    })
+}
+
+/// Fold per-unit load results into a [`ServiceInput`] + [`ServiceLedger`]
+/// pair, emitting the post-join `unit loaded`/`unit dropped` events in
+/// manifest order on the calling thread (shared by the disk and in-memory
+/// loaders).
+fn collect_loaded_units(
+    name: String,
+    slug: String,
+    first_party_domains: Vec<String>,
+    loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)>,
+    scope: &Scope,
+) -> (ServiceInput, ServiceLedger) {
     let mut units = Vec::with_capacity(loaded.len());
     let mut ledger_units = Vec::with_capacity(loaded.len());
     for (label, result, log) in loaded {
         match result {
             Ok(unit) => {
-                diffaudit_obs::debug(
+                scope.debug(
                     "unit loaded",
                     &[
                         diffaudit_obs::field("file", label.as_str()),
@@ -363,7 +430,7 @@ pub fn load_capture_dir_salvage_threads(
                 units.push(unit);
             }
             Err(reason) => {
-                diffaudit_obs::warn(
+                scope.warn(
                     "unit dropped",
                     &[
                         diffaudit_obs::field("file", label.as_str()),
@@ -374,19 +441,177 @@ pub fn load_capture_dir_salvage_threads(
         }
         ledger_units.push(UnitLedger { file: label, log });
     }
-    let slug = manifest.slug.clone();
-    Ok((
+    (
         ServiceInput {
-            name: manifest.name,
-            slug: manifest.slug,
-            first_party_domains: manifest.first_party_domains,
+            name,
+            slug: slug.clone(),
+            first_party_domains,
             units,
         },
         ServiceLedger {
             slug,
             units: ledger_units,
         },
-    ))
+    )
+}
+
+/// A trace artifact held in memory — the serve daemon's upload path, where
+/// captures arrive over HTTP and never touch the filesystem.
+#[derive(Debug, Clone)]
+pub enum MemoryArtifact {
+    /// HAR 1.2 text (DevTools/Proxyman exports).
+    Har(String),
+    /// pcap or pcapng bytes plus an optional `SSLKEYLOGFILE` text
+    /// (the PCAPdroid path); the container format is sniffed from magic
+    /// bytes by the auto decoder.
+    Capture {
+        /// Raw capture-file bytes.
+        bytes: Vec<u8>,
+        /// Sibling key-log text, if the client supplied one.
+        keylog: Option<String>,
+    },
+}
+
+/// One uploaded trace unit: the manifest-entry metadata plus its in-memory
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct MemoryUnit {
+    /// Display label for reports and the ledger (the disk loader uses the
+    /// artifact's file name here).
+    pub label: String,
+    /// Capture platform.
+    pub platform: Platform,
+    /// Trace kind.
+    pub kind: TraceKind,
+    /// User-group category.
+    pub category: TraceCategory,
+    /// The artifact itself.
+    pub artifact: MemoryArtifact,
+}
+
+/// A full in-memory service upload — the same shape as a capture
+/// directory's `manifest.json`, with artifacts inline.
+#[derive(Debug, Clone)]
+pub struct MemoryService {
+    /// Service display name.
+    pub name: String,
+    /// Service slug.
+    pub slug: String,
+    /// First-party domains for the party-classification stage.
+    pub first_party_domains: Vec<String>,
+    /// The uploaded units.
+    pub units: Vec<MemoryUnit>,
+}
+
+/// Salvage-decode one in-memory unit on a worker thread — the in-memory
+/// mirror of [`load_unit_salvage`], with the same spans, counters, and
+/// drop accounting.
+fn load_memory_unit(
+    unit: MemoryUnit,
+    index: usize,
+    recorder: &mut diffaudit_obs::LocalRecorder,
+    ctl: &Ctl,
+) -> (String, Result<LoadedUnit, String>, SalvageLog) {
+    let MemoryUnit {
+        label,
+        platform,
+        kind,
+        category,
+        artifact,
+    } = unit;
+    let mut log = SalvageLog::new();
+    let outcome = recorder.time("loader.unit", || match ctl.check() {
+        Err(i) => Err(format!("{i} (while loading {label})")),
+        Ok(()) => match &artifact {
+            MemoryArtifact::Har(text) => har_to_exchanges_salvage_ctl(text, &mut log, ctl)
+                .map(|exchanges| {
+                    let n = exchanges.len();
+                    LoadedUnit {
+                        platform,
+                        kind,
+                        category,
+                        exchanges,
+                        opaque_snis: Vec::new(),
+                        packet_count: n,
+                        flow_count: n,
+                    }
+                })
+                .map_err(|e| match e {
+                    HarError::Interrupted(i) => format!("{i} (while loading {label})"),
+                    other => format!("failed to decode {label}: {other}"),
+                }),
+            MemoryArtifact::Capture { bytes, keylog } => {
+                let keys = match keylog {
+                    Some(text) => KeyLog::parse_salvage(text, &mut log),
+                    None => KeyLog::new(),
+                };
+                decode_auto_salvage_ctl(bytes, &keys, &mut log, ctl)
+                    .map(|decoded| LoadedUnit {
+                        platform,
+                        kind,
+                        category,
+                        exchanges: decoded.exchanges,
+                        opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
+                        packet_count: decoded.packet_count,
+                        flow_count: decoded.flow_count,
+                    })
+                    .map_err(|e| match e {
+                        DecodeError::Interrupted(i) => format!("{i} (while loading {label})"),
+                        other => format!("failed to decode {label}: {other}"),
+                    })
+            }
+        },
+    });
+    let result = match outcome {
+        Ok(unit) => {
+            log.ok(Stage::Unit);
+            recorder.add("loader.units.loaded", 1);
+            recorder.observe(
+                "loader.unit.exchanges",
+                &diffaudit_obs::RECORD_BOUNDS,
+                unit.exchanges.len() as u64,
+            );
+            Ok(unit)
+        }
+        Err(reason) => {
+            recorder.add("loader.units.dropped", 1);
+            log.dropped(Stage::Unit, reason.clone(), Some(index as u64));
+            Err(reason)
+        }
+    };
+    (label, result, log)
+}
+
+/// Salvage-load an in-memory service upload into a [`ServiceInput`] +
+/// [`ServiceLedger`] pair — [`load_capture_dir_salvage_scoped`] for the
+/// serve daemon's HTTP upload path. There is no manifest file to fail on,
+/// so this is infallible at the service level: every unit either loads or
+/// lands in the ledger as a drop (interrupted units with a
+/// `timeout:`/`cancelled:` reason), and the salvage policy decides what the
+/// degradation means.
+pub fn load_memory_service(
+    svc: MemoryService,
+    threads: usize,
+    scope: &Scope,
+    ctl: &Ctl,
+) -> (ServiceInput, ServiceLedger) {
+    scope.time("loader.memory", || {
+        let MemoryService {
+            name,
+            slug,
+            first_party_domains,
+            units,
+        } = svc;
+        let loaded: Vec<(String, Result<LoadedUnit, String>, SalvageLog)> =
+            diffaudit_util::par::par_map_ctx_owned(
+                threads.max(1),
+                units,
+                diffaudit_obs::LocalRecorder::new,
+                |recorder, i, unit| load_memory_unit(unit, i, recorder, ctl),
+                |recorder| scope.absorb(recorder),
+            );
+        collect_loaded_units(name, slug, first_party_domains, loaded, scope)
+    })
 }
 
 /// Write a generated dataset to disk in the loader's directory layout —
@@ -570,6 +795,134 @@ mod tests {
         );
         assert!(merged.conserved());
         assert_eq!(ledger.units.len(), strict.units.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Build the in-memory upload equivalent of a generated service's
+    /// capture artifacts.
+    fn memory_service_from(dataset: &diffaudit_services::GeneratedDataset) -> MemoryService {
+        let capture = &dataset.services[0];
+        let units = capture
+            .artifacts
+            .iter()
+            .map(|artifact| {
+                let platform = artifact.platform;
+                let kind = artifact.kind;
+                let category = artifact.category;
+                let label = format!(
+                    "{}-{}",
+                    platform.label().to_lowercase(),
+                    category.label().to_lowercase().replace(' ', "-")
+                );
+                let mem = if let Some(har) = &artifact.har {
+                    MemoryArtifact::Har(har.clone())
+                } else {
+                    MemoryArtifact::Capture {
+                        bytes: artifact.pcap.clone().unwrap(),
+                        keylog: artifact.keylog.clone(),
+                    }
+                };
+                MemoryUnit {
+                    label,
+                    platform,
+                    kind,
+                    category,
+                    artifact: mem,
+                }
+            })
+            .collect();
+        MemoryService {
+            name: capture.spec.name.to_string(),
+            slug: capture.spec.slug.to_string(),
+            first_party_domains: capture
+                .spec
+                .first_party_domains
+                .iter()
+                .map(|d| d.to_string())
+                .collect(),
+            units,
+        }
+    }
+
+    #[test]
+    fn memory_load_matches_disk_load() {
+        let (dataset, dir, service_dir) = written_service_dir("memory-parity");
+        let (from_disk, disk_ledger) = load_capture_dir_salvage(&service_dir).unwrap();
+        let scope = diffaudit_obs::Scope::job("test.memory");
+        let (from_memory, mem_ledger) = load_memory_service(
+            memory_service_from(&dataset),
+            2,
+            &scope,
+            &diffaudit_util::cancel::Ctl::unbounded(),
+        );
+        assert_eq!(from_memory.slug, from_disk.slug);
+        assert_eq!(from_memory.units.len(), from_disk.units.len());
+        for (a, b) in from_memory.units.iter().zip(&from_disk.units) {
+            assert_eq!(a.exchanges, b.exchanges);
+            assert_eq!(a.opaque_snis, b.opaque_snis);
+        }
+        assert!(mem_ledger.merged().is_clean());
+        assert!(disk_ledger.merged().is_clean());
+        // The job scope collected the loader instrumentation privately.
+        let snap = scope.finish().expect("job snapshot");
+        assert_eq!(
+            snap.metrics.counter("loader.units.loaded"),
+            from_memory.units.len() as u64
+        );
+        assert!(snap.metrics.spans().any(|(n, _)| n == "loader.memory"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_ctl_drops_memory_units_with_timeout_reason() {
+        let dataset = generate_dataset(&DatasetOptions {
+            seed: 21,
+            volume_scale: 0.03,
+            mobile_pinned_fraction: 0.1,
+            services: vec!["tiktok".into()],
+        });
+        let svc = memory_service_from(&dataset);
+        let total = svc.units.len();
+        let ctl = diffaudit_util::cancel::Ctl::new(
+            diffaudit_util::cancel::CancelToken::new(),
+            diffaudit_util::cancel::Deadline::within(std::time::Duration::ZERO),
+        );
+        let scope = diffaudit_obs::Scope::job("test.timeout");
+        let (input, ledger) = load_memory_service(svc, 2, &scope, &ctl);
+        assert!(input.units.is_empty(), "every unit should have timed out");
+        let merged = ledger.merged();
+        assert!(merged.conserved());
+        assert_eq!(merged.stage(Stage::Unit).dropped, total as u64);
+        assert_eq!(ledger.units.len(), total);
+        for unit in &ledger.units {
+            assert!(
+                unit.log
+                    .drops()
+                    .iter()
+                    .any(|d| d.reason.starts_with("timeout:")),
+                "drop reason must carry the timeout code: {:?}",
+                unit.log.drops()
+            );
+        }
+        let _ = scope.finish();
+    }
+
+    #[test]
+    fn expired_ctl_drops_disk_units_with_timeout_reason() {
+        let (_, dir, service_dir) = written_service_dir("disk-timeout");
+        let ctl = diffaudit_util::cancel::Ctl::new(
+            diffaudit_util::cancel::CancelToken::new(),
+            diffaudit_util::cancel::Deadline::within(std::time::Duration::ZERO),
+        );
+        let (input, ledger) =
+            load_capture_dir_salvage_scoped(&service_dir, 2, &diffaudit_obs::Scope::global(), &ctl)
+                .unwrap();
+        assert!(input.units.is_empty());
+        assert!(ledger.units.iter().all(|u| u
+            .log
+            .drops()
+            .iter()
+            .any(|d| d.reason.starts_with("timeout:"))));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

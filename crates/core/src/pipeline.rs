@@ -21,8 +21,10 @@ use crate::flow::{DataFlow, FlowTable4};
 use diffaudit_blocklist::DestinationClass;
 use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
 use diffaudit_nettrace::{decode_pcap, har_to_exchanges, Exchange, KeyLog};
+use diffaudit_obs::Scope;
 use diffaudit_ontology::DataTypeCategory;
 use diffaudit_services::{GeneratedDataset, Platform, ServiceCapture, TraceCategory, TraceKind};
+use diffaudit_util::cancel::{Ctl, Interrupt};
 use diffaudit_util::par::{self, Key, KeyInterner};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -197,6 +199,7 @@ impl Pipeline {
     /// Run over a generated dataset.
     pub fn run(&self, dataset: &GeneratedDataset) -> AuditOutcome {
         let _run_span = diffaudit_obs::span("pipeline");
+        let scope = Scope::global();
         let threads = self.threads();
         let interner = KeyInterner::new();
 
@@ -220,11 +223,11 @@ impl Pipeline {
                 ctx.gather(&unit);
                 unit
             },
-            |ctx| ctx.finish(&batch),
+            |ctx| ctx.finish(&batch, &scope),
         );
         decode_span.finish();
         let (unique_keys, key_occurrences) = batch.into_parts();
-        record_key_stats(key_occurrences, unique_keys.len());
+        record_key_stats(&scope, key_occurrences, unique_keys.len());
 
         // Phase 2: classify unique keys once.
         let key_labels = self.classify_keys(&unique_keys);
@@ -263,82 +266,138 @@ impl Pipeline {
     /// Run over externally supplied inputs (decoded traces loaded from
     /// disk — see [`crate::loader`]).
     pub fn run_inputs(&self, inputs: Vec<ServiceInput>) -> AuditOutcome {
-        let _run_span = diffaudit_obs::span("pipeline");
+        match self.run_inputs_scoped(inputs, &Scope::global(), &Ctl::unbounded()) {
+            Ok(outcome) => outcome,
+            // An unbounded control has no deadline and an untripped private
+            // token; interruption is unreachable on this path.
+            Err(_) => AuditOutcome {
+                services: Vec::new(),
+                key_labels: HashMap::new(),
+                unique_raw_keys: 0,
+            },
+        }
+    }
+
+    /// Pipeline-as-a-library entry point: run over supplied inputs with an
+    /// explicit instrumentation [`Scope`] (global for the batch CLI, a
+    /// private job scope for the serve daemon) and a cancellation [`Ctl`]
+    /// checked between phases and before each unit. On interruption the
+    /// partial results are discarded and the interrupt is returned —
+    /// metrics gathered so far stay in `scope`.
+    pub fn run_inputs_scoped(
+        &self,
+        inputs: Vec<ServiceInput>,
+        scope: &Scope,
+        ctl: &Ctl,
+    ) -> Result<AuditOutcome, Interrupt> {
+        scope.time("pipeline", || self.run_inputs_inner(inputs, scope, ctl))
+    }
+
+    fn run_inputs_inner(
+        &self,
+        inputs: Vec<ServiceInput>,
+        scope: &Scope,
+        ctl: &Ctl,
+    ) -> Result<AuditOutcome, Interrupt> {
         let threads = self.threads();
         let interner = KeyInterner::new();
+        ctl.check()?;
 
         // Flatten to per-unit work items, remembering each service's
         // identity and unit count so the ordered results regroup exactly.
-        let extract_span = diffaudit_obs::span("pipeline.extract");
-        let mut meta: Vec<(String, String, Vec<String>, usize)> = Vec::with_capacity(inputs.len());
-        let mut flat: Vec<LoadedUnit> = Vec::new();
-        for input in inputs {
-            meta.push((
-                input.name,
-                input.slug,
-                input.first_party_domains,
-                input.units.len(),
-            ));
-            flat.extend(input.units);
-        }
-        let batch = KeyBatch::new();
-        let units = par::par_map_ctx_owned(
-            threads,
-            flat,
-            UnitCtx::new,
-            |ctx, _, unit| {
-                let unit = ctx
-                    .recorder
-                    .time("pipeline.unit.extract", || extract_unit(unit, &interner));
-                ctx.gather(&unit);
-                unit
-            },
-            |ctx| ctx.finish(&batch),
-        );
+        let (decoded, batch) = scope.time("pipeline.extract", || {
+            let mut meta: Vec<(String, String, Vec<String>, usize)> =
+                Vec::with_capacity(inputs.len());
+            let mut flat: Vec<LoadedUnit> = Vec::new();
+            for input in inputs {
+                meta.push((
+                    input.name,
+                    input.slug,
+                    input.first_party_domains,
+                    input.units.len(),
+                ));
+                flat.extend(input.units);
+            }
+            let batch = KeyBatch::new();
+            let units = par::par_map_ctx_owned_cancel(
+                threads,
+                flat,
+                ctl,
+                UnitCtx::new,
+                |ctx, _, unit| {
+                    let unit = ctx
+                        .recorder
+                        .time("pipeline.unit.extract", || extract_unit(unit, &interner));
+                    ctx.gather(&unit);
+                    unit
+                },
+                |ctx| ctx.finish(&batch, scope),
+            )?;
 
-        // Per-service counters and progress events, on the main thread in
-        // input order (worker threads never touch the global recorder, so
-        // the event stream stays deterministic).
-        let mut units = units.into_iter();
-        let decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = meta
-            .into_iter()
-            .map(|(name, slug, domains, count)| {
-                let service_units: Vec<DecodedUnit> = units.by_ref().take(count).collect();
-                let unit_exchanges: u64 =
-                    service_units.iter().map(|u| u.requests.len() as u64).sum();
-                diffaudit_obs::add("pipeline.units", service_units.len() as u64);
-                diffaudit_obs::add("pipeline.exchanges", unit_exchanges);
-                diffaudit_obs::debug(
-                    "service extracted",
-                    &[
-                        diffaudit_obs::field("slug", slug.as_str()),
-                        diffaudit_obs::field("units", service_units.len()),
-                        diffaudit_obs::field("exchanges", unit_exchanges),
-                    ],
-                );
-                (name, slug, domains, service_units)
-            })
-            .collect();
-        extract_span.finish();
+            // Per-service counters and progress events, on the calling
+            // thread in input order (worker threads never touch the scope's
+            // event stream, so it stays deterministic).
+            let mut units = units.into_iter();
+            let decoded: Vec<(String, String, Vec<String>, Vec<DecodedUnit>)> = meta
+                .into_iter()
+                .map(|(name, slug, domains, count)| {
+                    let service_units: Vec<DecodedUnit> = units.by_ref().take(count).collect();
+                    let unit_exchanges: u64 =
+                        service_units.iter().map(|u| u.requests.len() as u64).sum();
+                    scope.add("pipeline.units", service_units.len() as u64);
+                    scope.add("pipeline.exchanges", unit_exchanges);
+                    scope.debug(
+                        "service extracted",
+                        &[
+                            diffaudit_obs::field("slug", slug.as_str()),
+                            diffaudit_obs::field("units", service_units.len()),
+                            diffaudit_obs::field("exchanges", unit_exchanges),
+                        ],
+                    );
+                    (name, slug, domains, service_units)
+                })
+                .collect();
+            Ok::<_, Interrupt>((decoded, batch))
+        })?;
         let (unique_keys, key_occurrences) = batch.into_parts();
-        record_key_stats(key_occurrences, unique_keys.len());
-        let key_labels = self.classify_keys(&unique_keys);
-        let assemble_span = diffaudit_obs::span("pipeline.assemble");
-        let services = par::par_map_owned(threads, decoded, |_, (name, slug, domains, units)| {
-            let domain_refs: Vec<&str> = domains.iter().map(String::as_str).collect();
-            assemble_service(&name, &slug, &domain_refs, units, &key_labels)
-        });
-        assemble_span.finish();
-        AuditOutcome {
+        record_key_stats(scope, key_occurrences, unique_keys.len());
+        ctl.check()?;
+        let key_labels = self.classify_keys_scoped(&unique_keys, scope);
+        ctl.check()?;
+        let services = scope.time("pipeline.assemble", || {
+            par::par_map_ctx_owned_cancel(
+                threads,
+                decoded,
+                ctl,
+                || (),
+                |(), _, (name, slug, domains, units)| {
+                    let domain_refs: Vec<&str> = domains.iter().map(String::as_str).collect();
+                    assemble_service(&name, &slug, &domain_refs, units, &key_labels)
+                },
+                |()| {},
+            )
+        })?;
+        Ok(AuditOutcome {
             services,
             key_labels,
             unique_raw_keys: unique_keys.len(),
-        }
+        })
     }
 
     /// Classify a set of unique raw keys according to the mode.
     pub fn classify_keys(&self, keys: &BTreeSet<Key>) -> HashMap<Key, Option<DataTypeCategory>> {
-        let _span = diffaudit_obs::span("pipeline.classify");
+        self.classify_keys_scoped(keys, &Scope::global())
+    }
+
+    fn classify_keys_scoped(
+        &self,
+        keys: &BTreeSet<Key>,
+        scope: &Scope,
+    ) -> HashMap<Key, Option<DataTypeCategory>> {
+        scope.time("pipeline.classify", || self.classify_keys_now(keys))
+    }
+
+    fn classify_keys_now(&self, keys: &BTreeSet<Key>) -> HashMap<Key, Option<DataTypeCategory>> {
         match &self.mode {
             ClassificationMode::Oracle(truth) => keys
                 .iter()
@@ -366,15 +425,15 @@ impl Pipeline {
 /// Record the unique-key dedup counters: classification runs once per
 /// *unique* key (the paper classified its 3,968 unique types in batch), so
 /// every repeat occurrence is a cache hit the batch never pays for.
-fn record_key_stats(occurrences: u64, unique: usize) {
-    diffaudit_obs::add("pipeline.keys.occurrences", occurrences);
-    diffaudit_obs::add("pipeline.keys.unique", unique as u64);
+fn record_key_stats(scope: &Scope, occurrences: u64, unique: usize) {
+    scope.add("pipeline.keys.occurrences", occurrences);
+    scope.add("pipeline.keys.unique", unique as u64);
     let hit_rate = if occurrences > 0 {
         1.0 - (unique as f64 / occurrences as f64)
     } else {
         0.0
     };
-    diffaudit_obs::debug(
+    scope.debug(
         "unique-key classification cache",
         &[
             diffaudit_obs::field("occurrences", occurrences),
@@ -454,8 +513,10 @@ impl UnitCtx {
         }
     }
 
-    /// Merge this worker's batch into the shared one (called at join).
-    fn finish(self, batch: &KeyBatch) {
+    /// Merge this worker's batch into the shared one (called at join). The
+    /// recorder lands wherever the run's scope points — the global registry
+    /// for the batch path, the job's private registry under the daemon.
+    fn finish(self, batch: &KeyBatch, scope: &Scope) {
         match batch.keys.lock() {
             Ok(mut shared) => shared.extend(self.keys),
             Err(poisoned) => poisoned.into_inner().extend(self.keys),
@@ -463,7 +524,7 @@ impl UnitCtx {
         batch
             .occurrences
             .fetch_add(self.occurrences, Ordering::Relaxed);
-        diffaudit_obs::absorb(self.recorder);
+        scope.absorb(self.recorder);
     }
 }
 

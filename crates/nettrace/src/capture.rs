@@ -22,6 +22,7 @@ use crate::pcap::{PcapError, PcapReader, PcapWriter};
 use crate::salvage::{SalvageLog, Stage};
 use crate::tcp::FlowTable;
 use crate::tls::{decode_client_stream, decode_server_stream, TlsError, TlsSession};
+use diffaudit_util::cancel::{Ctl, Interrupt};
 use diffaudit_util::Rng;
 
 /// Knobs for a capture session.
@@ -302,6 +303,10 @@ pub enum DecodeError {
     Pcapng(crate::pcapng::PcapngError),
     /// A TLS stream was malformed (not merely undecryptable).
     Tls(TlsError),
+    /// The decode was cut short by a deadline or cancellation; the message
+    /// keeps the interrupt's reason code (`timeout`/`cancelled`) as its
+    /// prefix so ledger drop reasons stay machine-matchable.
+    Interrupted(Interrupt),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -310,6 +315,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Pcap(e) => write!(f, "pcap error: {e}"),
             DecodeError::Pcapng(e) => write!(f, "pcapng error: {e}"),
             DecodeError::Tls(e) => write!(f, "tls error: {e}"),
+            DecodeError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
@@ -446,6 +452,19 @@ pub fn decode_pcap_salvage(
     keylog: &KeyLog,
     log: &mut SalvageLog,
 ) -> Result<DecodedTrace, DecodeError> {
+    decode_pcap_salvage_ctl(pcap_bytes, keylog, log, &Ctl::unbounded())
+}
+
+/// [`decode_pcap_salvage`] with a cancellation checkpoint per frame and per
+/// flow: a tripped `ctl` returns [`DecodeError::Interrupted`] (the partial
+/// salvage log is kept, so the caller's ledger still accounts the records
+/// processed before the cut-off).
+pub fn decode_pcap_salvage_ctl(
+    pcap_bytes: &[u8],
+    keylog: &KeyLog,
+    log: &mut SalvageLog,
+    ctl: &Ctl,
+) -> Result<DecodedTrace, DecodeError> {
     let _span = diffaudit_obs::span("nettrace.decode.pcap");
     diffaudit_obs::observe(
         "nettrace.capture.bytes",
@@ -453,7 +472,7 @@ pub fn decode_pcap_salvage(
         pcap_bytes.len() as u64,
     );
     let reader = PcapReader::parse_salvage(pcap_bytes, log)?;
-    Ok(decode_packets_salvage(&reader.packets, keylog, log))
+    decode_packets_salvage_ctl(&reader.packets, keylog, log, ctl)
 }
 
 /// Salvage counterpart of [`decode_auto`]: dispatches on the container
@@ -463,6 +482,17 @@ pub fn decode_auto_salvage(
     bytes: &[u8],
     external_keylog: &KeyLog,
     log: &mut SalvageLog,
+) -> Result<DecodedTrace, DecodeError> {
+    decode_auto_salvage_ctl(bytes, external_keylog, log, &Ctl::unbounded())
+}
+
+/// [`decode_auto_salvage`] with per-record cancellation checkpoints; see
+/// [`decode_pcap_salvage_ctl`].
+pub fn decode_auto_salvage_ctl(
+    bytes: &[u8],
+    external_keylog: &KeyLog,
+    log: &mut SalvageLog,
+    ctl: &Ctl,
 ) -> Result<DecodedTrace, DecodeError> {
     if crate::pcapng::PcapngReader::sniff(bytes) {
         let _span = diffaudit_obs::span("nettrace.decode.pcapng");
@@ -478,9 +508,9 @@ pub fn decode_auto_salvage(
             reader.keylog.to_file_string(),
             external_keylog.to_file_string()
         ));
-        Ok(decode_packets_salvage(&reader.packets, &merged, log))
+        decode_packets_salvage_ctl(&reader.packets, &merged, log, ctl)
     } else {
-        decode_pcap_salvage(bytes, external_keylog, log)
+        decode_pcap_salvage_ctl(bytes, external_keylog, log, ctl)
     }
 }
 
@@ -489,15 +519,21 @@ pub fn decode_auto_salvage(
 /// accounted per flow, and whatever decodes cleanly is kept. On undamaged
 /// input the returned trace is identical to `decode_packets`' and the log
 /// stays clean (opaque pinned flows are expected, not damage).
-fn decode_packets_salvage(
+///
+/// The only non-salvageable outcomes are a broken container (upstream) and
+/// a tripped `ctl` — checked once per frame and once per flow so a stalled
+/// record stream is cut off at its deadline instead of wedging the worker.
+fn decode_packets_salvage_ctl(
     packets: &[crate::pcap::PcapPacket],
     keylog: &KeyLog,
     log: &mut SalvageLog,
-) -> DecodedTrace {
+    ctl: &Ctl,
+) -> Result<DecodedTrace, DecodeError> {
     let _span = diffaudit_obs::span("nettrace.reassemble");
     let packet_count = packets.len();
     let mut table = FlowTable::new();
     for (i, packet) in packets.iter().enumerate() {
+        ctl.check().map_err(DecodeError::Interrupted)?;
         match TcpSegment::decode(&packet.data) {
             Ok(segment) => {
                 table.push(&segment, packet.timestamp_ms());
@@ -509,6 +545,7 @@ fn decode_packets_salvage(
     let mut exchanges = Vec::new();
     let mut opaque = Vec::new();
     for flow in table.flows() {
+        ctl.check().map_err(DecodeError::Interrupted)?;
         let (client_stream, client_gap) = flow.client_stream_report();
         let gap_reason = client_gap.map(|g| {
             format!(
@@ -631,12 +668,12 @@ fn decode_packets_salvage(
             ],
         );
     }
-    DecodedTrace {
+    Ok(DecodedTrace {
         exchanges,
         opaque,
         packet_count,
         flow_count: table.flow_count(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -848,6 +885,38 @@ mod tests {
         let decoded = decode_auto_salvage(&pcapng, &KeyLog::new(), &mut log).unwrap();
         assert_eq!(decoded.exchanges.len(), 1);
         assert!(log.is_clean());
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_salvage_decode() {
+        use diffaudit_util::cancel::{CancelToken, Deadline};
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        session.capture(&exchange("https://a.example.com/x", r#"{"k":"v"}"#));
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        let ctl = Ctl::new(
+            CancelToken::new(),
+            Deadline::within(std::time::Duration::ZERO),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut log = SalvageLog::new();
+        let err = decode_pcap_salvage_ctl(&pcap, &keylog, &mut log, &ctl).unwrap_err();
+        assert_eq!(err, DecodeError::Interrupted(Interrupt::TimedOut));
+        assert!(err.to_string().starts_with("timeout"), "{err}");
+    }
+
+    #[test]
+    fn unbounded_ctl_decode_matches_plain_salvage() {
+        let mut session = CaptureSession::new(CaptureOptions::default());
+        session.capture(&exchange("https://a.example.com/x", r#"{"k":"v"}"#));
+        let (pcap, keylog_text) = session.finish();
+        let keylog = KeyLog::parse(&keylog_text);
+        let mut log_a = SalvageLog::new();
+        let mut log_b = SalvageLog::new();
+        let plain = decode_pcap_salvage(&pcap, &keylog, &mut log_a).unwrap();
+        let ctl = decode_pcap_salvage_ctl(&pcap, &keylog, &mut log_b, &Ctl::unbounded()).unwrap();
+        assert_eq!(plain.exchanges, ctl.exchanges);
+        assert_eq!(log_a.total_dropped(), log_b.total_dropped());
     }
 
     #[test]

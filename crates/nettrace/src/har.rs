@@ -30,6 +30,8 @@ pub enum HarError {
     BadMethod(String),
     /// A timestamp was malformed.
     BadTimestamp(String),
+    /// The parse was cut short by a deadline or cancellation.
+    Interrupted(diffaudit_util::cancel::Interrupt),
 }
 
 impl std::fmt::Display for HarError {
@@ -42,6 +44,7 @@ impl std::fmt::Display for HarError {
             HarError::BadUrl(u) => write!(f, "HAR contains unparseable URL {u:?}"),
             HarError::BadMethod(m) => write!(f, "HAR contains unknown method {m:?}"),
             HarError::BadTimestamp(t) => write!(f, "HAR contains bad timestamp {t:?}"),
+            HarError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
@@ -370,6 +373,17 @@ pub fn har_to_exchanges_salvage(
     text: &str,
     log: &mut crate::salvage::SalvageLog,
 ) -> Result<Vec<Exchange>, HarError> {
+    har_to_exchanges_salvage_ctl(text, log, &diffaudit_util::cancel::Ctl::unbounded())
+}
+
+/// [`har_to_exchanges_salvage`] with a cancellation checkpoint per entry: a
+/// tripped `ctl` returns [`HarError::Interrupted`] (partial salvage log
+/// kept) so a pathological document is cut off at its deadline.
+pub fn har_to_exchanges_salvage_ctl(
+    text: &str,
+    log: &mut crate::salvage::SalvageLog,
+    ctl: &diffaudit_util::cancel::Ctl,
+) -> Result<Vec<Exchange>, HarError> {
     use crate::salvage::Stage;
     let _span = diffaudit_obs::span("nettrace.decode.har");
     diffaudit_obs::observe(
@@ -384,6 +398,7 @@ pub fn har_to_exchanges_salvage(
         .ok_or_else(|| shape_err("/log/entries", "array"))?;
     let mut exchanges = Vec::with_capacity(entries.len());
     for (i, entry) in entries.iter().enumerate() {
+        ctl.check().map_err(HarError::Interrupted)?;
         match entry_to_exchange(entry, &format!("/log/entries/{i}")) {
             Ok(exchange) => {
                 exchanges.push(exchange);

@@ -32,6 +32,7 @@ pub mod level;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod scope;
 pub mod sink;
 pub mod trace;
 
@@ -46,6 +47,7 @@ pub use metrics::{
 };
 pub use recorder::{LocalRecorder, ObsConfig, Recorder, SpanGuard};
 pub use report::{render_run_report, SALVAGE_PREFIX};
+pub use scope::Scope;
 pub use sink::{write_stderr_block, JsonlSink};
 pub use trace::{render_trace_report, SpanTree, TraceLog, TraceReportOptions};
 

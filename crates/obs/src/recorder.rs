@@ -202,7 +202,14 @@ impl Recorder {
     /// [`Metrics::merge_from`] — so the final snapshot equals the serial
     /// run's regardless of thread count or join order.
     pub fn absorb(&self, local: LocalRecorder) {
-        lock_inner(self).metrics.merge_from(local.into_metrics());
+        self.merge(local.into_metrics());
+    }
+
+    /// Merge an owned [`Metrics`] registry into this recorder — the same
+    /// associative fold as [`Recorder::absorb`], for callers holding a
+    /// finished job snapshot rather than a live `LocalRecorder`.
+    pub fn merge(&self, metrics: Metrics) {
+        lock_inner(self).metrics.merge_from(metrics);
     }
 }
 
@@ -251,6 +258,20 @@ impl LocalRecorder {
         self.metrics
             .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
         out
+    }
+
+    /// Record a completed span of already-measured duration: the same
+    /// `SpanStats` + `{name}.us` histogram pair [`LocalRecorder::time`]
+    /// produces, for callers that must not hold a lock while timing.
+    pub fn span(&mut self, name: &str, dur_us: u64) {
+        self.metrics.span_done(name, dur_us);
+        self.metrics
+            .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
+    }
+
+    /// Merge another local recorder into this one (job-scoped absorb).
+    pub fn absorb(&mut self, other: LocalRecorder) {
+        self.metrics.merge_from(other.into_metrics());
     }
 
     /// Borrow the accumulated registry (tests).

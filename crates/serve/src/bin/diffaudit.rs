@@ -19,6 +19,17 @@
 //!     exceeded, bad usage), 2 = salvaged (audit produced, some records
 //!     dropped).
 //!
+//! diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N]
+//!                 [--drain-ms N] [--chaos]
+//!     Run the audit daemon: upload traces and enqueue audit jobs over a
+//!     local REST API (see DESIGN.md §9). Prints `listening on http://...`
+//!     once bound (`--port 0` picks an ephemeral port). Bounded queueing
+//!     sheds excess submissions with 429; every job runs under a deadline
+//!     with cooperative cancellation; a panicking job is contained to its
+//!     own record; `POST /api/v1/shutdown` drains gracefully. `--chaos`
+//!     enables fault-injection job options (testing only). Exit codes:
+//!     0 = clean drain, 1 = jobs orphaned at shutdown or bind failure.
+//!
 //! diffaudit classify KEY...
 //!     Classify raw payload keys with the majority-vote ensemble.
 //!
@@ -66,6 +77,7 @@ use diffaudit::report;
 use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
 use diffaudit_obs as obs;
+use diffaudit_serve::{ServeConfig, Server};
 use diffaudit_services::{generate_dataset_threads, service_by_slug, DatasetOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -74,6 +86,7 @@ fn usage() -> ExitCode {
     obs::write_stderr_block(
         "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
          diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
+         diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N] [--drain-ms N] [--chaos]\n  \
          diffaudit classify KEY...\n  diffaudit ontology\n  \
          diffaudit obs report TRACE.jsonl [--top K]\n  \
          diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n\
@@ -191,6 +204,7 @@ fn main() -> ExitCode {
     let code = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..], obs_options.threads),
         Some("audit") => cmd_audit(&args[1..], obs_options.threads),
+        Some("serve") => cmd_serve(&args[1..], obs_options.threads),
         Some("classify") => cmd_classify(&args[1..]),
         Some("ontology") => cmd_ontology(),
         Some("obs") => cmd_obs(&args[1..]),
@@ -198,6 +212,75 @@ fn main() -> ExitCode {
     };
     finish_obs(&obs_options);
     code
+}
+
+fn cmd_serve(args: &[String], threads: usize) -> ExitCode {
+    // The global --threads flag sizes each job's pipeline parallelism;
+    // --workers sizes how many jobs run at once.
+    let mut config = ServeConfig {
+        threads_per_job: threads,
+        ..ServeConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--port" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.port = v,
+                None => return usage(),
+            },
+            "--queue" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.queue_capacity = v,
+                _ => return usage(),
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.workers = v,
+                _ => return usage(),
+            },
+            "--deadline-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.default_deadline_ms = v,
+                _ => return usage(),
+            },
+            "--drain-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.drain_deadline_ms = v,
+                None => return usage(),
+            },
+            "--chaos" => config.enable_chaos = true,
+            _ => return usage(),
+        }
+    }
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            obs::error("bind failed", &[obs::field("reason", e.to_string())]);
+            return ExitCode::from(1);
+        }
+    };
+    match server.addr() {
+        Ok(addr) => {
+            // The one stdout line: scripts scrape the address (check.sh
+            // boots on --port 0 and reads the ephemeral port from here).
+            println!("listening on http://{addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            obs::error("no local addr", &[obs::field("reason", e.to_string())]);
+            return ExitCode::from(1);
+        }
+    }
+    let exit = server.run();
+    obs::info(
+        "daemon stopped",
+        &[
+            obs::field("jobsFinished", exit.jobs_finished),
+            obs::field("orphaned", exit.orphaned),
+        ],
+    );
+    if exit.orphaned == 0 {
+        ExitCode::from(0)
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn cmd_generate(args: &[String], threads: usize) -> ExitCode {

@@ -1,0 +1,109 @@
+//! A tiny blocking HTTP/1.1 client for exercising the daemon.
+//!
+//! Shared by the integration tests, the `serve_load` bench harness, and
+//! the check-script smoke step, so they all speak to the daemon the same
+//! way a scripted curl user would: one request per connection,
+//! `Connection: close`, read to EOF.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-request socket timeout — a wedged daemon should fail the caller,
+/// not hang it.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Send one request; return `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    // A server that rejects the request early (e.g. 413 on an oversized
+    // declared body) may respond and close before the body is fully
+    // written; the write error is then expected, and the response on the
+    // read side is the authoritative outcome.
+    let write_result = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
+
+    let mut raw = Vec::new();
+    match stream.read_to_end(&mut raw) {
+        Ok(_) => {}
+        Err(e) if !raw.is_empty() => {
+            // Partial response then reset: parse what arrived.
+            let _ = e;
+        }
+        Err(e) => return Err(write_result.err().unwrap_or(e)),
+    }
+    if raw.is_empty() {
+        return Err(write_result.err().unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "empty response")
+        }));
+    }
+    parse_response(&raw)
+}
+
+/// Convenience wrapper asserting the body is UTF-8.
+pub fn request_text(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, String)> {
+    let (status, bytes) = request(addr, method, path, body)?;
+    match String::from_utf8(bytes) {
+        Ok(text) => Ok((status, text)),
+        Err(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response body is not UTF-8",
+        )),
+    }
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator in response"))?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| bad("response head not UTF-8"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("no status code in response"))?;
+    Ok((status, raw[split + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\nhi";
+        let (status, body) = parse_response(raw).expect("valid");
+        assert_eq!(status, 429);
+        assert_eq!(body, b"hi");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Daemon configuration. Everything arrives through this struct — the
+//! serve crate reads no ambient environment.
+
+/// Tunables for [`crate::server::Server`]. The defaults favor a small
+/// footprint: shedding load early beats queueing unbounded work.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral, the bound port is
+    /// printed on stdout and available via [`crate::server::Server::addr`]).
+    pub port: u16,
+    /// Bounded job-queue capacity; submissions past it get `429`.
+    pub queue_capacity: usize,
+    /// Job-runner worker threads (concurrent jobs).
+    pub workers: usize,
+    /// Pipeline worker threads *per job* (the batch CLI's `--threads`).
+    pub threads_per_job: usize,
+    /// Deadline applied to a job when the request does not set one.
+    pub default_deadline_ms: u64,
+    /// Upper bound on any requested deadline.
+    pub max_deadline_ms: u64,
+    /// How long a drain waits for in-flight and queued jobs to finish
+    /// before cancelling them.
+    pub drain_deadline_ms: u64,
+    /// Grace period after cancellation before survivors are counted as
+    /// orphans.
+    pub drain_grace_ms: u64,
+    /// Largest accepted request body (uploads); bigger gets `413`.
+    pub max_body_bytes: usize,
+    /// Allow the `chaos` field on job submissions (fault injection for
+    /// tests and drills). Off by default: a production daemon should not
+    /// let clients panic its workers on request.
+    pub enable_chaos: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            queue_capacity: 4,
+            workers: 2,
+            threads_per_job: 1,
+            default_deadline_ms: 30_000,
+            max_deadline_ms: 120_000,
+            drain_deadline_ms: 5_000,
+            drain_grace_ms: 2_000,
+            max_body_bytes: 16 * 1024 * 1024,
+            enable_chaos: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_bounded() {
+        let config = ServeConfig::default();
+        assert!(config.queue_capacity >= 1);
+        assert!(config.workers >= 1);
+        assert!(config.default_deadline_ms <= config.max_deadline_ms);
+        assert!(!config.enable_chaos);
+    }
+}

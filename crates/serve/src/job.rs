@@ -1,0 +1,303 @@
+//! The job table: every submitted job's state machine and results.
+//!
+//! State machine (DESIGN.md §9):
+//!
+//! ```text
+//! Queued ──▶ Running ──▶ Done(Clean | Salvaged | Failed)
+//!                  ├────▶ TimedOut     (deadline tripped a pipeline phase)
+//!                  ├────▶ Cancelled    (drain cancelled the job)
+//!                  └────▶ Panicked     (caught at the worker boundary)
+//! ```
+//!
+//! Terminal phases map onto the batch CLI's exit-code contract (0 clean,
+//! 2 salvaged, 1 hard failure) and onto HTTP statuses for the result
+//! endpoint, so a scripted client can treat the daemon exactly like the
+//! CLI.
+
+use diffaudit::salvage::RunStatus;
+use diffaudit_util::cancel::CancelToken;
+use std::sync::{Mutex, MutexGuard};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// The pipeline finished and the salvage policy judged the run.
+    Done(RunStatus),
+    /// The deadline expired mid-pipeline; no audit document.
+    TimedOut,
+    /// Cancelled (drain) before completing.
+    Cancelled,
+    /// The job panicked; caught at the worker boundary.
+    Panicked,
+}
+
+impl JobPhase {
+    /// Stable wire label for the status API.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done(RunStatus::Clean) => "clean",
+            JobPhase::Done(RunStatus::Salvaged) => "salvaged",
+            JobPhase::Done(RunStatus::Failed) => "failed",
+            JobPhase::TimedOut => "timed-out",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::Panicked => "panicked",
+        }
+    }
+
+    /// Whether the job has reached a terminal phase.
+    pub fn terminal(&self) -> bool {
+        !matches!(self, JobPhase::Queued | JobPhase::Running)
+    }
+
+    /// HTTP status for `GET /api/v1/jobs/<id>/result`. Non-terminal
+    /// phases answer `409` (result not ready).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            JobPhase::Queued | JobPhase::Running => 409,
+            JobPhase::Done(RunStatus::Clean) => 200,
+            JobPhase::Done(RunStatus::Salvaged) => 206,
+            JobPhase::Done(RunStatus::Failed) => 422,
+            JobPhase::TimedOut => 504,
+            JobPhase::Cancelled => 503,
+            JobPhase::Panicked => 500,
+        }
+    }
+
+    /// The batch CLI's exit code for this outcome (`None` until terminal).
+    pub fn exit_style(&self) -> Option<u8> {
+        match self {
+            JobPhase::Queued | JobPhase::Running => None,
+            JobPhase::Done(status) => Some(status.exit_code()),
+            JobPhase::TimedOut | JobPhase::Cancelled | JobPhase::Panicked => Some(1),
+        }
+    }
+}
+
+/// What a finished job hands back to the table.
+#[derive(Debug)]
+pub struct JobCompletion {
+    /// Terminal phase.
+    pub phase: JobPhase,
+    /// The audit document (or an error document) as rendered JSON.
+    pub result_json: String,
+    /// Human-readable run report, when the job got far enough to render
+    /// one.
+    pub report: Option<String>,
+    /// The job's private metrics snapshot as rendered JSON.
+    pub metrics_json: Option<String>,
+    /// Failure reason for non-clean terminal phases.
+    pub error: Option<String>,
+}
+
+/// One job's full record.
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Job id (`j-1`, `j-2`, ...).
+    pub id: String,
+    /// Service slug under audit.
+    pub service: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Cooperative cancellation token; tripped by the drain protocol.
+    pub token: CancelToken,
+    /// Effective deadline in milliseconds.
+    pub deadline_ms: u64,
+    /// Rendered result document (terminal phases only).
+    pub result_json: Option<String>,
+    /// Rendered text report.
+    pub report: Option<String>,
+    /// Rendered per-job metrics snapshot.
+    pub metrics_json: Option<String>,
+    /// Failure reason.
+    pub error: Option<String>,
+}
+
+/// A cheap copy of the status fields, for list/status endpoints.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job id.
+    pub id: String,
+    /// Service slug.
+    pub service: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Failure reason, if any.
+    pub error: Option<String>,
+    /// Effective deadline in milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// Shared, insertion-ordered job registry.
+pub struct JobTable {
+    jobs: Mutex<Vec<JobRecord>>,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        JobTable::new()
+    }
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable {
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<JobRecord>> {
+        match self.jobs.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Register a freshly queued job.
+    pub fn insert(&self, record: JobRecord) {
+        self.lock().push(record);
+    }
+
+    /// Remove a job (submission was shed after registration). Returns
+    /// whether it existed.
+    pub fn remove(&self, id: &str) -> bool {
+        let mut jobs = self.lock();
+        let before = jobs.len();
+        jobs.retain(|j| j.id != id);
+        jobs.len() != before
+    }
+
+    /// Transition a job to `Running` and hand back its cancel token.
+    /// `None` if the job vanished (shed race).
+    pub fn begin(&self, id: &str) -> Option<CancelToken> {
+        let mut jobs = self.lock();
+        let job = jobs.iter_mut().find(|j| j.id == id)?;
+        job.phase = JobPhase::Running;
+        Some(job.token.clone())
+    }
+
+    /// Record a terminal outcome.
+    pub fn complete(&self, id: &str, completion: JobCompletion) {
+        let mut jobs = self.lock();
+        if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+            job.phase = completion.phase;
+            job.result_json = Some(completion.result_json);
+            job.report = completion.report;
+            job.metrics_json = completion.metrics_json;
+            job.error = completion.error;
+        }
+    }
+
+    /// Status snapshot of every job, insertion order.
+    pub fn views(&self) -> Vec<JobView> {
+        self.lock()
+            .iter()
+            .map(|j| JobView {
+                id: j.id.clone(),
+                service: j.service.clone(),
+                phase: j.phase,
+                error: j.error.clone(),
+                deadline_ms: j.deadline_ms,
+            })
+            .collect()
+    }
+
+    /// Run `f` against one job's record.
+    pub fn with<R>(&self, id: &str, f: impl FnOnce(&JobRecord) -> R) -> Option<R> {
+        let jobs = self.lock();
+        jobs.iter().find(|j| j.id == id).map(f)
+    }
+
+    /// Jobs not yet in a terminal phase.
+    pub fn unfinished(&self) -> usize {
+        self.lock().iter().filter(|j| !j.phase.terminal()).count()
+    }
+
+    /// Jobs in a terminal phase.
+    pub fn finished(&self) -> usize {
+        self.lock().iter().filter(|j| j.phase.terminal()).count()
+    }
+
+    /// Cancel tokens of every non-terminal job (the drain protocol's
+    /// cancellation phase).
+    pub fn active_tokens(&self) -> Vec<CancelToken> {
+        self.lock()
+            .iter()
+            .filter(|j| !j.phase.terminal())
+            .map(|j| j.token.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.to_string(),
+            service: "tiktok".to_string(),
+            phase: JobPhase::Queued,
+            token: CancelToken::new(),
+            deadline_ms: 1000,
+            result_json: None,
+            report: None,
+            metrics_json: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn phase_contract_matches_cli_exit_codes() {
+        assert_eq!(JobPhase::Done(RunStatus::Clean).http_status(), 200);
+        assert_eq!(JobPhase::Done(RunStatus::Clean).exit_style(), Some(0));
+        assert_eq!(JobPhase::Done(RunStatus::Salvaged).http_status(), 206);
+        assert_eq!(JobPhase::Done(RunStatus::Salvaged).exit_style(), Some(2));
+        assert_eq!(JobPhase::Done(RunStatus::Failed).http_status(), 422);
+        assert_eq!(JobPhase::Done(RunStatus::Failed).exit_style(), Some(1));
+        assert_eq!(JobPhase::TimedOut.http_status(), 504);
+        assert_eq!(JobPhase::Panicked.http_status(), 500);
+        assert_eq!(JobPhase::Cancelled.http_status(), 503);
+        assert!(!JobPhase::Running.terminal());
+        assert_eq!(JobPhase::Running.exit_style(), None);
+    }
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let table = JobTable::new();
+        table.insert(record("j-1"));
+        assert_eq!(table.unfinished(), 1);
+        let token = table.begin("j-1").expect("job exists");
+        assert!(!token.is_cancelled());
+        table.complete(
+            "j-1",
+            JobCompletion {
+                phase: JobPhase::Done(RunStatus::Clean),
+                result_json: "{}".to_string(),
+                report: Some("report".to_string()),
+                metrics_json: None,
+                error: None,
+            },
+        );
+        assert_eq!(table.unfinished(), 0);
+        assert_eq!(table.finished(), 1);
+        let phase = table.with("j-1", |j| j.phase).expect("job exists");
+        assert_eq!(phase, JobPhase::Done(RunStatus::Clean));
+        assert!(table.active_tokens().is_empty());
+    }
+
+    #[test]
+    fn remove_reverses_a_shed_registration() {
+        let table = JobTable::new();
+        table.insert(record("j-1"));
+        assert!(table.remove("j-1"));
+        assert!(!table.remove("j-1"));
+        assert!(table.views().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # diffaudit-serve
+//!
+//! A fault-contained audit daemon over the DiffAudit pipeline.
+//!
+//! The batch CLI audits capture directories and exits; this crate runs the
+//! same pipeline as a long-lived service: clients upload traces (HAR,
+//! pcap, pcapng) over a hand-rolled std-only HTTP/1.1 API, enqueue audit
+//! jobs against them, poll status, and fetch the audit document and run
+//! report. The daemon's value is not the transport — it is the fault
+//! containment contract around each job:
+//!
+//! - **Bounded queueing** — a fixed-capacity job queue sheds load with an
+//!   explicit `429 queue full` instead of accepting unbounded work
+//!   ([`queue::BoundedQueue`]).
+//! - **Deadlines and cancellation** — every job runs under a
+//!   [`diffaudit_util::cancel::Ctl`] (deadline + cancel token) threaded
+//!   through the loader and every pipeline phase; a stalled decode times
+//!   out at the deadline and surfaces as ledger drops or a `504`, never a
+//!   wedged worker ([`runner`]).
+//! - **Panic isolation** — a panicking job is caught at the worker
+//!   boundary, recorded as that job's hard failure, and the worker
+//!   returns to the pool ([`server`]).
+//! - **Observability isolation** — each job accumulates metrics and spans
+//!   in a private [`diffaudit_obs::Scope`]; nothing touches the global
+//!   registry until the job completes and its snapshot is merged at the
+//!   one sanctioned join point.
+//! - **Graceful drain** — `POST /api/v1/shutdown` stops intake, completes
+//!   in-flight and queued work within the drain deadline, then cancels
+//!   stragglers and reports any orphans in the exit code.
+//!
+//! See DESIGN.md §9 for the protocol and the job state machine.
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod runner;
+pub mod server;
+
+pub use config::ServeConfig;
+pub use server::{Server, ServerExit};

@@ -1,0 +1,246 @@
+//! Cooperative cancellation and deadlines for long-running audit work.
+//!
+//! The serve daemon hands every job a [`Ctl`]: a cheap-to-clone handle
+//! bundling a [`CancelToken`] (tripped by graceful drain or an explicit
+//! cancel) and a [`Deadline`] (the job's wall-clock budget). Pipeline
+//! stages, salvage loaders, and per-record decoders call [`Ctl::check`] at
+//! their loop checkpoints; a tripped control surfaces as an [`Interrupt`]
+//! that callers convert into a ledger drop (`timeout: …` reason codes) or
+//! an aborted job — never a hang and never a panic.
+//!
+//! The optional *probe* hook exists for chaos testing: it runs on every
+//! `check()` call, so a test can inject a per-checkpoint stall and prove
+//! that a pathological decoder is cut off at its deadline instead of
+//! wedging a worker. Production controls carry no probe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a unit of work was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The [`CancelToken`] was tripped (drain or explicit cancel).
+    Cancelled,
+    /// The [`Deadline`] passed before the work finished.
+    TimedOut,
+}
+
+impl Interrupt {
+    /// Stable machine-readable reason code (`cancelled` / `timeout`); drop
+    /// reasons in the degradation ledger start with this code.
+    pub fn reason_code(self) -> &'static str {
+        match self {
+            Interrupt::Cancelled => "cancelled",
+            Interrupt::TimedOut => "timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "cancelled: cooperative cancellation requested"),
+            Interrupt::TimedOut => write!(f, "timeout: deadline exceeded"),
+        }
+    }
+}
+
+/// A shared cancellation flag. Cloning shares the flag; tripping it is
+/// sticky and visible to every clone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the token. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// An optional wall-clock budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: never expires.
+    pub const NONE: Deadline = Deadline { at: None };
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A deadline at the given instant.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at: Some(at) }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Remaining budget (`None` when unbounded, zero when expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+/// The control handle threaded through cancellable work: a cancel token, a
+/// deadline, and (for chaos tests only) a per-checkpoint probe. Clones are
+/// cheap and share the same token/probe.
+#[derive(Clone, Default)]
+pub struct Ctl {
+    token: CancelToken,
+    deadline: Deadline,
+    probe: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Ctl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctl")
+            .field("token", &self.token)
+            .field("deadline", &self.deadline)
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
+}
+
+impl Ctl {
+    /// A control that never interrupts: the batch path's no-op handle.
+    pub fn unbounded() -> Ctl {
+        Ctl::default()
+    }
+
+    /// A control from an existing token and deadline.
+    pub fn new(token: CancelToken, deadline: Deadline) -> Ctl {
+        Ctl {
+            token,
+            deadline,
+            probe: None,
+        }
+    }
+
+    /// Attach a chaos probe invoked on every [`check`](Ctl::check). Tests
+    /// use this to stall each checkpoint and prove deadline enforcement.
+    pub fn with_probe(mut self, probe: Arc<dyn Fn() + Send + Sync>) -> Ctl {
+        self.probe = Some(probe);
+        self
+    }
+
+    /// The shared cancel token (clone it to trip the control elsewhere).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// The deadline this control enforces.
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// Checkpoint: runs the probe (if any), then reports whether the work
+    /// should stop. Cancellation wins over timeout when both hold, so a
+    /// drain reads as `cancelled` rather than a spurious `timeout`.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        if let Some(probe) = &self.probe {
+            probe();
+        }
+        if self.token.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if self.deadline.expired() {
+            return Err(Interrupt::TimedOut);
+        }
+        Ok(())
+    }
+
+    /// [`check`](Ctl::check) flipped into an `Option` for loop guards.
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        self.check().err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn unbounded_never_interrupts() {
+        let ctl = Ctl::unbounded();
+        assert!(ctl.check().is_ok());
+        assert!(ctl.interrupted().is_none());
+        assert!(ctl.deadline().remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let ctl = Ctl::unbounded();
+        let clone = ctl.clone();
+        ctl.token().cancel();
+        assert_eq!(clone.check(), Err(Interrupt::Cancelled));
+        assert_eq!(ctl.interrupted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_expires_into_timeout() {
+        let ctl = Ctl::new(CancelToken::new(), Deadline::within(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(ctl.check(), Err(Interrupt::TimedOut));
+        assert_eq!(ctl.deadline().remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_wins_over_timeout() {
+        let ctl = Ctl::new(CancelToken::new(), Deadline::within(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        ctl.token().cancel();
+        assert_eq!(ctl.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn probe_runs_on_every_check() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let seen = hits.clone();
+        let ctl = Ctl::unbounded().with_probe(Arc::new(move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+        }));
+        for _ in 0..5 {
+            let _ = ctl.check();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn reason_codes_prefix_display() {
+        for i in [Interrupt::Cancelled, Interrupt::TimedOut] {
+            assert!(i.to_string().starts_with(i.reason_code()), "{i}");
+        }
+    }
+
+    #[test]
+    fn fixed_deadline_at_instant() {
+        let d = Deadline::at(Instant::now());
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.expired());
+        assert!(!Deadline::NONE.expired());
+    }
+}

@@ -26,9 +26,13 @@
 //! - [`par`] — std-only scoped-thread fork-join executor with ordered
 //!   result merge, the process-wide thread-count default behind the
 //!   `--threads` flag, and the hash-consed [`par::KeyInterner`].
+//! - [`cancel`] — cooperative cancellation ([`cancel::CancelToken`]),
+//!   wall-clock [`cancel::Deadline`]s, and the combined [`cancel::Ctl`]
+//!   handle the serve daemon threads through pipeline and loader loops.
 
 pub mod base64;
 pub mod bytes;
+pub mod cancel;
 pub mod fmt;
 pub mod hash;
 pub mod hex;
@@ -36,6 +40,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use cancel::{CancelToken, Ctl, Deadline, Interrupt};
 pub use hash::fnv1a64;
 pub use par::{Key, KeyInterner};
 pub use rng::Rng;

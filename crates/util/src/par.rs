@@ -27,6 +27,7 @@
 //! re-raised on the caller thread via `std::panic::resume_unwind`, so a
 //! failing closure behaves exactly as it would have on the serial path.
 
+use crate::cancel::{Ctl, Interrupt};
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -182,6 +183,125 @@ where
     pairs.into_iter().map(|(_, result)| result).collect()
 }
 
+/// Cancellation-aware variant of [`par_map_ctx`]: workers consult `ctl`
+/// before claiming each item and stop claiming once it trips. Either every
+/// item was mapped (`Ok`, results in input order — bit-identical to the
+/// uncancelled run) or the interrupt is returned and partial results are
+/// discarded; a half-mapped result vector never escapes.
+pub fn par_map_ctx_cancel<T, C, R, M, F, D>(
+    threads: usize,
+    items: &[T],
+    ctl: &Ctl,
+    make: M,
+    f: F,
+    finish: D,
+) -> Result<Vec<R>, Interrupt>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, &T) -> R + Sync,
+    D: Fn(C) + Sync,
+{
+    let refs: Vec<&T> = items.iter().collect();
+    par_map_ctx_owned_cancel(
+        threads,
+        refs,
+        ctl,
+        make,
+        |ctx, index, item| f(ctx, index, item),
+        finish,
+    )
+}
+
+/// Cancellation-aware variant of [`par_map_ctx_owned`]. See
+/// [`par_map_ctx_cancel`] for the all-or-interrupt contract; `finish` still
+/// runs for every started worker context (metrics gathered before the
+/// interrupt are preserved for the degradation report).
+pub fn par_map_ctx_owned_cancel<T, C, R, M, F, D>(
+    threads: usize,
+    items: Vec<T>,
+    ctl: &Ctl,
+    make: M,
+    f: F,
+    finish: D,
+) -> Result<Vec<R>, Interrupt>
+where
+    T: Send,
+    R: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, T) -> R + Sync,
+    D: Fn(C) + Sync,
+{
+    let total = items.len();
+    let workers = threads.min(total);
+    if workers <= 1 {
+        let mut ctx = make();
+        let mut out: Vec<R> = Vec::with_capacity(total);
+        let mut stopped = None;
+        for (index, item) in items.into_iter().enumerate() {
+            if let Some(interrupt) = ctl.interrupted() {
+                stopped = Some(interrupt);
+                break;
+            }
+            out.push(f(&mut ctx, index, item));
+        }
+        finish(ctx);
+        return match stopped {
+            Some(interrupt) => Err(interrupt),
+            None => Ok(out),
+        };
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let mut batches: Vec<std::thread::Result<Vec<(usize, R)>>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ctx = make();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    while ctl.interrupted().is_none() {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(slot) = slots.get(index) else {
+                            break;
+                        };
+                        let item = match slot.lock() {
+                            Ok(mut guard) => guard.take(),
+                            Err(poisoned) => poisoned.into_inner().take(),
+                        };
+                        if let Some(item) = item {
+                            out.push((index, f(&mut ctx, index, item)));
+                        }
+                    }
+                    finish(ctx);
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            batches.push(handle.join());
+        }
+    });
+
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(total);
+    for batch in batches {
+        match batch {
+            Ok(part) => pairs.extend(part),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    if pairs.len() < total {
+        // Workers only stop early when the control tripped; cancellation is
+        // sticky and deadlines are monotone, so re-reading it here is safe.
+        return Err(ctl.interrupted().unwrap_or(Interrupt::Cancelled));
+    }
+    pairs.sort_unstable_by_key(|(index, _)| *index);
+    Ok(pairs.into_iter().map(|(_, result)| result).collect())
+}
+
 /// A hash-consed raw payload key: one shared allocation per distinct
 /// spelling. Ordering and hashing delegate to the underlying `str`.
 pub type Key = Arc<str>;
@@ -323,6 +443,94 @@ mod tests {
         keys.sort();
         let spellings: Vec<&str> = keys.iter().map(|k| k.as_ref()).collect();
         assert_eq!(spellings, ["alpha", "midway", "zeta"]);
+    }
+
+    #[test]
+    fn cancel_variant_completes_when_untripped() {
+        let items: Vec<u64> = (0..129).collect();
+        for threads in [1, 4] {
+            let out = par_map_ctx_owned_cancel(
+                threads,
+                items.clone(),
+                &Ctl::unbounded(),
+                || (),
+                |(), _, v| v + 1,
+                |()| {},
+            );
+            let expected: Vec<u64> = items.iter().map(|v| v + 1).collect();
+            assert_eq!(out, Ok(expected), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pre_tripped_ctl_interrupts_before_any_work() {
+        use std::sync::atomic::AtomicU64;
+        let ctl = Ctl::unbounded();
+        ctl.token().cancel();
+        let mapped = AtomicU64::new(0);
+        for threads in [1, 4] {
+            let items: Vec<u64> = (0..64).collect();
+            let out = par_map_ctx_owned_cancel(
+                threads,
+                items,
+                &ctl,
+                || (),
+                |(), _, v| {
+                    mapped.fetch_add(1, Ordering::Relaxed);
+                    v
+                },
+                |()| {},
+            );
+            assert_eq!(out, Err(Interrupt::Cancelled), "threads={threads}");
+        }
+        assert_eq!(mapped.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_claiming_and_reports() {
+        let ctl = Ctl::unbounded();
+        let token = ctl.token().clone();
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map_ctx_cancel(
+            4,
+            &items,
+            &ctl,
+            || (),
+            |(), index, &v| {
+                if index == 3 {
+                    token.cancel();
+                }
+                v
+            },
+            |()| {},
+        );
+        assert_eq!(out, Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn cancel_variant_runs_finish_per_started_worker() {
+        use std::sync::atomic::AtomicU64;
+        let made = AtomicU64::new(0);
+        let finished = AtomicU64::new(0);
+        let ctl = Ctl::unbounded();
+        ctl.token().cancel();
+        let items: Vec<u64> = (0..64).collect();
+        let _ = par_map_ctx_owned_cancel(
+            4,
+            items,
+            &ctl,
+            || {
+                made.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), _, v| v,
+            |()| {
+                finished.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(
+            made.load(Ordering::Relaxed),
+            finished.load(Ordering::Relaxed)
+        );
     }
 
     #[test]

@@ -19,7 +19,8 @@ use diffaudit::pipeline::{ClassificationMode, LoadedUnit, Pipeline, ServiceInput
 use diffaudit_nettrace::fault::{FaultOp, FaultSpec};
 use diffaudit_nettrace::pcapng::inject_secrets;
 use diffaudit_nettrace::{
-    decode_auto, decode_auto_salvage, har_to_exchanges_salvage, KeyLog, SalvageLog,
+    decode_auto, decode_auto_salvage, decode_auto_salvage_ctl, har_to_exchanges_salvage, KeyLog,
+    SalvageLog,
 };
 use diffaudit_services::{generate_dataset, DatasetOptions, GeneratedDataset};
 
@@ -256,6 +257,159 @@ fn misalignment_operators_still_recover_most_of_the_audit() {
             );
         }
     }
+}
+
+#[test]
+fn a_stalled_decoder_is_cut_off_at_the_deadline_across_the_fault_grid() {
+    // Decoder-stall operator: every cancellation checkpoint costs
+    // wall-clock (the chaos probe sleeps), so a short deadline expires
+    // mid-decode. The salvage decoders must cut the unit off at the
+    // deadline — never panic or wedge — for every fault operator, and
+    // the partial ledger accumulated up to the cut must still conserve.
+    use diffaudit_nettrace::capture::DecodeError;
+    use diffaudit_util::cancel::{CancelToken, Ctl, Deadline, Interrupt};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let dataset = dataset();
+    let capture = &dataset.services[0];
+    let artifact = capture
+        .artifacts
+        .iter()
+        .find(|a| a.pcap.is_some())
+        .expect("dataset has a pcap artifact");
+    let pcap = artifact.pcap.as_ref().expect("pcap bytes");
+    let keylog = match &artifact.keylog {
+        Some(text) => KeyLog::parse(text),
+        None => KeyLog::new(),
+    };
+    // Deadline shorter than one stalled checkpoint: the decoder gets the
+    // container open, then the first per-record check already trips.
+    let stalled_ctl = || {
+        Ctl::new(
+            CancelToken::new(),
+            Deadline::within(Duration::from_millis(1)),
+        )
+        .with_probe(Arc::new(|| {
+            std::thread::sleep(Duration::from_millis(3));
+        }))
+    };
+
+    // The stall must actually bite on the pristine capture — otherwise
+    // the grid below proves nothing.
+    let mut pristine_log = SalvageLog::new();
+    let err = decode_auto_salvage_ctl(pcap, &keylog, &mut pristine_log, &stalled_ctl())
+        .expect_err("a stalled decode must be interrupted, not complete");
+    assert!(
+        matches!(err, DecodeError::Interrupted(Interrupt::TimedOut)),
+        "pristine stall must read as a timeout, got: {err:?}"
+    );
+    assert!(pristine_log.conserved());
+
+    for op in FaultOp::ALL {
+        for seed in SEEDS {
+            let spec = FaultSpec {
+                op,
+                seed,
+                rate: 0.25,
+            };
+            let damaged = spec.apply_pcap(pcap);
+            let mut log = SalvageLog::new();
+            match decode_auto_salvage_ctl(&damaged, &keylog, &mut log, &stalled_ctl()) {
+                Err(DecodeError::Interrupted(i)) => assert!(
+                    matches!(i, Interrupt::TimedOut),
+                    "{op} seed {seed}: a deadline stall must surface as a timeout, got {i:?}"
+                ),
+                // An unusable container (or one damaged down to nothing)
+                // can finish or fail before the first checkpoint; both
+                // are legal as long as the ledger below conserves.
+                Ok(_) | Err(_) => {}
+            }
+            assert!(
+                log.conserved(),
+                "{op} seed {seed}: ledger must conserve at the stall cut-off"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_stalled_load_surfaces_as_timeout_drops_even_on_damaged_units() {
+    // The serve daemon's salvage loader path: when the deadline expires
+    // while units are still queued, every remaining unit — damaged or
+    // not — must land in the degradation ledger with a `timeout:` reason
+    // code (the interrupt wins over whatever decode damage the bytes
+    // also carry), and the ledger must conserve the full unit count.
+    use diffaudit::loader::{load_memory_service, MemoryArtifact, MemoryService, MemoryUnit};
+    use diffaudit_util::cancel::{CancelToken, Ctl, Deadline};
+    use std::time::Duration;
+
+    let dataset = dataset();
+    let capture = &dataset.services[0];
+    let spec = FaultSpec {
+        op: FaultOp::BitFlip,
+        seed: 3,
+        rate: 0.25,
+    };
+    let units: Vec<MemoryUnit> = capture
+        .artifacts
+        .iter()
+        .enumerate()
+        .map(|(i, artifact)| {
+            let art = match (&artifact.har, &artifact.pcap) {
+                (Some(har), _) => MemoryArtifact::Har(spec.apply_har(har)),
+                (None, Some(pcap)) => MemoryArtifact::Capture {
+                    bytes: spec.apply_pcap(pcap),
+                    keylog: artifact.keylog.clone(),
+                },
+                (None, None) => unreachable!("artifact has neither HAR nor pcap"),
+            };
+            MemoryUnit {
+                label: format!("unit-{i}"),
+                platform: artifact.platform,
+                kind: artifact.kind,
+                category: artifact.category,
+                artifact: art,
+            }
+        })
+        .collect();
+    let total = units.len();
+    assert!(total > 0);
+    let svc = MemoryService {
+        name: capture.spec.name.to_string(),
+        slug: capture.spec.slug.to_string(),
+        first_party_domains: capture
+            .spec
+            .first_party_domains
+            .iter()
+            .map(|d| d.to_string())
+            .collect(),
+        units,
+    };
+    let ctl = Ctl::new(
+        CancelToken::new(),
+        Deadline::within(Duration::ZERO), // already expired: a stall past its budget
+    );
+    let scope = diffaudit_obs::Scope::job("chaos.stall");
+    let (input, ledger) = load_memory_service(svc, 2, &scope, &ctl);
+    assert!(
+        input.units.is_empty(),
+        "an expired deadline must drop every unit"
+    );
+    let merged = ledger.merged();
+    assert!(merged.conserved());
+    assert_eq!(ledger.units.len(), total);
+    for unit in &ledger.units {
+        assert!(
+            unit.log
+                .drops()
+                .iter()
+                .any(|d| d.reason.starts_with("timeout:")),
+            "damaged unit cut at the deadline must carry the timeout code: {:?}",
+            unit.log.drops()
+        );
+    }
+    let _ = scope.finish();
 }
 
 #[test]

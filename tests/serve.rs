@@ -1,0 +1,640 @@
+//! End-to-end tests for the `diffaudit serve` daemon: the containment
+//! properties (bounded queueing, deadlines, panic isolation, graceful
+//! drain), the exit-style contract over HTTP, and byte-identity between a
+//! daemon job's result document and the batch CLI on the same inputs.
+
+use diffaudit_json::Json;
+use diffaudit_serve::client;
+use diffaudit_serve::{ServeConfig, Server, ServerExit};
+use diffaudit_services::{
+    generate_dataset, DatasetOptions, Platform, ServiceCapture, TraceCategory, TraceKind,
+};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- harness
+
+fn boot(config: ServeConfig) -> (String, JoinHandle<ServerExit>) {
+    let server = Server::bind(config).expect("bind on 127.0.0.1:0");
+    let addr = server.addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown_and_join(addr: &str, handle: JoinHandle<ServerExit>) -> ServerExit {
+    let (status, _) =
+        client::request_text(addr, "POST", "/api/v1/shutdown", &[]).expect("shutdown");
+    assert_eq!(status, 202);
+    handle.join().expect("daemon thread must not panic")
+}
+
+fn dataset_service(slug: &str) -> ServiceCapture {
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 21,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.0,
+        services: vec![slug.into()],
+    });
+    dataset.services.into_iter().next().expect("one service")
+}
+
+fn platform_param(p: Platform) -> &'static str {
+    match p {
+        Platform::Web => "web",
+        Platform::Mobile => "mobile",
+        Platform::Desktop => "desktop",
+    }
+}
+
+fn kind_param(k: TraceKind) -> &'static str {
+    match k {
+        TraceKind::AccountCreation => "account-creation",
+        TraceKind::LoggedIn => "logged-in",
+        TraceKind::LoggedOut => "logged-out",
+    }
+}
+
+fn category_param(c: TraceCategory) -> &'static str {
+    match c {
+        TraceCategory::Child => "child",
+        TraceCategory::Adolescent => "adolescent",
+        TraceCategory::Adult => "adult",
+        TraceCategory::LoggedOut => "logged-out",
+    }
+}
+
+/// Upload every artifact of `capture`; `corrupt_pcap` flips bytes in the
+/// first pcap so its decode drops records (the chaos-damaged input).
+fn upload_service(addr: &str, capture: &ServiceCapture, corrupt_pcap: bool) -> Vec<String> {
+    let mut ids = Vec::new();
+    let mut corrupted = false;
+    for (i, artifact) in capture.artifacts.iter().enumerate() {
+        let path = format!(
+            "/api/v1/traces?label=unit-{i}&platform={}&kind={}&category={}",
+            platform_param(artifact.platform),
+            kind_param(artifact.kind),
+            category_param(artifact.category),
+        );
+        let body: Vec<u8> = match (&artifact.har, &artifact.pcap) {
+            (Some(har), _) => har.clone().into_bytes(),
+            (None, Some(pcap)) => {
+                let mut bytes = pcap.clone();
+                if corrupt_pcap && !corrupted && bytes.len() > 100 {
+                    let len = bytes.len();
+                    for pos in [len / 3, len / 2, 2 * len / 3] {
+                        bytes[pos] ^= 0xFF;
+                    }
+                    corrupted = true;
+                }
+                bytes
+            }
+            (None, None) => panic!("artifact without content"),
+        };
+        let (status, text) = client::request_text(addr, "POST", &path, &body).expect("upload");
+        assert_eq!(status, 201, "upload failed: {text}");
+        let doc = diffaudit_json::parse(&text).expect("upload response JSON");
+        let id = doc
+            .get("traceId")
+            .and_then(Json::as_str)
+            .expect("traceId")
+            .to_string();
+        if artifact.har.is_none() {
+            if let Some(keylog) = &artifact.keylog {
+                let (status, _) = client::request_text(
+                    addr,
+                    "POST",
+                    &format!("/api/v1/traces/{id}/keylog"),
+                    keylog.as_bytes(),
+                )
+                .expect("keylog attach");
+                assert_eq!(status, 200);
+            }
+        }
+        ids.push(id);
+    }
+    assert!(
+        !corrupt_pcap || corrupted,
+        "no pcap was available to corrupt"
+    );
+    ids
+}
+
+fn job_body(capture: &ServiceCapture, trace_ids: &[String], extra: &[(&str, Json)]) -> String {
+    let mut doc = Json::obj()
+        .with(
+            "service",
+            Json::obj()
+                .with("name", Json::str(capture.spec.name))
+                .with("slug", Json::str(capture.spec.slug))
+                .with(
+                    "firstPartyDomains",
+                    Json::Arr(
+                        capture
+                            .spec
+                            .first_party_domains
+                            .iter()
+                            .map(|d| Json::str(*d))
+                            .collect(),
+                    ),
+                ),
+        )
+        .with(
+            "traces",
+            Json::Arr(trace_ids.iter().map(Json::str).collect()),
+        );
+    for (key, value) in extra {
+        doc.set(*key, value.clone());
+    }
+    doc.to_string()
+}
+
+/// Submit a job; panics on anything but `202`.
+fn submit(addr: &str, body: &str) -> String {
+    let (status, text) =
+        client::request_text(addr, "POST", "/api/v1/jobs", body.as_bytes()).expect("submit");
+    assert_eq!(status, 202, "submit failed: {text}");
+    diffaudit_json::parse(&text)
+        .expect("submit response JSON")
+        .get("jobId")
+        .and_then(Json::as_str)
+        .expect("jobId")
+        .to_string()
+}
+
+fn poll_to_terminal(addr: &str, job_id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, text) =
+            client::request_text(addr, "GET", &format!("/api/v1/jobs/{job_id}"), &[])
+                .expect("status poll");
+        assert_eq!(status, 200, "poll failed: {text}");
+        let doc = diffaudit_json::parse(&text).expect("status JSON");
+        let state = doc.get("state").and_then(Json::as_str).expect("state");
+        if state != "queued" && state != "running" {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "job {job_id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn fetch_result(addr: &str, job_id: &str) -> (u16, String) {
+    client::request_text(addr, "GET", &format!("/api/v1/jobs/{job_id}/result"), &[])
+        .expect("result fetch")
+}
+
+// ---------------------------------------------------------------- tests
+
+/// Two jobs on one daemon — a clean service and a chaos-damaged one —
+/// finish concurrently with the CLI's exit contract mapped onto HTTP:
+/// clean → 200/exit-style 0, salvaged → 206/exit-style 2 with a
+/// degradation ledger, strict salvage → 422/exit-style 1.
+#[test]
+fn concurrent_clean_and_damaged_jobs_follow_the_exit_contract() {
+    let (addr, handle) = boot(ServeConfig::default());
+    let clean = dataset_service("duolingo");
+    let damaged = dataset_service("tiktok");
+    let clean_ids = upload_service(&addr, &clean, false);
+    let damaged_ids = upload_service(&addr, &damaged, true);
+
+    let clean_job = submit(&addr, &job_body(&clean, &clean_ids, &[]));
+    let damaged_job = submit(&addr, &job_body(&damaged, &damaged_ids, &[]));
+    let strict_job = submit(
+        &addr,
+        &job_body(&damaged, &damaged_ids, &[("strict", Json::Bool(true))]),
+    );
+
+    let clean_view = poll_to_terminal(&addr, &clean_job);
+    assert_eq!(
+        clean_view.get("state").and_then(Json::as_str),
+        Some("clean")
+    );
+    assert_eq!(clean_view.get("exitStyle").and_then(Json::as_i64), Some(0));
+    let (status, body) = fetch_result(&addr, &clean_job);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"services\""));
+    assert!(
+        !body.contains("\"degradation\""),
+        "clean result must not carry a ledger"
+    );
+
+    let damaged_view = poll_to_terminal(&addr, &damaged_job);
+    assert_eq!(
+        damaged_view.get("state").and_then(Json::as_str),
+        Some("salvaged")
+    );
+    assert_eq!(
+        damaged_view.get("exitStyle").and_then(Json::as_i64),
+        Some(2)
+    );
+    let (status, body) = fetch_result(&addr, &damaged_job);
+    assert_eq!(status, 206);
+    let doc = diffaudit_json::parse(&body).expect("salvaged result JSON");
+    let dropped = doc
+        .get("degradation")
+        .and_then(|d| d.get("dropped"))
+        .and_then(Json::as_i64)
+        .expect("ledger totals in salvaged result");
+    assert!(dropped > 0, "salvaged job must report dropped records");
+
+    let strict_view = poll_to_terminal(&addr, &strict_job);
+    assert_eq!(
+        strict_view.get("state").and_then(Json::as_str),
+        Some("failed")
+    );
+    assert_eq!(strict_view.get("exitStyle").and_then(Json::as_i64), Some(1));
+    let (status, _) = fetch_result(&addr, &strict_job);
+    assert_eq!(status, 422);
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+    assert_eq!(exit.jobs_finished, 3);
+}
+
+/// A daemon job over uploaded traces renders the same audit document,
+/// byte for byte, as `diffaudit audit --format json` over the same
+/// artifacts written to disk.
+#[test]
+fn result_document_is_byte_identical_to_the_batch_cli() {
+    let capture = dataset_service("quizlet");
+
+    // Batch CLI side: write the dataset to disk and audit it.
+    let root = std::env::temp_dir().join(format!("diffaudit-serve-ident-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("temp dir");
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 21,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.0,
+        services: vec!["quizlet".into()],
+    });
+    let dirs: Vec<PathBuf> =
+        diffaudit::loader::write_dataset(&dataset, &root).expect("write dataset");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_diffaudit"))
+        .arg("audit")
+        .arg(&dirs[0])
+        .args(["--format", "json", "--log-level", "error"])
+        .output()
+        .expect("run batch CLI");
+    assert_eq!(output.status.code(), Some(0));
+    let cli_doc = String::from_utf8(output.stdout).expect("CLI output UTF-8");
+
+    // Daemon side: upload the same artifacts and run a default job.
+    let (addr, handle) = boot(ServeConfig::default());
+    let ids = upload_service(&addr, &capture, false);
+    let job = submit(&addr, &job_body(&capture, &ids, &[]));
+    let view = poll_to_terminal(&addr, &job);
+    assert_eq!(view.get("state").and_then(Json::as_str), Some("clean"));
+    let (status, body) = fetch_result(&addr, &job);
+    assert_eq!(status, 200);
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+
+    assert_eq!(
+        body, cli_doc,
+        "daemon result and batch CLI JSON must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A burst of 8 concurrent submissions against queue capacity 4 and one
+/// (busy) worker: at least 3 must be shed with `429 queue full`, and every
+/// accepted job still reaches a terminal state.
+#[test]
+fn submission_burst_beyond_queue_capacity_sheds_with_429() {
+    let (addr, handle) = boot(ServeConfig {
+        queue_capacity: 4,
+        workers: 1,
+        enable_chaos: true,
+        ..ServeConfig::default()
+    });
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+    // Stalled decodes with a short deadline keep the worker pinned for the
+    // whole burst, so admission is decided purely by queue capacity.
+    let body = job_body(
+        &capture,
+        &ids,
+        &[
+            ("chaos", Json::str("stall-decode")),
+            ("deadlineMs", Json::int(400)),
+        ],
+    );
+
+    let results: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.as_str();
+                let body = body.as_str();
+                scope.spawn(move || {
+                    let (status, _) =
+                        client::request_text(addr, "POST", "/api/v1/jobs", body.as_bytes())
+                            .expect("submit");
+                    status
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let accepted = results.iter().filter(|&&s| s == 202).count();
+    let shed = results.iter().filter(|&&s| s == 429).count();
+    assert_eq!(accepted + shed, 8, "unexpected statuses: {results:?}");
+    assert!(
+        shed >= 3,
+        "8 submissions vs capacity 4 + 1 worker must shed >=3, got {shed}"
+    );
+    assert!(
+        accepted >= 4,
+        "the queue must still admit jobs, got {accepted}"
+    );
+
+    // Every accepted job reaches a terminal state; shed ones left no record.
+    let (status, text) = client::request_text(&addr, "GET", "/api/v1/jobs", &[]).expect("list");
+    assert_eq!(status, 200);
+    let listed = diffaudit_json::parse(&text)
+        .expect("list JSON")
+        .get("jobs")
+        .and_then(|j| j.as_arr().map(<[Json]>::len))
+        .expect("jobs array");
+    assert_eq!(
+        listed, accepted,
+        "shed submissions must not leave job records"
+    );
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+    assert_eq!(exit.jobs_finished, accepted);
+}
+
+/// A stalled decoder is cut off at its deadline and lands as `salvaged`
+/// with `timeout:` drop reasons (or `failed` under strict policy), while a
+/// concurrent healthy job on the other worker completes clean.
+#[test]
+fn stalled_decoder_times_out_at_deadline_while_concurrent_jobs_complete() {
+    let (addr, handle) = boot(ServeConfig {
+        workers: 2,
+        enable_chaos: true,
+        ..ServeConfig::default()
+    });
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+
+    let started = Instant::now();
+    let stalled = submit(
+        &addr,
+        &job_body(
+            &capture,
+            &ids,
+            &[
+                ("chaos", Json::str("stall-decode")),
+                ("deadlineMs", Json::int(300)),
+            ],
+        ),
+    );
+    let healthy = submit(&addr, &job_body(&capture, &ids, &[]));
+
+    let healthy_view = poll_to_terminal(&addr, &healthy);
+    assert_eq!(
+        healthy_view.get("state").and_then(Json::as_str),
+        Some("clean"),
+        "the stalled job must not poison its neighbour"
+    );
+
+    let stalled_view = poll_to_terminal(&addr, &stalled);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "deadline must cut the stall off, not let it run forever"
+    );
+    assert_eq!(
+        stalled_view.get("state").and_then(Json::as_str),
+        Some("salvaged"),
+        "timed-out units are ledger drops, so the policy verdict is salvaged"
+    );
+    let (status, body) = fetch_result(&addr, &stalled);
+    assert_eq!(status, 206);
+    let doc = diffaudit_json::parse(&body).expect("salvaged result JSON");
+    let reasons: Vec<String> = collect_drop_reasons(&doc);
+    assert!(!reasons.is_empty(), "expected ledger drops in {body}");
+    assert!(
+        reasons.iter().all(|r| r.starts_with("timeout:")),
+        "every drop must carry the timeout reason code: {reasons:?}"
+    );
+
+    // The same stall under strict policy is a hard failure (exit-style 1).
+    let strict = submit(
+        &addr,
+        &job_body(
+            &capture,
+            &ids,
+            &[
+                ("chaos", Json::str("stall-decode")),
+                ("deadlineMs", Json::int(300)),
+                ("strict", Json::Bool(true)),
+            ],
+        ),
+    );
+    let strict_view = poll_to_terminal(&addr, &strict);
+    assert_eq!(
+        strict_view.get("state").and_then(Json::as_str),
+        Some("failed")
+    );
+    assert_eq!(strict_view.get("exitStyle").and_then(Json::as_i64), Some(1));
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+}
+
+fn collect_drop_reasons(doc: &Json) -> Vec<String> {
+    let mut reasons = Vec::new();
+    let services = doc
+        .get("degradation")
+        .and_then(|d| d.get("services"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for service in services {
+        for unit in service.get("units").and_then(Json::as_arr).unwrap_or(&[]) {
+            for drop in unit.get("drops").and_then(Json::as_arr).unwrap_or(&[]) {
+                if let Some(reason) = drop.get("reason").and_then(Json::as_str) {
+                    reasons.push(reason.to_string());
+                }
+            }
+        }
+    }
+    reasons
+}
+
+/// A job that panics is contained: its record says `panicked` (HTTP 500),
+/// the single worker survives to run the next job, and the daemon still
+/// drains cleanly.
+#[test]
+fn panicking_job_is_contained_and_the_worker_survives() {
+    let (addr, handle) = boot(ServeConfig {
+        workers: 1,
+        enable_chaos: true,
+        ..ServeConfig::default()
+    });
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+
+    let doomed = submit(
+        &addr,
+        &job_body(&capture, &ids, &[("chaos", Json::str("panic"))]),
+    );
+    let view = poll_to_terminal(&addr, &doomed);
+    assert_eq!(view.get("state").and_then(Json::as_str), Some("panicked"));
+    assert_eq!(view.get("exitStyle").and_then(Json::as_i64), Some(1));
+    let (status, body) = fetch_result(&addr, &doomed);
+    assert_eq!(status, 500);
+    assert!(
+        body.contains("job panicked"),
+        "panic result must carry an error document: {body}"
+    );
+
+    // The same (only) worker must still be alive to take the next job.
+    let follow_up = submit(&addr, &job_body(&capture, &ids, &[]));
+    let view = poll_to_terminal(&addr, &follow_up);
+    assert_eq!(view.get("state").and_then(Json::as_str), Some("clean"));
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+    assert_eq!(exit.jobs_finished, 2);
+}
+
+/// Shutdown finishes in-flight and queued jobs before the daemon exits,
+/// and the listener actually closes.
+#[test]
+fn graceful_drain_completes_queued_jobs() {
+    let (addr, handle) = boot(ServeConfig {
+        workers: 1,
+        drain_deadline_ms: 60_000,
+        ..ServeConfig::default()
+    });
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+    let first = submit(&addr, &job_body(&capture, &ids, &[]));
+    let second = submit(&addr, &job_body(&capture, &ids, &[]));
+    assert!(!first.is_empty() && !second.is_empty());
+
+    // Shut down while both jobs are still pending on the single worker.
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(
+        exit.jobs_finished, 2,
+        "drain must complete queued jobs, not abandon them"
+    );
+    assert_eq!(exit.orphaned, 0);
+    assert!(
+        std::net::TcpStream::connect(&addr).is_err(),
+        "listener must be closed after drain"
+    );
+}
+
+/// Transport-level robustness: garbage, oversized, and unknown requests
+/// get error statuses; the daemon keeps serving afterwards.
+#[test]
+fn malformed_requests_get_4xx_and_never_kill_the_daemon() {
+    let (addr, handle) = boot(ServeConfig::default());
+
+    // Raw garbage on the socket → 400.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream.write_all(b"\x00\xfegarbage\r\n\r\n").expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+
+    // Declared body beyond the 16 MiB default bound → 413 without reading
+    // the body.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"POST /api/v1/traces HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 413 "), "{response}");
+
+    // Unknown endpoint, wrong method, missing resources, bad params.
+    let (status, _) = client::request_text(&addr, "GET", "/nope", &[]).expect("req");
+    assert_eq!(status, 404);
+    let (status, _) = client::request_text(&addr, "DELETE", "/api/v1/jobs", &[]).expect("req");
+    assert_eq!(status, 405);
+    let (status, _) = client::request_text(&addr, "GET", "/api/v1/jobs/j-999", &[]).expect("req");
+    assert_eq!(status, 404);
+    let (status, _) =
+        client::request_text(&addr, "GET", "/api/v1/jobs/j-999/result", &[]).expect("req");
+    assert_eq!(status, 404);
+    let (status, _) = client::request_text(
+        &addr,
+        "POST",
+        "/api/v1/traces?platform=gameboy&kind=logged-in&category=child",
+        b"not empty",
+    )
+    .expect("req");
+    assert_eq!(status, 400);
+    let (status, _) =
+        client::request_text(&addr, "POST", "/api/v1/jobs", b"{not json").expect("req");
+    assert_eq!(status, 400);
+    // Chaos options are rejected when the daemon was not started with
+    // chaos enabled.
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+    let (status, text) = client::request_text(
+        &addr,
+        "POST",
+        "/api/v1/jobs",
+        job_body(&capture, &ids, &[("chaos", Json::str("panic"))]).as_bytes(),
+    )
+    .expect("req");
+    assert_eq!(status, 400, "{text}");
+
+    // After all of that, the daemon still works end to end.
+    let (status, text) = client::request_text(&addr, "GET", "/healthz", &[]).expect("health");
+    assert_eq!(status, 200);
+    assert!(text.contains("\"ok\""));
+    let job = submit(&addr, &job_body(&capture, &ids, &[]));
+    let view = poll_to_terminal(&addr, &job);
+    assert_eq!(view.get("state").and_then(Json::as_str), Some("clean"));
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+}
+
+/// `/result` on a queued or running job answers 409 with the current
+/// state, not a partial document.
+#[test]
+fn result_of_an_unfinished_job_is_409() {
+    let (addr, handle) = boot(ServeConfig {
+        workers: 1,
+        enable_chaos: true,
+        ..ServeConfig::default()
+    });
+    let capture = dataset_service("duolingo");
+    let ids = upload_service(&addr, &capture, false);
+    let job = submit(
+        &addr,
+        &job_body(
+            &capture,
+            &ids,
+            &[
+                ("chaos", Json::str("stall-decode")),
+                ("deadlineMs", Json::int(2000)),
+            ],
+        ),
+    );
+    let (status, text) = fetch_result(&addr, &job);
+    assert_eq!(status, 409, "{text}");
+    assert!(text.contains("not finished"), "{text}");
+
+    poll_to_terminal(&addr, &job);
+    let (status, _) = fetch_result(&addr, &job);
+    assert_eq!(status, 206);
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
+}
