@@ -105,7 +105,7 @@ pub fn parse(file: &str, raw: &str, stripped: &str, findings: &mut Vec<Finding>)
                     "malformed lint:allow annotation {:?}; expected \
                      `// lint:allow(<lint-name>): <reason>` where <lint-name> is one of \
                      no-panic, unsafe-audit, error-taxonomy, no-bare-eprintln, \
-                     global-state, redaction, par-discipline",
+                     global-state, redaction, par-discipline, metric-discipline",
                     annotation.trim()
                 ),
             ));

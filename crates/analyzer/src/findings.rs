@@ -49,6 +49,9 @@ pub enum Lint {
     /// Forbidden operation inside a `par_map_*` worker closure (blocking
     /// I/O, global-registry metric writes, trace-stream emission).
     ParDiscipline,
+    /// Metric/span name built dynamically (`format!`, `.to_string()`,
+    /// `String::from`) instead of a static literal or registry constant.
+    MetricDiscipline,
     /// Malformed `// lint:allow(...)` annotation.
     Annotation,
 }
@@ -64,6 +67,7 @@ impl Lint {
             Lint::GlobalState => "global-state",
             Lint::Redaction => "redaction",
             Lint::ParDiscipline => "par-discipline",
+            Lint::MetricDiscipline => "metric-discipline",
             Lint::Annotation => "annotation",
         }
     }
@@ -79,6 +83,7 @@ impl Lint {
             "global-state" => Some(Lint::GlobalState),
             "redaction" => Some(Lint::Redaction),
             "par-discipline" => Some(Lint::ParDiscipline),
+            "metric-discipline" => Some(Lint::MetricDiscipline),
             _ => None,
         }
     }
@@ -90,9 +95,11 @@ impl Lint {
             Lint::NoPanic | Lint::UnsafeAudit | Lint::Redaction | Lint::ParDiscipline => {
                 Severity::Error
             }
-            Lint::ErrorTaxonomy | Lint::NoBareEprintln | Lint::GlobalState | Lint::Annotation => {
-                Severity::Warning
-            }
+            Lint::ErrorTaxonomy
+            | Lint::NoBareEprintln
+            | Lint::GlobalState
+            | Lint::MetricDiscipline
+            | Lint::Annotation => Severity::Warning,
         }
     }
 }
@@ -175,6 +182,7 @@ mod tests {
             Lint::GlobalState,
             Lint::Redaction,
             Lint::ParDiscipline,
+            Lint::MetricDiscipline,
         ] {
             assert_eq!(Lint::from_allow_name(lint.name()), Some(lint));
         }
@@ -190,6 +198,7 @@ mod tests {
         assert_eq!(Lint::ParDiscipline.default_severity(), Severity::Error);
         assert_eq!(Lint::GlobalState.default_severity(), Severity::Warning);
         assert_eq!(Lint::NoBareEprintln.default_severity(), Severity::Warning);
+        assert_eq!(Lint::MetricDiscipline.default_severity(), Severity::Warning);
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //! - **`par-discipline`** — closures handed to `util::par::par_map_*` must
 //!   not block on I/O, write global-registry metrics (use
 //!   `LocalRecorder`), or emit to shared streams.
+//! - **`metric-discipline`** — names handed to metric/span recording APIs
+//!   must be `&'static str` literals or name-registry constants, never
+//!   built with `format!`/`.to_string()` at the call site, so the
+//!   `/metrics` exposition's series set stays bounded and auditable.
 //!
 //! The passes are textual but comment/string-aware: a small lexer
 //! ([`lexer::strip`]) blanks comments and string literals (preserving byte
@@ -57,6 +61,7 @@ pub mod dataflow;
 pub mod findings;
 pub mod global_state;
 pub mod lexer;
+pub mod metric_discipline;
 pub mod par_discipline;
 pub mod parser;
 pub mod passes;

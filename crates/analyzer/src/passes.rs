@@ -1,6 +1,7 @@
 //! The per-file lint passes (`no-panic`, `unsafe-audit`, `error-taxonomy`,
 //! `no-bare-eprintln`) and the driver that sequences them with the
-//! item-level passes (`global-state`, `redaction`, `par-discipline`).
+//! item-level passes (`global-state`, `redaction`, `par-discipline`,
+//! `metric-discipline`).
 //!
 //! Every pass operates on a [`SourceFile`] — the raw text plus its
 //! lexer-stripped twin — so matches never fire inside comments or string
@@ -14,6 +15,7 @@ use crate::dataflow::CrateModel;
 use crate::findings::{Finding, Lint};
 use crate::global_state::global_state;
 use crate::lexer;
+use crate::metric_discipline::metric_discipline;
 use crate::par_discipline::par_discipline;
 use crate::parser::FileModel;
 use crate::redaction::redaction;
@@ -38,6 +40,9 @@ pub struct Policy {
     /// Enforce worker-closure hygiene around `par_map_*` (all production
     /// sources).
     pub par_discipline: bool,
+    /// Require static metric/span names at recording call sites (all
+    /// production sources).
+    pub metric_discipline: bool,
 }
 
 impl Policy {
@@ -53,6 +58,7 @@ impl Policy {
             global_state: false,
             redaction: false,
             par_discipline: false,
+            metric_discipline: false,
         }
     }
 
@@ -66,6 +72,7 @@ impl Policy {
             global_state: false,
             redaction: false,
             par_discipline: false,
+            metric_discipline: false,
         }
     }
 
@@ -74,6 +81,7 @@ impl Policy {
         self.global_state = true;
         self.redaction = true;
         self.par_discipline = true;
+        self.metric_discipline = true;
         self
     }
 }
@@ -201,6 +209,9 @@ pub fn analyze_units(units: &[FileUnit<'_>]) -> Vec<Finding> {
         if policy.par_discipline {
             par_discipline(file, unit.model, allow, &mut findings);
         }
+        if policy.metric_discipline {
+            metric_discipline(file, allow, &mut findings);
+        }
         if policy.redaction {
             redaction(file, unit.model, &crate_model, allow, &mut findings);
         }
@@ -218,6 +229,7 @@ pub fn analyze_units(units: &[FileUnit<'_>]) -> Vec<Finding> {
                 Lint::GlobalState => policy.global_state,
                 Lint::Redaction => policy.redaction,
                 Lint::ParDiscipline => policy.par_discipline,
+                Lint::MetricDiscipline => policy.metric_discipline,
                 Lint::Annotation => false,
             };
             if !pass_ran {

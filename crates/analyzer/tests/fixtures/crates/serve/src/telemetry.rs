@@ -1,0 +1,16 @@
+//! metric-discipline true positives: metric/span names constructed at the
+//! recording call site. Each dynamic name below mints unbounded series
+//! cardinality on the `/metrics` exposition — the pass must flag the
+//! `format!` counter, the `.to_string()` span, and the `String::from`
+//! gauge, while leaving the literal and registry-constant sites alone.
+
+fn record_request(endpoint: &str, user: &str) {
+    diffaudit_obs::add(&format!("serve.http.requests.{endpoint}"), 1);
+    let _span = obs::span(user.to_string());
+    obs::gauge_set(String::from(user), 1);
+}
+
+fn record_static(depth: i64) {
+    obs::add("serve.http.requests", 1);
+    obs::gauge_set(names::QUEUE_DEPTH, depth);
+}

@@ -34,6 +34,7 @@ fn every_pass_fires_on_its_fixture_file() {
         ("redaction", "core/src/leaks.rs", 3),
         ("par-discipline", "util/src/workers.rs", 3),
         ("par-discipline", "serve/src/daemon.rs", 2),
+        ("metric-discipline", "serve/src/telemetry.rs", 3),
     ] {
         let hits = of(&findings, lint, file);
         assert!(
@@ -98,6 +99,21 @@ fn par_fixture_flags_each_forbidden_category() {
         messages.iter().any(|m| m.contains("shared stream")),
         "stream emission must fire: {messages:#?}"
     );
+}
+
+#[test]
+fn telemetry_fixture_flags_each_construction_pattern() {
+    // One finding per dynamic-name construction (`format!`, `.to_string()`,
+    // `String::from`) and none for the literal/registry-constant sites.
+    let findings = corpus_findings();
+    let telemetry = of(&findings, "metric-discipline", "serve/src/telemetry.rs");
+    assert_eq!(telemetry.len(), 3, "{}", report::render_text(&findings));
+    for pattern in ["format!", "to_string", "String::from"] {
+        assert!(
+            telemetry.iter().any(|f| f.message.contains(pattern)),
+            "{pattern} construction must fire: {telemetry:#?}"
+        );
+    }
 }
 
 #[test]

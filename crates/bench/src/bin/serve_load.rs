@@ -1,7 +1,7 @@
 //! Load generator and smoke driver for the `diffaudit serve` daemon — the
 //! producer of the committed `BENCH_serve.json` throughput/latency baseline.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! - `--mode load` (default): boots an in-process daemon with a bounded
 //!   queue, fires a burst of concurrent job submissions wider than the
@@ -9,18 +9,41 @@
 //!   actually exercised, retries shed submissions until accepted, polls
 //!   every job to a terminal state, and writes a JSON summary with
 //!   observed `429` counts, throughput, and p50/p90/p99 end-to-end job
-//!   latency. Fails (exit 1) if no submission was ever shed — that means
-//!   the burst did not outrun the queue and the numbers are meaningless.
+//!   latency. A scraper thread polls `GET /metrics` throughout the burst
+//!   and records the queue-depth series plus the server-side shed counter
+//!   into the summary's `telemetry` block; a mismatch between the
+//!   server's `serve.queue.shed` counter and the client's observed 429s
+//!   is a hard failure. Fails (exit 1) if no submission was ever shed —
+//!   that means the burst did not outrun the queue and the numbers are
+//!   meaningless.
 //!
 //! - `--mode smoke --target HOST:PORT`: drives an externally booted
-//!   daemon through the whole client lifecycle (health, upload, submit,
-//!   poll, result, report, shutdown) and exits 0 only if every step
-//!   behaved. `scripts/check.sh` runs this against a `--port 0` daemon
-//!   and then asserts the daemon process itself drained cleanly.
+//!   daemon through the whole client lifecycle (health, upload, a small
+//!   multi-job burst, a mid-job `/metrics` scrape that must parse and
+//!   show a nonzero queue-depth gauge, poll, result, report, shutdown)
+//!   and exits 0 only if every step behaved. `scripts/check.sh` runs this
+//!   against a `--port 0` daemon and then asserts the daemon process
+//!   itself drained cleanly.
+//!
+//! - `--mode smoke-keep`: the same smoke, but leaves the daemon running
+//!   so the caller can poke it further (check.sh runs `obs top --once`
+//!   against it) before shutting it down with `--mode shutdown`.
+//!
+//! - `--mode shutdown --target HOST:PORT`: POST `/api/v1/shutdown` and
+//!   expect `202` — the companion to `smoke-keep`.
+//!
+//! - `--mode diff --baseline A.json --current B.json`: obs-diff-style
+//!   gate over two `--mode load` summaries: p90 end-to-end latency may
+//!   not grow past `--fail-over PCT` (default 75) once past the
+//!   `--noise-floor-ms` floor (default 2000 — single-CPU CI runners are
+//!   noisy), and the shed429 count must match exactly under a fixed seed.
+//!   Exit 0 = ok, 2 = regressed, 1 = unusable input.
 //!
 //! Usage: `serve_load [--scale F] [--seed N] [--threads N] [--out PATH]
-//!         [--mode load|smoke] [--target HOST:PORT] [--uploads N]
-//!         [--queue N] [--workers N]`
+//!         [--mode load|smoke|smoke-keep|shutdown|diff]
+//!         [--target HOST:PORT] [--uploads N] [--queue N] [--workers N]
+//!         [--baseline PATH] [--current PATH] [--fail-over PCT]
+//!         [--noise-floor-ms N]`
 
 use diffaudit_bench::{standard_dataset, BenchArgs};
 use diffaudit_json::Json;
@@ -153,7 +176,6 @@ fn poll_to_terminal(addr: &str, job_id: &str, timeout: Duration) -> String {
 }
 
 struct SubmitOutcome {
-    job_id: String,
     shed: u64,
     latency_ms: f64,
     state: String,
@@ -178,7 +200,6 @@ fn submit_and_wait(addr: &str, body: &str) -> SubmitOutcome {
                     .to_string();
                 let state = poll_to_terminal(addr, &job_id, Duration::from_secs(120));
                 return SubmitOutcome {
-                    job_id,
                     shed,
                     latency_ms: started.elapsed().as_secs_f64() * 1000.0,
                     state,
@@ -247,7 +268,26 @@ fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out
         ],
     );
     let burst_started = Instant::now();
-    let outcomes: Vec<SubmitOutcome> = std::thread::scope(|scope| {
+    let stop_scraper = std::sync::atomic::AtomicBool::new(false);
+    let (outcomes, depth_series) = std::thread::scope(|scope| {
+        // Mid-burst scraper: polls the exposition endpoint while the
+        // submitters hammer the queue, sampling the queue-depth gauge —
+        // both to record the depth series in the baseline and to prove
+        // scraping under load never wedges the accept loop.
+        let scraper = scope.spawn(|| {
+            let mut series: Vec<i64> = Vec::new();
+            while !stop_scraper.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Ok((200, text)) = client::request_text(&addr, "GET", "/metrics", &[]) {
+                    let samples = obs::parse_exposition(&text)
+                        .unwrap_or_else(|e| fail(&format!("mid-burst exposition malformed: {e}")));
+                    if let Some(depth) = obs::gauge_value(&samples, "serve_queue_depth") {
+                        series.push(depth as i64);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            series
+        });
         let handles: Vec<_> = (0..uploads)
             .map(|_| {
                 let addr = addr.as_str();
@@ -255,15 +295,32 @@ fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out
                 scope.spawn(move || submit_and_wait(addr, body))
             })
             .collect();
-        handles
+        let outcomes: Vec<SubmitOutcome> = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(outcome) => outcome,
                 Err(_) => fail("submitter thread panicked"),
             })
-            .collect()
+            .collect();
+        stop_scraper.store(true, std::sync::atomic::Ordering::SeqCst);
+        let series = match scraper.join() {
+            Ok(series) => series,
+            Err(_) => fail("scraper thread panicked"),
+        };
+        (outcomes, series)
     });
     let wall_ms = burst_started.elapsed().as_secs_f64() * 1000.0;
+
+    // Server-side shed accounting, scraped before shutdown: the daemon's
+    // own counter must agree exactly with what the clients observed.
+    let (status, text) = client::request_text(&addr, "GET", "/metrics", &[])
+        .unwrap_or_else(|e| fail(&format!("final metrics scrape failed: {e}")));
+    if status != 200 {
+        fail(&format!("final metrics scrape returned {status}"));
+    }
+    let samples = obs::parse_exposition(&text)
+        .unwrap_or_else(|e| fail(&format!("final exposition malformed: {e}")));
+    let server_shed = obs::sum_samples(&samples, "serve_queue_shed_total").unwrap_or(0.0) as u64;
 
     let (status, _) = client::request_text(&addr, "POST", "/api/v1/shutdown", &[])
         .unwrap_or_else(|e| fail(&format!("shutdown failed: {e}")));
@@ -281,6 +338,11 @@ fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out
     let shed: u64 = outcomes.iter().map(|o| o.shed).sum();
     if shed == 0 {
         fail("no submission was shed (429): burst did not exceed the queue, numbers invalid");
+    }
+    if server_shed != shed {
+        fail(&format!(
+            "server-side serve.queue.shed ({server_shed}) disagrees with client-observed 429s ({shed})"
+        ));
     }
     let latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_ms).collect();
     let mut states: Vec<(String, i64)> = Vec::new();
@@ -330,6 +392,28 @@ fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out
                 .with("p50", Json::Num(diffaudit_json::Number::Float(q(50.0))))
                 .with("p90", Json::Num(diffaudit_json::Number::Float(q(90.0))))
                 .with("p99", Json::Num(diffaudit_json::Number::Float(q(99.0)))),
+        )
+        .with(
+            "telemetry",
+            Json::obj()
+                .with("scrapes", Json::int(depth_series.len() as i64))
+                .with("serverShed", Json::int(server_shed as i64))
+                .with(
+                    "maxQueueDepth",
+                    Json::int(depth_series.iter().copied().max().unwrap_or(0)),
+                )
+                .with(
+                    "queueDepthSeries",
+                    Json::Arr(
+                        // Cap the committed series: the shape matters, not
+                        // every 25ms sample.
+                        depth_series
+                            .iter()
+                            .take(64)
+                            .map(|&d| Json::int(d))
+                            .collect(),
+                    ),
+                ),
         );
     let rendered = doc.to_pretty_string();
     match out {
@@ -346,7 +430,27 @@ fn mode_load(args: &BenchArgs, uploads: usize, queue: usize, workers: usize, out
     }
 }
 
-fn mode_smoke(args: &BenchArgs, target: &str) {
+/// Submit one job without waiting; retries shed (`429`) attempts.
+fn submit_only(addr: &str, body: &str) -> String {
+    loop {
+        let (status, text) = client::request_text(addr, "POST", "/api/v1/jobs", body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("job submit failed: {e}")));
+        match status {
+            202 => {
+                return diffaudit_json::parse(&text)
+                    .unwrap_or_else(|e| fail(&format!("submit response not JSON: {e}")))
+                    .get("jobId")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail("submit response missing jobId"))
+                    .to_string();
+            }
+            429 => std::thread::sleep(Duration::from_millis(25)),
+            other => fail(&format!("job submit returned {other}: {text}")),
+        }
+    }
+}
+
+fn mode_smoke(args: &BenchArgs, target: &str, keep_up: bool) {
     args.announce("[serve_load] smoke: generating one service");
     let dataset = standard_dataset(args);
     let capture = dataset
@@ -378,15 +482,48 @@ fn mode_smoke(args: &BenchArgs, target: &str) {
             .collect::<Vec<_>>(),
         &[trace_id],
     );
-    let outcome = submit_and_wait(target, &body);
-    if outcome.state != "clean" && outcome.state != "salvaged" {
-        fail(&format!("smoke job ended {}", outcome.state));
+
+    // Submit a small burst (wider than the default 2 workers) so the
+    // mid-job scrape below can observe a nonzero queue-depth gauge.
+    let job_ids: Vec<String> = (0..4).map(|_| submit_only(target, &body)).collect();
+
+    // Mid-job telemetry: the exposition endpoint must parse while jobs
+    // are live, and the queue-depth gauge must show the queued backlog.
+    let scrape_deadline = Instant::now() + Duration::from_secs(10);
+    let mut saw_depth = false;
+    while Instant::now() < scrape_deadline {
+        let (status, text) = client::request_text(target, "GET", "/metrics", &[])
+            .unwrap_or_else(|e| fail(&format!("mid-job metrics scrape failed: {e}")));
+        if status != 200 {
+            fail(&format!("mid-job metrics scrape returned {status}"));
+        }
+        let samples = obs::parse_exposition(&text)
+            .unwrap_or_else(|e| fail(&format!("mid-job exposition malformed: {e}")));
+        if obs::gauge_value(&samples, "diffaudit_uptime_seconds").is_none() {
+            fail("exposition is missing the uptime gauge");
+        }
+        if obs::gauge_value(&samples, "serve_queue_depth").unwrap_or(0.0) >= 1.0 {
+            saw_depth = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
     }
+    if !saw_depth {
+        fail("queue-depth gauge never went nonzero while 4 jobs were in flight");
+    }
+
+    for job_id in &job_ids {
+        let state = poll_to_terminal(target, job_id, Duration::from_secs(120));
+        if state != "clean" && state != "salvaged" {
+            fail(&format!("smoke job {job_id} ended {state}"));
+        }
+    }
+    let first_job = &job_ids[0];
 
     let (status, result) = client::request_text(
         target,
         "GET",
-        &format!("/api/v1/jobs/{}/result", outcome.job_id),
+        &format!("/api/v1/jobs/{first_job}/result"),
         &[],
     )
     .unwrap_or_else(|e| fail(&format!("result fetch failed: {e}")));
@@ -396,7 +533,7 @@ fn mode_smoke(args: &BenchArgs, target: &str) {
     let (status, report) = client::request_text(
         target,
         "GET",
-        &format!("/api/v1/jobs/{}/report", outcome.job_id),
+        &format!("/api/v1/jobs/{first_job}/report"),
         &[],
     )
     .unwrap_or_else(|e| fail(&format!("report fetch failed: {e}")));
@@ -404,15 +541,87 @@ fn mode_smoke(args: &BenchArgs, target: &str) {
         fail(&format!("report fetch returned {status}"));
     }
 
+    if !keep_up {
+        mode_shutdown(target);
+    }
+    obs::info(
+        "[serve_load] smoke passed",
+        &[
+            obs::field("jobs", job_ids.len() as u64),
+            obs::field("keptUp", keep_up),
+        ],
+    );
+}
+
+/// POST `/api/v1/shutdown` to an externally booted daemon — the
+/// companion to `--mode smoke-keep`.
+fn mode_shutdown(target: &str) {
     let (status, _) = client::request_text(target, "POST", "/api/v1/shutdown", &[])
         .unwrap_or_else(|e| fail(&format!("shutdown failed: {e}")));
     if status != 202 {
         fail(&format!("shutdown returned {status}"));
     }
-    obs::info(
-        "[serve_load] smoke passed",
-        &[obs::field("job", outcome.job_id.as_str())],
+}
+
+/// Obs-diff-style gate over two `--mode load` summaries. Exit 0 = ok,
+/// 2 = regressed, 1 = unusable input.
+fn mode_diff(baseline_path: &str, current_path: &str, fail_over_pct: f64, noise_floor_ms: f64) {
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let doc = diffaudit_json::parse(&text)
+            .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        if doc.get("schema").and_then(Json::as_str) != Some("diffaudit-bench-serve/v1") {
+            fail(&format!("{path} is not a diffaudit-bench-serve/v1 summary"));
+        }
+        doc
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+    let p90 = |doc: &Json, path: &str| -> f64 {
+        doc.get("latencyMs")
+            .and_then(|l| l.get("p90"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| fail(&format!("{path} has no latencyMs.p90")))
+    };
+    let shed = |doc: &Json, path: &str| -> i64 {
+        doc.get("shed429")
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| fail(&format!("{path} has no shed429")))
+    };
+    let (base_p90, cur_p90) = (p90(&baseline, baseline_path), p90(&current, current_path));
+    let (base_shed, cur_shed) = (shed(&baseline, baseline_path), shed(&current, current_path));
+
+    let mut regressions: Vec<String> = Vec::new();
+    let growth_pct = if base_p90 > 0.0 {
+        (cur_p90 - base_p90) / base_p90 * 100.0
+    } else {
+        0.0
+    };
+    // The noise floor mirrors `obs diff`: small absolute moves on a noisy
+    // single-CPU runner are not regressions, whatever the percentage.
+    if cur_p90 - base_p90 > noise_floor_ms && growth_pct > fail_over_pct {
+        regressions.push(format!(
+            "latencyMs.p90 {base_p90:.1} -> {cur_p90:.1} (+{growth_pct:.0}%, over {fail_over_pct:.0}% and the {noise_floor_ms:.0}ms floor)"
+        ));
+    }
+    if base_shed != cur_shed {
+        regressions.push(format!(
+            "shed429 {base_shed} -> {cur_shed} (expected exact match)"
+        ));
+    }
+    println!(
+        "serve bench diff: p90 {base_p90:.1}ms -> {cur_p90:.1}ms ({growth_pct:+.0}%), shed429 {base_shed} -> {cur_shed}"
     );
+    if regressions.is_empty() {
+        println!("verdict: ok");
+    } else {
+        for regression in &regressions {
+            println!("regressed: {regression}");
+        }
+        println!("verdict: regressed");
+        std::process::exit(2);
+    }
 }
 
 fn main() {
@@ -423,6 +632,10 @@ fn main() {
         "--uploads",
         "--queue",
         "--workers",
+        "--baseline",
+        "--current",
+        "--fail-over",
+        "--noise-floor-ms",
     ]);
     let mut extra = extra.into_iter();
     let out = extra.next().flatten();
@@ -440,15 +653,39 @@ fn main() {
     let uploads = parse_n(extra.next().flatten(), "--uploads", 8);
     let queue = parse_n(extra.next().flatten(), "--queue", 4);
     let workers = parse_n(extra.next().flatten(), "--workers", 2);
+    let baseline = extra.next().flatten();
+    let current = extra.next().flatten();
+    let parse_f = |v: Option<String>, name: &str, default: f64| -> f64 {
+        match v {
+            None => default,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(x) if x >= 0.0 => x,
+                _ => fail(&format!("{name} requires a non-negative number")),
+            },
+        }
+    };
+    let fail_over = parse_f(extra.next().flatten(), "--fail-over", 75.0);
+    let noise_floor_ms = parse_f(extra.next().flatten(), "--noise-floor-ms", 2000.0);
 
+    let require_target = |mode: &str| -> String {
+        match &target {
+            Some(target) => target.clone(),
+            None => fail(&format!("--mode {mode} requires --target HOST:PORT")),
+        }
+    };
     match mode.as_str() {
         "load" => mode_load(&args, uploads, queue, workers, out),
-        "smoke" => {
-            let Some(target) = target else {
-                fail("--mode smoke requires --target HOST:PORT");
+        "smoke" => mode_smoke(&args, &require_target("smoke"), false),
+        "smoke-keep" => mode_smoke(&args, &require_target("smoke-keep"), true),
+        "shutdown" => mode_shutdown(&require_target("shutdown")),
+        "diff" => {
+            let (Some(baseline), Some(current)) = (baseline, current) else {
+                fail("--mode diff requires --baseline PATH and --current PATH");
             };
-            mode_smoke(&args, &target);
+            mode_diff(&baseline, &current, fail_over, noise_floor_ms);
         }
-        other => fail(&format!("unknown mode {other:?} (load|smoke)")),
+        other => fail(&format!(
+            "unknown mode {other:?} (load|smoke|smoke-keep|shutdown|diff)"
+        )),
     }
 }

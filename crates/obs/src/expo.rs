@@ -1,0 +1,585 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`] — and the
+//! inverse parser the `obs top` live view feeds on.
+//!
+//! The renderer is std-only and emits the classic text format (content
+//! type `text/plain; version=0.0.4`): one `# HELP`/`# TYPE` pair per
+//! metric family, counters with a `_total` suffix, gauges as-is, and
+//! histograms as cumulative `_bucket{le="…"}` series ending in `+Inf`
+//! plus `_sum`/`_count`. Registry names are sanitized into the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` alphabet (`.` and `-` become `_`), and a
+//! registry name of the form `base{k="v",…}` is split into a family name
+//! plus labels so one family can carry per-endpoint/per-status series.
+//!
+//! Sliding-window series render as their monotonic cumulative part
+//! (counter `_total`, histogram buckets) plus derived `_rate_1m`/
+//! `_rate_5m` gauges; span aggregates are *not* rendered — every span
+//! already feeds a `{name}.us` histogram, which is the useful shape here.
+//! Ordering is deterministic (sorted by family, then label set), so two
+//! scrapes of an idle daemon are byte-identical.
+
+use crate::metrics::{estimate_quantile, Histogram, MetricsSnapshot, Windowed};
+use std::collections::BTreeMap;
+
+/// Sanitize a registry name into the exposition alphabet: keep
+/// `[A-Za-z0-9_:]`, map everything else to `_`, and prefix `_` when the
+/// result would start with a digit (or be empty).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Split a registry name of the form `base{k="v",…}` into the family
+/// base and its rendered label list (without braces). Names without a
+/// well-formed label suffix are all base.
+fn split_series(name: &str) -> (String, String) {
+    if let Some(open) = name.find('{') {
+        if let Some(inner) = name[open..]
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+        {
+            let mut labels = Vec::new();
+            let mut ok = !inner.is_empty();
+            for pair in inner.split(',') {
+                match pair.split_once('=') {
+                    Some((key, value)) => {
+                        let value = value.trim_matches('"');
+                        labels.push(format!(
+                            "{}=\"{}\"",
+                            sanitize_name(key.trim()),
+                            escape_label_value(value)
+                        ));
+                    }
+                    None => ok = false,
+                }
+            }
+            if ok {
+                return (sanitize_name(&name[..open]), labels.join(","));
+            }
+        }
+    }
+    (sanitize_name(name), String::new())
+}
+
+/// Escape a label value for the exposition format.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A sample line's full name: `family{labels}` or bare `family`.
+fn series_name(family: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        family.to_string()
+    } else {
+        format!("{family}{{{labels}}}")
+    }
+}
+
+/// Same, with an extra `le` label appended (histogram buckets).
+fn bucket_name(family: &str, labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{family}_bucket{{le=\"{le}\"}}")
+    } else {
+        format!("{family}_bucket{{{labels},le=\"{le}\"}}")
+    }
+}
+
+/// Render a float the exposition way: integers without a fraction.
+fn render_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<String, Vec<(String, f64)>>,
+    gauges: BTreeMap<String, Vec<(String, f64)>>,
+    histograms: BTreeMap<String, Vec<(String, Histogram)>>,
+}
+
+impl Families {
+    fn counter(&mut self, name: &str, value: f64) {
+        let (family, labels) = split_series(name);
+        self.counters
+            .entry(family)
+            .or_default()
+            .push((labels, value));
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        let (family, labels) = split_series(name);
+        self.gauges.entry(family).or_default().push((labels, value));
+    }
+
+    fn histogram(&mut self, name: &str, h: &Histogram) {
+        let (family, labels) = split_series(name);
+        self.histograms
+            .entry(family)
+            .or_default()
+            .push((labels, h.clone()));
+    }
+}
+
+/// Render `snapshot` as Prometheus text exposition.
+pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
+    let mut fam = Families::default();
+    for (name, value) in snapshot.metrics.counters() {
+        fam.counter(name, value as f64);
+    }
+    for (name, gauge) in snapshot.metrics.gauges() {
+        fam.gauge(name, gauge.value() as f64);
+    }
+    for (name, h) in snapshot.metrics.histograms() {
+        fam.histogram(name, h);
+    }
+    for (name, window) in snapshot.metrics.windows() {
+        match window {
+            Windowed::Counter(w) => {
+                fam.counter(name, w.total() as f64);
+                fam.gauge(&format!("{name}.rate.1m"), w.rate_1m());
+                fam.gauge(&format!("{name}.rate.5m"), w.rate_5m());
+            }
+            Windowed::Histogram(w) => {
+                fam.histogram(name, w.cumulative());
+                fam.gauge(&format!("{name}.rate.1m"), w.rate_1m());
+                fam.gauge(&format!("{name}.rate.5m"), w.rate_5m());
+            }
+        }
+    }
+    fam.gauge("diffaudit_uptime_seconds", snapshot.uptime_us as f64 / 1e6);
+
+    let mut out = String::new();
+    for (family, mut series) in std::mem::take(&mut fam.counters) {
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push_str(&format!("# HELP {family}_total diffaudit counter\n"));
+        out.push_str(&format!("# TYPE {family}_total counter\n"));
+        for (labels, value) in series {
+            out.push_str(&format!(
+                "{} {}\n",
+                series_name(&format!("{family}_total"), &labels),
+                render_value(value)
+            ));
+        }
+    }
+    for (family, mut series) in std::mem::take(&mut fam.gauges) {
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push_str(&format!("# HELP {family} diffaudit gauge\n"));
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (labels, value) in series {
+            out.push_str(&format!(
+                "{} {}\n",
+                series_name(&family, &labels),
+                render_value(value)
+            ));
+        }
+    }
+    for (family, mut series) in std::mem::take(&mut fam.histograms) {
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        out.push_str(&format!("# HELP {family} diffaudit histogram\n"));
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        for (labels, h) in series {
+            let mut cumulative = 0u64;
+            for (bound, count) in h.buckets() {
+                cumulative = cumulative.saturating_add(count);
+                let le = match bound {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "{} {cumulative}\n",
+                    bucket_name(&family, &labels, &le)
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                series_name(&format!("{family}_sum"), &labels),
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                series_name(&format!("{family}_count"), &labels),
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The full metric name (family plus any `_total`/`_bucket` suffix).
+    pub name: String,
+    /// Label key/value pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a text exposition back into samples. Comment (`#`) and blank
+/// lines are skipped; any other malformed line is an error naming the
+/// line number — a scrape either parses fully or not at all.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|why| format!("line {}: {why}", index + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unclosed label block")?;
+            if close < open {
+                return Err("mismatched braces".to_string());
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let at = line
+                .find(char::is_whitespace)
+                .ok_or("sample line without a value")?;
+            (&line[..at], line[at..].trim())
+        }
+    };
+    let value = parse_value(value_text)?;
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let inner = rest.strip_suffix('}').ok_or("unclosed label block")?;
+            (name, parse_labels(inner)?)
+        }
+        None => (series, Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    // A timestamp may trail the value; we only keep the value.
+    let first = text.split_whitespace().next().ok_or("missing value")?;
+    match first {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        v => v.parse().map_err(|_| format!("bad value {v:?}")),
+    }
+}
+
+fn parse_labels(inner: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // key
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'=' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("label without '='".to_string());
+        }
+        let key = inner[key_start..i].trim().to_string();
+        i += 1; // '='
+        if bytes.get(i) != Some(&b'"') {
+            return Err("label value must be quoted".to_string());
+        }
+        i += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err("bad escape in label value".to_string()),
+                    }
+                    i += 2;
+                }
+                Some(b'"') => {
+                    i += 1;
+                    break;
+                }
+                Some(&b) => {
+                    // Label values are UTF-8; walk whole chars.
+                    let ch_len = utf8_len(b);
+                    value.push_str(inner.get(i..i + ch_len).ok_or("truncated label value")?);
+                    i += ch_len;
+                }
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        labels.push((key, value));
+        if bytes.get(i) == Some(&b',') {
+            i += 1;
+        }
+    }
+    Ok(labels)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        b if b >= 0xC0 => 2,
+        _ => 1,
+    }
+}
+
+/// Sum every sample named `name` across its label sets (`None` when the
+/// name is absent) — the aggregation `obs top` uses for totals.
+pub fn sum_samples(samples: &[Sample], name: &str) -> Option<f64> {
+    let mut total = 0.0;
+    let mut seen = false;
+    for sample in samples.iter().filter(|s| s.name == name) {
+        total += sample.value;
+        seen = true;
+    }
+    seen.then_some(total)
+}
+
+/// Estimate the `q`-quantile of histogram family `family` from its
+/// `_bucket` samples, merging all label sets. The exposition carries no
+/// min/max, so the estimate uses `[0, largest finite bound]` as the
+/// envelope — good enough for a live view.
+pub fn histogram_quantile(samples: &[Sample], family: &str, q: f64) -> Option<f64> {
+    let bucket_name = format!("{family}_bucket");
+    let mut by_bound: BTreeMap<Option<u64>, f64> = BTreeMap::new();
+    for sample in samples.iter().filter(|s| s.name == bucket_name) {
+        let le = sample.label("le")?;
+        let bound = if le == "+Inf" {
+            None
+        } else {
+            Some(le.parse::<u64>().ok()?)
+        };
+        *by_bound.entry(bound).or_insert(0.0) += sample.value;
+    }
+    if by_bound.is_empty() {
+        return None;
+    }
+    // Cumulative → per-bucket counts, finite bounds ascending then +Inf.
+    let mut bounds: Vec<Option<u64>> = by_bound.keys().copied().filter(Option::is_some).collect();
+    bounds.sort();
+    bounds.push(None);
+    let mut buckets: Vec<(Option<u64>, u64)> = Vec::with_capacity(bounds.len());
+    let mut previous = 0.0;
+    for bound in bounds {
+        let cumulative = by_bound.get(&bound).copied().unwrap_or(previous);
+        let count = (cumulative - previous).max(0.0) as u64;
+        buckets.push((bound, count));
+        previous = cumulative;
+    }
+    let count = previous as u64;
+    let max = buckets.iter().rev().find_map(|(b, _)| *b).unwrap_or(0);
+    estimate_quantile(&buckets, count, 0, max, q)
+}
+
+/// A gauge's current value by exposition name (first label set wins —
+/// gauges the daemon publishes are unlabelled).
+pub fn gauge_value(samples: &[Sample], name: &str) -> Option<f64> {
+    samples.iter().find(|s| s.name == name).map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Metrics, LATENCY_US_BOUNDS};
+
+    fn snapshot(metrics: Metrics) -> MetricsSnapshot {
+        MetricsSnapshot {
+            metrics,
+            uptime_us: 2_500_000,
+        }
+    }
+
+    #[test]
+    fn sanitize_maps_to_the_exposition_alphabet() {
+        assert_eq!(sanitize_name("serve.http.requests"), "serve_http_requests");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("already_ok:sub"), "already_ok:sub");
+    }
+
+    #[test]
+    fn counters_render_with_total_suffix_and_help_type() {
+        let mut m = Metrics::new();
+        m.add("serve.http.requests", 7);
+        let text = render_exposition(&snapshot(m));
+        assert!(text.contains("# HELP serve_http_requests_total diffaudit counter\n"));
+        assert!(text.contains("# TYPE serve_http_requests_total counter\n"));
+        assert!(text.contains("\nserve_http_requests_total 7\n"));
+    }
+
+    #[test]
+    fn labelled_registry_names_become_label_sets() {
+        let mut m = Metrics::new();
+        m.observe(
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"2xx\"}",
+            &[10, 100],
+            42,
+        );
+        let text = render_exposition(&snapshot(m));
+        assert!(
+            text.contains(
+                "serve_http_latency_us_bucket{endpoint=\"jobs\",status=\"2xx\",le=\"100\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "serve_http_latency_us_bucket{endpoint=\"jobs\",status=\"2xx\",le=\"+Inf\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("serve_http_latency_us_sum{endpoint=\"jobs\",status=\"2xx\"} 42\n"));
+        assert!(text.contains("serve_http_latency_us_count{endpoint=\"jobs\",status=\"2xx\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let mut m = Metrics::new();
+        for v in [5u64, 50, 5_000_000_000] {
+            m.observe("lat", &[10, 100], v);
+        }
+        let text = render_exposition(&snapshot(m));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"100\"} 2\n"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn gauges_and_windows_render() {
+        let mut m = Metrics::new();
+        m.gauge_set("serve.queue.depth", 3);
+        m.window_add("serve.http.reqs", 30);
+        let text = render_exposition(&snapshot(m));
+        assert!(text.contains("# TYPE serve_queue_depth gauge\n"));
+        assert!(text.contains("\nserve_queue_depth 3\n"));
+        // Window totals are counters; rates are gauges.
+        assert!(text.contains("\nserve_http_reqs_total 30\n"), "{text}");
+        assert!(text.contains("# TYPE serve_http_reqs_rate_1m gauge\n"));
+        assert!(text.contains("# TYPE diffaudit_uptime_seconds gauge\n"));
+        assert!(text.contains("\ndiffaudit_uptime_seconds 2.5\n"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut m = Metrics::new();
+            m.add("b.counter", 2);
+            m.add("a.counter", 1);
+            m.gauge_set("depth", 4);
+            m.observe("lat", &LATENCY_US_BOUNDS, 99);
+            snapshot(m)
+        };
+        assert_eq!(render_exposition(&build()), render_exposition(&build()));
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let mut m = Metrics::new();
+        m.add("serve.http.requests", 7);
+        m.gauge_set("serve.queue.depth", 2);
+        m.observe(
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"2xx\"}",
+            &LATENCY_US_BOUNDS,
+            5_000,
+        );
+        let text = render_exposition(&snapshot(m));
+        let samples = parse_exposition(&text).expect("parses");
+        assert_eq!(
+            sum_samples(&samples, "serve_http_requests_total"),
+            Some(7.0)
+        );
+        assert_eq!(gauge_value(&samples, "serve_queue_depth"), Some(2.0));
+        let bucket = samples
+            .iter()
+            .find(|s| s.name == "serve_http_latency_us_bucket" && s.label("le") == Some("+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(bucket.value, 1.0);
+        assert_eq!(bucket.label("endpoint"), Some("jobs"));
+        let p = histogram_quantile(&samples, "serve_http_latency_us", 0.9).expect("quantile");
+        assert!((0.0..=10_000_000.0).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines_with_a_line_number() {
+        assert!(parse_exposition("ok 1\n").is_ok());
+        let err = parse_exposition("ok 1\nbroken{le=\"x\" 2\n").expect_err("malformed");
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_exposition("9bad 1\n").is_err());
+        assert!(parse_exposition("noval\n").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_inf() {
+        let samples = parse_exposition("m{path=\"a\\\\b\\\"c\"} +Inf\n").expect("parses");
+        assert_eq!(samples[0].label("path"), Some("a\\b\"c"));
+        assert!(samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn histogram_quantile_decumulates_buckets() {
+        let text = "\
+lat_bucket{le=\"10\"} 5
+lat_bucket{le=\"100\"} 10
+lat_bucket{le=\"+Inf\"} 10
+lat_sum 300
+lat_count 10
+";
+        let samples = parse_exposition(text).expect("parses");
+        let p50 = histogram_quantile(&samples, "lat", 0.5).expect("p50");
+        assert!((0.0..=10.0).contains(&p50), "{p50}");
+        let p99 = histogram_quantile(&samples, "lat", 0.99).expect("p99");
+        assert!((10.0..=100.0).contains(&p99), "{p99}");
+    }
+}

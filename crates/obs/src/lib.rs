@@ -16,7 +16,13 @@
 //!   serial path without taking the global lock per operation.
 //! - **Events** — a leveled structured logging API
 //!   ([`error`]/[`warn`]/[`info`]/[`debug`]) with typed `key=value`
-//!   fields.
+//!   fields; warn/error events are additionally retained in a bounded
+//!   in-memory ring ([`events_since`]) for live tailing.
+//! - **Live telemetry** — [`Gauge`]s (levels with min/max watermarks)
+//!   and sliding-window series ([`metrics::WindowedCounter`] /
+//!   [`metrics::WindowedHistogram`]: 1m/5m rates, window quantiles),
+//!   merged associatively like counters, plus a Prometheus-style text
+//!   exposition renderer/parser ([`expo`]).
 //! - **Sinks** — a human-readable stderr logger (the only sanctioned
 //!   `eprintln!` in the instrumented crates) and a machine-readable JSONL
 //!   trace writer built on `diffaudit-json`.
@@ -28,6 +34,7 @@
 
 pub mod compare;
 pub mod event;
+pub mod expo;
 pub mod level;
 pub mod metrics;
 pub mod recorder;
@@ -40,12 +47,15 @@ pub use compare::{
     diff_snapshots, parse_snapshot, render_diff, DiffOptions, MetricsDiff, Snapshot, Verdict,
 };
 pub use event::{field, Field, FieldValue};
+pub use expo::{
+    gauge_value, histogram_quantile, parse_exposition, render_exposition, sum_samples, Sample,
+};
 pub use level::Level;
 pub use metrics::{
-    estimate_quantile, Histogram, Metrics, MetricsSnapshot, SpanStats, BYTE_BOUNDS,
-    LATENCY_US_BOUNDS, RECORD_BOUNDS,
+    estimate_quantile, Gauge, Histogram, Metrics, MetricsSnapshot, SpanStats, Windowed,
+    BYTE_BOUNDS, LATENCY_US_BOUNDS, RECORD_BOUNDS,
 };
-pub use recorder::{LocalRecorder, ObsConfig, Recorder, SpanGuard};
+pub use recorder::{LocalRecorder, ObsConfig, Recorder, RingEvent, SpanGuard, EVENT_RING_CAP};
 pub use report::{render_run_report, SALVAGE_PREFIX};
 pub use scope::Scope;
 pub use sink::{write_stderr_block, JsonlSink};
@@ -95,6 +105,37 @@ pub fn add(name: &str, n: u64) {
 /// Record `value` into global histogram `name` over `bounds`.
 pub fn observe(name: &str, bounds: &[u64], value: u64) {
     global().observe(name, bounds, value);
+}
+
+/// Set global gauge `name` to `value` (authoritative-writer form).
+pub fn gauge_set(name: &str, value: i64) {
+    global().gauge_set(name, value);
+}
+
+/// Move global gauge `name` by `delta`.
+pub fn gauge_add(name: &str, delta: i64) {
+    global().gauge_add(name, delta);
+}
+
+/// Move global gauge `name` down by `delta`.
+pub fn gauge_sub(name: &str, delta: i64) {
+    global().gauge_sub(name, delta);
+}
+
+/// Add `n` to the global sliding-window counter `name`.
+pub fn window_add(name: &str, n: u64) {
+    global().window_add(name, n);
+}
+
+/// Record `value` into the global sliding-window histogram `name`.
+pub fn window_observe(name: &str, bounds: &[u64], value: u64) {
+    global().window_observe(name, bounds, value);
+}
+
+/// Retained warn/error events newer than ring cursor `since` (see
+/// [`Recorder::events_since`]).
+pub fn events_since(since: u64) -> Vec<RingEvent> {
+    global().events_since(since)
 }
 
 /// Snapshot the global recorder's metrics.

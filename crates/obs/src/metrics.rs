@@ -6,6 +6,7 @@
 
 use diffaudit_json::Json;
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Fixed upper-bound buckets for byte volumes (64 B … 4 MiB, then overflow).
 pub const BYTE_BOUNDS: [u64; 9] = [
@@ -268,12 +269,445 @@ impl SpanStats {
     }
 }
 
-/// The live metric registry: named counters, histograms, and span stats.
+/// A point-in-time level with min/max watermarks.
+///
+/// Counters only go up; a gauge tracks a level that moves both ways —
+/// queue depth, jobs in flight, busy workers. `set` is for a single
+/// authoritative writer (the daemon updating depth under the queue lock);
+/// mergeable per-thread/job recorders should use balanced `add`/`sub`
+/// pairs, because merging *sums* each side's net movement. A gauge with
+/// zero samples is the merge identity, so — like counters, histograms,
+/// and span stats — gauges fold associatively and commutatively at join.
+/// Watermarks fold by min/max of each side's own watermarks, which is the
+/// tightest envelope derivable without replaying the interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+    min: i64,
+    max: i64,
+    samples: u64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero with no samples (the merge identity).
+    pub fn new() -> Gauge {
+        Gauge {
+            value: 0,
+            min: 0,
+            max: 0,
+            samples: 0,
+        }
+    }
+
+    fn touch(&mut self) {
+        if self.samples == 0 {
+            self.min = self.value;
+            self.max = self.value;
+        } else {
+            self.min = self.min.min(self.value);
+            self.max = self.max.max(self.value);
+        }
+        self.samples += 1;
+    }
+
+    /// Set the level outright (authoritative-writer form).
+    pub fn set(&mut self, value: i64) {
+        self.value = value;
+        self.touch();
+    }
+
+    /// Move the level by `delta` (mergeable form; pair with [`Gauge::sub`]).
+    pub fn add(&mut self, delta: i64) {
+        self.value = self.value.saturating_add(delta);
+        self.touch();
+    }
+
+    /// Move the level down by `delta`.
+    pub fn sub(&mut self, delta: i64) {
+        self.value = self.value.saturating_sub(delta);
+        self.touch();
+    }
+
+    /// The current level.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+
+    /// Lowest level seen (`None` before any sample).
+    pub fn min(&self) -> Option<i64> {
+        (self.samples > 0).then_some(self.min)
+    }
+
+    /// Highest level seen (`None` before any sample).
+    pub fn max(&self) -> Option<i64> {
+        (self.samples > 0).then_some(self.max)
+    }
+
+    /// How many times the gauge moved.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Merge another gauge into this one: values (net movements) add,
+    /// watermarks fold, an empty side is the identity — associative and
+    /// commutative, matching the other registry types.
+    pub fn merge_from(&mut self, other: &Gauge) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.value = self.value.saturating_add(other.value);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.samples = self.samples.saturating_add(other.samples);
+    }
+
+    /// JSON representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("value", Json::int(self.value))
+            .with("min", self.min().map_or(Json::Null, Json::int))
+            .with("max", self.max().map_or(Json::Null, Json::int))
+            .with(
+                "samples",
+                Json::int(self.samples.min(i64::MAX as u64) as i64),
+            )
+    }
+}
+
+/// Wall-clock seconds covered by one sliding-window slot.
+pub const WINDOW_SLOT_SECS: u64 = 5;
+
+/// Slots per sliding window: 60 × 5 s = a 5-minute horizon.
+pub const WINDOW_SLOTS: usize = 60;
+
+/// Slots that make up the trailing 1-minute sub-window.
+const RATE_1M_SLOTS: u64 = 60 / WINDOW_SLOT_SECS;
+
+/// A counter with a sliding 5-minute window behind the running total.
+///
+/// The window is a ring of [`WINDOW_SLOTS`] fixed-duration slots indexed
+/// by absolute slot number since the counter was created. Rotation is
+/// logical: writes zero any slots that elapsed since the last write, and
+/// reads simply ignore slots whose absolute index has fallen off the
+/// horizon — so `&self` reads never mutate and a cloned snapshot keeps
+/// answering correctly. `total` is monotonic (exposition-safe); the
+/// 1m/5m rates divide the live slot sums by the sub-window's wall span.
+///
+/// Merging aligns the other side's slots by age relative to each side's
+/// own clock: totals merge exactly, slot phase is approximate to ±1 slot
+/// — the same "exact in aggregate, approximate in placement" contract as
+/// [`Histogram::merge_from`] with mismatched bounds.
+#[derive(Debug, Clone)]
+pub struct WindowedCounter {
+    start: Instant,
+    slots: Vec<u64>,
+    /// Absolute slot index the ring has been rotated up to.
+    head: u64,
+    total: u64,
+}
+
+impl Default for WindowedCounter {
+    fn default() -> Self {
+        WindowedCounter::new()
+    }
+}
+
+impl WindowedCounter {
+    /// An empty windowed counter; the window clock starts now.
+    pub fn new() -> WindowedCounter {
+        WindowedCounter {
+            start: Instant::now(),
+            slots: vec![0; WINDOW_SLOTS],
+            head: 0,
+            total: 0,
+        }
+    }
+
+    fn slot_now(&self) -> u64 {
+        self.start.elapsed().as_secs() / WINDOW_SLOT_SECS
+    }
+
+    fn rotate_to(&mut self, now: u64) {
+        if now <= self.head {
+            return;
+        }
+        let step = (now - self.head).min(WINDOW_SLOTS as u64);
+        for k in 1..=step {
+            let idx = ((self.head + k) % WINDOW_SLOTS as u64) as usize;
+            if let Some(slot) = self.slots.get_mut(idx) {
+                *slot = 0;
+            }
+        }
+        self.head = now;
+    }
+
+    /// The count recorded in absolute slot `j`, zero if `j` has fallen off
+    /// the horizon (or lies in the future of the last rotation).
+    fn slot_value(&self, j: u64) -> u64 {
+        if j <= self.head && j + WINDOW_SLOTS as u64 > self.head {
+            self.slots
+                .get((j % WINDOW_SLOTS as u64) as usize)
+                .copied()
+                .unwrap_or(0)
+        } else {
+            0
+        }
+    }
+
+    fn sum_last(&self, k: u64, now: u64) -> u64 {
+        let first = now.saturating_sub(k.saturating_sub(1));
+        (first..=now).map(|j| self.slot_value(j)).sum()
+    }
+
+    /// Add `n` to the current slot and the running total.
+    pub fn add(&mut self, n: u64) {
+        let now = self.slot_now();
+        self.rotate_to(now);
+        if let Some(slot) = self.slots.get_mut((now % WINDOW_SLOTS as u64) as usize) {
+            *slot = slot.saturating_add(n);
+        }
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// Monotonic since-creation total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events per second over the trailing minute.
+    pub fn rate_1m(&self) -> f64 {
+        self.sum_last(RATE_1M_SLOTS, self.slot_now()) as f64
+            / (RATE_1M_SLOTS * WINDOW_SLOT_SECS) as f64
+    }
+
+    /// Events per second over the full window (5 minutes).
+    pub fn rate_5m(&self) -> f64 {
+        self.sum_last(WINDOW_SLOTS as u64, self.slot_now()) as f64
+            / (WINDOW_SLOTS as u64 * WINDOW_SLOT_SECS) as f64
+    }
+
+    /// Merge another windowed counter: totals add exactly; the other
+    /// side's live slots land at the same *age* on this side's clock.
+    pub fn merge_from(&mut self, other: &WindowedCounter) {
+        let now = self.slot_now();
+        self.rotate_to(now);
+        let other_now = other.slot_now();
+        for age in 0..WINDOW_SLOTS as u64 {
+            let Some(j) = other_now.checked_sub(age) else {
+                break;
+            };
+            let value = other.slot_value(j);
+            if value == 0 {
+                continue;
+            }
+            let Some(target) = now.checked_sub(age) else {
+                continue;
+            };
+            if let Some(slot) = self.slots.get_mut((target % WINDOW_SLOTS as u64) as usize) {
+                *slot = slot.saturating_add(value);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+
+    /// JSON representation (rates computed at render time).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kind", Json::str("counter"))
+            .with("total", Json::int(self.total.min(i64::MAX as u64) as i64))
+            .with("rate1m", Json::float(self.rate_1m()))
+            .with("rate5m", Json::float(self.rate_5m()))
+    }
+}
+
+/// A histogram with a sliding 5-minute window behind the cumulative one.
+///
+/// Same ring discipline as [`WindowedCounter`], with a [`Histogram`] per
+/// slot; the `cumulative` histogram keeps the monotonic since-creation
+/// distribution the exposition endpoint serves, while window reads merge
+/// the live slots into a throwaway histogram to answer 1m/5m quantiles.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    start: Instant,
+    slots: Vec<Histogram>,
+    head: u64,
+    cumulative: Histogram,
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram over `bounds`.
+    pub fn new(bounds: &[u64]) -> WindowedHistogram {
+        WindowedHistogram {
+            start: Instant::now(),
+            slots: (0..WINDOW_SLOTS).map(|_| Histogram::new(bounds)).collect(),
+            head: 0,
+            cumulative: Histogram::new(bounds),
+        }
+    }
+
+    fn slot_now(&self) -> u64 {
+        self.start.elapsed().as_secs() / WINDOW_SLOT_SECS
+    }
+
+    fn rotate_to(&mut self, now: u64) {
+        if now <= self.head {
+            return;
+        }
+        let step = (now - self.head).min(WINDOW_SLOTS as u64);
+        let bounds = self.cumulative.bounds.clone();
+        for k in 1..=step {
+            let idx = ((self.head + k) % WINDOW_SLOTS as u64) as usize;
+            if let Some(slot) = self.slots.get_mut(idx) {
+                *slot = Histogram::new(&bounds);
+            }
+        }
+        self.head = now;
+    }
+
+    fn slot_live(&self, j: u64) -> Option<&Histogram> {
+        if j <= self.head && j + WINDOW_SLOTS as u64 > self.head {
+            self.slots.get((j % WINDOW_SLOTS as u64) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Record one observation into the current slot and the cumulative
+    /// distribution.
+    pub fn record(&mut self, value: u64) {
+        let now = self.slot_now();
+        self.rotate_to(now);
+        if let Some(slot) = self.slots.get_mut((now % WINDOW_SLOTS as u64) as usize) {
+            slot.record(value);
+        }
+        self.cumulative.record(value);
+    }
+
+    /// The monotonic since-creation distribution.
+    pub fn cumulative(&self) -> &Histogram {
+        &self.cumulative
+    }
+
+    /// The merged distribution of the trailing `k` slots (capped at the
+    /// window size).
+    fn window_hist(&self, k: u64) -> Histogram {
+        let now = self.slot_now();
+        let mut merged = Histogram::new(&self.cumulative.bounds);
+        let first = now.saturating_sub(k.min(WINDOW_SLOTS as u64).saturating_sub(1));
+        for j in first..=now {
+            if let Some(slot) = self.slot_live(j) {
+                merged.merge_from(slot);
+            }
+        }
+        merged
+    }
+
+    /// Observations per second over the trailing minute.
+    pub fn rate_1m(&self) -> f64 {
+        self.window_hist(RATE_1M_SLOTS).count() as f64 / (RATE_1M_SLOTS * WINDOW_SLOT_SECS) as f64
+    }
+
+    /// Observations per second over the full window.
+    pub fn rate_5m(&self) -> f64 {
+        self.window_hist(WINDOW_SLOTS as u64).count() as f64
+            / (WINDOW_SLOTS as u64 * WINDOW_SLOT_SECS) as f64
+    }
+
+    /// The `q`-quantile over the full 5-minute window (`None` when the
+    /// window is empty).
+    pub fn window_quantile(&self, q: f64) -> Option<f64> {
+        self.window_hist(WINDOW_SLOTS as u64).quantile(q)
+    }
+
+    /// Merge another windowed histogram (age-aligned slots, exact
+    /// cumulative merge — see [`WindowedCounter::merge_from`]).
+    pub fn merge_from(&mut self, other: &WindowedHistogram) {
+        let now = self.slot_now();
+        self.rotate_to(now);
+        let other_now = other.slot_now();
+        for age in 0..WINDOW_SLOTS as u64 {
+            let Some(j) = other_now.checked_sub(age) else {
+                break;
+            };
+            let Some(source) = other.slot_live(j) else {
+                continue;
+            };
+            if source.count() == 0 {
+                continue;
+            }
+            let Some(target) = now.checked_sub(age) else {
+                continue;
+            };
+            if let Some(slot) = self.slots.get_mut((target % WINDOW_SLOTS as u64) as usize) {
+                slot.merge_from(source);
+            }
+        }
+        self.cumulative.merge_from(&other.cumulative);
+    }
+
+    /// JSON representation (window stats computed at render time).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kind", Json::str("histogram"))
+            .with(
+                "count",
+                Json::int(self.cumulative.count().min(i64::MAX as u64) as i64),
+            )
+            .with("rate1m", Json::float(self.rate_1m()))
+            .with("rate5m", Json::float(self.rate_5m()))
+            .with(
+                "p50",
+                self.window_quantile(0.5).map_or(Json::Null, Json::float),
+            )
+            .with(
+                "p90",
+                self.window_quantile(0.9).map_or(Json::Null, Json::float),
+            )
+            .with(
+                "p99",
+                self.window_quantile(0.99).map_or(Json::Null, Json::float),
+            )
+    }
+}
+
+/// A named sliding-window series: event rate or value distribution.
+#[derive(Debug, Clone)]
+pub enum Windowed {
+    /// An event-rate series ([`WindowedCounter`]).
+    Counter(WindowedCounter),
+    /// A value-distribution series ([`WindowedHistogram`]).
+    Histogram(WindowedHistogram),
+}
+
+impl Windowed {
+    /// JSON representation, tagged by `kind`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Windowed::Counter(w) => w.to_json(),
+            Windowed::Histogram(w) => w.to_json(),
+        }
+    }
+}
+
+/// The live metric registry: named counters, histograms, span stats,
+/// gauges, and sliding-window series.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStats>,
+    gauges: BTreeMap<String, Gauge>,
+    windows: BTreeMap<String, Windowed>,
 }
 
 impl Metrics {
@@ -304,6 +738,49 @@ impl Metrics {
             .record(dur_us);
     }
 
+    /// Set gauge `name` to `value` (created on first use).
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.entry(name.to_string()).or_default().set(value);
+    }
+
+    /// Move gauge `name` by `delta`.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        self.gauges.entry(name.to_string()).or_default().add(delta);
+    }
+
+    /// Move gauge `name` down by `delta`.
+    pub fn gauge_sub(&mut self, name: &str, delta: i64) {
+        self.gauges.entry(name.to_string()).or_default().sub(delta);
+    }
+
+    /// Add `n` to the sliding-window counter `name` (created on first
+    /// use). A no-op when `name` already exists as a window *histogram* —
+    /// a name may carry one window kind only.
+    pub fn window_add(&mut self, name: &str, n: u64) {
+        match self
+            .windows
+            .entry(name.to_string())
+            .or_insert_with(|| Windowed::Counter(WindowedCounter::new()))
+        {
+            Windowed::Counter(w) => w.add(n),
+            Windowed::Histogram(_) => {}
+        }
+    }
+
+    /// Record `value` into the sliding-window histogram `name`, creating
+    /// it over `bounds` on first use. A no-op when `name` already exists
+    /// as a window *counter*.
+    pub fn window_observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        match self
+            .windows
+            .entry(name.to_string())
+            .or_insert_with(|| Windowed::Histogram(WindowedHistogram::new(bounds)))
+        {
+            Windowed::Histogram(w) => w.record(value),
+            Windowed::Counter(_) => {}
+        }
+    }
+
     /// Merge another registry into this one: counters add, histograms
     /// merge bucket-wise ([`Histogram::merge_from`]), span stats fold
     /// ([`SpanStats::merge_from`]). This is the join step of the
@@ -327,6 +804,25 @@ impl Metrics {
         for (name, stats) in other.spans {
             self.spans.entry(name).or_default().merge_from(&stats);
         }
+        for (name, gauge) in other.gauges {
+            self.gauges.entry(name).or_default().merge_from(&gauge);
+        }
+        for (name, window) in other.windows {
+            match self.windows.entry(name) {
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    // Kinds must match to merge; a mismatched name keeps
+                    // the existing series (disciplined names never collide).
+                    match (entry.get_mut(), &window) {
+                        (Windowed::Counter(a), Windowed::Counter(b)) => a.merge_from(b),
+                        (Windowed::Histogram(a), Windowed::Histogram(b)) => a.merge_from(b),
+                        _ => {}
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    entry.insert(window);
+                }
+            }
+        }
     }
 
     /// Current value of counter `name` (zero when absent).
@@ -347,6 +843,26 @@ impl Metrics {
     /// Named span stats in sorted order.
     pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> + '_ {
         self.spans.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Gauge `name`, if it has been touched.
+    pub fn gauge(&self, name: &str) -> Option<&Gauge> {
+        self.gauges.get(name)
+    }
+
+    /// Named gauges in sorted order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &Gauge)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sliding-window series `name`, if present.
+    pub fn window(&self, name: &str) -> Option<&Windowed> {
+        self.windows.get(name)
+    }
+
+    /// Named sliding-window series in sorted order.
+    pub fn windows(&self) -> impl Iterator<Item = (&str, &Windowed)> + '_ {
+        self.windows.iter().map(|(k, v)| (k.as_str(), v))
     }
 }
 
@@ -374,7 +890,7 @@ impl MetricsSnapshot {
         for (name, s) in self.metrics.spans() {
             spans.set(name, s.to_json());
         }
-        Json::obj()
+        let mut doc = Json::obj()
             .with("schema", Json::str("diffaudit-obs/v1"))
             .with(
                 "uptimeUs",
@@ -382,7 +898,25 @@ impl MetricsSnapshot {
             )
             .with("counters", counters)
             .with("histograms", histograms)
-            .with("spans", spans)
+            .with("spans", spans);
+        // The batch pipeline records no gauges or windows; emitting these
+        // keys only when populated keeps `--metrics-out` documents
+        // byte-identical to the pre-telemetry tool's.
+        if self.metrics.gauges().next().is_some() {
+            let mut gauges = Json::obj();
+            for (name, g) in self.metrics.gauges() {
+                gauges.set(name, g.to_json());
+            }
+            doc.set("gauges", gauges);
+        }
+        if self.metrics.windows().next().is_some() {
+            let mut windows = Json::obj();
+            for (name, w) in self.metrics.windows() {
+                windows.set(name, w.to_json());
+            }
+            doc.set("windows", windows);
+        }
+        doc
     }
 }
 
@@ -589,6 +1123,193 @@ mod tests {
             .to_pretty_string()
         };
         assert_eq!(snap(&forward), snap(&backward));
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermarks() {
+        let mut g = Gauge::new();
+        assert_eq!(g.value(), 0);
+        assert_eq!(g.min(), None);
+        assert_eq!(g.max(), None);
+        g.add(3);
+        g.sub(1);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.value(), 0);
+        assert_eq!(g.min(), Some(0));
+        assert_eq!(g.max(), Some(7));
+        assert_eq!(g.samples(), 4);
+        g.set(-2);
+        assert_eq!(g.value(), -2);
+        assert_eq!(g.min(), Some(-2));
+    }
+
+    #[test]
+    fn gauge_merge_is_associative_and_commutative() {
+        let mut a = Gauge::new();
+        a.add(4);
+        a.sub(1); // net +3, watermarks [0, 4]
+        let mut b = Gauge::new();
+        b.add(2); // net +2, watermarks [0, 2]
+        let mut c = Gauge::new();
+        c.sub(5); // net -5, watermarks [-5, 0]
+
+        let fold = |order: &[&Gauge]| {
+            let mut m = Gauge::new();
+            for g in order {
+                m.merge_from(g);
+            }
+            m
+        };
+        let abc = fold(&[&a, &b, &c]);
+        let cba = fold(&[&c, &b, &a]);
+        assert_eq!(abc, cba);
+        assert_eq!(abc.value(), 0);
+        assert_eq!(abc.min(), Some(-5));
+        assert_eq!(abc.max(), Some(4));
+        assert_eq!(abc.samples(), 4);
+        // ((a ⊔ b) ⊔ c) == (a ⊔ (b ⊔ c)), and empty is the identity.
+        let mut left = a;
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b;
+        bc.merge_from(&c);
+        let mut right = a;
+        right.merge_from(&bc);
+        right.merge_from(&Gauge::new());
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn windowed_counter_rates_and_total() {
+        let mut w = WindowedCounter::new();
+        assert_eq!(w.total(), 0);
+        assert_eq!(w.rate_1m(), 0.0);
+        w.add(30);
+        w.add(30);
+        // All 60 events are within the last minute of wall time.
+        assert_eq!(w.total(), 60);
+        assert!((w.rate_1m() - 1.0).abs() < 1e-9, "{}", w.rate_1m());
+        assert!((w.rate_5m() - 0.2).abs() < 1e-9, "{}", w.rate_5m());
+    }
+
+    #[test]
+    fn windowed_counter_merge_preserves_totals_and_rates() {
+        let mut a = WindowedCounter::new();
+        a.add(10);
+        let mut b = WindowedCounter::new();
+        b.add(20);
+        a.merge_from(&b);
+        assert_eq!(a.total(), 30);
+        assert!((a.rate_5m() - 0.1).abs() < 1e-9, "{}", a.rate_5m());
+        // Identity: merging an empty counter changes nothing.
+        let before = a.total();
+        a.merge_from(&WindowedCounter::new());
+        assert_eq!(a.total(), before);
+    }
+
+    #[test]
+    fn windowed_histogram_window_quantiles_and_cumulative() {
+        let mut w = WindowedHistogram::new(&LATENCY_US_BOUNDS);
+        assert_eq!(w.window_quantile(0.5), None);
+        for v in [100u64, 200, 300, 400] {
+            w.record(v);
+        }
+        assert_eq!(w.cumulative().count(), 4);
+        let p50 = w.window_quantile(0.5).expect("live window");
+        assert!((100.0..=400.0).contains(&p50), "{p50}");
+        assert_eq!(w.window_quantile(1.0), Some(400.0));
+        // Within the first slot the 1m rate counts everything just seen.
+        assert!((w.rate_1m() - 4.0 / 60.0).abs() < 1e-9, "{}", w.rate_1m());
+    }
+
+    #[test]
+    fn windowed_histogram_merge_matches_serial_cumulative() {
+        let mut serial = WindowedHistogram::new(&LATENCY_US_BOUNDS);
+        let mut a = WindowedHistogram::new(&LATENCY_US_BOUNDS);
+        let mut b = WindowedHistogram::new(&LATENCY_US_BOUNDS);
+        for v in [5u64, 50, 500] {
+            serial.record(v);
+            a.record(v);
+        }
+        for v in [7u64, 70_000] {
+            serial.record(v);
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.cumulative(), serial.cumulative());
+        assert_eq!(a.window_quantile(1.0), serial.window_quantile(1.0));
+    }
+
+    #[test]
+    fn metrics_gauge_and_window_registry_round_trip() {
+        let mut m = Metrics::new();
+        m.gauge_add("queue.depth", 2);
+        m.gauge_sub("queue.depth", 1);
+        m.gauge_set("workers.busy", 3);
+        m.window_add("http.requests", 7);
+        m.window_observe("http.latency.us", &LATENCY_US_BOUNDS, 1_234);
+        assert_eq!(m.gauge("queue.depth").map(Gauge::value), Some(1));
+        assert_eq!(m.gauge("workers.busy").map(Gauge::value), Some(3));
+        assert_eq!(m.gauge("missing"), None);
+        match m.window("http.requests") {
+            Some(Windowed::Counter(w)) => assert_eq!(w.total(), 7),
+            other => panic!("expected window counter, got {other:?}"),
+        }
+        // Kind mismatch is a no-op, never a reinterpretation.
+        m.window_observe("http.requests", &LATENCY_US_BOUNDS, 9);
+        m.window_add("http.latency.us", 9);
+        match m.window("http.requests") {
+            Some(Windowed::Counter(w)) => assert_eq!(w.total(), 7),
+            other => panic!("expected window counter, got {other:?}"),
+        }
+
+        // Merge folds both registries.
+        let mut other = Metrics::new();
+        other.gauge_add("queue.depth", 4);
+        other.window_add("http.requests", 3);
+        m.merge_from(other);
+        assert_eq!(m.gauge("queue.depth").map(Gauge::value), Some(5));
+        match m.window("http.requests") {
+            Some(Windowed::Counter(w)) => assert_eq!(w.total(), 10),
+            other => panic!("expected window counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_omits_gauge_and_window_keys_when_empty() {
+        let mut m = Metrics::new();
+        m.add("pipeline.units", 1);
+        let json = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 1,
+        }
+        .to_json();
+        // Batch documents must stay byte-identical: no new keys unless
+        // the new registries are populated.
+        assert!(json.pointer("/gauges").is_none());
+        assert!(json.pointer("/windows").is_none());
+
+        let mut m = Metrics::new();
+        m.gauge_set("depth", 2);
+        m.window_add("reqs", 1);
+        let json = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 1,
+        }
+        .to_json();
+        assert_eq!(
+            json.pointer("/gauges/depth/value").and_then(Json::as_i64),
+            Some(2)
+        );
+        assert_eq!(
+            json.pointer("/windows/reqs/total").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            json.pointer("/windows/reqs/kind").and_then(Json::as_str),
+            Some("counter")
+        );
     }
 
     #[test]

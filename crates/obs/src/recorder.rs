@@ -9,11 +9,46 @@ use crate::event::Field;
 use crate::level::Level;
 use crate::metrics::{Metrics, MetricsSnapshot, LATENCY_US_BOUNDS};
 use crate::sink::{event_record, span_record, write_stderr, JsonlSink};
+use diffaudit_json::Json;
+use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// How many warn/error events the in-memory ring retains.
+pub const EVENT_RING_CAP: usize = 256;
+
+/// One retained warn/error event: everything `obs tail` needs, with the
+/// fields pre-rendered to text so the ring holds no live references.
+#[derive(Debug, Clone)]
+pub struct RingEvent {
+    /// Position in the ring's own monotonic sequence (1-based). Distinct
+    /// from the trace sink's `seq`, which only advances while a trace is
+    /// attached — the ring must stay a usable cursor either way.
+    pub seq: u64,
+    /// Microseconds since the recorder started.
+    pub t_us: u64,
+    /// Event severity (always `Warn` or `Error` here).
+    pub level: Level,
+    /// The event message.
+    pub msg: String,
+    /// Pre-rendered `key=value` fields, space-separated (may be empty).
+    pub fields: String,
+}
+
+impl RingEvent {
+    /// JSON representation (the `/api/v1/events` document entry).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("seq", Json::int(self.seq.min(i64::MAX as u64) as i64))
+            .with("tUs", Json::int(self.t_us.min(i64::MAX as u64) as i64))
+            .with("level", Json::str(self.level.label()))
+            .with("msg", Json::str(self.msg.clone()))
+            .with("fields", Json::str(self.fields.clone()))
+    }
+}
 
 /// Recorder configuration, applied by [`Recorder::configure`].
 #[derive(Debug, Default)]
@@ -34,6 +69,10 @@ struct Inner {
     /// Names of the spans currently open, outermost first. The pipeline is
     /// single-threaded, so a plain stack captures the hierarchy.
     stack: Vec<String>,
+    /// The last [`EVENT_RING_CAP`] warn/error events, oldest first.
+    ring: VecDeque<RingEvent>,
+    /// Monotonic cursor for the ring (advances on every retained event).
+    ring_seq: u64,
 }
 
 /// The observability recorder.
@@ -78,6 +117,8 @@ impl Recorder {
                 trace: None,
                 metrics: Metrics::new(),
                 stack: Vec::new(),
+                ring: VecDeque::new(),
+                ring_seq: 0,
             }),
         }
     }
@@ -119,6 +160,27 @@ impl Recorder {
             write_stderr(level, msg, fields);
         }
         let mut inner = lock_inner(self);
+        // Warn/error events are retained in a bounded ring regardless of
+        // the stderr filter and trace sink, so `obs tail` can stream a
+        // daemon's recent problems after the fact.
+        if level.passes(Level::Warn) {
+            inner.ring_seq += 1;
+            let event = RingEvent {
+                seq: inner.ring_seq,
+                t_us: elapsed_us(inner.start),
+                level,
+                msg: msg.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            };
+            if inner.ring.len() >= EVENT_RING_CAP {
+                inner.ring.pop_front();
+            }
+            inner.ring.push_back(event);
+        }
         if inner.trace.is_some() {
             inner.seq += 1;
             let seq = inner.seq;
@@ -158,6 +220,9 @@ impl Recorder {
         inner.metrics.span_done(name, dur_us);
         inner
             .metrics
+            // lint:allow(metric-discipline): the `{span}.us` histogram is
+            // derived from the span name, which is itself a static literal
+            // at every `span()`/`enter()` call site — no new cardinality.
             .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
         if inner.trace.is_some() {
             inner.seq += 1;
@@ -178,6 +243,50 @@ impl Recorder {
     /// Record `value` into histogram `name` over `bounds`.
     pub fn observe(&self, name: &str, bounds: &[u64], value: u64) {
         lock_inner(self).metrics.observe(name, bounds, value);
+    }
+
+    /// Set gauge `name` to `value` (authoritative-writer form).
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        lock_inner(self).metrics.gauge_set(name, value);
+    }
+
+    /// Move gauge `name` by `delta`.
+    pub fn gauge_add(&self, name: &str, delta: i64) {
+        lock_inner(self).metrics.gauge_add(name, delta);
+    }
+
+    /// Move gauge `name` down by `delta`.
+    pub fn gauge_sub(&self, name: &str, delta: i64) {
+        lock_inner(self).metrics.gauge_sub(name, delta);
+    }
+
+    /// Add `n` to the sliding-window counter `name`.
+    pub fn window_add(&self, name: &str, n: u64) {
+        lock_inner(self).metrics.window_add(name, n);
+    }
+
+    /// Record `value` into the sliding-window histogram `name`.
+    pub fn window_observe(&self, name: &str, bounds: &[u64], value: u64) {
+        lock_inner(self).metrics.window_observe(name, bounds, value);
+    }
+
+    /// Retained warn/error events with ring sequence strictly greater
+    /// than `since`, oldest first (pass `0` for everything buffered).
+    /// Events older than the ring capacity are gone — the returned
+    /// events' `seq` fields tell the caller what it actually got.
+    pub fn events_since(&self, since: u64) -> Vec<RingEvent> {
+        lock_inner(self)
+            .ring
+            .iter()
+            .filter(|e| e.seq > since)
+            .cloned()
+            .collect()
+    }
+
+    /// The newest retained event's ring sequence (0 when none yet) — the
+    /// cursor a streaming consumer resumes from.
+    pub fn ring_cursor(&self) -> u64 {
+        lock_inner(self).ring_seq
     }
 
     /// An owned copy of the metric registry plus uptime.
@@ -245,6 +354,28 @@ impl LocalRecorder {
         self.metrics.observe(name, bounds, value);
     }
 
+    /// Move gauge `name` by `delta`. Local gauges must use balanced
+    /// `gauge_add`/`gauge_sub` pairs (never `set`): the absorb at join
+    /// *sums* net movements, so only deltas merge meaningfully.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        self.metrics.gauge_add(name, delta);
+    }
+
+    /// Move gauge `name` down by `delta`.
+    pub fn gauge_sub(&mut self, name: &str, delta: i64) {
+        self.metrics.gauge_sub(name, delta);
+    }
+
+    /// Add `n` to the sliding-window counter `name`.
+    pub fn window_add(&mut self, name: &str, n: u64) {
+        self.metrics.window_add(name, n);
+    }
+
+    /// Record `value` into the sliding-window histogram `name`.
+    pub fn window_observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.metrics.window_observe(name, bounds, value);
+    }
+
     /// Time `f` as a completed span named `name`: records the duration into
     /// the span aggregate and the `{name}.us` latency histogram, mirroring
     /// what dropping a global span guard does (minus the trace record —
@@ -256,6 +387,8 @@ impl LocalRecorder {
         let dur_us = elapsed_us(start);
         self.metrics.span_done(name, dur_us);
         self.metrics
+            // lint:allow(metric-discipline): derived `{span}.us` histogram;
+            // span names are static literals at their call sites.
             .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
         out
     }
@@ -266,6 +399,8 @@ impl LocalRecorder {
     pub fn span(&mut self, name: &str, dur_us: u64) {
         self.metrics.span_done(name, dur_us);
         self.metrics
+            // lint:allow(metric-discipline): derived `{span}.us` histogram;
+            // span names are static literals at their call sites.
             .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
     }
 
@@ -441,6 +576,82 @@ mod tests {
             .metrics
             .histograms()
             .any(|(n, _)| n == "unit.decode.us"));
+    }
+
+    #[test]
+    fn warn_and_error_events_land_in_the_ring() {
+        let rec = Recorder::new();
+        rec.configure(ObsConfig {
+            level: Some(Level::Error),
+            stderr: Some(false),
+            trace: None,
+        });
+        rec.event(Level::Info, "not retained", &[]);
+        rec.event(Level::Warn, "queue full", &[field("depth", 4u64)]);
+        rec.event(Level::Error, "job panicked", &[]);
+        let events = rec.events_since(0);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].msg, "queue full");
+        assert_eq!(events[0].fields, "depth=4");
+        assert_eq!(events[0].level, Level::Warn);
+        assert_eq!(events[1].seq, events[0].seq + 1);
+        assert_eq!(rec.ring_cursor(), events[1].seq);
+        // Cursor-based resume: only newer events come back.
+        let newer = rec.events_since(events[0].seq);
+        assert_eq!(newer.len(), 1);
+        assert_eq!(newer[0].msg, "job panicked");
+        assert!(rec.events_since(events[1].seq).is_empty());
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let rec = Recorder::new();
+        rec.configure(ObsConfig {
+            level: Some(Level::Error),
+            stderr: Some(false),
+            trace: None,
+        });
+        for i in 0..(EVENT_RING_CAP + 10) {
+            rec.event(Level::Warn, &format!("e{i}"), &[]);
+        }
+        let events = rec.events_since(0);
+        assert_eq!(events.len(), EVENT_RING_CAP);
+        // Oldest entries were evicted; sequence numbers keep counting.
+        assert_eq!(events[0].seq, 11);
+        assert_eq!(
+            events.last().map(|e| e.seq),
+            Some((EVENT_RING_CAP + 10) as u64)
+        );
+    }
+
+    #[test]
+    fn recorder_gauges_and_windows_reach_the_snapshot() {
+        let rec = Recorder::new();
+        rec.gauge_add("depth", 3);
+        rec.gauge_sub("depth", 1);
+        rec.gauge_set("workers", 2);
+        rec.window_add("reqs", 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.gauge("depth").map(|g| g.value()), Some(2));
+        assert_eq!(snap.metrics.gauge("workers").map(|g| g.value()), Some(2));
+        assert!(snap.metrics.window("reqs").is_some());
+    }
+
+    #[test]
+    fn local_gauge_deltas_absorb_to_net_movement() {
+        let rec = Recorder::new();
+        rec.gauge_add("inflight", 1);
+        let mut local = LocalRecorder::new();
+        local.gauge_add("inflight", 1);
+        local.gauge_sub("inflight", 1);
+        local.window_add("jobs", 2);
+        rec.absorb(local);
+        let snap = rec.snapshot();
+        assert_eq!(snap.metrics.gauge("inflight").map(|g| g.value()), Some(1));
+        assert_eq!(
+            snap.metrics.gauge("inflight").and_then(|g| g.max()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -52,6 +52,18 @@
 //!     can gate on a committed baseline. Exit codes: 0 = ok, 2 = regressed,
 //!     1 = unusable input or bad usage.
 //!
+//! diffaudit obs top URL [--once] [--interval-ms N]
+//!     Poll a running daemon's `GET /metrics` exposition endpoint and
+//!     render a refreshing queue/worker/latency table to stderr. URL is
+//!     `http://host:port` or bare `host:port`. Exit codes: 0 = clean
+//!     (including the daemon draining away mid-watch), 2 = exposition
+//!     stopped parsing after a successful poll, 1 = never connected.
+//!
+//! diffaudit obs tail URL [--once] [--interval-ms N] [--level warn|error]
+//!     Stream the daemon's retained warn/error event ring
+//!     (`GET /api/v1/events`) to stderr, following the ring cursor so each
+//!     event prints once. Shares `obs top`'s exit contract.
+//!
 //! Global flags (any subcommand, stripped before dispatch):
 //!   --threads N                         worker threads for the parallel
 //!                                       pipeline stages (default: the
@@ -89,7 +101,9 @@ fn usage() -> ExitCode {
          diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N] [--drain-ms N] [--chaos]\n  \
          diffaudit classify KEY...\n  diffaudit ontology\n  \
          diffaudit obs report TRACE.jsonl [--top K]\n  \
-         diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n\
+         diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n  \
+         diffaudit obs top URL [--once] [--interval-ms N]\n  \
+         diffaudit obs tail URL [--once] [--interval-ms N] [--level warn|error]\n\
          global flags: [--threads N] [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
     );
     // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
@@ -436,10 +450,13 @@ fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
     //   counters["salvage.<stage>.dropped"]   == ledger dropped.
     for (stage, counts) in ledger.merged().stages() {
         let label = stage.label();
+        // lint:allow(metric-discipline): `salvage.<stage>.*` is a closed
+        // family — `stage` ranges over the ledger's fixed stage enum.
         obs::add(
             &format!("{}{label}.processed", obs::SALVAGE_PREFIX),
             counts.processed,
         );
+        // lint:allow(metric-discipline): closed family, same as above.
         obs::add(
             &format!("{}{label}.dropped", obs::SALVAGE_PREFIX),
             counts.dropped,
@@ -592,7 +609,237 @@ fn cmd_obs(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("report") => cmd_obs_report(&args[1..]),
         Some("diff") => cmd_obs_diff(&args[1..]),
+        Some("top") => cmd_obs_top(&args[1..]),
+        Some("tail") => cmd_obs_tail(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Normalize an `obs top`/`obs tail` target (`http://host:port` or bare
+/// `host:port`) into a socket address string for the client module.
+fn parse_target(url: &str) -> String {
+    let stripped = url.strip_prefix("http://").unwrap_or(url);
+    stripped.trim_end_matches('/').to_string()
+}
+
+/// Human-readable microsecond duration for the live views.
+fn human_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.0}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// Shared polling state for the live views' exit contract: 0 = clean
+/// (including the daemon going away after at least one successful poll),
+/// 2 = the endpoint answered but the payload was malformed after at least
+/// one success, 1 = never reached a usable endpoint.
+struct PollOutcome {
+    successes: u64,
+}
+
+impl PollOutcome {
+    fn new() -> PollOutcome {
+        PollOutcome { successes: 0 }
+    }
+
+    fn transport_failed(&self, context: &str) -> ExitCode {
+        if self.successes > 0 {
+            obs::info("daemon went away; exiting", &[obs::field("after", context)]);
+            ExitCode::from(0)
+        } else {
+            obs::error("cannot reach daemon", &[obs::field("target", context)]);
+            ExitCode::from(1)
+        }
+    }
+
+    fn payload_malformed(&self, reason: &str) -> ExitCode {
+        obs::error("malformed payload", &[obs::field("reason", reason)]);
+        if self.successes > 0 {
+            ExitCode::from(2)
+        } else {
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// `obs top URL [--once] [--interval-ms N]` — poll `GET /metrics` and
+/// render a refreshing queue/worker/latency table to stderr.
+///
+/// Exit contract: 0 = clean (a daemon that drains away mid-watch is a
+/// clean exit once at least one poll succeeded), 2 = exposition stopped
+/// parsing after a successful poll, 1 = never connected or bad usage.
+fn cmd_obs_top(args: &[String]) -> ExitCode {
+    let mut target: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms: u64 = 1000;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms >= 1 => interval_ms = ms,
+                _ => return usage(),
+            },
+            other if !other.starts_with('-') && target.is_none() => {
+                target = Some(parse_target(other));
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = target else {
+        return usage();
+    };
+    let mut outcome = PollOutcome::new();
+    loop {
+        let body = match diffaudit_serve::client::request_text(&addr, "GET", "/metrics", b"") {
+            Ok((200, body)) => body,
+            Ok((status, _)) => {
+                return outcome.payload_malformed(&format!("/metrics answered {status}"));
+            }
+            Err(_) => return outcome.transport_failed(&addr),
+        };
+        let samples = match obs::parse_exposition(&body) {
+            Ok(samples) => samples,
+            Err(e) => return outcome.payload_malformed(&e),
+        };
+        outcome.successes += 1;
+        obs::write_stderr_block(&render_top(&addr, &samples));
+        if once {
+            return ExitCode::from(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Render one `obs top` frame from parsed exposition samples.
+fn render_top(addr: &str, samples: &[obs::Sample]) -> String {
+    let gauge = |name: &str| obs::gauge_value(samples, name).unwrap_or(0.0);
+    let counter = |name: &str| obs::sum_samples(samples, name).unwrap_or(0.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "diffaudit obs top — {addr} (uptime {:.1}s)\n",
+        gauge("diffaudit_uptime_seconds")
+    ));
+    out.push_str(&format!(
+        "  queue depth {:>4}   in-flight {:>4}   busy workers {:>4}\n",
+        gauge("serve_queue_depth"),
+        gauge("serve_jobs_in_flight"),
+        gauge("serve_workers_busy"),
+    ));
+    out.push_str(&format!(
+        "  jobs: submitted {} finished {} panicked {} shed(429) {}\n",
+        counter("serve_jobs_submitted_total"),
+        counter("serve_jobs_finished_total"),
+        counter("serve_jobs_panicked_total"),
+        counter("serve_queue_shed_total"),
+    ));
+    out.push_str(&format!(
+        "  http: requests {} ({:.2}/s over 1m, {:.2}/s over 5m)\n",
+        counter("serve_http_requests_total"),
+        gauge("serve_http_requests_window_rate_1m"),
+        gauge("serve_http_requests_window_rate_5m"),
+    ));
+    let p50 = obs::histogram_quantile(samples, "serve_http_latency_us", 0.50);
+    let p90 = obs::histogram_quantile(samples, "serve_http_latency_us", 0.90);
+    match (p50, p90) {
+        (Some(p50), Some(p90)) => out.push_str(&format!(
+            "  http latency: p50 {} p90 {}\n",
+            human_us(p50),
+            human_us(p90)
+        )),
+        _ => out.push_str("  http latency: no samples yet\n"),
+    }
+    out
+}
+
+/// `obs tail URL [--once] [--interval-ms N] [--level warn|error]` —
+/// stream the daemon's retained warn/error event ring to stderr,
+/// following the ring cursor so each event prints once.
+///
+/// Shares `obs top`'s exit contract.
+fn cmd_obs_tail(args: &[String]) -> ExitCode {
+    let mut target: Option<String> = None;
+    let mut once = false;
+    let mut interval_ms: u64 = 500;
+    let mut min_level = obs::Level::Warn;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(ms) if ms >= 1 => interval_ms = ms,
+                _ => return usage(),
+            },
+            "--level" => match iter.next().map(String::as_str).and_then(obs::Level::parse) {
+                Some(level) => min_level = level,
+                None => return usage(),
+            },
+            other if !other.starts_with('-') && target.is_none() => {
+                target = Some(parse_target(other));
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = target else {
+        return usage();
+    };
+    let mut outcome = PollOutcome::new();
+    let mut cursor: u64 = 0;
+    loop {
+        let path = format!("/api/v1/events?since={cursor}");
+        let body = match diffaudit_serve::client::request_text(&addr, "GET", &path, b"") {
+            Ok((200, body)) => body,
+            Ok((status, _)) => {
+                return outcome.payload_malformed(&format!("/api/v1/events answered {status}"));
+            }
+            Err(_) => return outcome.transport_failed(&addr),
+        };
+        let doc = match diffaudit_json::parse(&body) {
+            Ok(doc) => doc,
+            Err(e) => return outcome.payload_malformed(&e.to_string()),
+        };
+        let Some(events) = doc.get("events").and_then(Json::as_arr) else {
+            return outcome.payload_malformed("no \"events\" array in response");
+        };
+        outcome.successes += 1;
+        if let Some(next) = doc.get("cursor").and_then(Json::as_i64) {
+            cursor = next.max(0) as u64;
+        }
+        let mut lines = String::new();
+        for event in events {
+            let level = event
+                .get("level")
+                .and_then(Json::as_str)
+                .and_then(obs::Level::parse)
+                .unwrap_or(obs::Level::Warn);
+            if !level.passes(min_level) {
+                continue;
+            }
+            let t_us = event.get("tUs").and_then(Json::as_i64).unwrap_or(0);
+            let msg = event.get("msg").and_then(Json::as_str).unwrap_or("");
+            let fields = event.get("fields").and_then(Json::as_str).unwrap_or("");
+            lines.push_str(&format!(
+                "[+{:.3}s] {:5} {msg}",
+                t_us as f64 / 1e6,
+                level.label().to_ascii_uppercase()
+            ));
+            if !fields.is_empty() {
+                lines.push(' ');
+                lines.push_str(fields);
+            }
+            lines.push('\n');
+        }
+        if !lines.is_empty() {
+            obs::write_stderr_block(&lines);
+        }
+        if once {
+            return ExitCode::from(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 

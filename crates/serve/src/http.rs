@@ -255,6 +255,15 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-exposition response (`GET /metrics`).
+    pub fn exposition(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+        }
+    }
+
     /// A JSON `{"error": msg}` response.
     pub fn error(status: u16, msg: &str) -> Response {
         let doc = diffaudit_json::Json::obj().with("error", diffaudit_json::Json::str(msg));

@@ -14,7 +14,9 @@
 //! endpoint, so a scripted client can treat the daemon exactly like the
 //! CLI.
 
+use crate::names;
 use diffaudit::salvage::RunStatus;
+use diffaudit_obs as obs;
 use diffaudit_util::cancel::CancelToken;
 use std::sync::{Mutex, MutexGuard};
 
@@ -175,9 +177,17 @@ impl JobTable {
 
     /// Transition a job to `Running` and hand back its cancel token.
     /// `None` if the job vanished (shed race).
+    ///
+    /// The in-flight gauge moves inside the table lock on the same
+    /// transitions that define "in flight" (`Queued → Running` here,
+    /// `Running → terminal` in [`complete`](JobTable::complete)), so the
+    /// gauge can never disagree with what the state machine would report.
     pub fn begin(&self, id: &str) -> Option<CancelToken> {
         let mut jobs = self.lock();
         let job = jobs.iter_mut().find(|j| j.id == id)?;
+        if job.phase == JobPhase::Queued {
+            obs::gauge_add(names::JOBS_IN_FLIGHT, 1);
+        }
         job.phase = JobPhase::Running;
         Some(job.token.clone())
     }
@@ -186,6 +196,9 @@ impl JobTable {
     pub fn complete(&self, id: &str, completion: JobCompletion) {
         let mut jobs = self.lock();
         if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+            if job.phase == JobPhase::Running && completion.phase.terminal() {
+                obs::gauge_sub(names::JOBS_IN_FLIGHT, 1);
+            }
             job.phase = completion.phase;
             job.result_json = Some(completion.result_json);
             job.report = completion.report;

@@ -37,6 +37,7 @@ pub mod client;
 pub mod config;
 pub mod http;
 pub mod job;
+pub mod names;
 pub mod queue;
 pub mod runner;
 pub mod server;

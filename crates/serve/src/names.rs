@@ -1,0 +1,155 @@
+//! The daemon's metric-name registry.
+//!
+//! Every metric the daemon emits is declared here as a `&'static str`
+//! constant (or selected from a closed match over such constants), so the
+//! full set of series the daemon can produce is auditable in one file and
+//! the analyzer's `metric-discipline` pass can verify no call site builds
+//! a name dynamically. Labeled series use the in-name label encoding the
+//! exposition renderer understands: `base{k="v",...}`.
+
+/// Total HTTP requests routed (counter).
+pub const HTTP_REQUESTS: &str = "serve.http.requests";
+
+/// Access span entered around each routed request.
+pub const HTTP_SPAN: &str = "serve.http.request";
+
+/// Sliding-window HTTP request series (1m/5m rates).
+pub const HTTP_REQUESTS_WINDOW: &str = "serve.http.requests.window";
+
+/// Sliding-window HTTP latency series (window quantiles + rates).
+pub const HTTP_LATENCY_WINDOW: &str = "serve.http.latency.window.us";
+
+/// Jobs accepted onto the queue (counter).
+pub const JOBS_SUBMITTED: &str = "serve.jobs.submitted";
+
+/// Jobs that reached a terminal phase via a worker (counter).
+pub const JOBS_FINISHED: &str = "serve.jobs.finished";
+
+/// Jobs whose panic was contained at the worker boundary (counter).
+pub const JOBS_PANICKED: &str = "serve.jobs.panicked";
+
+/// Trace artifacts uploaded (counter).
+pub const TRACES_UPLOADED: &str = "serve.traces.uploaded";
+
+/// Submissions shed with `429 queue full` (counter). The serve
+/// integration tests assert this equals the number of observed 429s.
+pub const QUEUE_SHED: &str = "serve.queue.shed";
+
+/// Current bounded-queue depth (gauge, authoritative writer: the queue).
+pub const QUEUE_DEPTH: &str = "serve.queue.depth";
+
+/// Jobs between `begin` and `complete` (gauge, written by the job table).
+pub const JOBS_IN_FLIGHT: &str = "serve.jobs.in_flight";
+
+/// Workers currently executing a job (gauge, written by the worker loop).
+pub const WORKERS_BUSY: &str = "serve.workers.busy";
+
+/// Per-endpoint × status-class request latency histogram name. A closed
+/// match over static literals: unknown paths and statuses collapse into
+/// `other`, so the series set stays bounded no matter what clients send.
+pub fn http_latency(endpoint: &str, status: u16) -> &'static str {
+    macro_rules! by_status {
+        ($e2:literal, $e4:literal, $e5:literal, $eo:literal) => {
+            match status {
+                200..=299 => $e2,
+                400..=499 => $e4,
+                500..=599 => $e5,
+                _ => $eo,
+            }
+        };
+    }
+    match endpoint {
+        "healthz" => by_status!(
+            "serve.http.latency.us{endpoint=\"healthz\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"healthz\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"healthz\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"healthz\",status=\"other\"}"
+        ),
+        "metrics" => by_status!(
+            "serve.http.latency.us{endpoint=\"metrics\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"metrics\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"metrics\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"metrics\",status=\"other\"}"
+        ),
+        "traces" => by_status!(
+            "serve.http.latency.us{endpoint=\"traces\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"traces\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"traces\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"traces\",status=\"other\"}"
+        ),
+        "jobs" => by_status!(
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"other\"}"
+        ),
+        "events" => by_status!(
+            "serve.http.latency.us{endpoint=\"events\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"events\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"events\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"events\",status=\"other\"}"
+        ),
+        "shutdown" => by_status!(
+            "serve.http.latency.us{endpoint=\"shutdown\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"shutdown\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"shutdown\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"shutdown\",status=\"other\"}"
+        ),
+        _ => by_status!(
+            "serve.http.latency.us{endpoint=\"other\",status=\"2xx\"}",
+            "serve.http.latency.us{endpoint=\"other\",status=\"4xx\"}",
+            "serve.http.latency.us{endpoint=\"other\",status=\"5xx\"}",
+            "serve.http.latency.us{endpoint=\"other\",status=\"other\"}"
+        ),
+    }
+}
+
+/// Map a request path onto its endpoint class for [`http_latency`].
+pub fn endpoint_class(segments: &[&str]) -> &'static str {
+    match segments {
+        ["healthz"] => "healthz",
+        ["metrics"] | ["api", "v1", "metrics"] => "metrics",
+        ["api", "v1", "traces", ..] => "traces",
+        ["api", "v1", "jobs", ..] => "jobs",
+        ["api", "v1", "events"] => "events",
+        ["api", "v1", "shutdown"] => "shutdown",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_names_are_closed_over_endpoint_and_status() {
+        assert_eq!(
+            http_latency("jobs", 202),
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"2xx\"}"
+        );
+        assert_eq!(
+            http_latency("jobs", 429),
+            "serve.http.latency.us{endpoint=\"jobs\",status=\"4xx\"}"
+        );
+        assert_eq!(
+            http_latency("nope", 500),
+            "serve.http.latency.us{endpoint=\"other\",status=\"5xx\"}"
+        );
+        assert_eq!(
+            http_latency("healthz", 101),
+            "serve.http.latency.us{endpoint=\"healthz\",status=\"other\"}"
+        );
+    }
+
+    #[test]
+    fn endpoint_classes_cover_the_rest_surface() {
+        assert_eq!(endpoint_class(&["healthz"]), "healthz");
+        assert_eq!(endpoint_class(&["metrics"]), "metrics");
+        assert_eq!(endpoint_class(&["api", "v1", "metrics"]), "metrics");
+        assert_eq!(endpoint_class(&["api", "v1", "jobs", "j-1"]), "jobs");
+        assert_eq!(endpoint_class(&["api", "v1", "traces"]), "traces");
+        assert_eq!(endpoint_class(&["api", "v1", "events"]), "events");
+        assert_eq!(endpoint_class(&["api", "v1", "shutdown"]), "shutdown");
+        assert_eq!(endpoint_class(&["favicon.ico"]), "other");
+    }
+}

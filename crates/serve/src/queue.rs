@@ -7,6 +7,7 @@
 //! they drain whatever is still queued before exiting — which is exactly
 //! the drain protocol's "finish queued work" phase.
 
+use diffaudit_obs as obs;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -41,6 +42,7 @@ pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    depth_gauge: Option<&'static str>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -53,6 +55,21 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            depth_gauge: None,
+        }
+    }
+
+    /// Publish the queue depth as global gauge `name` on every push/pop.
+    /// The queue is the gauge's single authoritative writer (it uses the
+    /// `set` form), so the reading is exact, never a drifting delta.
+    pub fn with_depth_gauge(mut self, name: &'static str) -> BoundedQueue<T> {
+        self.depth_gauge = Some(name);
+        self
+    }
+
+    fn publish_depth(&self, depth: usize) {
+        if let Some(name) = self.depth_gauge {
+            obs::gauge_set(name, depth as i64);
         }
     }
 
@@ -76,6 +93,7 @@ impl<T> BoundedQueue<T> {
         state.items.push_back(item);
         let depth = state.items.len();
         drop(state);
+        self.publish_depth(depth);
         self.available.notify_one();
         Ok(depth)
     }
@@ -86,6 +104,9 @@ impl<T> BoundedQueue<T> {
         let mut state = self.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
+                let depth = state.items.len();
+                drop(state);
+                self.publish_depth(depth);
                 return Some(item);
             }
             if state.closed {
@@ -141,6 +162,31 @@ mod tests {
         assert_eq!(q.pop(), Some('a'));
         assert_eq!(q.pop(), Some('b'));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_push_and_pop() {
+        // Name unique to this test: the global recorder is shared across
+        // the test binary.
+        let q = BoundedQueue::new(2).with_depth_gauge("serve.queue.test.depth");
+        let gauge = |name| {
+            obs::snapshot()
+                .metrics
+                .gauge(name)
+                .map(|g| g.value())
+                .unwrap_or(-1)
+        };
+        q.try_push('a').expect("room");
+        assert_eq!(gauge("serve.queue.test.depth"), 1);
+        q.try_push('b').expect("room");
+        assert_eq!(gauge("serve.queue.test.depth"), 2);
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(gauge("serve.queue.test.depth"), 1);
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(gauge("serve.queue.test.depth"), 0);
+        let snap = obs::snapshot();
+        let watermark = snap.metrics.gauge("serve.queue.test.depth").expect("gauge");
+        assert_eq!(watermark.max(), Some(2));
     }
 
     #[test]

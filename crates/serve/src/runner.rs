@@ -175,10 +175,13 @@ pub fn run_job(request: JobRequest, token: CancelToken, threads: usize) -> JobOu
     // Mirror the ledger into the job's metrics, same counters as the CLI.
     for (stage, counts) in ledger.merged().stages() {
         let label = stage.label();
+        // lint:allow(metric-discipline): `salvage.<stage>.*` is a closed
+        // family — `stage` ranges over the ledger's fixed stage enum.
         scope.add(
             &format!("{}{label}.processed", diffaudit_obs::SALVAGE_PREFIX),
             counts.processed,
         );
+        // lint:allow(metric-discipline): closed family, same as above.
         scope.add(
             &format!("{}{label}.dropped", diffaudit_obs::SALVAGE_PREFIX),
             counts.dropped,

@@ -19,9 +19,16 @@
 //! | GET | `/jobs/<id>` | one job's status |
 //! | GET | `/jobs/<id>/result` | audit JSON; HTTP status mirrors the exit contract |
 //! | GET | `/jobs/<id>/report` | text run report |
-//! | GET | `/metrics` | global metrics snapshot |
+//! | GET | `/metrics` | global metrics snapshot (JSON) |
+//! | GET | `/events?since` | retained warn/error ring, for live tailing |
 //! | GET | `/healthz` | liveness + queue depth |
 //! | POST | `/shutdown` | begin graceful drain |
+//!
+//! Outside the `/api/v1` prefix, `GET /metrics` serves the same registry
+//! in Prometheus text exposition format (counters, gauges, histogram
+//! buckets), and every routed request feeds per-endpoint × status-class
+//! latency histograms plus queue/in-flight/busy gauges (see
+//! [`crate::names`]).
 //!
 //! ## Drain protocol
 //!
@@ -41,6 +48,7 @@
 use crate::config::ServeConfig;
 use crate::http::{self, HttpError, Request, Response};
 use crate::job::{JobCompletion, JobPhase, JobRecord, JobTable, JobView};
+use crate::names;
 use crate::queue::{BoundedQueue, PushError};
 use crate::runner::{self, ChaosMode, JobRequest};
 use diffaudit::loader::{MemoryArtifact, MemoryService, MemoryUnit};
@@ -117,7 +125,7 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: BoundedQueue::new(config.queue_capacity).with_depth_gauge(names::QUEUE_DEPTH),
             config,
             traces: Mutex::new(HashMap::new()),
             jobs: JobTable::new(),
@@ -217,9 +225,16 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         };
         let threads = shared.config.threads_per_job.max(1);
+        // The busy gauge brackets the catch_unwind region from outside:
+        // instrumentation must stay out of the unwind-contained job body
+        // (the par-discipline pass enforces this), and decrementing before
+        // the completion write means a terminal phase always implies the
+        // worker is already accounted free.
+        obs::gauge_add(names::WORKERS_BUSY, 1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             runner::run_job(request, token, threads)
         }));
+        obs::gauge_sub(names::WORKERS_BUSY, 1);
         match outcome {
             Ok(output) => {
                 // The one sanctioned join point: the job is over, its
@@ -227,12 +242,12 @@ fn worker_loop(shared: &Arc<Shared>) {
                 if let Some(snapshot) = output.metrics {
                     obs::global().merge(snapshot.metrics);
                 }
-                obs::add("serve.jobs.finished", 1);
+                obs::add(names::JOBS_FINISHED, 1);
                 shared.jobs.complete(&id, output.completion);
             }
             Err(payload) => {
                 let reason = panic_message(payload.as_ref());
-                obs::add("serve.jobs.panicked", 1);
+                obs::add(names::JOBS_PANICKED, 1);
                 obs::warn(
                     "job panicked; worker contained it",
                     &[
@@ -280,12 +295,38 @@ fn transport_error_response(error: &HttpError) -> Response {
 
 // ------------------------------------------------------------- routing
 
+/// Route one request, wrapped in per-request instrumentation: an access
+/// span, the request counters (total + sliding window), and the
+/// per-endpoint × status-class latency histograms. Endpoint and status
+/// both come from closed matches in [`names`], so the series set is
+/// bounded no matter what clients send.
 fn route(shared: &Arc<Shared>, request: &Request) -> Response {
-    obs::add("serve.http.requests", 1);
+    let _span = obs::span(names::HTTP_SPAN);
+    let started = Instant::now();
     let path = request.path().to_string();
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
-    match (request.method.as_str(), segments.as_slice()) {
+    let endpoint = names::endpoint_class(&segments);
+    let response = dispatch(shared, request, &segments);
+    let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    obs::add(names::HTTP_REQUESTS, 1);
+    obs::window_add(names::HTTP_REQUESTS_WINDOW, 1);
+    obs::observe(
+        names::http_latency(endpoint, response.status),
+        &obs::LATENCY_US_BOUNDS,
+        elapsed_us,
+    );
+    obs::window_observe(
+        names::HTTP_LATENCY_WINDOW,
+        &obs::LATENCY_US_BOUNDS,
+        elapsed_us,
+    );
+    response
+}
+
+fn dispatch(shared: &Arc<Shared>, request: &Request, segments: &[&str]) -> Response {
+    match (request.method.as_str(), segments) {
         ("GET", ["healthz"]) => health(shared),
+        ("GET", ["metrics"]) => Response::exposition(obs::render_exposition(&obs::snapshot())),
         ("POST", ["api", "v1", "traces"]) => upload_trace(shared, request),
         ("POST", ["api", "v1", "traces", id, "keylog"]) => attach_keylog(shared, id, request),
         ("POST", ["api", "v1", "jobs"]) => submit_job(shared, request),
@@ -296,14 +337,37 @@ fn route(shared: &Arc<Shared>, request: &Request) -> Response {
         ("GET", ["api", "v1", "metrics"]) => {
             Response::json(200, obs::snapshot().to_json().to_pretty_string())
         }
+        ("GET", ["api", "v1", "events"]) => events(request),
         ("POST", ["api", "v1", "shutdown"]) => shutdown(shared),
         (_, ["healthz"])
+        | (_, ["metrics"])
         | (_, ["api", "v1", "traces", ..])
         | (_, ["api", "v1", "jobs", ..])
         | (_, ["api", "v1", "metrics"])
+        | (_, ["api", "v1", "events"])
         | (_, ["api", "v1", "shutdown"]) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such endpoint"),
     }
+}
+
+/// `GET /api/v1/events?since=<cursor>`: the retained warn/error event
+/// ring, for `diffaudit obs tail`. The cursor is the ring sequence of the
+/// newest event returned; pass it back to receive only newer events.
+fn events(request: &Request) -> Response {
+    let since = request
+        .query_param("since")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let events = obs::events_since(since);
+    let cursor = events.last().map(|e| e.seq).unwrap_or(since);
+    let doc = Json::obj()
+        .with("schema", Json::str("diffaudit-events/v1"))
+        .with("cursor", Json::int(cursor as i64))
+        .with(
+            "events",
+            Json::Arr(events.iter().map(obs::RingEvent::to_json).collect()),
+        );
+    Response::json(200, doc.to_pretty_string())
 }
 
 fn health(shared: &Arc<Shared>) -> Response {
@@ -420,7 +484,7 @@ fn upload_trace(shared: &Arc<Shared>, request: &Request) -> Response {
             artifact,
         },
     );
-    obs::add("serve.traces.uploaded", 1);
+    obs::add(names::TRACES_UPLOADED, 1);
     let doc = Json::obj()
         .with("traceId", Json::str(id))
         .with("format", Json::str(format))
@@ -576,7 +640,7 @@ fn submit_job(shared: &Arc<Shared>, request: &Request) -> Response {
         request: job_request,
     }) {
         Ok(depth) => {
-            obs::add("serve.jobs.submitted", 1);
+            obs::add(names::JOBS_SUBMITTED, 1);
             let doc = Json::obj()
                 .with("jobId", Json::str(id))
                 .with("queueDepth", Json::int(depth as i64));
@@ -584,7 +648,7 @@ fn submit_job(shared: &Arc<Shared>, request: &Request) -> Response {
         }
         Err(PushError::Full) => {
             shared.jobs.remove(&id);
-            obs::add("serve.queue.rejected", 1);
+            obs::add(names::QUEUE_SHED, 1);
             Response::error(429, "queue full")
         }
         Err(PushError::Closed) => {

@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> diffaudit-analyzer (7 lint passes, ratcheted against analyzer_baseline.json)"
+echo "==> diffaudit-analyzer (8 lint passes, ratcheted against analyzer_baseline.json)"
 an_tmp="$(mktemp -d)"
 obs_tmp=""
 trap 'rm -rf "$an_tmp" "$obs_tmp"' EXIT
@@ -106,9 +106,14 @@ if [ -z "$serve_addr" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
-# The smoke driver uploads a HAR, polls the job to completion, fetches the
-# run report, then POSTs /api/v1/shutdown.
-./target/release/serve_load --mode smoke --target "$serve_addr" --scale 0.02
+# The smoke driver uploads a HAR, fires a small job burst, scrapes
+# /metrics mid-job (exposition must parse, queue-depth gauge must go
+# nonzero), polls every job to completion, and fetches the run report —
+# but leaves the daemon up so we can exercise the live views against it.
+./target/release/serve_load --mode smoke-keep --target "$serve_addr" --scale 0.02
+# The live dashboard must render one frame from the still-running daemon.
+./target/release/diffaudit obs top --once "$serve_addr"
+./target/release/serve_load --mode shutdown --target "$serve_addr"
 # After shutdown the daemon must drain and exit 0 — non-zero means an
 # in-flight job was orphaned past the drain deadline.
 if ! wait "$serve_pid"; then
@@ -116,5 +121,21 @@ if ! wait "$serve_pid"; then
     cat "$obs_tmp/serve.err" >&2 || true
     exit 1
 fi
+
+echo "==> serve bench vs BENCH_serve.json (advisory: exit 2 warns, exit 1 fails)"
+./target/release/serve_load --scale 0.02 --out "$obs_tmp/current_serve.json"
+set +e
+# p90 gate: 1-CPU runners jitter end-to-end job latency heavily, so only
+# growth past both the 75% ratio and a 2s absolute floor counts; the
+# shed429 count is deterministic under the fixed seed and must match.
+./target/release/serve_load --mode diff \
+    --baseline BENCH_serve.json --current "$obs_tmp/current_serve.json"
+serve_diff_status=$?
+set -e
+case "$serve_diff_status" in
+    0) ;;
+    2) echo "WARNING: serve bench regressed vs BENCH_serve.json (advisory only)" ;;
+    *) echo "serve bench diff failed (exit $serve_diff_status)"; exit 1 ;;
+esac
 
 echo "All checks passed."

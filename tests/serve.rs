@@ -353,6 +353,23 @@ fn submission_burst_beyond_queue_capacity_sheds_with_429() {
         "the queue must still admit jobs, got {accepted}"
     );
 
+    // Server-side shed accounting must equal the client's observed 429s.
+    // Asserting on the shared in-process global recorder is safe here
+    // because this is the only in-process test that sheds load.
+    let (status, text) =
+        client::request_text(&addr, "GET", "/api/v1/metrics", &[]).expect("metrics");
+    assert_eq!(status, 200);
+    let counted = diffaudit_json::parse(&text)
+        .expect("metrics JSON")
+        .get("counters")
+        .and_then(|c| c.get("serve.queue.shed"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert_eq!(
+        counted as usize, shed,
+        "serve.queue.shed must count exactly the observed 429s"
+    );
+
     // Every accepted job reaches a terminal state; shed ones left no record.
     let (status, text) = client::request_text(&addr, "GET", "/api/v1/jobs", &[]).expect("list");
     assert_eq!(status, 200);
@@ -603,6 +620,224 @@ fn malformed_requests_get_4xx_and_never_kill_the_daemon() {
 
     let exit = shutdown_and_join(&addr, handle);
     assert_eq!(exit.orphaned, 0);
+}
+
+// ------------------------------------------- live telemetry (subprocess)
+
+/// One parsed exposition sample: the full series key (base name plus its
+/// literal label block, if any) and the value.
+struct ExpoSample {
+    series: String,
+    value: f64,
+}
+
+/// A deliberately independent, minimal Prometheus text-format parser —
+/// NOT the `diffaudit_obs::parse_exposition` the CLI uses — so the wire
+/// format itself is under test, not just round-tripping through one
+/// implementation.
+fn parse_expo_lines(text: &str) -> Vec<ExpoSample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("exposition line has no value separator: {line:?}");
+        });
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+        samples.push(ExpoSample {
+            series: series.to_string(),
+            value,
+        });
+    }
+    samples
+}
+
+fn expo_value(samples: &[ExpoSample], series: &str) -> Option<f64> {
+    samples.iter().find(|s| s.series == series).map(|s| s.value)
+}
+
+/// The live-telemetry contract, exercised against a daemon subprocess (a
+/// subprocess because the assertions need a recorder this test binary's
+/// other tests cannot touch): `GET /metrics` parses under concurrent
+/// scraping while clean, damaged, and stalled jobs run; `_total` counters
+/// never move backwards; the queue-depth gauge goes nonzero under load
+/// and every lifecycle gauge returns to zero once the jobs drain; and the
+/// scraped clean job's result stays byte-identical to the batch CLI.
+#[test]
+fn metrics_exposition_stays_consistent_under_concurrent_scraping() {
+    use std::io::BufRead;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_diffaudit"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--queue",
+            "8",
+            "--workers",
+            "1",
+            "--chaos",
+            "--log-level",
+            "error",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon subprocess");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let clean = dataset_service("duolingo");
+    let damaged = dataset_service("tiktok");
+    let clean_ids = upload_service(&addr, &clean, false);
+    let damaged_ids = upload_service(&addr, &damaged, true);
+
+    // One worker: the stalled job pins it for its 800ms deadline while
+    // the clean and damaged jobs queue behind — the scraper below must
+    // observe a nonzero queue-depth gauge in that window.
+    let stalled_job = submit(
+        &addr,
+        &job_body(
+            &clean,
+            &clean_ids,
+            &[
+                ("chaos", Json::str("stall-decode")),
+                ("deadlineMs", Json::int(800)),
+            ],
+        ),
+    );
+    let clean_job = submit(&addr, &job_body(&clean, &clean_ids, &[]));
+    let damaged_job = submit(&addr, &job_body(&damaged, &damaged_ids, &[]));
+
+    let stop = AtomicBool::new(false);
+    let (max_depth, scrapes) = std::thread::scope(|scope| {
+        let scraper = scope.spawn(|| {
+            let mut last_totals: std::collections::HashMap<String, f64> =
+                std::collections::HashMap::new();
+            let mut max_depth: f64 = 0.0;
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let (status, body) =
+                    client::request_text(&addr, "GET", "/metrics", &[]).expect("scrape");
+                assert_eq!(status, 200);
+                let samples = parse_expo_lines(&body);
+                assert!(
+                    expo_value(&samples, "diffaudit_uptime_seconds").is_some(),
+                    "exposition must carry the uptime gauge"
+                );
+                for sample in &samples {
+                    let base = sample.series.split('{').next().unwrap_or("");
+                    if !base.ends_with("_total") {
+                        continue;
+                    }
+                    if let Some(previous) = last_totals.get(&sample.series) {
+                        assert!(
+                            sample.value >= *previous,
+                            "counter {} moved backwards: {} -> {}",
+                            sample.series,
+                            previous,
+                            sample.value
+                        );
+                    }
+                    last_totals.insert(sample.series.clone(), sample.value);
+                }
+                if let Some(depth) = expo_value(&samples, "serve_queue_depth") {
+                    max_depth = max_depth.max(depth);
+                }
+                scrapes += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            (max_depth, scrapes)
+        });
+
+        let stalled_view = poll_to_terminal(&addr, &stalled_job);
+        assert_eq!(
+            stalled_view.get("state").and_then(Json::as_str),
+            Some("salvaged")
+        );
+        let clean_view = poll_to_terminal(&addr, &clean_job);
+        assert_eq!(
+            clean_view.get("state").and_then(Json::as_str),
+            Some("clean")
+        );
+        let damaged_view = poll_to_terminal(&addr, &damaged_job);
+        assert_eq!(
+            damaged_view.get("state").and_then(Json::as_str),
+            Some("salvaged")
+        );
+        stop.store(true, Ordering::SeqCst);
+        scraper.join().expect("scraper must not panic")
+    });
+    assert!(scrapes >= 10, "expected sustained scraping, got {scrapes}");
+    assert!(
+        max_depth >= 1.0,
+        "queue-depth gauge never went nonzero while jobs were queued"
+    );
+
+    // All jobs terminal: every lifecycle gauge must be back at zero (the
+    // busy-worker gauge decrements before the terminal phase is written,
+    // so terminal phases imply the worker is already accounted free).
+    let (status, body) = client::request_text(&addr, "GET", "/metrics", &[]).expect("scrape");
+    assert_eq!(status, 200);
+    let samples = parse_expo_lines(&body);
+    for gauge in [
+        "serve_queue_depth",
+        "serve_jobs_in_flight",
+        "serve_workers_busy",
+    ] {
+        assert_eq!(
+            expo_value(&samples, gauge),
+            Some(0.0),
+            "{gauge} must return to zero after the jobs drain"
+        );
+    }
+
+    // Concurrent scraping must not perturb job results: the clean job's
+    // document is byte-identical to the batch CLI on the same artifacts.
+    let root = std::env::temp_dir().join(format!("diffaudit-serve-scrape-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("temp dir");
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 21,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.0,
+        services: vec!["duolingo".into()],
+    });
+    let dirs: Vec<PathBuf> =
+        diffaudit::loader::write_dataset(&dataset, &root).expect("write dataset");
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_diffaudit"))
+        .arg("audit")
+        .arg(&dirs[0])
+        .args(["--format", "json", "--log-level", "error"])
+        .output()
+        .expect("run batch CLI");
+    assert_eq!(output.status.code(), Some(0));
+    let cli_doc = String::from_utf8(output.stdout).expect("CLI output UTF-8");
+    let (status, daemon_doc) = fetch_result(&addr, &clean_job);
+    assert_eq!(status, 200);
+    assert_eq!(
+        daemon_doc, cli_doc,
+        "scraping must not perturb the audit document"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+
+    let (status, _) =
+        client::request_text(&addr, "POST", "/api/v1/shutdown", &[]).expect("shutdown");
+    assert_eq!(status, 202);
+    let exit = child.wait().expect("daemon exit");
+    assert_eq!(exit.code(), Some(0), "daemon must drain cleanly");
 }
 
 /// `/result` on a queued or running job answers 409 with the current
