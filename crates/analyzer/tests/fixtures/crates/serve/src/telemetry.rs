@@ -2,7 +2,9 @@
 //! recording call site. Each dynamic name below mints unbounded series
 //! cardinality on the `/metrics` exposition — the pass must flag the
 //! `format!` counter, the `.to_string()` span, and the `String::from`
-//! gauge, while leaving the literal and registry-constant sites alone.
+//! gauge, while leaving the literal and registry-constant sites alone
+//! (including the resource-profiling byte counters and the process
+//! RSS/CPU gauges, which always record under fixed names).
 
 fn record_request(endpoint: &str, user: &str) {
     diffaudit_obs::add(&format!("serve.http.requests.{endpoint}"), 1);
@@ -13,4 +15,13 @@ fn record_request(endpoint: &str, user: &str) {
 fn record_static(depth: i64) {
     obs::add("serve.http.requests", 1);
     obs::gauge_set(names::QUEUE_DEPTH, depth);
+}
+
+fn record_resources(rss: i64, cpu_us: i64, har_len: u64) {
+    // Resource series record through registry constants or fixed
+    // literals only — none of these may trip the pass.
+    obs::gauge_set(names::PROCESS_RSS, rss);
+    obs::gauge_set(diffaudit_obs::res::PROCESS_CPU_US_GAUGE, cpu_us);
+    diffaudit_obs::add("nettrace.decode.har.bytes.in", har_len);
+    obs::add("loader.unit.bytes.in", har_len);
 }

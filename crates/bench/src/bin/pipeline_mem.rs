@@ -1,0 +1,71 @@
+//! Emits a `diffaudit-obs/v1` metrics snapshot with resource profiling
+//! enabled for a full ensemble pipeline run — the producer of the committed
+//! `BENCH_mem.json` max-RSS baseline that `diffaudit obs diff
+//! --fail-rss-over` checks as an advisory step in `scripts/check.sh`.
+//!
+//! Usage: `pipeline_mem [--scale <f64>] [--seed <u64>] [--sample-ms <u64>]
+//! [--out <path>]`. Without `--out` the snapshot JSON goes to stdout. On a
+//! box without `/proc` (non-Linux) the run still completes and the snapshot
+//! simply carries no `resources` section — `obs diff` then reports the
+//! resource gate as informational, so the baseline check degrades instead
+//! of failing.
+
+use diffaudit_bench::{ensemble_outcome, standard_dataset, BenchArgs};
+use diffaudit_obs as obs;
+use std::time::Duration;
+
+fn main() {
+    let (args, extra) = BenchArgs::parse_extra(&["--out", "--sample-ms"]);
+    let mut extra = extra.into_iter();
+    let out = extra.next().flatten();
+    let sample_ms: u64 = extra
+        .next()
+        .flatten()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    if !obs::enable_resources(Duration::from_millis(sample_ms.max(1))) {
+        obs::warn(
+            "[pipeline_mem] /proc unavailable; snapshot will carry no resource samples",
+            &[],
+        );
+    }
+
+    args.announce("[pipeline_mem] generating dataset");
+    let dataset = {
+        let _span = obs::span("bench.generate");
+        standard_dataset(&args)
+    };
+
+    obs::info("[pipeline_mem] running ensemble pipeline", &[]);
+    let outcome = {
+        let _span = obs::span("bench.pipeline");
+        ensemble_outcome(&args, &dataset, args.seed)
+    };
+    obs::add("bench.services", outcome.services.len() as u64);
+    obs::add(
+        "bench.units",
+        outcome.services.iter().map(|s| s.units.len() as u64).sum(),
+    );
+
+    let doc = obs::snapshot().to_json().to_pretty_string();
+    match out {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, format!("{doc}\n")) {
+                obs::error(
+                    "[pipeline_mem] cannot write snapshot",
+                    &[
+                        obs::field("path", path.as_str()),
+                        obs::field("error", err.to_string()),
+                    ],
+                );
+                std::process::exit(1);
+            }
+            obs::info(
+                "[pipeline_mem] snapshot written",
+                &[obs::field("path", path.as_str())],
+            );
+        }
+        None => println!("{doc}"),
+    }
+}

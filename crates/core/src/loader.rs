@@ -199,13 +199,17 @@ fn read_manifest(dir: &Path) -> Result<Manifest, LoadError> {
 /// `None`, any damage is a hard error (the pre-salvage behaviour). The
 /// salvage decoders check `ctl` between records, so an expired deadline or
 /// a cancelled job surfaces as [`LoadError::Interrupted`] for this unit.
+///
+/// The second tuple element is the number of artifact bytes read from disk
+/// (HAR text, or pcap container plus key log) — the caller accounts it as
+/// `loader.unit.bytes.in` for the resource profiler.
 fn load_unit(
     dir: &Path,
     entry: &Json,
     index: usize,
     mut salvage: Option<&mut SalvageLog>,
     ctl: &Ctl,
-) -> Result<LoadedUnit, LoadError> {
+) -> Result<(LoadedUnit, u64), LoadError> {
     let ctx = format!("units[{index}]");
     let file = str_field(entry, "file", &ctx)?;
     let platform = parse_platform(str_field(entry, "platform", &ctx)?)?;
@@ -223,22 +227,27 @@ fn load_unit(
                 .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?,
         };
         let n = exchanges.len();
-        Ok(LoadedUnit {
-            platform,
-            kind,
-            category,
-            exchanges,
-            opaque_snis: Vec::new(),
-            packet_count: n,
-            flow_count: n,
-        })
+        Ok((
+            LoadedUnit {
+                platform,
+                kind,
+                category,
+                exchanges,
+                opaque_snis: Vec::new(),
+                packet_count: n,
+                flow_count: n,
+            },
+            text.len() as u64,
+        ))
     } else if file.ends_with(".pcap") || file.ends_with(".pcapng") {
         let bytes = std::fs::read(&path).map_err(|e| LoadError::Io(path.clone(), e))?;
+        let mut in_bytes = bytes.len() as u64;
         let keylog = match entry.get("keylog").and_then(Json::as_str) {
             Some(keylog_file) => {
                 let keylog_path = dir.join(keylog_file);
                 let text = std::fs::read_to_string(&keylog_path)
                     .map_err(|e| LoadError::Io(keylog_path.clone(), e))?;
+                in_bytes += text.len() as u64;
                 match salvage.as_deref_mut() {
                     Some(log) => KeyLog::parse_salvage(&text, log),
                     None => KeyLog::parse(&text),
@@ -256,15 +265,18 @@ fn load_unit(
             None => decode_auto(&bytes, &keylog)
                 .map_err(|e| LoadError::Artifact(path.clone(), e.to_string()))?,
         };
-        Ok(LoadedUnit {
-            platform,
-            kind,
-            category,
-            exchanges: decoded.exchanges,
-            opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
-            packet_count: decoded.packet_count,
-            flow_count: decoded.flow_count,
-        })
+        Ok((
+            LoadedUnit {
+                platform,
+                kind,
+                category,
+                exchanges: decoded.exchanges,
+                opaque_snis: decoded.opaque.into_iter().filter_map(|o| o.sni).collect(),
+                packet_count: decoded.packet_count,
+                flow_count: decoded.flow_count,
+            },
+            in_bytes,
+        ))
     } else {
         Err(shape_error(format!(
             "{ctx}: file {file:?} must end in .har, .pcap, or .pcapng"
@@ -300,9 +312,10 @@ fn load_unit_salvage(
         Ok(()) => load_unit(dir, entry, index, Some(&mut log), ctl),
     });
     let result = match outcome {
-        Ok(unit) => {
+        Ok((unit, in_bytes)) => {
             log.ok(Stage::Unit);
             recorder.add("loader.units.loaded", 1);
+            recorder.add("loader.unit.bytes.in", in_bytes);
             recorder.observe(
                 "loader.unit.exchanges",
                 &diffaudit_obs::RECORD_BOUNDS,
@@ -329,10 +342,10 @@ pub fn load_capture_dir(dir: &Path) -> Result<ServiceInput, LoadError> {
     let ctl = Ctl::unbounded();
     let mut units = Vec::with_capacity(manifest.unit_entries.len());
     for (i, entry) in manifest.unit_entries.iter().enumerate() {
-        units.push(
-            load_unit(dir, entry, i, None, &ctl)
-                .map_err(|e| e.with_manifest_path(&manifest.path))?,
-        );
+        let (unit, in_bytes) = load_unit(dir, entry, i, None, &ctl)
+            .map_err(|e| e.with_manifest_path(&manifest.path))?;
+        diffaudit_obs::add("loader.unit.bytes.in", in_bytes);
+        units.push(unit);
     }
     Ok(ServiceInput {
         name: manifest.name,
@@ -520,6 +533,12 @@ fn load_memory_unit(
         artifact,
     } = unit;
     let mut log = SalvageLog::new();
+    let in_bytes = match &artifact {
+        MemoryArtifact::Har(text) => text.len() as u64,
+        MemoryArtifact::Capture { bytes, keylog } => {
+            bytes.len() as u64 + keylog.as_ref().map_or(0, |k| k.len() as u64)
+        }
+    };
     let outcome = recorder.time("loader.unit", || match ctl.check() {
         Err(i) => Err(format!("{i} (while loading {label})")),
         Ok(()) => match &artifact {
@@ -566,6 +585,7 @@ fn load_memory_unit(
         Ok(unit) => {
             log.ok(Stage::Unit);
             recorder.add("loader.units.loaded", 1);
+            recorder.add("loader.unit.bytes.in", in_bytes);
             recorder.observe(
                 "loader.unit.exchanges",
                 &diffaudit_obs::RECORD_BOUNDS,

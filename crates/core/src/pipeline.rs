@@ -217,6 +217,8 @@ impl Pipeline {
             &unit_refs,
             UnitCtx::new,
             |ctx, _, artifact| {
+                ctx.recorder
+                    .add("pipeline.decode.bytes.in", artifact_bytes(artifact));
                 let unit = ctx.recorder.time("pipeline.unit.decode", || {
                     decode_artifact(artifact, &interner)
                 });
@@ -325,6 +327,8 @@ impl Pipeline {
                 ctl,
                 UnitCtx::new,
                 |ctx, _, unit| {
+                    ctx.recorder
+                        .add("pipeline.extract.bytes.in", unit_bytes(&unit));
                     let unit = ctx
                         .recorder
                         .time("pipeline.unit.extract", || extract_unit(unit, &interner));
@@ -552,6 +556,22 @@ impl KeyBatch {
         };
         (keys, self.occurrences.into_inner())
     }
+}
+
+/// Logical size of one generated artifact: the bytes the decode stage
+/// actually reads (HAR text, pcap container, TLS key log). Feeds the
+/// `pipeline.decode.bytes.in` counter the resource profiler derives
+/// stage throughput from.
+fn artifact_bytes(artifact: &diffaudit_services::TraceArtifact) -> u64 {
+    artifact.har.as_ref().map_or(0, |h| h.len() as u64)
+        + artifact.pcap.as_ref().map_or(0, |p| p.len() as u64)
+        + artifact.keylog.as_ref().map_or(0, |k| k.len() as u64)
+}
+
+/// Logical size of one decoded unit: the exchange payloads the extract
+/// stage walks (`pipeline.extract.bytes.in`).
+fn unit_bytes(unit: &LoadedUnit) -> u64 {
+    unit.exchanges.iter().map(Exchange::logical_bytes).sum()
 }
 
 /// Extract sorted, deduplicated raw keys from every outgoing request of a

@@ -466,6 +466,7 @@ pub fn decode_pcap_salvage_ctl(
     ctl: &Ctl,
 ) -> Result<DecodedTrace, DecodeError> {
     let _span = diffaudit_obs::span("nettrace.decode.pcap");
+    diffaudit_obs::add("nettrace.decode.pcap.bytes.in", pcap_bytes.len() as u64);
     diffaudit_obs::observe(
         "nettrace.capture.bytes",
         &diffaudit_obs::BYTE_BOUNDS,
@@ -496,6 +497,7 @@ pub fn decode_auto_salvage_ctl(
 ) -> Result<DecodedTrace, DecodeError> {
     if crate::pcapng::PcapngReader::sniff(bytes) {
         let _span = diffaudit_obs::span("nettrace.decode.pcapng");
+        diffaudit_obs::add("nettrace.decode.pcapng.bytes.in", bytes.len() as u64);
         diffaudit_obs::observe(
             "nettrace.capture.bytes",
             &diffaudit_obs::BYTE_BOUNDS,
@@ -530,6 +532,10 @@ fn decode_packets_salvage_ctl(
     ctl: &Ctl,
 ) -> Result<DecodedTrace, DecodeError> {
     let _span = diffaudit_obs::span("nettrace.reassemble");
+    diffaudit_obs::add(
+        "nettrace.reassemble.bytes.in",
+        packets.iter().map(|p| p.data.len() as u64).sum(),
+    );
     let packet_count = packets.len();
     let mut table = FlowTable::new();
     for (i, packet) in packets.iter().enumerate() {
@@ -653,6 +659,10 @@ fn decode_packets_salvage_ctl(
     diffaudit_obs::add("nettrace.packets", packet_count as u64);
     diffaudit_obs::add("nettrace.flows", table.flow_count() as u64);
     diffaudit_obs::add("nettrace.exchanges", exchanges.len() as u64);
+    diffaudit_obs::add(
+        "nettrace.bytes.retained",
+        exchanges.iter().map(Exchange::logical_bytes).sum(),
+    );
     diffaudit_obs::add("nettrace.flows.opaque", opaque.len() as u64);
     diffaudit_obs::observe(
         "nettrace.exchanges.per-capture",

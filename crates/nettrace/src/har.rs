@@ -386,6 +386,7 @@ pub fn har_to_exchanges_salvage_ctl(
 ) -> Result<Vec<Exchange>, HarError> {
     use crate::salvage::Stage;
     let _span = diffaudit_obs::span("nettrace.decode.har");
+    diffaudit_obs::add("nettrace.decode.har.bytes.in", text.len() as u64);
     diffaudit_obs::observe(
         "nettrace.capture.bytes",
         &diffaudit_obs::BYTE_BOUNDS,
@@ -408,6 +409,10 @@ pub fn har_to_exchanges_salvage_ctl(
         }
     }
     diffaudit_obs::add("nettrace.har.entries", exchanges.len() as u64);
+    diffaudit_obs::add(
+        "nettrace.bytes.retained",
+        exchanges.iter().map(Exchange::logical_bytes).sum(),
+    );
     Ok(exchanges)
 }
 

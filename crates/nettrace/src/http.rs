@@ -354,6 +354,21 @@ pub struct Exchange {
     pub response: HttpResponse,
 }
 
+impl Exchange {
+    /// Logical payload size of the exchange: request and response bodies
+    /// plus header names and values. This is the content measure the
+    /// resource profiler's `*.bytes.retained` counters use — stable across
+    /// wire framings (HAR vs pcap) and allocation-free to compute.
+    pub fn logical_bytes(&self) -> u64 {
+        let headers =
+            |h: &HeaderMap| -> u64 { h.iter().map(|(n, v)| (n.len() + v.len()) as u64).sum() };
+        self.request.body.len() as u64
+            + self.response.body.len() as u64
+            + headers(&self.request.headers)
+            + headers(&self.response.headers)
+    }
+}
+
 /// Find the first occurrence of `needle` in `haystack`.
 pub(crate) fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     if needle.is_empty() || haystack.len() < needle.len() {

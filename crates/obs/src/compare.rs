@@ -23,7 +23,7 @@
 
 use crate::metrics::estimate_quantile;
 use diffaudit_json::Json;
-use diffaudit_util::fmt::format_duration_us;
+use diffaudit_util::fmt::{format_bytes, format_bytes_signed, format_duration_us};
 use std::collections::BTreeMap;
 
 /// The schema string a comparable document must carry.
@@ -99,6 +99,23 @@ pub struct SpanStatsDoc {
     pub max_us: u64,
 }
 
+/// Resource aggregate as stored in a snapshot document. Every field
+/// defaults to zero so documents written before resource profiling
+/// existed (and hand-trimmed baselines) keep parsing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResStatsDoc {
+    /// Completed spans folded in.
+    pub count: u64,
+    /// Highest RSS observed, bytes.
+    pub peak_rss_bytes: u64,
+    /// Net RSS movement, bytes (signed).
+    pub rss_delta_bytes: i64,
+    /// CPU time consumed, microseconds.
+    pub cpu_us: u64,
+    /// Logical bytes processed.
+    pub bytes_in: u64,
+}
+
 /// A parsed `diffaudit-obs/v1` document.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -110,6 +127,8 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramDoc>,
     /// Span aggregates by name.
     pub spans: BTreeMap<String, SpanStatsDoc>,
+    /// Resource aggregates by name (absent in pre-profiling documents).
+    pub resources: BTreeMap<String, ResStatsDoc>,
 }
 
 fn as_u64(json: &Json, what: &str) -> Result<u64, SnapshotError> {
@@ -203,6 +222,20 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, SnapshotError> {
             );
         }
     }
+    if let Some(resources) = json.get("resources").and_then(Json::as_obj) {
+        for (name, r) in resources {
+            snapshot.resources.insert(
+                name.clone(),
+                ResStatsDoc {
+                    count: opt_u64(r.get("count"), "resource count")?.unwrap_or(0),
+                    peak_rss_bytes: opt_u64(r.get("peakRssB"), "resource peakRssB")?.unwrap_or(0),
+                    rss_delta_bytes: r.get("rssDeltaB").and_then(Json::as_i64).unwrap_or(0),
+                    cpu_us: opt_u64(r.get("cpuUs"), "resource cpuUs")?.unwrap_or(0),
+                    bytes_in: opt_u64(r.get("bytesIn"), "resource bytesIn")?.unwrap_or(0),
+                },
+            );
+        }
+    }
     Ok(snapshot)
 }
 
@@ -216,15 +249,24 @@ pub struct DiffOptions {
     /// Absolute growth (µs) a stage must also exceed to regress —
     /// the noise floor that keeps micro-stages from flapping.
     pub noise_floor_us: u64,
+    /// Relative peak-RSS growth (fraction) past which a resource row
+    /// counts as a regression. `None` disables the RSS gate.
+    pub fail_rss_over: Option<f64>,
     /// Relative change below which a delta renders as stable (`~`).
     pub display_tolerance: f64,
 }
+
+/// Absolute peak-RSS growth a row must exceed (on top of the relative
+/// threshold) before it regresses: one allocator arena / page-cache
+/// wobble. Keeps tiny-footprint stages from flapping the gate.
+pub const RSS_NOISE_FLOOR_BYTES: u64 = 4 * 1024 * 1024;
 
 impl Default for DiffOptions {
     fn default() -> Self {
         DiffOptions {
             fail_over: None,
             noise_floor_us: 20_000,
+            fail_rss_over: None,
             display_tolerance: 0.02,
         }
     }
@@ -266,6 +308,23 @@ pub struct StageDelta {
     pub regressed: bool,
 }
 
+/// One peak-RSS comparison row.
+#[derive(Debug, Clone)]
+pub struct ResourceDelta {
+    /// Resource entry name (a stage span, or `process` for the whole run).
+    pub name: String,
+    /// Baseline peak RSS, bytes.
+    pub base_peak: u64,
+    /// Current peak RSS, bytes.
+    pub current_peak: u64,
+    /// `current - base` (signed).
+    pub delta: i64,
+    /// Relative change, `delta / base` (`base == 0` ⇒ `inf` when grown).
+    pub rel: f64,
+    /// Whether this row tripped the RSS gate.
+    pub regressed: bool,
+}
+
 /// One counter comparison row.
 #[derive(Debug, Clone)]
 pub struct CounterDelta {
@@ -300,6 +359,9 @@ pub struct MetricsDiff {
     pub uptime: StageDelta,
     /// Per-stage wall time rows (union of span names, sorted).
     pub stages: Vec<StageDelta>,
+    /// Peak-RSS rows (union of resource entry names, sorted; empty when
+    /// neither document carries resources).
+    pub resources: Vec<ResourceDelta>,
     /// Counter rows (union of names, sorted).
     pub counters: Vec<CounterDelta>,
     /// Histogram percentile shifts (union of names, sorted).
@@ -370,6 +432,48 @@ pub fn diff_snapshots(base: &Snapshot, current: &Snapshot, options: &DiffOptions
         })
         .collect();
 
+    let resource_names: Vec<&String> = {
+        let mut names: Vec<&String> = base
+            .resources
+            .keys()
+            .chain(current.resources.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    let resources: Vec<ResourceDelta> = resource_names
+        .iter()
+        .map(|name| {
+            let base_peak = base.resources.get(*name).map_or(0, |r| r.peak_rss_bytes);
+            let current_peak = current.resources.get(*name).map_or(0, |r| r.peak_rss_bytes);
+            let delta = current_peak as i64 - base_peak as i64;
+            let rel = if base_peak > 0 {
+                delta as f64 / base_peak as f64
+            } else if current_peak > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            // Gate only rows present in BOTH documents: a baseline captured
+            // without profiling (or a brand-new stage) carries no meaningful
+            // peak to compare against.
+            let both = base.resources.contains_key(*name) && current.resources.contains_key(*name);
+            let regressed = match options.fail_rss_over {
+                Some(threshold) => both && rel > threshold && delta > RSS_NOISE_FLOOR_BYTES as i64,
+                None => false,
+            };
+            ResourceDelta {
+                name: (*name).clone(),
+                base_peak,
+                current_peak,
+                delta,
+                rel,
+                regressed,
+            }
+        })
+        .collect();
+
     let counter_names: Vec<&String> = {
         let mut names: Vec<&String> = base
             .counters
@@ -430,6 +534,12 @@ pub fn diff_snapshots(base: &Snapshot, current: &Snapshot, options: &DiffOptions
         .filter(|row| row.regressed)
         .map(|row| row.name.clone())
         .collect();
+    regressions.extend(
+        resources
+            .iter()
+            .filter(|row| row.regressed)
+            .map(|row| format!("rss:{}", row.name)),
+    );
     if !violations.is_empty() {
         regressions.push("conservation".to_string());
     }
@@ -441,6 +551,7 @@ pub fn diff_snapshots(base: &Snapshot, current: &Snapshot, options: &DiffOptions
     MetricsDiff {
         uptime,
         stages,
+        resources,
         counters,
         histograms,
         violations,
@@ -510,6 +621,39 @@ pub fn render_diff(diff: &MetricsDiff, options: &DiffOptions) -> String {
                 format_duration_us(stage.current_us),
                 format_rel(stage.rel, tolerance),
                 if stage.regressed { "FAIL" } else { "" },
+            ));
+        }
+    }
+
+    if !diff.resources.is_empty() {
+        out.push_str("\nresources (peak RSS):\n");
+        if let Some(threshold) = options.fail_rss_over {
+            out.push_str(&format!(
+                "  gate: fail over +{:.0}% peak-RSS growth (noise floor {})\n",
+                threshold * 100.0,
+                format_bytes(RSS_NOISE_FLOOR_BYTES)
+            ));
+        }
+        let name_w = diff
+            .resources
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("entry".len());
+        out.push_str(&format!(
+            "  {:<name_w$}  {:>10}  {:>10}  {:>10}  {:>8}  {:>4}\n",
+            "entry", "base", "current", "delta", "rel", "gate"
+        ));
+        for row in &diff.resources {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>10}  {:>10}  {:>10}  {:>8}  {:>4}\n",
+                row.name,
+                format_bytes(row.base_peak),
+                format_bytes(row.current_peak),
+                format_bytes_signed(row.delta),
+                format_rel(row.rel, tolerance),
+                if row.regressed { "FAIL" } else { "" },
             ));
         }
     }
@@ -711,6 +855,93 @@ mod tests {
         assert!(diff.histograms.iter().any(|h| !h.comparable));
         let text = render_diff(&diff, &DiffOptions::default());
         assert!(text.contains("not comparable"));
+    }
+
+    fn resource_snapshot(peak: u64) -> Snapshot {
+        let mut m = Metrics::new();
+        m.span_done("pipeline.decode", 100_000);
+        m.res_done(
+            "pipeline.decode",
+            &crate::res::SpanResources {
+                peak_rss_bytes: peak,
+                rss_delta_bytes: 1_000,
+                cpu_us: 50_000,
+                bytes_in: 10_000,
+            },
+        );
+        let doc = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 120_000,
+        }
+        .to_json()
+        .to_pretty_string();
+        parse_snapshot(&doc).unwrap()
+    }
+
+    #[test]
+    fn resources_round_trip_through_the_snapshot_document() {
+        let snap = resource_snapshot(64 * 1024 * 1024);
+        let doc = snap.resources.get("pipeline.decode").unwrap();
+        assert_eq!(doc.count, 1);
+        assert_eq!(doc.peak_rss_bytes, 64 * 1024 * 1024);
+        assert_eq!(doc.rss_delta_bytes, 1_000);
+        assert_eq!(doc.cpu_us, 50_000);
+        assert_eq!(doc.bytes_in, 10_000);
+        // Pre-profiling documents (no `resources` key) still parse.
+        let old = parse_snapshot(&sample_snapshot(1)).unwrap();
+        assert!(old.resources.is_empty());
+    }
+
+    #[test]
+    fn rss_gate_fails_real_growth_and_passes_self_diff() {
+        let base = resource_snapshot(64 * 1024 * 1024);
+        let grown = resource_snapshot(128 * 1024 * 1024); // +100%, +64 MiB
+        let options = DiffOptions {
+            fail_rss_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        let diff = diff_snapshots(&base, &grown, &options);
+        assert_eq!(diff.verdict, Verdict::Regressed);
+        assert!(diff
+            .regressions
+            .contains(&"rss:pipeline.decode".to_string()));
+        let text = render_diff(&diff, &options);
+        assert!(text.contains("resources (peak RSS):"));
+        assert!(text.contains("peak-RSS growth"));
+        assert!(text.contains("FAIL"));
+        // Self-diff is clean, and shrinking is never a regression.
+        assert_eq!(diff_snapshots(&base, &base, &options).verdict, Verdict::Ok);
+        assert_eq!(diff_snapshots(&grown, &base, &options).verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn rss_gate_tolerates_noise_and_missing_baselines() {
+        // Growth above the relative threshold but under the 4 MiB absolute
+        // floor must not flap the gate.
+        let base = resource_snapshot(1024 * 1024);
+        let wobble = resource_snapshot(3 * 1024 * 1024); // +200%, but +2 MiB
+        let options = DiffOptions {
+            fail_rss_over: Some(0.5),
+            ..DiffOptions::default()
+        };
+        assert_eq!(
+            diff_snapshots(&base, &wobble, &options).verdict,
+            Verdict::Ok
+        );
+        // A baseline captured without profiling carries nothing to gate on:
+        // informational rows only, verdict ok.
+        let unprofiled = parse_snapshot(&sample_snapshot(1)).unwrap();
+        let profiled = resource_snapshot(256 * 1024 * 1024);
+        let diff = diff_snapshots(&unprofiled, &profiled, &options);
+        assert_eq!(diff.verdict, Verdict::Ok, "{:?}", diff.regressions);
+        assert!(!diff.resources.is_empty());
+        // Without the flag the rows stay informational even for huge growth.
+        let diff = diff_snapshots(
+            &resource_snapshot(1024),
+            &resource_snapshot(u32::MAX as u64),
+            &DiffOptions::default(),
+        );
+        assert_eq!(diff.verdict, Verdict::Ok);
     }
 
     #[test]

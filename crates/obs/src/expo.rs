@@ -148,6 +148,16 @@ pub fn render_exposition(snapshot: &MetricsSnapshot) -> String {
         fam.counter(name, value as f64);
     }
     for (name, gauge) in snapshot.metrics.gauges() {
+        // The sampler keeps process CPU as a µs gauge (registry values are
+        // integers); the exposition re-exports it in the conventional shape
+        // — a monotone counter in seconds, `diffaudit_process_cpu_seconds_total`.
+        if name == crate::res::PROCESS_CPU_US_GAUGE {
+            fam.counter(
+                "diffaudit.process.cpu.seconds",
+                gauge.value().max(0) as f64 / 1e6,
+            );
+            continue;
+        }
         fam.gauge(name, gauge.value() as f64);
     }
     for (name, h) in snapshot.metrics.histograms() {
@@ -565,6 +575,111 @@ mod tests {
         let samples = parse_exposition("m{path=\"a\\\\b\\\"c\"} +Inf\n").expect("parses");
         assert_eq!(samples[0].label("path"), Some("a\\b\"c"));
         assert!(samples[0].value.is_infinite());
+    }
+
+    #[test]
+    fn process_cpu_gauge_re_exports_as_seconds_counter() {
+        let mut m = Metrics::new();
+        m.gauge_set(crate::res::PROCESS_CPU_US_GAUGE, 2_500_000);
+        m.gauge_set(crate::res::PROCESS_RSS_GAUGE, 4096);
+        let text = render_exposition(&snapshot(m));
+        // CPU: counter family in float seconds, conventional name.
+        assert!(
+            text.contains("# TYPE diffaudit_process_cpu_seconds_total counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\ndiffaudit_process_cpu_seconds_total 2.5\n"),
+            "{text}"
+        );
+        // The raw µs gauge does not leak out alongside it.
+        assert!(!text.contains("diffaudit_process_cpu_us"), "{text}");
+        // RSS: plain gauge, name sanitized as-is.
+        assert!(text.contains("# TYPE diffaudit_process_resident_bytes gauge\n"));
+        assert!(text.contains("\ndiffaudit_process_resident_bytes 4096\n"));
+    }
+
+    /// Reconstruct the exposition line a sample came from.
+    fn line_of(sample: &Sample) -> String {
+        let labels = sample
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let name = if labels.is_empty() {
+            sample.name.clone()
+        } else {
+            format!("{}{{{labels}}}", sample.name)
+        };
+        format!("{name} {}", render_value(sample.value))
+    }
+
+    #[test]
+    fn render_parse_render_is_a_fixpoint() {
+        use std::collections::BTreeSet;
+        let mut m = Metrics::new();
+        m.add("pipeline.units", 14);
+        m.add("serve.http.requests{endpoint=\"jobs\"}", 3);
+        m.gauge_set("serve.queue.depth", -2);
+        m.observe("lat", &LATENCY_US_BOUNDS, 5_000);
+        m.window_add("reqs", 9);
+        m.gauge_set(crate::res::PROCESS_CPU_US_GAUGE, 1_234_567);
+        let first = render_exposition(&snapshot(m));
+        let samples = parse_exposition(&first).expect("first parse");
+        // Reconstructing each sample's line reproduces exactly the
+        // non-comment lines of the original rendering…
+        let rendered: BTreeSet<&str> = first
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        let reconstructed: BTreeSet<String> = samples.iter().map(line_of).collect();
+        assert_eq!(
+            rendered,
+            reconstructed.iter().map(String::as_str).collect(),
+            "render→parse→render drifted"
+        );
+        // …and the reconstruction parses back to the same samples.
+        let text: String = samples.iter().map(|s| line_of(s) + "\n").collect();
+        assert_eq!(parse_exposition(&text).expect("second parse"), samples);
+    }
+
+    #[test]
+    fn hostile_label_values_survive_the_round_trip() {
+        // Raw value: a"b\c<newline>d — every escapable char at once.
+        let raw = "a\"b\\c\nd";
+        let mut m = Metrics::new();
+        m.add(&format!("weird{{path=\"{raw}\"}}"), 1);
+        let text = render_exposition(&snapshot(m));
+        let samples = parse_exposition(&text).expect("parses");
+        let sample = samples
+            .iter()
+            .find(|s| s.name == "weird_total")
+            .expect("weird_total sample");
+        assert_eq!(sample.label("path"), Some(raw));
+        // And the reconstruction round-trips a second time.
+        let again = parse_exposition(&format!("{}\n", line_of(sample))).expect("reparses");
+        assert_eq!(again[0].label("path"), Some(raw));
+    }
+
+    #[test]
+    fn empty_histograms_with_only_sum_and_count_parse_without_quantiles() {
+        let text = "empty_sum 0\nempty_count 0\n";
+        let samples = parse_exposition(text).expect("parses");
+        assert_eq!(sum_samples(&samples, "empty_count"), Some(0.0));
+        // No _bucket series → no quantile, not a panic or a zero guess.
+        assert_eq!(histogram_quantile(&samples, "empty", 0.5), None);
+    }
+
+    #[test]
+    fn overflow_only_histogram_quantile_collapses_to_the_envelope() {
+        // Every observation above every bound: the only bucket is +Inf.
+        let text = "only_bucket{le=\"+Inf\"} 3\nonly_sum 999\nonly_count 3\n";
+        let samples = parse_exposition(text).expect("parses");
+        // With no finite bound the envelope is [0, 0]; the estimate
+        // degrades to its only defensible value instead of erroring.
+        assert_eq!(histogram_quantile(&samples, "only", 0.5), Some(0.0));
+        assert_eq!(histogram_quantile(&samples, "only", 0.99), Some(0.0));
     }
 
     #[test]

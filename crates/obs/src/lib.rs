@@ -39,6 +39,7 @@ pub mod level;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod res;
 pub mod scope;
 pub mod sink;
 pub mod trace;
@@ -52,14 +53,17 @@ pub use expo::{
 };
 pub use level::Level;
 pub use metrics::{
-    estimate_quantile, Gauge, Histogram, Metrics, MetricsSnapshot, SpanStats, Windowed,
+    estimate_quantile, Gauge, Histogram, Metrics, MetricsSnapshot, ResStats, SpanStats, Windowed,
     BYTE_BOUNDS, LATENCY_US_BOUNDS, RECORD_BOUNDS,
 };
 pub use recorder::{LocalRecorder, ObsConfig, Recorder, RingEvent, SpanGuard, EVENT_RING_CAP};
 pub use report::{render_run_report, SALVAGE_PREFIX};
+pub use res::{ResUsage, ResourceTrack, SpanResources};
 pub use scope::Scope;
 pub use sink::{write_stderr_block, JsonlSink};
-pub use trace::{render_trace_report, SpanTree, TraceLog, TraceReportOptions};
+pub use trace::{
+    render_resource_report, render_trace_report, SpanTree, TraceLog, TraceReportOptions,
+};
 
 use std::sync::OnceLock;
 
@@ -152,6 +156,18 @@ pub fn absorb(local: LocalRecorder) {
 /// Flush the global trace sink.
 pub fn flush() {
     global().flush();
+}
+
+/// Start resource profiling on the global recorder: a background `/proc`
+/// sampler plus per-span RSS/CPU attribution. Returns `false` (and changes
+/// nothing) when `/proc` is unavailable — see [`Recorder::enable_resources`].
+pub fn enable_resources(interval: std::time::Duration) -> bool {
+    global().enable_resources(interval)
+}
+
+/// Whether resource profiling is active on the global recorder.
+pub fn resources_enabled() -> bool {
+    global().resources_enabled()
 }
 
 #[cfg(test)]

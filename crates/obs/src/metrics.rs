@@ -4,6 +4,7 @@
 //! exported [`MetricsSnapshot`] is an owned copy so report rendering and
 //! JSON export never hold the lock.
 
+use crate::res::SpanResources;
 use diffaudit_json::Json;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -699,8 +700,65 @@ impl Windowed {
     }
 }
 
+/// Aggregated resource attribution for one span name: the fold of every
+/// completed span's [`SpanResources`] under that name.
+///
+/// Like every registry aggregate the merge is associative and commutative
+/// with the empty stats as identity: counts, CPU, deltas, and bytes add;
+/// peaks take the max — so absorbing per-thread registries at join yields
+/// the serial run's totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResStats {
+    /// Completed spans folded in.
+    pub count: u64,
+    /// Highest RSS observed under any of the spans.
+    pub peak_rss_bytes: u64,
+    /// Net RSS movement across all spans (signed; stages can release).
+    pub rss_delta_bytes: i64,
+    /// Total CPU time (utime + stime) consumed under the spans.
+    pub cpu_us: u64,
+    /// Total logical bytes processed (`{span}.bytes.in` counter growth).
+    pub bytes_in: u64,
+}
+
+impl ResStats {
+    /// Fold one completed span's resources in.
+    pub fn record(&mut self, res: &SpanResources) {
+        self.count += 1;
+        self.peak_rss_bytes = self.peak_rss_bytes.max(res.peak_rss_bytes);
+        self.rss_delta_bytes = self.rss_delta_bytes.saturating_add(res.rss_delta_bytes);
+        self.cpu_us = self.cpu_us.saturating_add(res.cpu_us);
+        self.bytes_in = self.bytes_in.saturating_add(res.bytes_in);
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge_from(&mut self, other: &ResStats) {
+        self.count += other.count;
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
+        self.rss_delta_bytes = self.rss_delta_bytes.saturating_add(other.rss_delta_bytes);
+        self.cpu_us = self.cpu_us.saturating_add(other.cpu_us);
+        self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
+    }
+
+    /// JSON representation (the snapshot's `resources` entry).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", Json::int(self.count.min(i64::MAX as u64) as i64))
+            .with(
+                "peakRssB",
+                Json::int(self.peak_rss_bytes.min(i64::MAX as u64) as i64),
+            )
+            .with("rssDeltaB", Json::int(self.rss_delta_bytes))
+            .with("cpuUs", Json::int(self.cpu_us.min(i64::MAX as u64) as i64))
+            .with(
+                "bytesIn",
+                Json::int(self.bytes_in.min(i64::MAX as u64) as i64),
+            )
+    }
+}
+
 /// The live metric registry: named counters, histograms, span stats,
-/// gauges, and sliding-window series.
+/// gauges, sliding-window series, and resource attributions.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: BTreeMap<String, u64>,
@@ -708,6 +766,7 @@ pub struct Metrics {
     spans: BTreeMap<String, SpanStats>,
     gauges: BTreeMap<String, Gauge>,
     windows: BTreeMap<String, Windowed>,
+    resources: BTreeMap<String, ResStats>,
 }
 
 impl Metrics {
@@ -736,6 +795,20 @@ impl Metrics {
             .entry(name.to_string())
             .or_default()
             .record(dur_us);
+    }
+
+    /// Fold a completed span's resource attribution into `name`'s stats.
+    pub fn res_done(&mut self, name: &str, res: &SpanResources) {
+        self.resources
+            .entry(name.to_string())
+            .or_default()
+            .record(res);
+    }
+
+    /// Replace `name`'s resource stats wholesale (the recorder uses this to
+    /// inject the synthetic whole-process entry at snapshot time).
+    pub fn res_set(&mut self, name: &str, stats: ResStats) {
+        self.resources.insert(name.to_string(), stats);
     }
 
     /// Set gauge `name` to `value` (created on first use).
@@ -807,6 +880,9 @@ impl Metrics {
         for (name, gauge) in other.gauges {
             self.gauges.entry(name).or_default().merge_from(&gauge);
         }
+        for (name, stats) in other.resources {
+            self.resources.entry(name).or_default().merge_from(&stats);
+        }
         for (name, window) in other.windows {
             match self.windows.entry(name) {
                 std::collections::btree_map::Entry::Occupied(mut entry) => {
@@ -864,6 +940,16 @@ impl Metrics {
     pub fn windows(&self) -> impl Iterator<Item = (&str, &Windowed)> + '_ {
         self.windows.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Resource stats for span `name`, if any were recorded.
+    pub fn resource(&self, name: &str) -> Option<&ResStats> {
+        self.resources.get(name)
+    }
+
+    /// Named resource stats in sorted order.
+    pub fn resources(&self) -> impl Iterator<Item = (&str, &ResStats)> + '_ {
+        self.resources.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 /// An owned copy of the registry at one instant, plus run uptime.
@@ -915,6 +1001,16 @@ impl MetricsSnapshot {
                 windows.set(name, w.to_json());
             }
             doc.set("windows", windows);
+        }
+        // Same contract as gauges/windows: `resources` appears only when
+        // profiling actually recorded something, so an unprofiled run's
+        // document stays byte-identical.
+        if self.metrics.resources().next().is_some() {
+            let mut resources = Json::obj();
+            for (name, r) in self.metrics.resources() {
+                resources.set(name, r.to_json());
+            }
+            doc.set("resources", resources);
         }
         doc
     }
@@ -1289,6 +1385,7 @@ mod tests {
         // the new registries are populated.
         assert!(json.pointer("/gauges").is_none());
         assert!(json.pointer("/windows").is_none());
+        assert!(json.pointer("/resources").is_none());
 
         let mut m = Metrics::new();
         m.gauge_set("depth", 2);
@@ -1310,6 +1407,81 @@ mod tests {
             json.pointer("/windows/reqs/kind").and_then(Json::as_str),
             Some("counter")
         );
+    }
+
+    #[test]
+    fn res_stats_fold_and_export() {
+        let mut m = Metrics::new();
+        m.res_done(
+            "pipeline.decode",
+            &SpanResources {
+                peak_rss_bytes: 10_000,
+                rss_delta_bytes: 4_000,
+                cpu_us: 500,
+                bytes_in: 1_000,
+            },
+        );
+        m.res_done(
+            "pipeline.decode",
+            &SpanResources {
+                peak_rss_bytes: 8_000,
+                rss_delta_bytes: -1_000,
+                cpu_us: 300,
+                bytes_in: 2_000,
+            },
+        );
+        let stats = *m.resource("pipeline.decode").unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.peak_rss_bytes, 10_000); // max, not sum
+        assert_eq!(stats.rss_delta_bytes, 3_000); // signed net
+        assert_eq!(stats.cpu_us, 800);
+        assert_eq!(stats.bytes_in, 3_000);
+
+        let json = MetricsSnapshot {
+            metrics: m,
+            uptime_us: 1,
+        }
+        .to_json();
+        let doc = json.pointer("/resources/pipeline.decode").unwrap();
+        assert_eq!(doc.pointer("/count").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            doc.pointer("/peakRssB").and_then(Json::as_i64),
+            Some(10_000)
+        );
+        assert_eq!(
+            doc.pointer("/rssDeltaB").and_then(Json::as_i64),
+            Some(3_000)
+        );
+        assert_eq!(doc.pointer("/cpuUs").and_then(Json::as_i64), Some(800));
+        assert_eq!(doc.pointer("/bytesIn").and_then(Json::as_i64), Some(3_000));
+    }
+
+    #[test]
+    fn res_stats_merge_matches_serial_fold() {
+        let a_span = SpanResources {
+            peak_rss_bytes: 5,
+            rss_delta_bytes: 2,
+            cpu_us: 10,
+            bytes_in: 100,
+        };
+        let b_span = SpanResources {
+            peak_rss_bytes: 9,
+            rss_delta_bytes: -1,
+            cpu_us: 20,
+            bytes_in: 50,
+        };
+        let mut serial = Metrics::new();
+        serial.res_done("s", &a_span);
+        serial.res_done("s", &b_span);
+        let mut left = Metrics::new();
+        left.res_done("s", &a_span);
+        let mut right = Metrics::new();
+        right.res_done("s", &b_span);
+        left.merge_from(right);
+        assert_eq!(left.resource("s"), serial.resource("s"));
+        // Identity: merging an empty registry changes nothing.
+        left.merge_from(Metrics::new());
+        assert_eq!(left.resource("s"), serial.resource("s"));
     }
 
     #[test]

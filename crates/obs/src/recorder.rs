@@ -7,15 +7,16 @@
 
 use crate::event::Field;
 use crate::level::Level;
-use crate::metrics::{Metrics, MetricsSnapshot, LATENCY_US_BOUNDS};
-use crate::sink::{event_record, span_record, write_stderr, JsonlSink};
+use crate::metrics::{Metrics, MetricsSnapshot, ResStats, LATENCY_US_BOUNDS};
+use crate::res::{self, ResUsage, ResourceTrack, SpanResources};
+use crate::sink::{event_record, span_record, with_span_resources, write_stderr, JsonlSink};
 use diffaudit_json::Json;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How many warn/error events the in-memory ring retains.
 pub const EVENT_RING_CAP: usize = 256;
@@ -61,6 +62,25 @@ pub struct ObsConfig {
     pub trace: Option<JsonlSink>,
 }
 
+/// The live resource-profiling state: the shared track the background
+/// sampler fills, plus the epoch its timestamps count from and the stop
+/// flag that halts the sampler thread.
+struct ResHandle {
+    epoch: Instant,
+    track: Arc<Mutex<ResourceTrack>>,
+    stop: Arc<AtomicBool>,
+}
+
+/// The resource snapshot a span takes when it opens (paired with a second
+/// sample at close to produce the span's [`SpanResources`]).
+struct SpanResStart {
+    usage: ResUsage,
+    /// Enter time on the resource track's axis (for `peak_between`).
+    t_us: u64,
+    /// Value of the `{span}.bytes.in` counter at enter.
+    bytes_in: u64,
+}
+
 struct Inner {
     start: Instant,
     seq: u64,
@@ -73,12 +93,18 @@ struct Inner {
     ring: VecDeque<RingEvent>,
     /// Monotonic cursor for the ring (advances on every retained event).
     ring_seq: u64,
+    /// Resource-profiling state (`None` until [`Recorder::enable_resources`]
+    /// succeeds — i.e. never on a platform without `/proc`).
+    res: Option<ResHandle>,
 }
 
 /// The observability recorder.
 pub struct Recorder {
     level: AtomicU8,
     stderr: AtomicBool,
+    /// Lock-free mirror of `inner.res.is_some()` so span enter/exit can
+    /// skip the `/proc` reads entirely when profiling is off.
+    res_on: AtomicBool,
     inner: Mutex<Inner>,
 }
 
@@ -103,6 +129,13 @@ fn lock_inner(recorder: &Recorder) -> std::sync::MutexGuard<'_, Inner> {
     }
 }
 
+fn lock_track(track: &Mutex<ResourceTrack>) -> std::sync::MutexGuard<'_, ResourceTrack> {
+    match track.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl Recorder {
     /// A fresh recorder: level `Warn`, stderr on, no trace sink. The quiet
     /// default keeps library consumers (tests, benches) silent while still
@@ -111,6 +144,7 @@ impl Recorder {
         Recorder {
             level: AtomicU8::new(Level::Warn.as_u8()),
             stderr: AtomicBool::new(true),
+            res_on: AtomicBool::new(false),
             inner: Mutex::new(Inner {
                 start: Instant::now(),
                 seq: 0,
@@ -119,7 +153,79 @@ impl Recorder {
                 stack: Vec::new(),
                 ring: VecDeque::new(),
                 ring_seq: 0,
+                res: None,
             }),
+        }
+    }
+
+    /// Start resource profiling: take a first `/proc` sample, seed the
+    /// shared [`ResourceTrack`], and spawn a background sampler thread that
+    /// pushes a sample every `interval` and keeps the process gauges
+    /// ([`res::PROCESS_RSS_GAUGE`], [`res::PROCESS_CPU_US_GAUGE`]) current.
+    ///
+    /// Returns `false` when `/proc` is unavailable (non-Linux) — the
+    /// recorder then behaves exactly as before: no resource fields anywhere.
+    /// Idempotent: a second call on an already-profiling recorder is a
+    /// no-op returning `true`. Requires the process-global recorder (the
+    /// sampler thread holds the reference for the process lifetime).
+    pub fn enable_resources(&'static self, interval: Duration) -> bool {
+        let Some(first) = res::sample_self() else {
+            return false;
+        };
+        let mut track = ResourceTrack::new();
+        let epoch = track.epoch();
+        track.push(first);
+        let track = Arc::new(Mutex::new(track));
+        let stop = Arc::new(AtomicBool::new(false));
+        {
+            let mut inner = lock_inner(self);
+            if inner.res.is_some() {
+                return true;
+            }
+            inner.res = Some(ResHandle {
+                epoch,
+                track: Arc::clone(&track),
+                stop: Arc::clone(&stop),
+            });
+            inner
+                .metrics
+                .gauge_set(res::PROCESS_RSS_GAUGE, clamp_i64(first.rss_bytes));
+            inner
+                .metrics
+                .gauge_set(res::PROCESS_CPU_US_GAUGE, clamp_i64(first.cpu_us));
+        }
+        self.res_on.store(true, Ordering::Relaxed);
+        let interval = interval.max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name("obs-res-sampler".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // A vanished /proc mid-run (should not happen) ends the
+                // sampler; the last pushed sample stays authoritative.
+                let Some(usage) = res::sample_self() else {
+                    break;
+                };
+                lock_track(&track).push(usage);
+                self.gauge_set(res::PROCESS_RSS_GAUGE, clamp_i64(usage.rss_bytes));
+                self.gauge_set(res::PROCESS_CPU_US_GAUGE, clamp_i64(usage.cpu_us));
+            })
+            .is_ok()
+    }
+
+    /// Whether resource profiling is active.
+    pub fn resources_enabled(&self) -> bool {
+        self.res_on.load(Ordering::Relaxed)
+    }
+
+    /// Stop the sampler thread and detach the resource state (tests).
+    /// Already-recorded resource metrics stay in the registry.
+    pub fn disable_resources(&self) {
+        self.res_on.store(false, Ordering::Relaxed);
+        if let Some(handle) = lock_inner(self).res.take() {
+            handle.stop.store(true, Ordering::Relaxed);
         }
     }
 
@@ -196,17 +302,39 @@ impl Recorder {
     /// wall time into the metrics and (when attached) the trace sink.
     pub fn enter(&self, name: impl Into<String>) -> SpanGuard<'_> {
         let name = name.into();
-        lock_inner(self).stack.push(name.clone());
+        // Sample /proc before taking the lock so profiling cost never
+        // extends the critical section.
+        let sampled = if self.res_on.load(Ordering::Relaxed) {
+            res::sample_self()
+        } else {
+            None
+        };
+        let mut inner = lock_inner(self);
+        inner.stack.push(name.clone());
+        let res = match (sampled, inner.res.as_ref()) {
+            (Some(usage), Some(handle)) => Some(SpanResStart {
+                usage,
+                t_us: elapsed_us(handle.epoch),
+                bytes_in: inner.metrics.counter(&format!("{name}.bytes.in")),
+            }),
+            _ => None,
+        };
+        drop(inner);
         SpanGuard {
             recorder: self,
             name,
             start: Instant::now(),
             closed: false,
+            res,
         }
     }
 
-    fn exit_span(&self, name: &str, start: Instant) {
+    fn exit_span(&self, name: &str, start: Instant, res_start: Option<SpanResStart>) {
         let dur_us = elapsed_us(start);
+        let exit_usage = match res_start {
+            Some(_) => res::sample_self(),
+            None => None,
+        };
         let mut inner = lock_inner(self);
         // Pop this span off the stack (LIFO by construction; tolerate an
         // out-of-order drop by removing the last matching entry).
@@ -224,11 +352,40 @@ impl Recorder {
             // derived from the span name, which is itself a static literal
             // at every `span()`/`enter()` call site — no new cardinality.
             .observe(&format!("{name}.us"), &LATENCY_US_BOUNDS, dur_us);
+        let span_res = match (res_start, exit_usage) {
+            (Some(begin), Some(end)) => {
+                // Peak under the span: the enter/exit samples plus any
+                // background-sampler points in the open window.
+                let peak = inner.res.as_ref().map(|handle| {
+                    let exit_t_us = elapsed_us(handle.epoch);
+                    lock_track(&handle.track)
+                        .peak_between(begin.t_us, exit_t_us)
+                        .unwrap_or(0)
+                        .max(begin.usage.rss_bytes)
+                        .max(end.rss_bytes)
+                });
+                peak.map(|peak_rss_bytes| {
+                    let bytes_now = inner.metrics.counter(&format!("{name}.bytes.in"));
+                    let resources = SpanResources {
+                        peak_rss_bytes,
+                        rss_delta_bytes: end.rss_bytes as i64 - begin.usage.rss_bytes as i64,
+                        cpu_us: end.cpu_us.saturating_sub(begin.usage.cpu_us),
+                        bytes_in: bytes_now.saturating_sub(begin.bytes_in),
+                    };
+                    inner.metrics.res_done(name, &resources);
+                    resources
+                })
+            }
+            _ => None,
+        };
         if inner.trace.is_some() {
             inner.seq += 1;
             let seq = inner.seq;
             let t_us = elapsed_us(inner.start);
-            let record = span_record(seq, t_us, name, parent.as_deref(), dur_us);
+            let mut record = span_record(seq, t_us, name, parent.as_deref(), dur_us);
+            if let Some(resources) = &span_res {
+                record = with_span_resources(record, resources);
+            }
             if let Some(trace) = inner.trace.as_mut() {
                 trace.write(&record);
             }
@@ -289,11 +446,39 @@ impl Recorder {
         lock_inner(self).ring_seq
     }
 
-    /// An owned copy of the metric registry plus uptime.
+    /// An owned copy of the metric registry plus uptime. When resource
+    /// profiling is active, a synthetic `"process"` entry summarizing the
+    /// whole run (lifetime peak RSS, net RSS delta, total CPU) is injected
+    /// into the snapshot's resource registry — computed here, never stored
+    /// live, so merges and absorbs cannot double-count it.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = lock_inner(self);
+        let mut metrics = inner.metrics.clone();
+        if let Some(handle) = inner.res.as_ref() {
+            let track = lock_track(&handle.track);
+            let current = res::sample_self().or_else(|| {
+                track.latest().map(|p| ResUsage {
+                    rss_bytes: p.rss_bytes,
+                    cpu_us: p.cpu_us,
+                })
+            });
+            if let (Some(first), Some(now), Some(peak)) =
+                (track.first(), current, track.peak_rss_bytes())
+            {
+                metrics.res_set(
+                    "process",
+                    ResStats {
+                        count: track.samples(),
+                        peak_rss_bytes: peak.max(now.rss_bytes),
+                        rss_delta_bytes: now.rss_bytes as i64 - first.rss_bytes as i64,
+                        cpu_us: now.cpu_us.saturating_sub(first.cpu_us),
+                        bytes_in: 0,
+                    },
+                );
+            }
+        }
         MetricsSnapshot {
-            metrics: inner.metrics.clone(),
+            metrics,
             uptime_us: elapsed_us(inner.start),
         }
     }
@@ -424,6 +609,11 @@ fn elapsed_us(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Saturating u64→i64 for byte/µs gauges (RSS never nears i64::MAX).
+fn clamp_i64(v: u64) -> i64 {
+    v.min(i64::MAX as u64) as i64
+}
+
 /// RAII guard for an open span; closes it on drop.
 #[must_use = "a span closes when its guard drops — bind it with `let _span = ...`"]
 pub struct SpanGuard<'a> {
@@ -431,6 +621,8 @@ pub struct SpanGuard<'a> {
     name: String,
     start: Instant,
     closed: bool,
+    /// Enter-time resource sample (`None` unless profiling is on).
+    res: Option<SpanResStart>,
 }
 
 impl SpanGuard<'_> {
@@ -442,7 +634,8 @@ impl SpanGuard<'_> {
     fn close(&mut self) {
         if !self.closed {
             self.closed = true;
-            self.recorder.exit_span(&self.name, self.start);
+            let res = self.res.take();
+            self.recorder.exit_span(&self.name, self.start, res);
         }
     }
 }
@@ -652,6 +845,57 @@ mod tests {
             snap.metrics.gauge("inflight").and_then(|g| g.max()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn resource_profiling_attributes_spans_or_degrades() {
+        // Leak a recorder to satisfy `enable_resources`'s `&'static self`
+        // without touching the process-global one (test isolation).
+        let rec: &'static Recorder = Box::leak(Box::new(Recorder::new()));
+        let enabled = rec.enable_resources(std::time::Duration::from_millis(5));
+        if !crate::res::available() {
+            // Non-Linux degradation: profiling refuses, spans stay plain.
+            assert!(!enabled);
+            assert!(!rec.resources_enabled());
+            let _span = rec.enter("stage");
+            drop(_span);
+            assert!(rec.snapshot().metrics.resources().next().is_none());
+            return;
+        }
+        assert!(enabled);
+        assert!(rec.resources_enabled());
+        // Idempotent second enable.
+        assert!(rec.enable_resources(std::time::Duration::from_millis(5)));
+        {
+            let _span = rec.enter("stage");
+            rec.add("stage.bytes.in", 1_234);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = rec.snapshot();
+        let stage = snap.metrics.resource("stage").expect("stage resources");
+        assert_eq!(stage.count, 1);
+        assert!(stage.peak_rss_bytes > 0, "{stage:?}");
+        assert_eq!(stage.bytes_in, 1_234);
+        // The synthetic whole-process entry is injected at snapshot time.
+        let process = snap.metrics.resource("process").expect("process entry");
+        assert!(process.peak_rss_bytes >= stage.peak_rss_bytes);
+        assert!(process.count >= 1);
+        // The sampler keeps the process gauges current.
+        assert!(snap.metrics.gauge(res::PROCESS_RSS_GAUGE).is_some());
+        assert!(snap.metrics.gauge(res::PROCESS_CPU_US_GAUGE).is_some());
+        rec.disable_resources();
+        assert!(!rec.resources_enabled());
+    }
+
+    #[test]
+    fn spans_without_profiling_record_no_resources() {
+        let rec = Recorder::new();
+        {
+            let _span = rec.enter("plain");
+        }
+        let snap = rec.snapshot();
+        assert!(snap.metrics.resources().next().is_none());
+        assert!(snap.metrics.resource("plain").is_none());
     }
 
     #[test]

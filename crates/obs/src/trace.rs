@@ -32,8 +32,9 @@
 //! the root's own self-time, and the report prints that identity.
 
 use crate::level::Level;
+use crate::res::SpanResources;
 use diffaudit_json::Json;
-use diffaudit_util::fmt::format_duration_us;
+use diffaudit_util::fmt::{format_bytes, format_bytes_signed, format_duration_us};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One `kind:"event"` record from a trace file.
@@ -62,6 +63,9 @@ pub struct TraceSpan {
     pub parent: Option<String>,
     /// Wall time, microseconds.
     pub dur_us: u64,
+    /// Resource attribution (`None` when the trace was recorded without
+    /// profiling — the pre-resource record shape).
+    pub res: Option<SpanResources>,
 }
 
 /// A parsed trace record.
@@ -146,12 +150,26 @@ fn parse_line(line: &str) -> Option<TraceRecord> {
                 Json::Null => None,
                 other => Some(other.as_str()?.to_string()),
             };
+            // Resource keys are optional extensions: a span carries them
+            // all (profiled trace) or none (plain trace).
+            let as_u64 = |key: &str| -> Option<u64> {
+                json.get(key)
+                    .and_then(Json::as_i64)
+                    .and_then(|v| u64::try_from(v).ok())
+            };
+            let res = as_u64("rssPeakB").map(|peak_rss_bytes| SpanResources {
+                peak_rss_bytes,
+                rss_delta_bytes: json.get("rssDeltaB").and_then(Json::as_i64).unwrap_or(0),
+                cpu_us: as_u64("cpuUs").unwrap_or(0),
+                bytes_in: as_u64("bytesIn").unwrap_or(0),
+            });
             Some(TraceRecord::Span(TraceSpan {
                 seq,
                 t_us,
                 name: json.get("name")?.as_str()?.to_string(),
                 parent,
                 dur_us: u64::try_from(json.get("durUs")?.as_i64()?).ok()?,
+                res,
             }))
         }
         _ => None,
@@ -170,6 +188,16 @@ pub struct SpanNode {
     /// Total minus children's totals (saturating) — time spent in this
     /// node's own code.
     pub self_us: u64,
+    /// Instances that carried resource attribution.
+    pub res_count: u64,
+    /// Highest peak RSS across attributed instances, bytes.
+    pub peak_rss_bytes: u64,
+    /// Net RSS movement across attributed instances, bytes (signed).
+    pub rss_delta_bytes: i64,
+    /// Total CPU time across attributed instances, microseconds.
+    pub cpu_us: u64,
+    /// Total logical bytes processed across attributed instances.
+    pub bytes_in: u64,
     /// Child nodes, heaviest (by total) first.
     pub children: Vec<SpanNode>,
 }
@@ -183,6 +211,49 @@ impl SpanNode {
                 .map(SpanNode::subtree_self_us)
                 .sum::<u64>()
     }
+
+    /// CPU time minus children's CPU (saturating) — the node's own burn.
+    fn self_cpu_us(&self) -> u64 {
+        self.cpu_us
+            .saturating_sub(self.children.iter().map(|c| c.cpu_us).sum())
+    }
+
+    fn subtree_self_cpu_us(&self) -> u64 {
+        self.self_cpu_us()
+            + self
+                .children
+                .iter()
+                .map(SpanNode::subtree_self_cpu_us)
+                .sum::<u64>()
+    }
+
+    /// RSS delta minus children's deltas — the node's own net movement
+    /// (signed arithmetic; no saturation needed, stages can release).
+    fn self_rss_delta_bytes(&self) -> i64 {
+        self.rss_delta_bytes - self.children.iter().map(|c| c.rss_delta_bytes).sum::<i64>()
+    }
+
+    fn subtree_self_rss_delta_bytes(&self) -> i64 {
+        self.self_rss_delta_bytes()
+            + self
+                .children
+                .iter()
+                .map(SpanNode::subtree_self_rss_delta_bytes)
+                .sum::<i64>()
+    }
+}
+
+/// Per-edge fold of span records: call counts, wall time, and the
+/// resource attributions of profiled instances.
+#[derive(Debug, Clone, Copy, Default)]
+struct EdgeAgg {
+    count: u64,
+    total_us: u64,
+    res_count: u64,
+    peak_rss_bytes: u64,
+    rss_delta_bytes: i64,
+    cpu_us: u64,
+    bytes_in: u64,
 }
 
 /// The reconstructed span forest plus trace-level tallies.
@@ -205,14 +276,21 @@ impl SpanTree {
     /// Reconstruct the tree from a parsed log.
     pub fn build(log: &TraceLog) -> SpanTree {
         // Aggregate span records into (parent, name) edges.
-        let mut edges: BTreeMap<(Option<String>, String), (u64, u64)> = BTreeMap::new();
+        let mut edges: BTreeMap<(Option<String>, String), EdgeAgg> = BTreeMap::new();
         let mut closed_names: BTreeSet<&str> = BTreeSet::new();
         for span in log.spans() {
             let entry = edges
                 .entry((span.parent.clone(), span.name.clone()))
-                .or_insert((0, 0));
-            entry.0 += 1;
-            entry.1 = entry.1.saturating_add(span.dur_us);
+                .or_default();
+            entry.count += 1;
+            entry.total_us = entry.total_us.saturating_add(span.dur_us);
+            if let Some(res) = &span.res {
+                entry.res_count += 1;
+                entry.peak_rss_bytes = entry.peak_rss_bytes.max(res.peak_rss_bytes);
+                entry.rss_delta_bytes = entry.rss_delta_bytes.saturating_add(res.rss_delta_bytes);
+                entry.cpu_us = entry.cpu_us.saturating_add(res.cpu_us);
+                entry.bytes_in = entry.bytes_in.saturating_add(res.bytes_in);
+            }
             closed_names.insert(&span.name);
         }
         // Roots: null-parent edges plus edges orphaned by an unclosed parent.
@@ -273,11 +351,11 @@ impl SpanTree {
 }
 
 fn grow(
-    edges: &BTreeMap<(Option<String>, String), (u64, u64)>,
+    edges: &BTreeMap<(Option<String>, String), EdgeAgg>,
     key: &(Option<String>, String),
     path: &mut Vec<String>,
 ) -> SpanNode {
-    let (count, total_us) = edges.get(key).copied().unwrap_or((0, 0));
+    let agg = edges.get(key).copied().unwrap_or_default();
     let name = key.1.clone();
     let mut children: Vec<SpanNode> = edges
         .keys()
@@ -297,10 +375,15 @@ fn grow(
     children.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
     let child_total: u64 = children.iter().map(|c| c.total_us).sum();
     SpanNode {
-        self_us: total_us.saturating_sub(child_total),
+        self_us: agg.total_us.saturating_sub(child_total),
         name,
-        count,
-        total_us,
+        count: agg.count,
+        total_us: agg.total_us,
+        res_count: agg.res_count,
+        peak_rss_bytes: agg.peak_rss_bytes,
+        rss_delta_bytes: agg.rss_delta_bytes,
+        cpu_us: agg.cpu_us,
+        bytes_in: agg.bytes_in,
         children,
     }
 }
@@ -388,6 +471,99 @@ pub fn render_trace_report(tree: &SpanTree, options: &TraceReportOptions) -> Str
         ));
     }
     out
+}
+
+fn format_throughput(bytes_in: u64, dur_us: u64) -> String {
+    if bytes_in == 0 || dur_us == 0 {
+        return "-".to_string();
+    }
+    let rate = bytes_in as f64 / (dur_us as f64 / 1_000_000.0);
+    format!("{}/s", format_bytes(rate as u64))
+}
+
+/// Render the `--resources` view of a trace: the same span tree, but with
+/// peak RSS, RSS delta, CPU time, bytes processed, and derived throughput
+/// per stage, plus CPU and RSS conservation lines mirroring the wall-time
+/// report's. A trace recorded without profiling (or on a platform without
+/// `/proc`) renders a placeholder instead of a table of zeros.
+pub fn render_resource_report(tree: &SpanTree, _options: &TraceReportOptions) -> String {
+    let mut out = String::new();
+    out.push_str("== resource report ==\n");
+    out.push_str(&format!(
+        "records: {} spans, {} events",
+        tree.span_records, tree.event_records
+    ));
+    if tree.skipped > 0 {
+        out.push_str(&format!(" ({} malformed lines skipped)", tree.skipped));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "wall clock (last record): {}\n",
+        format_duration_us(tree.wall_us)
+    ));
+
+    if tree.roots.is_empty() {
+        out.push_str("\nno completed spans in trace\n");
+        return out;
+    }
+    if tree.nodes().iter().all(|n| n.res_count == 0) {
+        out.push_str("\nresources unavailable (trace carries no resource samples)\n");
+        return out;
+    }
+
+    out.push_str("\nstage resources (peak RSS / ΔRSS / CPU / bytes in / throughput):\n");
+    for root in &tree.roots {
+        render_resource_node(&mut out, root, 0);
+    }
+
+    // Conservation, twice: CPU telescopes exactly like wall time (children
+    // burn inside their parent), and RSS deltas telescope in signed
+    // arithmetic (a stage's net movement contains its children's).
+    for root in &tree.roots {
+        if root.res_count == 0 {
+            continue;
+        }
+        let descendant_cpu = root.subtree_self_cpu_us() - root.self_cpu_us();
+        out.push_str(&format!(
+            "root {}: cpu {} = stage self {} + untracked {}\n",
+            root.name,
+            format_duration_us(root.cpu_us),
+            format_duration_us(descendant_cpu),
+            format_duration_us(root.cpu_us.saturating_sub(descendant_cpu)),
+        ));
+        let descendant_rss = root.subtree_self_rss_delta_bytes() - root.self_rss_delta_bytes();
+        out.push_str(&format!(
+            "root {}: rss {} = stage {} + untracked {}\n",
+            root.name,
+            format_bytes_signed(root.rss_delta_bytes),
+            format_bytes_signed(descendant_rss),
+            format_bytes_signed(root.rss_delta_bytes - descendant_rss),
+        ));
+    }
+    out
+}
+
+fn render_resource_node(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    let label = format!("{indent}{}", node.name);
+    if node.res_count == 0 {
+        out.push_str(&format!(
+            "{label:<40} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+            "-", "-", "-", "-", "-"
+        ));
+    } else {
+        out.push_str(&format!(
+            "{label:<40} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+            format_bytes(node.peak_rss_bytes),
+            format_bytes_signed(node.rss_delta_bytes),
+            format_duration_us(node.cpu_us),
+            format_bytes(node.bytes_in),
+            format_throughput(node.bytes_in, node.total_us),
+        ));
+    }
+    for child in &node.children {
+        render_resource_node(out, child, depth + 1);
+    }
 }
 
 fn render_node(out: &mut String, node: &SpanNode, depth: usize, root_total: u64) {
@@ -565,6 +741,133 @@ mod tests {
     fn empty_trace_renders_placeholder() {
         let tree = SpanTree::build(&TraceLog::parse(""));
         let text = render_trace_report(&tree, &TraceReportOptions::default());
+        assert!(text.contains("no completed spans"));
+    }
+
+    fn res_line(
+        seq: u64,
+        t_us: u64,
+        name: &str,
+        parent: Option<&str>,
+        dur_us: u64,
+        res: SpanResources,
+    ) -> String {
+        line(&crate::sink::with_span_resources(
+            span_record(seq, t_us, name, parent, dur_us),
+            &res,
+        ))
+    }
+
+    /// The sample trace with resource attribution on every span.
+    fn resource_trace() -> String {
+        let span = |peak, delta, cpu, bytes| SpanResources {
+            peak_rss_bytes: peak,
+            rss_delta_bytes: delta,
+            cpu_us: cpu,
+            bytes_in: bytes,
+        };
+        let mut text = String::new();
+        for record in [
+            res_line(
+                1,
+                110,
+                "unit",
+                Some("load"),
+                100,
+                span(4_000, 400, 100, 1_000),
+            ),
+            res_line(
+                2,
+                220,
+                "unit",
+                Some("load"),
+                100,
+                span(4_000, 400, 100, 1_000),
+            ),
+            res_line(
+                3,
+                320,
+                "load",
+                Some("audit"),
+                300,
+                span(5_000, 1_000, 300, 3_000),
+            ),
+            res_line(
+                4,
+                540,
+                "render",
+                Some("audit"),
+                200,
+                span(4_500, -100, 100, 0),
+            ),
+            res_line(5, 1020, "audit", None, 1000, span(5_000, 1_200, 800, 0)),
+        ] {
+            text.push_str(&record);
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn resource_fields_parse_and_aggregate_into_the_tree() {
+        let log = TraceLog::parse(&resource_trace());
+        let first = log.spans().next().unwrap();
+        assert_eq!(
+            first.res,
+            Some(SpanResources {
+                peak_rss_bytes: 4_000,
+                rss_delta_bytes: 400,
+                cpu_us: 100,
+                bytes_in: 1_000,
+            })
+        );
+        let tree = SpanTree::build(&log);
+        let audit = &tree.roots[0];
+        assert_eq!(audit.res_count, 1);
+        assert_eq!(audit.cpu_us, 800);
+        assert_eq!(audit.rss_delta_bytes, 1_200);
+        let load = &audit.children[0];
+        // unit x2 folds: counts and sums add, peak takes the max.
+        let unit = &load.children[0];
+        assert_eq!(unit.res_count, 2);
+        assert_eq!(unit.peak_rss_bytes, 4_000);
+        assert_eq!(unit.rss_delta_bytes, 800);
+        assert_eq!(unit.cpu_us, 200);
+        assert_eq!(unit.bytes_in, 2_000);
+    }
+
+    #[test]
+    fn resource_report_shows_stages_and_conservation() {
+        let tree = SpanTree::build(&TraceLog::parse(&resource_trace()));
+        let text = render_resource_report(&tree, &TraceReportOptions::default());
+        assert!(text.contains("== resource report =="));
+        assert!(text.contains("stage resources"));
+        // load: 3000 bytes over 300us = 10 MB/s ≈ 9.54MiB/s.
+        assert!(text.contains("9.54MiB/s"), "throughput missing in:\n{text}");
+        // CPU conservation: audit 800 = descendant self (100+200+100) + 400.
+        assert!(
+            text.contains("root audit: cpu 800us = stage self 400us + untracked 400us"),
+            "cpu conservation line missing in:\n{text}"
+        );
+        // RSS conservation in signed bytes: +1200 = +900 + +300.
+        assert!(
+            text.contains("root audit: rss +1.2KiB = stage +900B + untracked +300B"),
+            "rss conservation line missing in:\n{text}"
+        );
+    }
+
+    #[test]
+    fn unprofiled_trace_degrades_to_resources_unavailable() {
+        let tree = SpanTree::build(&TraceLog::parse(&sample_trace()));
+        let text = render_resource_report(&tree, &TraceReportOptions::default());
+        assert!(
+            text.contains("resources unavailable (trace carries no resource samples)"),
+            "{text}"
+        );
+        assert!(!text.contains("stage resources"));
+        // Empty traces still render the header path.
+        let empty = SpanTree::build(&TraceLog::parse(""));
+        let text = render_resource_report(&empty, &TraceReportOptions::default());
         assert!(text.contains("no completed spans"));
     }
 }

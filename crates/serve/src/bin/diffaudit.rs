@@ -36,21 +36,30 @@
 //! diffaudit ontology
 //!     Print the COPPA/CCPA data-type ontology as JSON.
 //!
-//! diffaudit obs report TRACE.jsonl [--top K]
+//! diffaudit obs report TRACE.jsonl [--top K] [--resources]
 //!     Analyze a `--trace-out` trace: reconstruct the span tree, attribute
 //!     self vs. child time, and print the flame/critical-path report with
-//!     the top-K self-time hotspots. Malformed lines are skipped and
-//!     counted (salvage-style). Exit codes: 0 = clean, 2 = report produced
-//!     but some lines were skipped, 1 = unusable input.
+//!     the top-K self-time hotspots. `--resources` switches to the
+//!     resource view: per-stage peak RSS, RSS delta, CPU seconds, and
+//!     bytes-in throughput (requires a trace recorded under
+//!     `--res-sample-ms`; otherwise reports resources unavailable).
+//!     Malformed lines are skipped and counted (salvage-style). Exit
+//!     codes: 0 = clean, 2 = report produced but some lines were skipped,
+//!     1 = unusable input.
 //!
 //! diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT]
-//!                    [--noise-floor-us N]
+//!                    [--fail-rss-over PCT] [--noise-floor-ms N]
 //!     Diff two `--metrics-out` documents: per-stage wall-time deltas,
-//!     counter deltas, bucket-derived p50/p90/p99 shifts, conservation
-//!     checks, and an ok/regressed verdict. `--fail-over PCT` turns growth
-//!     past PCT percent (and past the noise floor) into exit code 2, so CI
-//!     can gate on a committed baseline. Exit codes: 0 = ok, 2 = regressed,
-//!     1 = unusable input or bad usage.
+//!     counter deltas, bucket-derived p50/p90/p99 shifts, resource
+//!     (peak-RSS) deltas, conservation checks, and an ok/regressed
+//!     verdict. `--fail-over PCT` turns wall-time growth past PCT percent
+//!     (and past the noise floor) into exit code 2, so CI can gate on a
+//!     committed baseline; `--fail-rss-over PCT` gates peak-RSS growth the
+//!     same way (4MiB noise floor). The wall-time noise floor is
+//!     milliseconds (`--noise-floor-ms`, default 20ms, the same unit
+//!     `serve_load --mode diff` uses; `--noise-floor-us` remains as a
+//!     microsecond alias). Exit codes: 0 = ok, 2 = regressed, 1 = unusable
+//!     input or bad usage.
 //!
 //! diffaudit obs top URL [--once] [--interval-ms N]
 //!     Poll a running daemon's `GET /metrics` exposition endpoint and
@@ -73,6 +82,9 @@
 //!   --log-level error|warn|info|debug   stderr verbosity (default info)
 //!   --trace-out FILE.jsonl              write a JSONL event/span trace
 //!   --metrics-out FILE.json             write end-of-run metrics JSON
+//!   --res-sample-ms N                   sample process RSS/CPU from /proc
+//!                                       every N ms and attribute them to
+//!                                       spans (Linux; elsewhere a warning)
 //!   -v | --verbose                      debug level + pipeline run report
 //!
 //! Reports and exports go to stdout / `--out`; observability goes to stderr
@@ -100,11 +112,11 @@ fn usage() -> ExitCode {
          diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
          diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N] [--drain-ms N] [--chaos]\n  \
          diffaudit classify KEY...\n  diffaudit ontology\n  \
-         diffaudit obs report TRACE.jsonl [--top K]\n  \
-         diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--noise-floor-us N]\n  \
+         diffaudit obs report TRACE.jsonl [--top K] [--resources]\n  \
+         diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--fail-rss-over PCT] [--noise-floor-ms N]\n  \
          diffaudit obs top URL [--once] [--interval-ms N]\n  \
          diffaudit obs tail URL [--once] [--interval-ms N] [--level warn|error]\n\
-         global flags: [--threads N] [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [-v|--verbose]\n",
+         global flags: [--threads N] [--log-level error|warn|info|debug] [--trace-out FILE.jsonl] [--metrics-out FILE.json] [--res-sample-ms N] [-v|--verbose]\n",
     );
     // Exit-code contract: 1 = hard failure (2 means salvaged-with-drops).
     ExitCode::from(1)
@@ -130,6 +142,7 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
     let mut metrics_out: Option<PathBuf> = None;
     let mut verbose = false;
     let mut threads = diffaudit_util::par::available_threads();
+    let mut res_sample_ms: Option<u64> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -148,6 +161,10 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
             "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = n,
                 _ => return Err("--threads takes a positive integer".into()),
+            },
+            "--res-sample-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms >= 1 => res_sample_ms = Some(ms),
+                _ => return Err("--res-sample-ms takes a positive integer".into()),
             },
             "-v" | "--verbose" => verbose = true,
             _ => rest.push(arg),
@@ -169,6 +186,17 @@ fn setup_obs(args: Vec<String>) -> Result<(Vec<String>, ObsOptions), String> {
         obs::global()
             .trace_to_file(path)
             .map_err(|e| format!("cannot open trace file {}: {e}", path.display()))?;
+    }
+    // Resource profiling writes to stderr/trace/metrics only, so enabling
+    // it never perturbs a subcommand's stdout. Without `/proc` (non-Linux)
+    // the flag degrades to a warning instead of failing the run.
+    if let Some(ms) = res_sample_ms {
+        if !obs::enable_resources(std::time::Duration::from_millis(ms)) {
+            obs::warn(
+                "resources unavailable (/proc not readable); --res-sample-ms ignored",
+                &[],
+            );
+        }
     }
     Ok((
         rest,
@@ -261,6 +289,17 @@ fn cmd_serve(args: &[String], threads: usize) -> ExitCode {
             "--chaos" => config.enable_chaos = true,
             _ => return usage(),
         }
+    }
+    // The daemon always samples its own RSS/CPU so `GET /metrics` exports
+    // `diffaudit_process_resident_bytes` / `diffaudit_process_cpu_seconds_total`
+    // and `obs top` can show a resources row. Idempotent if the global
+    // `--res-sample-ms` flag already started the sampler; on a box without
+    // `/proc` the daemon runs without the two series.
+    if !obs::enable_resources(std::time::Duration::from_millis(250)) {
+        obs::debug(
+            "resources unavailable; process RSS/CPU series disabled",
+            &[],
+        );
     }
     let server = match Server::bind(config) {
         Ok(server) => server,
@@ -753,6 +792,15 @@ fn render_top(addr: &str, samples: &[obs::Sample]) -> String {
         )),
         _ => out.push_str("  http latency: no samples yet\n"),
     }
+    // Present only when the daemon's /proc sampler is running (Linux).
+    match obs::gauge_value(samples, "diffaudit_process_resident_bytes") {
+        Some(rss) => out.push_str(&format!(
+            "  resources: rss {}   cpu {:.2}s\n",
+            diffaudit_util::fmt::format_bytes(rss.max(0.0) as u64),
+            obs::sum_samples(samples, "diffaudit_process_cpu_seconds_total").unwrap_or(0.0),
+        )),
+        None => out.push_str("  resources: unavailable (no /proc sampler)\n"),
+    }
     out
 }
 
@@ -807,7 +855,17 @@ fn cmd_obs_tail(args: &[String]) -> ExitCode {
         };
         outcome.successes += 1;
         if let Some(next) = doc.get("cursor").and_then(Json::as_i64) {
-            cursor = next.max(0) as u64;
+            let (next, resynced) = diffaudit_serve::client::next_cursor(cursor, next.max(0) as u64);
+            if resynced {
+                obs::warn(
+                    "event ring reset (daemon restarted?); resyncing",
+                    &[
+                        obs::field("hadCursor", cursor),
+                        obs::field("serverCursor", next),
+                    ],
+                );
+            }
+            cursor = next;
         }
         let mut lines = String::new();
         for event in events {
@@ -843,13 +901,16 @@ fn cmd_obs_tail(args: &[String]) -> ExitCode {
     }
 }
 
-/// `obs report TRACE.jsonl [--top K]` — span-tree / critical-path report.
+/// `obs report TRACE.jsonl [--top K] [--resources]` — span-tree /
+/// critical-path report; `--resources` switches to the per-stage
+/// RSS/CPU/throughput attribution view.
 ///
 /// Shares the audit exit contract: 0 = clean, 2 = report produced but some
 /// trace lines were malformed and skipped, 1 = unusable input.
 fn cmd_obs_report(args: &[String]) -> ExitCode {
     let mut path: Option<PathBuf> = None;
     let mut options = obs::TraceReportOptions::default();
+    let mut resources = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -857,6 +918,7 @@ fn cmd_obs_report(args: &[String]) -> ExitCode {
                 Some(k) if k > 0 => options.top = k,
                 _ => return usage(),
             },
+            "--resources" => resources = true,
             other if !other.starts_with('-') && path.is_none() => {
                 path = Some(PathBuf::from(other));
             }
@@ -892,7 +954,11 @@ fn cmd_obs_report(args: &[String]) -> ExitCode {
         return ExitCode::from(1);
     }
     let tree = obs::SpanTree::build(&log);
-    print!("{}", obs::render_trace_report(&tree, &options));
+    if resources {
+        print!("{}", obs::render_resource_report(&tree, &options));
+    } else {
+        print!("{}", obs::render_trace_report(&tree, &options));
+    }
     if log.skipped > 0 {
         obs::warn(
             "trace partially malformed; exit code 2",
@@ -907,7 +973,9 @@ fn cmd_obs_report(args: &[String]) -> ExitCode {
 }
 
 /// `obs diff BASELINE.json CURRENT.json [--fail-over PCT]
-/// [--noise-floor-us N]` — metrics comparison with a gated verdict.
+/// [--fail-rss-over PCT] [--noise-floor-ms N]` — metrics comparison with a
+/// gated verdict. `--noise-floor-us` is kept as an alias of the canonical
+/// millisecond spelling (`serve_load --mode diff` uses the same unit).
 ///
 /// Exit contract: 0 = ok, 2 = regressed (report still printed),
 /// 1 = unusable input or bad usage.
@@ -920,6 +988,14 @@ fn cmd_obs_diff(args: &[String]) -> ExitCode {
             "--fail-over" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(pct) if pct >= 0.0 => options.fail_over = Some(pct / 100.0),
                 _ => return usage(),
+            },
+            "--fail-rss-over" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct >= 0.0 => options.fail_rss_over = Some(pct / 100.0),
+                _ => return usage(),
+            },
+            "--noise-floor-ms" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => options.noise_floor_us = ms.saturating_mul(1000),
+                None => return usage(),
             },
             "--noise-floor-us" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(us) => options.noise_floor_us = us,

@@ -70,6 +70,19 @@ pub fn request_text(
     }
 }
 
+/// Advance an `obs tail` event-ring cursor given the cursor a poll
+/// returned. Normally the server cursor only moves forward; a server
+/// cursor *below* ours means the daemon restarted and its ring sequence
+/// reset, so the client must resync to the new head instead of polling
+/// past it forever. Returns `(next_cursor, resynced)`.
+pub fn next_cursor(current: u64, server: u64) -> (u64, bool) {
+    if server < current {
+        (server, true)
+    } else {
+        (server, false)
+    }
+}
+
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
 }
@@ -105,5 +118,15 @@ mod tests {
     fn garbage_is_an_error_not_a_panic() {
         assert!(parse_response(b"not http at all").is_err());
         assert!(parse_response(b"HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn cursor_advances_forward_and_resyncs_on_regression() {
+        assert_eq!(next_cursor(0, 0), (0, false));
+        assert_eq!(next_cursor(3, 7), (7, false));
+        assert_eq!(next_cursor(7, 7), (7, false));
+        // Daemon restarted: ring sequence reset below ours.
+        assert_eq!(next_cursor(7, 0), (0, true));
+        assert_eq!(next_cursor(7, 2), (2, true));
     }
 }

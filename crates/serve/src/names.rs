@@ -44,6 +44,16 @@ pub const JOBS_IN_FLIGHT: &str = "serve.jobs.in_flight";
 /// Workers currently executing a job (gauge, written by the worker loop).
 pub const WORKERS_BUSY: &str = "serve.workers.busy";
 
+/// Process resident-set size in bytes (gauge, written by the `obs::res`
+/// sampler the daemon starts at boot). Exposes on `GET /metrics` as
+/// `diffaudit_process_resident_bytes`.
+pub const PROCESS_RSS: &str = diffaudit_obs::res::PROCESS_RSS_GAUGE;
+
+/// Cumulative process CPU time in microseconds (gauge, same writer). The
+/// exposition renderer re-exports it as the counter
+/// `diffaudit_process_cpu_seconds_total`.
+pub const PROCESS_CPU_US: &str = diffaudit_obs::res::PROCESS_CPU_US_GAUGE;
+
 /// Per-endpoint × status-class request latency histogram name. A closed
 /// match over static literals: unknown paths and statuses collapse into
 /// `other`, so the series set stays bounded no matter what clients send.

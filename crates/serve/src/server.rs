@@ -353,13 +353,23 @@ fn dispatch(shared: &Arc<Shared>, request: &Request, segments: &[&str]) -> Respo
 /// `GET /api/v1/events?since=<cursor>`: the retained warn/error event
 /// ring, for `diffaudit obs tail`. The cursor is the ring sequence of the
 /// newest event returned; pass it back to receive only newer events.
+///
+/// With nothing new to return, the cursor is the daemon's *own* ring
+/// position rather than an echo of `since`: after a daemon restart the
+/// ring sequence restarts from zero, and echoing a stale high cursor back
+/// would let the client poll past the new head forever. Returning the
+/// authoritative position lets `obs tail` detect the regression and
+/// resync.
 fn events(request: &Request) -> Response {
     let since = request
         .query_param("since")
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(0);
     let events = obs::events_since(since);
-    let cursor = events.last().map(|e| e.seq).unwrap_or(since);
+    let cursor = events
+        .last()
+        .map(|e| e.seq)
+        .unwrap_or_else(|| obs::global().ring_cursor());
     let doc = Json::obj()
         .with("schema", Json::str("diffaudit-events/v1"))
         .with("cursor", Json::int(cursor as i64))

@@ -29,6 +29,17 @@ pub fn format_bytes(bytes: u64) -> String {
     }
 }
 
+/// Format a signed byte delta with an explicit sign: `+3.2KiB`, `-512B`,
+/// `+0B`. RSS can move both ways, and a bare magnitude hides which.
+pub fn format_bytes_signed(delta: i64) -> String {
+    let magnitude = format_bytes(delta.unsigned_abs());
+    if delta < 0 {
+        format!("-{magnitude}")
+    } else {
+        format!("+{magnitude}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,5 +58,16 @@ mod tests {
         assert_eq!(format_bytes(3277), "3.2KiB");
         assert_eq!(format_bytes(1_572_864), "1.50MiB");
         assert_eq!(format_bytes(2_415_919_104), "2.25GiB");
+    }
+
+    #[test]
+    fn signed_bytes_carry_their_direction() {
+        assert_eq!(format_bytes_signed(0), "+0B");
+        assert_eq!(format_bytes_signed(512), "+512B");
+        assert_eq!(format_bytes_signed(-1_572_864), "-1.50MiB");
+        assert_eq!(
+            format_bytes_signed(i64::MIN),
+            format!("-{}", format_bytes(i64::MIN.unsigned_abs()))
+        );
     }
 }

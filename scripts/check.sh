@@ -90,6 +90,24 @@ case "$diff_status" in
     *) echo "obs diff failed (exit $diff_status)"; exit 1 ;;
 esac
 
+echo "==> max-RSS regression vs BENCH_mem.json (advisory: exit 2 warns, exit 1 fails)"
+./target/release/pipeline_mem --out "$obs_tmp/current_mem.json"
+set +e
+# Peak RSS is far more stable than wall time, but allocator and kernel
+# page-cache behaviour still move it a little between boxes; growth past
+# 50% (and past the built-in 4MiB floor) is a real regression signal. On
+# a box without /proc the current snapshot simply has no resources
+# section and the gate is informational (exit 0).
+./target/release/diffaudit obs diff BENCH_mem.json "$obs_tmp/current_mem.json" \
+    --fail-rss-over 50
+mem_diff_status=$?
+set -e
+case "$mem_diff_status" in
+    0) ;;
+    2) echo "WARNING: peak RSS regressed >50% vs BENCH_mem.json (advisory only)" ;;
+    *) echo "obs diff --fail-rss-over failed (exit $mem_diff_status)"; exit 1 ;;
+esac
+
 echo "==> serve smoke (boot ephemeral port, upload HAR, audit, report, clean drain)"
 ./target/release/diffaudit serve --port 0 --log-level warn \
     > "$obs_tmp/serve.log" 2> "$obs_tmp/serve.err" &

@@ -362,6 +362,152 @@ fn obs_report_and_self_diff_round_trip() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// End-to-end resource profiling: an audit under `--res-sample-ms` keeps
+/// stdout byte-identical, its trace renders the `obs report --resources`
+/// view (per-stage peak RSS / ΔRSS / CPU / throughput plus conservation
+/// lines), and its metrics snapshot drives the `--fail-rss-over` gate —
+/// exit 0 on self-diff, exit 2 on a synthetic peak-RSS regression. On a
+/// box without `/proc` the run still succeeds and the report degrades to
+/// "resources unavailable".
+#[test]
+fn resource_profiling_reports_and_gates_end_to_end() {
+    let root = temp_dir("resources");
+    let dir = capture_dir(&root);
+    let plain = run(&["audit", dir.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(plain.code, Some(0), "stderr: {}", plain.stderr);
+
+    let trace_path = root.join("trace.jsonl");
+    let metrics_path = root.join("metrics.json");
+    let profiled = run(&[
+        "audit",
+        dir.to_str().unwrap(),
+        "--format",
+        "json",
+        "--res-sample-ms",
+        "5",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert_eq!(profiled.code, Some(0), "stderr: {}", profiled.stderr);
+    assert_eq!(
+        plain.stdout, profiled.stdout,
+        "resource profiling must not perturb the exported report"
+    );
+
+    let have_proc = Path::new("/proc/self/statm").exists();
+    let report = run(&["obs", "report", trace_path.to_str().unwrap(), "--resources"]);
+    assert_eq!(report.code, Some(0), "stderr: {}", report.stderr);
+    assert!(
+        report.stdout.contains("== resource report =="),
+        "missing resource report header:\n{}",
+        report.stdout
+    );
+    if have_proc {
+        for section in [
+            "stage resources (peak RSS / ΔRSS / CPU / bytes in / throughput):",
+            "root audit: cpu ",
+            "root audit: rss ",
+        ] {
+            assert!(
+                report.stdout.contains(section),
+                "obs report --resources missing {section:?}, got:\n{}",
+                report.stdout
+            );
+        }
+        // The decode stages carry byte accounting, so at least one stage
+        // row derives a bytes/sec throughput.
+        assert!(
+            report.stdout.contains("B/s"),
+            "no stage throughput in:\n{}",
+            report.stdout
+        );
+    } else {
+        assert!(
+            report.stdout.contains("resources unavailable"),
+            "without /proc the report must degrade, got:\n{}",
+            report.stdout
+        );
+    }
+
+    // Self-diff under the RSS gate is clean by definition.
+    let selfdiff = run(&[
+        "obs",
+        "diff",
+        metrics_path.to_str().unwrap(),
+        metrics_path.to_str().unwrap(),
+        "--fail-rss-over",
+        "50",
+    ]);
+    assert_eq!(selfdiff.code, Some(0), "stderr: {}", selfdiff.stderr);
+    assert!(
+        selfdiff.stdout.contains("verdict: ok"),
+        "self-diff must be ok, got:\n{}",
+        selfdiff.stdout
+    );
+
+    // Synthetic regression: triple every stage's peak RSS (well past the
+    // 50% gate and the 4MiB noise floor for a paper-scale run).
+    if have_proc {
+        let doc = parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        let mut inflated = doc.clone();
+        let mut resources = Json::obj();
+        for (name, stats) in doc
+            .get("resources")
+            .and_then(Json::as_obj)
+            .expect("profiled snapshot must carry a resources section")
+        {
+            let peak = stats.get("peakRssB").and_then(Json::as_i64).unwrap();
+            resources.set(
+                name.clone(),
+                stats.clone().with("peakRssB", Json::int(peak * 3)),
+            );
+        }
+        inflated.set("resources", resources);
+        let inflated_path = root.join("inflated.json");
+        std::fs::write(&inflated_path, inflated.to_pretty_string()).unwrap();
+
+        let gated = run(&[
+            "obs",
+            "diff",
+            metrics_path.to_str().unwrap(),
+            inflated_path.to_str().unwrap(),
+            "--fail-rss-over",
+            "50",
+        ]);
+        assert_eq!(
+            gated.code,
+            Some(2),
+            "tripled peak RSS must regress; stdout:\n{}\nstderr: {}",
+            gated.stdout,
+            gated.stderr
+        );
+        assert!(
+            gated.stdout.contains("verdict: regressed"),
+            "gated diff verdict, got:\n{}",
+            gated.stdout
+        );
+        assert!(
+            gated.stderr.contains("rss:"),
+            "regression list must name the rss series, got: {}",
+            gated.stderr
+        );
+
+        // The shrink direction is an improvement, not a regression.
+        let improved = run(&[
+            "obs",
+            "diff",
+            inflated_path.to_str().unwrap(),
+            metrics_path.to_str().unwrap(),
+            "--fail-rss-over",
+            "50",
+        ]);
+        assert_eq!(improved.code, Some(0), "stderr: {}", improved.stderr);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn obs_diff_flags_a_synthetic_regression_but_not_an_improvement() {
     let root = temp_dir("regression");

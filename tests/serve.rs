@@ -804,6 +804,18 @@ fn metrics_exposition_stays_consistent_under_concurrent_scraping() {
         );
     }
 
+    // The daemon samples its own RSS/CPU from /proc at boot, so on Linux
+    // the exposition must carry the process resource series; elsewhere the
+    // sampler degrades and the series are absent by design.
+    if std::path::Path::new("/proc/self/statm").exists() {
+        let rss = expo_value(&samples, "diffaudit_process_resident_bytes")
+            .expect("daemon must export diffaudit_process_resident_bytes");
+        assert!(rss > 0.0, "resident bytes must be positive, got {rss}");
+        let cpu = expo_value(&samples, "diffaudit_process_cpu_seconds_total")
+            .expect("daemon must export diffaudit_process_cpu_seconds_total");
+        assert!(cpu >= 0.0, "cpu seconds must be non-negative, got {cpu}");
+    }
+
     // Concurrent scraping must not perturb job results: the clean job's
     // document is byte-identical to the batch CLI on the same artifacts.
     let root = std::env::temp_dir().join(format!("diffaudit-serve-scrape-{}", std::process::id()));
@@ -838,6 +850,60 @@ fn metrics_exposition_stays_consistent_under_concurrent_scraping() {
     assert_eq!(status, 202);
     let exit = child.wait().expect("daemon exit");
     assert_eq!(exit.code(), Some(0), "daemon must drain cleanly");
+}
+
+/// Regression test for the `obs tail` restart stall: a client polling
+/// with a cursor from a previous daemon incarnation (higher than the new
+/// daemon's ring sequence) must receive the daemon's *own* ring position
+/// back, not an echo of the stale cursor — echoing would let the client
+/// poll past the new head forever. `client::next_cursor` then detects the
+/// regression and resyncs.
+#[test]
+fn events_cursor_resyncs_after_a_ring_reset() {
+    let (addr, handle) = boot(ServeConfig::default());
+
+    // A cursor far beyond anything this daemon's ring has issued — the
+    // client's view of a previous, longer-lived incarnation.
+    let stale: u64 = 1 << 40;
+    let (status, body) =
+        client::request_text(&addr, "GET", &format!("/api/v1/events?since={stale}"), &[])
+            .expect("events poll");
+    assert_eq!(status, 200);
+    let doc = diffaudit_json::parse(&body).expect("events JSON");
+    assert_eq!(
+        doc.get("events").and_then(Json::as_arr).map(|a| a.len()),
+        Some(0),
+        "nothing in the ring is newer than the stale cursor"
+    );
+    let server_cursor = doc
+        .get("cursor")
+        .and_then(Json::as_i64)
+        .expect("cursor field") as u64;
+    assert!(
+        server_cursor < stale,
+        "server must report its own ring position ({server_cursor}), not echo the stale cursor"
+    );
+
+    // The client helper detects the regression and adopts the new head...
+    let (next, resynced) = client::next_cursor(stale, server_cursor);
+    assert!(resynced, "a cursor below ours must trigger a resync");
+    assert_eq!(next, server_cursor);
+
+    // ...and from the resynced cursor, polling proceeds normally.
+    let (status, body) =
+        client::request_text(&addr, "GET", &format!("/api/v1/events?since={next}"), &[])
+            .expect("events poll after resync");
+    assert_eq!(status, 200);
+    let doc = diffaudit_json::parse(&body).expect("events JSON");
+    let follow_up = doc
+        .get("cursor")
+        .and_then(Json::as_i64)
+        .expect("cursor field") as u64;
+    let (_, resynced) = client::next_cursor(next, follow_up);
+    assert!(!resynced, "a forward-moving cursor must not resync");
+
+    let exit = shutdown_and_join(&addr, handle);
+    assert_eq!(exit.orphaned, 0);
 }
 
 /// `/result` on a queued or running job answers 409 with the current
