@@ -36,7 +36,10 @@
 //!   gate over two `--mode load` summaries: p90 end-to-end latency may
 //!   not grow past `--fail-over PCT` (default 75) once past the
 //!   `--noise-floor-ms` floor (default 2000 — single-CPU CI runners are
-//!   noisy), and the shed429 count must match exactly under a fixed seed.
+//!   noisy), and the burst must still shed at least one request — job
+//!   service time is now short enough that workers drain the queue
+//!   mid-burst, so the exact shed count races with the submit loop and
+//!   only "backpressure fired at all" is stable across runs.
 //!   Exit 0 = ok, 2 = regressed, 1 = unusable input.
 //!
 //! Usage: `serve_load [--scale F] [--seed N] [--threads N] [--out PATH]
@@ -605,9 +608,13 @@ fn mode_diff(baseline_path: &str, current_path: &str, fail_over_pct: f64, noise_
             "latencyMs.p90 {base_p90:.1} -> {cur_p90:.1} (+{growth_pct:.0}%, over {fail_over_pct:.0}% and the {noise_floor_ms:.0}ms floor)"
         ));
     }
-    if base_shed != cur_shed {
+    // Jobs finish fast enough that workers drain the queue mid-burst, so
+    // the exact shed count races with the submit loop; losing *all*
+    // shedding is the signal that the overload path broke (queue capacity
+    // grew, the 429 branch regressed, or the burst stopped overlapping).
+    if base_shed > 0 && cur_shed == 0 {
         regressions.push(format!(
-            "shed429 {base_shed} -> {cur_shed} (expected exact match)"
+            "shed429 {base_shed} -> {cur_shed} (burst no longer overloads the queue)"
         ));
     }
     println!(

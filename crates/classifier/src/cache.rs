@@ -1,0 +1,548 @@
+//! Persistent content-addressed classification cache.
+//!
+//! Classification dominates pipeline wall time, yet its input — the set of
+//! unique payload keys a service emits — barely changes between audits of
+//! the same service. This module stores finished ensemble verdicts in an
+//! **append-only, crash-safe, log-structured** file so warm re-audits skip
+//! the ensemble entirely.
+//!
+//! ## Record format (`classify.log`)
+//!
+//! ```text
+//! header:  8 bytes  b"DACLOG1\n"
+//! record:  len u32 LE | body | fnv1a64(body) u64 LE
+//! body:    fingerprint u64 LE | label u8 | key bytes (len - 9)
+//! ```
+//!
+//! `label` 0 means "classified below threshold / no label"; `1 + i` means
+//! `DataTypeCategory::ALL[i]`. The fingerprint is
+//! [`config_fingerprint`] — a hash over the ontology (labels + vocabulary),
+//! the lexicon, and the classifier configuration (seed, threshold,
+//! temperature grid, aggregation). Any change to any of those yields a
+//! different fingerprint, so stale entries *miss* instead of mis-hitting;
+//! entries under other fingerprints are preserved verbatim (several
+//! configurations can share one cache directory).
+//!
+//! ## Crash safety
+//!
+//! Appends are a single `write` + `fdatasync`; a crash can only lose or
+//! truncate the tail. On open the log is scanned record-by-record:
+//!
+//! - a **checksum mismatch** with intact framing skips that record and keeps
+//!   scanning (torn write in the middle, e.g. after compaction rename races);
+//! - a **truncated tail** or implausible length stops the scan, and — when
+//!   the cache is writable — the file is truncated back to the last
+//!   structurally complete record so future appends re-align;
+//! - a **bad header** abandons the whole file (it is rewritten empty).
+//!
+//! Every salvage decision is recorded as a [`CacheDamage`] entry, which the
+//! pipeline mirrors into the degradation ledger as `cache:` drops — damage
+//! is survived *and* reported, never silent.
+//!
+//! ## Locking
+//!
+//! A `cache.lock` file (created with `O_EXCL`, containing the owner pid)
+//! serializes writers. A second opener — say a batch CLI run while the serve
+//! daemon holds the cache — degrades to **read-only**: hits are still
+//! served, but nothing is inserted, truncated, or compacted. Stale locks
+//! from crashed processes are detected via `/proc/<pid>` and broken.
+//!
+//! ## Compaction
+//!
+//! Superseded (re-inserted) and damaged records accumulate as dead weight.
+//! When the log holds at least [`COMPACT_MIN_RECORDS`] records and more than
+//! half are dead, open() rewrites the live set to `classify.log.tmp`,
+//! fsyncs, and atomically renames it over the log.
+
+use diffaudit_ontology::DataTypeCategory;
+use diffaudit_util::{fnv1a64, Fnv64};
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Log header magic (8 bytes, version-bearing).
+pub const MAGIC: &[u8; 8] = b"DACLOG1\n";
+/// Log file name inside the cache directory.
+pub const LOG_FILE: &str = "classify.log";
+/// Advisory lock file name inside the cache directory.
+pub const LOCK_FILE: &str = "cache.lock";
+/// Compaction only considers logs with at least this many records.
+pub const COMPACT_MIN_RECORDS: u64 = 64;
+/// Upper bound on one record's body length; anything larger is framing
+/// damage, not a real key.
+const MAX_RECORD_BODY: u32 = 1 << 20;
+
+/// One salvage decision made while opening the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheDamage {
+    /// Human-readable description of what was wrong.
+    pub reason: String,
+    /// Byte offset of the damaged record, when meaningful.
+    pub offset: Option<u64>,
+}
+
+/// What the cache did during one pipeline run: the counters the pipeline
+/// fills in (hits/misses/inserts) plus the open-time state of the store.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheReport {
+    /// Keys answered from the cache.
+    pub hits: u64,
+    /// Keys that had to go to the ensemble.
+    pub misses: u64,
+    /// Fresh verdicts appended to the log.
+    pub inserts: u64,
+    /// `true` when another process held the lock and this run could only
+    /// read.
+    pub read_only: bool,
+    /// Live records (all fingerprints) after open.
+    pub live_records: u64,
+    /// `true` when open() compacted the log.
+    pub compacted: bool,
+    /// Salvage decisions made while opening the log.
+    pub damage: Vec<CacheDamage>,
+}
+
+/// Fingerprint of everything that determines a classification verdict: the
+/// ontology (labels and vocabulary — the "ontology version"), the lexicon,
+/// and the ensemble configuration. Cached entries are only trusted under an
+/// exactly matching fingerprint.
+pub fn config_fingerprint(
+    seed: u64,
+    threshold: f64,
+    temperatures: &[f64],
+    aggregation: &str,
+) -> u64 {
+    let mut hash = Fnv64::new();
+    hash.write(b"diffaudit-classify-cache/v1");
+    for category in DataTypeCategory::ALL {
+        hash.write(&[0]);
+        hash.write(category.label().as_bytes());
+        for term in category.vocabulary() {
+            hash.write(&[0]);
+            hash.write(term.as_bytes());
+        }
+    }
+    for (abbr, expansion) in crate::text::LEXICON {
+        hash.write(&[0]);
+        hash.write(abbr.as_bytes());
+        hash.write(&[0]);
+        hash.write(expansion.as_bytes());
+    }
+    hash.write(&seed.to_le_bytes());
+    hash.write(&threshold.to_bits().to_le_bytes());
+    for t in temperatures {
+        hash.write(&t.to_bits().to_le_bytes());
+    }
+    hash.write(&[0]);
+    hash.write(aggregation.as_bytes());
+    hash.finish()
+}
+
+/// How the advisory lock was resolved at open time.
+enum LockState {
+    /// We created `cache.lock`; writes allowed; removed on drop.
+    Owned,
+    /// Another live process holds it; read-only mode.
+    Contended,
+}
+
+/// The open classification store. See the module docs for the format and
+/// the recovery protocol.
+pub struct ClassifyCache {
+    dir: PathBuf,
+    fingerprint: u64,
+    /// key → verdict, for entries under our fingerprint.
+    own: HashMap<String, Option<DataTypeCategory>>,
+    /// (fingerprint, key) → label byte, for entries under other
+    /// fingerprints — preserved through compaction, never served.
+    foreign: BTreeMap<(u64, String), u8>,
+    /// Append handle (absent in read-only mode).
+    appender: Option<File>,
+    lock: LockState,
+    damage: Vec<CacheDamage>,
+    live_records: u64,
+    compacted: bool,
+    bytes_loaded: u64,
+}
+
+impl ClassifyCache {
+    /// Open (creating if necessary) the cache at `dir` for `fingerprint`.
+    ///
+    /// Always succeeds on a damaged log (salvage semantics); only real I/O
+    /// errors — unreadable directory, permission failures — are returned.
+    pub fn open(dir: &Path, fingerprint: u64) -> io::Result<ClassifyCache> {
+        fs::create_dir_all(dir)?;
+        let lock = acquire_lock(&dir.join(LOCK_FILE))?;
+        let writable = matches!(lock, LockState::Owned);
+
+        let log_path = dir.join(LOG_FILE);
+        let mut bytes = Vec::new();
+        match File::open(&log_path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        let mut cache = ClassifyCache {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            own: HashMap::new(),
+            foreign: BTreeMap::new(),
+            appender: None,
+            lock,
+            damage: Vec::new(),
+            live_records: 0,
+            compacted: false,
+            bytes_loaded: bytes.len() as u64,
+        };
+
+        let scan = cache.scan(&bytes);
+        if writable {
+            if scan.reset_file {
+                // Unrecognized header: abandon the file and start fresh.
+                let mut f = File::create(&log_path)?;
+                f.write_all(MAGIC)?;
+                f.sync_data()?;
+            } else if (scan.keep_len as usize) < bytes.len() {
+                // Structural tail damage: cut back to the last complete
+                // record so future appends re-align with the framing.
+                let f = OpenOptions::new().write(true).open(&log_path)?;
+                f.set_len(scan.keep_len)?;
+                f.sync_data()?;
+            } else if bytes.is_empty() {
+                let mut f = File::create(&log_path)?;
+                f.write_all(MAGIC)?;
+                f.sync_data()?;
+            }
+
+            let dead = scan.superseded + scan.damaged_records;
+            if scan.records_seen >= COMPACT_MIN_RECORDS && dead * 2 > scan.records_seen {
+                cache.compact()?;
+            }
+
+            cache.appender = Some(OpenOptions::new().append(true).open(&log_path)?);
+        }
+        cache.live_records = (cache.own.len() + cache.foreign.len()) as u64;
+        Ok(cache)
+    }
+
+    /// Scan the raw log bytes into the in-memory maps, recording damage.
+    fn scan(&mut self, bytes: &[u8]) -> ScanOutcome {
+        let mut out = ScanOutcome {
+            keep_len: MAGIC.len() as u64,
+            ..ScanOutcome::default()
+        };
+        if bytes.is_empty() {
+            return out;
+        }
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            self.damage.push(CacheDamage {
+                reason: "unrecognized log header".to_string(),
+                offset: Some(0),
+            });
+            out.reset_file = true;
+            return out;
+        }
+        let mut pos = MAGIC.len();
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 4 {
+                self.damage.push(CacheDamage {
+                    reason: "truncated record length".to_string(),
+                    offset: Some(pos as u64),
+                });
+                return out;
+            }
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            if len < 9 || len > MAX_RECORD_BODY {
+                self.damage.push(CacheDamage {
+                    reason: format!("implausible record length {len}"),
+                    offset: Some(pos as u64),
+                });
+                return out;
+            }
+            let body_start = pos + 4;
+            let body_end = body_start + len as usize;
+            let record_end = body_end + 8;
+            if record_end > bytes.len() {
+                self.damage.push(CacheDamage {
+                    reason: "truncated record body".to_string(),
+                    offset: Some(pos as u64),
+                });
+                return out;
+            }
+            let body = &bytes[body_start..body_end];
+            let stored =
+                u64::from_le_bytes(bytes[body_end..record_end].try_into().unwrap_or([0u8; 8]));
+            // Framing is intact from here on: whatever is wrong with this
+            // record, the next one is still addressable.
+            out.records_seen += 1;
+            out.keep_len = record_end as u64;
+            pos = record_end;
+            if fnv1a64(body) != stored {
+                out.damaged_records += 1;
+                self.damage.push(CacheDamage {
+                    reason: "checksum mismatch".to_string(),
+                    offset: Some((body_start - 4) as u64),
+                });
+                continue;
+            }
+            let fp = u64::from_le_bytes(body[..8].try_into().unwrap_or([0u8; 8]));
+            let label = body[8];
+            if label as usize > DataTypeCategory::ALL.len() {
+                out.damaged_records += 1;
+                self.damage.push(CacheDamage {
+                    reason: format!("invalid label byte {label}"),
+                    offset: Some((body_start - 4) as u64),
+                });
+                continue;
+            }
+            let Ok(key) = std::str::from_utf8(&body[9..]) else {
+                out.damaged_records += 1;
+                self.damage.push(CacheDamage {
+                    reason: "key is not valid UTF-8".to_string(),
+                    offset: Some((body_start - 4) as u64),
+                });
+                continue;
+            };
+            if fp == self.fingerprint {
+                if self
+                    .own
+                    .insert(key.to_string(), decode_label(label))
+                    .is_some()
+                {
+                    out.superseded += 1;
+                }
+            } else if self.foreign.insert((fp, key.to_string()), label).is_some() {
+                out.superseded += 1;
+            }
+        }
+        out
+    }
+
+    /// Rewrite the live set and atomically replace the log.
+    fn compact(&mut self) -> io::Result<()> {
+        let log_path = self.dir.join(LOG_FILE);
+        let tmp_path = self.dir.join("classify.log.tmp");
+        let mut buf = Vec::with_capacity(MAGIC.len() + (self.own.len() + self.foreign.len()) * 64);
+        buf.extend_from_slice(MAGIC);
+        for ((fp, key), label) in &self.foreign {
+            push_record(&mut buf, *fp, *label, key);
+        }
+        let mut keys: Vec<&String> = self.own.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            push_record(&mut buf, self.fingerprint, encode_label(self.own[key]), key);
+        }
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&buf)?;
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, &log_path)?;
+        // Best effort: persist the rename itself.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.compacted = true;
+        Ok(())
+    }
+
+    /// Look up one key under this cache's fingerprint. `Some(verdict)` is a
+    /// hit (the verdict itself may be "no label"); `None` is a miss.
+    pub fn get(&self, key: &str) -> Option<Option<DataTypeCategory>> {
+        self.own.get(key).copied()
+    }
+
+    /// Append a batch of fresh verdicts in one write + fdatasync; returns
+    /// the number of records actually persisted (0 in read-only mode).
+    pub fn insert_batch(
+        &mut self,
+        entries: &[(&str, Option<DataTypeCategory>)],
+    ) -> io::Result<u64> {
+        let Some(appender) = self.appender.as_mut() else {
+            return Ok(0);
+        };
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::with_capacity(entries.len() * 64);
+        for &(key, verdict) in entries {
+            push_record(&mut buf, self.fingerprint, encode_label(verdict), key);
+        }
+        appender.write_all(&buf)?;
+        appender.sync_data()?;
+        for &(key, verdict) in entries {
+            if self.own.insert(key.to_string(), verdict).is_none() {
+                self.live_records += 1;
+            }
+        }
+        Ok(entries.len() as u64)
+    }
+
+    /// `true` when another process holds the lock and writes are disabled.
+    pub fn read_only(&self) -> bool {
+        matches!(self.lock, LockState::Contended)
+    }
+
+    /// Salvage decisions made while opening the log.
+    pub fn damage(&self) -> &[CacheDamage] {
+        &self.damage
+    }
+
+    /// Live records across all fingerprints.
+    pub fn live_records(&self) -> u64 {
+        self.live_records
+    }
+
+    /// `true` when open() compacted the log.
+    pub fn compacted(&self) -> bool {
+        self.compacted
+    }
+
+    /// Bytes read from the log at open time.
+    pub fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded
+    }
+
+    /// Seed a [`CacheReport`] with this store's open-time state.
+    pub fn report(&self) -> CacheReport {
+        CacheReport {
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            read_only: self.read_only(),
+            live_records: self.live_records,
+            compacted: self.compacted,
+            damage: self.damage.clone(),
+        }
+    }
+}
+
+impl Drop for ClassifyCache {
+    fn drop(&mut self) {
+        if matches!(self.lock, LockState::Owned) {
+            let _ = fs::remove_file(self.dir.join(LOCK_FILE));
+        }
+    }
+}
+
+/// Per-open scan bookkeeping.
+#[derive(Default)]
+struct ScanOutcome {
+    /// Byte length of the structurally intact prefix.
+    keep_len: u64,
+    /// All framed records scanned (live, superseded, or damaged).
+    records_seen: u64,
+    /// Records replaced by a later record for the same (fingerprint, key).
+    superseded: u64,
+    /// Framed records whose content failed validation.
+    damaged_records: u64,
+    /// Header unrecognized: rewrite the file from scratch.
+    reset_file: bool,
+}
+
+fn decode_label(label: u8) -> Option<DataTypeCategory> {
+    if label == 0 {
+        None
+    } else {
+        Some(DataTypeCategory::ALL[label as usize - 1])
+    }
+}
+
+fn encode_label(verdict: Option<DataTypeCategory>) -> u8 {
+    match verdict {
+        None => 0,
+        Some(category) => {
+            // Position in the canonical ordering; ALL is small enough that a
+            // linear scan beats carrying an index map around.
+            let idx = DataTypeCategory::ALL
+                .iter()
+                .position(|c| *c == category)
+                .unwrap_or(0);
+            idx as u8 + 1
+        }
+    }
+}
+
+fn push_record(buf: &mut Vec<u8>, fp: u64, label: u8, key: &str) {
+    let body_len = 8 + 1 + key.len();
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let body_start = buf.len();
+    buf.extend_from_slice(&fp.to_le_bytes());
+    buf.push(label);
+    buf.extend_from_slice(key.as_bytes());
+    let checksum = fnv1a64(&buf[body_start..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+}
+
+/// Create-or-contend on the advisory lock file. A lock left by a dead
+/// process (checked via `/proc/<pid>`) is broken and re-acquired; when
+/// liveness cannot be determined the holder is assumed alive.
+fn acquire_lock(lock_path: &Path) -> io::Result<LockState> {
+    for attempt in 0..2 {
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(lock_path)
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", std::process::id());
+                return Ok(LockState::Owned);
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if attempt > 0 || !holder_is_dead(lock_path) {
+                    return Ok(LockState::Contended);
+                }
+                // Stale lock from a crashed process: break it and retry once.
+                let _ = fs::remove_file(lock_path);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(LockState::Contended)
+}
+
+/// `true` only when we can positively establish the lock holder is gone.
+fn holder_is_dead(lock_path: &Path) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return false; // cannot tell; assume alive
+    }
+    let Ok(contents) = fs::read_to_string(lock_path) else {
+        return false;
+    };
+    match contents.trim().parse::<u32>() {
+        // An unparseable pid means a corrupt lock file: treat as stale.
+        Err(_) => true,
+        Ok(pid) => !Path::new(&format!("/proc/{pid}")).exists(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_changes_with_every_input() {
+        let base = config_fingerprint(1, 0.8, &[0.0, 0.5], "avg");
+        assert_ne!(base, config_fingerprint(2, 0.8, &[0.0, 0.5], "avg"));
+        assert_ne!(base, config_fingerprint(1, 0.7, &[0.0, 0.5], "avg"));
+        assert_ne!(base, config_fingerprint(1, 0.8, &[0.0, 0.25], "avg"));
+        assert_ne!(base, config_fingerprint(1, 0.8, &[0.0], "avg"));
+        assert_ne!(base, config_fingerprint(1, 0.8, &[0.0, 0.5], "max"));
+        assert_eq!(base, config_fingerprint(1, 0.8, &[0.0, 0.5], "avg"));
+    }
+
+    #[test]
+    fn label_codec_round_trips() {
+        assert_eq!(decode_label(0), None);
+        for category in DataTypeCategory::ALL {
+            let byte = encode_label(Some(category));
+            assert_eq!(decode_label(byte), Some(category));
+        }
+        assert_eq!(decode_label(encode_label(None)), None);
+    }
+}

@@ -35,8 +35,12 @@
 //! - [`majority`] — the temperature-ensemble majority vote with Max/Avg
 //!   confidence aggregation (paper Table 3's "Majority-Max"/"Majority-Avg");
 //! - [`validate`] — sample accuracy / coverage at confidence thresholds,
-//!   reproducing Table 3's harness.
+//!   reproducing Table 3's harness;
+//! - [`cache`] — the persistent, crash-safe, content-addressed store of
+//!   finished ensemble verdicts that lets warm re-audits skip the ensemble
+//!   entirely.
 
+pub mod cache;
 pub mod distill;
 pub mod embed;
 pub mod fewshot;
@@ -48,6 +52,7 @@ pub mod tfidf;
 pub mod validate;
 pub mod zeroshot;
 
+pub use cache::{config_fingerprint, CacheDamage, CacheReport, ClassifyCache};
 pub use distill::{DistillOptions, DistilledModel};
 pub use llm::{ChatMessage, Classification, LlmClassifier, LlmOptions};
 pub use majority::{ConfidenceAggregation, MajorityEnsemble};

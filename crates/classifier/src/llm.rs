@@ -78,24 +78,72 @@ classification. Provide an explanation for each classification in 15 words or le
 score of confidence on a scale of 0 to 1 for each categorization. Format your response exactly \
 like this for each input text: <input text> // <category> // <score> // <explanation>.";
 
-/// Pre-computed vocabulary index: category → list of term token sets, plus
-/// global token weights.
+/// Number of ontology categories (the score-accumulator array size).
+const NUM_CATEGORIES: usize = DataTypeCategory::ALL.len();
+
+/// Sentinel symbol for tokens outside the vocabulary. Vocabulary tokens are
+/// numbered from 0, so no term symbol ever equals it — unknown input tokens
+/// can never match a term token, exactly like the string comparison they
+/// replace.
+const UNKNOWN_SYM: u32 = u32::MAX;
+
+/// One vocabulary term, symbolized: its category (as an index into
+/// `DataTypeCategory::ALL`) plus `(symbol, weight)` per token in original
+/// order (duplicates kept, so float accumulation order is identical to the
+/// string-based scorer this replaced).
+struct EngineTerm {
+    cat_idx: usize,
+    syms_w: Vec<(u32, f64)>,
+}
+
+/// Pre-computed vocabulary index. Tokens are interned to `u32` symbols once
+/// at build time; scoring a key is then integer comparisons over a scratch
+/// symbol buffer instead of `String` allocation + comparison per token.
 struct Engine {
-    /// (category, term tokens) for every vocabulary term.
-    terms: Vec<(DataTypeCategory, Vec<String>)>,
-    /// token → informativeness weight (rare tokens discriminate more).
-    weights: HashMap<String, f64>,
+    /// Normalized vocabulary token → symbol.
+    token_ids: HashMap<String, u32>,
+    /// Lexicon abbreviation → symbolized expansion (replaces the per-key
+    /// linear `LEXICON` scan and per-word `String` allocation).
+    lexicon_syms: HashMap<&'static str, Vec<u32>>,
+    /// Every vocabulary term, symbolized.
+    terms: Vec<EngineTerm>,
+}
+
+/// Reusable per-thread scratch for batch classification: the token arena,
+/// the symbolized input, the per-category best-score array, and the sorted
+/// score vector. One of these per worker amortizes every allocation in the
+/// hot path across the whole batch.
+pub(crate) struct ClassifyScratch {
+    arena: crate::text::TokenArena,
+    syms: Vec<u32>,
+    best: [f64; NUM_CATEGORIES],
+    scored: Vec<(DataTypeCategory, f64)>,
+    /// Reusable buffer for the `{:.2}` confidence round-trip emulation.
+    pub(crate) fmt: String,
+}
+
+impl ClassifyScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            arena: crate::text::TokenArena::new(),
+            syms: Vec::new(),
+            best: [0.0; NUM_CATEGORIES],
+            scored: Vec::new(),
+            fmt: String::new(),
+        }
+    }
 }
 
 impl Engine {
     fn build() -> Engine {
-        let mut terms = Vec::new();
+        // Pass 1: normalize every vocabulary term (the same lexicon
+        // expansion inputs get, so "rtt" meets "rtt" in the shared "round
+        // trip time" form), intern tokens, count document frequencies.
+        let mut token_ids: HashMap<String, u32> = HashMap::new();
         let mut doc_freq: HashMap<String, usize> = HashMap::new();
-        for category in DataTypeCategory::ALL {
+        let mut raw_terms: Vec<(usize, Vec<String>)> = Vec::new();
+        for (cat_idx, category) in DataTypeCategory::ALL.into_iter().enumerate() {
             for term in category.vocabulary() {
-                // Vocabulary terms run through the same lexicon expansion as
-                // inputs, so "rtt" (term) meets "rtt" (key) in the shared
-                // "round trip time" form.
                 let tokens: Vec<String> = normalize(term);
                 let mut seen = tokens.clone();
                 seen.sort();
@@ -103,36 +151,82 @@ impl Engine {
                 for t in seen {
                     *doc_freq.entry(t).or_insert(0) += 1;
                 }
-                terms.push((category, tokens));
+                for t in &tokens {
+                    if !token_ids.contains_key(t) {
+                        let id = token_ids.len() as u32;
+                        token_ids.insert(t.clone(), id);
+                    }
+                }
+                raw_terms.push((cat_idx, tokens));
             }
         }
-        let weights = doc_freq
+        // Rare tokens discriminate more.
+        let weights: HashMap<String, f64> = doc_freq
             .into_iter()
             .map(|(t, df)| (t, 1.0 / (1.0 + (df as f64).ln().max(0.0))))
             .collect();
-        Engine { terms, weights }
+        // Pass 2: symbolize terms and the lexicon expansions.
+        let terms = raw_terms
+            .into_iter()
+            .map(|(cat_idx, tokens)| EngineTerm {
+                cat_idx,
+                syms_w: tokens
+                    .iter()
+                    .map(|t| {
+                        (
+                            token_ids[t.as_str()],
+                            weights.get(t.as_str()).copied().unwrap_or(0.0),
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        let lexicon_syms = crate::text::LEXICON
+            .iter()
+            .map(|&(abbr, expansion)| {
+                let syms = expansion
+                    .split(' ')
+                    .map(|w| token_ids.get(w).copied().unwrap_or(UNKNOWN_SYM))
+                    .collect();
+                (abbr, syms)
+            })
+            .collect();
+        Engine {
+            token_ids,
+            lexicon_syms,
+            terms,
+        }
     }
 
-    fn token_weight(&self, token: &str) -> f64 {
-        // Unknown tokens get a middling weight: they are informative about
-        // nothing we know.
-        self.weights.get(token).copied().unwrap_or(0.0)
+    /// Tokenize + lexicon-expand `raw` into `scratch.syms` (the symbolized
+    /// equivalent of [`normalize`]).
+    fn symbolize(&self, raw: &str, scratch: &mut ClassifyScratch) {
+        scratch.arena.clear();
+        scratch.syms.clear();
+        for i in scratch.arena.split(raw) {
+            let token = scratch.arena.token(i);
+            match self.lexicon_syms.get(token) {
+                Some(expansion) => scratch.syms.extend_from_slice(expansion),
+                None => scratch
+                    .syms
+                    .push(self.token_ids.get(token).copied().unwrap_or(UNKNOWN_SYM)),
+            }
+        }
     }
 
-    /// Score every category against the normalized input tokens; returns
-    /// sorted (category, score) best-first.
-    fn score(&self, input_tokens: &[String]) -> Vec<(DataTypeCategory, f64)> {
-        let mut best_per_category: HashMap<DataTypeCategory, f64> = HashMap::new();
-
-        for (category, term_tokens) in &self.terms {
+    /// Score every category against the symbolized input; leaves the sorted
+    /// (category, score) list, best-first, in `scratch.scored`.
+    fn score_syms(&self, scratch: &mut ClassifyScratch) {
+        scratch.best.fill(0.0);
+        let input_syms = &scratch.syms;
+        for term in &self.terms {
             // Weighted overlap: how much of this term is present in the
             // input, and how much of the input the term explains.
             let mut matched_weight = 0.0;
             let mut term_weight = 0.0;
-            for t in term_tokens {
-                let w = self.token_weight(t);
+            for &(sym, w) in &term.syms_w {
                 term_weight += w;
-                if input_tokens.contains(t) {
+                if input_syms.contains(&sym) {
                     matched_weight += w;
                 }
             }
@@ -141,26 +235,32 @@ impl Engine {
             }
             let term_coverage = matched_weight / term_weight;
             // Exact phrase bonus.
-            let exact = term_tokens.len() == input_tokens.len()
-                && term_tokens.iter().zip(input_tokens).all(|(a, b)| a == b);
+            let exact = term.syms_w.len() == input_syms.len()
+                && term
+                    .syms_w
+                    .iter()
+                    .zip(input_syms)
+                    .all(|(&(a, _), &b)| a == b);
             let score = if exact {
                 1.0
             } else {
                 // Penalize terms that only match on weak tokens.
                 term_coverage * (0.55 + 0.45 * (matched_weight / (matched_weight + 0.5)))
             };
-            let entry = best_per_category.entry(*category).or_insert(0.0);
-            if score > *entry {
-                *entry = score;
+            if score > scratch.best[term.cat_idx] {
+                scratch.best[term.cat_idx] = score;
             }
         }
-        let mut scored: Vec<(DataTypeCategory, f64)> = best_per_category
-            .into_iter()
-            .filter(|&(_, s)| s > 0.0)
-            .collect();
+        scratch.scored.clear();
+        for (i, &s) in scratch.best.iter().enumerate() {
+            if s > 0.0 {
+                scratch.scored.push((DataTypeCategory::ALL[i], s));
+            }
+        }
         // Deterministic order: score desc, then category for ties.
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
-        scored
+        scratch
+            .scored
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
     }
 }
 
@@ -169,6 +269,111 @@ fn engine() -> &'static Engine {
     // lint:allow(global-state): immutable cache of the deterministic classifier engine, built once from const data
     static ENGINE: OnceLock<Engine> = OnceLock::new();
     ENGINE.get_or_init(Engine::build)
+}
+
+/// Everything about one input that is independent of temperature and seed:
+/// the scored category list collapsed to the fields the noise model needs.
+/// Computing this once and replaying [`LlmClassifier::answer_scored`] per
+/// ensemble member is what lets the ensemble share the lexicon scoring work
+/// across its five members.
+pub(crate) struct PreScored {
+    /// Winning category after the temperature-independent gap flip.
+    category: DataTypeCategory,
+    /// Runner-up category, when one exists (plausible-confusion target).
+    second: Option<DataTypeCategory>,
+    /// The top raw (category, score) entry, for the explanation line.
+    top: Option<(DataTypeCategory, f64)>,
+    base_score: f64,
+    margin: f64,
+    /// Confidence after the overconfident-guess adjustment, before
+    /// temperature jitter.
+    confidence: f64,
+    /// `fnv1a64(input)` — the per-input part of each member's noise seed.
+    input_hash: u64,
+}
+
+/// A model answer label: valid, or an invented name (temperature > 1).
+pub(crate) enum LabelOut {
+    Valid(DataTypeCategory),
+    Hallucinated(&'static str, &'static str),
+}
+
+impl PreScored {
+    /// Run the temperature-independent part of the noise model for `input`.
+    pub(crate) fn compute(input: &str, scratch: &mut ClassifyScratch) -> PreScored {
+        let eng = engine();
+        eng.symbolize(input, scratch);
+        eng.score_syms(scratch);
+        let scored = &scratch.scored;
+        let (mut category, base_score, margin) = match scored.len() {
+            0 => {
+                // Nothing matched: the model guesses a behavioral catch-all,
+                // with low confidence — like GPT-4 facing opaque keys.
+                let guess = if scratch.syms.len() <= 1 {
+                    DataTypeCategory::ServiceInfo
+                } else {
+                    DataTypeCategory::AppServiceUsage
+                };
+                (guess, 0.12, 0.0)
+            }
+            1 => (scored[0].0, scored[0].1, scored[0].1),
+            _ => (scored[0].0, scored[0].1, scored[0].1 - scored[1].1),
+        };
+
+        // Confidence model: driven by match strength and separation.
+        let mut confidence = (0.30 + 0.58 * base_score + 0.22 * margin.min(0.5)).clamp(0.05, 0.99);
+
+        // World-knowledge gaps: on a small, temperature-independent fraction
+        // of inputs the model is *confidently wrong* — it picks a plausible
+        // neighboring category at full confidence. Real LLMs are not
+        // well-calibrated (the paper's Table 3 shows accuracy at the 0.7
+        // threshold only a few points above overall accuracy), and this is
+        // the mechanism that reproduces that miscalibration.
+        let mut gap_hash = diffaudit_util::Fnv64::new();
+        gap_hash.write(input.as_bytes());
+        gap_hash.write(b"::gap");
+        let gap_roll = gap_hash.finish() as f64 / u64::MAX as f64;
+        if gap_roll < 0.085 && scored.len() > 1 && base_score < 0.97 {
+            // (exact vocabulary matches are immune — even a miscalibrated
+            // model does not misread "email address")
+            category = scored[1].0;
+        }
+        // Overconfident guessing: some opaque inputs nonetheless draw a
+        // fluent, high-confidence answer.
+        if base_score < 0.35 {
+            let mut oc_hash = diffaudit_util::Fnv64::new();
+            oc_hash.write(input.as_bytes());
+            oc_hash.write(b"::oc");
+            let oc_roll = oc_hash.finish() as f64 / u64::MAX as f64;
+            if oc_roll < 0.45 {
+                confidence = (0.68 + 0.3 * oc_roll).min(0.95);
+            }
+        }
+
+        PreScored {
+            category,
+            second: scored.get(1).map(|&(c, _)| c),
+            top: scored.first().copied(),
+            base_score,
+            margin,
+            confidence,
+            input_hash: fnv1a64(input.as_bytes()),
+        }
+    }
+
+    /// The model's one-line explanation (depends only on the raw scores).
+    pub(crate) fn explanation(&self) -> String {
+        match self.top {
+            Some((c, s)) if s >= 0.8 => {
+                format!("matches {} examples directly", c.label().to_lowercase())
+            }
+            Some((c, _)) => format!(
+                "tokens suggest {} based on partial example overlap",
+                c.label().to_lowercase()
+            ),
+            None => "unclear key; guessing from structure".to_string(),
+        }
+    }
 }
 
 /// The simulated GPT-4 classifier.
@@ -214,79 +419,51 @@ impl LlmClassifier {
             .find(|m| m.role == "user")
             .map(|m| m.content.lines().collect())
             .unwrap_or_default();
+        let mut scratch = ClassifyScratch::new();
         let mut out = String::new();
         for input in inputs {
-            let (label, confidence, explanation) = self.answer(input);
-            out.push_str(&format!(
-                "{input} // {label} // {confidence:.2} // {explanation}\n"
-            ));
+            let pre = PreScored::compute(input, &mut scratch);
+            let (label, confidence) = self.answer_scored(&pre);
+            let explanation = pre.explanation();
+            match label {
+                LabelOut::Valid(category) => {
+                    let label = category.label();
+                    out.push_str(&format!(
+                        "{input} // {label} // {confidence:.2} // {explanation}\n"
+                    ));
+                }
+                LabelOut::Hallucinated(adjective, noun) => out.push_str(&format!(
+                    "{input} // {adjective} {noun} // {confidence:.2} // {explanation}\n"
+                )),
+            }
         }
         out
     }
 
-    /// Produce the model's answer for one input: `(label text, confidence,
-    /// explanation)`. The label text may be a hallucination at temperature
-    /// above 1.
-    fn answer(&self, input: &str) -> (String, f64, String) {
-        let tokens = normalize(input);
-        let scored = engine().score(&tokens);
+    /// Replay the temperature/seed-dependent part of the noise model over a
+    /// [`PreScored`] input: label flips, confidence jitter, hallucination.
+    /// The RNG draw sequence is exactly the original single-pass model's, so
+    /// sharing one `PreScored` across ensemble members changes nothing.
+    pub(crate) fn answer_scored(&self, pre: &PreScored) -> (LabelOut, f64) {
         // Per-input deterministic noise stream: depends on seed,
         // temperature, and the input itself, so batch order is irrelevant.
-        let noise_seed = self.options.seed
-            ^ fnv1a64(input.as_bytes())
-            ^ (self.options.temperature * 1000.0) as u64;
+        let noise_seed =
+            self.options.seed ^ pre.input_hash ^ (self.options.temperature * 1000.0) as u64;
         let mut rng = Rng::new(noise_seed);
 
-        let (mut category, base_score, margin) = match scored.len() {
-            0 => {
-                // Nothing matched: the model guesses a behavioral catch-all,
-                // with low confidence — like GPT-4 facing opaque keys.
-                let guess = if tokens.len() <= 1 {
-                    DataTypeCategory::ServiceInfo
-                } else {
-                    DataTypeCategory::AppServiceUsage
-                };
-                (guess, 0.12, 0.0)
-            }
-            1 => (scored[0].0, scored[0].1, scored[0].1),
-            _ => (scored[0].0, scored[0].1, scored[0].1 - scored[1].1),
-        };
-
-        // Confidence model: driven by match strength and separation.
-        let mut confidence = (0.30 + 0.58 * base_score + 0.22 * margin.min(0.5)).clamp(0.05, 0.99);
-
-        // World-knowledge gaps: on a small, temperature-independent fraction
-        // of inputs the model is *confidently wrong* — it picks a plausible
-        // neighboring category at full confidence. Real LLMs are not
-        // well-calibrated (the paper's Table 3 shows accuracy at the 0.7
-        // threshold only a few points above overall accuracy), and this is
-        // the mechanism that reproduces that miscalibration.
-        let gap_roll = fnv1a64(&[input.as_bytes(), b"::gap"].concat()) as f64 / u64::MAX as f64;
-        if gap_roll < 0.085 && scored.len() > 1 && base_score < 0.97 {
-            // (exact vocabulary matches are immune — even a miscalibrated
-            // model does not misread "email address")
-            category = scored[1].0;
-        }
-        // Overconfident guessing: some opaque inputs nonetheless draw a
-        // fluent, high-confidence answer.
-        if base_score < 0.35 {
-            let oc_roll = fnv1a64(&[input.as_bytes(), b"::oc"].concat()) as f64 / u64::MAX as f64;
-            if oc_roll < 0.45 {
-                confidence = (0.68 + 0.3 * oc_roll).min(0.95);
-            }
-        }
+        let mut category = pre.category;
+        let mut confidence = pre.confidence;
 
         // Temperature-driven label noise. Ambiguous inputs (small margin,
         // weak match) flip more readily.
         let t = self.options.temperature;
         if t > 0.0 {
-            let ambiguity = 1.0 - (base_score * 0.6 + margin.min(0.5) * 0.8).min(1.0);
+            let ambiguity = 1.0 - (pre.base_score * 0.6 + pre.margin.min(0.5) * 0.8).min(1.0);
             let flip_prob = (t * (0.06 + 0.38 * ambiguity)).min(0.9);
             if rng.chance(flip_prob) {
-                if scored.len() > 1 && rng.chance(0.7) {
-                    category = scored[1].0; // plausible confusion
-                } else {
-                    category = *rng.choose(&DataTypeCategory::ALL);
+                match pre.second {
+                    Some(second) if rng.chance(0.7) => category = second, // plausible confusion
+                    _ => category = *rng.choose(&DataTypeCategory::ALL),
                 }
                 // The model does not know it erred; confidence barely moves.
                 confidence = (confidence - 0.05).max(0.05);
@@ -296,26 +473,24 @@ impl LlmClassifier {
         }
 
         // Hallucination regime (temperature > 1): invented category names.
-        let label_text = if t > 1.0 && rng.chance((t - 1.0).min(1.0) * 0.8) {
+        if t > 1.0 && rng.chance((t - 1.0).min(1.0) * 0.8) {
             let adjectives = ["Quantum", "Holistic", "Meta", "Hyper", "Latent"];
             let nouns = ["Signals", "Essence", "Vibes", "Artifacts", "Residue"];
-            format!("{} {}", rng.choose(&adjectives), rng.choose(&nouns))
+            let adjective = *rng.choose(&adjectives);
+            let noun = *rng.choose(&nouns);
+            (LabelOut::Hallucinated(adjective, noun), confidence)
         } else {
-            category.label().to_string()
-        };
-
-        let explanation = match scored.first() {
-            Some((c, s)) if *s >= 0.8 => {
-                format!("matches {} examples directly", c.label().to_lowercase())
-            }
-            Some((c, _)) => format!(
-                "tokens suggest {} based on partial example overlap",
-                c.label().to_lowercase()
-            ),
-            None => "unclear key; guessing from structure".to_string(),
-        };
-        (label_text, confidence, explanation)
+            (LabelOut::Valid(category), confidence)
+        }
     }
+}
+
+/// `true` when `input` survives the textual round-trip unchanged: a single
+/// trimmed line with no ` // ` separator inside it. The ensemble's batch
+/// fast path may emulate the render-then-parse loop only for such inputs;
+/// anything else falls back to the real textual path.
+pub(crate) fn roundtrip_safe(input: &str) -> bool {
+    !input.contains('\n') && !input.contains(" // ") && input.trim() == input
 }
 
 impl Classifier for LlmClassifier {

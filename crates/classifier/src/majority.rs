@@ -6,9 +6,12 @@
 //! score threshold, we either compute … the maximum confidence score amongst
 //! the models that assigned the majority label or we can use the average."
 
-use crate::llm::{Classification, LlmClassifier, LlmOptions};
+use crate::llm::{
+    roundtrip_safe, Classification, ClassifyScratch, LabelOut, LlmClassifier, LlmOptions, PreScored,
+};
 use diffaudit_ontology::DataTypeCategory;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// How the ensemble aggregates member confidences (the paper's
 /// Majority-Max vs Majority-Avg rows).
@@ -67,6 +70,60 @@ impl MajorityEnsemble {
     /// broken toward the label with the highest aggregated confidence, then
     /// deterministically by category order).
     pub fn classify_batch(&self, inputs: &[&str]) -> Vec<Classification> {
+        self.classify_batch_threads(inputs, 1)
+    }
+
+    /// [`Self::classify_batch`] with an explicit worker count.
+    ///
+    /// For well-formed inputs (single trimmed lines — every key the pipeline
+    /// produces) this takes the shared-scoring fast path: the lexicon engine
+    /// scores each input **once** and every member replays only its own
+    /// temperature noise over the shared [`PreScored`], instead of each
+    /// member re-tokenizing, re-scoring, and round-tripping the whole batch
+    /// through the textual chat format. The textual render-then-parse loop
+    /// is emulated bit-exactly (label validity, `{:.2}` confidence
+    /// round-trip), and any input that would not survive that round-trip
+    /// unchanged sends the whole batch down the real textual path — results
+    /// are identical either way, which `fast_path_matches_textual_path`
+    /// pins.
+    pub fn classify_batch_threads(&self, inputs: &[&str], threads: usize) -> Vec<Classification> {
+        if !inputs.iter().all(|input| roundtrip_safe(input)) {
+            return self.classify_textual(inputs);
+        }
+        diffaudit_util::par::par_map_ctx(
+            threads,
+            inputs,
+            ClassifyScratch::new,
+            |scratch, _idx, input| {
+                let pre = PreScored::compute(input, scratch);
+                let mut votes: Vec<(Option<DataTypeCategory>, f64)> =
+                    Vec::with_capacity(self.members.len());
+                for member in &self.members {
+                    let (label, confidence) = member.answer_scored(&pre);
+                    // Emulate the textual round-trip: hallucinated labels
+                    // fail `from_label` (no vote), and the confidence passes
+                    // through `format!("{:.2}")` + parse exactly as
+                    // `parse_response` would see it.
+                    let category = match label {
+                        LabelOut::Valid(category) => Some(category),
+                        LabelOut::Hallucinated(..) => None,
+                    };
+                    scratch.fmt.clear();
+                    let _ = write!(scratch.fmt, "{confidence:.2}");
+                    let confidence = scratch.fmt.parse::<f64>().unwrap_or(0.0).clamp(0.0, 1.0);
+                    votes.push((category, confidence));
+                }
+                self.combine(input, &votes)
+            },
+            |_| {},
+        )
+    }
+
+    /// The reference implementation: every member renders and parses the
+    /// full chat-format response. Kept as the fallback for inputs that do
+    /// not survive the textual round-trip, and as the oracle the fast path
+    /// is tested against.
+    fn classify_textual(&self, inputs: &[&str]) -> Vec<Classification> {
         let member_outputs: Vec<Vec<Classification>> = self
             .members
             .iter()
@@ -74,18 +131,20 @@ impl MajorityEnsemble {
             .collect();
         (0..inputs.len())
             .map(|i| {
-                let votes: Vec<&Classification> =
-                    member_outputs.iter().map(|out| &out[i]).collect();
+                let votes: Vec<(Option<DataTypeCategory>, f64)> = member_outputs
+                    .iter()
+                    .map(|out| (out[i].category, out[i].confidence))
+                    .collect();
                 self.combine(inputs[i], &votes)
             })
             .collect()
     }
 
-    fn combine(&self, input: &str, votes: &[&Classification]) -> Classification {
+    fn combine(&self, input: &str, votes: &[(Option<DataTypeCategory>, f64)]) -> Classification {
         let mut tally: HashMap<DataTypeCategory, Vec<f64>> = HashMap::new();
-        for vote in votes {
-            if let Some(category) = vote.category {
-                tally.entry(category).or_default().push(vote.confidence);
+        for &(category, confidence) in votes {
+            if let Some(category) = category {
+                tally.entry(category).or_default().push(confidence);
             }
         }
         if tally.is_empty() {
@@ -201,6 +260,48 @@ mod tests {
         );
         let r = &e.classify_batch(&["email_address"])[0];
         assert_eq!(r.category, Some(DataTypeCategory::ContactInfo));
+    }
+
+    #[test]
+    fn fast_path_matches_textual_path() {
+        // A mix of exact vocab hits, partial matches, opaque keys, acronyms,
+        // and keys whose gap/overconfidence rolls fire.
+        let inputs = [
+            "email_address",
+            "device_id",
+            "idfa",
+            "lang",
+            "xp_total",
+            "zq9_blk",
+            "session_token",
+            "geo_blob",
+            "usr_stat_7",
+            "IsOptOutEmailShown",
+            "a",
+            "",
+            "net_t_44",
+        ];
+        for temps in [&TEMPERATURE_GRID[..], &[0.0, 0.25, 1.8, 2.0][..]] {
+            for aggregation in [ConfidenceAggregation::Average, ConfidenceAggregation::Max] {
+                let e = MajorityEnsemble::with_temperatures(17, temps, aggregation);
+                let textual = e.classify_textual(&inputs);
+                for threads in [1, 3] {
+                    let fast = e.classify_batch_threads(&inputs, threads);
+                    assert_eq!(fast, textual, "temps {temps:?} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsafe_inputs_fall_back_to_textual_path() {
+        // " // " inside a key would corrupt the chat line format; the batch
+        // must take the textual path and still agree with it.
+        let inputs = ["email_address", "weird // key", " padded "];
+        let e = MajorityEnsemble::new(17, ConfidenceAggregation::Average);
+        let fast = e.classify_batch_threads(&inputs, 2);
+        let textual = e.classify_textual(&inputs);
+        assert_eq!(fast, textual);
     }
 
     #[test]

@@ -8,46 +8,101 @@
 //! knowledge for this expansion — the lexicon is that knowledge, made
 //! explicit and testable.
 
-/// Split a raw key into lowercase word tokens.
-///
-/// Boundaries: any non-alphanumeric character, a lower→upper case change
-/// (`deviceId` → `device id`), and letter↔digit changes (`ip4addr` →
-/// `ip 4 addr`). Runs of uppercase are kept together until a lowercase
-/// follows (`HTTPRequest` → `http request`).
+/// A reusable token arena: one shared text buffer plus `(start, end)` bounds
+/// per token, so batch classification tokenizes thousands of keys without a
+/// `String` allocation per token. [`tokenize`] delegates through this type,
+/// which keeps the boundary algorithm in exactly one place.
+#[derive(Debug, Default)]
+pub struct TokenArena {
+    text: String,
+    bounds: Vec<(u32, u32)>,
+    chars: Vec<char>,
+}
+
+impl TokenArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all tokens but keep the allocated buffers.
+    pub fn clear(&mut self) {
+        self.text.clear();
+        self.bounds.clear();
+    }
+
+    /// Number of tokens currently held.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` when the arena holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Token `i` as a string slice into the shared buffer.
+    pub fn token(&self, i: usize) -> &str {
+        let (start, end) = self.bounds[i];
+        &self.text[start as usize..end as usize]
+    }
+
+    /// Split `raw` into lowercase word tokens appended to the arena;
+    /// returns the index range of the new tokens.
+    ///
+    /// Boundaries: any non-alphanumeric character, a lower→upper case change
+    /// (`deviceId` → `device id`), and letter↔digit changes (`ip4addr` →
+    /// `ip 4 addr`). Runs of uppercase are kept together until a lowercase
+    /// follows (`HTTPRequest` → `http request`).
+    pub fn split(&mut self, raw: &str) -> std::ops::Range<usize> {
+        let first = self.bounds.len();
+        self.chars.clear();
+        self.chars.extend(raw.chars());
+        let mut start = self.text.len();
+        for i in 0..self.chars.len() {
+            let c = self.chars[i];
+            if !c.is_alphanumeric() {
+                if self.text.len() > start {
+                    self.bounds.push((start as u32, self.text.len() as u32));
+                    start = self.text.len();
+                }
+                continue;
+            }
+            if self.text.len() > start {
+                let prev = self.chars[i - 1];
+                let boundary =
+                    // fooBar
+                    (prev.is_lowercase() && c.is_uppercase())
+                    // HTTPRequest -> HTTP | Request (upper run followed by Upper+lower)
+                    || (prev.is_uppercase()
+                        && c.is_uppercase()
+                        && self.chars.get(i + 1).is_some_and(|n| n.is_lowercase()))
+                    // letter <-> digit
+                    || (prev.is_ascii_digit() != c.is_ascii_digit()
+                        && (prev.is_alphanumeric() && c.is_alphanumeric())
+                        && (prev.is_ascii_digit() || c.is_ascii_digit()));
+                if boundary {
+                    self.bounds.push((start as u32, self.text.len() as u32));
+                    start = self.text.len();
+                }
+            }
+            for lc in c.to_lowercase() {
+                self.text.push(lc);
+            }
+        }
+        if self.text.len() > start {
+            self.bounds.push((start as u32, self.text.len() as u32));
+        }
+        first..self.bounds.len()
+    }
+}
+
+/// Split a raw key into lowercase word tokens (see [`TokenArena::split`] for
+/// the boundary rules).
 pub fn tokenize(raw: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    let chars: Vec<char> = raw.chars().collect();
-    for (i, &c) in chars.iter().enumerate() {
-        if !c.is_alphanumeric() {
-            if !current.is_empty() {
-                tokens.push(std::mem::take(&mut current));
-            }
-            continue;
-        }
-        if !current.is_empty() {
-            let prev = chars[i - 1];
-            let boundary =
-                // fooBar
-                (prev.is_lowercase() && c.is_uppercase())
-                // HTTPRequest -> HTTP | Request (upper run followed by Upper+lower)
-                || (prev.is_uppercase()
-                    && c.is_uppercase()
-                    && chars.get(i + 1).is_some_and(|n| n.is_lowercase()))
-                // letter <-> digit
-                || (prev.is_ascii_digit() != c.is_ascii_digit()
-                    && (prev.is_alphanumeric() && c.is_alphanumeric())
-                    && (prev.is_ascii_digit() || c.is_ascii_digit()));
-            if boundary {
-                tokens.push(std::mem::take(&mut current));
-            }
-        }
-        current.extend(c.to_lowercase());
-    }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
-    tokens
+    let mut arena = TokenArena::new();
+    let range = arena.split(raw);
+    range.map(|i| arena.token(i).to_string()).collect()
 }
 
 /// The acronym/abbreviation lexicon: token → expansion tokens.
@@ -292,6 +347,23 @@ mod tests {
         assert_eq!(normalize_phrase("user_dob"), "user date of birth");
         assert_eq!(normalize_phrase("idfa"), "advertising identifier");
         assert_eq!(normalize_phrase("unknown_blob"), "unknown blob");
+    }
+
+    #[test]
+    fn arena_keeps_tokens_across_keys_and_clears() {
+        let mut arena = TokenArena::new();
+        let a = arena.split("deviceId");
+        let b = arena.split("HTTPRequest");
+        let got_a: Vec<&str> = a.map(|i| arena.token(i)).collect();
+        let got_b: Vec<&str> = b.map(|i| arena.token(i)).collect();
+        assert_eq!(got_a, ["device", "id"]);
+        assert_eq!(got_b, ["http", "request"]);
+        assert_eq!(arena.len(), 4);
+        arena.clear();
+        assert!(arena.is_empty());
+        let c = arena.split("ip4addr");
+        let got_c: Vec<&str> = c.map(|i| arena.token(i)).collect();
+        assert_eq!(got_c, ["ip", "4", "addr"]);
     }
 
     #[test]

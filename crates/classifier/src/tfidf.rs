@@ -10,25 +10,43 @@ use std::collections::HashMap;
 /// A sparse vector keyed by feature id.
 pub type SparseVec = HashMap<u64, f64>;
 
-/// Extract character n-grams (as feature hashes) from a phrase, with word
-/// boundary markers so `"id"` inside `"video"` differs from the token `"id"`.
-fn char_ngrams(phrase: &str, n: usize) -> Vec<u64> {
-    let mut grams = Vec::new();
+/// Hash a char window as if it were collected into a `String` first: the
+/// streaming FNV writer over each char's UTF-8 bytes produces exactly
+/// `fnv1a64(window.iter().collect::<String>())` without the allocation.
+fn hash_chars(window: &[char]) -> u64 {
+    let mut hash = diffaudit_util::Fnv64::new();
+    let mut buf = [0u8; 4];
+    for &c in window {
+        hash.write(c.encode_utf8(&mut buf).as_bytes());
+    }
+    hash.finish()
+}
+
+/// Extract character n-grams (as feature hashes) from a phrase into `out`,
+/// with word boundary markers so `"id"` inside `"video"` differs from the
+/// token `"id"`. `padded` is caller-provided scratch, so a batch of phrases
+/// shares one buffer instead of allocating per word and per window.
+fn char_ngrams_into(phrase: &str, n: usize, padded: &mut Vec<char>, out: &mut Vec<u64>) {
     for word in phrase.split_whitespace() {
-        let padded: Vec<char> = std::iter::once('^')
-            .chain(word.chars())
-            .chain(std::iter::once('$'))
-            .collect();
+        padded.clear();
+        padded.push('^');
+        padded.extend(word.chars());
+        padded.push('$');
         if padded.len() < n {
-            let s: String = padded.iter().collect();
-            grams.push(diffaudit_util::fnv1a64(s.as_bytes()));
+            out.push(hash_chars(padded));
             continue;
         }
         for window in padded.windows(n) {
-            let s: String = window.iter().collect();
-            grams.push(diffaudit_util::fnv1a64(s.as_bytes()));
+            out.push(hash_chars(window));
         }
     }
+}
+
+/// One-shot convenience wrapper around [`char_ngrams_into`].
+fn char_ngrams(phrase: &str, n: usize) -> Vec<u64> {
+    let mut padded = Vec::new();
+    let mut grams = Vec::new();
+    char_ngrams_into(phrase, n, &mut padded, &mut grams);
     grams
 }
 
@@ -47,11 +65,14 @@ impl TfIdf {
     pub fn fit(corpus: &[String], n: usize) -> TfIdf {
         assert!(n >= 2, "n-gram size must be at least 2");
         let mut doc_freq: HashMap<u64, usize> = HashMap::new();
+        let mut padded = Vec::new();
+        let mut grams = Vec::new();
         for phrase in corpus {
-            let mut grams = char_ngrams(phrase, n);
+            grams.clear();
+            char_ngrams_into(phrase, n, &mut padded, &mut grams);
             grams.sort_unstable();
             grams.dedup();
-            for g in grams {
+            for &g in &grams {
                 *doc_freq.entry(g).or_insert(0) += 1;
             }
         }
@@ -130,6 +151,20 @@ mod tests {
         .iter()
         .map(|s| s.to_string())
         .collect()
+    }
+
+    #[test]
+    fn char_hashing_matches_string_hashing() {
+        // Feature ids must not move when the allocation-free hasher changed:
+        // multi-byte chars included.
+        for window in [
+            vec!['^', 'i', 'd', '$'],
+            vec!['^', 'é', 'm', '✓'],
+            vec!['a'],
+        ] {
+            let s: String = window.iter().collect();
+            assert_eq!(hash_chars(&window), diffaudit_util::fnv1a64(s.as_bytes()));
+        }
     }
 
     #[test]

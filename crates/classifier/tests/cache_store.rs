@@ -1,0 +1,205 @@
+//! Crash-safety and locking tests for the persistent classification cache:
+//! truncated tails, corrupt checksums, fingerprint mismatches, lock
+//! contention, stale-lock recovery, and compaction.
+
+use diffaudit_classifier::cache::{ClassifyCache, LOCK_FILE, LOG_FILE, MAGIC};
+use diffaudit_ontology::DataTypeCategory;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("diffaudit-cache-{}-{}", tag, std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+const FP: u64 = 0xDEAD_BEEF_0000_0001;
+
+fn seed_entries(dir: &PathBuf, n: usize) {
+    let mut cache = ClassifyCache::open(dir, FP).unwrap();
+    let keys: Vec<String> = (0..n).map(|i| format!("key_{i}")).collect();
+    let entries: Vec<(&str, Option<DataTypeCategory>)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let verdict = if i % 7 == 0 {
+                None
+            } else {
+                Some(DataTypeCategory::ALL[i % DataTypeCategory::ALL.len()])
+            };
+            (k.as_str(), verdict)
+        })
+        .collect();
+    assert_eq!(cache.insert_batch(&entries).unwrap(), n as u64);
+}
+
+#[test]
+fn round_trip_across_reopen() {
+    let dir = temp_dir("roundtrip");
+    seed_entries(&dir, 20);
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(cache.damage().is_empty());
+    assert_eq!(cache.live_records(), 20);
+    assert_eq!(cache.get("key_0"), Some(None), "below-threshold verdict");
+    assert_eq!(
+        cache.get("key_3"),
+        Some(Some(DataTypeCategory::ALL[3])),
+        "labeled verdict"
+    );
+    assert_eq!(cache.get("never_inserted"), None);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_tail_is_cut_back_and_survivors_served() {
+    let dir = temp_dir("truncated");
+    seed_entries(&dir, 10);
+    let log = dir.join(LOG_FILE);
+    let bytes = fs::read(&log).unwrap();
+    // Chop mid-record: the last record becomes structurally incomplete.
+    fs::write(&log, &bytes[..bytes.len() - 5]).unwrap();
+
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert_eq!(cache.damage().len(), 1, "{:?}", cache.damage());
+    assert!(cache.damage()[0].reason.contains("truncated"));
+    assert_eq!(cache.live_records(), 9, "only the torn record is lost");
+    assert_eq!(cache.get("key_0"), Some(None));
+    assert_eq!(cache.get("key_9"), None, "torn record must miss");
+    drop(cache);
+
+    // The file was truncated back to framing alignment: a clean reopen sees
+    // no damage and appends land correctly.
+    let mut cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(cache.damage().is_empty(), "{:?}", cache.damage());
+    cache.insert_batch(&[("key_9", None)]).unwrap();
+    drop(cache);
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(cache.damage().is_empty());
+    assert_eq!(cache.get("key_9"), Some(None));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_checksum_skips_only_that_record() {
+    let dir = temp_dir("checksum");
+    seed_entries(&dir, 5);
+    let log = dir.join(LOG_FILE);
+    let mut bytes = fs::read(&log).unwrap();
+    // Flip one byte inside the first record's key ("key_0" tail), well past
+    // the header and the length/fingerprint prefix.
+    let flip_at = MAGIC.len() + 4 + 8 + 1 + 2;
+    bytes[flip_at] ^= 0xFF;
+    fs::write(&log, &bytes).unwrap();
+
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert_eq!(cache.damage().len(), 1, "{:?}", cache.damage());
+    assert!(cache.damage()[0].reason.contains("checksum"));
+    assert_eq!(cache.get("key_0"), None, "corrupt record must miss");
+    assert_eq!(cache.live_records(), 4, "later records survive the skip");
+    assert_eq!(cache.get("key_4"), Some(Some(DataTypeCategory::ALL[4])));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unrecognized_header_resets_the_file() {
+    let dir = temp_dir("header");
+    seed_entries(&dir, 3);
+    fs::write(dir.join(LOG_FILE), b"not a cache log at all").unwrap();
+    let mut cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert_eq!(cache.damage().len(), 1);
+    assert!(cache.damage()[0].reason.contains("header"));
+    assert_eq!(cache.live_records(), 0);
+    cache.insert_batch(&[("fresh", None)]).unwrap();
+    drop(cache);
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(cache.damage().is_empty());
+    assert_eq!(cache.get("fresh"), Some(None));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fingerprint_mismatch_misses_but_preserves_foreign_entries() {
+    let dir = temp_dir("fingerprint");
+    seed_entries(&dir, 8);
+    // A different configuration must not see the other config's verdicts.
+    let other_fp = FP ^ 0xFFFF;
+    let mut cache = ClassifyCache::open(&dir, other_fp).unwrap();
+    assert_eq!(cache.get("key_0"), None, "foreign entries must miss");
+    assert_eq!(cache.live_records(), 8, "but they stay in the store");
+    cache
+        .insert_batch(&[("key_0", Some(DataTypeCategory::ALL[9]))])
+        .unwrap();
+    drop(cache);
+    // The original configuration still sees its own verdict, not the other
+    // config's.
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert_eq!(cache.get("key_0"), Some(None));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_open_degrades_to_read_only() {
+    let dir = temp_dir("lock");
+    seed_entries(&dir, 4);
+    let holder = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(!holder.read_only());
+
+    // Second opener (the "batch CLI while the daemon runs" scenario): lock
+    // is held by a live process, so reads work but writes are refused.
+    let mut second = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(second.read_only());
+    assert_eq!(second.get("key_1"), Some(Some(DataTypeCategory::ALL[1])));
+    assert_eq!(second.insert_batch(&[("nope", None)]).unwrap(), 0);
+    drop(second);
+    // Dropping the read-only opener must not steal the owner's lock.
+    assert!(dir.join(LOCK_FILE).exists());
+    drop(holder);
+    assert!(!dir.join(LOCK_FILE).exists(), "owner removes its lock");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_lock_from_dead_process_is_broken() {
+    let dir = temp_dir("stale");
+    fs::create_dir_all(&dir).unwrap();
+    // No live process has this pid (pid_max on Linux is < 2^22 by default,
+    // and the kernel never assigns 4000000000); a corrupt lock counts too.
+    fs::write(dir.join(LOCK_FILE), "4000000000\n").unwrap();
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(!cache.read_only(), "stale lock must be broken");
+    drop(cache);
+    fs::write(dir.join(LOCK_FILE), "not-a-pid").unwrap();
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(!cache.read_only(), "corrupt lock must be broken");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_rewrites_dead_weight() {
+    let dir = temp_dir("compact");
+    // Write the same 40 keys three times: 120 records, 80 dead.
+    for _ in 0..3 {
+        seed_entries(&dir, 40);
+    }
+    let before = fs::metadata(dir.join(LOG_FILE)).unwrap().len();
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(
+        cache.compacted(),
+        "2/3 dead records must trigger compaction"
+    );
+    assert_eq!(cache.live_records(), 40);
+    assert_eq!(cache.get("key_0"), Some(None));
+    assert_eq!(cache.get("key_39"), Some(Some(DataTypeCategory::ALL[4])));
+    drop(cache);
+    let after = fs::metadata(dir.join(LOG_FILE)).unwrap().len();
+    assert!(
+        after < before / 2,
+        "compaction must shrink the log ({before} -> {after})"
+    );
+    // And the compacted log is clean and complete.
+    let cache = ClassifyCache::open(&dir, FP).unwrap();
+    assert!(!cache.compacted());
+    assert!(cache.damage().is_empty());
+    assert_eq!(cache.live_records(), 40);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -19,6 +19,8 @@ use crate::dest::DestinationAnalyzer;
 use crate::extract::extract_request;
 use crate::flow::{DataFlow, FlowTable4};
 use diffaudit_blocklist::DestinationClass;
+use diffaudit_classifier::cache::{config_fingerprint, CacheReport, ClassifyCache};
+use diffaudit_classifier::majority::TEMPERATURE_GRID;
 use diffaudit_classifier::{ConfidenceAggregation, MajorityEnsemble};
 use diffaudit_nettrace::{decode_pcap, har_to_exchanges, Exchange, KeyLog};
 use diffaudit_obs::Scope;
@@ -156,6 +158,9 @@ pub struct AuditOutcome {
     pub key_labels: HashMap<Key, Option<DataTypeCategory>>,
     /// Total unique raw data types extracted.
     pub unique_raw_keys: usize,
+    /// What the persistent classification cache did, when one was
+    /// configured (hits/misses/inserts plus any salvage damage).
+    pub cache: Option<CacheReport>,
 }
 
 /// The DiffAudit pipeline.
@@ -166,6 +171,9 @@ pub struct Pipeline {
     /// at run time. The `--threads` CLI flag arrives via
     /// [`Pipeline::with_threads`] — there is no process-global default.
     threads: Option<usize>,
+    /// Directory of the persistent classification cache; `None` disables
+    /// caching (every unique key goes to the ensemble).
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Pipeline {
@@ -174,6 +182,7 @@ impl Pipeline {
         Self {
             mode,
             threads: None,
+            cache_dir: None,
         }
     }
 
@@ -189,6 +198,17 @@ impl Pipeline {
     /// serial path). Without this, runs use [`par::available_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Use (creating if necessary) a persistent classification cache under
+    /// `dir`: warm re-audits answer previously seen keys from disk and skip
+    /// the ensemble for them. Output is byte-identical with the cache cold,
+    /// warm, or disabled — the cache stores exactly the post-threshold
+    /// verdicts the ensemble would produce, keyed by a configuration
+    /// fingerprint that any ontology/config change invalidates.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
         self
     }
 
@@ -232,7 +252,7 @@ impl Pipeline {
         record_key_stats(&scope, key_occurrences, unique_keys.len());
 
         // Phase 2: classify unique keys once.
-        let key_labels = self.classify_keys(&unique_keys);
+        let (key_labels, cache) = self.classify_keys_scoped(&unique_keys, &scope);
 
         // Phase 3: destination analysis + assembly, parallel per service
         // (each service gets its own memoizing analyzer).
@@ -262,6 +282,7 @@ impl Pipeline {
             services,
             key_labels,
             unique_raw_keys: unique_keys.len(),
+            cache,
         }
     }
 
@@ -276,6 +297,7 @@ impl Pipeline {
                 services: Vec::new(),
                 key_labels: HashMap::new(),
                 unique_raw_keys: 0,
+                cache: None,
             },
         }
     }
@@ -366,7 +388,7 @@ impl Pipeline {
         let (unique_keys, key_occurrences) = batch.into_parts();
         record_key_stats(scope, key_occurrences, unique_keys.len());
         ctl.check()?;
-        let key_labels = self.classify_keys_scoped(&unique_keys, scope);
+        let (key_labels, cache) = self.classify_keys_scoped(&unique_keys, scope);
         ctl.check()?;
         let services = scope.time("pipeline.assemble", || {
             par::par_map_ctx_owned_cancel(
@@ -385,42 +407,121 @@ impl Pipeline {
             services,
             key_labels,
             unique_raw_keys: unique_keys.len(),
+            cache,
         })
     }
 
     /// Classify a set of unique raw keys according to the mode.
     pub fn classify_keys(&self, keys: &BTreeSet<Key>) -> HashMap<Key, Option<DataTypeCategory>> {
-        self.classify_keys_scoped(keys, &Scope::global())
+        self.classify_keys_scoped(keys, &Scope::global()).0
     }
 
     fn classify_keys_scoped(
         &self,
         keys: &BTreeSet<Key>,
         scope: &Scope,
-    ) -> HashMap<Key, Option<DataTypeCategory>> {
-        scope.time("pipeline.classify", || self.classify_keys_now(keys))
+    ) -> (HashMap<Key, Option<DataTypeCategory>>, Option<CacheReport>) {
+        scope.time("pipeline.classify", || self.classify_keys_now(keys, scope))
     }
 
-    fn classify_keys_now(&self, keys: &BTreeSet<Key>) -> HashMap<Key, Option<DataTypeCategory>> {
+    fn classify_keys_now(
+        &self,
+        keys: &BTreeSet<Key>,
+        scope: &Scope,
+    ) -> (HashMap<Key, Option<DataTypeCategory>>, Option<CacheReport>) {
         match &self.mode {
-            ClassificationMode::Oracle(truth) => keys
-                .iter()
-                .map(|k| (k.clone(), truth.get(k.as_ref()).copied()))
-                .collect(),
-            ClassificationMode::Ensemble { seed, threshold } => {
-                let ensemble = MajorityEnsemble::new(*seed, ConfidenceAggregation::Average);
-                let refs: Vec<&str> = keys.iter().map(|k| k.as_ref()).collect();
-                let results = ensemble.classify_batch(&refs);
+            ClassificationMode::Oracle(truth) => (
                 keys.iter()
-                    .zip(results)
-                    .map(|(k, r)| {
+                    .map(|k| (k.clone(), truth.get(k.as_ref()).copied()))
+                    .collect(),
+                None,
+            ),
+            ClassificationMode::Ensemble { seed, threshold } => {
+                // Probe the persistent cache first: verdicts stored under an
+                // exactly matching configuration fingerprint are the ones
+                // the ensemble would reproduce, so hits skip it entirely.
+                let mut cache = None;
+                let mut report = None;
+                if let Some(dir) = &self.cache_dir {
+                    scope.time("pipeline.classify.cache", || {
+                        let fingerprint = config_fingerprint(
+                            *seed,
+                            *threshold,
+                            &TEMPERATURE_GRID,
+                            "majority-avg",
+                        );
+                        match ClassifyCache::open(dir, fingerprint) {
+                            Ok(store) => {
+                                scope.add("pipeline.classify.cache.bytes.in", store.bytes_loaded());
+                                report = Some(store.report());
+                                cache = Some(store);
+                            }
+                            // A broken cache degrades to uncached operation,
+                            // never a failed audit.
+                            Err(e) => scope.warn(
+                                "classification cache unavailable; running uncached",
+                                &[diffaudit_obs::field("error", e.to_string())],
+                            ),
+                        }
+                    });
+                }
+                let mut labels: HashMap<Key, Option<DataTypeCategory>> =
+                    HashMap::with_capacity(keys.len());
+                let mut misses: Vec<&Key> = Vec::new();
+                match &cache {
+                    Some(store) => {
+                        for k in keys {
+                            match store.get(k.as_ref()) {
+                                Some(verdict) => {
+                                    labels.insert(k.clone(), verdict);
+                                }
+                                None => misses.push(k),
+                            }
+                        }
+                        let hits = (keys.len() - misses.len()) as u64;
+                        scope.add("pipeline.classify.cache.hit", hits);
+                        scope.add("pipeline.classify.cache.miss", misses.len() as u64);
+                        if let Some(r) = report.as_mut() {
+                            r.hits = hits;
+                            r.misses = misses.len() as u64;
+                        }
+                    }
+                    None => misses.extend(keys.iter()),
+                }
+                if !misses.is_empty() {
+                    let ensemble = MajorityEnsemble::new(*seed, ConfidenceAggregation::Average);
+                    let refs: Vec<&str> = misses.iter().map(|k| k.as_ref()).collect();
+                    let results = ensemble.classify_batch_threads(&refs, self.threads());
+                    let mut fresh: Vec<(&str, Option<DataTypeCategory>)> =
+                        Vec::with_capacity(misses.len());
+                    for ((k, raw), r) in misses.iter().zip(&refs).zip(results) {
                         let label = match r.category {
                             Some(c) if r.confidence >= *threshold => Some(c),
                             _ => None,
                         };
-                        (k.clone(), label)
-                    })
-                    .collect()
+                        fresh.push((raw, label));
+                        labels.insert((*k).clone(), label);
+                    }
+                    if let Some(store) = cache.as_mut() {
+                        let inserted =
+                            scope.time("pipeline.classify.cache", || store.insert_batch(&fresh));
+                        match inserted {
+                            Ok(n) => {
+                                if n > 0 {
+                                    scope.add("pipeline.classify.cache.insert", n);
+                                }
+                                if let Some(r) = report.as_mut() {
+                                    r.inserts = n;
+                                }
+                            }
+                            Err(e) => scope.warn(
+                                "classification cache insert failed",
+                                &[diffaudit_obs::field("error", e.to_string())],
+                            ),
+                        }
+                    }
+                }
+                (labels, report)
             }
         }
     }

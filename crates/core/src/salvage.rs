@@ -7,6 +7,7 @@
 //! [`SalvagePolicy`] (the CLI's `--strict` / `--max-drop` flags) to produce
 //! the run's [`RunStatus`] and exit code.
 
+use diffaudit_classifier::CacheReport;
 use diffaudit_json::Json;
 use diffaudit_nettrace::salvage::{SalvageLog, Stage};
 
@@ -46,6 +47,28 @@ impl ServiceLedger {
             log.merge(&unit.log);
         }
         log
+    }
+}
+
+/// Mirror the classification cache's salvage decisions into ledger form: a
+/// synthetic `cache` service whose single unit is the cache log itself, with
+/// live records processed and every damaged record a `cache:`-prefixed drop.
+/// Only meaningful when the cache saw damage — a clean cache contributes
+/// nothing to the ledger.
+pub fn cache_ledger(report: &CacheReport) -> ServiceLedger {
+    let mut log = SalvageLog::new();
+    log.ok_n(Stage::Cache, report.live_records);
+    for damage in &report.damage {
+        let mut reason = String::from("cache: ");
+        reason.push_str(&damage.reason);
+        log.dropped(Stage::Cache, reason, damage.offset);
+    }
+    ServiceLedger {
+        slug: "cache".into(),
+        units: vec![UnitLedger {
+            file: "classify.log".into(),
+            log,
+        }],
     }
 }
 

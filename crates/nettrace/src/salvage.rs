@@ -31,11 +31,13 @@ pub enum Stage {
     KeylogLine,
     /// One manifest unit (a whole artifact file).
     Unit,
+    /// One record of a persistent classification-cache log.
+    Cache,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::PcapRecord,
         Stage::PcapngBlock,
         Stage::Frame,
@@ -44,6 +46,7 @@ impl Stage {
         Stage::HarEntry,
         Stage::KeylogLine,
         Stage::Unit,
+        Stage::Cache,
     ];
 
     /// Stable machine-readable label.
@@ -57,6 +60,7 @@ impl Stage {
             Stage::HarEntry => "har-entry",
             Stage::KeylogLine => "keylog-line",
             Stage::Unit => "unit",
+            Stage::Cache => "cache",
         }
     }
 }

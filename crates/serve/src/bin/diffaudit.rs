@@ -98,8 +98,9 @@ use diffaudit::export;
 use diffaudit::loader::{load_capture_dir_salvage_threads, write_dataset};
 use diffaudit::pipeline::{ClassificationMode, Pipeline};
 use diffaudit::report;
-use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
+use diffaudit::salvage::{cache_ledger, DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
+use diffaudit_nettrace::salvage::Stage;
 use diffaudit_obs as obs;
 use diffaudit_serve::{ServeConfig, Server};
 use diffaudit_services::{generate_dataset_threads, service_by_slug, DatasetOptions};
@@ -109,8 +110,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     obs::write_stderr_block(
         "usage:\n  diffaudit generate --out DIR [--scale F] [--seed N] [--services a,b]\n  \
-         diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
-         diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N] [--drain-ms N] [--chaos]\n  \
+         diffaudit audit DIR... [--ensemble SEED] [--threshold F] [--cache-dir DIR] [--format text|markdown|json] [--out FILE] [--strict] [--max-drop PCT]\n  \
+         diffaudit serve [--port N] [--queue N] [--workers N] [--deadline-ms N] [--drain-ms N] [--cache-dir DIR] [--chaos]\n  \
          diffaudit classify KEY...\n  diffaudit ontology\n  \
          diffaudit obs report TRACE.jsonl [--top K] [--resources]\n  \
          diffaudit obs diff BASELINE.json CURRENT.json [--fail-over PCT] [--fail-rss-over PCT] [--noise-floor-ms N]\n  \
@@ -247,7 +248,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..], obs_options.threads),
         Some("audit") => cmd_audit(&args[1..], obs_options.threads),
         Some("serve") => cmd_serve(&args[1..], obs_options.threads),
-        Some("classify") => cmd_classify(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..], obs_options.threads),
         Some("ontology") => cmd_ontology(),
         Some("obs") => cmd_obs(&args[1..]),
         _ => usage(),
@@ -284,6 +285,10 @@ fn cmd_serve(args: &[String], threads: usize) -> ExitCode {
             },
             "--drain-ms" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) => config.drain_deadline_ms = v,
+                None => return usage(),
+            },
+            "--cache-dir" => match iter.next() {
+                Some(v) => config.cache_dir = Some(PathBuf::from(v)),
                 None => return usage(),
             },
             "--chaos" => config.enable_chaos = true,
@@ -420,6 +425,7 @@ fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
     let mut threshold = 0.8f64;
     let mut format = "text".to_string();
     let mut out_file: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut policy = SalvagePolicy::default();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -439,6 +445,10 @@ fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
                 _ => return usage(),
             },
             "--out" => out_file = iter.next().map(PathBuf::from),
+            "--cache-dir" => match iter.next() {
+                Some(v) => cache_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
             "--strict" => policy.strict = true,
             "--max-drop" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(pct) if (0.0..=100.0).contains(&pct) => {
@@ -516,9 +526,40 @@ fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let pipeline =
+    let mut pipeline =
         Pipeline::new(ClassificationMode::Ensemble { seed, threshold }).with_threads(threads);
+    if let Some(dir) = &cache_dir {
+        pipeline = pipeline.with_cache_dir(dir.clone());
+    }
     let outcome = pipeline.run_inputs(inputs);
+
+    // Cache salvage (damaged log records skipped on open) degrades the run
+    // the same way damaged input does: account it in the ledger, mirror the
+    // counters, and let the policy re-judge the status.
+    let status = match outcome.cache.as_ref() {
+        Some(cache_report) if !cache_report.damage.is_empty() => {
+            let cache_service = cache_ledger(cache_report);
+            let counts = cache_service.merged().stage(Stage::Cache);
+            obs::add("salvage.cache.processed", counts.processed);
+            obs::add("salvage.cache.dropped", counts.dropped);
+            ledger.services.push(cache_service);
+            let status = policy.evaluate(&ledger);
+            if status == RunStatus::Failed {
+                obs::error(
+                    "degradation exceeds policy",
+                    &[
+                        obs::field("dropped", ledger.total_dropped()),
+                        obs::field("dropPct", ledger.drop_fraction() * 100.0),
+                        obs::field("strict", policy.strict),
+                    ],
+                );
+                obs::write_stderr_block(&report::render_degradation(&ledger));
+                return ExitCode::FAILURE;
+            }
+            status
+        }
+        _ => status,
+    };
 
     // Findings need a policy; catalog services get their real one, unknown
     // services get the flow/linkability analyses without policy rules.
@@ -616,7 +657,7 @@ fn cmd_audit(args: &[String], threads: usize) -> ExitCode {
     ExitCode::from(status.exit_code())
 }
 
-fn cmd_classify(args: &[String]) -> ExitCode {
+fn cmd_classify(args: &[String], threads: usize) -> ExitCode {
     if args.is_empty() {
         return usage();
     }
@@ -624,7 +665,7 @@ fn cmd_classify(args: &[String]) -> ExitCode {
     let _span = obs::span("classify");
     let ensemble = MajorityEnsemble::new(2023, ConfidenceAggregation::Average);
     let refs: Vec<&str> = args.iter().map(String::as_str).collect();
-    for result in ensemble.classify_batch(&refs) {
+    for result in ensemble.classify_batch_threads(&refs, threads) {
         match result.category {
             Some(category) => println!(
                 "{} // {} // {:.2} // {}",
@@ -791,6 +832,18 @@ fn render_top(addr: &str, samples: &[obs::Sample]) -> String {
             human_us(p90)
         )),
         _ => out.push_str("  http latency: no samples yet\n"),
+    }
+    // Present once any job has consulted the persistent classification
+    // cache; warm daemons show hits ≈ keys and zero ensemble work.
+    let cache_hits = counter("pipeline_classify_cache_hit_total");
+    let cache_misses = counter("pipeline_classify_cache_miss_total");
+    if cache_hits + cache_misses > 0.0 {
+        out.push_str(&format!(
+            "  classify cache: hits {} misses {} inserts {}\n",
+            cache_hits,
+            cache_misses,
+            counter("pipeline_classify_cache_insert_total"),
+        ));
     }
     // Present only when the daemon's /proc sampler is running (Linux).
     match obs::gauge_value(samples, "diffaudit_process_resident_bytes") {

@@ -1,6 +1,8 @@
 //! Daemon configuration. Everything arrives through this struct — the
 //! serve crate reads no ambient environment.
 
+use std::path::PathBuf;
+
 /// Tunables for [`crate::server::Server`]. The defaults favor a small
 /// footprint: shedding load early beats queueing unbounded work.
 #[derive(Debug, Clone)]
@@ -30,6 +32,9 @@ pub struct ServeConfig {
     /// tests and drills). Off by default: a production daemon should not
     /// let clients panic its workers on request.
     pub enable_chaos: bool,
+    /// Directory for the persistent classification cache shared by every
+    /// job (the batch CLI's `--cache-dir`). `None` runs uncached.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +50,7 @@ impl Default for ServeConfig {
             drain_grace_ms: 2_000,
             max_body_bytes: 16 * 1024 * 1024,
             enable_chaos: false,
+            cache_dir: None,
         }
     }
 }

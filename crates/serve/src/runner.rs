@@ -24,8 +24,9 @@ use diffaudit::export;
 use diffaudit::loader::{load_memory_service, MemoryService};
 use diffaudit::pipeline::{AuditOutcome, ClassificationMode, Pipeline};
 use diffaudit::report;
-use diffaudit::salvage::{DegradationLedger, RunStatus, SalvagePolicy};
+use diffaudit::salvage::{cache_ledger, DegradationLedger, RunStatus, SalvagePolicy};
 use diffaudit_json::Json;
+use diffaudit_nettrace::salvage::Stage;
 use diffaudit_obs::{MetricsSnapshot, Scope};
 use diffaudit_util::cancel::{CancelToken, Ctl, Deadline, Interrupt};
 use std::collections::HashMap;
@@ -58,6 +59,9 @@ pub struct JobRequest {
     pub deadline: Duration,
     /// Optional fault injection.
     pub chaos: Option<ChaosMode>,
+    /// Persistent classification cache directory (shared across jobs;
+    /// `None` = uncached).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 /// A finished job: the table entry plus the private metrics snapshot the
@@ -94,6 +98,7 @@ fn empty_outcome() -> AuditOutcome {
         services: Vec::new(),
         key_labels: HashMap::new(),
         unique_raw_keys: 0,
+        cache: None,
     }
 }
 
@@ -230,14 +235,31 @@ pub fn run_job(request: JobRequest, token: CancelToken, threads: usize) -> JobOu
         return finish(scope, interrupted_completion(interrupt, &ledger));
     }
 
-    let pipeline = Pipeline::new(ClassificationMode::Ensemble {
+    let mut pipeline = Pipeline::new(ClassificationMode::Ensemble {
         seed: request.seed,
         threshold: request.threshold,
     })
     .with_threads(threads);
+    if let Some(dir) = &request.cache_dir {
+        pipeline = pipeline.with_cache_dir(dir.clone());
+    }
     match pipeline.run_inputs_scoped(vec![input], &scope, &ctl) {
         Err(interrupt) => finish(scope, interrupted_completion(interrupt, &ledger)),
         Ok(outcome) => {
+            // Cache salvage (skipped or truncated log records) degrades the
+            // run the same way damaged input does: account it in the ledger
+            // and let the policy re-judge the status.
+            let status = match outcome.cache.as_ref() {
+                Some(report) if !report.damage.is_empty() => {
+                    let cache_service = cache_ledger(report);
+                    let counts = cache_service.merged().stage(Stage::Cache);
+                    scope.add("salvage.cache.processed", counts.processed);
+                    scope.add("salvage.cache.dropped", counts.dropped);
+                    ledger.services.push(cache_service);
+                    request.policy.evaluate(&ledger)
+                }
+                _ => status,
+            };
             let mut findings: Vec<AuditFinding> = Vec::new();
             for service in &outcome.services {
                 if let Some(spec) = diffaudit_services::service_by_slug(&service.slug) {
@@ -316,6 +338,7 @@ mod tests {
             threshold: 0.8,
             deadline: Duration::from_secs(60),
             chaos: None,
+            cache_dir: None,
         }
     }
 

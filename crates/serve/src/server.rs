@@ -632,6 +632,7 @@ fn submit_job(shared: &Arc<Shared>, request: &Request) -> Response {
         threshold,
         deadline: Duration::from_millis(deadline_ms),
         chaos,
+        cache_dir: shared.config.cache_dir.clone(),
     };
     let id = format!("j-{}", shared.next_job.fetch_add(1, Ordering::SeqCst) + 1);
     shared.jobs.insert(JobRecord {

@@ -27,6 +27,45 @@ pub fn fnv1a32(data: &[u8]) -> u32 {
     hash
 }
 
+/// Streaming FNV-1a 64-bit hasher.
+///
+/// Equivalent to [`fnv1a64`] over the concatenation of every `write` call —
+/// lets hot paths hash composite keys (`key ++ "::gap"`, char-window n-grams)
+/// without materializing the concatenated buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Fold `data` into the running hash.
+    pub fn write(&mut self, data: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        for &b in data {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Combine two hashes into one (boost-style mix).
 pub fn combine(a: u64, b: u64) -> u64 {
     a ^ b
@@ -51,6 +90,21 @@ mod tests {
     fn fnv32_known_vectors() {
         assert_eq!(fnv1a32(b""), 0x811C_9DC5);
         assert_eq!(fnv1a32(b"a"), 0xE40C_292C);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), fnv1a64(b""));
+        h.write(b"foo");
+        h.write(b"");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+        let mut bytewise = Fnv64::new();
+        for b in b"foobar" {
+            bytewise.write(std::slice::from_ref(b));
+        }
+        assert_eq!(bytewise.finish(), fnv1a64(b"foobar"));
     }
 
     #[test]

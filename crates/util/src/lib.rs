@@ -41,6 +41,6 @@ pub mod rng;
 pub mod stats;
 
 pub use cancel::{CancelToken, Ctl, Deadline, Interrupt};
-pub use hash::fnv1a64;
+pub use hash::{fnv1a64, Fnv64};
 pub use par::{Key, KeyInterner};
 pub use rng::Rng;

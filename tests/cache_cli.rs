@@ -1,0 +1,199 @@
+//! Integration tests for the persistent classification cache as seen from
+//! the `diffaudit audit` CLI:
+//!
+//! - the report is byte-identical with the cache disabled, cold, and warm
+//!   (the cache may only change *when* work happens, never its result);
+//! - a warm run really is served from the cache (hits == keys, no misses,
+//!   no inserts) — checked through the `--metrics-out` counters;
+//! - a cache whose lock is held by a live process degrades to read-only
+//!   without perturbing the audit;
+//! - a damaged cache log salvages: the run completes, the degradation
+//!   ledger carries the `cache:` drop, and the exit code is 2.
+
+use diffaudit::loader::write_dataset;
+use diffaudit_json::{parse, Json};
+use diffaudit_services::{generate_dataset, DatasetOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_diffaudit"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("diffaudit-cache-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write the synthetic tiktok capture to disk and return its service dir.
+fn capture_dir(root: &Path) -> PathBuf {
+    let dataset = generate_dataset(&DatasetOptions {
+        seed: 21,
+        volume_scale: 0.02,
+        mobile_pinned_fraction: 0.0,
+        services: vec!["tiktok".into()],
+    });
+    let dirs = write_dataset(&dataset, root).unwrap();
+    dirs.into_iter().next().unwrap()
+}
+
+/// Run `diffaudit audit` with the given extra args, returning the exit
+/// code, stdout, and the parsed `--metrics-out` snapshot.
+fn run_audit(dir: &Path, extra: &[&str], metrics_path: &Path) -> (Option<i32>, String, Json) {
+    let output = bin()
+        .arg("audit")
+        .arg(dir)
+        .args(["--format", "json", "--metrics-out"])
+        .arg(metrics_path)
+        .args(extra)
+        .output()
+        .unwrap();
+    let metrics = parse(&std::fs::read_to_string(metrics_path).unwrap()).unwrap();
+    (
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        metrics,
+    )
+}
+
+fn counter(metrics: &Json, name: &str) -> i64 {
+    metrics
+        .pointer(&format!("/counters/{name}"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn stdout_is_byte_identical_disabled_cold_and_warm() {
+    let root = temp_dir("identity");
+    let dir = capture_dir(&root);
+    let cache = root.join("cache");
+    let metrics = root.join("metrics.json");
+    let cache_flag = ["--cache-dir", cache.to_str().unwrap()];
+
+    let (code, uncached, snapshot) = run_audit(&dir, &[], &metrics);
+    assert_eq!(code, Some(0));
+    assert_eq!(
+        counter(&snapshot, "pipeline.classify.cache.hit")
+            + counter(&snapshot, "pipeline.classify.cache.miss"),
+        0,
+        "no --cache-dir means no cache probes at all"
+    );
+
+    let (code, cold, snapshot) = run_audit(&dir, &cache_flag, &metrics);
+    assert_eq!(code, Some(0));
+    assert_eq!(uncached, cold, "cold cache must not change the report");
+    let cold_misses = counter(&snapshot, "pipeline.classify.cache.miss");
+    assert!(cold_misses > 0, "first cached run starts cold");
+    assert_eq!(
+        counter(&snapshot, "pipeline.classify.cache.insert"),
+        cold_misses,
+        "every cold miss is inserted"
+    );
+
+    let (code, warm, snapshot) = run_audit(&dir, &cache_flag, &metrics);
+    assert_eq!(code, Some(0));
+    assert_eq!(uncached, warm, "warm cache must not change the report");
+    assert_eq!(
+        counter(&snapshot, "pipeline.classify.cache.hit"),
+        cold_misses,
+        "warm run must hit every key the cold run inserted"
+    );
+    assert_eq!(counter(&snapshot, "pipeline.classify.cache.miss"), 0);
+    assert_eq!(counter(&snapshot, "pipeline.classify.cache.insert"), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn held_lock_degrades_to_read_only_without_perturbing_the_audit() {
+    let root = temp_dir("lock");
+    let dir = capture_dir(&root);
+    let cache = root.join("cache");
+    let metrics = root.join("metrics.json");
+    // A lock naming this (live) test process: the CLI must treat the cache
+    // as owned elsewhere and fall back to read-only.
+    std::fs::create_dir_all(&cache).unwrap();
+    std::fs::write(
+        cache.join("cache.lock"),
+        format!("{}\n", std::process::id()),
+    )
+    .unwrap();
+
+    let (code, baseline, _) = run_audit(&dir, &[], &metrics);
+    assert_eq!(code, Some(0));
+    let (code, locked, snapshot) =
+        run_audit(&dir, &["--cache-dir", cache.to_str().unwrap()], &metrics);
+    assert_eq!(code, Some(0));
+    assert_eq!(
+        baseline, locked,
+        "read-only cache must not change the report"
+    );
+    assert!(counter(&snapshot, "pipeline.classify.cache.miss") > 0);
+    assert_eq!(
+        counter(&snapshot, "pipeline.classify.cache.insert"),
+        0,
+        "a contended cache must refuse inserts"
+    );
+    assert!(
+        !cache.join("classify.log").exists(),
+        "read-only opener must not create the log"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn damaged_cache_log_salvages_with_exit_two() {
+    let root = temp_dir("damaged");
+    let dir = capture_dir(&root);
+    let cache = root.join("cache");
+    let metrics = root.join("metrics.json");
+    let cache_flag = ["--cache-dir", cache.to_str().unwrap()];
+
+    let (code, clean, _) = run_audit(&dir, &cache_flag, &metrics);
+    assert_eq!(code, Some(0));
+
+    // Flip one byte inside the first record's payload: a checksum failure
+    // that salvage skips while keeping the rest of the log.
+    let log = cache.join("classify.log");
+    let mut bytes = std::fs::read(&log).unwrap();
+    let flip_at = 8 + 4 + 8 + 1 + 2; // header + len + fingerprint + label + 2
+    bytes[flip_at] ^= 0xFF;
+    std::fs::write(&log, bytes).unwrap();
+
+    let (code, stdout, snapshot) = run_audit(&dir, &cache_flag, &metrics);
+    assert_eq!(code, Some(2), "cache damage within policy must exit 2");
+    assert!(
+        stdout.contains("\"degradation\""),
+        "salvaged run must export the degradation ledger"
+    );
+    assert!(
+        stdout.contains("cache:"),
+        "the ledger must carry the cache: drop reason"
+    );
+    assert_eq!(counter(&snapshot, "salvage.cache.dropped"), 1);
+    // The skipped record misses and is re-inserted; everything else hits.
+    assert_eq!(counter(&snapshot, "pipeline.classify.cache.miss"), 1);
+    assert_eq!(counter(&snapshot, "pipeline.classify.cache.insert"), 1);
+
+    // The report body itself is unchanged apart from the degradation
+    // section the salvaged run appends.
+    let clean_doc = parse(&clean).unwrap();
+    let damaged_doc = parse(&stdout).unwrap();
+    assert_eq!(
+        clean_doc.pointer("/services"),
+        damaged_doc.pointer("/services"),
+        "cache damage must not change audit results"
+    );
+
+    // Under --strict the same damage is a hard failure.
+    let (code, _, _) = run_audit(
+        &dir,
+        &["--cache-dir", cache.to_str().unwrap(), "--strict"],
+        &metrics,
+    );
+    assert_eq!(code, Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}
